@@ -1,0 +1,544 @@
+//! Pseudo-instruction expansion and instruction encoding.
+//!
+//! Encodings are derived from the `binsym-isa` table: the encoder classifies
+//! each instruction's *format* from its operand-field list and assembles the
+//! word from `match_val | fields`. Adding an instruction to the table (e.g.
+//! the paper's custom `MADD`) makes it assemble without encoder changes.
+
+use std::collections::HashMap;
+
+use binsym_isa::encoding::{InstrTable, OperandField};
+use binsym_isa::Reg;
+
+use crate::parse::{parse_integer, split_symbol_offset};
+
+/// Number of 4-byte words `mnemonic operands` will occupy after
+/// pseudo-instruction expansion (needed by the assembler's first pass).
+///
+/// # Errors
+/// Returns a message for unknown pseudo forms (unknown *real* mnemonics are
+/// only detected during encoding).
+pub fn expansion_size(mnemonic: &str, operands: &[String]) -> Result<u32, String> {
+    Ok(match mnemonic {
+        "li" => {
+            let imm = operands
+                .get(1)
+                .and_then(|s| parse_integer(s));
+            match imm {
+                Some(v) if (-2048..=2047).contains(&v) => 1,
+                _ => 2, // lui + addi (also for symbolic values)
+            }
+        }
+        "la" => 2,
+        _ => 1,
+    })
+}
+
+/// Expands a (possibly pseudo-) instruction into real instructions, each as
+/// `(mnemonic, operands)` strings.
+fn expand(mnemonic: &str, ops: &[String]) -> Result<Vec<(String, Vec<String>)>, String> {
+    let o = |i: usize| -> Result<&String, String> {
+        ops.get(i)
+            .ok_or_else(|| format!("`{mnemonic}` missing operand {}", i + 1))
+    };
+    let one = |m: &str, v: Vec<String>| Ok(vec![(m.to_owned(), v)]);
+    match (mnemonic, ops.len()) {
+        ("nop", 0) => one("addi", vec!["x0".into(), "x0".into(), "0".into()]),
+        ("li", 2) => {
+            let rd = o(0)?.clone();
+            match parse_integer(o(1)?) {
+                Some(v) if (-2048..=2047).contains(&v) => {
+                    one("addi", vec![rd, "x0".into(), v.to_string()])
+                }
+                Some(v) => {
+                    let v = v as u32;
+                    let lo = ((v as i32) << 20) >> 20; // signed low 12
+                    let hi = (v.wrapping_sub(lo as u32)) >> 12;
+                    Ok(vec![
+                        ("lui".to_owned(), vec![rd.clone(), hi.to_string()]),
+                        ("addi".to_owned(), vec![rd.clone(), rd, lo.to_string()]),
+                    ])
+                }
+                None => {
+                    // Symbolic value: same as la.
+                    expand("la", ops)
+                }
+            }
+        }
+        ("la", 2) => {
+            let rd = o(0)?.clone();
+            let sym = o(1)?.clone();
+            Ok(vec![
+                ("lui".to_owned(), vec![rd.clone(), format!("%hi({sym})")]),
+                (
+                    "addi".to_owned(),
+                    vec![rd.clone(), rd, format!("%lo({sym})")],
+                ),
+            ])
+        }
+        ("mv", 2) => one("addi", vec![o(0)?.clone(), o(1)?.clone(), "0".into()]),
+        ("not", 2) => one("xori", vec![o(0)?.clone(), o(1)?.clone(), "-1".into()]),
+        ("neg", 2) => one("sub", vec![o(0)?.clone(), "x0".into(), o(1)?.clone()]),
+        ("seqz", 2) => one("sltiu", vec![o(0)?.clone(), o(1)?.clone(), "1".into()]),
+        ("snez", 2) => one("sltu", vec![o(0)?.clone(), "x0".into(), o(1)?.clone()]),
+        ("sltz", 2) => one("slt", vec![o(0)?.clone(), o(1)?.clone(), "x0".into()]),
+        ("sgtz", 2) => one("slt", vec![o(0)?.clone(), "x0".into(), o(1)?.clone()]),
+        ("beqz", 2) => one("beq", vec![o(0)?.clone(), "x0".into(), o(1)?.clone()]),
+        ("bnez", 2) => one("bne", vec![o(0)?.clone(), "x0".into(), o(1)?.clone()]),
+        ("blez", 2) => one("bge", vec!["x0".into(), o(0)?.clone(), o(1)?.clone()]),
+        ("bgez", 2) => one("bge", vec![o(0)?.clone(), "x0".into(), o(1)?.clone()]),
+        ("bltz", 2) => one("blt", vec![o(0)?.clone(), "x0".into(), o(1)?.clone()]),
+        ("bgtz", 2) => one("blt", vec!["x0".into(), o(0)?.clone(), o(1)?.clone()]),
+        ("bgt", 3) => one("blt", vec![o(1)?.clone(), o(0)?.clone(), o(2)?.clone()]),
+        ("ble", 3) => one("bge", vec![o(1)?.clone(), o(0)?.clone(), o(2)?.clone()]),
+        ("bgtu", 3) => one("bltu", vec![o(1)?.clone(), o(0)?.clone(), o(2)?.clone()]),
+        ("bleu", 3) => one("bgeu", vec![o(1)?.clone(), o(0)?.clone(), o(2)?.clone()]),
+        ("j", 1) => one("jal", vec!["x0".into(), o(0)?.clone()]),
+        ("jal", 1) => one("jal", vec!["ra".into(), o(0)?.clone()]),
+        ("jr", 1) => one("jalr", vec!["x0".into(), format!("0({})", o(0)?)]),
+        ("jalr", 1) => one("jalr", vec!["ra".into(), format!("0({})", o(0)?)]),
+        ("call", 1) => one("jal", vec!["ra".into(), o(0)?.clone()]),
+        ("tail", 1) => one("jal", vec!["x0".into(), o(0)?.clone()]),
+        ("ret", 0) => one("jalr", vec!["x0".into(), "0(ra)".into()]),
+        _ => one(mnemonic, ops.to_vec()),
+    }
+}
+
+/// Classified instruction format (derived from the field list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    U,
+    J,
+    I,
+    IShift,
+    B,
+    S,
+    R,
+    R4,
+    /// Unary register op (`rd, rs1`), e.g. Zbb `clz`.
+    RUnary,
+    NoOperands,
+}
+
+fn classify(fields: &[OperandField]) -> Option<Format> {
+    use OperandField::*;
+    Some(match fields {
+        [Rd, ImmU] => Format::U,
+        [Rd, ImmJ] => Format::J,
+        [Rd, Rs1, ImmI] => Format::I,
+        [Rd, Rs1, Shamt] => Format::IShift,
+        [Rs1, Rs2, ImmB] => Format::B,
+        [Rs1, Rs2, ImmS] => Format::S,
+        [Rd, Rs1, Rs2] => Format::R,
+        [Rd, Rs1, Rs2, Rs3] => Format::R4,
+        [Rd, Rs1] => Format::RUnary,
+        [] => Format::NoOperands,
+        _ => return None,
+    })
+}
+
+fn parse_reg(s: &str) -> Result<Reg, String> {
+    s.trim()
+        .parse::<Reg>()
+        .map_err(|e| e.to_string())
+}
+
+/// Resolves an immediate expression: integer, `symbol(+off)`, `%hi(expr)`,
+/// `%lo(expr)`.
+fn resolve_imm(s: &str, syms: &HashMap<String, u32>) -> Result<i64, String> {
+    let s = s.trim();
+    if let Some(v) = parse_integer(s) {
+        return Ok(v);
+    }
+    if let Some(inner) = s.strip_prefix("%hi(").and_then(|x| x.strip_suffix(')')) {
+        let addr = resolve_imm(inner, syms)? as u32;
+        return Ok(i64::from(addr.wrapping_add(0x800) >> 12));
+    }
+    if let Some(inner) = s.strip_prefix("%lo(").and_then(|x| x.strip_suffix(')')) {
+        let addr = resolve_imm(inner, syms)? as u32;
+        return Ok(i64::from(((addr as i32) << 20) >> 20));
+    }
+    if let Some((base, off)) = split_symbol_offset(s) {
+        if let Some(&a) = syms.get(base) {
+            return Ok(i64::from(a) + off);
+        }
+        return Err(format!("undefined symbol `{base}`"));
+    }
+    Err(format!("cannot parse immediate `{s}`"))
+}
+
+/// Parses `offset(base)` into `(offset, base)`.
+fn parse_mem(s: &str, syms: &HashMap<String, u32>) -> Result<(i64, Reg), String> {
+    let s = s.trim();
+    let open = s
+        .rfind('(')
+        .ok_or_else(|| format!("expected `offset(base)`, got `{s}`"))?;
+    if !s.ends_with(')') {
+        return Err(format!("expected `offset(base)`, got `{s}`"));
+    }
+    let off_str = s[..open].trim();
+    let off = if off_str.is_empty() {
+        0
+    } else {
+        resolve_imm(off_str, syms)?
+    };
+    let base = parse_reg(&s[open + 1..s.len() - 1])?;
+    Ok((off, base))
+}
+
+fn check_range(v: i64, lo: i64, hi: i64, what: &str) -> Result<(), String> {
+    if v < lo || v > hi {
+        return Err(format!("{what} {v} out of range [{lo}, {hi}]"));
+    }
+    Ok(())
+}
+
+/// Encodes one *real* instruction to its 32-bit word.
+///
+/// # Errors
+/// Returns a message for unknown mnemonics, malformed operands, or
+/// out-of-range immediates/offsets.
+pub fn encode_instruction(
+    table: &InstrTable,
+    mnemonic: &str,
+    ops: &[String],
+    pc: u32,
+    syms: &HashMap<String, u32>,
+) -> Result<u32, String> {
+    let id = table
+        .by_name(mnemonic)
+        .ok_or_else(|| format!("unknown instruction `{mnemonic}`"))?;
+    let desc = table.desc(id);
+    let fmt = classify(&desc.fields)
+        .ok_or_else(|| format!("`{mnemonic}`: unsupported operand-field layout"))?;
+    let need = |n: usize| -> Result<(), String> {
+        if ops.len() != n {
+            return Err(format!(
+                "`{mnemonic}` expects {n} operands, got {}",
+                ops.len()
+            ));
+        }
+        Ok(())
+    };
+    let base = desc.match_val;
+    let word = match fmt {
+        Format::NoOperands => {
+            need(0)?;
+            base
+        }
+        Format::U => {
+            need(2)?;
+            let rd = parse_reg(&ops[0])?;
+            let imm = resolve_imm(&ops[1], syms)?;
+            // Accept either a 20-bit value (lui a0, 0x80000) or a full
+            // 32-bit value with zero low bits (lui a0, 0x80000000).
+            let imm20 = if imm as u64 & 0xfff == 0 && imm > 0xfffff {
+                (imm as u32) >> 12
+            } else {
+                check_range(imm, 0, 0xfffff, "U-immediate")?;
+                imm as u32
+            };
+            base | (u32::from(rd.number()) << 7) | (imm20 << 12)
+        }
+        Format::J => {
+            need(2)?;
+            let rd = parse_reg(&ops[0])?;
+            let target = resolve_imm(&ops[1], syms)? as u32;
+            let off = target.wrapping_sub(pc) as i32 as i64;
+            check_range(off, -(1 << 20), (1 << 20) - 1, "jump offset")?;
+            if off % 2 != 0 {
+                return Err("jump offset must be even".to_owned());
+            }
+            base | (u32::from(rd.number()) << 7) | enc_j(off as u32)
+        }
+        Format::I => {
+            // Either `rd, rs1, imm` or `rd, off(rs1)` (loads and jalr).
+            let (rd, rs1, imm) = if ops.len() == 2 {
+                let rd = parse_reg(&ops[0])?;
+                let (off, b) = parse_mem(&ops[1], syms)?;
+                (rd, b, off)
+            } else {
+                need(3)?;
+                let rd = parse_reg(&ops[0])?;
+                let rs1 = parse_reg(&ops[1])?;
+                (rd, rs1, resolve_imm(&ops[2], syms)?)
+            };
+            check_range(imm, -2048, 2047, "I-immediate")?;
+            base | (u32::from(rd.number()) << 7)
+                | (u32::from(rs1.number()) << 15)
+                | (((imm as u32) & 0xfff) << 20)
+        }
+        Format::IShift => {
+            need(3)?;
+            let rd = parse_reg(&ops[0])?;
+            let rs1 = parse_reg(&ops[1])?;
+            let sh = resolve_imm(&ops[2], syms)?;
+            check_range(sh, 0, 31, "shift amount")?;
+            base | (u32::from(rd.number()) << 7)
+                | (u32::from(rs1.number()) << 15)
+                | ((sh as u32) << 20)
+        }
+        Format::B => {
+            need(3)?;
+            let rs1 = parse_reg(&ops[0])?;
+            let rs2 = parse_reg(&ops[1])?;
+            let target = resolve_imm(&ops[2], syms)? as u32;
+            let off = target.wrapping_sub(pc) as i32 as i64;
+            check_range(off, -4096, 4095, "branch offset")?;
+            if off % 2 != 0 {
+                return Err("branch offset must be even".to_owned());
+            }
+            base | (u32::from(rs1.number()) << 15)
+                | (u32::from(rs2.number()) << 20)
+                | enc_b(off as u32)
+        }
+        Format::S => {
+            need(2)?;
+            let rs2 = parse_reg(&ops[0])?;
+            let (off, rs1) = parse_mem(&ops[1], syms)?;
+            check_range(off, -2048, 2047, "S-immediate")?;
+            let imm = off as u32;
+            base | ((imm & 0x1f) << 7)
+                | (u32::from(rs1.number()) << 15)
+                | (u32::from(rs2.number()) << 20)
+                | (((imm >> 5) & 0x7f) << 25)
+        }
+        Format::R => {
+            need(3)?;
+            let rd = parse_reg(&ops[0])?;
+            let rs1 = parse_reg(&ops[1])?;
+            let rs2 = parse_reg(&ops[2])?;
+            base | (u32::from(rd.number()) << 7)
+                | (u32::from(rs1.number()) << 15)
+                | (u32::from(rs2.number()) << 20)
+        }
+        Format::RUnary => {
+            need(2)?;
+            let rd = parse_reg(&ops[0])?;
+            let rs1 = parse_reg(&ops[1])?;
+            base | (u32::from(rd.number()) << 7) | (u32::from(rs1.number()) << 15)
+        }
+        Format::R4 => {
+            need(4)?;
+            let rd = parse_reg(&ops[0])?;
+            let rs1 = parse_reg(&ops[1])?;
+            let rs2 = parse_reg(&ops[2])?;
+            let rs3 = parse_reg(&ops[3])?;
+            base | (u32::from(rd.number()) << 7)
+                | (u32::from(rs1.number()) << 15)
+                | (u32::from(rs2.number()) << 20)
+                | (u32::from(rs3.number()) << 27)
+        }
+    };
+    Ok(word)
+}
+
+fn enc_b(off: u32) -> u32 {
+    let bit12 = (off >> 12) & 1;
+    let bit11 = (off >> 11) & 1;
+    let b10_5 = (off >> 5) & 0x3f;
+    let b4_1 = (off >> 1) & 0xf;
+    (bit12 << 31) | (b10_5 << 25) | (b4_1 << 8) | (bit11 << 7)
+}
+
+fn enc_j(off: u32) -> u32 {
+    let bit20 = (off >> 20) & 1;
+    let b10_1 = (off >> 1) & 0x3ff;
+    let bit11 = (off >> 11) & 1;
+    let b19_12 = (off >> 12) & 0xff;
+    (bit20 << 31) | (b10_1 << 21) | (bit11 << 20) | (b19_12 << 12)
+}
+
+/// Expands pseudo-instructions and encodes each resulting instruction.
+/// `pc` is the address of the first emitted word.
+///
+/// # Errors
+/// See [`encode_instruction`].
+pub fn encode(
+    table: &InstrTable,
+    mnemonic: &str,
+    ops: &[String],
+    pc: u32,
+    syms: &HashMap<String, u32>,
+) -> Result<Vec<u32>, String> {
+    let real = expand(mnemonic, ops)?;
+    let mut out = Vec::with_capacity(real.len());
+    let mut cur = pc;
+    for (m, o) in &real {
+        out.push(encode_instruction(table, m, o, cur, syms)?);
+        cur += 4;
+    }
+    // The first pass must have predicted this size.
+    debug_assert_eq!(
+        out.len() as u32,
+        expansion_size(mnemonic, ops).expect("size known"),
+        "expansion size mismatch for {mnemonic}"
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binsym_isa::decode::decode;
+
+    fn enc1(text: &str) -> u32 {
+        let table = InstrTable::rv32im();
+        let parts: Vec<&str> = text.splitn(2, ' ').collect();
+        let ops: Vec<String> = parts
+            .get(1)
+            .map(|s| s.split(',').map(|x| x.trim().to_owned()).collect())
+            .unwrap_or_default();
+        encode_instruction(&table, parts[0], &ops, 0, &HashMap::new()).expect("encodes")
+    }
+
+    #[test]
+    fn golden_encodings() {
+        // Cross-checked against riscv-gnu-toolchain output.
+        assert_eq!(enc1("addi a0, zero, 5"), 0x0050_0513);
+        assert_eq!(enc1("add a0, a1, a2"), 0x00c5_8533);
+        assert_eq!(enc1("sub a0, a1, a2"), 0x40c5_8533);
+        assert_eq!(enc1("ecall"), 0x0000_0073);
+        assert_eq!(enc1("ebreak"), 0x0010_0073);
+        assert_eq!(enc1("lui a0, 0x12345"), 0x1234_5537);
+        assert_eq!(enc1("lw a0, 4(sp)"), 0x0041_2503);
+        assert_eq!(enc1("sw a0, 4(sp)"), 0x00a1_2223);
+        assert_eq!(enc1("srai a0, a0, 31"), 0x41f5_5513);
+        assert_eq!(enc1("divu a1, a0, a1"), 0x02b5_55b3);
+        assert_eq!(enc1("mul a0, a1, a2"), 0x02c5_8533);
+        assert_eq!(enc1("xori a0, a0, -1"), 0xfff5_4513);
+    }
+
+    #[test]
+    fn roundtrip_through_decoder() {
+        let table = InstrTable::rv32im();
+        let cases = [
+            ("addi", vec!["a0", "a1", "-7"]),
+            ("andi", vec!["t0", "t1", "255"]),
+            ("sll", vec!["s0", "s1", "s2"]),
+            ("sltu", vec!["a0", "a1", "a2"]),
+            ("lbu", vec!["a0", "3(a1)"]),
+            ("sb", vec!["a0", "-1(a1)"]),
+        ];
+        for (m, ops) in cases {
+            let ops: Vec<String> = ops.into_iter().map(str::to_owned).collect();
+            let w = encode_instruction(&table, m, &ops, 0, &HashMap::new()).expect("encodes");
+            let d = decode(&table, w).expect("decodes");
+            assert_eq!(table.desc(d.id).name, m, "roundtrip {m}");
+        }
+    }
+
+    #[test]
+    fn branch_offsets() {
+        let table = InstrTable::rv32im();
+        let mut syms = HashMap::new();
+        syms.insert("target".to_owned(), 0x100u32);
+        let ops: Vec<String> = vec!["a0".into(), "a1".into(), "target".into()];
+        let w = encode_instruction(&table, "beq", &ops, 0x80, &syms).expect("encodes");
+        let d = decode(&table, w).unwrap();
+        assert_eq!(d.imm(), 0x80); // 0x100 - 0x80
+        // Negative direction:
+        let w = encode_instruction(&table, "beq", &ops, 0x200, &syms).expect("encodes");
+        let d = decode(&table, w).unwrap();
+        assert_eq!(d.imm() as i32, -0x100);
+    }
+
+    #[test]
+    fn jal_range_check() {
+        let table = InstrTable::rv32im();
+        let mut syms = HashMap::new();
+        syms.insert("far".to_owned(), 0x20_0000u32);
+        let ops: Vec<String> = vec!["ra".into(), "far".into()];
+        assert!(encode_instruction(&table, "jal", &ops, 0, &syms).is_err());
+    }
+
+    #[test]
+    fn i_immediate_range_check() {
+        let table = InstrTable::rv32im();
+        let ops: Vec<String> = vec!["a0".into(), "a0".into(), "4096".into()];
+        assert!(encode_instruction(&table, "addi", &ops, 0, &HashMap::new()).is_err());
+    }
+
+    #[test]
+    fn li_expansion() {
+        let table = InstrTable::rv32im();
+        let small = encode(&table, "li", &["a0".into(), "42".into()], 0, &HashMap::new()).unwrap();
+        assert_eq!(small.len(), 1);
+        let big = encode(
+            &table,
+            "li",
+            &["a0".into(), "0x12345678".into()],
+            0,
+            &HashMap::new(),
+        )
+        .unwrap();
+        assert_eq!(big.len(), 2);
+        // lui a0, hi; addi a0, a0, lo must reconstruct the value.
+        let d0 = decode(&table, big[0]).unwrap();
+        let d1 = decode(&table, big[1]).unwrap();
+        let val = d0.imm().wrapping_add(d1.imm());
+        assert_eq!(val, 0x1234_5678);
+    }
+
+    #[test]
+    fn li_with_negative_low_part() {
+        let table = InstrTable::rv32im();
+        // 0x80000800's low 12 bits sign-extend negative; hi must compensate.
+        let words = encode(
+            &table,
+            "li",
+            &["a0".into(), "0x80000800".into()],
+            0,
+            &HashMap::new(),
+        )
+        .unwrap();
+        let d0 = decode(&table, words[0]).unwrap();
+        let d1 = decode(&table, words[1]).unwrap();
+        assert_eq!(d0.imm().wrapping_add(d1.imm()), 0x8000_0800);
+    }
+
+    #[test]
+    fn pseudo_expansions() {
+        let table = InstrTable::rv32im();
+        let syms = HashMap::new();
+        let cases: Vec<(&str, Vec<&str>, &str)> = vec![
+            ("nop", vec![], "addi"),
+            ("mv", vec!["a0", "a1"], "addi"),
+            ("not", vec!["a0", "a1"], "xori"),
+            ("neg", vec!["a0", "a1"], "sub"),
+            ("seqz", vec!["a0", "a1"], "sltiu"),
+            ("snez", vec!["a0", "a1"], "sltu"),
+            ("ret", vec![], "jalr"),
+        ];
+        for (m, ops, want) in cases {
+            let ops: Vec<String> = ops.into_iter().map(str::to_owned).collect();
+            let words = encode(&table, m, &ops, 0, &syms).expect("encodes");
+            let d = decode(&table, words[0]).unwrap();
+            assert_eq!(table.desc(d.id).name, want, "pseudo {m}");
+        }
+    }
+
+    #[test]
+    fn hi_lo_relocations_reconstruct_address() {
+        let table = InstrTable::rv32im();
+        let mut syms = HashMap::new();
+        for &addr in &[0x0001_2345u32, 0x8000_0800, 0xffff_f800, 0x0000_0001] {
+            syms.insert("sym".to_owned(), addr);
+            let words = encode(
+                &table,
+                "la",
+                &["a0".into(), "sym".into()],
+                0,
+                &syms,
+            )
+            .expect("encodes");
+            let d0 = decode(&table, words[0]).unwrap(); // lui
+            let d1 = decode(&table, words[1]).unwrap(); // addi
+            assert_eq!(
+                d0.imm().wrapping_add(d1.imm()),
+                addr,
+                "la reconstructs {addr:#x}"
+            );
+        }
+    }
+}

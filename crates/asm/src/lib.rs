@@ -1,0 +1,505 @@
+//! `binsym-asm` — a two-pass RV32IM assembler emitting ELF32 executables.
+//!
+//! No RISC-V cross-compiler exists in this environment, so the benchmark
+//! programs of the paper's evaluation (§V) are written in assembly and
+//! assembled by this crate. The output is a regular ELF executable (via
+//! `binsym-elf`), which every engine in the repository loads through the
+//! same binary-input path the paper's tools use.
+//!
+//! Supported surface:
+//! * all RV32I + RV32M instructions (encodings taken from the
+//!   `binsym-isa` table — the assembler is *derived from the same formal
+//!   specification* as the interpreters, so adding a custom instruction to
+//!   the spec makes it assemble too);
+//! * the usual pseudo-instructions (`li`, `la`, `mv`, `j`, `call`, `ret`,
+//!   `beqz`, `bgt`, `seqz`, `not`, `neg`, …);
+//! * labels, `%hi`/`%lo` relocations, and `label+offset` expressions;
+//! * directives: `.text`, `.data`, `.globl`, `.word`, `.half`, `.byte`,
+//!   `.ascii`, `.asciz`, `.space`/`.zero`, `.align`, `.equ`.
+//!
+//! # Example
+//! ```
+//! use binsym_asm::Assembler;
+//!
+//! let elf = Assembler::new().assemble(r#"
+//!     .globl _start
+//! _start:
+//!     li a0, 0
+//!     li a7, 93        # exit syscall
+//!     ecall
+//! "#)?;
+//! assert!(elf.symbol("_start").is_some());
+//! # Ok::<(), binsym_asm::AsmError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod encode;
+mod parse;
+
+use std::collections::HashMap;
+use std::fmt;
+
+use binsym_elf::{ElfFile, Segment, Symbol, PF_R, PF_W, PF_X};
+use binsym_isa::encoding::InstrTable;
+
+pub use encode::encode_instruction;
+pub use parse::{parse_line, Line, Operand};
+
+/// Error produced during assembly, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// Explanation of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+/// The assembler. Configure with the builder methods, then call
+/// [`Assembler::assemble`].
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    table: InstrTable,
+    text_base: u32,
+    data_base: Option<u32>,
+}
+
+impl Default for Assembler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Assembler {
+    /// Creates an assembler for the standard RV32IM instruction set with
+    /// `.text` at `0x0001_0000` and `.data` following it.
+    pub fn new() -> Self {
+        Assembler {
+            table: InstrTable::rv32im(),
+            text_base: 0x0001_0000,
+            data_base: None,
+        }
+    }
+
+    /// Uses a custom instruction table (e.g. one with registered custom
+    /// extensions such as the paper's `MADD`).
+    #[must_use]
+    pub fn with_table(mut self, table: InstrTable) -> Self {
+        self.table = table;
+        self
+    }
+
+    /// Sets the load address of the `.text` section.
+    #[must_use]
+    pub fn text_base(mut self, addr: u32) -> Self {
+        self.text_base = addr;
+        self
+    }
+
+    /// Sets an explicit load address for the `.data` section (default:
+    /// placed after `.text`, 16-byte aligned).
+    #[must_use]
+    pub fn data_base(mut self, addr: u32) -> Self {
+        self.data_base = Some(addr);
+        self
+    }
+
+    /// Assembles `source` into an ELF executable.
+    ///
+    /// The entry point is the `_start` symbol if defined, else the start of
+    /// `.text`. All labels are exported as ELF symbols.
+    ///
+    /// # Errors
+    /// Returns [`AsmError`] with the offending line on any syntax error,
+    /// unknown mnemonic, out-of-range immediate, or undefined label.
+    pub fn assemble(&self, source: &str) -> Result<ElfFile, AsmError> {
+        // ---------- parse ----------
+        let mut items: Vec<(usize, Line)> = Vec::new();
+        for (i, raw) in source.lines().enumerate() {
+            let lineno = i + 1;
+            for line in parse_line(raw).map_err(|m| err(lineno, m))? {
+                items.push((lineno, line));
+            }
+        }
+
+        // ---------- pass 1: layout ----------
+        let mut symbols: HashMap<String, u32> = HashMap::new();
+        let mut equs: HashMap<String, i64> = HashMap::new();
+        let mut text_size = 0u32;
+        let mut data_size = 0u32;
+        let mut section = Section::Text;
+        for &(lineno, ref line) in &items {
+            let cursor = match section {
+                Section::Text => &mut text_size,
+                Section::Data => &mut data_size,
+            };
+            match line {
+                Line::Label(name) => {
+                    let addr_marker = *cursor; // section-relative for now
+                    if symbols
+                        .insert(
+                            name.clone(),
+                            addr_marker | section_tag(section),
+                        )
+                        .is_some()
+                    {
+                        return Err(err(lineno, format!("label `{name}` redefined")));
+                    }
+                }
+                Line::Directive(name, args) => match name.as_str() {
+                    ".text" => section = Section::Text,
+                    ".data" | ".section" | ".bss" | ".rodata" => section = Section::Data,
+                    ".globl" | ".global" | ".type" | ".size" | ".option" | ".attribute" => {}
+                    ".equ" | ".set" => {
+                        if args.len() != 2 {
+                            return Err(err(lineno, ".equ needs name, value"));
+                        }
+                        let v = parse::parse_integer(&args[1])
+                            .ok_or_else(|| err(lineno, "bad .equ value"))?;
+                        equs.insert(args[0].clone(), v);
+                    }
+                    ".word" => *cursor += 4 * args.len() as u32,
+                    ".half" | ".short" => *cursor += 2 * args.len() as u32,
+                    ".byte" => *cursor += args.len() as u32,
+                    ".ascii" | ".asciz" | ".string" => {
+                        let s = parse::parse_string(args.first().map(String::as_str).unwrap_or(""))
+                            .ok_or_else(|| err(lineno, "bad string literal"))?;
+                        *cursor += s.len() as u32
+                            + u32::from(name == ".asciz" || name == ".string");
+                    }
+                    ".space" | ".zero" | ".skip" => {
+                        let n = args
+                            .first()
+                            .and_then(|a| parse::parse_integer(a))
+                            .ok_or_else(|| err(lineno, "bad size"))?;
+                        *cursor += n as u32;
+                    }
+                    ".align" | ".p2align" | ".balign" => {
+                        let n = args
+                            .first()
+                            .and_then(|a| parse::parse_integer(a))
+                            .ok_or_else(|| err(lineno, "bad alignment"))? as u32;
+                        let align = if name == ".balign" { n } else { 1 << n };
+                        *cursor = cursor.div_ceil(align) * align;
+                    }
+                    other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+                },
+                Line::Instr(mnemonic, operands) => {
+                    if section != Section::Text {
+                        return Err(err(lineno, "instruction outside .text"));
+                    }
+                    let n = encode::expansion_size(mnemonic, operands)
+                        .map_err(|m| err(lineno, m))?;
+                    *cursor += 4 * n;
+                }
+            }
+        }
+
+        let text_base = self.text_base;
+        let data_base = self
+            .data_base
+            .unwrap_or_else(|| (text_base + text_size + 0xfff) & !0xfff);
+
+        // Resolve section-relative symbol markers into absolute addresses.
+        let mut sym_addrs: HashMap<String, u32> = HashMap::new();
+        for (name, marker) in &symbols {
+            let (tag, off) = (marker & TAG_MASK, marker & !TAG_MASK);
+            let addr = if tag == TAG_DATA {
+                data_base + off
+            } else {
+                text_base + off
+            };
+            sym_addrs.insert(name.clone(), addr);
+        }
+        for (name, value) in &equs {
+            sym_addrs.insert(name.clone(), *value as u32);
+        }
+
+        // ---------- pass 2: emit ----------
+        let mut text: Vec<u8> = Vec::with_capacity(text_size as usize);
+        let mut data: Vec<u8> = Vec::with_capacity(data_size as usize);
+        let mut section = Section::Text;
+        for &(lineno, ref line) in &items {
+            let (buf, base) = match section {
+                Section::Text => (&mut text, text_base),
+                Section::Data => (&mut data, data_base),
+            };
+            match line {
+                Line::Label(_) => {}
+                Line::Directive(name, args) => match name.as_str() {
+                    ".text" => section = Section::Text,
+                    ".data" | ".section" | ".bss" | ".rodata" => section = Section::Data,
+                    ".globl" | ".global" | ".type" | ".size" | ".option" | ".attribute"
+                    | ".equ" | ".set" => {}
+                    ".word" => {
+                        for a in args {
+                            let v = resolve_value(a, &sym_addrs)
+                                .ok_or_else(|| err(lineno, format!("bad word `{a}`")))?;
+                            buf.extend_from_slice(&(v as u32).to_le_bytes());
+                        }
+                    }
+                    ".half" | ".short" => {
+                        for a in args {
+                            let v = resolve_value(a, &sym_addrs)
+                                .ok_or_else(|| err(lineno, format!("bad half `{a}`")))?;
+                            buf.extend_from_slice(&(v as u16).to_le_bytes());
+                        }
+                    }
+                    ".byte" => {
+                        for a in args {
+                            let v = resolve_value(a, &sym_addrs)
+                                .ok_or_else(|| err(lineno, format!("bad byte `{a}`")))?;
+                            buf.push(v as u8);
+                        }
+                    }
+                    ".ascii" | ".asciz" | ".string" => {
+                        let s = parse::parse_string(args.first().map(String::as_str).unwrap_or(""))
+                            .ok_or_else(|| err(lineno, "bad string literal"))?;
+                        buf.extend_from_slice(&s);
+                        if name == ".asciz" || name == ".string" {
+                            buf.push(0);
+                        }
+                    }
+                    ".space" | ".zero" | ".skip" => {
+                        let n = args
+                            .first()
+                            .and_then(|a| parse::parse_integer(a))
+                            .ok_or_else(|| err(lineno, "bad size"))?;
+                        buf.extend(std::iter::repeat(0u8).take(n as usize));
+                    }
+                    ".align" | ".p2align" | ".balign" => {
+                        let n = args
+                            .first()
+                            .and_then(|a| parse::parse_integer(a))
+                            .ok_or_else(|| err(lineno, "bad alignment"))?
+                            as u32;
+                        let align = if name == ".balign" { n } else { 1 << n } as usize;
+                        while buf.len() % align != 0 {
+                            buf.push(0);
+                        }
+                    }
+                    _ => unreachable!("validated in pass 1"),
+                },
+                Line::Instr(mnemonic, operands) => {
+                    let pc = base + buf.len() as u32;
+                    let words =
+                        encode::encode(&self.table, mnemonic, operands, pc, &sym_addrs)
+                            .map_err(|m| err(lineno, m))?;
+                    for w in words {
+                        buf.extend_from_slice(&w.to_le_bytes());
+                    }
+                }
+            }
+        }
+
+        // ---------- build ELF ----------
+        let entry = sym_addrs.get("_start").copied().unwrap_or(text_base);
+        let mut elf = ElfFile::new(entry);
+        if !text.is_empty() {
+            elf.segments.push(Segment {
+                vaddr: text_base,
+                data: text,
+                flags: PF_R | PF_X,
+            });
+        }
+        if !data.is_empty() {
+            elf.segments.push(Segment {
+                vaddr: data_base,
+                data,
+                flags: PF_R | PF_W,
+            });
+        }
+        let mut names: Vec<&String> = symbols.keys().collect();
+        names.sort();
+        for name in names {
+            elf.symbols.push(Symbol {
+                name: name.clone(),
+                value: sym_addrs[name],
+                size: 0,
+            });
+        }
+        Ok(elf)
+    }
+}
+
+// Section tags packed into the high bits of pass-1 markers. Section offsets
+// never reach these bits (programs are far below 1 GiB).
+const TAG_DATA: u32 = 0x8000_0000;
+const TAG_MASK: u32 = 0x8000_0000;
+
+fn section_tag(s: Section) -> u32 {
+    match s {
+        Section::Text => 0,
+        Section::Data => TAG_DATA,
+    }
+}
+
+/// Resolves `symbol`, `symbol+off`, or a plain integer.
+fn resolve_value(s: &str, syms: &HashMap<String, u32>) -> Option<i64> {
+    if let Some(v) = parse::parse_integer(s) {
+        return Some(v);
+    }
+    let (base, off) = parse::split_symbol_offset(s)?;
+    syms.get(base).map(|&a| i64::from(a) + off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_minimal_program() {
+        let elf = Assembler::new()
+            .assemble(
+                r#"
+        .globl _start
+_start:
+        addi a0, zero, 5
+        ecall
+"#,
+            )
+            .expect("assembles");
+        assert_eq!(elf.segments.len(), 1);
+        let text = &elf.segments[0].data;
+        assert_eq!(text.len(), 8);
+        // addi a0, zero, 5 = 0x00500513
+        assert_eq!(&text[0..4], &0x0050_0513u32.to_le_bytes());
+        // ecall = 0x00000073
+        assert_eq!(&text[4..8], &0x0000_0073u32.to_le_bytes());
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let elf = Assembler::new()
+            .assemble(
+                r#"
+_start:
+        beq a0, a1, done
+        addi a0, a0, 1
+done:
+        ecall
+"#,
+            )
+            .expect("assembles");
+        let text = &elf.segments[0].data;
+        // beq a0, a1, +8
+        let w = u32::from_le_bytes([text[0], text[1], text[2], text[3]]);
+        let d = binsym_isa::decode::decode(&InstrTable::rv32im(), w).unwrap();
+        assert_eq!(d.imm(), 8);
+    }
+
+    #[test]
+    fn data_section_and_la() {
+        let elf = Assembler::new()
+            .assemble(
+                r#"
+        .data
+buf:    .word 0x11223344
+        .text
+_start:
+        la a0, buf
+        lw a1, 0(a0)
+"#,
+            )
+            .expect("assembles");
+        let buf_sym = elf.symbol("buf").expect("buf symbol").value;
+        assert_eq!(elf.segments.len(), 2);
+        assert_eq!(elf.segments[1].vaddr, buf_sym);
+        assert_eq!(&elf.segments[1].data, &0x1122_3344u32.to_le_bytes());
+    }
+
+    #[test]
+    fn string_directives() {
+        let elf = Assembler::new()
+            .assemble(
+                r#"
+        .data
+msg:    .asciz "hi\n"
+        .text
+_start: ecall
+"#,
+            )
+            .expect("assembles");
+        assert_eq!(&elf.segments[1].data, b"hi\n\0");
+    }
+
+    #[test]
+    fn reports_unknown_mnemonic_with_line() {
+        let e = Assembler::new()
+            .assemble("_start:\n  frobnicate a0, a1\n")
+            .unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn reports_redefined_label() {
+        let e = Assembler::new()
+            .assemble("a:\n  nop\na:\n  nop\n")
+            .unwrap_err();
+        assert!(e.message.contains("redefined"));
+    }
+
+    #[test]
+    fn equ_constants() {
+        let elf = Assembler::new()
+            .assemble(
+                r#"
+        .equ EXIT, 93
+_start:
+        li a7, EXIT
+        ecall
+"#,
+            )
+            .expect("assembles");
+        // `li` with a symbolic value expands to lui+addi; the pair must
+        // reconstruct the .equ constant.
+        let text = &elf.segments[0].data;
+        let table = InstrTable::rv32im();
+        let w0 = u32::from_le_bytes([text[0], text[1], text[2], text[3]]);
+        let w1 = u32::from_le_bytes([text[4], text[5], text[6], text[7]]);
+        let d0 = binsym_isa::decode::decode(&table, w0).unwrap();
+        let d1 = binsym_isa::decode::decode(&table, w1).unwrap();
+        assert_eq!(d0.imm().wrapping_add(d1.imm()), 93);
+    }
+
+    #[test]
+    fn align_directive() {
+        let elf = Assembler::new()
+            .assemble(
+                r#"
+        .data
+a:      .byte 1
+        .align 2
+b:      .word 2
+        .text
+_start: ecall
+"#,
+            )
+            .expect("assembles");
+        let a = elf.symbol("a").unwrap().value;
+        let b = elf.symbol("b").unwrap().value;
+        assert_eq!(b, a + 4);
+    }
+}

@@ -1,0 +1,298 @@
+//! Line-level parsing of assembly source.
+//!
+//! A physical source line can carry several logical items (`label: instr`),
+//! so [`parse_line`] returns a list. Operands are kept as raw strings at
+//! this level; the encoder interprets them (registers, immediates, memory
+//! operands, `%hi`/`%lo` expressions).
+
+/// One logical item on a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// `name:` — a label definition.
+    Label(String),
+    /// `.directive arg, arg` — an assembler directive.
+    Directive(String, Vec<String>),
+    /// `mnemonic op, op, op` — an instruction (or pseudo-instruction).
+    Instr(String, Vec<String>),
+}
+
+/// A parsed instruction operand (produced by the encoder's operand parser).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A register.
+    Reg(binsym_isa::Reg),
+    /// A resolved immediate value.
+    Imm(i64),
+    /// `offset(base)` memory operand.
+    Mem {
+        /// Byte offset.
+        offset: i64,
+        /// Base register.
+        base: binsym_isa::Reg,
+    },
+}
+
+/// Splits a raw source line into logical items. Comments start with `#`
+/// (or `//`) and run to the end of the line.
+///
+/// # Errors
+/// Returns a message for malformed label syntax.
+pub fn parse_line(raw: &str) -> Result<Vec<Line>, String> {
+    let mut out = Vec::new();
+    let line = strip_comment(raw);
+    let mut rest = line.trim();
+    // Leading labels: `name:` possibly several.
+    while let Some(colon) = find_label_colon(rest) {
+        let (name, tail) = rest.split_at(colon);
+        let name = name.trim();
+        if name.is_empty() || !is_symbol(name) {
+            return Err(format!("invalid label `{name}`"));
+        }
+        out.push(Line::Label(name.to_owned()));
+        rest = tail[1..].trim();
+    }
+    if rest.is_empty() {
+        return Ok(out);
+    }
+    let (head, args) = match rest.find(char::is_whitespace) {
+        Some(i) => (&rest[..i], rest[i..].trim()),
+        None => (rest, ""),
+    };
+    let operands = split_operands(args);
+    if let Some(stripped) = head.strip_prefix('.') {
+        let _ = stripped;
+        out.push(Line::Directive(head.to_lowercase(), operands));
+    } else {
+        out.push(Line::Instr(head.to_lowercase(), operands));
+    }
+    Ok(out)
+}
+
+/// Strips `#` and `//` comments, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1, // skip escaped char
+            b'#' if !in_str => return &line[..i],
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside strings
+/// or parentheses (there are none in label position anyway).
+fn find_label_colon(s: &str) -> Option<usize> {
+    let head = s.split_whitespace().next()?;
+    if !head.ends_with(':') {
+        return None;
+    }
+    s.find(':')
+}
+
+fn is_symbol(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Splits an operand list on commas, respecting quotes and parentheses.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '\\' if in_str => {
+                cur.push(c);
+                if let Some(n) = chars.next() {
+                    cur.push(n);
+                }
+            }
+            '(' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if !in_str && depth == 0 => {
+                out.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+/// Parses an integer literal: decimal, `0x` hex, `0b` binary, `'c'` char,
+/// with optional sign.
+pub fn parse_integer(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, s),
+    };
+    let v: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok().or_else(|| {
+            // Allow full-range u32 hex constants like 0xffffffff.
+            u64::from_str_radix(hex, 16).ok().map(|u| u as i64)
+        })?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else if let Some(ch) = body.strip_prefix('\'') {
+        let inner = ch.strip_suffix('\'')?;
+        let c = match inner {
+            "\\n" => b'\n',
+            "\\t" => b'\t',
+            "\\0" => 0,
+            "\\\\" => b'\\',
+            "\\'" => b'\'',
+            _ if inner.len() == 1 => inner.as_bytes()[0],
+            _ => return None,
+        };
+        i64::from(c)
+    } else {
+        body.parse().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+/// Parses a double-quoted string literal with C-style escapes into bytes.
+pub fn parse_string(s: &str) -> Option<Vec<u8>> {
+    let s = s.trim();
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = Vec::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+            continue;
+        }
+        let esc = chars.next()?;
+        out.push(match esc {
+            'n' => b'\n',
+            't' => b'\t',
+            'r' => b'\r',
+            '0' => 0,
+            '\\' => b'\\',
+            '"' => b'"',
+            _ => return None,
+        });
+    }
+    Some(out)
+}
+
+/// Splits `symbol`, `symbol+off`, or `symbol-off` into `(symbol, offset)`.
+pub fn split_symbol_offset(s: &str) -> Option<(&str, i64)> {
+    let s = s.trim();
+    for (i, c) in s.char_indices().skip(1) {
+        if c == '+' || c == '-' {
+            let base = s[..i].trim();
+            let off = parse_integer(&s[i..])?;
+            if is_symbol(base) {
+                return Some((base, off));
+            }
+            return None;
+        }
+    }
+    if is_symbol(s) {
+        Some((s, 0))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_label_and_instr_on_one_line() {
+        let items = parse_line("loop:   addi a0, a0, -1").unwrap();
+        assert_eq!(
+            items,
+            vec![
+                Line::Label("loop".into()),
+                Line::Instr("addi".into(), vec!["a0".into(), "a0".into(), "-1".into()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn strips_comments() {
+        let items = parse_line("  nop  # increments nothing").unwrap();
+        assert_eq!(items, vec![Line::Instr("nop".into(), vec![])]);
+        let items = parse_line("// whole line comment").unwrap();
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_comment() {
+        let items = parse_line(r#".ascii "a#b""#).unwrap();
+        assert_eq!(
+            items,
+            vec![Line::Directive(".ascii".into(), vec![r#""a#b""#.into()])]
+        );
+    }
+
+    #[test]
+    fn memory_operand_commas() {
+        let items = parse_line("lw a0, 4(sp)").unwrap();
+        assert_eq!(
+            items,
+            vec![Line::Instr(
+                "lw".into(),
+                vec!["a0".into(), "4(sp)".into()]
+            )]
+        );
+    }
+
+    #[test]
+    fn integers() {
+        assert_eq!(parse_integer("42"), Some(42));
+        assert_eq!(parse_integer("-42"), Some(-42));
+        assert_eq!(parse_integer("0x10"), Some(16));
+        assert_eq!(parse_integer("0xffffffff"), Some(0xffff_ffff));
+        assert_eq!(parse_integer("0b101"), Some(5));
+        assert_eq!(parse_integer("'A'"), Some(65));
+        assert_eq!(parse_integer("'\\n'"), Some(10));
+        assert_eq!(parse_integer("zork"), None);
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(parse_string(r#""hi\n""#), Some(b"hi\n".to_vec()));
+        assert_eq!(parse_string(r#""""#), Some(vec![]));
+        assert_eq!(parse_string("nope"), None);
+    }
+
+    #[test]
+    fn symbol_offsets() {
+        assert_eq!(split_symbol_offset("buf"), Some(("buf", 0)));
+        assert_eq!(split_symbol_offset("buf+8"), Some(("buf", 8)));
+        assert_eq!(split_symbol_offset("buf-4"), Some(("buf", -4)));
+        assert_eq!(split_symbol_offset("123"), None);
+    }
+}

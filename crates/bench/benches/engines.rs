@@ -1,0 +1,43 @@
+//! Criterion benches: one group per Table I / Fig. 6 benchmark program,
+//! one measurement per engine — the series behind the paper's Fig. 6.
+//!
+//! Full exploration of the larger benchmarks takes seconds per run, so the
+//! sample count is kept small; use `cargo run --release -p binsym-bench
+//! --bin fig6` for the paper-style 5-run mean table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use binsym_bench::{run_engine, Engine};
+
+fn bench_engines(c: &mut Criterion) {
+    for program in binsym_bench::all_programs() {
+        // Keep Criterion wall time manageable: bench the parsers fully, the
+        // sorts only on the fast engines unless BENCH_ALL is set.
+        let mut group = c.benchmark_group(program.name);
+        group.sample_size(10);
+        let elf = program.build();
+        for engine in Engine::FIG6 {
+            // Keep default bench wall time manageable; BENCH_ALL=1 lifts
+            // the gate (the fig6 binary always runs the full matrix).
+            let heavy = match engine {
+                Engine::Binsec => false,
+                Engine::BinSym => program.expected_paths > 3000,
+                _ => program.expected_paths > 1000,
+            };
+            if heavy && std::env::var_os("BENCH_ALL").is_none() {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), ""),
+                &elf,
+                |b, elf| {
+                    b.iter(|| run_engine(engine, elf).expect("explores").summary.paths)
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation harness for the design choices called out in DESIGN.md:
+//!
+//! 1. **Incremental solving** — the DSE loop's push/pop solver (shared
+//!    bit-blast cache, learned clauses) vs. a fresh solver per branch-flip
+//!    query.
+//! 2. **Lift caching** — the IR engine with and without its translation
+//!    cache (the BINSEC-vs-angr structural difference, isolated from the
+//!    interpretation-overhead model).
+//!
+//! ```text
+//! cargo run --release -p binsym-bench --bin ablation
+//! ```
+
+use std::time::Instant;
+
+use binsym::{Explorer, ExplorerConfig};
+use binsym_bench::programs;
+use binsym_isa::Spec;
+use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
+
+fn main() {
+    let progs = [programs::CLIF_PARSER, programs::URI_PARSER];
+
+    println!("ABLATION 1 — incremental vs. fresh-solver DSE (BinSym engine)\n");
+    println!(
+        "{:<16} {:>14} {:>14} {:>8}",
+        "Benchmark", "incremental", "fresh/query", "speedup"
+    );
+    for p in progs {
+        let elf = p.build();
+        let mut times = Vec::new();
+        for fresh in [false, true] {
+            let config = ExplorerConfig {
+                fresh_solver_per_query: fresh,
+                ..ExplorerConfig::default()
+            };
+            let mut ex = Explorer::with_config(Spec::rv32im(), &elf, config)
+                .expect("sym input");
+            let start = Instant::now();
+            let s = ex.run_all().expect("explores");
+            assert_eq!(s.paths, p.expected_paths, "ablation must not change paths");
+            times.push(start.elapsed());
+        }
+        println!(
+            "{:<16} {:>12.1?} {:>12.1?} {:>7.2}x",
+            p.name,
+            times[0],
+            times[1],
+            times[1].as_secs_f64() / times[0].as_secs_f64().max(1e-9),
+        );
+    }
+
+    println!("\nABLATION 2 — IR-engine lift cache (no interpretation overhead)\n");
+    println!(
+        "{:<16} {:>14} {:>14} {:>12} {:>8}",
+        "Benchmark", "cached", "uncached", "lifts(unc.)", "slowdown"
+    );
+    for p in progs {
+        let elf = p.build();
+        let mut times = Vec::new();
+        let mut lifts = 0;
+        for cache in [true, false] {
+            let exec = LifterExecutor::new(
+                &elf,
+                EngineConfig {
+                    bugs: LifterBugs::NONE,
+                    cache_blocks: cache,
+                    interp_overhead: 0,
+                },
+            )
+            .expect("sym input");
+            let mut ex = Explorer::from_executor(exec, ExplorerConfig::default());
+            let start = Instant::now();
+            let s = ex.run_all().expect("explores");
+            assert_eq!(s.paths, p.expected_paths);
+            times.push(start.elapsed());
+            if !cache {
+                lifts = ex.executor().lift_count;
+            }
+        }
+        println!(
+            "{:<16} {:>12.1?} {:>12.1?} {:>12} {:>7.2}x",
+            p.name,
+            times[0],
+            times[1],
+            lifts,
+            times[1].as_secs_f64() / times[0].as_secs_f64().max(1e-9),
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Regenerates the paper's **Fig. 6**: total execution time per engine per
+//! benchmark, as the arithmetic mean over repeated full explorations.
+//!
+//! ```text
+//! cargo run --release -p binsym-bench --bin fig6 [--runs N] [--quick]
+//! ```
+//!
+//! The paper reports 5 runs on a Xeon Gold 6240 with the original tools;
+//! absolute seconds are not comparable (our substrate is a fresh Rust
+//! implementation), but the *ordering and rough ratios* are the
+//! reproduction target: BINSEC < BinSym < SymEx-VP ≪ angr. Following the
+//! paper, angr runs with the *fixed* lifter here.
+
+use std::time::Duration;
+
+use binsym_bench::{all_programs, run_engine, Engine};
+
+fn mean(durations: &[Duration]) -> Duration {
+    let total: Duration = durations.iter().sum();
+    total / durations.len() as u32
+}
+
+fn stddev_pct(durations: &[Duration], m: Duration) -> f64 {
+    if durations.len() < 2 || m.is_zero() {
+        return 0.0;
+    }
+    let mm = m.as_secs_f64();
+    let var = durations
+        .iter()
+        .map(|d| (d.as_secs_f64() - mm).powi(2))
+        .sum::<f64>()
+        / (durations.len() - 1) as f64;
+    var.sqrt() / mm * 100.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let runs: usize = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 1 } else { 5 });
+
+    println!("FIG. 6 — Total execution time (arithmetic mean over {runs} run(s))");
+    println!("expected ordering per row: BINSEC < BinSym < SymEx-VP << angr\n");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>12}   {}",
+        "Benchmark", "BINSEC", "BinSym", "SymEx-VP", "angr", "ratios vs BINSEC"
+    );
+
+    let mut max_dev: f64 = 0.0;
+    for p in all_programs() {
+        if quick && p.expected_paths > 1000 {
+            continue;
+        }
+        let elf = p.build();
+        let mut means = Vec::new();
+        for engine in Engine::FIG6 {
+            let mut samples = Vec::with_capacity(runs);
+            for _ in 0..runs {
+                let r = run_engine(engine, &elf).unwrap_or_else(|e| {
+                    panic!("{} on {}: {e}", engine.name(), p.name);
+                });
+                assert_eq!(
+                    r.summary.paths, p.expected_paths,
+                    "{} path count deviates on {}",
+                    engine.name(),
+                    p.name
+                );
+                samples.push(r.duration);
+            }
+            let m = mean(&samples);
+            max_dev = max_dev.max(stddev_pct(&samples, m));
+            means.push(m);
+        }
+        let base = means[0].as_secs_f64().max(1e-9);
+        let ratios: Vec<String> = means
+            .iter()
+            .map(|m| format!("{:.1}x", m.as_secs_f64() / base))
+            .collect();
+        println!(
+            "{:<16} {:>12} {:>12} {:>12} {:>12}   {}",
+            p.name,
+            format_duration(means[0]),
+            format_duration(means[1]),
+            format_duration(means[2]),
+            format_duration(means[3]),
+            ratios.join(" / ")
+        );
+    }
+    println!("\nmax standard deviation across cells: {max_dev:.1} % (paper: <= 5 %)");
+}
+
+fn format_duration(d: Duration) -> String {
+    if d.as_secs_f64() >= 1.0 {
+        format!("{:.2} s", d.as_secs_f64())
+    } else {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    }
+}

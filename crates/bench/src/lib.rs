@@ -1,0 +1,26 @@
+//! `binsym-bench` — benchmark programs, engine personas, and the harnesses
+//! that regenerate the paper's evaluation (§V).
+//!
+//! * [`programs`] — the five benchmark programs of Table I / Fig. 6
+//!   (three RIOT-derived modules: `base64-encode`, `clif-parser`,
+//!   `uri-parser`; two synthetic sorts), written in RV32 assembly and
+//!   assembled in-process.
+//! * [`engines`] — the four engines compared in the paper, all running on
+//!   the shared DSE loop and SMT solver: BinSym (formal semantics), BINSEC
+//!   (optimized IR), SymEx-VP (BinSym semantics inside a SystemC-style DES
+//!   simulation), and angr (buggy or fixed IR lifter, interpreted).
+//!
+//! Reproduce the paper's artifacts with:
+//!
+//! ```text
+//! cargo run --release -p binsym-bench --bin table1
+//! cargo run --release -p binsym-bench --bin fig6
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod engines;
+pub mod programs;
+
+pub use engines::{run_engine, Engine, GhcRuntimeExecutor, RunResult, VpExecutor};
+pub use programs::{all_programs, Program};

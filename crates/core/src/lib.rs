@@ -1,0 +1,74 @@
+//! `binsym` — symbolic execution of RISC-V binary code based on formal ISA
+//! semantics.
+//!
+//! This is the Rust reproduction of the paper's BinSym engine: a *symbolic
+//! modular interpreter* for the executable formal specification in
+//! `binsym-isa`. The engine never looks at instruction words itself — it
+//! interprets the specification's language primitives:
+//!
+//! * arithmetic/logic primitives ([`binsym_isa::Expr`]) are mapped to SMT
+//!   bitvector terms (`binsym-smt`) — the *encode* step of Fig. 1;
+//! * stateful primitives ([`binsym_isa::Stmt`]) operate on symbolic variants
+//!   of the register file and memory, reusing the specification's generic
+//!   components — the *semanticize* step;
+//! * the `runIfElse` primitive triggers branch feasibility reasoning: when a
+//!   condition depends on symbolic input, the engine queries the solver for
+//!   both outcomes and explores the feasible ones.
+//!
+//! Exploration follows the paper's §III-B: an **offline executor**
+//! implementing dynamic symbolic execution with depth-first path selection
+//! and address concretization. Each completed execution is one *path*; the
+//! engine restarts the binary from scratch with fresh solver-provided inputs
+//! for every path.
+//!
+//! # Quickstart
+//! ```
+//! use binsym::Explorer;
+//! use binsym_asm::Assembler;
+//! use binsym_isa::Spec;
+//!
+//! // if (x == 42) exit(1) else exit(0), with x read from symbolic input.
+//! let elf = Assembler::new().assemble(r#"
+//!         .data
+//! __sym_input:
+//!         .word 0
+//!         .text
+//! _start:
+//!         la a0, __sym_input
+//!         lw a1, 0(a0)
+//!         li a2, 42
+//!         beq a1, a2, hit
+//!         li a0, 0
+//!         li a7, 93
+//!         ecall
+//! hit:
+//!         li a0, 1
+//!         li a7, 93
+//!         ecall
+//! "#)?;
+//! let mut explorer = Explorer::new(Spec::rv32im(), &elf)?;
+//! let summary = explorer.run_all()?;
+//! assert_eq!(summary.paths, 2);
+//! assert_eq!(summary.error_paths.len(), 1); // the exit(1) path
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod explore;
+pub mod machine;
+pub mod value;
+
+pub use explore::{
+    find_sym_input, ErrorPath, ExploreError, Explorer, ExplorerConfig, PathExecutor, PathOutcome,
+    SpecExecutor, Summary,
+};
+pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
+pub use value::{SymByte, SymWord};
+
+/// Name of the symbol marking the symbolic input region in SUT binaries
+/// (the harness replaces its bytes with fresh symbolic variables).
+pub const SYM_INPUT_SYMBOL: &str = "__sym_input";
+
+/// Syscall number of `exit` in the harness ABI.
+pub const SYSCALL_EXIT: u32 = 93;

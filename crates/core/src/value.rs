@@ -1,0 +1,126 @@
+//! Concolic values: concrete payload plus optional symbolic term.
+//!
+//! The engine executes *concolically*: every value carries its concrete
+//! payload under the current input assignment (used to drive control flow
+//! and to concretize addresses) and, when the value depends on symbolic
+//! input, the SMT term expressing it. Purely concrete values carry no term,
+//! which keeps the solver queries small — only computation that actually
+//! depends on symbolic input reaches the solver.
+
+use binsym_smt::{Term, TermManager};
+
+/// A 32-bit concolic machine word (register contents, addresses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymWord {
+    /// Concrete value under the current input assignment.
+    pub concrete: u32,
+    /// Symbolic term (32-bit bitvector sort), if input-dependent.
+    pub term: Option<Term>,
+}
+
+impl SymWord {
+    /// A fully concrete word.
+    pub fn concrete(v: u32) -> SymWord {
+        SymWord {
+            concrete: v,
+            term: None,
+        }
+    }
+
+    /// A symbolic word with its current concrete payload.
+    pub fn symbolic(concrete: u32, term: Term) -> SymWord {
+        SymWord {
+            concrete,
+            term: Some(term),
+        }
+    }
+
+    /// True if the word depends on symbolic input.
+    pub fn is_symbolic(self) -> bool {
+        self.term.is_some()
+    }
+
+    /// The term, materializing a constant for concrete values.
+    pub fn term_or_const(self, tm: &mut TermManager) -> Term {
+        match self.term {
+            Some(t) => t,
+            None => tm.bv_const(u64::from(self.concrete), 32),
+        }
+    }
+}
+
+impl From<u32> for SymWord {
+    fn from(v: u32) -> SymWord {
+        SymWord::concrete(v)
+    }
+}
+
+/// An 8-bit concolic byte (memory contents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SymByte {
+    /// Concrete value under the current input assignment.
+    pub concrete: u8,
+    /// Symbolic term (8-bit bitvector sort), if input-dependent.
+    pub term: Option<Term>,
+}
+
+impl SymByte {
+    /// A fully concrete byte.
+    pub fn concrete(v: u8) -> SymByte {
+        SymByte {
+            concrete: v,
+            term: None,
+        }
+    }
+
+    /// A symbolic byte with its current concrete payload.
+    pub fn symbolic(concrete: u8, term: Term) -> SymByte {
+        SymByte {
+            concrete,
+            term: Some(term),
+        }
+    }
+
+    /// True if the byte depends on symbolic input.
+    pub fn is_symbolic(self) -> bool {
+        self.term.is_some()
+    }
+
+    /// The term, materializing a constant for concrete values.
+    pub fn term_or_const(self, tm: &mut TermManager) -> Term {
+        match self.term {
+            Some(t) => t,
+            None => tm.bv_const(u64::from(self.concrete), 8),
+        }
+    }
+}
+
+impl From<u8> for SymByte {
+    fn from(v: u8) -> SymByte {
+        SymByte::concrete(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concrete_values_carry_no_term() {
+        let w = SymWord::concrete(5);
+        assert!(!w.is_symbolic());
+        let b = SymByte::from(7u8);
+        assert!(!b.is_symbolic());
+    }
+
+    #[test]
+    fn term_or_const_materializes() {
+        let mut tm = TermManager::new();
+        let w = SymWord::concrete(0xdead_beef);
+        let t = w.term_or_const(&mut tm);
+        assert_eq!(tm.as_const(t), Some(0xdead_beef));
+        let v = tm.var("x", 32);
+        let s = SymWord::symbolic(0, v);
+        assert_eq!(s.term_or_const(&mut tm), v);
+    }
+}

@@ -1,0 +1,452 @@
+//! `binsym-des` — a discrete-event simulation kernel in the style of the
+//! SystemC reference simulator.
+//!
+//! The paper's SymEx-VP baseline executes software inside a SystemC virtual
+//! prototype: every instruction advances simulated time, memory traffic goes
+//! through TLM transactions, and the SystemC kernel schedules processes via
+//! an event queue with delta cycles. The paper attributes SymEx-VP's
+//! slowdown relative to BinSym to exactly this simulation environment
+//! (§V-B). This crate provides that substrate: a virtual-time event queue
+//! with delta-cycle semantics ([`EventQueue`]), a cooperative process
+//! scheduler ([`Simulation`]), and a latency-annotating TLM-style bus model
+//! ([`Bus`]). The benchmark harness wraps the BinSym engine in a simulated
+//! CPU process to obtain the SymEx-VP persona.
+//!
+//! # Example
+//! ```
+//! use binsym_des::{Process, Simulation, Time};
+//!
+//! struct Ticker { ticks: u32 }
+//! impl Process for Ticker {
+//!     fn run(&mut self, _now: Time) -> Option<Time> {
+//!         self.ticks += 1;
+//!         if self.ticks < 5 { Some(Time::from_ns(10)) } else { None }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new();
+//! sim.spawn_at(Box::new(Ticker { ticks: 0 }), Time::ZERO);
+//! sim.run_to_completion();
+//! assert_eq!(sim.now(), Time::from_ns(40));
+//! ```
+
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Simulated time, in picoseconds (the SystemC default resolution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+impl Time {
+    /// Zero time.
+    pub const ZERO: Time = Time(0);
+
+    /// Constructs from nanoseconds.
+    pub fn from_ns(ns: u64) -> Time {
+        Time(ns * 1000)
+    }
+
+    /// Constructs from picoseconds.
+    pub fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Value in nanoseconds (truncating).
+    pub fn as_ns(self) -> u64 {
+        self.0 / 1000
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub fn saturating_add(self, other: Time) -> Time {
+        Time(self.0.saturating_add(other.0))
+    }
+}
+
+impl std::ops::Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ps", self.0)
+    }
+}
+
+/// Identifier of a scheduled process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u32);
+
+/// Kernel event: a process activation at `(time, delta)`.
+///
+/// Ordering follows SystemC: primary by timestamp, then by delta cycle, then
+/// by insertion order (deterministic tie-breaking).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: Time,
+    delta: u32,
+    seq: u64,
+    pid: ProcessId,
+}
+
+/// The virtual-time event queue with delta-cycle semantics.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    now: Time,
+    delta: u32,
+    seq: u64,
+    processed: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Current delta cycle within the current timestamp.
+    pub fn delta_cycle(&self) -> u32 {
+        self.delta
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules an activation of `pid` after `delay` (0 = next delta
+    /// cycle at the current time).
+    pub fn schedule(&mut self, pid: ProcessId, delay: Time) {
+        let (time, delta) = if delay == Time::ZERO {
+            (self.now, self.delta + 1)
+        } else {
+            (self.now + delay, 0)
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            delta,
+            seq: self.seq,
+            pid,
+        }));
+    }
+
+    /// Schedules an activation at an absolute time (must not be in the
+    /// past).
+    ///
+    /// # Panics
+    /// Panics if `at < now`.
+    pub fn schedule_at(&mut self, pid: ProcessId, at: Time) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.seq += 1;
+        let delta = if at == self.now { self.delta + 1 } else { 0 };
+        self.heap.push(Reverse(Event {
+            time: at,
+            delta,
+            seq: self.seq,
+            pid,
+        }));
+    }
+
+    /// Pops the next event, advancing simulation time.
+    pub fn pop(&mut self) -> Option<(Time, ProcessId)> {
+        let Reverse(ev) = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        self.delta = ev.delta;
+        self.processed += 1;
+        Some((ev.time, ev.pid))
+    }
+}
+
+/// A cooperative simulation process.
+///
+/// `run` is called at each activation; returning `Some(delay)` reschedules
+/// the process after `delay`, returning `None` terminates it.
+pub trait Process {
+    /// One activation at simulation time `now`.
+    fn run(&mut self, now: Time) -> Option<Time>;
+}
+
+/// A process scheduler over the event queue (the "simulation kernel").
+#[derive(Default)]
+pub struct Simulation {
+    queue: EventQueue,
+    procs: Vec<Option<Box<dyn Process>>>,
+}
+
+impl fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.queue.now())
+            .field("pending", &self.queue.len())
+            .field("processes", &self.procs.len())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Creates an empty simulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.queue.now()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.processed()
+    }
+
+    /// Registers a process and schedules its first activation at `at`.
+    pub fn spawn_at(&mut self, p: Box<dyn Process>, at: Time) -> ProcessId {
+        let pid = ProcessId(self.procs.len() as u32);
+        self.procs.push(Some(p));
+        self.queue.schedule_at(pid, at);
+        pid
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until simulated time exceeds `deadline` or no events remain.
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(Reverse(ev)) = self.queue.heap.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Processes a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((now, pid)) = self.queue.pop() else {
+            return false;
+        };
+        let slot = &mut self.procs[pid.0 as usize];
+        let Some(proc_ref) = slot.as_mut() else {
+            return true; // stale event for a finished process
+        };
+        match proc_ref.run(now) {
+            Some(delay) => self.queue.schedule(pid, delay),
+            None => *slot = None,
+        }
+        true
+    }
+}
+
+/// A latency-annotating TLM-style bus: every transport returns the time the
+/// access costs, and the initiating process waits for it.
+#[derive(Debug, Clone, Copy)]
+pub struct Bus {
+    /// Latency of a single beat (one word) on the bus.
+    pub beat_latency: Time,
+    /// Fixed arbitration overhead per transaction.
+    pub arbitration: Time,
+}
+
+impl Default for Bus {
+    fn default() -> Self {
+        Bus {
+            beat_latency: Time::from_ns(10),
+            arbitration: Time::from_ns(5),
+        }
+    }
+}
+
+impl Bus {
+    /// Latency of a transaction of `bytes` bytes.
+    pub fn transport(&self, bytes: u32) -> Time {
+        let beats = u64::from(bytes.div_ceil(4).max(1));
+        Time(self.arbitration.0 + beats * self.beat_latency.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn time_arithmetic() {
+        assert_eq!(Time::from_ns(1).0, 1000);
+        assert_eq!((Time::from_ns(1) + Time::from_ps(500)).0, 1500);
+        assert_eq!(Time::from_ns(3).as_ns(), 3);
+    }
+
+    #[test]
+    fn queue_orders_by_time() {
+        let mut q = EventQueue::new();
+        q.schedule(ProcessId(1), Time::from_ns(30));
+        q.schedule(ProcessId(2), Time::from_ns(10));
+        q.schedule(ProcessId(3), Time::from_ns(20));
+        assert_eq!(q.pop().unwrap().1, ProcessId(2));
+        assert_eq!(q.pop().unwrap().1, ProcessId(3));
+        assert_eq!(q.pop().unwrap().1, ProcessId(1));
+        assert_eq!(q.now(), Time::from_ns(30));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn delta_cycles_order_within_timestamp() {
+        let mut q = EventQueue::new();
+        q.schedule(ProcessId(1), Time::from_ns(10));
+        let _ = q.pop(); // now = 10ns, delta 0
+        q.schedule(ProcessId(2), Time::ZERO); // delta 1 at 10ns
+        q.schedule(ProcessId(3), Time::ZERO); // delta 1 at 10ns (later seq)
+        q.schedule(ProcessId(4), Time::from_ns(1));
+        let (t2, p2) = q.pop().unwrap();
+        assert_eq!((t2, p2), (Time::from_ns(10), ProcessId(2)));
+        assert_eq!(q.delta_cycle(), 1);
+        let (_, p3) = q.pop().unwrap();
+        assert_eq!(p3, ProcessId(3));
+        let (t4, _) = q.pop().unwrap();
+        assert_eq!(t4, Time::from_ns(11));
+        assert_eq!(q.delta_cycle(), 0);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(ProcessId(i), Time::from_ns(5));
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().1, ProcessId(i));
+        }
+    }
+
+    #[test]
+    fn schedule_at_rejects_past() {
+        let mut q = EventQueue::new();
+        q.schedule(ProcessId(0), Time::from_ns(100));
+        let _ = q.pop();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            q.schedule_at(ProcessId(0), Time::from_ns(50));
+        }));
+        assert!(result.is_err());
+    }
+
+    struct Counter {
+        hits: Rc<RefCell<Vec<(u64, &'static str)>>>,
+        name: &'static str,
+        period: Time,
+        remaining: u32,
+    }
+
+    impl Process for Counter {
+        fn run(&mut self, now: Time) -> Option<Time> {
+            self.hits.borrow_mut().push((now.as_ns(), self.name));
+            self.remaining -= 1;
+            if self.remaining == 0 {
+                None
+            } else {
+                Some(self.period)
+            }
+        }
+    }
+
+    #[test]
+    fn processes_interleave_deterministically() {
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.spawn_at(
+            Box::new(Counter {
+                hits: hits.clone(),
+                name: "a",
+                period: Time::from_ns(10),
+                remaining: 3,
+            }),
+            Time::ZERO,
+        );
+        sim.spawn_at(
+            Box::new(Counter {
+                hits: hits.clone(),
+                name: "b",
+                period: Time::from_ns(15),
+                remaining: 2,
+            }),
+            Time::ZERO,
+        );
+        sim.run_to_completion();
+        assert_eq!(
+            *hits.borrow(),
+            vec![
+                (0, "a"),
+                (0, "b"),
+                (10, "a"),
+                (15, "b"),
+                (20, "a"),
+            ]
+        );
+        assert_eq!(sim.now(), Time::from_ns(20));
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Simulation::new();
+        sim.spawn_at(
+            Box::new(Counter {
+                hits: hits.clone(),
+                name: "t",
+                period: Time::from_ns(10),
+                remaining: 100,
+            }),
+            Time::ZERO,
+        );
+        sim.run_until(Time::from_ns(35));
+        assert_eq!(hits.borrow().len(), 4); // t = 0, 10, 20, 30
+    }
+
+    #[test]
+    fn bus_latency_scales_with_beats() {
+        let bus = Bus::default();
+        let one_word = bus.transport(4);
+        let two_words = bus.transport(8);
+        let byte = bus.transport(1);
+        assert_eq!(byte, one_word, "sub-word access costs one beat");
+        assert!(two_words > one_word);
+        assert_eq!(
+            two_words.0 - one_word.0,
+            bus.beat_latency.0,
+            "each extra beat adds one beat latency"
+        );
+    }
+}

@@ -1,0 +1,685 @@
+//! `binsym-interp` — the concrete modular interpreter over the formal ISA
+//! specification.
+//!
+//! LibRISCV ships a concrete interpreter as the reference backend for its
+//! executable specification; this crate is its analog. It gives the
+//! specification primitives their standard meaning over `u32` machine words
+//! and executes ELF binaries instruction by instruction. It serves three
+//! roles in the reproduction:
+//!
+//! 1. validating the assembler/ELF/spec pipeline end to end,
+//! 2. differential testing against the symbolic engine (a fully concrete
+//!    input must drive both to identical states), and
+//! 3. replaying models found by symbolic execution to confirm paths.
+//!
+//! # Harness ABI
+//! Programs terminate via `ecall` with `a7 = 93` (Linux `exit`); `a0` is the
+//! exit status. A nonzero status is how benchmark programs report assertion
+//! failures. `ebreak` is treated as an abnormal stop.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use binsym_elf::ElfFile;
+use binsym_isa::{Expr, Memory, MemWidth, Reg, RegFile, Spec, Stmt};
+
+/// Syscall number of `exit` in the harness ABI.
+pub const SYSCALL_EXIT: u32 = 93;
+
+/// Why [`Machine::run`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exit {
+    /// The program executed `ecall` with `a7 = 93`; payload is `a0`.
+    Exited(u32),
+    /// The program executed `ebreak`.
+    Break,
+    /// The step budget was exhausted before the program terminated.
+    OutOfFuel,
+}
+
+/// Execution error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Instruction word did not decode.
+    Decode(binsym_isa::DecodeError),
+    /// `ecall` with an unknown syscall number.
+    UnknownSyscall {
+        /// The value of `a7`.
+        number: u32,
+        /// Program counter of the `ecall`.
+        pc: u32,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Decode(e) => write!(f, "{e}"),
+            ExecError::UnknownSyscall { number, pc } => {
+                write!(f, "unknown syscall {number} at pc {pc:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<binsym_isa::DecodeError> for ExecError {
+    fn from(e: binsym_isa::DecodeError) -> Self {
+        ExecError::Decode(e)
+    }
+}
+
+/// Result of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepResult {
+    /// Execution continues at the (already updated) program counter.
+    Continue,
+    /// The program exited via the harness ABI.
+    Exited(u32),
+    /// The program hit `ebreak`.
+    Break,
+}
+
+/// Masks a value to `w` bits.
+#[inline]
+fn mask(v: u64, w: u32) -> u64 {
+    if w >= 64 {
+        v
+    } else {
+        v & ((1u64 << w) - 1)
+    }
+}
+
+/// Sign-extends a `w`-bit value to i64.
+#[inline]
+fn sext(v: u64, w: u32) -> i64 {
+    let sh = 64 - w;
+    ((v << sh) as i64) >> sh
+}
+
+/// The concrete RV32 machine: register file, memory, program counter, and
+/// the formal specification it interprets.
+///
+/// # Example
+/// ```
+/// use binsym_asm::Assembler;
+/// use binsym_interp::{Exit, Machine};
+/// use binsym_isa::Spec;
+///
+/// let elf = Assembler::new().assemble(r#"
+/// _start:
+///     li a0, 6
+///     li a1, 7
+///     mul a0, a0, a1
+///     li a7, 93
+///     ecall
+/// "#)?;
+/// let mut m = Machine::new(Spec::rv32im());
+/// m.load_elf(&elf);
+/// assert_eq!(m.run(1000)?, Exit::Exited(42));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    spec: Spec,
+    /// General-purpose registers (reused generic component).
+    pub regs: RegFile<u32>,
+    /// Byte-addressed memory (reused generic component).
+    pub mem: Memory<u8>,
+    /// Program counter.
+    pub pc: u32,
+    /// Instructions executed so far.
+    pub steps: u64,
+    next_pc: Option<u32>,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed state.
+    pub fn new(spec: Spec) -> Self {
+        Machine {
+            spec,
+            regs: RegFile::new(0),
+            mem: Memory::new(0),
+            pc: 0,
+            steps: 0,
+            next_pc: None,
+        }
+    }
+
+    /// The specification this machine interprets.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Loads an ELF image: copies segments into memory and sets the pc to
+    /// the entry point.
+    pub fn load_elf(&mut self, elf: &ElfFile) {
+        for seg in &elf.segments {
+            self.mem.store_slice(seg.vaddr, &seg.data);
+        }
+        self.pc = elf.entry;
+    }
+
+    /// Evaluates an expression primitive in the concrete domain.
+    pub fn eval(&self, e: &Expr) -> u64 {
+        let w = e.width();
+        match e {
+            Expr::Const { value, width } => mask(*value, *width),
+            Expr::Reg(r) => u64::from(*self.regs.read(*r)),
+            Expr::Pc => u64::from(self.pc),
+            Expr::Not(a) => mask(!self.eval(a), w),
+            Expr::Neg(a) => mask(self.eval(a).wrapping_neg(), w),
+            Expr::Add(a, b) => mask(self.eval(a).wrapping_add(self.eval(b)), w),
+            Expr::Sub(a, b) => mask(self.eval(a).wrapping_sub(self.eval(b)), w),
+            Expr::Mul(a, b) => mask(self.eval(a).wrapping_mul(self.eval(b)), w),
+            Expr::UDiv(a, b) => {
+                let (x, y) = (self.eval(a), self.eval(b));
+                if y == 0 {
+                    mask(u64::MAX, w)
+                } else {
+                    x / y
+                }
+            }
+            Expr::SDiv(a, b) => {
+                let (x, y) = (sext(self.eval(a), w), sext(self.eval(b), w));
+                let r = if y == 0 { -1 } else { x.wrapping_div(y) };
+                mask(r as u64, w)
+            }
+            Expr::URem(a, b) => {
+                let (x, y) = (self.eval(a), self.eval(b));
+                if y == 0 {
+                    x
+                } else {
+                    x % y
+                }
+            }
+            Expr::SRem(a, b) => {
+                let (x, y) = (sext(self.eval(a), w), sext(self.eval(b), w));
+                let r = if y == 0 { x } else { x.wrapping_rem(y) };
+                mask(r as u64, w)
+            }
+            Expr::And(a, b) => self.eval(a) & self.eval(b),
+            Expr::Or(a, b) => self.eval(a) | self.eval(b),
+            Expr::Xor(a, b) => self.eval(a) ^ self.eval(b),
+            Expr::Shl(a, b) => {
+                let (x, y) = (self.eval(a), self.eval(b));
+                if y >= u64::from(w) {
+                    0
+                } else {
+                    mask(x << y, w)
+                }
+            }
+            Expr::LShr(a, b) => {
+                let (x, y) = (self.eval(a), self.eval(b));
+                if y >= u64::from(w) {
+                    0
+                } else {
+                    x >> y
+                }
+            }
+            Expr::AShr(a, b) => {
+                let x = sext(self.eval(a), w);
+                let y = self.eval(b).min(u64::from(w) - 1) as u32;
+                mask((x >> y) as u64, w)
+            }
+            Expr::Eq(a, b) => u64::from(self.eval(a) == self.eval(b)),
+            Expr::Ne(a, b) => u64::from(self.eval(a) != self.eval(b)),
+            Expr::Ult(a, b) => u64::from(self.eval(a) < self.eval(b)),
+            Expr::Slt(a, b) => {
+                let aw = a.width();
+                u64::from(sext(self.eval(a), aw) < sext(self.eval(b), aw))
+            }
+            Expr::Uge(a, b) => u64::from(self.eval(a) >= self.eval(b)),
+            Expr::Sge(a, b) => {
+                let aw = a.width();
+                u64::from(sext(self.eval(a), aw) >= sext(self.eval(b), aw))
+            }
+            Expr::Ite { cond, then, els } => {
+                if self.eval(cond) != 0 {
+                    self.eval(then)
+                } else {
+                    self.eval(els)
+                }
+            }
+            Expr::SExt { value, to } => {
+                let vw = value.width();
+                mask(sext(self.eval(value), vw) as u64, *to)
+            }
+            Expr::ZExt { value, .. } => self.eval(value),
+            Expr::Extract { value, hi, lo } => mask(self.eval(value) >> lo, hi - lo + 1),
+            Expr::Concat(a, b) => {
+                let bw = b.width();
+                mask((self.eval(a) << bw) | self.eval(b), w)
+            }
+        }
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> Result<StepResult, ExecError> {
+        for s in stmts {
+            match s {
+                Stmt::WriteRegister { rd, value } => {
+                    let v = self.eval(value) as u32;
+                    self.regs.write(*rd, v);
+                }
+                Stmt::WritePc(e) => {
+                    self.next_pc = Some(self.eval(e) as u32);
+                }
+                Stmt::Load {
+                    rd,
+                    width,
+                    signed,
+                    addr,
+                } => {
+                    let a = self.eval(addr) as u32;
+                    let raw = self.load_mem(a, *width);
+                    let v = if *signed {
+                        mask(sext(u64::from(raw), width.bits()) as u64, 32) as u32
+                    } else {
+                        raw
+                    };
+                    self.regs.write(*rd, v);
+                }
+                Stmt::Store { width, addr, value } => {
+                    let a = self.eval(addr) as u32;
+                    let v = self.eval(value) as u32;
+                    self.store_mem(a, *width, v);
+                }
+                Stmt::If { cond, then, els } => {
+                    let branch = if self.eval(cond) != 0 { then } else { els };
+                    let r = self.exec_stmts(branch)?;
+                    if r != StepResult::Continue {
+                        return Ok(r);
+                    }
+                }
+                Stmt::Ecall => {
+                    let num = *self.regs.read(Reg::A7);
+                    if num == SYSCALL_EXIT {
+                        return Ok(StepResult::Exited(*self.regs.read(Reg::A0)));
+                    }
+                    return Err(ExecError::UnknownSyscall {
+                        number: num,
+                        pc: self.pc,
+                    });
+                }
+                Stmt::Ebreak => return Ok(StepResult::Break),
+                Stmt::Fence => {}
+            }
+        }
+        Ok(StepResult::Continue)
+    }
+
+    fn load_mem(&self, addr: u32, width: MemWidth) -> u32 {
+        match width {
+            MemWidth::Byte => u32::from(*self.mem.load(addr)),
+            MemWidth::Half => u32::from(self.mem.load_u16(addr)),
+            MemWidth::Word => self.mem.load_u32(addr),
+        }
+    }
+
+    fn store_mem(&mut self, addr: u32, width: MemWidth, v: u32) {
+        match width {
+            MemWidth::Byte => self.mem.store(addr, v as u8),
+            MemWidth::Half => self.mem.store_u16(addr, v as u16),
+            MemWidth::Word => self.mem.store_u32(addr, v),
+        }
+    }
+
+    /// Fetch–decode–execute of one instruction.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on illegal instructions or unknown syscalls.
+    pub fn step(&mut self) -> Result<StepResult, ExecError> {
+        let raw = self.mem.load_u32(self.pc);
+        let d = self.spec.decode(raw).map_err(|mut e| {
+            e.addr = Some(self.pc);
+            e
+        })?;
+        let prog = self.spec.semantics(&d);
+        self.next_pc = None;
+        let r = self.exec_stmts(&prog)?;
+        self.steps += 1;
+        if r == StepResult::Continue {
+            self.pc = self.next_pc.unwrap_or(self.pc.wrapping_add(4));
+        }
+        Ok(r)
+    }
+
+    /// Runs until exit, `ebreak`, or the step budget is exhausted.
+    ///
+    /// # Errors
+    /// Returns [`ExecError`] on illegal instructions or unknown syscalls.
+    pub fn run(&mut self, max_steps: u64) -> Result<Exit, ExecError> {
+        for _ in 0..max_steps {
+            match self.step()? {
+                StepResult::Continue => {}
+                StepResult::Exited(code) => return Ok(Exit::Exited(code)),
+                StepResult::Break => return Ok(Exit::Break),
+            }
+        }
+        Ok(Exit::OutOfFuel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binsym_asm::Assembler;
+
+    fn run_asm(src: &str) -> Exit {
+        let elf = Assembler::new().assemble(src).expect("assembles");
+        let mut m = Machine::new(Spec::rv32im());
+        m.load_elf(&elf);
+        m.run(100_000).expect("runs")
+    }
+
+    fn exit_code(src: &str) -> u32 {
+        match run_asm(src) {
+            Exit::Exited(c) => c,
+            other => panic!("expected exit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let code = exit_code(
+            r#"
+_start:
+    li a0, 21
+    li a1, 2
+    mul a0, a0, a1
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 42);
+    }
+
+    #[test]
+    fn division_by_zero_yields_all_ones() {
+        let code = exit_code(
+            r#"
+_start:
+    li a0, 17
+    li a1, 0
+    divu a0, a0, a1
+    # all-ones & 0xff == 0xff
+    andi a0, a0, 0xff
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 0xff);
+    }
+
+    #[test]
+    fn signed_division_edge_cases() {
+        // i32::MIN / -1 must wrap to i32::MIN per the M extension.
+        let code = exit_code(
+            r#"
+_start:
+    li a0, 0x80000000
+    li a1, -1
+    div a2, a0, a1
+    bne a2, a0, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=10 = 55.
+        let code = exit_code(
+            r#"
+_start:
+    li a0, 0
+    li a1, 1
+    li a2, 11
+loop:
+    add a0, a0, a1
+    addi a1, a1, 1
+    bne a1, a2, loop
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 55);
+    }
+
+    #[test]
+    fn memory_and_functions() {
+        let code = exit_code(
+            r#"
+        .data
+buf:    .space 16
+        .text
+_start:
+    la a0, buf
+    li a1, 0xab
+    sb a1, 3(a0)
+    lbu a2, 3(a0)
+    mv a0, a2
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 0xab);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let code = exit_code(
+            r#"
+_start:
+    li a0, 5
+    call double
+    call double
+    li a7, 93
+    ecall
+double:
+    add a0, a0, a0
+    ret
+"#,
+        );
+        assert_eq!(code, 20);
+    }
+
+    #[test]
+    fn sign_extension_of_loads() {
+        // lb of 0x80 must be sign-extended: angr bug #3 territory.
+        let code = exit_code(
+            r#"
+        .data
+v:      .byte 0x80
+        .text
+_start:
+    la a0, v
+    lb a1, 0(a0)
+    li a2, -128
+    bne a1, a2, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn srai_uses_unsigned_shamt() {
+        // x = 1 << 31; x >>a 31 == -1: angr bug #4 territory.
+        let code = exit_code(
+            r#"
+_start:
+    li a0, 1
+    slli a0, a0, 31
+    srai a0, a0, 31
+    li a1, -1
+    bne a0, a1, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn sra_uses_register_value() {
+        // Shift amount comes from the rs2 *value* (angr bug #2 used index).
+        let code = exit_code(
+            r#"
+_start:
+    li t3, 0x80000000   # t3 is x28: a buggy lifter would shift by 29 (rs2 idx)
+    li t4, 4
+    sra a0, t3, t4
+    li a1, 0xf8000000
+    bne a0, a1, fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn slt_is_signed() {
+        // -1 < 1 signed (angr bug #5 compared unsigned).
+        let code = exit_code(
+            r#"
+_start:
+    li a0, -1
+    li a1, 1
+    slt a2, a0, a1
+    li a7, 93
+    mv a0, a2
+    ecall
+"#,
+        );
+        assert_eq!(code, 1);
+    }
+
+    #[test]
+    fn mulh_family() {
+        let code = exit_code(
+            r#"
+_start:
+    li a0, 0x10000
+    li a1, 0x10000
+    mulhu a2, a0, a1     # (2^16 * 2^16) >> 32 == 1
+    mv a0, a2
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 1);
+
+        let code = exit_code(
+            r#"
+_start:
+    li a0, -1
+    li a1, -1
+    mulh a2, a0, a1      # (-1 * -1) >> 32 == 0
+    mv a0, a2
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn ebreak_stops() {
+        assert_eq!(run_asm("_start:\n ebreak\n"), Exit::Break);
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let elf = Assembler::new()
+            .assemble("_start:\n j _start\n")
+            .expect("assembles");
+        let mut m = Machine::new(Spec::rv32im());
+        m.load_elf(&elf);
+        assert_eq!(m.run(100).expect("runs"), Exit::OutOfFuel);
+    }
+
+    #[test]
+    fn unknown_syscall_errors() {
+        let elf = Assembler::new()
+            .assemble("_start:\n li a7, 64\n ecall\n")
+            .expect("assembles");
+        let mut m = Machine::new(Spec::rv32im());
+        m.load_elf(&elf);
+        assert!(matches!(
+            m.run(10),
+            Err(ExecError::UnknownSyscall { number: 64, .. })
+        ));
+    }
+
+    #[test]
+    fn jalr_with_equal_registers() {
+        // jalr a0, a0, 0 must jump to the *old* a0.
+        let code = exit_code(
+            r#"
+_start:
+    la a0, target
+    jalr a0, a0, 0
+    ebreak
+target:
+    li a0, 7
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(code, 7);
+    }
+
+    #[test]
+    fn madd_custom_instruction_executes() {
+        use binsym_isa::encoding::MADD_YAML;
+        use binsym_isa::spec::madd_semantics;
+        let mut spec = Spec::rv32im();
+        spec.register_custom(MADD_YAML, madd_semantics())
+            .expect("registers");
+        let asm = Assembler::new().with_table(spec.table().clone());
+        let elf = asm
+            .assemble(
+                r#"
+_start:
+    li a0, 6
+    li a1, 7
+    li a2, 8
+    madd a3, a0, a1, a2    # 6*7+8 = 50
+    mv a0, a3
+    li a7, 93
+    ecall
+"#,
+            )
+            .expect("assembles with custom table");
+        let mut m = Machine::new(spec);
+        m.load_elf(&elf);
+        assert_eq!(m.run(100).expect("runs"), Exit::Exited(50));
+    }
+}

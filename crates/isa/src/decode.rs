@@ -1,0 +1,268 @@
+//! Instruction decoding: raw 32-bit words → mnemonic + operand fields.
+//!
+//! The decoder is *generated from the encoding table* (mask/match rows plus
+//! field lists), mirroring how LibRISCV derives its decoder from the
+//! riscv-opcodes descriptions — no hand-written per-instruction decode logic
+//! exists anywhere in this repository.
+
+use std::fmt;
+
+use crate::encoding::{InstrId, InstrTable, OperandField};
+use crate::reg::Reg;
+
+/// A decoded instruction: the matched table entry plus extracted operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decoded {
+    /// Table id of the matched instruction.
+    pub id: InstrId,
+    /// The raw instruction word.
+    pub raw: u32,
+    /// Destination register (if the instruction has an `rd` field).
+    pub rd: Option<Reg>,
+    /// First source register.
+    pub rs1: Option<Reg>,
+    /// Second source register.
+    pub rs2: Option<Reg>,
+    /// Third source register (R4-type).
+    pub rs3: Option<Reg>,
+    /// Decoded immediate (sign-extended where the format requires it).
+    pub imm: Option<u32>,
+    /// 5-bit shift amount for immediate shifts.
+    pub shamt: Option<u32>,
+}
+
+impl Decoded {
+    /// Destination register, defaulting to `x0` when absent.
+    pub fn rd(&self) -> Reg {
+        self.rd.unwrap_or(Reg::ZERO)
+    }
+
+    /// First source register, defaulting to `x0` when absent.
+    pub fn rs1(&self) -> Reg {
+        self.rs1.unwrap_or(Reg::ZERO)
+    }
+
+    /// Second source register, defaulting to `x0` when absent.
+    pub fn rs2(&self) -> Reg {
+        self.rs2.unwrap_or(Reg::ZERO)
+    }
+
+    /// Third source register, defaulting to `x0` when absent.
+    pub fn rs3(&self) -> Reg {
+        self.rs3.unwrap_or(Reg::ZERO)
+    }
+
+    /// Immediate value, defaulting to 0 when absent.
+    pub fn imm(&self) -> u32 {
+        self.imm.unwrap_or(0)
+    }
+
+    /// Shift amount, defaulting to 0 when absent.
+    pub fn shamt(&self) -> u32 {
+        self.shamt.unwrap_or(0)
+    }
+}
+
+/// Error returned when a word matches no known encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable instruction word.
+    pub raw: u32,
+    /// Address the word was fetched from, when known.
+    pub addr: Option<u32>,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.addr {
+            Some(a) => write!(f, "illegal instruction {:#010x} at {:#010x}", self.raw, a),
+            None => write!(f, "illegal instruction {:#010x}", self.raw),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Extracts the I-type immediate (bits 31:20, sign-extended).
+pub fn imm_i(raw: u32) -> u32 {
+    ((raw as i32) >> 20) as u32
+}
+
+/// Extracts the S-type immediate.
+pub fn imm_s(raw: u32) -> u32 {
+    let hi = ((raw as i32) >> 25) as u32; // sign-extended bits 31:25
+    let lo = (raw >> 7) & 0x1f;
+    (hi << 5) | lo
+}
+
+/// Extracts the B-type immediate (branch offset, sign-extended, bit 0 = 0).
+pub fn imm_b(raw: u32) -> u32 {
+    let sign = ((raw as i32) >> 31) as u32; // bit 12 replicated
+    let b11 = (raw >> 7) & 1;
+    let b10_5 = (raw >> 25) & 0x3f;
+    let b4_1 = (raw >> 8) & 0xf;
+    (sign << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1)
+}
+
+/// Extracts the U-type immediate (upper 20 bits, low 12 zero).
+pub fn imm_u(raw: u32) -> u32 {
+    raw & 0xffff_f000
+}
+
+/// Extracts the J-type immediate (jump offset, sign-extended, bit 0 = 0).
+pub fn imm_j(raw: u32) -> u32 {
+    let sign = ((raw as i32) >> 31) as u32; // bit 20 replicated
+    let b19_12 = (raw >> 12) & 0xff;
+    let b11 = (raw >> 20) & 1;
+    let b10_1 = (raw >> 21) & 0x3ff;
+    (sign << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1)
+}
+
+/// Decodes a raw instruction word against the table.
+///
+/// # Errors
+/// Returns [`DecodeError`] if no table entry matches.
+pub fn decode(table: &InstrTable, raw: u32) -> Result<Decoded, DecodeError> {
+    let id = table.lookup(raw).ok_or(DecodeError { raw, addr: None })?;
+    let desc = table.desc(id);
+    let mut d = Decoded {
+        id,
+        raw,
+        rd: None,
+        rs1: None,
+        rs2: None,
+        rs3: None,
+        imm: None,
+        shamt: None,
+    };
+    for &f in &desc.fields {
+        match f {
+            OperandField::Rd => d.rd = Some(Reg::new(((raw >> 7) & 0x1f) as u8)),
+            OperandField::Rs1 => d.rs1 = Some(Reg::new(((raw >> 15) & 0x1f) as u8)),
+            OperandField::Rs2 => d.rs2 = Some(Reg::new(((raw >> 20) & 0x1f) as u8)),
+            OperandField::Rs3 => d.rs3 = Some(Reg::new(((raw >> 27) & 0x1f) as u8)),
+            OperandField::ImmI => d.imm = Some(imm_i(raw)),
+            OperandField::ImmS => d.imm = Some(imm_s(raw)),
+            OperandField::ImmB => d.imm = Some(imm_b(raw)),
+            OperandField::ImmU => d.imm = Some(imm_u(raw)),
+            OperandField::ImmJ => d.imm = Some(imm_j(raw)),
+            OperandField::Shamt => d.shamt = Some((raw >> 20) & 0x1f),
+        }
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> InstrTable {
+        InstrTable::rv32im()
+    }
+
+    #[test]
+    fn decode_addi() {
+        // addi a0, a1, -5
+        let raw = ((-5i32 as u32) << 20) | (11 << 15) | (10 << 7) | 0x13;
+        let t = table();
+        let d = decode(&t, raw).unwrap();
+        assert_eq!(t.desc(d.id).name, "addi");
+        assert_eq!(d.rd(), Reg::A0);
+        assert_eq!(d.rs1(), Reg::A1);
+        assert_eq!(d.imm(), (-5i32) as u32);
+    }
+
+    #[test]
+    fn decode_branch_immediate() {
+        // beq x1, x2, -8 : B-type with offset -8
+        // imm[12|10:5] at 31:25, imm[4:1|11] at 11:7
+        let off = -8i32 as u32; // 0xfffffff8
+        let bit12 = (off >> 12) & 1;
+        let bit11 = (off >> 11) & 1;
+        let b10_5 = (off >> 5) & 0x3f;
+        let b4_1 = (off >> 1) & 0xf;
+        let raw = (bit12 << 31)
+            | (b10_5 << 25)
+            | (2 << 20)
+            | (1 << 15)
+            | (b4_1 << 8)
+            | (bit11 << 7)
+            | 0x63;
+        let t = table();
+        let d = decode(&t, raw).unwrap();
+        assert_eq!(t.desc(d.id).name, "beq");
+        assert_eq!(d.imm() as i32, -8);
+    }
+
+    #[test]
+    fn decode_jal_immediate() {
+        // jal ra, +2048
+        let off = 2048u32;
+        let bit20 = (off >> 20) & 1;
+        let b10_1 = (off >> 1) & 0x3ff;
+        let bit11 = (off >> 11) & 1;
+        let b19_12 = (off >> 12) & 0xff;
+        let raw = (bit20 << 31) | (b10_1 << 21) | (bit11 << 20) | (b19_12 << 12) | (1 << 7) | 0x6f;
+        let t = table();
+        let d = decode(&t, raw).unwrap();
+        assert_eq!(t.desc(d.id).name, "jal");
+        assert_eq!(d.imm(), 2048);
+        assert_eq!(d.rd(), Reg::RA);
+    }
+
+    #[test]
+    fn decode_store_immediate() {
+        // sw x5, -4(x2): S-type
+        let off = -4i32 as u32;
+        let hi = (off >> 5) & 0x7f;
+        let lo = off & 0x1f;
+        let raw = (hi << 25) | (5 << 20) | (2 << 15) | (2 << 12) | (lo << 7) | 0x23;
+        let t = table();
+        let d = decode(&t, raw).unwrap();
+        assert_eq!(t.desc(d.id).name, "sw");
+        assert_eq!(d.imm() as i32, -4);
+        assert_eq!(d.rs1(), Reg::SP);
+        assert_eq!(d.rs2(), Reg::new(5));
+    }
+
+    #[test]
+    fn decode_lui_imm_u() {
+        // lui t0, 0xdeadb
+        let raw = (0xdeadb << 12) | (5 << 7) | 0x37;
+        let t = table();
+        let d = decode(&t, raw).unwrap();
+        assert_eq!(t.desc(d.id).name, "lui");
+        assert_eq!(d.imm(), 0xdeadb000);
+    }
+
+    #[test]
+    fn decode_shift_amount() {
+        // srai x5, x6, 31
+        let raw = 0x4000_0000 | (31 << 20) | (6 << 15) | (5 << 12) | (5 << 7) | 0x13;
+        let t = table();
+        let d = decode(&t, raw).unwrap();
+        assert_eq!(t.desc(d.id).name, "srai");
+        assert_eq!(d.shamt(), 31);
+    }
+
+    #[test]
+    fn illegal_instruction_errors() {
+        let t = table();
+        let e = decode(&t, 0).unwrap_err();
+        assert_eq!(e.raw, 0);
+    }
+
+    #[test]
+    fn decode_madd_r4_operands() {
+        let mut t = table();
+        t.register_yaml(crate::encoding::MADD_YAML).unwrap();
+        // madd rd=x1, rs1=x2, rs2=x3, rs3=x4
+        let raw = (4 << 27) | (1 << 25) | (3 << 20) | (2 << 15) | (1 << 7) | 0x43;
+        let d = decode(&t, raw).unwrap();
+        assert_eq!(t.desc(d.id).name, "madd");
+        assert_eq!(d.rd(), Reg::new(1));
+        assert_eq!(d.rs1(), Reg::new(2));
+        assert_eq!(d.rs2(), Reg::new(3));
+        assert_eq!(d.rs3(), Reg::new(4));
+    }
+}

@@ -1,0 +1,606 @@
+//! Instruction encodings in the riscv-opcodes format.
+//!
+//! Each instruction is described by a `mask`/`match` bitmask pair that
+//! uniquely identifies its opcode bits, plus the list of operand fields it
+//! uses — exactly the format of the RISC-V Foundation's riscv-opcodes
+//! repository that LibRISCV (and therefore the paper's Fig. 3) builds on.
+//! The built-in table covers RV32I + M; further extensions (such as the
+//! paper's custom `MADD`) are registered at runtime, either programmatically
+//! or by parsing the YAML-ish description format of Fig. 3 with
+//! [`InstrTable::register_yaml`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Operand fields an instruction may use (the `variable_fields` of
+/// riscv-opcodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandField {
+    /// Destination register, bits 11:7.
+    Rd,
+    /// First source register, bits 19:15.
+    Rs1,
+    /// Second source register, bits 24:20.
+    Rs2,
+    /// Third source register (R4-type), bits 31:27.
+    Rs3,
+    /// I-type 12-bit signed immediate, bits 31:20.
+    ImmI,
+    /// S-type 12-bit signed immediate.
+    ImmS,
+    /// B-type 13-bit signed branch offset.
+    ImmB,
+    /// U-type upper-20 immediate.
+    ImmU,
+    /// J-type 21-bit signed jump offset.
+    ImmJ,
+    /// 5-bit shift amount, bits 24:20.
+    Shamt,
+}
+
+impl OperandField {
+    /// Parses a riscv-opcodes field name.
+    pub fn parse(s: &str) -> Option<OperandField> {
+        Some(match s {
+            "rd" => OperandField::Rd,
+            "rs1" => OperandField::Rs1,
+            "rs2" => OperandField::Rs2,
+            "rs3" => OperandField::Rs3,
+            "imm12" | "imm_i" => OperandField::ImmI,
+            "imm12hi" | "imm_s" => OperandField::ImmS,
+            "bimm12hi" | "imm_b" => OperandField::ImmB,
+            "imm20" | "imm_u" => OperandField::ImmU,
+            "jimm20" | "imm_j" => OperandField::ImmJ,
+            "shamtw" | "shamt" => OperandField::Shamt,
+            _ => return None,
+        })
+    }
+}
+
+/// Identifier of an instruction inside an [`InstrTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstrId(pub(crate) u32);
+
+impl InstrId {
+    /// Raw index into the table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Description of one instruction encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstrDesc {
+    /// Mnemonic, lower-case (`divu`, `bltu`, `madd`, …).
+    pub name: String,
+    /// Bits that identify the opcode.
+    pub mask: u32,
+    /// Expected value of the masked bits.
+    pub match_val: u32,
+    /// Operand fields used by the instruction.
+    pub fields: Vec<OperandField>,
+    /// Extension the instruction belongs to (`rv32_i`, `rv32_m`,
+    /// `rv_zimadd`, …).
+    pub extension: String,
+}
+
+/// Error produced when registering a conflicting or malformed encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterError {
+    /// Another instruction with the same name exists.
+    DuplicateName(String),
+    /// The new encoding is indistinguishable from an existing instruction:
+    /// some bit pattern matches both.
+    Overlap {
+        /// Name of the new instruction.
+        new: String,
+        /// Name of the conflicting existing instruction.
+        existing: String,
+    },
+    /// The match value has bits outside the mask.
+    MatchOutsideMask(String),
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::DuplicateName(n) => write!(f, "instruction `{n}` already registered"),
+            RegisterError::Overlap { new, existing } => {
+                write!(f, "encoding of `{new}` overlaps existing `{existing}`")
+            }
+            RegisterError::MatchOutsideMask(n) => {
+                write!(f, "match value of `{n}` has bits outside its mask")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// Error produced by [`InstrTable::register_yaml`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum YamlError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The parsed description was rejected by the registry.
+    Register(RegisterError),
+}
+
+impl fmt::Display for YamlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            YamlError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            YamlError::Register(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for YamlError {}
+
+impl From<RegisterError> for YamlError {
+    fn from(e: RegisterError) -> Self {
+        YamlError::Register(e)
+    }
+}
+
+/// The instruction encoding table: the built-in RV32IM encodings plus any
+/// registered custom extensions.
+///
+/// # Example
+/// ```
+/// use binsym_isa::encoding::InstrTable;
+///
+/// let table = InstrTable::rv32im();
+/// let id = table.lookup(0x02b55533).expect("valid divu encoding");
+/// assert_eq!(table.desc(id).name, "divu");
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstrTable {
+    descs: Vec<InstrDesc>,
+    by_name: HashMap<String, InstrId>,
+}
+
+impl InstrTable {
+    /// Creates an empty table (no encodings).
+    pub fn empty() -> Self {
+        InstrTable {
+            descs: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// Creates the standard RV32I + M table.
+    pub fn rv32im() -> Self {
+        let mut t = InstrTable::empty();
+        for d in builtin_rv32im() {
+            t.register(d).expect("builtin table is consistent");
+        }
+        t
+    }
+
+    /// Number of registered instructions.
+    pub fn len(&self) -> usize {
+        self.descs.len()
+    }
+
+    /// True if no instructions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.descs.is_empty()
+    }
+
+    /// Description of an instruction.
+    pub fn desc(&self, id: InstrId) -> &InstrDesc {
+        &self.descs[id.index()]
+    }
+
+    /// Looks up an instruction id by mnemonic.
+    pub fn by_name(&self, name: &str) -> Option<InstrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Iterates over all `(id, desc)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (InstrId, &InstrDesc)> {
+        self.descs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (InstrId(i as u32), d))
+    }
+
+    /// Registers a new instruction encoding.
+    ///
+    /// # Errors
+    /// Rejects duplicate names, encodings that overlap an existing
+    /// instruction, and match values with bits outside the mask.
+    pub fn register(&mut self, desc: InstrDesc) -> Result<InstrId, RegisterError> {
+        if desc.match_val & !desc.mask != 0 {
+            return Err(RegisterError::MatchOutsideMask(desc.name));
+        }
+        if self.by_name.contains_key(&desc.name) {
+            return Err(RegisterError::DuplicateName(desc.name));
+        }
+        for existing in &self.descs {
+            // Two encodings overlap iff they agree on every bit where both
+            // masks are set. (If they disagree somewhere in the common mask,
+            // no word can match both.)
+            let common = desc.mask & existing.mask;
+            if desc.match_val & common == existing.match_val & common {
+                return Err(RegisterError::Overlap {
+                    new: desc.name,
+                    existing: existing.name.clone(),
+                });
+            }
+        }
+        let id = InstrId(self.descs.len() as u32);
+        self.by_name.insert(desc.name.clone(), id);
+        self.descs.push(desc);
+        Ok(id)
+    }
+
+    /// Registers instructions from the YAML-ish riscv-opcodes description
+    /// format of the paper's Fig. 3:
+    ///
+    /// ```yaml
+    /// madd:
+    ///   encoding: '-----01------------------1000011'
+    ///   extension: [rv_zimadd]
+    ///   mask: '0x600007f'
+    ///   match: '0x2000043'
+    ///   variable_fields: [rd, rs1, rs2, rs3]
+    /// ```
+    ///
+    /// Returns the ids of the registered instructions.
+    ///
+    /// # Errors
+    /// Returns [`YamlError`] on malformed input or registry conflicts.
+    pub fn register_yaml(&mut self, text: &str) -> Result<Vec<InstrId>, YamlError> {
+        let mut out = Vec::new();
+        let mut cur: Option<(String, HashMap<String, String>)> = None;
+        let mut entries: Vec<(String, HashMap<String, String>, usize)> = Vec::new();
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim_end();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let indented = line.starts_with(' ') || line.starts_with('\t');
+            let trimmed = line.trim();
+            if !indented {
+                // New instruction header: `name:`
+                let Some(name) = trimmed.strip_suffix(':') else {
+                    return Err(YamlError::Parse {
+                        line: ln + 1,
+                        message: format!("expected `name:` header, got `{trimmed}`"),
+                    });
+                };
+                if let Some((n, kv)) = cur.take() {
+                    entries.push((n, kv, ln));
+                }
+                cur = Some((name.trim().to_owned(), HashMap::new()));
+            } else {
+                let Some((n, kv)) = cur.as_mut() else {
+                    return Err(YamlError::Parse {
+                        line: ln + 1,
+                        message: "attribute before any instruction header".to_owned(),
+                    });
+                };
+                let _ = n;
+                let Some((k, v)) = trimmed.split_once(':') else {
+                    return Err(YamlError::Parse {
+                        line: ln + 1,
+                        message: format!("expected `key: value`, got `{trimmed}`"),
+                    });
+                };
+                kv.insert(k.trim().to_owned(), v.trim().to_owned());
+            }
+        }
+        if let Some((n, kv)) = cur.take() {
+            entries.push((n, kv, text.lines().count()));
+        }
+        for (name, kv, ln) in entries {
+            let desc = desc_from_kv(&name, &kv).map_err(|message| YamlError::Parse {
+                line: ln,
+                message,
+            })?;
+            out.push(self.register(desc)?);
+        }
+        Ok(out)
+    }
+
+    /// Decodes the opcode of a raw instruction word: the unique instruction
+    /// whose masked bits match.
+    pub fn lookup(&self, raw: u32) -> Option<InstrId> {
+        self.descs
+            .iter()
+            .position(|d| raw & d.mask == d.match_val)
+            .map(|i| InstrId(i as u32))
+    }
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    let s = s.trim().trim_matches('\'').trim_matches('"');
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u32::from_str_radix(hex, 16).map_err(|e| format!("bad hex literal `{s}`: {e}"))
+    } else {
+        s.parse::<u32>().map_err(|e| format!("bad integer `{s}`: {e}"))
+    }
+}
+
+fn parse_list(s: &str) -> Vec<String> {
+    s.trim()
+        .trim_start_matches('[')
+        .trim_end_matches(']')
+        .split(',')
+        .map(|x| x.trim().trim_matches('\'').trim_matches('"').to_owned())
+        .filter(|x| !x.is_empty())
+        .collect()
+}
+
+fn desc_from_kv(name: &str, kv: &HashMap<String, String>) -> Result<InstrDesc, String> {
+    let (mask, match_val) = match (kv.get("mask"), kv.get("match")) {
+        (Some(m), Some(v)) => (parse_u32(m)?, parse_u32(v)?),
+        _ => {
+            // Derive mask/match from the `encoding` bit pattern if given.
+            let enc = kv
+                .get("encoding")
+                .ok_or_else(|| "missing mask/match and encoding".to_owned())?;
+            parse_encoding_pattern(enc)?
+        }
+    };
+    // Cross-check encoding pattern against mask/match when both are present.
+    if let Some(enc) = kv.get("encoding") {
+        let (emask, ematch) = parse_encoding_pattern(enc)?;
+        if (emask, ematch) != (mask, match_val) {
+            return Err(format!(
+                "encoding pattern (mask {emask:#x} match {ematch:#x}) disagrees with mask {mask:#x} match {match_val:#x}"
+            ));
+        }
+    }
+    let fields = kv
+        .get("variable_fields")
+        .map(|s| parse_list(s))
+        .unwrap_or_default()
+        .iter()
+        .map(|f| OperandField::parse(f).ok_or_else(|| format!("unknown field `{f}`")))
+        .collect::<Result<Vec<_>, _>>()?;
+    let extension = kv
+        .get("extension")
+        .map(|s| parse_list(s).join(","))
+        .unwrap_or_default();
+    Ok(InstrDesc {
+        name: name.to_owned(),
+        mask,
+        match_val,
+        fields,
+        extension,
+    })
+}
+
+/// Parses a 32-character bit pattern like
+/// `-----01------------------1000011` (MSB first; `-` = operand bit).
+fn parse_encoding_pattern(s: &str) -> Result<(u32, u32), String> {
+    let s = s.trim().trim_matches('\'').trim_matches('"');
+    if s.len() != 32 {
+        return Err(format!("encoding pattern must have 32 characters, got {}", s.len()));
+    }
+    let mut mask = 0u32;
+    let mut mval = 0u32;
+    for (i, c) in s.chars().enumerate() {
+        let bit = 31 - i as u32;
+        match c {
+            '-' => {}
+            '0' => mask |= 1 << bit,
+            '1' => {
+                mask |= 1 << bit;
+                mval |= 1 << bit;
+            }
+            other => return Err(format!("invalid pattern character `{other}`")),
+        }
+    }
+    Ok((mask, mval))
+}
+
+/// The built-in RV32I + RV32M encoding table.
+fn builtin_rv32im() -> Vec<InstrDesc> {
+    use OperandField::*;
+    let d = |name: &str, mask: u32, match_val: u32, fields: &[OperandField], ext: &str| InstrDesc {
+        name: name.to_owned(),
+        mask,
+        match_val,
+        fields: fields.to_vec(),
+        extension: ext.to_owned(),
+    };
+    vec![
+        // --- RV32I ---
+        d("lui", 0x0000007f, 0x00000037, &[Rd, ImmU], "rv32_i"),
+        d("auipc", 0x0000007f, 0x00000017, &[Rd, ImmU], "rv32_i"),
+        d("jal", 0x0000007f, 0x0000006f, &[Rd, ImmJ], "rv32_i"),
+        d("jalr", 0x0000707f, 0x00000067, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("beq", 0x0000707f, 0x00000063, &[Rs1, Rs2, ImmB], "rv32_i"),
+        d("bne", 0x0000707f, 0x00001063, &[Rs1, Rs2, ImmB], "rv32_i"),
+        d("blt", 0x0000707f, 0x00004063, &[Rs1, Rs2, ImmB], "rv32_i"),
+        d("bge", 0x0000707f, 0x00005063, &[Rs1, Rs2, ImmB], "rv32_i"),
+        d("bltu", 0x0000707f, 0x00006063, &[Rs1, Rs2, ImmB], "rv32_i"),
+        d("bgeu", 0x0000707f, 0x00007063, &[Rs1, Rs2, ImmB], "rv32_i"),
+        d("lb", 0x0000707f, 0x00000003, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("lh", 0x0000707f, 0x00001003, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("lw", 0x0000707f, 0x00002003, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("lbu", 0x0000707f, 0x00004003, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("lhu", 0x0000707f, 0x00005003, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("sb", 0x0000707f, 0x00000023, &[Rs1, Rs2, ImmS], "rv32_i"),
+        d("sh", 0x0000707f, 0x00001023, &[Rs1, Rs2, ImmS], "rv32_i"),
+        d("sw", 0x0000707f, 0x00002023, &[Rs1, Rs2, ImmS], "rv32_i"),
+        d("addi", 0x0000707f, 0x00000013, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("slti", 0x0000707f, 0x00002013, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("sltiu", 0x0000707f, 0x00003013, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("xori", 0x0000707f, 0x00004013, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("ori", 0x0000707f, 0x00006013, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("andi", 0x0000707f, 0x00007013, &[Rd, Rs1, ImmI], "rv32_i"),
+        d("slli", 0xfe00707f, 0x00001013, &[Rd, Rs1, Shamt], "rv32_i"),
+        d("srli", 0xfe00707f, 0x00005013, &[Rd, Rs1, Shamt], "rv32_i"),
+        d("srai", 0xfe00707f, 0x40005013, &[Rd, Rs1, Shamt], "rv32_i"),
+        d("add", 0xfe00707f, 0x00000033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("sub", 0xfe00707f, 0x40000033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("sll", 0xfe00707f, 0x00001033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("slt", 0xfe00707f, 0x00002033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("sltu", 0xfe00707f, 0x00003033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("xor", 0xfe00707f, 0x00004033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("srl", 0xfe00707f, 0x00005033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("sra", 0xfe00707f, 0x40005033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("or", 0xfe00707f, 0x00006033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("and", 0xfe00707f, 0x00007033, &[Rd, Rs1, Rs2], "rv32_i"),
+        d("fence", 0x0000707f, 0x0000000f, &[], "rv32_i"),
+        d("ecall", 0xffffffff, 0x00000073, &[], "rv32_i"),
+        d("ebreak", 0xffffffff, 0x00100073, &[], "rv32_i"),
+        // --- RV32M ---
+        d("mul", 0xfe00707f, 0x02000033, &[Rd, Rs1, Rs2], "rv32_m"),
+        d("mulh", 0xfe00707f, 0x02001033, &[Rd, Rs1, Rs2], "rv32_m"),
+        d("mulhsu", 0xfe00707f, 0x02002033, &[Rd, Rs1, Rs2], "rv32_m"),
+        d("mulhu", 0xfe00707f, 0x02003033, &[Rd, Rs1, Rs2], "rv32_m"),
+        d("div", 0xfe00707f, 0x02004033, &[Rd, Rs1, Rs2], "rv32_m"),
+        d("divu", 0xfe00707f, 0x02005033, &[Rd, Rs1, Rs2], "rv32_m"),
+        d("rem", 0xfe00707f, 0x02006033, &[Rd, Rs1, Rs2], "rv32_m"),
+        d("remu", 0xfe00707f, 0x02007033, &[Rd, Rs1, Rs2], "rv32_m"),
+    ]
+}
+
+/// The paper's Fig. 3: YAML description of the custom `MADD` instruction.
+pub const MADD_YAML: &str = "\
+madd:
+  encoding: '-----01------------------1000011'
+  extension: [rv_zimadd]
+  mask: '0x600007f'
+  match: '0x2000043'
+  variable_fields: [rd, rs1, rs2, rs3]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rv32im_table_is_consistent() {
+        let t = InstrTable::rv32im();
+        assert_eq!(t.len(), 48);
+        assert!(t.by_name("divu").is_some());
+        assert!(t.by_name("madd").is_none());
+    }
+
+    #[test]
+    fn lookup_decodes_opcodes() {
+        let t = InstrTable::rv32im();
+        // divu a0, a0, a1  => funct7=1, rs2=11, rs1=10, funct3=5, rd=10, op=0x33
+        let raw = (1 << 25) | (11 << 20) | (10 << 15) | (5 << 12) | (10 << 7) | 0x33;
+        let id = t.lookup(raw).expect("decodes");
+        assert_eq!(t.desc(id).name, "divu");
+        // add x1, x2, x3
+        let raw = (3 << 20) | (2 << 15) | (1 << 7) | 0x33;
+        assert_eq!(t.desc(t.lookup(raw).unwrap()).name, "add");
+        // srai x5, x6, 7
+        let raw = 0x4000_0000 | (7 << 20) | (6 << 15) | (5 << 12) | (5 << 7) | 0x13;
+        assert_eq!(t.desc(t.lookup(raw).unwrap()).name, "srai");
+    }
+
+    #[test]
+    fn lookup_rejects_garbage() {
+        let t = InstrTable::rv32im();
+        assert_eq!(t.lookup(0x0000_0000), None);
+        assert_eq!(t.lookup(0xffff_ffff), None);
+    }
+
+    #[test]
+    fn register_rejects_overlap() {
+        let mut t = InstrTable::rv32im();
+        let dup = InstrDesc {
+            name: "myadd".to_owned(),
+            mask: 0x7f,
+            match_val: 0x33, // overlaps every OP-encoded instruction
+            fields: vec![],
+            extension: "x".to_owned(),
+        };
+        assert!(matches!(
+            t.register(dup),
+            Err(RegisterError::Overlap { .. })
+        ));
+    }
+
+    #[test]
+    fn register_rejects_match_outside_mask() {
+        let mut t = InstrTable::empty();
+        let bad = InstrDesc {
+            name: "bad".to_owned(),
+            mask: 0x7f,
+            match_val: 0x100,
+            fields: vec![],
+            extension: String::new(),
+        };
+        assert!(matches!(
+            t.register(bad),
+            Err(RegisterError::MatchOutsideMask(_))
+        ));
+    }
+
+    #[test]
+    fn madd_yaml_parses_and_registers() {
+        let mut t = InstrTable::rv32im();
+        let ids = t.register_yaml(MADD_YAML).expect("valid yaml");
+        assert_eq!(ids.len(), 1);
+        let d = t.desc(ids[0]);
+        assert_eq!(d.name, "madd");
+        assert_eq!(d.mask, 0x600_007f);
+        assert_eq!(d.match_val, 0x200_0043);
+        assert_eq!(d.extension, "rv_zimadd");
+        assert_eq!(
+            d.fields,
+            vec![
+                OperandField::Rd,
+                OperandField::Rs1,
+                OperandField::Rs2,
+                OperandField::Rs3
+            ]
+        );
+        // An actual MADD word decodes: funct2=01 at bits 26:25, opcode 0x43.
+        let raw = (4 << 27) | (1 << 25) | (3 << 20) | (2 << 15) | (1 << 7) | 0x43;
+        assert_eq!(t.desc(t.lookup(raw).unwrap()).name, "madd");
+    }
+
+    #[test]
+    fn encoding_pattern_matches_mask() {
+        let (mask, mval) =
+            parse_encoding_pattern("-----01------------------1000011").expect("valid");
+        assert_eq!(mask, 0x600_007f);
+        assert_eq!(mval, 0x200_0043);
+    }
+
+    #[test]
+    fn yaml_rejects_inconsistent_encoding() {
+        let mut t = InstrTable::empty();
+        let text = "\
+bad:
+  encoding: '-----01------------------1000011'
+  mask: '0x7f'
+  match: '0x43'
+";
+        assert!(matches!(
+            t.register_yaml(text),
+            Err(YamlError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn yaml_without_mask_uses_encoding() {
+        let mut t = InstrTable::empty();
+        let text = "\
+only_enc:
+  encoding: '-----01------------------1000011'
+  variable_fields: [rd, rs1, rs2, rs3]
+";
+        let ids = t.register_yaml(text).expect("valid");
+        let d = t.desc(ids[0]);
+        assert_eq!(d.mask, 0x600_007f);
+        assert_eq!(d.match_val, 0x200_0043);
+    }
+}

@@ -1,0 +1,478 @@
+//! Expression primitives of the formal specification language.
+//!
+//! These are the arithmetic/logic *language primitives* of the paper's
+//! Fig. 2 ⑤ (`UDiv`, `EqInt`, `Mul`, …): instruction semantics are written in
+//! terms of [`Expr`] trees, and each interpreter gives the primitives a
+//! meaning in its own domain — `u32` arithmetic in the concrete interpreter,
+//! SMT bitvector terms in the symbolic one. Nothing in this module presumes a
+//! particular operand representation.
+//!
+//! Conventions:
+//! * [`Expr::Reg`] and [`Expr::Pc`] read the architectural state. `Pc`
+//!   denotes the address of the *current* instruction and is constant
+//!   throughout the instruction's semantics.
+//! * Comparison primitives produce 1-bit vectors (`1` = true), which is also
+//!   the sort expected by [`crate::stmt::Stmt::If`] conditions.
+//! * Widths are explicit: most RV32 semantics stay at 32 bits, while the
+//!   `MULH*` family widens to 64 and extracts the upper half.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// An expression over the specification primitives.
+///
+/// Constructed with the builder methods ([`Expr::add`], [`Expr::udiv`], …)
+/// which keep the semantics code close to the paper's DSL notation:
+///
+/// ```
+/// use binsym_isa::{Expr, Reg};
+///
+/// // (rs1-val `UDiv` rs2-val) from the paper's DIVU description:
+/// let divu = Expr::reg(Reg::new(10)).udiv(Expr::reg(Reg::new(11)));
+/// assert_eq!(divu.width(), 32);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Constant of the given width (value masked by interpreters).
+    Const {
+        /// Raw value.
+        value: u64,
+        /// Width in bits (1..=64).
+        width: u32,
+    },
+    /// Value of a general-purpose register (32 bits).
+    Reg(Reg),
+    /// Address of the current instruction (32 bits).
+    Pc,
+    /// Bitwise complement.
+    Not(Box<Expr>),
+    /// Two's-complement negation.
+    Neg(Box<Expr>),
+    /// Addition (modular).
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction (modular).
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication (modular).
+    Mul(Box<Expr>, Box<Expr>),
+    /// Unsigned division (SMT-LIB `bvudiv`: division by zero = all-ones).
+    UDiv(Box<Expr>, Box<Expr>),
+    /// Signed division (RISC-V M semantics at the edges).
+    SDiv(Box<Expr>, Box<Expr>),
+    /// Unsigned remainder (remainder by zero = dividend).
+    URem(Box<Expr>, Box<Expr>),
+    /// Signed remainder.
+    SRem(Box<Expr>, Box<Expr>),
+    /// Bitwise and.
+    And(Box<Expr>, Box<Expr>),
+    /// Bitwise or.
+    Or(Box<Expr>, Box<Expr>),
+    /// Bitwise xor.
+    Xor(Box<Expr>, Box<Expr>),
+    /// Left shift (amount ≥ width yields 0).
+    Shl(Box<Expr>, Box<Expr>),
+    /// Logical right shift.
+    LShr(Box<Expr>, Box<Expr>),
+    /// Arithmetic right shift.
+    AShr(Box<Expr>, Box<Expr>),
+    /// Equality (1-bit result).
+    Eq(Box<Expr>, Box<Expr>),
+    /// Disequality (1-bit result).
+    Ne(Box<Expr>, Box<Expr>),
+    /// Unsigned less-than (1-bit result).
+    Ult(Box<Expr>, Box<Expr>),
+    /// Signed less-than (1-bit result).
+    Slt(Box<Expr>, Box<Expr>),
+    /// Unsigned greater-or-equal (1-bit result).
+    Uge(Box<Expr>, Box<Expr>),
+    /// Signed greater-or-equal (1-bit result).
+    Sge(Box<Expr>, Box<Expr>),
+    /// If-then-else over values; the condition is a 1-bit expression.
+    Ite {
+        /// 1-bit condition.
+        cond: Box<Expr>,
+        /// Value if the condition is 1.
+        then: Box<Expr>,
+        /// Value if the condition is 0.
+        els: Box<Expr>,
+    },
+    /// Sign extension to `to` bits.
+    SExt {
+        /// Operand.
+        value: Box<Expr>,
+        /// Target width.
+        to: u32,
+    },
+    /// Zero extension to `to` bits.
+    ZExt {
+        /// Operand.
+        value: Box<Expr>,
+        /// Target width.
+        to: u32,
+    },
+    /// Bit extraction `hi..=lo` (inclusive).
+    Extract {
+        /// Operand.
+        value: Box<Expr>,
+        /// High bit (inclusive).
+        hi: u32,
+        /// Low bit (inclusive).
+        lo: u32,
+    },
+    /// Concatenation (first operand becomes the high bits).
+    Concat(Box<Expr>, Box<Expr>),
+}
+
+/// Type error found by [`Expr::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeError {
+    /// Human-readable description of the width mismatch.
+    pub message: String,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+macro_rules! binop_ctor {
+    ($(#[$doc:meta])* $name:ident, $variant:ident) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(self, rhs: Expr) -> Expr {
+            Expr::$variant(Box::new(self), Box::new(rhs))
+        }
+    };
+}
+
+impl Expr {
+    /// 32-bit constant.
+    pub fn imm(value: u32) -> Expr {
+        Expr::Const {
+            value: u64::from(value),
+            width: 32,
+        }
+    }
+
+    /// Constant of an explicit width.
+    pub fn const_w(value: u64, width: u32) -> Expr {
+        Expr::Const { value, width }
+    }
+
+    /// Register read.
+    pub fn reg(r: Reg) -> Expr {
+        Expr::Reg(r)
+    }
+
+    /// Current instruction address.
+    pub fn pc() -> Expr {
+        Expr::Pc
+    }
+
+    binop_ctor!(/// Modular addition.
+        add, Add);
+    binop_ctor!(/// Modular subtraction.
+        sub, Sub);
+    binop_ctor!(/// Modular multiplication.
+        mul, Mul);
+    binop_ctor!(/// Unsigned division.
+        udiv, UDiv);
+    binop_ctor!(/// Signed division.
+        sdiv, SDiv);
+    binop_ctor!(/// Unsigned remainder.
+        urem, URem);
+    binop_ctor!(/// Signed remainder.
+        srem, SRem);
+    binop_ctor!(/// Bitwise and.
+        and, And);
+    binop_ctor!(/// Bitwise or.
+        or, Or);
+    binop_ctor!(/// Bitwise xor.
+        xor, Xor);
+    binop_ctor!(/// Left shift.
+        shl, Shl);
+    binop_ctor!(/// Logical right shift.
+        lshr, LShr);
+    binop_ctor!(/// Arithmetic right shift.
+        ashr, AShr);
+    binop_ctor!(/// Equality (1-bit).
+        eq, Eq);
+    binop_ctor!(/// Disequality (1-bit).
+        ne, Ne);
+    binop_ctor!(/// Unsigned less-than (1-bit).
+        ult, Ult);
+    binop_ctor!(/// Signed less-than (1-bit).
+        slt, Slt);
+    binop_ctor!(/// Unsigned greater-or-equal (1-bit).
+        uge, Uge);
+    binop_ctor!(/// Signed greater-or-equal (1-bit).
+        sge, Sge);
+    binop_ctor!(/// Concatenation (self = high bits).
+        concat, Concat);
+
+    /// Bitwise complement.
+    #[must_use]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// Two's-complement negation.
+    #[must_use]
+    pub fn neg(self) -> Expr {
+        Expr::Neg(Box::new(self))
+    }
+
+    /// If-then-else.
+    #[must_use]
+    pub fn ite(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::Ite {
+            cond: Box::new(cond),
+            then: Box::new(then),
+            els: Box::new(els),
+        }
+    }
+
+    /// Sign extension to `to` bits.
+    #[must_use]
+    pub fn sext(self, to: u32) -> Expr {
+        Expr::SExt {
+            value: Box::new(self),
+            to,
+        }
+    }
+
+    /// Zero extension to `to` bits.
+    #[must_use]
+    pub fn zext(self, to: u32) -> Expr {
+        Expr::ZExt {
+            value: Box::new(self),
+            to,
+        }
+    }
+
+    /// Bit extraction `hi..=lo`.
+    #[must_use]
+    pub fn extract(self, hi: u32, lo: u32) -> Expr {
+        Expr::Extract {
+            value: Box::new(self),
+            hi,
+            lo,
+        }
+    }
+
+    /// Width of the expression in bits.
+    ///
+    /// Widths are derived structurally; [`Expr::check`] validates that
+    /// operand widths agree.
+    pub fn width(&self) -> u32 {
+        match self {
+            Expr::Const { width, .. } => *width,
+            Expr::Reg(_) | Expr::Pc => 32,
+            Expr::Not(a) | Expr::Neg(a) => a.width(),
+            Expr::Add(a, _)
+            | Expr::Sub(a, _)
+            | Expr::Mul(a, _)
+            | Expr::UDiv(a, _)
+            | Expr::SDiv(a, _)
+            | Expr::URem(a, _)
+            | Expr::SRem(a, _)
+            | Expr::And(a, _)
+            | Expr::Or(a, _)
+            | Expr::Xor(a, _)
+            | Expr::Shl(a, _)
+            | Expr::LShr(a, _)
+            | Expr::AShr(a, _) => a.width(),
+            Expr::Eq(..)
+            | Expr::Ne(..)
+            | Expr::Ult(..)
+            | Expr::Slt(..)
+            | Expr::Uge(..)
+            | Expr::Sge(..) => 1,
+            Expr::Ite { then, .. } => then.width(),
+            Expr::SExt { to, .. } | Expr::ZExt { to, .. } => *to,
+            Expr::Extract { hi, lo, .. } => hi - lo + 1,
+            Expr::Concat(a, b) => a.width() + b.width(),
+        }
+    }
+
+    /// Validates operand widths throughout the tree.
+    ///
+    /// # Errors
+    /// Returns a [`TypeError`] describing the first width mismatch found.
+    pub fn check(&self) -> Result<u32, TypeError> {
+        let same = |a: &Expr, b: &Expr, what: &str| -> Result<u32, TypeError> {
+            let wa = a.check()?;
+            let wb = b.check()?;
+            if wa != wb {
+                return Err(TypeError {
+                    message: format!("{what}: operand widths differ ({wa} vs {wb})"),
+                });
+            }
+            Ok(wa)
+        };
+        match self {
+            Expr::Const { width, .. } => {
+                if *width == 0 || *width > 64 {
+                    return Err(TypeError {
+                        message: format!("constant width {width} out of range"),
+                    });
+                }
+                Ok(*width)
+            }
+            Expr::Reg(_) | Expr::Pc => Ok(32),
+            Expr::Not(a) | Expr::Neg(a) => a.check(),
+            Expr::Add(a, b) => same(a, b, "add"),
+            Expr::Sub(a, b) => same(a, b, "sub"),
+            Expr::Mul(a, b) => same(a, b, "mul"),
+            Expr::UDiv(a, b) => same(a, b, "udiv"),
+            Expr::SDiv(a, b) => same(a, b, "sdiv"),
+            Expr::URem(a, b) => same(a, b, "urem"),
+            Expr::SRem(a, b) => same(a, b, "srem"),
+            Expr::And(a, b) => same(a, b, "and"),
+            Expr::Or(a, b) => same(a, b, "or"),
+            Expr::Xor(a, b) => same(a, b, "xor"),
+            Expr::Shl(a, b) => same(a, b, "shl"),
+            Expr::LShr(a, b) => same(a, b, "lshr"),
+            Expr::AShr(a, b) => same(a, b, "ashr"),
+            Expr::Eq(a, b) => same(a, b, "eq").map(|_| 1),
+            Expr::Ne(a, b) => same(a, b, "ne").map(|_| 1),
+            Expr::Ult(a, b) => same(a, b, "ult").map(|_| 1),
+            Expr::Slt(a, b) => same(a, b, "slt").map(|_| 1),
+            Expr::Uge(a, b) => same(a, b, "uge").map(|_| 1),
+            Expr::Sge(a, b) => same(a, b, "sge").map(|_| 1),
+            Expr::Ite { cond, then, els } => {
+                let wc = cond.check()?;
+                if wc != 1 {
+                    return Err(TypeError {
+                        message: format!("ite condition must be 1 bit, got {wc}"),
+                    });
+                }
+                same(then, els, "ite")
+            }
+            Expr::SExt { value, to } | Expr::ZExt { value, to } => {
+                let w = value.check()?;
+                if *to < w || *to > 64 {
+                    return Err(TypeError {
+                        message: format!("extension from {w} to {to} bits is invalid"),
+                    });
+                }
+                Ok(*to)
+            }
+            Expr::Extract { value, hi, lo } => {
+                let w = value.check()?;
+                if hi < lo || *hi >= w {
+                    return Err(TypeError {
+                        message: format!("extract [{hi}:{lo}] out of range for width {w}"),
+                    });
+                }
+                Ok(hi - lo + 1)
+            }
+            Expr::Concat(a, b) => {
+                let w = a.check()? + b.check()?;
+                if w > 64 {
+                    return Err(TypeError {
+                        message: format!("concat width {w} exceeds 64"),
+                    });
+                }
+                Ok(w)
+            }
+        }
+    }
+
+    /// Registers read anywhere in the expression.
+    pub fn regs_read(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Reg(r) = e {
+                out.push(*r);
+            }
+        });
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Const { .. } | Expr::Reg(_) | Expr::Pc => {}
+            Expr::Not(a) | Expr::Neg(a) => a.visit(f),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::UDiv(a, b)
+            | Expr::SDiv(a, b)
+            | Expr::URem(a, b)
+            | Expr::SRem(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Xor(a, b)
+            | Expr::Shl(a, b)
+            | Expr::LShr(a, b)
+            | Expr::AShr(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Ult(a, b)
+            | Expr::Slt(a, b)
+            | Expr::Uge(a, b)
+            | Expr::Sge(a, b)
+            | Expr::Concat(a, b) => {
+                a.visit(f);
+                b.visit(f);
+            }
+            Expr::Ite { cond, then, els } => {
+                cond.visit(f);
+                then.visit(f);
+                els.visit(f);
+            }
+            Expr::SExt { value, .. } | Expr::ZExt { value, .. } | Expr::Extract { value, .. } => {
+                value.visit(f);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_derive_structurally() {
+        let e = Expr::reg(Reg::A0).udiv(Expr::reg(Reg::A1));
+        assert_eq!(e.width(), 32);
+        assert_eq!(e.check().unwrap(), 32);
+        let c = Expr::reg(Reg::A0).ult(Expr::reg(Reg::A1));
+        assert_eq!(c.width(), 1);
+        let wide = Expr::reg(Reg::A0).sext(64).mul(Expr::reg(Reg::A1).sext(64));
+        assert_eq!(wide.width(), 64);
+        let upper = wide.extract(63, 32);
+        assert_eq!(upper.check().unwrap(), 32);
+    }
+
+    #[test]
+    fn check_rejects_width_mismatch() {
+        let bad = Expr::reg(Reg::A0).add(Expr::const_w(1, 8));
+        assert!(bad.check().is_err());
+        let bad_ite = Expr::ite(Expr::reg(Reg::A0), Expr::imm(1), Expr::imm(2));
+        assert!(bad_ite.check().is_err(), "32-bit condition must be rejected");
+    }
+
+    #[test]
+    fn check_rejects_bad_extract() {
+        let bad = Expr::reg(Reg::A0).extract(40, 0);
+        assert!(bad.check().is_err());
+        let ok = Expr::reg(Reg::A0).extract(31, 0);
+        assert_eq!(ok.check().unwrap(), 32);
+    }
+
+    #[test]
+    fn regs_read_collects() {
+        let e = Expr::reg(Reg::A0)
+            .add(Expr::reg(Reg::A1))
+            .eq(Expr::reg(Reg::A0));
+        assert_eq!(e.regs_read(), vec![Reg::A0, Reg::A1]);
+    }
+}

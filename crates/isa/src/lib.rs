@@ -1,0 +1,44 @@
+//! `binsym-isa` — an executable formal specification of the RV32IM
+//! instruction set, in the architecture of LibRISCV (the Haskell
+//! specification the paper's BinSym prototype builds on).
+//!
+//! The crate has three layers:
+//!
+//! 1. **Encoding** ([`encoding`], [`decode`]): a riscv-opcodes-style table of
+//!    `mask`/`match` pairs and operand fields, including a parser for the
+//!    YAML-ish description format used in the paper's Fig. 3, plus a decoder.
+//!    Custom instruction set extensions are registered at runtime.
+//! 2. **Semantics** ([`expr`], [`stmt`], [`spec`]): every instruction's
+//!    behaviour is a small program over *language primitives* — expressions
+//!    ([`expr::Expr`]: `Add`, `UDiv`, `Eq`, `SExt`, …) and statements
+//!    ([`stmt::Stmt`]: `WriteRegister`, `Load`, `If`, …). This mirrors the
+//!    paper's Fig. 2 ④/⑤: the DSL is the abstraction layer between binary
+//!    code and any interpreter (concrete, symbolic, …).
+//! 3. **Generic hardware state** ([`regfile`], [`memory`]): register file and
+//!    sparse memory parameterized over the value type, so interpreters for
+//!    different domains reuse the same components — the paper's main argument
+//!    for executable formal specifications.
+//!
+//! Interpreters over this specification live in separate crates:
+//! `binsym-interp` (concrete) and `binsym` (symbolic).
+
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod disasm;
+pub mod encoding;
+pub mod expr;
+pub mod memory;
+pub mod reg;
+pub mod regfile;
+pub mod spec;
+pub mod stmt;
+
+pub use decode::{DecodeError, Decoded};
+pub use encoding::{InstrDesc, InstrId, InstrTable, OperandField};
+pub use expr::Expr;
+pub use memory::Memory;
+pub use reg::Reg;
+pub use regfile::RegFile;
+pub use spec::Spec;
+pub use stmt::{MemWidth, Stmt};

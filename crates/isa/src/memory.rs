@@ -1,0 +1,160 @@
+//! Generic sparse byte-addressed memory, parameterized over the byte type.
+//!
+//! Like [`crate::RegFile`], this component is shared between interpreters:
+//! `Memory<u8>` for concrete execution, `Memory<SymByte>` for symbolic
+//! execution. Memory is organized in lazily allocated pages.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse byte-addressed memory over a 32-bit address space.
+///
+/// Unwritten locations read as the default byte supplied at construction.
+///
+/// # Example
+/// ```
+/// use binsym_isa::Memory;
+///
+/// let mut mem: Memory<u8> = Memory::new(0);
+/// mem.store(0x8000_0000, 0xab);
+/// assert_eq!(*mem.load(0x8000_0000), 0xab);
+/// assert_eq!(*mem.load(0x8000_0001), 0x00);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Memory<V> {
+    pages: HashMap<u32, Vec<V>>,
+    default: V,
+}
+
+impl<V: Clone> Memory<V> {
+    /// Creates an empty memory; unwritten bytes read as `default`.
+    pub fn new(default: V) -> Self {
+        Memory {
+            pages: HashMap::new(),
+            default,
+        }
+    }
+
+    fn page_of(addr: u32) -> (u32, usize) {
+        (addr >> PAGE_BITS, (addr as usize) & (PAGE_SIZE - 1))
+    }
+
+    /// Reads the byte at `addr`.
+    pub fn load(&self, addr: u32) -> &V {
+        let (p, o) = Self::page_of(addr);
+        match self.pages.get(&p) {
+            Some(page) => &page[o],
+            None => &self.default,
+        }
+    }
+
+    /// Writes the byte at `addr`.
+    pub fn store(&mut self, addr: u32, v: V) {
+        let (p, o) = Self::page_of(addr);
+        let default = self.default.clone();
+        let page = self
+            .pages
+            .entry(p)
+            .or_insert_with(|| vec![default; PAGE_SIZE]);
+        page[o] = v;
+    }
+
+    /// Copies a slice of values to consecutive addresses starting at `addr`.
+    pub fn store_slice(&mut self, addr: u32, values: &[V]) {
+        for (i, v) in values.iter().enumerate() {
+            self.store(addr.wrapping_add(i as u32), v.clone());
+        }
+    }
+
+    /// Reads `len` consecutive bytes starting at `addr`.
+    pub fn load_range(&self, addr: u32, len: usize) -> Vec<V> {
+        (0..len)
+            .map(|i| self.load(addr.wrapping_add(i as u32)).clone())
+            .collect()
+    }
+
+    /// Number of resident (allocated) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Removes all contents.
+    pub fn clear(&mut self) {
+        self.pages.clear();
+    }
+}
+
+impl Memory<u8> {
+    /// Reads a little-endian 32-bit word.
+    pub fn load_u32(&self, addr: u32) -> u32 {
+        let b = self.load_range(addr, 4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Writes a little-endian 32-bit word.
+    pub fn store_u32(&mut self, addr: u32, v: u32) {
+        self.store_slice(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian 16-bit halfword.
+    pub fn load_u16(&self, addr: u32) -> u16 {
+        let b = self.load_range(addr, 2);
+        u16::from_le_bytes([b[0], b[1]])
+    }
+
+    /// Writes a little-endian 16-bit halfword.
+    pub fn store_u16(&mut self, addr: u32, v: u16) {
+        self.store_slice(addr, &v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reads() {
+        let mem: Memory<u8> = Memory::new(0xcc);
+        assert_eq!(*mem.load(1234), 0xcc);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn page_boundary_access() {
+        let mut mem: Memory<u8> = Memory::new(0);
+        let addr = (1 << PAGE_BITS) - 2; // crosses into the next page
+        mem.store_u32(addr, 0xdead_beef);
+        assert_eq!(mem.load_u32(addr), 0xdead_beef);
+        assert_eq!(mem.resident_pages(), 2);
+    }
+
+    #[test]
+    fn word_roundtrip_little_endian() {
+        let mut mem: Memory<u8> = Memory::new(0);
+        mem.store_u32(0x100, 0x0102_0304);
+        assert_eq!(*mem.load(0x100), 0x04);
+        assert_eq!(*mem.load(0x103), 0x01);
+        assert_eq!(mem.load_u16(0x100), 0x0304);
+    }
+
+    #[test]
+    fn address_space_wraps() {
+        let mut mem: Memory<u8> = Memory::new(0);
+        mem.store_u32(0xffff_fffe, 0xaabb_ccdd);
+        assert_eq!(*mem.load(0xffff_ffff), 0xcc);
+        assert_eq!(*mem.load(0x0000_0000), 0xbb);
+        assert_eq!(*mem.load(0x0000_0001), 0xaa);
+    }
+
+    #[test]
+    fn generic_over_value_type() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct SymByte(Option<String>);
+        let mut mem: Memory<SymByte> = Memory::new(SymByte(None));
+        mem.store(10, SymByte(Some("in0".to_owned())));
+        assert_eq!(*mem.load(10), SymByte(Some("in0".to_owned())));
+        assert_eq!(*mem.load(11), SymByte(None));
+    }
+}

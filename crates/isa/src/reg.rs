@@ -1,0 +1,131 @@
+//! General-purpose register identifiers (x0–x31) with ABI-name support.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A RISC-V general-purpose register index (`x0`..`x31`).
+///
+/// `x0` is the hardwired-zero register; writes to it are discarded by the
+/// register file ([`crate::RegFile`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+/// ABI names of the 32 integer registers, indexed by register number.
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl Reg {
+    /// The hardwired-zero register `x0`.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address register `x1`.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer `x2`.
+    pub const SP: Reg = Reg(2);
+    /// First argument/return register `x10`.
+    pub const A0: Reg = Reg(10);
+    /// Second argument register `x11`.
+    pub const A1: Reg = Reg(11);
+    /// Eighth argument register `x17`, used as the syscall number in the
+    /// standard Linux/RISC-V calling convention.
+    pub const A7: Reg = Reg(17);
+
+    /// Creates a register from a raw index.
+    ///
+    /// # Panics
+    /// Panics if `idx >= 32`.
+    pub fn new(idx: u8) -> Reg {
+        assert!(idx < 32, "register index {idx} out of range");
+        Reg(idx)
+    }
+
+    /// The raw register number (0..=31).
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The raw register number as `u8`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The ABI name (`zero`, `ra`, `sp`, `a0`, …).
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index()]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.abi_name())
+    }
+}
+
+/// Error returned when parsing an unknown register name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    /// The offending name.
+    pub name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses either an architectural name (`x13`) or an ABI name (`a3`,
+    /// `fp`).
+    fn from_str(s: &str) -> Result<Reg, ParseRegError> {
+        if let Some(rest) = s.strip_prefix('x') {
+            if let Ok(n) = rest.parse::<u8>() {
+                if n < 32 {
+                    return Ok(Reg(n));
+                }
+            }
+        }
+        if s == "fp" {
+            return Ok(Reg(8)); // frame pointer is an alias for s0
+        }
+        ABI_NAMES
+            .iter()
+            .position(|&n| n == s)
+            .map(|i| Reg(i as u8))
+            .ok_or_else(|| ParseRegError { name: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_architectural_names() {
+        assert_eq!("x0".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("x31".parse::<Reg>().unwrap(), Reg::new(31));
+        assert!("x32".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn parse_abi_names() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("a0".parse::<Reg>().unwrap(), Reg::A0);
+        assert_eq!("t6".parse::<Reg>().unwrap(), Reg::new(31));
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::new(8));
+        assert!("q7".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::new(10).to_string(), "a0");
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+    }
+}

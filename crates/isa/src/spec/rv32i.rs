@@ -1,0 +1,331 @@
+//! Formal semantics of the RV32I base instruction set, written in the
+//! primitive DSL.
+//!
+//! Each function is the analog of one `instrSemantics` equation in the
+//! paper's LibRISCV specification: it receives the decoded operands and
+//! returns the instruction's behaviour as a sequence of statement
+//! primitives. The semantics follow the RISC-V Unprivileged ISA manual
+//! (version 20191213).
+
+use std::sync::Arc;
+
+use crate::decode::Decoded;
+use crate::expr::Expr;
+use crate::stmt::{MemWidth, Stmt};
+
+use super::SemanticsFn;
+
+/// `(name, semantics)` pairs for every RV32I instruction.
+pub(super) fn handlers() -> Vec<(&'static str, SemanticsFn)> {
+    fn f(g: fn(&Decoded) -> Vec<Stmt>) -> SemanticsFn {
+        Arc::new(g)
+    }
+    vec![
+        ("lui", f(lui)),
+        ("auipc", f(auipc)),
+        ("jal", f(jal)),
+        ("jalr", f(jalr)),
+        ("beq", f(beq)),
+        ("bne", f(bne)),
+        ("blt", f(blt)),
+        ("bge", f(bge)),
+        ("bltu", f(bltu)),
+        ("bgeu", f(bgeu)),
+        ("lb", f(lb)),
+        ("lh", f(lh)),
+        ("lw", f(lw)),
+        ("lbu", f(lbu)),
+        ("lhu", f(lhu)),
+        ("sb", f(sb)),
+        ("sh", f(sh)),
+        ("sw", f(sw)),
+        ("addi", f(addi)),
+        ("slti", f(slti)),
+        ("sltiu", f(sltiu)),
+        ("xori", f(xori)),
+        ("ori", f(ori)),
+        ("andi", f(andi)),
+        ("slli", f(slli)),
+        ("srli", f(srli)),
+        ("srai", f(srai)),
+        ("add", f(add)),
+        ("sub", f(sub)),
+        ("sll", f(sll)),
+        ("slt", f(slt)),
+        ("sltu", f(sltu)),
+        ("xor", f(xor)),
+        ("srl", f(srl)),
+        ("sra", f(sra)),
+        ("or", f(or)),
+        ("and", f(and)),
+        ("fence", f(fence)),
+        ("ecall", f(ecall)),
+        ("ebreak", f(ebreak)),
+    ]
+}
+
+fn lui(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(d.rd(), Expr::imm(d.imm()))]
+}
+
+fn auipc(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(d.rd(), Expr::pc().add(Expr::imm(d.imm())))]
+}
+
+fn jal(d: &Decoded) -> Vec<Stmt> {
+    vec![
+        Stmt::WritePc(Expr::pc().add(Expr::imm(d.imm()))),
+        Stmt::write_reg(d.rd(), Expr::pc().add(Expr::imm(4))),
+    ]
+}
+
+fn jalr(d: &Decoded) -> Vec<Stmt> {
+    // Target = (rs1 + imm) with bit 0 cleared; the target is computed before
+    // the link-register write so `jalr rs1, rs1, imm` behaves correctly.
+    let target = Expr::reg(d.rs1())
+        .add(Expr::imm(d.imm()))
+        .and(Expr::imm(0xffff_fffe));
+    vec![
+        Stmt::WritePc(target),
+        Stmt::write_reg(d.rd(), Expr::pc().add(Expr::imm(4))),
+    ]
+}
+
+fn branch(d: &Decoded, cond: Expr) -> Vec<Stmt> {
+    vec![Stmt::if_then(
+        cond,
+        vec![Stmt::WritePc(Expr::pc().add(Expr::imm(d.imm())))],
+    )]
+}
+
+fn beq(d: &Decoded) -> Vec<Stmt> {
+    branch(d, Expr::reg(d.rs1()).eq(Expr::reg(d.rs2())))
+}
+
+fn bne(d: &Decoded) -> Vec<Stmt> {
+    branch(d, Expr::reg(d.rs1()).ne(Expr::reg(d.rs2())))
+}
+
+fn blt(d: &Decoded) -> Vec<Stmt> {
+    branch(d, Expr::reg(d.rs1()).slt(Expr::reg(d.rs2())))
+}
+
+fn bge(d: &Decoded) -> Vec<Stmt> {
+    branch(d, Expr::reg(d.rs1()).sge(Expr::reg(d.rs2())))
+}
+
+fn bltu(d: &Decoded) -> Vec<Stmt> {
+    branch(d, Expr::reg(d.rs1()).ult(Expr::reg(d.rs2())))
+}
+
+fn bgeu(d: &Decoded) -> Vec<Stmt> {
+    branch(d, Expr::reg(d.rs1()).uge(Expr::reg(d.rs2())))
+}
+
+fn effective_addr(d: &Decoded) -> Expr {
+    Expr::reg(d.rs1()).add(Expr::imm(d.imm()))
+}
+
+fn load(d: &Decoded, width: MemWidth, signed: bool) -> Vec<Stmt> {
+    vec![Stmt::Load {
+        rd: d.rd(),
+        width,
+        signed,
+        addr: effective_addr(d),
+    }]
+}
+
+fn lb(d: &Decoded) -> Vec<Stmt> {
+    load(d, MemWidth::Byte, true)
+}
+
+fn lh(d: &Decoded) -> Vec<Stmt> {
+    load(d, MemWidth::Half, true)
+}
+
+fn lw(d: &Decoded) -> Vec<Stmt> {
+    load(d, MemWidth::Word, true)
+}
+
+fn lbu(d: &Decoded) -> Vec<Stmt> {
+    load(d, MemWidth::Byte, false)
+}
+
+fn lhu(d: &Decoded) -> Vec<Stmt> {
+    load(d, MemWidth::Half, false)
+}
+
+fn store(d: &Decoded, width: MemWidth) -> Vec<Stmt> {
+    vec![Stmt::Store {
+        width,
+        addr: effective_addr(d),
+        value: Expr::reg(d.rs2()),
+    }]
+}
+
+fn sb(d: &Decoded) -> Vec<Stmt> {
+    store(d, MemWidth::Byte)
+}
+
+fn sh(d: &Decoded) -> Vec<Stmt> {
+    store(d, MemWidth::Half)
+}
+
+fn sw(d: &Decoded) -> Vec<Stmt> {
+    store(d, MemWidth::Word)
+}
+
+fn addi(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).add(Expr::imm(d.imm())),
+    )]
+}
+
+fn slti(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).slt(Expr::imm(d.imm())).zext(32),
+    )]
+}
+
+fn sltiu(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).ult(Expr::imm(d.imm())).zext(32),
+    )]
+}
+
+fn xori(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).xor(Expr::imm(d.imm())),
+    )]
+}
+
+fn ori(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).or(Expr::imm(d.imm())),
+    )]
+}
+
+fn andi(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).and(Expr::imm(d.imm())),
+    )]
+}
+
+/// The shift amount of an immediate shift is the *unsigned* 5-bit `shamt`
+/// field — angr bug #4 in the paper treated it as signed two's complement.
+fn slli(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).shl(Expr::imm(d.shamt())),
+    )]
+}
+
+fn srli(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).lshr(Expr::imm(d.shamt())),
+    )]
+}
+
+fn srai(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).ashr(Expr::imm(d.shamt())),
+    )]
+}
+
+fn add(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).add(Expr::reg(d.rs2())),
+    )]
+}
+
+fn sub(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).sub(Expr::reg(d.rs2())),
+    )]
+}
+
+/// The shift amount of a register shift is the low 5 bits of the rs2
+/// *value* — angr bug #2 in the paper used the register *index* instead.
+fn shamt_reg(d: &Decoded) -> Expr {
+    Expr::reg(d.rs2()).and(Expr::imm(0x1f))
+}
+
+fn sll(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).shl(shamt_reg(d)),
+    )]
+}
+
+fn slt(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).slt(Expr::reg(d.rs2())).zext(32),
+    )]
+}
+
+fn sltu(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).ult(Expr::reg(d.rs2())).zext(32),
+    )]
+}
+
+fn xor(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).xor(Expr::reg(d.rs2())),
+    )]
+}
+
+fn srl(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).lshr(shamt_reg(d)),
+    )]
+}
+
+/// Arithmetic right shift — angr bug #1 in the paper modeled this with an
+/// incorrect arithmetic-shift construction.
+fn sra(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).ashr(shamt_reg(d)),
+    )]
+}
+
+fn or(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).or(Expr::reg(d.rs2())),
+    )]
+}
+
+fn and(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).and(Expr::reg(d.rs2())),
+    )]
+}
+
+fn fence(_d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::Fence]
+}
+
+fn ecall(_d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::Ecall]
+}
+
+fn ebreak(_d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::Ebreak]
+}

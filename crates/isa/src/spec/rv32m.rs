@@ -1,0 +1,137 @@
+//! Formal semantics of the RV32M multiply/divide extension.
+//!
+//! The division instructions are written with explicit `runIfElse` guards on
+//! the divide-by-zero (and signed-overflow) edge cases, exactly as the
+//! paper's Fig. 2 shows for `DIVU`. In the symbolic interpreter these guards
+//! become genuine branch points: executing `DIVU` with a symbolic divisor
+//! forks the path on `divisor == 0`, which is the behaviour §III-B describes.
+
+use std::sync::Arc;
+
+use crate::decode::Decoded;
+use crate::expr::Expr;
+use crate::stmt::Stmt;
+
+use super::SemanticsFn;
+
+/// `(name, semantics)` pairs for every RV32M instruction.
+pub(super) fn handlers() -> Vec<(&'static str, SemanticsFn)> {
+    fn f(g: fn(&Decoded) -> Vec<Stmt>) -> SemanticsFn {
+        Arc::new(g)
+    }
+    vec![
+        ("mul", f(mul)),
+        ("mulh", f(mulh)),
+        ("mulhsu", f(mulhsu)),
+        ("mulhu", f(mulhu)),
+        ("div", f(div)),
+        ("divu", f(divu)),
+        ("rem", f(rem)),
+        ("remu", f(remu)),
+    ]
+}
+
+fn mul(d: &Decoded) -> Vec<Stmt> {
+    vec![Stmt::write_reg(
+        d.rd(),
+        Expr::reg(d.rs1()).mul(Expr::reg(d.rs2())),
+    )]
+}
+
+/// Upper 32 bits of the 64-bit product; operands widened per signedness.
+fn mulh_common(d: &Decoded, sext1: bool, sext2: bool) -> Vec<Stmt> {
+    let widen = |r, signed: bool| {
+        let e = Expr::reg(r);
+        if signed {
+            e.sext(64)
+        } else {
+            e.zext(64)
+        }
+    };
+    let prod = widen(d.rs1(), sext1).mul(widen(d.rs2(), sext2));
+    vec![Stmt::write_reg(d.rd(), prod.extract(63, 32))]
+}
+
+fn mulh(d: &Decoded) -> Vec<Stmt> {
+    mulh_common(d, true, true)
+}
+
+fn mulhsu(d: &Decoded) -> Vec<Stmt> {
+    mulh_common(d, true, false)
+}
+
+fn mulhu(d: &Decoded) -> Vec<Stmt> {
+    mulh_common(d, false, false)
+}
+
+/// The paper's Fig. 2 ④, verbatim in this DSL:
+///
+/// ```text
+/// instrSemantics DIVU = do
+///   (rs1-val, rs2-val, rd) <- decodeAndReadRType
+///   runIfElse (rs2-val `EqInt` 0x00000000)
+///     do $ WriteRegister rd 0xffffffff
+///     do $ WriteRegister rd (rs1-val `UDiv` rs2-val)
+/// ```
+fn divu(d: &Decoded) -> Vec<Stmt> {
+    let rs1 = Expr::reg(d.rs1());
+    let rs2 = Expr::reg(d.rs2());
+    vec![Stmt::If {
+        cond: rs2.clone().eq(Expr::imm(0)),
+        then: vec![Stmt::write_reg(d.rd(), Expr::imm(0xffff_ffff))],
+        els: vec![Stmt::write_reg(d.rd(), rs1.udiv(rs2))],
+    }]
+}
+
+fn remu(d: &Decoded) -> Vec<Stmt> {
+    let rs1 = Expr::reg(d.rs1());
+    let rs2 = Expr::reg(d.rs2());
+    vec![Stmt::If {
+        cond: rs2.clone().eq(Expr::imm(0)),
+        then: vec![Stmt::write_reg(d.rd(), rs1.clone())],
+        els: vec![Stmt::write_reg(d.rd(), rs1.urem(rs2))],
+    }]
+}
+
+const I32_MIN: u32 = 0x8000_0000;
+const NEG_ONE: u32 = 0xffff_ffff;
+
+/// Signed division per the RISC-V M spec: `x / 0 = -1`,
+/// `i32::MIN / -1 = i32::MIN` (overflow wraps).
+fn div(d: &Decoded) -> Vec<Stmt> {
+    let rs1 = Expr::reg(d.rs1());
+    let rs2 = Expr::reg(d.rs2());
+    let overflow = rs1
+        .clone()
+        .eq(Expr::imm(I32_MIN))
+        .and(rs2.clone().eq(Expr::imm(NEG_ONE)));
+    vec![Stmt::If {
+        cond: rs2.clone().eq(Expr::imm(0)),
+        then: vec![Stmt::write_reg(d.rd(), Expr::imm(NEG_ONE))],
+        els: vec![Stmt::If {
+            cond: overflow,
+            then: vec![Stmt::write_reg(d.rd(), Expr::imm(I32_MIN))],
+            els: vec![Stmt::write_reg(d.rd(), rs1.sdiv(rs2))],
+        }],
+    }]
+}
+
+/// Signed remainder per the RISC-V M spec: `x % 0 = x`,
+/// `i32::MIN % -1 = 0`.
+fn rem(d: &Decoded) -> Vec<Stmt> {
+    let rs1 = Expr::reg(d.rs1());
+    let rs2 = Expr::reg(d.rs2());
+    let overflow = rs1
+        .clone()
+        .eq(Expr::imm(I32_MIN))
+        .and(rs2.clone().eq(Expr::imm(NEG_ONE)));
+    vec![Stmt::If {
+        cond: rs2.clone().eq(Expr::imm(0)),
+        then: vec![Stmt::write_reg(d.rd(), rs1.clone())],
+        els: vec![Stmt::If {
+            cond: overflow,
+            then: vec![Stmt::write_reg(d.rd(), Expr::imm(0))],
+            els: vec![Stmt::write_reg(d.rd(), rs1.srem(rs2))],
+        }],
+    }]
+}

@@ -1,0 +1,178 @@
+//! Statement primitives of the formal specification language.
+//!
+//! These are the *stateful* language primitives of the paper's Fig. 2 ⑤
+//! (`WriteRegister`, `runIfElse`, …). An instruction's semantics is a
+//! sequence of statements executed in order; state writes take effect
+//! immediately (with the exception of [`crate::expr::Expr::Pc`], which always
+//! denotes the current instruction's address).
+//!
+//! Control transfer: if no [`Stmt::WritePc`] executes, the interpreter
+//! advances the program counter to the next sequential instruction.
+
+use crate::expr::Expr;
+use crate::reg::Reg;
+
+/// Width of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit access.
+    Byte,
+    /// 16-bit access.
+    Half,
+    /// 32-bit access.
+    Word,
+}
+
+impl MemWidth {
+    /// Number of bytes transferred.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Half => 2,
+            MemWidth::Word => 4,
+        }
+    }
+
+    /// Number of bits transferred.
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+}
+
+/// A statement of the specification language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `WriteRegister rd value` — writes to `x0` are discarded.
+    WriteRegister {
+        /// Destination register.
+        rd: Reg,
+        /// Value to write (must be 32 bits wide).
+        value: Expr,
+    },
+    /// Sets the program counter for the *next* instruction.
+    WritePc(Expr),
+    /// Memory load into a register, with zero- or sign-extension to 32 bits.
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend (`true`) or zero-extend (`false`) the loaded value.
+        signed: bool,
+        /// Effective address (32 bits).
+        addr: Expr,
+    },
+    /// Memory store of the low bits of a 32-bit value.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Effective address (32 bits).
+        addr: Expr,
+        /// Value whose low `width` bits are stored.
+        value: Expr,
+    },
+    /// `runIfElse` — conditional execution of nested statement lists. In the
+    /// symbolic interpreter this is the primitive that triggers branch
+    /// feasibility reasoning (and path forking) when the condition depends on
+    /// symbolic values.
+    If {
+        /// 1-bit condition.
+        cond: Expr,
+        /// Statements executed when the condition is 1.
+        then: Vec<Stmt>,
+        /// Statements executed when the condition is 0.
+        els: Vec<Stmt>,
+    },
+    /// Environment call (used by the test-harness ABI for exit).
+    Ecall,
+    /// Breakpoint (treated as a failure by the harness).
+    Ebreak,
+    /// Memory ordering fence (a no-op for all interpreters in this repo).
+    Fence,
+}
+
+impl Stmt {
+    /// Convenience constructor for `WriteRegister`.
+    pub fn write_reg(rd: Reg, value: Expr) -> Stmt {
+        Stmt::WriteRegister { rd, value }
+    }
+
+    /// Convenience constructor for a conditional without an else branch.
+    pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+        Stmt::If {
+            cond,
+            then,
+            els: Vec::new(),
+        }
+    }
+
+    /// Validates all expressions in the statement tree.
+    ///
+    /// # Errors
+    /// Returns the first [`crate::expr::TypeError`] found.
+    pub fn check(&self) -> Result<(), crate::expr::TypeError> {
+        let expect = |e: &Expr, w: u32, what: &str| -> Result<(), crate::expr::TypeError> {
+            let got = e.check()?;
+            if got != w {
+                return Err(crate::expr::TypeError {
+                    message: format!("{what} must be {w} bits, got {got}"),
+                });
+            }
+            Ok(())
+        };
+        match self {
+            Stmt::WriteRegister { value, .. } => expect(value, 32, "register write value"),
+            Stmt::WritePc(e) => expect(e, 32, "pc write value"),
+            Stmt::Load { addr, .. } => expect(addr, 32, "load address"),
+            Stmt::Store { addr, value, .. } => {
+                expect(addr, 32, "store address")?;
+                expect(value, 32, "store value")
+            }
+            Stmt::If { cond, then, els } => {
+                expect(cond, 1, "if condition")?;
+                for s in then.iter().chain(els) {
+                    s.check()?;
+                }
+                Ok(())
+            }
+            Stmt::Ecall | Stmt::Ebreak | Stmt::Fence => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_validates_nested_statements() {
+        // The paper's DIVU semantics, written in this DSL.
+        let rs1 = Expr::reg(Reg::A0);
+        let rs2 = Expr::reg(Reg::A1);
+        let divu = Stmt::If {
+            cond: rs2.clone().eq(Expr::imm(0)),
+            then: vec![Stmt::write_reg(Reg::A1, Expr::imm(0xffff_ffff))],
+            els: vec![Stmt::write_reg(Reg::A1, rs1.udiv(rs2))],
+        };
+        assert!(divu.check().is_ok());
+    }
+
+    #[test]
+    fn check_rejects_wide_register_write() {
+        let bad = Stmt::write_reg(Reg::A0, Expr::reg(Reg::A1).sext(64));
+        assert!(bad.check().is_err());
+    }
+
+    #[test]
+    fn check_rejects_wide_condition() {
+        let bad = Stmt::if_then(Expr::reg(Reg::A0), vec![]);
+        assert!(bad.check().is_err());
+    }
+
+    #[test]
+    fn mem_width_sizes() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bits(), 16);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+    }
+}

@@ -1,0 +1,492 @@
+//! The hand-written RISC-V → IR lifter, with the five angr bugs
+//! reinstatable via [`LifterBugs`].
+//!
+//! Unlike the formal-semantics engine, every instruction's translation here
+//! is hand-written against the (natural-language) ISA manual — precisely the
+//! process the paper identifies as error-prone. The `LifterBugs` flags
+//! reproduce, bit for bit, the five bugs §V-A reports in angr's RISC-V
+//! lifter (angr-platforms PR #64).
+
+use std::fmt;
+
+use binsym_isa::decode::{decode, Decoded};
+use binsym_isa::encoding::InstrTable;
+
+use crate::ir::{AccessWidth, IrBinop, IrBlock, IrExpr, IrStmt};
+
+/// Which of the five documented angr lifter bugs to reinstate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LifterBugs {
+    /// Bug 1: `SRA`/`SRAI` lifted as a *logical* right shift.
+    pub sra_logical: bool,
+    /// Bug 2: R-type shifts use the rs2 register *index*, not its value, as
+    /// the shift amount.
+    pub shift_uses_reg_index: bool,
+    /// Bug 3: loads do not correctly zero-/sign-extend the loaded value
+    /// (sign and zero extension are swapped).
+    pub load_extension: bool,
+    /// Bug 4: the I-type shift amount is treated as a *signed* 5-bit two's
+    /// complement value (shamt 31 becomes −1).
+    pub shamt_signed: bool,
+    /// Bug 5: signed comparisons (`SLT`/`SLTI`/`BLT`/`BGE`) compare
+    /// *unsigned*.
+    pub signed_cmp_unsigned: bool,
+}
+
+impl LifterBugs {
+    /// No bugs: the fixed lifter.
+    pub const NONE: LifterBugs = LifterBugs {
+        sra_logical: false,
+        shift_uses_reg_index: false,
+        load_extension: false,
+        shamt_signed: false,
+        signed_cmp_unsigned: false,
+    };
+
+    /// All five bugs: angr's RISC-V lifter before the paper's reports.
+    pub const ANGR: LifterBugs = LifterBugs {
+        sra_logical: true,
+        shift_uses_reg_index: true,
+        load_extension: true,
+        shamt_signed: true,
+        signed_cmp_unsigned: true,
+    };
+
+    /// Returns true if any bug is enabled.
+    pub fn any(self) -> bool {
+        self.sra_logical
+            || self.shift_uses_reg_index
+            || self.load_extension
+            || self.shamt_signed
+            || self.signed_cmp_unsigned
+    }
+}
+
+/// Lifting error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// The instruction word matched no known encoding. Note that custom
+    /// extensions (the paper's `MADD` case study) land here: the lifter has
+    /// to be extended by hand, whereas the formal-semantics engine picks new
+    /// instructions up from the specification.
+    UnknownInstruction {
+        /// The raw word.
+        raw: u32,
+        /// Address it was fetched from.
+        addr: u32,
+    },
+    /// The table decoded an instruction this lifter has no translation for.
+    Unsupported {
+        /// Mnemonic.
+        name: String,
+    },
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::UnknownInstruction { raw, addr } => {
+                write!(f, "cannot lift {raw:#010x} at {addr:#010x}")
+            }
+            LiftError::Unsupported { name } => write!(f, "no lifting for `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+/// The lifter: decodes against the RV32IM table and translates by hand.
+#[derive(Debug, Clone)]
+pub struct Lifter {
+    table: InstrTable,
+    bugs: LifterBugs,
+}
+
+impl Lifter {
+    /// Creates a lifter with the given bug set.
+    pub fn new(bugs: LifterBugs) -> Self {
+        Lifter {
+            table: InstrTable::rv32im(),
+            bugs,
+        }
+    }
+
+    /// The configured bug set.
+    pub fn bugs(&self) -> LifterBugs {
+        self.bugs
+    }
+
+    /// Lifts the instruction word at `pc`.
+    ///
+    /// # Errors
+    /// Returns [`LiftError`] for unknown or unsupported instructions.
+    pub fn lift(&self, raw: u32, pc: u32) -> Result<IrBlock, LiftError> {
+        let d = decode(&self.table, raw)
+            .map_err(|_| LiftError::UnknownInstruction { raw, addr: pc })?;
+        let name = self.table.desc(d.id).name.clone();
+        lift_instruction(&name, &d, pc, self.bugs)
+    }
+}
+
+fn reg(d: u8) -> IrExpr {
+    IrExpr::GetReg(d)
+}
+
+fn put(r: binsym_isa::Reg, e: IrExpr) -> IrStmt {
+    IrStmt::PutReg {
+        reg: r.number(),
+        value: e,
+    }
+}
+
+fn bin(op: IrBinop, a: IrExpr, b: IrExpr) -> IrExpr {
+    IrExpr::binop(op, a, b)
+}
+
+/// Lifts one decoded instruction (exposed for tests and documentation).
+///
+/// # Errors
+/// Returns [`LiftError::Unsupported`] for mnemonics outside RV32IM.
+pub fn lift_instruction(
+    name: &str,
+    d: &Decoded,
+    pc: u32,
+    bugs: LifterBugs,
+) -> Result<IrBlock, LiftError> {
+    let fallthrough = pc.wrapping_add(4);
+    let rs1 = || reg(d.rs1().number());
+    let rs2 = || reg(d.rs2().number());
+    let imm = || IrExpr::c32(d.imm());
+
+    // Shift amount of an immediate shift — bug 4 sign-interprets the 5-bit
+    // field, so shamt >= 16 becomes a huge (wrapped negative) amount.
+    let shamt_imm = || {
+        let s = d.shamt();
+        if bugs.shamt_signed && s >= 16 {
+            IrExpr::c32((s as i32 - 32) as u32) // e.g. 31 -> -1
+        } else {
+            IrExpr::c32(s)
+        }
+    };
+    // Shift amount of a register shift — bug 2 uses the register *index*.
+    let shamt_reg = || {
+        if bugs.shift_uses_reg_index {
+            IrExpr::c32(u32::from(d.rs2().number()))
+        } else {
+            bin(IrBinop::And, rs2(), IrExpr::c32(0x1f))
+        }
+    };
+    // Arithmetic right shift operator — bug 1 models it as logical.
+    let sar_op = if bugs.sra_logical {
+        IrBinop::Shr
+    } else {
+        IrBinop::Sar
+    };
+    // Signed less-than — bug 5 compares unsigned.
+    let slt_op = if bugs.signed_cmp_unsigned {
+        IrBinop::CmpLtU
+    } else {
+        IrBinop::CmpLtS
+    };
+    let sge_op = if bugs.signed_cmp_unsigned {
+        IrBinop::CmpGeU
+    } else {
+        IrBinop::CmpGeS
+    };
+
+    let simple = |stmts: Vec<IrStmt>| {
+        Ok(IrBlock {
+            stmts,
+            fallthrough,
+        })
+    };
+    let alu_reg = |op: IrBinop| simple(vec![put(d.rd(), bin(op, rs1(), rs2()))]);
+    let alu_imm = |op: IrBinop| simple(vec![put(d.rd(), bin(op, rs1(), imm()))]);
+    let branch = |cond: IrExpr| {
+        simple(vec![IrStmt::Exit {
+            cond,
+            target: pc.wrapping_add(d.imm()),
+        }])
+    };
+    let load = |width: AccessWidth, signed: bool| {
+        // Bug 3: the extension kind is wrong (swapped).
+        let signed = if bugs.load_extension { !signed } else { signed };
+        let addr = bin(IrBinop::Add, rs1(), imm());
+        let raw = IrExpr::Load {
+            width,
+            addr: Box::new(addr),
+        };
+        let value = if width == AccessWidth::Word {
+            raw
+        } else {
+            IrExpr::Widen {
+                signed,
+                to: 32,
+                arg: Box::new(raw),
+            }
+        };
+        simple(vec![put(d.rd(), value)])
+    };
+    let store = |width: AccessWidth| {
+        simple(vec![IrStmt::Store {
+            width,
+            addr: bin(IrBinop::Add, rs1(), imm()),
+            value: rs2(),
+        }])
+    };
+    let widen = |signed: bool, e: IrExpr| IrExpr::Widen {
+        signed,
+        to: 64,
+        arg: Box::new(e),
+    };
+    let mulh = |s1: bool, s2: bool| {
+        let prod = bin(IrBinop::Mul, widen(s1, rs1()), widen(s2, rs2()));
+        simple(vec![put(
+            d.rd(),
+            IrExpr::Extract {
+                hi: 63,
+                lo: 32,
+                arg: Box::new(prod),
+            },
+        )])
+    };
+    let bool_to_word = |c: IrExpr| IrExpr::Widen {
+        signed: false,
+        to: 32,
+        arg: Box::new(c),
+    };
+
+    match name {
+        "lui" => simple(vec![put(d.rd(), imm())]),
+        "auipc" => simple(vec![put(d.rd(), IrExpr::c32(pc.wrapping_add(d.imm())))]),
+        "jal" => simple(vec![
+            put(d.rd(), IrExpr::c32(pc.wrapping_add(4))),
+            IrStmt::JumpConst(pc.wrapping_add(d.imm())),
+        ]),
+        "jalr" => {
+            let target = bin(
+                IrBinop::And,
+                bin(IrBinop::Add, rs1(), imm()),
+                IrExpr::c32(0xffff_fffe),
+            );
+            simple(vec![
+                IrStmt::SetTemp {
+                    temp: 0,
+                    value: target,
+                },
+                put(d.rd(), IrExpr::c32(pc.wrapping_add(4))),
+                IrStmt::JumpInd(IrExpr::Temp(0)),
+            ])
+        }
+        "beq" => branch(bin(IrBinop::CmpEq, rs1(), rs2())),
+        "bne" => branch(bin(IrBinop::CmpNe, rs1(), rs2())),
+        "blt" => branch(bin(slt_op, rs1(), rs2())),
+        "bge" => branch(bin(sge_op, rs1(), rs2())),
+        "bltu" => branch(bin(IrBinop::CmpLtU, rs1(), rs2())),
+        "bgeu" => branch(bin(IrBinop::CmpGeU, rs1(), rs2())),
+        "lb" => load(AccessWidth::Byte, true),
+        "lh" => load(AccessWidth::Half, true),
+        "lw" => load(AccessWidth::Word, true),
+        "lbu" => load(AccessWidth::Byte, false),
+        "lhu" => load(AccessWidth::Half, false),
+        "sb" => store(AccessWidth::Byte),
+        "sh" => store(AccessWidth::Half),
+        "sw" => store(AccessWidth::Word),
+        "addi" => alu_imm(IrBinop::Add),
+        "slti" => simple(vec![put(d.rd(), bool_to_word(bin(slt_op, rs1(), imm())))]),
+        "sltiu" => simple(vec![put(
+            d.rd(),
+            bool_to_word(bin(IrBinop::CmpLtU, rs1(), imm())),
+        )]),
+        "xori" => alu_imm(IrBinop::Xor),
+        "ori" => alu_imm(IrBinop::Or),
+        "andi" => alu_imm(IrBinop::And),
+        "slli" => simple(vec![put(d.rd(), bin(IrBinop::Shl, rs1(), shamt_imm()))]),
+        "srli" => simple(vec![put(d.rd(), bin(IrBinop::Shr, rs1(), shamt_imm()))]),
+        "srai" => simple(vec![put(d.rd(), bin(sar_op, rs1(), shamt_imm()))]),
+        "add" => alu_reg(IrBinop::Add),
+        "sub" => alu_reg(IrBinop::Sub),
+        "sll" => simple(vec![put(d.rd(), bin(IrBinop::Shl, rs1(), shamt_reg()))]),
+        "slt" => simple(vec![put(d.rd(), bool_to_word(bin(slt_op, rs1(), rs2())))]),
+        "sltu" => simple(vec![put(
+            d.rd(),
+            bool_to_word(bin(IrBinop::CmpLtU, rs1(), rs2())),
+        )]),
+        "xor" => alu_reg(IrBinop::Xor),
+        "srl" => simple(vec![put(d.rd(), bin(IrBinop::Shr, rs1(), shamt_reg()))]),
+        "sra" => simple(vec![put(d.rd(), bin(sar_op, rs1(), shamt_reg()))]),
+        "or" => alu_reg(IrBinop::Or),
+        "and" => alu_reg(IrBinop::And),
+        "fence" => simple(vec![]),
+        "ecall" => simple(vec![IrStmt::Syscall]),
+        "ebreak" => simple(vec![IrStmt::Breakpoint]),
+        "mul" => alu_reg(IrBinop::Mul),
+        "mulh" => mulh(true, true),
+        "mulhsu" => mulh(true, false),
+        "mulhu" => mulh(false, false),
+        "div" => alu_reg(IrBinop::DivS),
+        "divu" => alu_reg(IrBinop::DivU),
+        "rem" => alu_reg(IrBinop::RemS),
+        "remu" => alu_reg(IrBinop::RemU),
+        other => Err(LiftError::Unsupported {
+            name: other.to_owned(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lift_one(text_raw: u32, bugs: LifterBugs) -> IrBlock {
+        Lifter::new(bugs).lift(text_raw, 0x1000).expect("lifts")
+    }
+
+    // srai a0, a0, 31 (shamt 31)
+    const SRAI_31: u32 = 0x41f5_5513;
+    // sra a0, t3, t4  (rs2 = x29)
+    const SRA_T3_T4: u32 = 0x41de_5533; // funct7=0x20 rs2=29 rs1=28 funct3=5 rd=10 op=0x33
+
+    #[test]
+    fn correct_srai_uses_sar() {
+        let b = lift_one(SRAI_31, LifterBugs::NONE);
+        match &b.stmts[0] {
+            IrStmt::PutReg { value, .. } => match value {
+                IrExpr::Binop { op, rhs, .. } => {
+                    assert_eq!(*op, IrBinop::Sar);
+                    assert_eq!(**rhs, IrExpr::c32(31));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bug1_sra_becomes_logical() {
+        let bugs = LifterBugs {
+            sra_logical: true,
+            ..LifterBugs::NONE
+        };
+        let b = lift_one(SRAI_31, bugs);
+        match &b.stmts[0] {
+            IrStmt::PutReg { value: IrExpr::Binop { op, .. }, .. } => {
+                assert_eq!(*op, IrBinop::Shr);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bug2_register_shift_uses_index() {
+        let bugs = LifterBugs {
+            shift_uses_reg_index: true,
+            ..LifterBugs::NONE
+        };
+        let b = lift_one(SRA_T3_T4, bugs);
+        match &b.stmts[0] {
+            IrStmt::PutReg { value: IrExpr::Binop { rhs, .. }, .. } => {
+                assert_eq!(**rhs, IrExpr::c32(29), "shift amount = rs2 index");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bug4_shamt_31_becomes_minus_1() {
+        let bugs = LifterBugs {
+            shamt_signed: true,
+            ..LifterBugs::NONE
+        };
+        // slli a0, a0, 31
+        let slli31 = 0x01f5_1513;
+        let b = lift_one(slli31, bugs);
+        match &b.stmts[0] {
+            IrStmt::PutReg { value: IrExpr::Binop { rhs, .. }, .. } => {
+                assert_eq!(**rhs, IrExpr::c32(-1i32 as u32));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // shamt < 16 is unaffected.
+        let slli4 = 0x0045_1513;
+        let b = lift_one(slli4, bugs);
+        match &b.stmts[0] {
+            IrStmt::PutReg { value: IrExpr::Binop { rhs, .. }, .. } => {
+                assert_eq!(**rhs, IrExpr::c32(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bug5_blt_compares_unsigned() {
+        let bugs = LifterBugs {
+            signed_cmp_unsigned: true,
+            ..LifterBugs::NONE
+        };
+        // blt a0, a1, +8
+        let blt = (0x0u32 << 25) | (11 << 20) | (10 << 15) | (4 << 12) | (8 << 8) | 0x63;
+        let b = lift_one(blt, bugs);
+        match &b.stmts[0] {
+            IrStmt::Exit { cond: IrExpr::Binop { op, .. }, .. } => {
+                assert_eq!(*op, IrBinop::CmpLtU);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let b = lift_one(blt, LifterBugs::NONE);
+        match &b.stmts[0] {
+            IrStmt::Exit { cond: IrExpr::Binop { op, .. }, .. } => {
+                assert_eq!(*op, IrBinop::CmpLtS);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bug3_load_extension_swapped() {
+        let bugs = LifterBugs {
+            load_extension: true,
+            ..LifterBugs::NONE
+        };
+        // lb a0, 0(a1)
+        let lb = (11 << 15) | (10 << 7) | 0x03;
+        let b = lift_one(lb, bugs);
+        match &b.stmts[0] {
+            IrStmt::PutReg { value: IrExpr::Widen { signed, .. }, .. } => {
+                assert!(!signed, "buggy lb zero-extends");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let b = lift_one(lb, LifterBugs::NONE);
+        match &b.stmts[0] {
+            IrStmt::PutReg { value: IrExpr::Widen { signed, .. }, .. } => {
+                assert!(signed, "correct lb sign-extends");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_instructions_cannot_be_lifted() {
+        // The MADD word of the paper's case study: the lifter has no
+        // translation, while the spec-based engine handles it after a
+        // 14-line specification change.
+        let madd = (4 << 27) | (1 << 25) | (3 << 20) | (2 << 15) | (1 << 7) | 0x43;
+        let e = Lifter::new(LifterBugs::NONE).lift(madd, 0).unwrap_err();
+        assert!(matches!(e, LiftError::UnknownInstruction { .. }));
+    }
+
+    #[test]
+    fn every_rv32im_instruction_lifts() {
+        let table = InstrTable::rv32im();
+        let lifter = Lifter::new(LifterBugs::NONE);
+        for (_, desc) in table.iter() {
+            let raw = desc.match_val | ((1 << 7) | (2 << 15) | (3 << 20)) & !desc.mask;
+            if decode(&table, raw).map(|d| table.desc(d.id).name == desc.name) == Ok(true) {
+                lifter
+                    .lift(raw, 0x1000)
+                    .unwrap_or_else(|e| panic!("{}: {e}", desc.name));
+            }
+        }
+    }
+}

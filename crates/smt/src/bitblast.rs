@@ -1,0 +1,832 @@
+//! Tseitin bit-blasting of bitvector terms into CNF.
+//!
+//! Every bitvector term is mapped to a vector of SAT literals (LSB first) and
+//! every boolean term to a single literal; definitional clauses are emitted
+//! into the underlying [`SatSolver`]. Results are cached per term, so the
+//! hash-consed DAG structure of [`TermManager`] translates into shared
+//! circuitry.
+//!
+//! Circuit constructions: ripple-carry adders, shift-add multipliers, barrel
+//! shifters, an MSB-first comparison chain, and a restoring-division circuit
+//! whose divide-by-zero behaviour coincides with SMT-LIB/RISC-V (`x/0` is
+//! all-ones, `x%0` is `x`).
+
+use std::collections::HashMap;
+
+use crate::sat::{Lit, SatSolver};
+use crate::term::{Op, Sort, Term, TermManager, VarId};
+
+/// Blasted form of a term: one literal per bit (LSB first) or a single
+/// boolean literal.
+#[derive(Debug, Clone)]
+enum Blasted {
+    Bool(Lit),
+    Bits(Vec<Lit>),
+}
+
+/// The bit-blaster. Owns the term→literal cache; clauses are appended to the
+/// [`SatSolver`] passed to each call.
+///
+/// A `BitBlaster` (like the [`crate::Solver`] that wraps it) must only be
+/// used with a single [`TermManager`]: term handles from different managers
+/// would alias in the cache.
+#[derive(Debug, Default)]
+pub struct BitBlaster {
+    cache: HashMap<Term, Blasted>,
+    var_bits: HashMap<VarId, Vec<Lit>>,
+    true_lit: Option<Lit>,
+}
+
+impl BitBlaster {
+    /// Creates an empty blaster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The constant-true literal (allocated on first use).
+    fn tru(&mut self, sat: &mut SatSolver) -> Lit {
+        if let Some(l) = self.true_lit {
+            return l;
+        }
+        let v = sat.new_var();
+        let l = Lit::pos(v);
+        sat.add_clause(&[l]);
+        self.true_lit = Some(l);
+        l
+    }
+
+    fn fls(&mut self, sat: &mut SatSolver) -> Lit {
+        !self.tru(sat)
+    }
+
+    /// SAT literals backing a bitvector variable, if it has been blasted.
+    pub fn var_literals(&self, v: VarId) -> Option<&[Lit]> {
+        self.var_bits.get(&v).map(Vec::as_slice)
+    }
+
+    /// Blasts a boolean term, returning its literal.
+    ///
+    /// # Panics
+    /// Panics if `t` is not boolean.
+    pub fn blast_bool(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Lit {
+        match self.blast(tm, sat, t) {
+            Blasted::Bool(l) => l,
+            Blasted::Bits(_) => panic!("expected boolean term"),
+        }
+    }
+
+    /// Blasts a bitvector term, returning its literals (LSB first).
+    ///
+    /// # Panics
+    /// Panics if `t` is boolean.
+    pub fn blast_bits(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Vec<Lit> {
+        match self.blast(tm, sat, t) {
+            Blasted::Bits(b) => b,
+            Blasted::Bool(_) => panic!("expected bitvector term"),
+        }
+    }
+
+    fn blast(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Blasted {
+        if let Some(b) = self.cache.get(&t) {
+            return b.clone();
+        }
+        // Iterative post-order to avoid recursion depth issues on long
+        // ite-chains produced by symbolic execution.
+        let mut stack = vec![(t, false)];
+        while let Some((cur, expanded)) = stack.pop() {
+            if self.cache.contains_key(&cur) {
+                continue;
+            }
+            if !expanded {
+                stack.push((cur, true));
+                for &a in tm.args(cur) {
+                    stack.push((a, false));
+                }
+                continue;
+            }
+            let blasted = self.blast_node(tm, sat, cur);
+            self.cache.insert(cur, blasted);
+        }
+        self.cache[&t].clone()
+    }
+
+    fn blast_node(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Blasted {
+        let args = tm.args(t).to_vec();
+        let get = |bb: &Self, i: usize| bb.cache[&args[i]].clone();
+        let bits = |bb: &Self, i: usize| match bb.cache[&args[i]] {
+            Blasted::Bits(ref b) => b.clone(),
+            Blasted::Bool(_) => panic!("expected bits"),
+        };
+        let blit = |bb: &Self, i: usize| match bb.cache[&args[i]] {
+            Blasted::Bool(l) => l,
+            Blasted::Bits(_) => panic!("expected bool"),
+        };
+        match tm.op(t) {
+            Op::BvConst(v) => {
+                let w = tm.width(t);
+                let bits = (0..w)
+                    .map(|i| {
+                        if (v >> i) & 1 == 1 {
+                            self.tru(sat)
+                        } else {
+                            self.fls(sat)
+                        }
+                    })
+                    .collect();
+                Blasted::Bits(bits)
+            }
+            Op::BoolConst(b) => Blasted::Bool(if b { self.tru(sat) } else { self.fls(sat) }),
+            Op::Var(v) => match tm.var_sort(v) {
+                Sort::Bool => {
+                    let l = *self
+                        .var_bits
+                        .entry(v)
+                        .or_insert_with(|| vec![Lit::pos(sat.new_var())])
+                        .first()
+                        .expect("one literal");
+                    Blasted::Bool(l)
+                }
+                Sort::BitVec(w) => {
+                    let lits = self
+                        .var_bits
+                        .entry(v)
+                        .or_insert_with(|| (0..w).map(|_| Lit::pos(sat.new_var())).collect())
+                        .clone();
+                    Blasted::Bits(lits)
+                }
+            },
+            Op::Not => Blasted::Bool(!blit(self, 0)),
+            Op::And => {
+                let g = self.and_gate(sat, blit(self, 0), blit(self, 1));
+                Blasted::Bool(g)
+            }
+            Op::Or => {
+                let g = self.or_gate(sat, blit(self, 0), blit(self, 1));
+                Blasted::Bool(g)
+            }
+            Op::Xor => {
+                let g = self.xor_gate(sat, blit(self, 0), blit(self, 1));
+                Blasted::Bool(g)
+            }
+            Op::Implies => {
+                let g = self.or_gate(sat, !blit(self, 0), blit(self, 1));
+                Blasted::Bool(g)
+            }
+            Op::Ite => match (get(self, 1), get(self, 2)) {
+                (Blasted::Bool(a), Blasted::Bool(b)) => {
+                    let g = self.mux_gate(sat, blit(self, 0), a, b);
+                    Blasted::Bool(g)
+                }
+                (Blasted::Bits(a), Blasted::Bits(b)) => {
+                    let c = blit(self, 0);
+                    let out = a
+                        .iter()
+                        .zip(&b)
+                        .map(|(&x, &y)| self.mux_gate(sat, c, x, y))
+                        .collect();
+                    Blasted::Bits(out)
+                }
+                _ => panic!("ite branch sorts differ"),
+            },
+            Op::Eq => match (get(self, 0), get(self, 1)) {
+                (Blasted::Bool(a), Blasted::Bool(b)) => {
+                    let g = self.iff_gate(sat, a, b);
+                    Blasted::Bool(g)
+                }
+                (Blasted::Bits(a), Blasted::Bits(b)) => {
+                    let g = self.eq_bits(sat, &a, &b);
+                    Blasted::Bool(g)
+                }
+                _ => panic!("eq sort mismatch"),
+            },
+            Op::Ult => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                Blasted::Bool(self.ult_bits(sat, &a, &b))
+            }
+            Op::Slt => {
+                let (mut a, mut b) = (bits(self, 0), bits(self, 1));
+                // Flip the sign bits and compare unsigned.
+                let alen = a.len();
+                a[alen - 1] = !a[alen - 1];
+                let blen = b.len();
+                b[blen - 1] = !b[blen - 1];
+                Blasted::Bool(self.ult_bits(sat, &a, &b))
+            }
+            Op::Ule => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let gt = self.ult_bits(sat, &b, &a);
+                Blasted::Bool(!gt)
+            }
+            Op::Sle => {
+                let (mut a, mut b) = (bits(self, 0), bits(self, 1));
+                let alen = a.len();
+                a[alen - 1] = !a[alen - 1];
+                let blen = b.len();
+                b[blen - 1] = !b[blen - 1];
+                let gt = self.ult_bits(sat, &b, &a);
+                Blasted::Bool(!gt)
+            }
+            Op::BvNot => Blasted::Bits(bits(self, 0).iter().map(|&l| !l).collect()),
+            Op::BvNeg => {
+                let a = bits(self, 0);
+                let inv: Vec<Lit> = a.iter().map(|&l| !l).collect();
+                let one = self.tru(sat);
+                Blasted::Bits(self.add_with_carry(sat, &inv, None, one))
+            }
+            Op::BvAnd => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let out = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| self.and_gate(sat, x, y))
+                    .collect();
+                Blasted::Bits(out)
+            }
+            Op::BvOr => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let out = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| self.or_gate(sat, x, y))
+                    .collect();
+                Blasted::Bits(out)
+            }
+            Op::BvXor => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let out = a
+                    .iter()
+                    .zip(&b)
+                    .map(|(&x, &y)| self.xor_gate(sat, x, y))
+                    .collect();
+                Blasted::Bits(out)
+            }
+            Op::BvAdd => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let f = self.fls(sat);
+                Blasted::Bits(self.add_with_carry(sat, &a, Some(&b), f))
+            }
+            Op::BvSub => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let binv: Vec<Lit> = b.iter().map(|&l| !l).collect();
+                let t = self.tru(sat);
+                Blasted::Bits(self.add_with_carry(sat, &a, Some(&binv), t))
+            }
+            Op::BvMul => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                Blasted::Bits(self.mul_bits(sat, &a, &b))
+            }
+            Op::BvUdiv => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let (q, _r) = self.udivrem_bits(sat, &a, &b);
+                Blasted::Bits(q)
+            }
+            Op::BvUrem => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let (_q, r) = self.udivrem_bits(sat, &a, &b);
+                Blasted::Bits(r)
+            }
+            Op::BvSdiv => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                Blasted::Bits(self.sdiv_bits(sat, &a, &b))
+            }
+            Op::BvSrem => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                Blasted::Bits(self.srem_bits(sat, &a, &b))
+            }
+            Op::BvShl => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let f = self.fls(sat);
+                Blasted::Bits(self.barrel_shift(sat, &a, &b, ShiftKind::Left, f))
+            }
+            Op::BvLshr => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let f = self.fls(sat);
+                Blasted::Bits(self.barrel_shift(sat, &a, &b, ShiftKind::LogicalRight, f))
+            }
+            Op::BvAshr => {
+                let (a, b) = (bits(self, 0), bits(self, 1));
+                let sign = *a.last().expect("nonempty");
+                Blasted::Bits(self.barrel_shift(sat, &a, &b, ShiftKind::ArithRight, sign))
+            }
+            Op::Concat => {
+                let (hi, lo) = (bits(self, 0), bits(self, 1));
+                let mut out = lo;
+                out.extend(hi);
+                Blasted::Bits(out)
+            }
+            Op::Extract { hi, lo } => {
+                let a = bits(self, 0);
+                Blasted::Bits(a[lo as usize..=hi as usize].to_vec())
+            }
+            Op::ZeroExt { add } => {
+                let mut a = bits(self, 0);
+                let f = self.fls(sat);
+                a.extend(std::iter::repeat(f).take(add as usize));
+                Blasted::Bits(a)
+            }
+            Op::SignExt { add } => {
+                let mut a = bits(self, 0);
+                let s = *a.last().expect("nonempty");
+                a.extend(std::iter::repeat(s).take(add as usize));
+                Blasted::Bits(a)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gate library
+    // ------------------------------------------------------------------
+
+    fn and_gate(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        let t = self.tru(sat);
+        if a == t {
+            return b;
+        }
+        if b == t {
+            return a;
+        }
+        if a == !t || b == !t {
+            return !t;
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return !t;
+        }
+        let g = Lit::pos(sat.new_var());
+        sat.add_clause(&[!g, a]);
+        sat.add_clause(&[!g, b]);
+        sat.add_clause(&[g, !a, !b]);
+        g
+    }
+
+    fn or_gate(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        !self.and_gate(sat, !a, !b)
+    }
+
+    fn xor_gate(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        let t = self.tru(sat);
+        if a == t {
+            return !b;
+        }
+        if b == t {
+            return !a;
+        }
+        if a == !t {
+            return b;
+        }
+        if b == !t {
+            return a;
+        }
+        if a == b {
+            return !t;
+        }
+        if a == !b {
+            return t;
+        }
+        let g = Lit::pos(sat.new_var());
+        sat.add_clause(&[!g, a, b]);
+        sat.add_clause(&[!g, !a, !b]);
+        sat.add_clause(&[g, !a, b]);
+        sat.add_clause(&[g, a, !b]);
+        g
+    }
+
+    fn iff_gate(&mut self, sat: &mut SatSolver, a: Lit, b: Lit) -> Lit {
+        !self.xor_gate(sat, a, b)
+    }
+
+    /// `cond ? a : b`
+    fn mux_gate(&mut self, sat: &mut SatSolver, cond: Lit, a: Lit, b: Lit) -> Lit {
+        let t = self.tru(sat);
+        if cond == t {
+            return a;
+        }
+        if cond == !t {
+            return b;
+        }
+        if a == b {
+            return a;
+        }
+        let g = Lit::pos(sat.new_var());
+        sat.add_clause(&[!g, !cond, a]);
+        sat.add_clause(&[!g, cond, b]);
+        sat.add_clause(&[g, !cond, !a]);
+        sat.add_clause(&[g, cond, !b]);
+        g
+    }
+
+    fn full_adder(&mut self, sat: &mut SatSolver, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+        let axb = self.xor_gate(sat, a, b);
+        let sum = self.xor_gate(sat, axb, cin);
+        let ab = self.and_gate(sat, a, b);
+        let axb_c = self.and_gate(sat, axb, cin);
+        let cout = self.or_gate(sat, ab, axb_c);
+        (sum, cout)
+    }
+
+    /// Ripple-carry addition `a + b + cin` truncated to `a.len()` bits.
+    /// `b = None` means zero.
+    fn add_with_carry(
+        &mut self,
+        sat: &mut SatSolver,
+        a: &[Lit],
+        b: Option<&[Lit]>,
+        cin: Lit,
+    ) -> Vec<Lit> {
+        let f = self.fls(sat);
+        let mut carry = cin;
+        let mut out = Vec::with_capacity(a.len());
+        for (i, &ai) in a.iter().enumerate() {
+            let bi = b.map_or(f, |b| b[i]);
+            let (s, c) = self.full_adder(sat, ai, bi, carry);
+            out.push(s);
+            carry = c;
+        }
+        out
+    }
+
+    fn eq_bits(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut acc = self.tru(sat);
+        for (&x, &y) in a.iter().zip(b) {
+            let e = self.iff_gate(sat, x, y);
+            acc = self.and_gate(sat, acc, e);
+        }
+        acc
+    }
+
+    /// MSB-first unsigned comparison chain.
+    fn ult_bits(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Lit {
+        let mut lt = self.fls(sat);
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            // iterate LSB→MSB, folding:
+            // lt' = (¬x ∧ y) ∨ ((x ≡ y) ∧ lt)
+            let nx_y = self.and_gate(sat, !x, y);
+            let eqxy = self.iff_gate(sat, x, y);
+            let keep = self.and_gate(sat, eqxy, lt);
+            lt = self.or_gate(sat, nx_y, keep);
+        }
+        lt
+    }
+
+    fn mul_bits(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let f = self.fls(sat);
+        let mut acc = vec![f; w];
+        for i in 0..w {
+            // Partial product: (b << i) masked by a[i]; bits above w truncate.
+            let mut partial = vec![f; w];
+            for j in i..w {
+                partial[j] = self.and_gate(sat, a[i], b[j - i]);
+            }
+            acc = self.add_with_carry(sat, &acc, Some(&partial), f);
+        }
+        acc
+    }
+
+    /// Restoring division: returns `(quotient, remainder)`.
+    ///
+    /// For a zero divisor the circuit naturally produces `q = all-ones`,
+    /// `r = a`, matching SMT-LIB `bvudiv`/`bvurem` and RISC-V `DIVU`/`REMU`.
+    fn udivrem_bits(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let f = self.fls(sat);
+        // (w+1)-bit working remainder; divisor zero-extended.
+        let mut rem: Vec<Lit> = vec![f; w + 1];
+        let mut bext: Vec<Lit> = b.to_vec();
+        bext.push(f);
+        let mut q = vec![f; w];
+        for i in (0..w).rev() {
+            // rem = (rem << 1) | a[i]
+            let mut shifted = Vec::with_capacity(w + 1);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&rem[..w]);
+            // cmp = shifted >= bext  <=>  !(shifted < bext)
+            let lt = self.ult_bits(sat, &shifted, &bext);
+            let ge = !lt;
+            // diff = shifted - bext
+            let binv: Vec<Lit> = bext.iter().map(|&l| !l).collect();
+            let t = self.tru(sat);
+            let diff = self.add_with_carry(sat, &shifted, Some(&binv), t);
+            // rem = ge ? diff : shifted
+            rem = shifted
+                .iter()
+                .zip(&diff)
+                .map(|(&s, &d)| self.mux_gate(sat, ge, d, s))
+                .collect();
+            q[i] = ge;
+        }
+        (q, rem[..w].to_vec())
+    }
+
+    fn neg_bits(&mut self, sat: &mut SatSolver, a: &[Lit]) -> Vec<Lit> {
+        let inv: Vec<Lit> = a.iter().map(|&l| !l).collect();
+        let t = self.tru(sat);
+        self.add_with_carry(sat, &inv, None, t)
+    }
+
+    fn abs_bits(&mut self, sat: &mut SatSolver, a: &[Lit]) -> Vec<Lit> {
+        let sign = *a.last().expect("nonempty");
+        let neg = self.neg_bits(sat, a);
+        a.iter()
+            .zip(&neg)
+            .map(|(&x, &n)| self.mux_gate(sat, sign, n, x))
+            .collect()
+    }
+
+    fn is_zero(&mut self, sat: &mut SatSolver, a: &[Lit]) -> Lit {
+        let mut acc = self.tru(sat);
+        for &l in a {
+            acc = self.and_gate(sat, acc, !l);
+        }
+        acc
+    }
+
+    /// Signed division with RISC-V `DIV` semantics (`x / 0 = -1`,
+    /// `MIN / -1 = MIN`).
+    fn sdiv_bits(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let sa = *a.last().expect("nonempty");
+        let sb = *b.last().expect("nonempty");
+        let aa = self.abs_bits(sat, a);
+        let ab = self.abs_bits(sat, b);
+        let (q, _) = self.udivrem_bits(sat, &aa, &ab);
+        let qneg = self.neg_bits(sat, &q);
+        let flip = self.xor_gate(sat, sa, sb);
+        let signed_q: Vec<Lit> = q
+            .iter()
+            .zip(&qneg)
+            .map(|(&x, &n)| self.mux_gate(sat, flip, n, x))
+            .collect();
+        // Divide-by-zero override: result is all-ones.
+        let bz = self.is_zero(sat, b);
+        let t = self.tru(sat);
+        signed_q
+            .iter()
+            .map(|&x| self.mux_gate(sat, bz, t, x))
+            .collect()
+    }
+
+    /// Signed remainder with RISC-V `REM` semantics (`x % 0 = x`,
+    /// `MIN % -1 = 0`); sign follows the dividend.
+    fn srem_bits(&mut self, sat: &mut SatSolver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let sa = *a.last().expect("nonempty");
+        let aa = self.abs_bits(sat, a);
+        let ab = self.abs_bits(sat, b);
+        let (_, r) = self.udivrem_bits(sat, &aa, &ab);
+        let rneg = self.neg_bits(sat, &r);
+        let signed_r: Vec<Lit> = r
+            .iter()
+            .zip(&rneg)
+            .map(|(&x, &n)| self.mux_gate(sat, sa, n, x))
+            .collect();
+        // Divide-by-zero override: remainder is the dividend.
+        let bz = self.is_zero(sat, b);
+        signed_r
+            .iter()
+            .zip(a)
+            .map(|(&x, &orig)| self.mux_gate(sat, bz, orig, x))
+            .collect()
+    }
+
+    fn barrel_shift(
+        &mut self,
+        sat: &mut SatSolver,
+        a: &[Lit],
+        amount: &[Lit],
+        kind: ShiftKind,
+        fill: Lit,
+    ) -> Vec<Lit> {
+        let w = a.len();
+        let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2(w))
+        let mut cur = a.to_vec();
+        for k in 0..stages {
+            let sh = 1usize << k;
+            let ctl = amount[k as usize];
+            let mut next = Vec::with_capacity(w);
+            for i in 0..w {
+                let shifted_bit = match kind {
+                    ShiftKind::Left => {
+                        if i >= sh {
+                            cur[i - sh]
+                        } else {
+                            fill
+                        }
+                    }
+                    ShiftKind::LogicalRight | ShiftKind::ArithRight => {
+                        if i + sh < w {
+                            cur[i + sh]
+                        } else {
+                            fill
+                        }
+                    }
+                };
+                next.push(self.mux_gate(sat, ctl, shifted_bit, cur[i]));
+            }
+            cur = next;
+        }
+        // Any set bit of the amount at positions >= stages means shift >= w
+        // (for widths that are powers of two; otherwise also check the
+        // in-range stages overflow via comparison).
+        let wlit = amount.len();
+        let mut overflow = self.fls(sat);
+        for k in stages as usize..wlit {
+            overflow = self.or_gate(sat, overflow, amount[k]);
+        }
+        if !w.is_power_of_two() {
+            // amount[0..stages] may still encode a value >= w:
+            // ge = !(amount[0..stages] <u w)
+            let amt_low = &amount[..stages as usize];
+            let wbits: Vec<Lit> = (0..stages)
+                .map(|i| {
+                    if (w >> i) & 1 == 1 {
+                        self.tru(sat)
+                    } else {
+                        self.fls(sat)
+                    }
+                })
+                .collect();
+            let lt = self.ult_bits(sat, amt_low, &wbits);
+            overflow = self.or_gate(sat, overflow, !lt);
+        }
+        cur.into_iter()
+            .map(|l| self.mux_gate(sat, overflow, fill, l))
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShiftKind {
+    Left,
+    LogicalRight,
+    ArithRight,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SatResult;
+
+    /// Asserts that `t` (bool) is satisfiable and returns a model value of
+    /// variable `name`.
+    fn solve_for(tm: &mut TermManager, t: Term, name: &str) -> Option<u64> {
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new();
+        let lit = bb.blast_bool(tm, &mut sat, t);
+        sat.add_clause(&[lit]);
+        if sat.solve(&[]) != SatResult::Sat {
+            return None;
+        }
+        let v = tm.find_var(name)?;
+        let bits = bb.var_literals(v)?;
+        let mut val = 0u64;
+        for (i, &l) in bits.iter().enumerate() {
+            if sat.value(l.var()) == Some(!l.is_neg()) {
+                val |= 1 << i;
+            }
+        }
+        Some(val)
+    }
+
+    fn is_sat(tm: &mut TermManager, t: Term) -> bool {
+        let mut sat = SatSolver::new();
+        let mut bb = BitBlaster::new();
+        let lit = bb.blast_bool(tm, &mut sat, t);
+        sat.add_clause(&[lit]);
+        sat.solve(&[]) == SatResult::Sat
+    }
+
+    #[test]
+    fn solve_addition() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let c3 = tm.bv_const(3, 8);
+        let c10 = tm.bv_const(10, 8);
+        let s = tm.add(x, c3);
+        let eq = tm.eq(s, c10);
+        assert_eq!(solve_for(&mut tm, eq, "x"), Some(7));
+    }
+
+    #[test]
+    fn solve_multiplication() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let c6 = tm.bv_const(6, 8);
+        let c42 = tm.bv_const(42, 8);
+        let m = tm.mul(x, c6);
+        let eq = tm.eq(m, c42);
+        let v = solve_for(&mut tm, eq, "x").expect("sat");
+        assert_eq!((v * 6) & 0xff, 42);
+    }
+
+    #[test]
+    fn unsat_contradiction() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let c1 = tm.bv_const(1, 8);
+        let s = tm.add(x, c1);
+        let eq = tm.eq(s, x); // x + 1 == x is unsat
+        assert!(!is_sat(&mut tm, eq));
+    }
+
+    #[test]
+    fn division_circuit() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let c7 = tm.bv_const(7, 8);
+        let c5 = tm.bv_const(5, 8);
+        let q = tm.udiv(x, c7);
+        let eq = tm.eq(q, c5); // x / 7 == 5  =>  x in 35..=41
+        let v = solve_for(&mut tm, eq, "x").expect("sat");
+        assert!((35..=41).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn division_by_zero_circuit() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let z = tm.var("z", 8);
+        let zero = tm.bv_const(0, 8);
+        let allones = tm.bv_const(0xff, 8);
+        let zz = tm.eq(z, zero);
+        let q = tm.udiv(x, z);
+        let qo = tm.eq(q, allones);
+        let and = tm.and(zz, qo);
+        assert!(is_sat(&mut tm, and));
+        // But q == 0xff with z == 0 being *violated* is unsat:
+        let nqo = tm.not(qo);
+        let bad = tm.and(zz, nqo);
+        assert!(!is_sat(&mut tm, bad));
+    }
+
+    #[test]
+    fn signed_compare_circuit() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let zero = tm.bv_const(0, 8);
+        let lt = tm.slt(x, zero);
+        let v = solve_for(&mut tm, lt, "x").expect("sat");
+        assert!(v & 0x80 != 0, "negative value expected, got {v:#x}");
+    }
+
+    #[test]
+    fn shift_circuit() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let c3 = tm.bv_const(3, 8);
+        let c8 = tm.bv_const(8, 8);
+        let sh = tm.shl(x, c3);
+        let eq = tm.eq(sh, c8); // x << 3 == 8 => x & 0x1f == 1
+        let v = solve_for(&mut tm, eq, "x").expect("sat");
+        assert_eq!((v << 3) & 0xff, 8);
+    }
+
+    #[test]
+    fn variable_shift_amount() {
+        let mut tm = TermManager::new();
+        let s = tm.var("s", 8);
+        let one = tm.bv_const(1, 8);
+        let c16 = tm.bv_const(16, 8);
+        let sh = tm.shl(one, s);
+        let eq = tm.eq(sh, c16);
+        assert_eq!(solve_for(&mut tm, eq, "s"), Some(4));
+    }
+
+    #[test]
+    fn shift_overflow_yields_zero() {
+        let mut tm = TermManager::new();
+        let s = tm.var("s", 8);
+        let one = tm.bv_const(1, 8);
+        let c8 = tm.bv_const(8, 8);
+        let zero = tm.bv_const(0, 8);
+        let sh = tm.shl(one, s);
+        let ge8 = tm.uge(s, c8);
+        let nz = tm.ne(sh, zero);
+        let both = tm.and(ge8, nz);
+        assert!(!is_sat(&mut tm, both), "shift >= width must produce 0");
+    }
+
+    #[test]
+    fn ashr_replicates_sign() {
+        let mut tm = TermManager::new();
+        let x = tm.bv_const(0x80, 8);
+        let s = tm.var("s", 8);
+        let c7 = tm.bv_const(7, 8);
+        let sh = tm.ashr(x, s);
+        let eqs = tm.eq(s, c7);
+        let allones = tm.bv_const(0xff, 8);
+        let eqr = tm.eq(sh, allones);
+        let both = tm.and(eqs, eqr);
+        assert!(is_sat(&mut tm, both));
+    }
+
+    #[test]
+    fn sext_zext_circuit() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let se = tm.sext(x, 16);
+        let c = tm.bv_const(0xff80, 16);
+        let eq = tm.eq(se, c);
+        assert_eq!(solve_for(&mut tm, eq, "x"), Some(0x80));
+    }
+}

@@ -1,0 +1,269 @@
+//! Concrete evaluation of terms under a variable assignment.
+//!
+//! Used in three places: model validation after a SAT result, property-based
+//! testing of the bit-blaster against a ground-truth interpreter, and the
+//! concolic executor of the core engine, which needs the concrete value of
+//! every symbolic expression under the current input assignment.
+
+use std::collections::HashMap;
+
+use crate::term::{mask, to_signed, Op, Sort, Term, TermManager, VarId};
+
+/// A concrete value: a boolean or a masked bitvector payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// Boolean value.
+    Bool(bool),
+    /// Bitvector value (already masked to the term's width).
+    BitVec(u64),
+}
+
+impl Value {
+    /// Extracts the bitvector payload.
+    ///
+    /// # Panics
+    /// Panics if the value is boolean.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            Value::BitVec(v) => v,
+            Value::Bool(_) => panic!("expected bitvector value"),
+        }
+    }
+
+    /// Extracts the boolean payload.
+    ///
+    /// # Panics
+    /// Panics if the value is a bitvector.
+    pub fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::BitVec(_) => panic!("expected boolean value"),
+        }
+    }
+}
+
+/// Error returned when evaluation encounters an unassigned variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnassignedVarError {
+    /// Name of the variable that had no value in the assignment.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnassignedVarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "variable `{}` has no assigned value", self.name)
+    }
+}
+
+impl std::error::Error for UnassignedVarError {}
+
+/// Evaluates `t` under `assignment` (map from variable id to raw value;
+/// bitvector payloads may be unmasked, booleans are encoded as 0/1).
+///
+/// Uses an explicit work list, so deep DAGs do not overflow the stack.
+///
+/// # Errors
+/// Returns [`UnassignedVarError`] if a variable in `t` is missing from the
+/// assignment.
+pub fn eval(
+    tm: &TermManager,
+    t: Term,
+    assignment: &HashMap<VarId, u64>,
+) -> Result<Value, UnassignedVarError> {
+    let mut cache: HashMap<Term, Value> = HashMap::new();
+    let mut stack: Vec<(Term, bool)> = vec![(t, false)];
+    while let Some((cur, expanded)) = stack.pop() {
+        if cache.contains_key(&cur) {
+            continue;
+        }
+        if !expanded {
+            stack.push((cur, true));
+            for &a in tm.args(cur) {
+                stack.push((a, false));
+            }
+            continue;
+        }
+        let v = eval_node(tm, cur, assignment, &cache)?;
+        cache.insert(cur, v);
+    }
+    Ok(cache[&t])
+}
+
+fn eval_node(
+    tm: &TermManager,
+    t: Term,
+    assignment: &HashMap<VarId, u64>,
+    cache: &HashMap<Term, Value>,
+) -> Result<Value, UnassignedVarError> {
+    let args = tm.args(t);
+    let get = |i: usize| cache[&args[i]];
+    let bv = |i: usize| get(i).as_u64();
+    let b = |i: usize| get(i).as_bool();
+    let w = match tm.sort(t) {
+        Sort::BitVec(w) => w,
+        Sort::Bool => 0,
+    };
+    let aw = if args.is_empty() || !tm.sort(args[0]).is_bitvec() {
+        0
+    } else {
+        tm.width(args[0])
+    };
+    let out = match tm.op(t) {
+        Op::BvConst(v) => Value::BitVec(v),
+        Op::BoolConst(c) => Value::Bool(c),
+        Op::Var(v) => {
+            let raw = assignment.get(&v).copied().ok_or_else(|| UnassignedVarError {
+                name: tm.var_name(v).to_owned(),
+            })?;
+            match tm.var_sort(v) {
+                Sort::Bool => Value::Bool(raw != 0),
+                Sort::BitVec(w) => Value::BitVec(raw & mask(w)),
+            }
+        }
+        Op::Not => Value::Bool(!b(0)),
+        Op::And => Value::Bool(b(0) && b(1)),
+        Op::Or => Value::Bool(b(0) || b(1)),
+        Op::Xor => Value::Bool(b(0) ^ b(1)),
+        Op::Implies => Value::Bool(!b(0) || b(1)),
+        Op::Ite => {
+            if b(0) {
+                get(1)
+            } else {
+                get(2)
+            }
+        }
+        Op::Eq => Value::Bool(get(0) == get(1)),
+        Op::Ult => Value::Bool(bv(0) < bv(1)),
+        Op::Slt => Value::Bool(to_signed(bv(0), aw) < to_signed(bv(1), aw)),
+        Op::Ule => Value::Bool(bv(0) <= bv(1)),
+        Op::Sle => Value::Bool(to_signed(bv(0), aw) <= to_signed(bv(1), aw)),
+        Op::BvNot => Value::BitVec(!bv(0) & mask(w)),
+        Op::BvNeg => Value::BitVec(bv(0).wrapping_neg() & mask(w)),
+        Op::BvAnd => Value::BitVec(bv(0) & bv(1)),
+        Op::BvOr => Value::BitVec(bv(0) | bv(1)),
+        Op::BvXor => Value::BitVec(bv(0) ^ bv(1)),
+        Op::BvAdd => Value::BitVec(bv(0).wrapping_add(bv(1)) & mask(w)),
+        Op::BvSub => Value::BitVec(bv(0).wrapping_sub(bv(1)) & mask(w)),
+        Op::BvMul => Value::BitVec(bv(0).wrapping_mul(bv(1)) & mask(w)),
+        Op::BvUdiv => {
+            let (x, y) = (bv(0), bv(1));
+            Value::BitVec(if y == 0 { mask(w) } else { x / y })
+        }
+        Op::BvUrem => {
+            let (x, y) = (bv(0), bv(1));
+            Value::BitVec(if y == 0 { x } else { x % y })
+        }
+        Op::BvSdiv => {
+            let xs = to_signed(bv(0), w);
+            let ys = to_signed(bv(1), w);
+            let r = if ys == 0 { -1 } else { xs.wrapping_div(ys) };
+            Value::BitVec(r as u64 & mask(w))
+        }
+        Op::BvSrem => {
+            let xs = to_signed(bv(0), w);
+            let ys = to_signed(bv(1), w);
+            let r = if ys == 0 { xs } else { xs.wrapping_rem(ys) };
+            Value::BitVec(r as u64 & mask(w))
+        }
+        Op::BvShl => {
+            let (x, y) = (bv(0), bv(1));
+            Value::BitVec(if y >= u64::from(w) { 0 } else { (x << y) & mask(w) })
+        }
+        Op::BvLshr => {
+            let (x, y) = (bv(0), bv(1));
+            Value::BitVec(if y >= u64::from(w) { 0 } else { x >> y })
+        }
+        Op::BvAshr => {
+            let xs = to_signed(bv(0), w);
+            let sh = bv(1).min(u64::from(w) - 1) as u32;
+            Value::BitVec((xs >> sh) as u64 & mask(w))
+        }
+        Op::Concat => {
+            let wlo = tm.width(args[1]);
+            Value::BitVec(((bv(0) << wlo) | bv(1)) & mask(w))
+        }
+        Op::Extract { hi, lo } => Value::BitVec((bv(0) >> lo) & mask(hi - lo + 1)),
+        Op::ZeroExt { .. } => Value::BitVec(bv(0)),
+        Op::SignExt { .. } => Value::BitVec(to_signed(bv(0), aw) as u64 & mask(w)),
+    };
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign(tm: &mut TermManager, pairs: &[(&str, u64, u32)]) -> HashMap<VarId, u64> {
+        let mut m = HashMap::new();
+        for &(name, val, w) in pairs {
+            tm.var(name, w);
+            m.insert(tm.find_var(name).unwrap(), val);
+        }
+        m
+    }
+
+    #[test]
+    fn eval_arith() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", 32);
+        let b = tm.var("b", 32);
+        let s = tm.add(a, b);
+        let m = assign(&mut tm, &[("a", 10, 32), ("b", 0xffff_fffe, 32)]);
+        assert_eq!(eval(&tm, s, &m).unwrap(), Value::BitVec(8)); // wraps
+    }
+
+    #[test]
+    fn eval_signed_compare() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", 32);
+        let b = tm.var("b", 32);
+        let lt = tm.slt(a, b);
+        let m = assign(&mut tm, &[("a", 0xffff_ffff, 32), ("b", 1, 32)]);
+        assert_eq!(eval(&tm, lt, &m).unwrap(), Value::Bool(true));
+        let ult = tm.ult(a, b);
+        assert_eq!(eval(&tm, ult, &m).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn eval_shift_and_extract() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", 32);
+        let one = tm.bv_const(31, 32);
+        let sh = tm.shl(a, one);
+        let m = assign(&mut tm, &[("a", 1, 32)]);
+        assert_eq!(eval(&tm, sh, &m).unwrap(), Value::BitVec(0x8000_0000));
+        let ex = tm.extract(a, 0, 0);
+        assert_eq!(eval(&tm, ex, &m).unwrap(), Value::BitVec(1));
+    }
+
+    #[test]
+    fn eval_sext_concat() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", 8);
+        let se = tm.sext(a, 32);
+        let m = assign(&mut tm, &[("a", 0x80, 8)]);
+        assert_eq!(eval(&tm, se, &m).unwrap(), Value::BitVec(0xffff_ff80));
+        let b = tm.var("b", 8);
+        let cc = tm.concat(a, b);
+        let m2 = assign(&mut tm, &[("a", 0xab, 8), ("b", 0xcd, 8)]);
+        assert_eq!(eval(&tm, cc, &m2).unwrap(), Value::BitVec(0xabcd));
+    }
+
+    #[test]
+    fn eval_unassigned_errors() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", 32);
+        let err = eval(&tm, a, &HashMap::new()).unwrap_err();
+        assert_eq!(err.name, "a");
+    }
+
+    #[test]
+    fn eval_division_by_zero() {
+        let mut tm = TermManager::new();
+        let a = tm.var("a", 32);
+        let z = tm.var("z", 32);
+        let q = tm.udiv(a, z);
+        let m = assign(&mut tm, &[("a", 100, 32), ("z", 0, 32)]);
+        assert_eq!(eval(&tm, q, &m).unwrap(), Value::BitVec(0xffff_ffff));
+    }
+}

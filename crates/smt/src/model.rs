@@ -1,0 +1,93 @@
+//! Models (satisfying assignments) extracted from the solver.
+
+use std::collections::HashMap;
+
+use crate::eval::{self, Value};
+use crate::term::{Term, TermManager, VarId};
+
+/// A satisfying assignment mapping variables to concrete values.
+///
+/// Variables that did not occur in any asserted formula (or whose value is
+/// irrelevant) default to zero/false, so a model can always seed a complete
+/// concrete re-execution — exactly what the offline DSE executor of the core
+/// engine needs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: HashMap<VarId, u64>,
+    names: HashMap<String, VarId>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn insert(&mut self, id: VarId, name: &str, value: u64) {
+        self.values.insert(id, value);
+        self.names.insert(name.to_owned(), id);
+    }
+
+    /// Value of a variable by name; `None` if the variable is unknown.
+    pub fn value(&self, name: &str) -> Option<u64> {
+        self.names.get(name).and_then(|id| self.values.get(id)).copied()
+    }
+
+    /// Value of a variable by id (defaults to 0 for unknown variables).
+    pub fn value_of(&self, id: VarId) -> u64 {
+        self.values.get(&id).copied().unwrap_or(0)
+    }
+
+    /// The raw assignment map, usable with [`crate::eval::eval`].
+    pub fn assignment(&self) -> &HashMap<VarId, u64> {
+        &self.values
+    }
+
+    /// Evaluates an arbitrary term under this model. Unassigned variables
+    /// default to zero.
+    pub fn eval(&self, tm: &TermManager, t: Term) -> Value {
+        let mut full = self.values.clone();
+        for v in tm.vars_of(t) {
+            full.entry(v).or_insert(0);
+        }
+        eval::eval(tm, t, &full).expect("all variables defaulted")
+    }
+
+    /// Iterates over `(name, value)` pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        let mut pairs: Vec<(&str, u64)> = self
+            .names
+            .iter()
+            .map(|(n, id)| (n.as_str(), self.values[id]))
+            .collect();
+        pairs.sort();
+        pairs.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_lookup_and_eval() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let xid = tm.find_var("x").unwrap();
+        let mut m = Model::new();
+        m.insert(xid, "x", 41);
+        assert_eq!(m.value("x"), Some(41));
+        assert_eq!(m.value("missing"), None);
+        let one = tm.bv_const(1, 32);
+        let s = tm.add(x, one);
+        assert_eq!(m.eval(&tm, s), Value::BitVec(42));
+    }
+
+    #[test]
+    fn unassigned_defaults_to_zero() {
+        let mut tm = TermManager::new();
+        let y = tm.var("y", 32);
+        let m = Model::new();
+        assert_eq!(m.eval(&tm, y), Value::BitVec(0));
+    }
+}

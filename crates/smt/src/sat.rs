@@ -1,0 +1,945 @@
+//! A CDCL SAT solver in the MiniSat lineage.
+//!
+//! Features: two-watched-literal propagation, VSIDS decision heuristic with
+//! an indexed max-heap, first-UIP conflict analysis with clause learning,
+//! phase saving, Luby restarts, and activity-based learnt-clause database
+//! reduction. Solving is *incremental*: clauses persist across calls and
+//! queries are posed under assumptions, which is how the SMT layer implements
+//! `push`/`pop` (frame guard literals).
+//!
+//! The solver is deliberately free of unsafe code; the workloads produced by
+//! bit-blasting the paper's benchmarks (a few thousand variables) are well
+//! within its comfort zone.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `var << 1 | negated`, so `lit.var()` and `lit.is_neg()` are
+/// bit operations and literals index watch lists directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Positive literal of `v`.
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// Negative literal of `v`.
+    pub fn neg(v: Var) -> Lit {
+        Lit((v.0 << 1) | 1)
+    }
+
+    /// Creates a literal with an explicit sign (`true` = negated).
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit((v.0 << 1) | u32::from(negated))
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// True if the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Index usable for watch lists (0..2*nvars).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "-{}", self.var().0 + 1)
+        } else {
+            write!(f, "{}", self.var().0 + 1)
+        }
+    }
+}
+
+/// Ternary assignment value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+}
+
+/// Result of a satisfiability query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SatResult {
+    /// A satisfying assignment exists (and is available via `value`).
+    Sat,
+    /// No satisfying assignment exists under the given assumptions.
+    Unsat,
+}
+
+#[derive(Debug, Clone)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    activity: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Watch {
+    clause: u32,
+    blocker: Lit,
+}
+
+/// Indexed max-heap over variable activities (the VSIDS order).
+#[derive(Debug, Default)]
+struct VarHeap {
+    heap: Vec<Var>,
+    pos: Vec<Option<u32>>, // position of var in heap
+}
+
+impl VarHeap {
+    fn grow(&mut self, nvars: usize) {
+        self.pos.resize(nvars, None);
+    }
+
+    fn contains(&self, v: Var) -> bool {
+        self.pos[v.0 as usize].is_some()
+    }
+
+    fn push(&mut self, v: Var, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.0 as usize] = Some(self.heap.len() as u32);
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    fn pop(&mut self, act: &[f64]) -> Option<Var> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("nonempty");
+        self.pos[top.0 as usize] = None;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last.0 as usize] = Some(0);
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn update(&mut self, v: Var, act: &[f64]) {
+        if let Some(i) = self.pos[v.0 as usize] {
+            self.sift_up(i as usize, act);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i].0 as usize] <= act[self.heap[parent].0 as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut best = i;
+            if l < self.heap.len() && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize] {
+                best = l;
+            }
+            if r < self.heap.len() && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize] {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].0 as usize] = Some(i as u32);
+        self.pos[self.heap[j].0 as usize] = Some(j as u32);
+    }
+}
+
+/// Statistics counters exposed for benchmarking and tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SatStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+/// The CDCL solver.
+///
+/// # Example
+/// ```
+/// use binsym_smt::sat::{Lit, SatResult, SatSolver, Var};
+///
+/// let mut s = SatSolver::new();
+/// let a = s.new_var();
+/// let b = s.new_var();
+/// s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+/// s.add_clause(&[Lit::neg(a)]);
+/// assert_eq!(s.solve(&[]), SatResult::Sat);
+/// assert_eq!(s.value(b), Some(true));
+/// ```
+#[derive(Debug, Default)]
+pub struct SatSolver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>, // indexed by Lit::index
+    assigns: Vec<LBool>,
+    phase: Vec<bool>,
+    reason: Vec<Option<u32>>,
+    level: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<u32>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    heap: VarHeap,
+    seen: Vec<bool>,
+    unsat: bool, // became unsat at level 0
+    stats: SatStats,
+    max_learnts: f64,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const CLA_DECAY: f64 = 0.999;
+const RESCALE_LIMIT: f64 = 1e100;
+
+impl SatSolver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        SatSolver {
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            max_learnts: 3000.0,
+            ..Default::default()
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.learnt).count()
+    }
+
+    /// Solver statistics.
+    pub fn stats(&self) -> SatStats {
+        self.stats
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.phase.push(false);
+        self.reason.push(None);
+        self.level.push(0);
+        self.activity.push(0.0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assigns.len());
+        self.heap.push(v, &self.activity);
+        v
+    }
+
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().0 as usize] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// Value of `v` in the model found by the last successful [`SatSolver::solve`].
+    ///
+    /// Returns `None` for unassigned variables (possible for variables that
+    /// do not influence satisfiability).
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assigns[v.0 as usize] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Adds a clause. An empty (or all-false at level 0) clause makes the
+    /// instance permanently unsatisfiable.
+    ///
+    /// Must be called with the solver at decision level 0 (it always is
+    /// between [`SatSolver::solve`] calls).
+    pub fn add_clause(&mut self, lits: &[Lit]) {
+        // Adding clauses invalidates any model found by a previous solve;
+        // return to decision level 0 first.
+        self.backtrack(0);
+        if self.unsat {
+            return;
+        }
+        // Simplify: dedupe, drop false literals, detect tautology / satisfied.
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            match self.lit_value(l) {
+                LBool::True => return, // already satisfied at level 0
+                LBool::False => continue,
+                LBool::Undef => {}
+            }
+            if c.contains(&!l) {
+                return; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => self.unsat = true,
+            1 => {
+                self.enqueue(c[0], None);
+                if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                self.attach_clause(c, false);
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let idx = self.clauses.len() as u32;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[(!w0).index()].push(Watch { clause: idx, blocker: w1 });
+        self.watches[(!w1).index()].push(Watch { clause: idx, blocker: w0 });
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            activity: 0.0,
+        });
+        if learnt {
+            self.stats.learnts += 1;
+        }
+        idx
+    }
+
+    fn enqueue(&mut self, l: Lit, reason: Option<u32>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var().0 as usize;
+        self.assigns[v] = LBool::from_bool(!l.is_neg());
+        self.phase[v] = !l.is_neg();
+        self.reason[v] = reason;
+        self.level[v] = self.decision_level();
+        self.trail.push(l);
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Unit propagation; returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            let mut watches = std::mem::take(&mut self.watches[p.index()]);
+            let mut conflict: Option<u32> = None;
+            'watches: while i < watches.len() {
+                let w = watches[i];
+                // Quick check: blocker already true?
+                if self.lit_value(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let ci = w.clause as usize;
+                // Ensure the false literal (!p) is at position 1.
+                let false_lit = !p;
+                if self.clauses[ci].lits[0] == false_lit {
+                    self.clauses[ci].lits.swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
+                let first = self.clauses[ci].lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    watches[i].blocker = first;
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[ci].lits.len() {
+                    let l = self.clauses[ci].lits[k];
+                    if self.lit_value(l) != LBool::False {
+                        self.clauses[ci].lits.swap(1, k);
+                        self.watches[(!l).index()].push(Watch {
+                            clause: w.clause,
+                            blocker: first,
+                        });
+                        watches.swap_remove(i);
+                        continue 'watches;
+                    }
+                }
+                // Clause is unit or conflicting.
+                watches[i].blocker = first;
+                if self.lit_value(first) == LBool::False {
+                    conflict = Some(w.clause);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.enqueue(first, Some(w.clause));
+                i += 1;
+            }
+            // Put back remaining watches (append any added during the loop).
+            let added = std::mem::replace(&mut self.watches[p.index()], watches);
+            self.watches[p.index()].extend(added);
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        let a = &mut self.activity[v.0 as usize];
+        *a += self.var_inc;
+        if *a > RESCALE_LIMIT {
+            for x in &mut self.activity {
+                *x *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.update(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, ci: usize) {
+        let c = &mut self.clauses[ci];
+        if !c.learnt {
+            return;
+        }
+        c.activity += self.cla_inc;
+        if c.activity > RESCALE_LIMIT {
+            for cl in self.clauses.iter_mut().filter(|c| c.learnt) {
+                cl.activity *= 1e-100;
+            }
+            self.cla_inc *= 1e-100;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns (learnt clause, backtrack level).
+    fn analyze(&mut self, confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for the asserting literal
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut clause = confl;
+        let mut index = self.trail.len();
+
+        loop {
+            self.bump_clause(clause as usize);
+            let lits: Vec<Lit> = self.clauses[clause as usize].lits.clone();
+            let start = usize::from(p.is_some());
+            for &q in &lits[start..] {
+                let v = q.var().0 as usize;
+                if !self.seen[v] && self.level[v] > 0 {
+                    self.seen[v] = true;
+                    self.bump_var(q.var());
+                    if self.level[v] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next literal to look at.
+            loop {
+                index -= 1;
+                let l = self.trail[index];
+                if self.seen[l.var().0 as usize] {
+                    p = Some(l);
+                    break;
+                }
+            }
+            let pv = p.expect("found literal").var().0 as usize;
+            self.seen[pv] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = !p.expect("uip");
+                break;
+            }
+            clause = self.reason[pv].expect("non-decision literal has a reason");
+        }
+
+        // Cheap clause minimization: drop literals implied by others in the
+        // clause (their reason's literals are all already in the clause).
+        let keep: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.redundant(l, &learnt))
+            .collect();
+        let mut out = vec![learnt[0]];
+        out.extend(keep);
+
+        for &l in &out {
+            self.seen[l.var().0 as usize] = false;
+        }
+        // Also clear any remaining seen flags from minimization bookkeeping.
+        for &l in &learnt {
+            self.seen[l.var().0 as usize] = false;
+        }
+
+        let bt = if out.len() == 1 {
+            0
+        } else {
+            // Move the literal with the highest level (other than [0]) to [1].
+            let mut max_i = 1;
+            for i in 2..out.len() {
+                if self.level[out[i].var().0 as usize] > self.level[out[max_i].var().0 as usize] {
+                    max_i = i;
+                }
+            }
+            out.swap(1, max_i);
+            self.level[out[1].var().0 as usize]
+        };
+        (out, bt)
+    }
+
+    /// A literal is redundant if its reason clause's other literals are all
+    /// marked seen (single-step minimization).
+    fn redundant(&self, l: Lit, _learnt: &[Lit]) -> bool {
+        let v = l.var().0 as usize;
+        match self.reason[v] {
+            None => false,
+            Some(ci) => self.clauses[ci as usize].lits.iter().all(|&q| {
+                q.var() == l.var() || self.seen[q.var().0 as usize] || self.level[q.var().0 as usize] == 0
+            }),
+        }
+    }
+
+    fn backtrack(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level as usize] as usize;
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var().0 as usize;
+            self.assigns[v] = LBool::Undef;
+            self.reason[v] = None;
+            if !self.heap.contains(l.var()) {
+                self.heap.push(l.var(), &self.activity);
+            }
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> Option<Lit> {
+        while let Some(v) = self.heap.pop(&self.activity) {
+            if self.assigns[v.0 as usize] == LBool::Undef {
+                let phase = self.phase[v.0 as usize];
+                return Some(Lit::new(v, !phase));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // Sort learnt clause indices by activity and remove the weaker half.
+        let mut learnt_idx: Vec<usize> = (0..self.clauses.len())
+            .filter(|&i| self.clauses[i].learnt && !self.is_reason(i as u32) && self.clauses[i].lits.len() > 2)
+            .collect();
+        learnt_idx.sort_by(|&a, &b| {
+            self.clauses[a]
+                .activity
+                .partial_cmp(&self.clauses[b].activity)
+                .expect("activities are finite")
+        });
+        let remove: Vec<usize> = learnt_idx[..learnt_idx.len() / 2].to_vec();
+        if remove.is_empty() {
+            return;
+        }
+        let removed: std::collections::HashSet<usize> = remove.iter().copied().collect();
+        // Rebuild the clause arena and watches without the removed clauses.
+        let mut map: Vec<Option<u32>> = vec![None; self.clauses.len()];
+        let mut new_clauses = Vec::with_capacity(self.clauses.len() - removed.len());
+        for (i, c) in self.clauses.iter().enumerate() {
+            if removed.contains(&i) {
+                continue;
+            }
+            map[i] = Some(new_clauses.len() as u32);
+            new_clauses.push(c.clone());
+        }
+        self.clauses = new_clauses;
+        self.stats.learnts -= removed.len() as u64;
+        for w in &mut self.watches {
+            w.retain_mut(|watch| match map[watch.clause as usize] {
+                Some(ni) => {
+                    watch.clause = ni;
+                    true
+                }
+                None => false,
+            });
+        }
+        for r in &mut self.reason {
+            if let Some(ci) = *r {
+                *r = map[ci as usize]; // reasons of kept assignments survive
+            }
+        }
+    }
+
+    fn is_reason(&self, ci: u32) -> bool {
+        self.trail.iter().any(|l| self.reason[l.var().0 as usize] == Some(ci))
+    }
+
+    fn luby(x: u64) -> u64 {
+        // Luby sequence (0-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        let mut x = x;
+        while size - 1 != x {
+            size = (size - 1) >> 1;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solves the instance under the given assumption literals.
+    ///
+    /// On [`SatResult::Sat`], variable values are available via
+    /// [`SatSolver::value`] until the next call. On [`SatResult::Unsat`] the
+    /// instance has no model extending the assumptions (the clause database
+    /// is unchanged and further queries may be posed).
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        if self.unsat {
+            return SatResult::Unsat;
+        }
+        self.backtrack(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SatResult::Unsat;
+        }
+
+        let mut restart_count = 0u64;
+        let mut conflicts_until_restart = Self::luby(restart_count) * 100;
+        let mut conflicts_this_restart = 0u64;
+
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_this_restart += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SatResult::Unsat;
+                }
+                // Conflict within assumption prefix => UNSAT under assumptions.
+                if self.decision_level() <= assumptions.len() as u32 {
+                    let all_assumed = self
+                        .trail_lim
+                        .iter()
+                        .take(assumptions.len())
+                        .count();
+                    // If every decision so far is an assumption, the conflict
+                    // depends only on assumptions: report unsat.
+                    if self.decision_level() as usize <= all_assumed {
+                        self.backtrack(0);
+                        return SatResult::Unsat;
+                    }
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.backtrack(bt.max(0));
+                // Re-establish assumptions later; backtracking below the
+                // assumption prefix is fine, the main loop re-assumes.
+                if learnt.len() == 1 {
+                    if self.lit_value(learnt[0]) == LBool::False {
+                        self.unsat = true;
+                        return SatResult::Unsat;
+                    }
+                    self.backtrack(0);
+                    if self.lit_value(learnt[0]) == LBool::Undef {
+                        self.enqueue(learnt[0], None);
+                    }
+                } else {
+                    let ci = self.attach_clause(learnt.clone(), true);
+                    self.enqueue(learnt[0], Some(ci));
+                }
+                self.var_inc /= VAR_DECAY;
+                self.cla_inc /= CLA_DECAY;
+                if f64::from(self.stats.learnts as u32) > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.3;
+                }
+                if conflicts_this_restart >= conflicts_until_restart {
+                    self.stats.restarts += 1;
+                    restart_count += 1;
+                    conflicts_this_restart = 0;
+                    conflicts_until_restart = Self::luby(restart_count) * 100;
+                    self.backtrack(0);
+                }
+            } else {
+                // Extend assumptions one level at a time.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // already satisfied: introduce a dummy level so the
+                            // indexing of assumptions by level stays aligned
+                            self.trail_lim.push(self.trail.len() as u32);
+                        }
+                        LBool::False => {
+                            self.backtrack(0);
+                            return SatResult::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.stats.decisions += 1;
+                            self.trail_lim.push(self.trail.len() as u32);
+                            self.enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.decide() {
+                    None => return SatResult::Sat,
+                    Some(l) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len() as u32);
+                        self.enqueue(l, None);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut SatSolver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn empty_clause_unsat() {
+        let mut s = SatSolver::new();
+        let _ = lits(&mut s, 1);
+        s.add_clause(&[]);
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        s.add_clause(&[Lit::neg(v[2]), Lit::pos(v[3])]);
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        for x in v {
+            assert_eq!(s.value(x), Some(true));
+        }
+    }
+
+    #[test]
+    fn assumptions_unsat_then_sat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        // Assuming both false must be unsat, but the instance stays usable.
+        assert_eq!(s.solve(&[Lit::neg(v[0]), Lit::neg(v[1])]), SatResult::Unsat);
+        assert_eq!(s.solve(&[Lit::neg(v[0])]), SatResult::Sat);
+        assert_eq!(s.value(v[1]), Some(true));
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // 3 pigeons, 2 holes: var p_i_h = pigeon i in hole h.
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 6);
+        let p = |i: usize, h: usize| v[i * 2 + h];
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p(i, 0)), Lit::pos(p(i, 1))]);
+        }
+        for h in 0..2 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[Lit::neg(p(i, h)), Lit::neg(p(j, h))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_3_sat() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 9);
+        let p = |i: usize, h: usize| v[i * 3 + h];
+        for i in 0..3 {
+            s.add_clause(&[Lit::pos(p(i, 0)), Lit::pos(p(i, 1)), Lit::pos(p(i, 2))]);
+        }
+        for h in 0..3 {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    s.add_clause(&[Lit::neg(p(i, h)), Lit::neg(p(j, h))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn random_3sat_consistency() {
+        // Deterministic pseudo-random 3-SAT instances; verify SAT answers by
+        // checking the model satisfies all clauses.
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..30 {
+            let nvars = 20 + (round % 10);
+            let nclauses = (f64::from(nvars as u32) * 4.0) as usize;
+            let mut s = SatSolver::new();
+            let vars = lits(&mut s, nvars);
+            let mut clauses = Vec::new();
+            for _ in 0..nclauses {
+                let mut cl = Vec::new();
+                for _ in 0..3 {
+                    let v = vars[(rng() % nvars as u64) as usize];
+                    let neg = rng() % 2 == 0;
+                    cl.push(Lit::new(v, neg));
+                }
+                clauses.push(cl);
+            }
+            for cl in &clauses {
+                s.add_clause(cl);
+            }
+            if s.solve(&[]) == SatResult::Sat {
+                for cl in &clauses {
+                    assert!(
+                        cl.iter().any(|&l| s.value(l.var()) == Some(!l.is_neg())
+                            || s.value(l.var()).is_none()),
+                        "model does not satisfy clause"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(SatSolver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[0]), Lit::neg(v[1])]);
+        s.add_clause(&[Lit::pos(v[1]), Lit::neg(v[1])]); // tautology: dropped
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    #[test]
+    fn incremental_use_after_unsat_assumptions() {
+        let mut s = SatSolver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        for _ in 0..10 {
+            assert_eq!(
+                s.solve(&[Lit::neg(v[0]), Lit::neg(v[1])]),
+                SatResult::Unsat
+            );
+            assert_eq!(s.solve(&[Lit::neg(v[0])]), SatResult::Sat);
+            assert_eq!(s.value(v[2]), Some(true));
+        }
+    }
+}

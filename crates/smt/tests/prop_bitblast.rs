@@ -1,0 +1,202 @@
+//! Property tests: the bit-blasted circuit agrees with the ground-truth
+//! evaluator on every operator, at random points.
+//!
+//! For a random term `t` over variables `v1..vn` and a random concrete
+//! assignment `A`, the formula `(∧ vi = A(vi)) ∧ (t = eval(t, A))` must be
+//! SAT and `(∧ vi = A(vi)) ∧ (t ≠ eval(t, A))` must be UNSAT. Together these
+//! pin the circuit's output at the point `A` to the evaluator's result.
+
+use std::collections::HashMap;
+
+use binsym_smt::eval::{eval, Value};
+use binsym_smt::term::VarId;
+use binsym_smt::{SatResult, Solver, Term, TermManager};
+use proptest::prelude::*;
+
+/// A serializable description of a random binary operator.
+#[derive(Debug, Clone, Copy)]
+enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Udiv,
+    Urem,
+    Sdiv,
+    Srem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Lshr,
+    Ashr,
+}
+
+const BIN_OPS: [BinOp; 13] = [
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Udiv,
+    BinOp::Urem,
+    BinOp::Sdiv,
+    BinOp::Srem,
+    BinOp::And,
+    BinOp::Or,
+    BinOp::Xor,
+    BinOp::Shl,
+    BinOp::Lshr,
+    BinOp::Ashr,
+];
+
+fn apply(tm: &mut TermManager, op: BinOp, a: Term, b: Term) -> Term {
+    match op {
+        BinOp::Add => tm.add(a, b),
+        BinOp::Sub => tm.sub(a, b),
+        BinOp::Mul => tm.mul(a, b),
+        BinOp::Udiv => tm.udiv(a, b),
+        BinOp::Urem => tm.urem(a, b),
+        BinOp::Sdiv => tm.sdiv(a, b),
+        BinOp::Srem => tm.srem(a, b),
+        BinOp::And => tm.bv_and(a, b),
+        BinOp::Or => tm.bv_or(a, b),
+        BinOp::Xor => tm.bv_xor(a, b),
+        BinOp::Shl => tm.shl(a, b),
+        BinOp::Lshr => tm.lshr(a, b),
+        BinOp::Ashr => tm.ashr(a, b),
+    }
+}
+
+/// Builds a random term over two 8-bit variables from a recipe of op indices.
+fn build_term(tm: &mut TermManager, recipe: &[u8]) -> Term {
+    let x = tm.var("x", 8);
+    let y = tm.var("y", 8);
+    let mut pool = vec![x, y];
+    for (i, &r) in recipe.iter().enumerate() {
+        let op = BIN_OPS[(r as usize) % BIN_OPS.len()];
+        let a = pool[(r as usize / 13) % pool.len()];
+        let b = pool[(r as usize / 29 + i) % pool.len()];
+        let t = apply(tm, op, a, b);
+        pool.push(t);
+    }
+    *pool.last().expect("nonempty")
+}
+
+fn check_point(recipe: &[u8], xv: u8, yv: u8) {
+    let mut tm = TermManager::new();
+    let t = build_term(&mut tm, recipe);
+    let x = tm.var("x", 8);
+    let y = tm.var("y", 8);
+    let xid = tm.find_var("x").unwrap();
+    let yid = tm.find_var("y").unwrap();
+    let mut assignment: HashMap<VarId, u64> = HashMap::new();
+    assignment.insert(xid, u64::from(xv));
+    assignment.insert(yid, u64::from(yv));
+    let expected = match eval(&tm, t, &assignment).expect("assigned") {
+        Value::BitVec(v) => v,
+        Value::Bool(_) => unreachable!("bv term"),
+    };
+
+    let xc = tm.bv_const(u64::from(xv), 8);
+    let yc = tm.bv_const(u64::from(yv), 8);
+    let ec = tm.bv_const(expected, 8);
+    let px = tm.eq(x, xc);
+    let py = tm.eq(y, yc);
+    let pe = tm.eq(t, ec);
+
+    let mut solver = Solver::new();
+    solver.assert_term(&mut tm, px);
+    solver.assert_term(&mut tm, py);
+    assert_eq!(
+        solver.check_sat(&mut tm, &[pe]),
+        SatResult::Sat,
+        "circuit disagrees with evaluator (expected {expected:#x} for x={xv:#x} y={yv:#x})"
+    );
+    let npe = tm.not(pe);
+    assert_eq!(
+        solver.check_sat(&mut tm, &[npe]),
+        SatResult::Unsat,
+        "circuit is underconstrained at x={xv:#x} y={yv:#x}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn circuit_matches_evaluator(
+        recipe in proptest::collection::vec(any::<u8>(), 1..6),
+        xv in any::<u8>(),
+        yv in any::<u8>(),
+    ) {
+        check_point(&recipe, xv, yv);
+    }
+
+    #[test]
+    fn comparisons_match_evaluator(
+        xv in any::<u8>(),
+        yv in any::<u8>(),
+        which in 0u8..6,
+    ) {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let y = tm.var("y", 8);
+        let pred = match which {
+            0 => tm.ult(x, y),
+            1 => tm.slt(x, y),
+            2 => tm.ule(x, y),
+            3 => tm.sle(x, y),
+            4 => tm.eq(x, y),
+            _ => tm.ne(x, y),
+        };
+        let xid = tm.find_var("x").unwrap();
+        let yid = tm.find_var("y").unwrap();
+        let mut assignment = HashMap::new();
+        assignment.insert(xid, u64::from(xv));
+        assignment.insert(yid, u64::from(yv));
+        let expected = eval(&tm, pred, &assignment).unwrap().as_bool();
+
+        let xc = tm.bv_const(u64::from(xv), 8);
+        let yc = tm.bv_const(u64::from(yv), 8);
+        let px = tm.eq(x, xc);
+        let py = tm.eq(y, yc);
+        let mut solver = Solver::new();
+        solver.assert_term(&mut tm, px);
+        solver.assert_term(&mut tm, py);
+        let want = if expected { pred } else { tm.not(pred) };
+        prop_assert_eq!(solver.check_sat(&mut tm, &[want]), SatResult::Sat);
+        let deny = tm.not(want);
+        prop_assert_eq!(solver.check_sat(&mut tm, &[deny]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn extract_concat_extend_roundtrip(v in any::<u32>()) {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let lo = tm.extract(x, 15, 0);
+        let hi = tm.extract(x, 31, 16);
+        let back = tm.concat(hi, lo);
+        let eq = tm.eq(back, x);
+        let xc = tm.bv_const(u64::from(v), 32);
+        let px = tm.eq(x, xc);
+        let mut solver = Solver::new();
+        solver.assert_term(&mut tm, px);
+        let ne = tm.not(eq);
+        prop_assert_eq!(solver.check_sat(&mut tm, &[ne]), SatResult::Unsat);
+    }
+
+    #[test]
+    fn models_satisfy_assertions(
+        recipe in proptest::collection::vec(any::<u8>(), 1..5),
+        target in any::<u8>(),
+    ) {
+        let mut tm = TermManager::new();
+        let t = build_term(&mut tm, &recipe);
+        let tc = tm.bv_const(u64::from(target), 8);
+        let eq = tm.eq(t, tc);
+        let mut solver = Solver::new();
+        solver.assert_term(&mut tm, eq);
+        if solver.check_sat(&mut tm, &[]) == SatResult::Sat {
+            let m = solver.model(&tm).expect("model");
+            prop_assert_eq!(m.eval(&tm, eq), Value::Bool(true));
+        }
+    }
+}

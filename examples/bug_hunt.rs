@@ -1,0 +1,80 @@
+//! The paper's Fig. 5: how a lifter bug turns into a **false positive** and
+//! a **false negative** during SE-based testing.
+//!
+//! ```text
+//! cargo run --example bug_hunt
+//! ```
+//!
+//! The SUT computes `mask = x << 31` and asserts:
+//! * if `x == 1`: `mask == 0x80000000` (true — but angr's signed-shamt bug
+//!   shifts by −1, making the assertion fail spuriously: false positive);
+//! * else: `mask != 0x80000000` (false for other odd `x` — which buggy angr
+//!   cannot discover: false negative).
+
+use binsym_repro::asm::Assembler;
+use binsym_repro::binsym::{ErrorPath, Explorer};
+use binsym_repro::isa::Spec;
+use binsym_repro::lifter::{EngineConfig, LifterExecutor};
+
+const PARSE_WORD: &str = r#"
+        .data
+        .globl __sym_input
+__sym_input:
+        .word 0
+
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lw   a1, 0(a0)          # x (symbolic)
+        slli a2, a1, 31         # mask = x << 31
+        li   a3, 1
+        li   a4, 0x80000000
+        bne  a1, a3, else_case
+        beq  a2, a4, ok         # assert(mask == 0x80000000)
+        ebreak                  # assertion failure
+else_case:
+        bne  a2, a4, ok         # assert(mask != 0x80000000)
+        ebreak                  # assertion failure
+ok:
+        li   a0, 0
+        li   a7, 93
+        ecall
+"#;
+
+fn x_of(e: &ErrorPath) -> u32 {
+    u32::from_le_bytes([e.input[0], e.input[1], e.input[2], e.input[3]])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let elf = Assembler::new().assemble(PARSE_WORD)?;
+
+    // --- BinSym (accurate formal semantics) ---
+    let mut binsym = Explorer::new(Spec::rv32im(), &elf)?;
+    let accurate = binsym.run_all()?;
+    println!("BinSym: {} paths, {} failures", accurate.paths, accurate.error_paths.len());
+    for e in &accurate.error_paths {
+        println!("  real assertion failure with x = {:#010x}", x_of(e));
+        assert_ne!(x_of(e), 1, "x == 1 satisfies its assertion");
+        assert_eq!(x_of(e) & 1, 1, "only odd x != 1 reaches the failing assert");
+    }
+    assert!(!accurate.error_paths.is_empty(), "the real bug must be found");
+
+    // --- angr persona (five lifter bugs) ---
+    let exec = LifterExecutor::new(&elf, EngineConfig::angr())?;
+    let mut angr = Explorer::from_executor(exec, Default::default());
+    let buggy = angr.run_all()?;
+    println!("angr:   {} paths, {} failures", buggy.paths, buggy.error_paths.len());
+
+    let false_positive = buggy.error_paths.iter().any(|e| x_of(e) == 1);
+    println!("  false positive (spurious failure for x == 1): {false_positive}");
+    assert!(false_positive);
+
+    let finds_real_bug = buggy
+        .error_paths
+        .iter()
+        .any(|e| x_of(e) != 1 && x_of(e) & 1 == 1);
+    println!("  finds the real bug (odd x != 1):              {finds_real_bug}");
+    assert!(!finds_real_bug, "the false negative: buggy angr misses it");
+    Ok(())
+}

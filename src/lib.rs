@@ -1,0 +1,13 @@
+//! Umbrella crate for the BinSym reproduction: re-exports every workspace
+//! crate so examples and integration tests can use a single dependency.
+#![warn(missing_docs)]
+
+pub use binsym;
+pub use binsym_asm as asm;
+pub use binsym_bench as bench;
+pub use binsym_des as des;
+pub use binsym_elf as elf;
+pub use binsym_interp as interp;
+pub use binsym_isa as isa;
+pub use binsym_lifter as lifter;
+pub use binsym_smt as smt;

@@ -1,0 +1,292 @@
+//! Differential tests for the five angr lifter bugs of the paper's §V-A.
+//!
+//! For each bug a directed SUT distinguishes correct from buggy semantics:
+//! the program has a path that is reachable under the real ISA semantics
+//! but not under the buggy translation (or vice versa). Three engines are
+//! compared per SUT:
+//!
+//! * BinSym (formal semantics)           — ground truth,
+//! * the fixed lifter (BINSEC persona)   — must agree with BinSym,
+//! * a lifter with exactly one bug       — must diverge as documented.
+
+use binsym_repro::asm::Assembler;
+use binsym_repro::binsym::{Explorer, ExplorerConfig, Summary};
+use binsym_repro::isa::Spec;
+use binsym_repro::lifter::{EngineConfig, LifterBugs, LifterExecutor};
+
+fn explore_spec(src: &str) -> Summary {
+    let elf = Assembler::new().assemble(src).expect("assembles");
+    let mut ex = Explorer::new(Spec::rv32im(), &elf).expect("sym input");
+    ex.run_all().expect("explores")
+}
+
+fn explore_lifter(src: &str, bugs: LifterBugs) -> Summary {
+    let elf = Assembler::new().assemble(src).expect("assembles");
+    let exec = LifterExecutor::new(
+        &elf,
+        EngineConfig {
+            bugs,
+            cache_blocks: true,
+            interp_overhead: 0,
+        },
+    )
+    .expect("sym input");
+    let mut ex = Explorer::from_executor(exec, ExplorerConfig::default());
+    ex.run_all().expect("explores")
+}
+
+/// Asserts the invariants shared by all five bug scenarios.
+fn assert_divergence(src: &str, bugs: LifterBugs) {
+    let spec = explore_spec(src);
+    let fixed = explore_lifter(src, LifterBugs::NONE);
+    assert_eq!(
+        spec.paths, fixed.paths,
+        "fixed lifter must agree with the formal semantics"
+    );
+    assert_eq!(
+        spec.error_paths, fixed.error_paths,
+        "fixed lifter must find the same failures"
+    );
+    let buggy = explore_lifter(src, bugs);
+    assert!(
+        buggy.paths != spec.paths || buggy.error_paths != spec.error_paths,
+        "the buggy lifter must diverge (paths {} vs {}, errors {} vs {})",
+        buggy.paths,
+        spec.paths,
+        buggy.error_paths.len(),
+        spec.error_paths.len(),
+    );
+}
+
+/// Bug 1: SRA modeled as a logical shift. `(-2) >>a 1 == -1`; the buggy
+/// engine computes a large positive value, flipping the branch.
+#[test]
+fn bug1_sra_modeled_as_logical_shift() {
+    let src = r#"
+        .data
+        .globl __sym_input
+__sym_input: .byte 0
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lbu  a1, 0(a0)
+        andi a1, a1, 1        # k in {0, 1} (symbolic)
+        li   a2, -2
+        sra  a3, a2, a1       # -2 >>a k: always negative
+        bltz a3, ok           # reachable only with a correct SRA
+        ebreak                 # buggy engines report this "failure"
+ok:
+        li   a0, 0
+        li   a7, 93
+        ecall
+"#;
+    assert_divergence(
+        src,
+        LifterBugs {
+            sra_logical: true,
+            ..LifterBugs::NONE
+        },
+    );
+    // The correct engines never reach the ebreak.
+    assert!(explore_spec(src).error_paths.is_empty());
+}
+
+/// Bug 2: R-type shifts use the rs2 register *index* (t4 = x29) instead of
+/// the register value.
+#[test]
+fn bug2_shift_amount_from_register_index() {
+    let src = r#"
+        .data
+        .globl __sym_input
+__sym_input: .byte 0
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lbu  t3, 0(a0)
+        andi t3, t3, 1        # value in {0,1}
+        li   t0, 4
+        sll  t1, t0, t3       # 4 << {0,1} = {4, 8}; buggy: 4 << 29
+        li   t2, 8
+        bgtu t1, t2, impossible
+        li   a0, 0
+        li   a7, 93
+        ecall
+impossible:
+        ebreak
+"#;
+    assert_divergence(
+        src,
+        LifterBugs {
+            shift_uses_reg_index: true,
+            ..LifterBugs::NONE
+        },
+    );
+}
+
+/// Bug 3: loads do not sign-/zero-extend correctly. A signed byte load of
+/// input can be negative only with correct sign extension.
+#[test]
+fn bug3_load_extension() {
+    let src = r#"
+        .data
+        .globl __sym_input
+__sym_input: .byte 0
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lb   a1, 0(a0)
+        bltz a1, negative
+        li   a0, 0
+        li   a7, 93
+        ecall
+negative:
+        li   a0, 0
+        li   a7, 93
+        ecall
+"#;
+    assert_divergence(
+        src,
+        LifterBugs {
+            load_extension: true,
+            ..LifterBugs::NONE
+        },
+    );
+    assert_eq!(explore_spec(src).paths, 2);
+    let buggy = explore_lifter(
+        src,
+        LifterBugs {
+            load_extension: true,
+            ..LifterBugs::NONE
+        },
+    );
+    assert_eq!(buggy.paths, 1, "the negative path is lost");
+}
+
+/// Bug 4: I-type shift amounts treated as signed 5-bit values — the paper's
+/// Fig. 5 scenario (shift by 31 becomes shift by "-1").
+#[test]
+fn bug4_shamt_signed() {
+    let src = r#"
+        .data
+        .globl __sym_input
+__sym_input: .word 0
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lw   a1, 0(a0)
+        slli a2, a1, 31       # mask = x << 31
+        li   a3, 1
+        li   a4, 0x80000000
+        bne  a1, a3, else_case
+        beq  a2, a4, ok       # x == 1 -> mask must be 0x80000000
+        ebreak
+else_case:
+        bne  a2, a4, ok       # x != 1 -> mask may still be 0x80000000!
+        ebreak
+ok:
+        li   a0, 0
+        li   a7, 93
+        ecall
+"#;
+    assert_divergence(
+        src,
+        LifterBugs {
+            shamt_signed: true,
+            ..LifterBugs::NONE
+        },
+    );
+    // Correct engines: the real failure exists (x odd, != 1) and x == 1 is
+    // clean. Buggy engine: exactly the opposite (false positive + false
+    // negative), as in the paper's Fig. 5.
+    let spec = explore_spec(src);
+    let x_of = |e: &binsym_repro::binsym::ErrorPath| {
+        u32::from_le_bytes([e.input[0], e.input[1], e.input[2], e.input[3]])
+    };
+    assert!(spec.error_paths.iter().all(|e| x_of(e) != 1));
+    assert!(!spec.error_paths.is_empty());
+    let buggy = explore_lifter(
+        src,
+        LifterBugs {
+            shamt_signed: true,
+            ..LifterBugs::NONE
+        },
+    );
+    assert!(buggy.error_paths.iter().any(|e| x_of(e) == 1), "false positive");
+    assert!(
+        buggy.error_paths.iter().all(|e| x_of(e) == 1),
+        "false negative: the real failure is missed"
+    );
+}
+
+/// Bug 5: signed comparisons compare unsigned: `-1 < 1` flips.
+#[test]
+fn bug5_signed_compare_unsigned() {
+    let src = r#"
+        .data
+        .globl __sym_input
+__sym_input: .byte 0
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lbu  a1, 0(a0)
+        andi a1, a1, 1
+        neg  a2, a1           # a2 in {0, -1} (symbolic)
+        li   a3, 1
+        blt  a2, a3, ok       # signed: always taken
+        ebreak                 # unsigned-compare bug reports a "failure"
+ok:
+        li   a0, 0
+        li   a7, 93
+        ecall
+"#;
+    assert_divergence(
+        src,
+        LifterBugs {
+            signed_cmp_unsigned: true,
+            ..LifterBugs::NONE
+        },
+    );
+    assert!(explore_spec(src).error_paths.is_empty());
+    let buggy = explore_lifter(
+        src,
+        LifterBugs {
+            signed_cmp_unsigned: true,
+            ..LifterBugs::NONE
+        },
+    );
+    assert!(!buggy.error_paths.is_empty(), "spurious failure reported");
+}
+
+/// All five bugs together (the shipped angr persona) still explore the
+/// bug-neutral programs identically.
+#[test]
+fn all_bugs_neutral_on_unsigned_code() {
+    let src = r#"
+        .data
+        .globl __sym_input
+__sym_input: .byte 0, 0
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lbu  a1, 0(a0)
+        lbu  a2, 1(a0)
+        bltu a1, a2, less
+        li   a0, 0
+        li   a7, 93
+        ecall
+less:
+        li   a0, 0
+        li   a7, 93
+        ecall
+"#;
+    let spec = explore_spec(src);
+    let buggy = explore_lifter(src, LifterBugs::ANGR);
+    assert_eq!(spec.paths, buggy.paths);
+    assert_eq!(spec.paths, 2);
+}

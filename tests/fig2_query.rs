@@ -1,0 +1,103 @@
+//! Integration test for the paper's Fig. 2: the solver query generated for
+//! the `DIVU; BLTU` branch condition, and its satisfiability via the
+//! division-by-zero edge case.
+
+use binsym_repro::asm::Assembler;
+use binsym_repro::binsym::{SymMachine, SymWord, TrailEntry};
+use binsym_repro::isa::{Reg, Spec};
+use binsym_repro::smt::{smtlib, SatResult, Solver, TermManager};
+
+fn snippet_trail(tm: &mut TermManager, x0: u32, y0: u32) -> Vec<TrailEntry> {
+    let elf = Assembler::new()
+        .assemble(
+            r#"
+_start:
+        divu a1, a0, a1
+        bltu a0, a1, fail
+        li   a7, 93
+        li   a0, 0
+        ecall
+fail:
+        li   a7, 93
+        li   a0, 1
+        ecall
+"#,
+        )
+        .expect("assembles");
+    let mut m = SymMachine::new(Spec::rv32im());
+    m.load_elf(&elf);
+    let x = tm.var("x", 32);
+    let y = tm.var("y", 32);
+    m.regs.write(Reg::A0, SymWord::symbolic(x0, x));
+    m.regs.write(Reg::A1, SymWord::symbolic(y0, y));
+    m.step(tm).expect("divu");
+    m.step(tm).expect("bltu");
+    m.trail
+}
+
+#[test]
+fn divu_semantics_fork_on_zero_divisor() {
+    let mut tm = TermManager::new();
+    let trail = snippet_trail(&mut tm, 1000, 3);
+    // Two branch points: the runIfElse guard inside DIVU and the BLTU.
+    assert_eq!(trail.len(), 2);
+    assert!(trail.iter().all(TrailEntry::is_branch));
+}
+
+#[test]
+fn fail_branch_unreachable_with_nonzero_divisor() {
+    let mut tm = TermManager::new();
+    let trail = snippet_trail(&mut tm, 1000, 3);
+    let (guard, bltu) = match (&trail[0], &trail[1]) {
+        (
+            TrailEntry::Branch { cond: g, taken: gt },
+            TrailEntry::Branch { cond: b, taken: bt },
+        ) => {
+            assert!(!gt, "divisor 3 != 0");
+            assert!(!bt, "1000/3 < 1000");
+            (*g, *b)
+        }
+        other => panic!("unexpected trail {other:?}"),
+    };
+    let mut solver = Solver::new();
+    let not_zero = tm.not(guard);
+    solver.assert_term(&mut tm, not_zero);
+    // x < x/y with y != 0 is impossible.
+    assert_eq!(solver.check_sat(&mut tm, &[bltu]), SatResult::Unsat);
+    // ... but the guard itself flips fine.
+    let mut solver = Solver::new();
+    solver.assert_term(&mut tm, guard);
+    assert_eq!(solver.check_sat(&mut tm, &[]), SatResult::Sat);
+    assert_eq!(solver.model(&tm).unwrap().value("y"), Some(0));
+}
+
+#[test]
+fn fail_path_condition_is_satisfiable_with_zero_divisor() {
+    let mut tm = TermManager::new();
+    let trail = snippet_trail(&mut tm, 1000, 0);
+    let assertions: Vec<_> = trail.iter().map(|e| e.path_term(&mut tm)).collect();
+    let mut solver = Solver::new();
+    for &a in &assertions {
+        solver.assert_term(&mut tm, a);
+    }
+    assert_eq!(solver.check_sat(&mut tm, &[]), SatResult::Sat);
+    let m = solver.model(&tm).expect("model");
+    assert_eq!(m.value("y"), Some(0));
+    assert!(m.value("x").unwrap() < 0xffff_ffff);
+}
+
+#[test]
+fn query_prints_standard_smtlib() {
+    let mut tm = TermManager::new();
+    let trail = snippet_trail(&mut tm, 1000, 0);
+    let assertions: Vec<_> = trail.iter().map(|e| e.path_term(&mut tm)).collect();
+    let script = smtlib::query_to_smtlib(&tm, &assertions);
+    assert!(script.starts_with("(set-logic QF_BV)"));
+    assert!(script.contains("(declare-const x (_ BitVec 32))"));
+    assert!(script.contains("(declare-const y (_ BitVec 32))"));
+    assert!(script.contains("bvult"), "the BLTU condition");
+    assert!(script.trim_end().ends_with("(check-sat)"));
+    // The DIVU division itself only appears on the nonzero-divisor side;
+    // with y = 0 the semantics wrote the constant 0xffffffff instead:
+    assert!(script.contains("#xffffffff"));
+}

@@ -21,9 +21,7 @@ use crate::parse::{parse_integer, split_symbol_offset};
 pub fn expansion_size(mnemonic: &str, operands: &[String]) -> Result<u32, String> {
     Ok(match mnemonic {
         "li" => {
-            let imm = operands
-                .get(1)
-                .and_then(|s| parse_integer(s));
+            let imm = operands.get(1).and_then(|s| parse_integer(s));
             match imm {
                 Some(v) if (-2048..=2047).contains(&v) => 1,
                 _ => 2, // lui + addi (also for symbolic values)
@@ -138,9 +136,7 @@ fn classify(fields: &[OperandField]) -> Option<Format> {
 }
 
 fn parse_reg(s: &str) -> Result<Reg, String> {
-    s.trim()
-        .parse::<Reg>()
-        .map_err(|e| e.to_string())
+    s.trim().parse::<Reg>().map_err(|e| e.to_string())
 }
 
 /// Resolves an immediate expression: integer, `symbol(+off)`, `%hi(expr)`,
@@ -437,7 +433,7 @@ mod tests {
         let w = encode_instruction(&table, "beq", &ops, 0x80, &syms).expect("encodes");
         let d = decode(&table, w).unwrap();
         assert_eq!(d.imm(), 0x80); // 0x100 - 0x80
-        // Negative direction:
+                                   // Negative direction:
         let w = encode_instruction(&table, "beq", &ops, 0x200, &syms).expect("encodes");
         let d = decode(&table, w).unwrap();
         assert_eq!(d.imm() as i32, -0x100);
@@ -462,7 +458,14 @@ mod tests {
     #[test]
     fn li_expansion() {
         let table = InstrTable::rv32im();
-        let small = encode(&table, "li", &["a0".into(), "42".into()], 0, &HashMap::new()).unwrap();
+        let small = encode(
+            &table,
+            "li",
+            &["a0".into(), "42".into()],
+            0,
+            &HashMap::new(),
+        )
+        .unwrap();
         assert_eq!(small.len(), 1);
         let big = encode(
             &table,
@@ -524,14 +527,8 @@ mod tests {
         let mut syms = HashMap::new();
         for &addr in &[0x0001_2345u32, 0x8000_0800, 0xffff_f800, 0x0000_0001] {
             syms.insert("sym".to_owned(), addr);
-            let words = encode(
-                &table,
-                "la",
-                &["a0".into(), "sym".into()],
-                0,
-                &syms,
-            )
-            .expect("encodes");
+            let words =
+                encode(&table, "la", &["a0".into(), "sym".into()], 0, &syms).expect("encodes");
             let d0 = decode(&table, words[0]).unwrap(); // lui
             let d1 = decode(&table, words[1]).unwrap(); // addi
             assert_eq!(

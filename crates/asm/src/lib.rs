@@ -158,10 +158,7 @@ impl Assembler {
                 Line::Label(name) => {
                     let addr_marker = *cursor; // section-relative for now
                     if symbols
-                        .insert(
-                            name.clone(),
-                            addr_marker | section_tag(section),
-                        )
+                        .insert(name.clone(), addr_marker | section_tag(section))
                         .is_some()
                     {
                         return Err(err(lineno, format!("label `{name}` redefined")));
@@ -185,8 +182,8 @@ impl Assembler {
                     ".ascii" | ".asciz" | ".string" => {
                         let s = parse::parse_string(args.first().map(String::as_str).unwrap_or(""))
                             .ok_or_else(|| err(lineno, "bad string literal"))?;
-                        *cursor += s.len() as u32
-                            + u32::from(name == ".asciz" || name == ".string");
+                        *cursor +=
+                            s.len() as u32 + u32::from(name == ".asciz" || name == ".string");
                     }
                     ".space" | ".zero" | ".skip" => {
                         let n = args
@@ -199,7 +196,8 @@ impl Assembler {
                         let n = args
                             .first()
                             .and_then(|a| parse::parse_integer(a))
-                            .ok_or_else(|| err(lineno, "bad alignment"))? as u32;
+                            .ok_or_else(|| err(lineno, "bad alignment"))?
+                            as u32;
                         let align = if name == ".balign" { n } else { 1 << n };
                         *cursor = cursor.div_ceil(align) * align;
                     }
@@ -209,8 +207,8 @@ impl Assembler {
                     if section != Section::Text {
                         return Err(err(lineno, "instruction outside .text"));
                     }
-                    let n = encode::expansion_size(mnemonic, operands)
-                        .map_err(|m| err(lineno, m))?;
+                    let n =
+                        encode::expansion_size(mnemonic, operands).map_err(|m| err(lineno, m))?;
                     *cursor += 4 * n;
                 }
             }
@@ -303,9 +301,8 @@ impl Assembler {
                 },
                 Line::Instr(mnemonic, operands) => {
                     let pc = base + buf.len() as u32;
-                    let words =
-                        encode::encode(&self.table, mnemonic, operands, pc, &sym_addrs)
-                            .map_err(|m| err(lineno, m))?;
+                    let words = encode::encode(&self.table, mnemonic, operands, pc, &sym_addrs)
+                        .map_err(|m| err(lineno, m))?;
                     for w in words {
                         buf.extend_from_slice(&w.to_le_bytes());
                     }

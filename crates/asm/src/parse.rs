@@ -262,10 +262,7 @@ mod tests {
         let items = parse_line("lw a0, 4(sp)").unwrap();
         assert_eq!(
             items,
-            vec![Line::Instr(
-                "lw".into(),
-                vec!["a0".into(), "4(sp)".into()]
-            )]
+            vec![Line::Instr("lw".into(), vec!["a0".into(), "4(sp)".into()])]
         );
     }
 

@@ -4,6 +4,10 @@
 //! specification's table-driven decoder) to the same mnemonic and operands.
 //! This pins the encoder and decoder — two independent implementations of
 //! the riscv-opcodes tables — against each other.
+//!
+//! Random cases are drawn from a deterministic in-repo generator (no
+//! third-party property-testing dependency is available in the build
+//! environment); the fixed seed keeps failures reproducible.
 
 use std::collections::HashMap;
 
@@ -11,82 +15,87 @@ use binsym_asm::encode_instruction;
 use binsym_isa::decode::decode;
 use binsym_isa::encoding::InstrTable;
 use binsym_isa::Reg;
-use proptest::prelude::*;
+use binsym_testutil::Rng;
+
+const CASES: usize = 256;
+
+/// A random architectural register index.
+fn reg_index(rng: &mut Rng) -> u8 {
+    rng.below(32) as u8
+}
 
 fn reg_name(i: u8) -> String {
     format!("x{}", i % 32)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn r_type_roundtrip(
-        which in 0usize..18,
-        rd in 0u8..32,
-        rs1 in 0u8..32,
-        rs2 in 0u8..32,
-    ) {
-        let names = [
-            "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
-            "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu",
-        ];
-        let table = InstrTable::rv32im();
-        let m = names[which];
+#[test]
+fn r_type_roundtrip() {
+    let names = [
+        "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and", "mul", "mulh",
+        "mulhsu", "mulhu", "div", "divu", "rem", "remu",
+    ];
+    let table = InstrTable::rv32im();
+    let mut rng = Rng::new(0x5eed_0001);
+    for _ in 0..CASES {
+        let m = names[(rng.next_u64() as usize) % names.len()];
+        let (rd, rs1, rs2) = (
+            reg_index(&mut rng),
+            reg_index(&mut rng),
+            reg_index(&mut rng),
+        );
         let ops = vec![reg_name(rd), reg_name(rs1), reg_name(rs2)];
         let w = encode_instruction(&table, m, &ops, 0, &HashMap::new()).expect("encodes");
         let d = decode(&table, w).expect("decodes");
-        prop_assert_eq!(&table.desc(d.id).name, m);
-        prop_assert_eq!(d.rd(), Reg::new(rd % 32));
-        prop_assert_eq!(d.rs1(), Reg::new(rs1 % 32));
-        prop_assert_eq!(d.rs2(), Reg::new(rs2 % 32));
+        assert_eq!(&table.desc(d.id).name, m);
+        assert_eq!(d.rd(), Reg::new(rd % 32));
+        assert_eq!(d.rs1(), Reg::new(rs1 % 32));
+        assert_eq!(d.rs2(), Reg::new(rs2 % 32));
     }
+}
 
-    #[test]
-    fn i_type_roundtrip(
-        which in 0usize..6,
-        rd in 0u8..32,
-        rs1 in 0u8..32,
-        imm in -2048i32..=2047,
-    ) {
-        let names = ["addi", "slti", "sltiu", "xori", "ori", "andi"];
-        let table = InstrTable::rv32im();
-        let m = names[which];
+#[test]
+fn i_type_roundtrip() {
+    let names = ["addi", "slti", "sltiu", "xori", "ori", "andi"];
+    let table = InstrTable::rv32im();
+    let mut rng = Rng::new(0x5eed_0002);
+    for _ in 0..CASES {
+        let m = names[(rng.next_u64() as usize) % names.len()];
+        let (rd, rs1) = (reg_index(&mut rng), reg_index(&mut rng));
+        let imm = rng.range_i64(-2048, 2047) as i32;
         let ops = vec![reg_name(rd), reg_name(rs1), imm.to_string()];
         let w = encode_instruction(&table, m, &ops, 0, &HashMap::new()).expect("encodes");
         let d = decode(&table, w).expect("decodes");
-        prop_assert_eq!(&table.desc(d.id).name, m);
-        prop_assert_eq!(d.imm() as i32, imm);
+        assert_eq!(&table.desc(d.id).name, m);
+        assert_eq!(d.imm() as i32, imm);
     }
+}
 
-    #[test]
-    fn shift_immediate_roundtrip(
-        which in 0usize..3,
-        rd in 0u8..32,
-        rs1 in 0u8..32,
-        sh in 0u32..32,
-    ) {
-        let names = ["slli", "srli", "srai"];
-        let table = InstrTable::rv32im();
-        let m = names[which];
+#[test]
+fn shift_immediate_roundtrip() {
+    let names = ["slli", "srli", "srai"];
+    let table = InstrTable::rv32im();
+    let mut rng = Rng::new(0x5eed_0003);
+    for _ in 0..CASES {
+        let m = names[(rng.next_u64() as usize) % names.len()];
+        let (rd, rs1) = (reg_index(&mut rng), reg_index(&mut rng));
+        let sh = (rng.next_u64() % 32) as u32;
         let ops = vec![reg_name(rd), reg_name(rs1), sh.to_string()];
         let w = encode_instruction(&table, m, &ops, 0, &HashMap::new()).expect("encodes");
         let d = decode(&table, w).expect("decodes");
-        prop_assert_eq!(&table.desc(d.id).name, m);
-        prop_assert_eq!(d.shamt(), sh);
+        assert_eq!(&table.desc(d.id).name, m);
+        assert_eq!(d.shamt(), sh);
     }
+}
 
-    #[test]
-    fn branch_offset_roundtrip(
-        which in 0usize..6,
-        rs1 in 0u8..32,
-        rs2 in 0u8..32,
-        off in -2048i32..=2047,
-    ) {
-        let names = ["beq", "bne", "blt", "bge", "bltu", "bgeu"];
-        let table = InstrTable::rv32im();
-        let m = names[which];
-        let off = off * 2; // branch offsets are even
+#[test]
+fn branch_offset_roundtrip() {
+    let names = ["beq", "bne", "blt", "bge", "bltu", "bgeu"];
+    let table = InstrTable::rv32im();
+    let mut rng = Rng::new(0x5eed_0004);
+    for _ in 0..CASES {
+        let m = names[(rng.next_u64() as usize) % names.len()];
+        let (rs1, rs2) = (reg_index(&mut rng), reg_index(&mut rng));
+        let off = (rng.range_i64(-2048, 2047) * 2) as i32; // branch offsets are even
         let pc = 0x10_0000u32;
         let target = pc.wrapping_add(off as u32);
         let mut syms = HashMap::new();
@@ -94,14 +103,18 @@ proptest! {
         let ops = vec![reg_name(rs1), reg_name(rs2), "t".to_owned()];
         let w = encode_instruction(&table, m, &ops, pc, &syms).expect("encodes");
         let d = decode(&table, w).expect("decodes");
-        prop_assert_eq!(&table.desc(d.id).name, m);
-        prop_assert_eq!(d.imm() as i32, off);
+        assert_eq!(&table.desc(d.id).name, m);
+        assert_eq!(d.imm() as i32, off);
     }
+}
 
-    #[test]
-    fn jal_offset_roundtrip(rd in 0u8..32, off in -524288i32/2..=524287/2) {
-        let table = InstrTable::rv32im();
-        let off = off * 2;
+#[test]
+fn jal_offset_roundtrip() {
+    let table = InstrTable::rv32im();
+    let mut rng = Rng::new(0x5eed_0005);
+    for _ in 0..CASES {
+        let rd = reg_index(&mut rng);
+        let off = (rng.range_i64(-524288 / 2, 524287 / 2) * 2) as i32;
         let pc = 0x40_0000u32;
         let target = pc.wrapping_add(off as u32);
         let mut syms = HashMap::new();
@@ -109,43 +122,49 @@ proptest! {
         let ops = vec![reg_name(rd), "t".to_owned()];
         let w = encode_instruction(&table, "jal", &ops, pc, &syms).expect("encodes");
         let d = decode(&table, w).expect("decodes");
-        prop_assert_eq!(&table.desc(d.id).name, "jal");
-        prop_assert_eq!(d.imm() as i32, off);
+        assert_eq!(&table.desc(d.id).name, "jal");
+        assert_eq!(d.imm() as i32, off);
     }
+}
 
-    #[test]
-    fn load_store_roundtrip(
-        rd in 0u8..32,
-        base in 0u8..32,
-        off in -2048i32..=2047,
-        which in 0usize..8,
-    ) {
-        let names = ["lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw"];
-        let table = InstrTable::rv32im();
+#[test]
+fn load_store_roundtrip() {
+    let names = ["lb", "lh", "lw", "lbu", "lhu", "sb", "sh", "sw"];
+    let table = InstrTable::rv32im();
+    let mut rng = Rng::new(0x5eed_0006);
+    for _ in 0..CASES {
+        let which = (rng.next_u64() as usize) % names.len();
         let m = names[which];
+        let (rd, base) = (reg_index(&mut rng), reg_index(&mut rng));
+        let off = rng.range_i64(-2048, 2047) as i32;
         let ops = vec![reg_name(rd), format!("{off}({})", reg_name(base))];
         let w = encode_instruction(&table, m, &ops, 0, &HashMap::new()).expect("encodes");
         let d = decode(&table, w).expect("decodes");
-        prop_assert_eq!(&table.desc(d.id).name, m);
-        prop_assert_eq!(d.imm() as i32, off);
+        assert_eq!(&table.desc(d.id).name, m);
+        assert_eq!(d.imm() as i32, off);
         if which >= 5 {
-            // stores: rd operand is rs2
-            prop_assert_eq!(d.rs2(), Reg::new(rd % 32));
+            // stores: the rd operand slot is rs2
+            assert_eq!(d.rs2(), Reg::new(rd % 32));
         } else {
-            prop_assert_eq!(d.rd(), Reg::new(rd % 32));
+            assert_eq!(d.rd(), Reg::new(rd % 32));
         }
-        prop_assert_eq!(d.rs1(), Reg::new(base % 32));
+        assert_eq!(d.rs1(), Reg::new(base % 32));
     }
+}
 
-    #[test]
-    fn lui_auipc_roundtrip(rd in 0u8..32, imm20 in 0u32..0x100000) {
-        let table = InstrTable::rv32im();
+#[test]
+fn lui_auipc_roundtrip() {
+    let table = InstrTable::rv32im();
+    let mut rng = Rng::new(0x5eed_0007);
+    for _ in 0..CASES {
+        let rd = reg_index(&mut rng);
+        let imm20 = (rng.next_u64() % 0x10_0000) as u32;
         for m in ["lui", "auipc"] {
             let ops = vec![reg_name(rd), imm20.to_string()];
             let w = encode_instruction(&table, m, &ops, 0, &HashMap::new()).expect("encodes");
             let d = decode(&table, w).expect("decodes");
-            prop_assert_eq!(&table.desc(d.id).name, m);
-            prop_assert_eq!(d.imm(), imm20 << 12);
+            assert_eq!(&table.desc(d.id).name, m);
+            assert_eq!(d.imm(), imm20 << 12);
         }
     }
 }

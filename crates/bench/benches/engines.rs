@@ -1,20 +1,21 @@
-//! Criterion benches: one group per Table I / Fig. 6 benchmark program,
-//! one measurement per engine — the series behind the paper's Fig. 6.
+//! Engine benches: one series per Table I / Fig. 6 benchmark program, one
+//! measurement per engine — the series behind the paper's Fig. 6.
 //!
-//! Full exploration of the larger benchmarks takes seconds per run, so the
-//! sample count is kept small; use `cargo run --release -p binsym-bench
-//! --bin fig6` for the paper-style 5-run mean table.
+//! Uses a minimal in-repo timing harness (Criterion is not available in the
+//! build environment). Full exploration of the larger benchmarks takes
+//! seconds per run, so the sample count is kept small; use `cargo run
+//! --release -p binsym-bench --bin fig6` for the paper-style 5-run mean
+//! table. Run with `cargo bench -p binsym-bench --bench engines`; set
+//! `BENCH_ALL=1` to lift the heavy-row gate.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
 
 use binsym_bench::{run_engine, Engine};
 
-fn bench_engines(c: &mut Criterion) {
+fn main() {
+    println!("engine benches (mean wall time per full exploration)\n");
     for program in binsym_bench::all_programs() {
-        // Keep Criterion wall time manageable: bench the parsers fully, the
-        // sorts only on the fast engines unless BENCH_ALL is set.
-        let mut group = c.benchmark_group(program.name);
-        group.sample_size(10);
+        println!("{}:", program.name);
         let elf = program.build();
         for engine in Engine::FIG6 {
             // Keep default bench wall time manageable; BENCH_ALL=1 lifts
@@ -27,17 +28,22 @@ fn bench_engines(c: &mut Criterion) {
             if heavy && std::env::var_os("BENCH_ALL").is_none() {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), ""),
-                &elf,
-                |b, elf| {
-                    b.iter(|| run_engine(engine, elf).expect("explores").summary.paths)
-                },
+            let mut samples = Vec::new();
+            let mut total = Duration::ZERO;
+            while samples.len() < 3 && (samples.is_empty() || total < Duration::from_secs(5)) {
+                let start = Instant::now();
+                let r = run_engine(engine, &elf).expect("explores");
+                let elapsed = start.elapsed();
+                assert_eq!(r.summary.paths, program.expected_paths);
+                total += elapsed;
+                samples.push(elapsed);
+            }
+            let mean = total / samples.len() as u32;
+            println!(
+                "  {:<14} {mean:>12.2?}   ({} sample(s))",
+                engine.name(),
+                samples.len()
             );
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, bench_engines);
-criterion_main!(benches);

@@ -1,0 +1,69 @@
+# base64-encode — RIOT-derived alphabet classifier (Table I row 1).
+#
+# Each of the 5 symbolic input bytes is classified into one of five
+# base64 alphabet slots; a final parity check on the raw byte sum models
+# the '=' padding decision:
+#
+#   class 4  b < 0   (signed!)  high-bit byte: escape handling
+#   class 0  b < 26             'A'..'Z' slot
+#   class 1  b < 52             'a'..'z' slot
+#   class 2  b < 62             digit slot
+#   class 3  otherwise          '+' / '/' / padding
+#
+# Path count: 5^5 classification leaves x 2 parity outcomes = 6250.
+# The class-4 leaf needs a correct *signed* load (lb) and a correct
+# *signed* compare (blt) — angr lifter bugs #3 and #5 each make it
+# unreachable, collapsing the count to 4^5 x 2 = 2048.
+
+        .data
+        .globl __sym_input
+__sym_input:
+        .space 5
+
+        .text
+        .globl _start
+_start:
+        la   s0, __sym_input
+        li   s1, 0              # byte index
+        li   s2, 0              # raw byte sum (parity source)
+        li   s3, 0              # class checksum (keeps leaves distinct)
+loop:
+        add  t0, s0, s1
+        lb   t1, 0(t0)          # SIGNED load: class 4 depends on it
+        add  s2, s2, t1
+        bltz t1, class4         # the sign-dependent leaf
+        li   t2, 26
+        bltu t1, t2, class0
+        li   t2, 52
+        bltu t1, t2, class1
+        li   t2, 62
+        bltu t1, t2, class2
+        addi s3, s3, 3          # class 3: '+' / '/' / padding
+        j    next
+class0:
+        addi s3, s3, 7
+        j    next
+class1:
+        addi s3, s3, 1
+        j    next
+class2:
+        addi s3, s3, 2
+        j    next
+class4:
+        addi s3, s3, 4
+next:
+        addi s1, s1, 1
+        li   t2, 5
+        bltu s1, t2, loop
+
+        # '=' padding decision: parity of the raw byte sum (symbolic in
+        # every classification leaf, so it doubles the path count).
+        andi t3, s2, 1
+        beqz t3, even
+        li   a0, 0
+        li   a7, 93
+        ecall
+even:
+        li   a0, 0
+        li   a7, 93
+        ecall

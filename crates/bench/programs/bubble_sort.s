@@ -1,0 +1,41 @@
+# bubble-sort — 6 symbolic bytes, full (no early exit) bubble sort
+# (Table I row 2).
+#
+# Every comparison is an unsigned lbu/bgeu pair, so the program is
+# neutral to all five angr lifter bugs, as in the paper. One execution
+# path per weak ordering of the 6 elements: 6! = 720 paths.
+
+        .data
+        .globl __sym_input
+__sym_input:
+        .space 6
+
+        .text
+        .globl _start
+_start:
+        la   s0, __sym_input
+        li   s1, 6              # n
+        li   t0, 0              # i
+outer:
+        addi t6, s1, -1
+        sub  t6, t6, t0         # inner bound: n - 1 - i
+        li   t1, 0              # j
+inner:
+        bgeu t1, t6, inner_done
+        add  t2, s0, t1
+        lbu  t3, 0(t2)          # a[j]
+        lbu  t4, 1(t2)          # a[j+1]
+        bgeu t4, t3, no_swap    # already ordered (ties included)
+        sb   t4, 0(t2)
+        sb   t3, 1(t2)
+no_swap:
+        addi t1, t1, 1
+        j    inner
+inner_done:
+        addi t0, t0, 1
+        addi t5, s1, -1
+        bltu t0, t5, outer
+
+        li   a0, 0
+        li   a7, 93
+        ecall

@@ -1,0 +1,93 @@
+# clif-parser — CoRE link-format (RFC 6690) front-end scanner over 4
+# symbolic bytes (Table I row 3).
+#
+# Successive bytes are classified with progressively finer character
+# classes, mirroring how the RIOT parser's acceptance sets widen as it
+# moves from the '<' introducer into the URI and parameter lists:
+#
+#   byte 0: 2 classes  ('<' introducer / garbage prefix)
+#   byte 1: 3 classes  (below 'a' / lowercase URI char / other)
+#   byte 2: 4 classes  ('.' / '/' / ';' / ordinary)
+#   byte 3: 5 classes  ('=' / '"' / ',' / '>' / ordinary)
+#
+# Path count: 2 x 3 x 4 x 5 = 120, pinned in `programs.rs`. Only equality
+# and unsigned compares on lbu-loaded bytes are used, so the program is
+# neutral to all five angr lifter bugs, as in the paper.
+
+        .data
+        .globl __sym_input
+__sym_input:
+        .space 4
+
+        .text
+        .globl _start
+_start:
+        la   s0, __sym_input
+        li   s3, 0              # class checksum (keeps leaves distinct)
+
+        # byte 0: '<' introducer or not — 2 classes
+        lbu  t0, 0(s0)
+        li   t1, 60             # '<'
+        beq  t0, t1, b1
+        addi s3, s3, 1
+b1:
+        # byte 1: 3 classes
+        lbu  t0, 1(s0)
+        li   t1, 97             # 'a'
+        bltu t0, t1, b1_low
+        li   t1, 123            # 'z' + 1
+        bltu t0, t1, b1_alpha
+        addi s3, s3, 8          # above 'z'
+        j    b2
+b1_low:
+        addi s3, s3, 2
+        j    b2
+b1_alpha:
+        addi s3, s3, 4
+b2:
+        # byte 2: 4 classes
+        lbu  t0, 2(s0)
+        li   t1, 46             # '.'
+        beq  t0, t1, b2_dot
+        li   t1, 47             # '/'
+        beq  t0, t1, b2_slash
+        li   t1, 59             # ';'
+        beq  t0, t1, b2_semi
+        addi s3, s3, 48         # ordinary character
+        j    b3
+b2_dot:
+        addi s3, s3, 16
+        j    b3
+b2_slash:
+        addi s3, s3, 32
+        j    b3
+b2_semi:
+        addi s3, s3, 40
+b3:
+        # byte 3: 5 classes
+        lbu  t0, 3(s0)
+        li   t1, 61             # '='
+        beq  t0, t1, b3_eq
+        li   t1, 34             # '"'
+        beq  t0, t1, b3_quote
+        li   t1, 44             # ','
+        beq  t0, t1, b3_comma
+        li   t1, 62             # '>'
+        beq  t0, t1, b3_close
+        addi s3, s3, 64         # ordinary character
+        j    out
+b3_eq:
+        addi s3, s3, 128
+        j    out
+b3_quote:
+        addi s3, s3, 192
+        j    out
+b3_comma:
+        addi s3, s3, 224
+        j    out
+b3_close:
+        addi s3, s3, 240
+out:
+        li   a0, 0
+        li   a7, 93
+        ecall

@@ -1,0 +1,40 @@
+# insertion-sort — 7 symbolic bytes, in-place insertion sort
+# (Table I row 4).
+#
+# Every comparison is an unsigned lbu/bgeu pair, so the program is
+# neutral to all five angr lifter bugs, as in the paper. One execution
+# path per weak ordering of the 7 elements: 7! = 5040 paths.
+
+        .data
+        .globl __sym_input
+__sym_input:
+        .space 7
+
+        .text
+        .globl _start
+_start:
+        la   s0, __sym_input
+        li   t0, 1              # i
+outer:
+        li   t6, 7
+        bgeu t0, t6, done
+        add  t1, s0, t0
+        lbu  t2, 0(t1)          # key = a[i]
+        mv   t3, t0             # j
+shift:
+        beqz t3, place
+        add  t4, s0, t3
+        lbu  t5, -1(t4)         # a[j-1]
+        bgeu t2, t5, place      # key >= a[j-1]: insertion point found
+        sb   t5, 0(t4)          # a[j] = a[j-1]
+        addi t3, t3, -1
+        j    shift
+place:
+        add  t4, s0, t3
+        sb   t2, 0(t4)          # a[j] = key
+        addi t0, t0, 1
+        j    outer
+done:
+        li   a0, 0
+        li   a7, 93
+        ecall

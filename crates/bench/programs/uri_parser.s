@@ -1,0 +1,93 @@
+# uri-parser — URI front-end scanner over 4 symbolic bytes
+# (Table I row 5).
+#
+# The first byte decides IRI handling: a set high bit (checked with a
+# *signed* lb + bltz, as the RIOT scanner does via `(signed char)c < 0`)
+# routes into the internationalized branch, which only distinguishes
+# lead/continuation bytes — 2 paths. Otherwise the scheme byte falls
+# into one of 6 ASCII classes and each of the remaining 3 bytes into one
+# of 7 classes:
+#
+#   paths = 2 + 6 x 7^3 = 2060.
+#
+# The 2 IRI paths require a correct signed high-bit check: angr lifter
+# bugs #3 (lb zero-extends) and #5 (blt compares unsigned) each make
+# the bltz branch infeasible, so the buggy persona finds 2058 — the
+# paper's small uri-parser miss.
+
+        .data
+        .globl __sym_input
+__sym_input:
+        .space 4
+
+        .text
+        .globl _start
+_start:
+        la   s0, __sym_input
+        li   s3, 0              # class checksum (keeps leaves distinct)
+
+        # byte 0: IRI detection needs the sign of the loaded byte
+        lb   t0, 0(s0)
+        bltz t0, iri
+
+        # scheme byte: 6 ASCII classes
+        li   t1, 16
+        bltu t0, t1, s_next
+        addi s3, s3, 1
+        li   t1, 32
+        bltu t0, t1, s_next
+        addi s3, s3, 1
+        li   t1, 48
+        bltu t0, t1, s_next
+        addi s3, s3, 1
+        li   t1, 64
+        bltu t0, t1, s_next
+        addi s3, s3, 1
+        li   t1, 96
+        bltu t0, t1, s_next
+        addi s3, s3, 1
+s_next:
+        # bytes 1..3: 7 classes each (authority / path character sets)
+        li   s1, 1              # byte index
+body:
+        add  t2, s0, s1
+        lbu  t0, 0(t2)
+        li   t1, 32             # control characters
+        bltu t0, t1, b_next
+        addi s3, s3, 1
+        li   t1, 48             # punctuation below '0'
+        bltu t0, t1, b_next
+        addi s3, s3, 1
+        li   t1, 58             # digits
+        bltu t0, t1, b_next
+        addi s3, s3, 1
+        li   t1, 65             # ':' .. '@'
+        bltu t0, t1, b_next
+        addi s3, s3, 1
+        li   t1, 91             # uppercase
+        bltu t0, t1, b_next
+        addi s3, s3, 1
+        li   t1, 97             # '[' .. '`'
+        bltu t0, t1, b_next
+        addi s3, s3, 1
+b_next:
+        addi s1, s1, 1
+        li   t1, 4
+        bltu s1, t1, body
+
+        li   a0, 0
+        li   a7, 93
+        ecall
+
+iri:
+        # internationalized byte: lead vs continuation — 2 paths
+        lbu  t2, 1(s0)
+        li   t1, 128
+        bltu t2, t1, iri_lead
+        li   a0, 0
+        li   a7, 93
+        ecall
+iri_lead:
+        li   a0, 0
+        li   a7, 93
+        ecall

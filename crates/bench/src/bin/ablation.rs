@@ -2,7 +2,8 @@
 //!
 //! 1. **Incremental solving** — the DSE loop's push/pop solver (shared
 //!    bit-blast cache, learned clauses) vs. a fresh solver per branch-flip
-//!    query.
+//!    query, expressed as the two [`BitblastBackend`] modes plugged into
+//!    otherwise identical [`Session`]s.
 //! 2. **Lift caching** — the IR engine with and without its translation
 //!    cache (the BINSEC-vs-angr structural difference, isolated from the
 //!    interpretation-overhead model).
@@ -11,9 +12,11 @@
 //! cargo run --release -p binsym-bench --bin ablation
 //! ```
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use std::time::Instant;
 
-use binsym::{Explorer, ExplorerConfig};
+use binsym::{BitblastBackend, Session};
 use binsym_bench::programs;
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
@@ -30,14 +33,18 @@ fn main() {
         let elf = p.build();
         let mut times = Vec::new();
         for fresh in [false, true] {
-            let config = ExplorerConfig {
-                fresh_solver_per_query: fresh,
-                ..ExplorerConfig::default()
+            let backend = if fresh {
+                BitblastBackend::fresh_per_query()
+            } else {
+                BitblastBackend::new()
             };
-            let mut ex = Explorer::with_config(Spec::rv32im(), &elf, config)
+            let mut session = Session::builder(Spec::rv32im())
+                .binary(&elf)
+                .backend(backend)
+                .build()
                 .expect("sym input");
             let start = Instant::now();
-            let s = ex.run_all().expect("explores");
+            let s = session.run_all().expect("explores");
             assert_eq!(s.paths, p.expected_paths, "ablation must not change paths");
             times.push(start.elapsed());
         }
@@ -69,13 +76,18 @@ fn main() {
                 },
             )
             .expect("sym input");
-            let mut ex = Explorer::from_executor(exec, ExplorerConfig::default());
+            // Shared handle: the session owns one clone, we keep the other
+            // to read the lift counter after exploration.
+            let exec = Rc::new(RefCell::new(exec));
+            let mut session = Session::executor_builder(Rc::clone(&exec))
+                .build()
+                .expect("builds");
             let start = Instant::now();
-            let s = ex.run_all().expect("explores");
+            let s = session.run_all().expect("explores");
             assert_eq!(s.paths, p.expected_paths);
             times.push(start.elapsed());
             if !cache {
-                lifts = ex.executor().lift_count;
+                lifts = exec.borrow().lift_count;
             }
         }
         println!(

@@ -46,8 +46,8 @@ fn main() {
     println!("FIG. 6 — Total execution time (arithmetic mean over {runs} run(s))");
     println!("expected ordering per row: BINSEC < BinSym < SymEx-VP << angr\n");
     println!(
-        "{:<16} {:>12} {:>12} {:>12} {:>12}   {}",
-        "Benchmark", "BINSEC", "BinSym", "SymEx-VP", "angr", "ratios vs BINSEC"
+        "{:<16} {:>12} {:>12} {:>12} {:>12}   ratios vs BINSEC",
+        "Benchmark", "BINSEC", "BinSym", "SymEx-VP", "angr"
     );
 
     let mut max_dev: f64 = 0.0;
@@ -64,7 +64,8 @@ fn main() {
                     panic!("{} on {}: {e}", engine.name(), p.name);
                 });
                 assert_eq!(
-                    r.summary.paths, p.expected_paths,
+                    r.summary.paths,
+                    p.expected_paths,
                     "{} path count deviates on {}",
                     engine.name(),
                     p.name

@@ -41,11 +41,7 @@ fn main() {
             if engine != Engine::Angr {
                 match reference {
                     None => reference = Some(paths),
-                    Some(r) => assert_eq!(
-                        r, paths,
-                        "correct engines disagree on {}",
-                        p.name
-                    ),
+                    Some(r) => assert_eq!(r, paths, "correct engines disagree on {}", p.name),
                 }
             }
             cells.push(paths);

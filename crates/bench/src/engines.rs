@@ -11,19 +11,23 @@
 //! | BinSym    | formal ISA specification       | native                     |
 //! | SymEx-VP  | formal ISA specification       | SystemC-style DES kernel   |
 //! | angr      | hand-written IR lifter (buggy) | interpreted (Python model) |
+//!
+//! The execution-environment personas (SymEx-VP's simulation kernel, the
+//! GHC-runtime cost model) are [`binsym::Observer`]s attached to a plain
+//! [`Session`] over the formal-semantics executor — they model per-
+//! instruction cost through the `on_step` hook instead of re-implementing
+//! the path-execution loop.
 
+use std::cell::RefCell;
 use std::hint::black_box;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use binsym::{
-    find_sym_input, ExploreError, Explorer, ExplorerConfig, PathExecutor, PathOutcome,
-    SpecExecutor, StepResult, Summary, SymMachine,
-};
+use binsym::{Error, Observer, Session, Summary};
 use binsym_des::{Bus, EventQueue, ProcessId, Time};
 use binsym_elf::ElfFile;
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterExecutor};
-use binsym_smt::TermManager;
 
 /// The engines compared in the paper's §V.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,7 +46,12 @@ pub enum Engine {
 
 impl Engine {
     /// All engines, in the paper's Table I column order.
-    pub const TABLE1: [Engine; 4] = [Engine::Angr, Engine::Binsec, Engine::SymExVp, Engine::BinSym];
+    pub const TABLE1: [Engine; 4] = [
+        Engine::Angr,
+        Engine::Binsec,
+        Engine::SymExVp,
+        Engine::BinSym,
+    ];
 
     /// The engines of the Fig. 6 performance comparison (fixed angr).
     pub const FIG6: [Engine; 4] = [
@@ -62,6 +71,33 @@ impl Engine {
             Engine::AngrFixed => "angr (fixed)",
         }
     }
+
+    /// Builds the exploration session realizing this persona on `elf`.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
+    pub fn session(self, elf: &ElfFile) -> Result<Session, Error> {
+        match self {
+            Engine::BinSym => Session::builder(Spec::rv32im())
+                .binary(elf)
+                .observer(GhcRuntimeObserver::default())
+                .build(),
+            Engine::SymExVp => Session::builder(Spec::rv32im())
+                .binary(elf)
+                .observer(VpObserver::new())
+                .build(),
+            Engine::Binsec => {
+                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::binsec())?).build()
+            }
+            Engine::Angr => {
+                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr())?).build()
+            }
+            Engine::AngrFixed => {
+                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr_fixed())?)
+                    .build()
+            }
+        }
+    }
 }
 
 /// Result of running one engine on one benchmark.
@@ -76,39 +112,16 @@ pub struct RunResult {
 /// Runs `engine` on `elf` to full exploration, measuring wall time.
 ///
 /// # Errors
-/// Returns [`ExploreError`] if the binary lacks a `__sym_input` symbol or a
-/// path fails (the buggy angr persona *can* fail on binaries with custom
+/// Returns [`Error`] if the binary lacks a `__sym_input` symbol or a path
+/// fails (the buggy angr persona *can* fail on binaries with custom
 /// instructions — that is part of the reproduction).
-pub fn run_engine(engine: Engine, elf: &ElfFile) -> Result<RunResult, ExploreError> {
-    let config = ExplorerConfig::default();
+pub fn run_engine(engine: Engine, elf: &ElfFile) -> Result<RunResult, Error> {
+    // The timed region includes engine construction (ELF clone, lifter
+    // setup), matching the original measurement boundary of the Fig. 6
+    // harness.
     let start = Instant::now();
-    let summary = match engine {
-        Engine::BinSym => {
-            let exec = GhcRuntimeExecutor::new(Spec::rv32im(), elf)?;
-            let mut ex = Explorer::from_executor(exec, config);
-            ex.run_all()?
-        }
-        Engine::Binsec => {
-            let exec = LifterExecutor::new(elf, EngineConfig::binsec())?;
-            let mut ex = Explorer::from_executor(exec, config);
-            ex.run_all()?
-        }
-        Engine::Angr => {
-            let exec = LifterExecutor::new(elf, EngineConfig::angr())?;
-            let mut ex = Explorer::from_executor(exec, config);
-            ex.run_all()?
-        }
-        Engine::AngrFixed => {
-            let exec = LifterExecutor::new(elf, EngineConfig::angr_fixed())?;
-            let mut ex = Explorer::from_executor(exec, config);
-            ex.run_all()?
-        }
-        Engine::SymExVp => {
-            let exec = VpExecutor::new(Spec::rv32im(), elf)?;
-            let mut ex = Explorer::from_executor(exec, config);
-            ex.run_all()?
-        }
-    };
+    let mut session = engine.session(elf)?;
+    let summary = session.run_all()?;
     Ok(RunResult {
         summary,
         duration: start.elapsed(),
@@ -118,55 +131,6 @@ pub fn run_engine(engine: Engine, elf: &ElfFile) -> Result<RunResult, ExploreErr
 /// Process ids used by the virtual prototype.
 const CPU: ProcessId = ProcessId(0);
 const TIMER: ProcessId = ProcessId(1);
-
-/// The SymEx-VP persona: the formal-semantics engine executing inside a
-/// SystemC-style discrete-event simulation.
-///
-/// Per retired instruction the CPU process pays: a fetch transaction on the
-/// TLM bus, an execute quantum, a kernel reschedule (event push + pop), and
-/// a simulated SystemC process context switch. A peripheral timer process
-/// keeps the event queue non-trivial, as in a real virtual prototype. The
-/// paper attributes SymEx-VP's slowdown relative to BinSym to exactly this
-/// simulation environment (§V-B).
-#[derive(Debug)]
-pub struct VpExecutor {
-    inner: SpecExecutor,
-    spec: Spec,
-    elf: ElfFile,
-    sym_addr: u32,
-    sym_len: u32,
-    /// Instruction execution quantum.
-    pub quantum: Time,
-    /// Modeled cost (in busy-work iterations) of one SystemC process
-    /// context switch.
-    pub context_switch_cost: u32,
-    /// Total simulated time across all paths.
-    pub simulated_time: Time,
-    /// Total kernel events processed across all paths.
-    pub events: u64,
-}
-
-impl VpExecutor {
-    /// Creates the virtual-prototype executor.
-    ///
-    /// # Errors
-    /// Returns [`ExploreError::NoSymbolicInput`] if the symbol is missing.
-    pub fn new(spec: Spec, elf: &ElfFile) -> Result<Self, ExploreError> {
-        let (sym_addr, sym_len) = find_sym_input(elf, None)?;
-        let inner = SpecExecutor::new(spec.clone(), elf, None)?;
-        Ok(VpExecutor {
-            inner,
-            spec,
-            elf: elf.clone(),
-            sym_addr,
-            sym_len,
-            quantum: Time::from_ns(10),
-            context_switch_cost: 8000,
-            simulated_time: Time::ZERO,
-            events: 0,
-        })
-    }
-}
 
 /// Deterministic busy work modeling the cost of a SystemC process context
 /// switch (coroutine save/restore, channel update phase).
@@ -182,138 +146,137 @@ fn context_switch_spin(iters: u32) {
     black_box(x);
 }
 
-/// The BinSym persona for *timing* comparisons.
+/// The BinSym persona's cost model for *timing* comparisons.
 ///
-/// Path semantics are identical to [`binsym::SpecExecutor`] (the same
-/// symbolic modular interpreter runs underneath); in addition, every
-/// executed instruction pays a calibrated busy-work cost modeling the GHC
-/// runtime of the paper's Haskell prototype (lazy free-monad interpretation,
-/// thunk allocation). Without this, our Rust re-implementation of the
-/// specification interpreter is as fast as the optimized IR engine and the
-/// Fig. 6 ordering BINSEC < BinSym would not be observable. The cost
-/// constant is documented in EXPERIMENTS.md; path counts are unaffected.
-#[derive(Debug)]
-pub struct GhcRuntimeExecutor {
-    spec: Spec,
-    elf: ElfFile,
-    sym_addr: u32,
-    sym_len: u32,
+/// Path semantics come from the unmodified [`binsym::SpecExecutor`]; this
+/// observer only adds a calibrated busy-work cost per executed instruction,
+/// modeling the GHC runtime of the paper's Haskell prototype (lazy
+/// free-monad interpretation, thunk allocation). Without this, our Rust
+/// re-implementation of the specification interpreter is as fast as the
+/// optimized IR engine and the Fig. 6 ordering BINSEC < BinSym would not
+/// be observable. The cost constant is documented in EXPERIMENTS.md; path
+/// counts are unaffected.
+#[derive(Debug, Clone, Copy)]
+pub struct GhcRuntimeObserver {
     /// Busy-work iterations per executed instruction.
     pub runtime_cost: u32,
 }
 
-impl GhcRuntimeExecutor {
-    /// Creates the executor.
-    ///
-    /// # Errors
-    /// Returns [`ExploreError::NoSymbolicInput`] if the symbol is missing.
-    pub fn new(spec: Spec, elf: &ElfFile) -> Result<Self, ExploreError> {
-        let (sym_addr, sym_len) = find_sym_input(elf, None)?;
-        Ok(GhcRuntimeExecutor {
-            spec,
-            elf: elf.clone(),
-            sym_addr,
-            sym_len,
-            runtime_cost: 2500,
-        })
+impl Default for GhcRuntimeObserver {
+    fn default() -> Self {
+        GhcRuntimeObserver { runtime_cost: 2500 }
     }
 }
 
-impl PathExecutor for GhcRuntimeExecutor {
-    fn execute_path(
-        &mut self,
-        tm: &mut TermManager,
-        input: &[u8],
-        fuel: u64,
-    ) -> Result<PathOutcome, ExploreError> {
-        let mut m = SymMachine::new(self.spec.clone());
-        m.load_elf(&self.elf);
-        m.mark_symbolic(tm, self.sym_addr, self.sym_len, "in", input);
-        for _ in 0..fuel {
-            context_switch_spin(self.runtime_cost);
-            match m.step(tm)? {
-                StepResult::Continue => {}
-                exit => {
-                    return Ok(PathOutcome {
-                        exit,
-                        trail: m.trail,
-                        steps: m.steps,
-                    })
-                }
-            }
-        }
-        Err(ExploreError::OutOfFuel {
-            input: input.to_vec(),
-        })
-    }
-
-    fn input_len(&self) -> u32 {
-        self.sym_len
+impl Observer for GhcRuntimeObserver {
+    fn on_step(&mut self, _pc: u32, _steps: u64) {
+        context_switch_spin(self.runtime_cost);
     }
 }
 
-impl PathExecutor for VpExecutor {
-    fn execute_path(
-        &mut self,
-        tm: &mut TermManager,
-        input: &[u8],
-        fuel: u64,
-    ) -> Result<PathOutcome, ExploreError> {
-        let _ = &self.inner; // configuration is mirrored below
-        let mut m = SymMachine::new(self.spec.clone());
-        m.load_elf(&self.elf);
-        m.mark_symbolic(tm, self.sym_addr, self.sym_len, "in", input);
+/// Aggregate statistics of a [`VpObserver`] across all explored paths.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VpStats {
+    /// Total simulated time across all paths.
+    pub simulated_time: Time,
+    /// Total kernel events processed across all paths.
+    pub events: u64,
+}
 
+/// The SymEx-VP persona: the formal-semantics engine executing inside a
+/// SystemC-style discrete-event simulation, realized as an observer.
+///
+/// Per retired instruction the CPU process pays: a fetch transaction on the
+/// TLM bus, an execute quantum, a kernel reschedule (event push + pop), and
+/// a simulated SystemC process context switch. A peripheral timer process
+/// keeps the event queue non-trivial, as in a real virtual prototype. The
+/// paper attributes SymEx-VP's slowdown relative to BinSym to exactly this
+/// simulation environment (§V-B).
+///
+/// The observer is moved into the session; keep the handle returned by
+/// [`VpObserver::stats`] to read the accumulated statistics afterwards.
+#[derive(Debug)]
+pub struct VpObserver {
+    queue: EventQueue,
+    bus: Bus,
+    /// Instruction execution quantum.
+    pub quantum: Time,
+    /// Modeled cost (in busy-work iterations) of one SystemC process
+    /// context switch.
+    pub context_switch_cost: u32,
+    /// Totals folded in from *completed* paths; the shared stats are kept
+    /// at `base + current path's queue state` after every step, so a path
+    /// aborted mid-way (fuel exhaustion) is still accounted for.
+    base: VpStats,
+    stats: Rc<RefCell<VpStats>>,
+}
+
+impl VpObserver {
+    /// Creates the virtual-prototype observer.
+    pub fn new() -> Self {
         let mut queue = EventQueue::new();
-        let bus = Bus::default();
-        queue.schedule(CPU, Time::ZERO);
         queue.schedule(TIMER, Time::from_ns(1000));
+        VpObserver {
+            queue,
+            bus: Bus::default(),
+            quantum: Time::from_ns(10),
+            context_switch_cost: 8000,
+            base: VpStats::default(),
+            stats: Rc::new(RefCell::new(VpStats::default())),
+        }
+    }
 
-        let mut executed: u64 = 0;
-        while let Some((_, pid)) = queue.pop() {
+    /// Shared handle to the accumulated simulation statistics.
+    pub fn stats(&self) -> Rc<RefCell<VpStats>> {
+        Rc::clone(&self.stats)
+    }
+
+    /// Publishes `base + current path` to the shared handle.
+    fn publish(&self) {
+        let mut stats = self.stats.borrow_mut();
+        stats.simulated_time = self.base.simulated_time.saturating_add(self.queue.now());
+        stats.events = self.base.events + self.queue.processed();
+    }
+}
+
+impl Default for VpObserver {
+    fn default() -> Self {
+        VpObserver::new()
+    }
+}
+
+impl Observer for VpObserver {
+    fn on_step(&mut self, _pc: u32, _steps: u64) {
+        // SystemC context switch into the CPU thread.
+        context_switch_spin(self.context_switch_cost);
+        // Fetch transaction + execution quantum: schedule the retire event
+        // and run the kernel until the CPU is due again, processing any
+        // peripheral events that fire in between.
+        let delay = self.quantum + self.bus.transport(4);
+        self.queue.schedule(CPU, delay);
+        while let Some((_, pid)) = self.queue.pop() {
             match pid {
+                CPU => break,
                 TIMER => {
                     // Peripheral heartbeat: keeps the queue non-trivial.
                     context_switch_spin(self.context_switch_cost / 8);
-                    queue.schedule(TIMER, Time::from_ns(1000));
-                }
-                CPU => {
-                    if executed >= fuel {
-                        self.simulated_time = self.simulated_time.saturating_add(queue.now());
-                        self.events += queue.processed();
-                        return Err(ExploreError::OutOfFuel {
-                            input: input.to_vec(),
-                        });
-                    }
-                    // SystemC context switch into the CPU thread.
-                    context_switch_spin(self.context_switch_cost);
-                    let r = m.step(tm)?;
-                    executed += 1;
-                    match r {
-                        StepResult::Continue => {
-                            // Fetch transaction + execution quantum.
-                            let delay = self.quantum + bus.transport(4);
-                            queue.schedule(CPU, delay);
-                        }
-                        exit => {
-                            self.simulated_time = self.simulated_time.saturating_add(queue.now());
-                            self.events += queue.processed();
-                            return Ok(PathOutcome {
-                                exit,
-                                trail: m.trail,
-                                steps: m.steps,
-                            });
-                        }
-                    }
+                    self.queue.schedule(TIMER, Time::from_ns(1000));
                 }
                 other => unreachable!("unknown process {other:?}"),
             }
         }
-        unreachable!("CPU process reschedules itself until exit")
+        self.publish();
     }
 
-    fn input_len(&self) -> u32 {
-        self.sym_len
+    fn on_path(&mut self, _input: &[u8], _outcome: &binsym::PathOutcome) {
+        // Fold this path's simulation into the base totals and reset the
+        // kernel for the next path (each path restarts the SUT from
+        // scratch).
+        self.base.simulated_time = self.base.simulated_time.saturating_add(self.queue.now());
+        self.base.events += self.queue.processed();
+        self.queue = EventQueue::new();
+        self.queue.schedule(TIMER, Time::from_ns(1000));
+        self.publish();
     }
 }
 
@@ -358,15 +321,44 @@ small:
     #[test]
     fn vp_accumulates_simulated_time() {
         let elf = small_program();
-        let mut exec = VpExecutor::new(Spec::rv32im(), &elf).expect("vp");
-        let mut tm = TermManager::new();
-        let out = exec.execute_path(&mut tm, &[0], 10_000).expect("path");
-        assert!(matches!(out.exit, StepResult::Exited(0)));
-        assert!(exec.simulated_time > Time::ZERO);
+        let vp = VpObserver::new();
+        let stats = vp.stats();
+        let summary = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .observer(vp)
+            .build()
+            .expect("builds")
+            .run_all()
+            .expect("explores");
+        let stats = stats.borrow();
+        assert!(stats.simulated_time > Time::ZERO);
         assert!(
-            exec.events >= out.steps,
+            stats.events >= summary.total_steps,
             "kernel processes at least one event per instruction"
         );
+    }
+
+    #[test]
+    fn vp_stats_survive_fuel_exhaustion() {
+        // A path aborted by the fuel budget must still contribute its
+        // simulated time and kernel events (the pre-observer VpExecutor
+        // accumulated them before returning OutOfFuel).
+        let elf = small_program();
+        let vp = VpObserver::new();
+        let stats = vp.stats();
+        let mut session = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .observer(vp)
+            .fuel(3) // far less than the program needs
+            .build()
+            .expect("builds");
+        assert!(matches!(
+            session.run_all(),
+            Err(binsym::Error::OutOfFuel { .. })
+        ));
+        let stats = stats.borrow();
+        assert!(stats.simulated_time > Time::ZERO, "aborted path counted");
+        assert!(stats.events >= 3, "one kernel event per executed step");
     }
 
     #[test]

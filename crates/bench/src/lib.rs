@@ -22,5 +22,5 @@
 pub mod engines;
 pub mod programs;
 
-pub use engines::{run_engine, Engine, GhcRuntimeExecutor, RunResult, VpExecutor};
+pub use engines::{run_engine, Engine, GhcRuntimeObserver, RunResult, VpObserver, VpStats};
 pub use programs::{all_programs, Program};

@@ -152,7 +152,9 @@ mod tests {
             let elf = p.build();
             let mut m = binsym_interp::Machine::new(binsym_isa::Spec::rv32im());
             m.load_elf(&elf);
-            let exit = m.run(1_000_000).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let exit = m
+                .run(1_000_000)
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert_eq!(
                 exit,
                 binsym_interp::Exit::Exited(0),

@@ -1,0 +1,342 @@
+//! Pluggable solver backends for branch-flip feasibility queries.
+//!
+//! The DSE loop only needs a small constraint interface: scoped assertion
+//! frames (`push`/`pop`), boolean assertions, `check_sat`, and model
+//! extraction. [`SolverBackend`] captures exactly that seam, so the solving
+//! layer becomes a swappable component of [`crate::Session`]:
+//!
+//! * [`BitblastBackend`] — the in-tree bit-blasting + CDCL-SAT stack
+//!   (`binsym_smt::Solver`), either *incremental* (one solver instance,
+//!   MiniSat-style retractable assertion frames, shared learned clauses —
+//!   the default) or *fresh-per-query* (a new solver per `check_sat`; the
+//!   ablation baseline quantifying what incrementality buys);
+//! * [`SmtLibDump`] — a recording decorator: forwards every operation to an
+//!   inner backend while rendering each discharged query as a complete
+//!   SMT-LIB v2 script (via `binsym_smt::smtlib`) for offline replay with
+//!   an external solver.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use binsym_smt::{smtlib, Model, SatResult, Solver, Term, TermManager};
+
+/// A solver usable by the exploration loop: scoped assertions plus
+/// satisfiability checking with model extraction.
+///
+/// A backend must be used with a single [`TermManager`] for its whole
+/// lifetime (term handles may be cached internally).
+pub trait SolverBackend: fmt::Debug {
+    /// Human-readable backend name (for logs and summaries).
+    fn name(&self) -> &'static str;
+
+    /// Opens a new assertion frame.
+    fn push(&mut self);
+
+    /// Closes the top assertion frame, retracting its assertions.
+    fn pop(&mut self);
+
+    /// Asserts a boolean term in the current frame.
+    fn assert_term(&mut self, tm: &mut TermManager, t: Term);
+
+    /// Checks satisfiability of all live assertions.
+    fn check_sat(&mut self, tm: &mut TermManager) -> SatResult;
+
+    /// Model of the last [`SolverBackend::check_sat`] that returned
+    /// [`SatResult::Sat`]; `None` if it was unsatisfiable or never ran.
+    fn model(&self, tm: &TermManager) -> Option<Model>;
+
+    /// Number of `check_sat` calls issued so far.
+    fn num_checks(&self) -> u64;
+}
+
+/// The in-tree bit-blasting backend (wraps [`binsym_smt::Solver`]).
+#[derive(Debug)]
+pub struct BitblastBackend {
+    mode: Mode,
+}
+
+#[derive(Debug)]
+enum Mode {
+    /// One incremental solver with retractable assertion frames.
+    Incremental(Solver),
+    /// A fresh solver per query: assertions are staged per-frame and
+    /// replayed into a new solver on every `check_sat`.
+    FreshPerQuery {
+        frames: Vec<Vec<Term>>,
+        checks: u64,
+        last: Option<Solver>,
+    },
+}
+
+impl BitblastBackend {
+    /// Creates the default incremental backend.
+    pub fn new() -> Self {
+        BitblastBackend {
+            mode: Mode::Incremental(Solver::new()),
+        }
+    }
+
+    /// Creates the fresh-solver-per-query ablation backend: every
+    /// feasibility query is discharged in a brand-new solver instance,
+    /// forgoing the shared bit-blast cache and learned clauses. Path
+    /// results are identical to the incremental mode; only solving time
+    /// differs (see the `ablation` harness).
+    pub fn fresh_per_query() -> Self {
+        BitblastBackend {
+            mode: Mode::FreshPerQuery {
+                frames: vec![Vec::new()],
+                checks: 0,
+                last: None,
+            },
+        }
+    }
+}
+
+impl Default for BitblastBackend {
+    fn default() -> Self {
+        BitblastBackend::new()
+    }
+}
+
+impl SolverBackend for BitblastBackend {
+    fn name(&self) -> &'static str {
+        match self.mode {
+            Mode::Incremental(_) => "bitblast",
+            Mode::FreshPerQuery { .. } => "bitblast-fresh",
+        }
+    }
+
+    fn push(&mut self) {
+        match &mut self.mode {
+            Mode::Incremental(s) => s.push(),
+            Mode::FreshPerQuery { frames, .. } => frames.push(Vec::new()),
+        }
+    }
+
+    fn pop(&mut self) {
+        match &mut self.mode {
+            Mode::Incremental(s) => s.pop(),
+            Mode::FreshPerQuery { frames, .. } => {
+                assert!(frames.len() > 1, "cannot pop the bottom frame");
+                frames.pop();
+            }
+        }
+    }
+
+    fn assert_term(&mut self, tm: &mut TermManager, t: Term) {
+        match &mut self.mode {
+            Mode::Incremental(s) => s.assert_term(tm, t),
+            Mode::FreshPerQuery { frames, .. } => {
+                frames
+                    .last_mut()
+                    .expect("at least the bottom frame")
+                    .push(t);
+            }
+        }
+    }
+
+    fn check_sat(&mut self, tm: &mut TermManager) -> SatResult {
+        match &mut self.mode {
+            Mode::Incremental(s) => s.check_sat(tm, &[]),
+            Mode::FreshPerQuery {
+                frames,
+                checks,
+                last,
+            } => {
+                let mut s = Solver::new();
+                for &t in frames.iter().flatten() {
+                    s.assert_term(tm, t);
+                }
+                let r = s.check_sat(tm, &[]);
+                *checks += 1;
+                *last = Some(s);
+                r
+            }
+        }
+    }
+
+    fn model(&self, tm: &TermManager) -> Option<Model> {
+        match &self.mode {
+            Mode::Incremental(s) => s.model(tm),
+            Mode::FreshPerQuery { last, .. } => last.as_ref().and_then(|s| s.model(tm)),
+        }
+    }
+
+    fn num_checks(&self) -> u64 {
+        match &self.mode {
+            Mode::Incremental(s) => s.num_checks(),
+            Mode::FreshPerQuery { checks, .. } => *checks,
+        }
+    }
+}
+
+/// Shared handle to the scripts recorded by an [`SmtLibDump`] backend.
+///
+/// The backend is moved into the [`crate::Session`], so callers keep a
+/// clone of this handle to read the scripts afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct ScriptSink(Rc<RefCell<Vec<String>>>);
+
+impl ScriptSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        ScriptSink::default()
+    }
+
+    /// Number of recorded scripts (one per `check_sat`).
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True when no query has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// A copy of all recorded scripts, in query order.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.0.borrow().clone()
+    }
+
+    fn record(&self, script: String) {
+        self.0.borrow_mut().push(script);
+    }
+}
+
+/// A recording decorator: forwards to an inner backend while rendering
+/// every discharged query as a complete SMT-LIB v2 script
+/// (`(set-logic QF_BV) … (check-sat)`), for offline replay with an
+/// external solver such as Z3 — the paper's Fig. 2 ③ artifact, produced
+/// for *every* query of an exploration.
+#[derive(Debug)]
+pub struct SmtLibDump<B = BitblastBackend> {
+    inner: B,
+    /// Mirror of the live assertion frames (the inner solver does the real
+    /// bookkeeping; this copy is only for printing complete scripts).
+    frames: Vec<Vec<Term>>,
+    sink: ScriptSink,
+}
+
+impl SmtLibDump<BitblastBackend> {
+    /// Wraps the default incremental [`BitblastBackend`].
+    pub fn new() -> Self {
+        SmtLibDump::wrapping(BitblastBackend::new())
+    }
+}
+
+impl Default for SmtLibDump<BitblastBackend> {
+    fn default() -> Self {
+        SmtLibDump::new()
+    }
+}
+
+impl<B: SolverBackend> SmtLibDump<B> {
+    /// Wraps an arbitrary inner backend.
+    pub fn wrapping(inner: B) -> Self {
+        SmtLibDump {
+            inner,
+            frames: vec![Vec::new()],
+            sink: ScriptSink::new(),
+        }
+    }
+
+    /// Handle to the recorded scripts; clone it before moving the backend
+    /// into a session.
+    pub fn scripts(&self) -> ScriptSink {
+        self.sink.clone()
+    }
+}
+
+impl<B: SolverBackend> SolverBackend for SmtLibDump<B> {
+    fn name(&self) -> &'static str {
+        "smtlib-dump"
+    }
+
+    fn push(&mut self) {
+        self.frames.push(Vec::new());
+        self.inner.push();
+    }
+
+    fn pop(&mut self) {
+        assert!(self.frames.len() > 1, "cannot pop the bottom frame");
+        self.frames.pop();
+        self.inner.pop();
+    }
+
+    fn assert_term(&mut self, tm: &mut TermManager, t: Term) {
+        self.frames
+            .last_mut()
+            .expect("at least the bottom frame")
+            .push(t);
+        self.inner.assert_term(tm, t);
+    }
+
+    fn check_sat(&mut self, tm: &mut TermManager) -> SatResult {
+        let assertions: Vec<Term> = self.frames.iter().flatten().copied().collect();
+        self.sink.record(smtlib::query_to_smtlib(tm, &assertions));
+        self.inner.check_sat(tm)
+    }
+
+    fn model(&self, tm: &TermManager) -> Option<Model> {
+        self.inner.model(tm)
+    }
+
+    fn num_checks(&self) -> u64 {
+        self.inner.num_checks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x_lt_5(tm: &mut TermManager) -> Term {
+        let x = tm.var("x", 8);
+        let five = tm.bv_const(5, 8);
+        tm.ult(x, five)
+    }
+
+    #[test]
+    fn incremental_and_fresh_agree() {
+        let mut tm = TermManager::new();
+        let cond = x_lt_5(&mut tm);
+        for mut backend in [BitblastBackend::new(), BitblastBackend::fresh_per_query()] {
+            backend.push();
+            backend.assert_term(&mut tm, cond);
+            assert_eq!(backend.check_sat(&mut tm), SatResult::Sat);
+            let m = backend.model(&tm).expect("model");
+            assert!(m.value("x").unwrap() < 5, "{}", backend.name());
+            let not = tm.not(cond);
+            backend.assert_term(&mut tm, not);
+            assert_eq!(backend.check_sat(&mut tm), SatResult::Unsat);
+            backend.pop();
+            assert_eq!(backend.check_sat(&mut tm), SatResult::Sat);
+            assert_eq!(backend.num_checks(), 3);
+        }
+    }
+
+    #[test]
+    fn dump_records_complete_scripts() {
+        let mut tm = TermManager::new();
+        let cond = x_lt_5(&mut tm);
+        let mut backend = SmtLibDump::new();
+        let scripts = backend.scripts();
+        backend.push();
+        backend.assert_term(&mut tm, cond);
+        assert_eq!(backend.check_sat(&mut tm), SatResult::Sat);
+        backend.pop();
+        assert_eq!(scripts.len(), 1);
+        let s = &scripts.snapshot()[0];
+        assert!(s.starts_with("(set-logic QF_BV)"), "{s}");
+        assert!(s.contains("(declare-const x (_ BitVec 8))"), "{s}");
+        assert!(s.contains("(assert (bvult x #x05))"), "{s}");
+        assert!(s.ends_with("(check-sat)\n"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop the bottom frame")]
+    fn fresh_backend_bottom_pop_panics() {
+        BitblastBackend::fresh_per_query().pop();
+    }
+}

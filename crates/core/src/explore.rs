@@ -1,46 +1,50 @@
-//! The offline executor: dynamic symbolic execution with depth-first path
-//! selection (§III-B of the paper).
+//! Deprecated `Explorer`-era entry points, kept as thin shims over
+//! [`crate::Session`].
 //!
-//! The explorer repeatedly restarts execution of the SUT from scratch. Each
-//! run is driven by a concrete input assignment; the executor records the
-//! path trail (symbolic branches + concretization constraints). After a path
-//! completes, the deepest unexplored branch is *flipped*: the prefix of the
-//! trail up to that branch is conjoined with the negated branch condition and
-//! handed to the SMT solver. A model of that query is the input seeding the
-//! next run. Exploration ends when no flippable branch remains — at that
-//! point every feasible path through the SUT (under the given symbolic input
-//! size) has been executed exactly once.
+//! The original API hard-wired depth-first path selection and the in-tree
+//! bit-blast solver into one `Explorer::run_all()` pipeline. The
+//! [`crate::Session`] builder replaces it with pluggable
+//! [`crate::PathStrategy`] / [`crate::SolverBackend`] seams and a
+//! streaming [`Session::paths`](crate::Session::paths) iterator; migrate
+//! with:
 //!
-//! The exploration loop is generic over [`PathExecutor`], so the comparison
-//! baselines (the IR-lifter engine in `binsym-lifter`, the SystemC-coupled
-//! persona in the benchmark harness) run under the *identical* search
-//! strategy and solver — mirroring the paper's experimental control of using
-//! the same Z3 version for all engines.
+//! ```text
+//! // before                                  // after
+//! Explorer::new(spec, &elf)?                 Session::builder(spec).binary(&elf).build()?
+//! Explorer::with_config(spec, &elf, cfg)?    …builder calls for each config field…
+//! Explorer::from_executor(exec, cfg)         Session::builder(spec).executor(exec)…
+//! explorer.run_all()?                        session.run_all()?
+//! ```
 
-use std::fmt;
+#![allow(deprecated)]
 
 use binsym_elf::ElfFile;
 use binsym_isa::Spec;
-use binsym_smt::{SatResult, Solver, TermManager};
 
-use crate::machine::{ExecError, StepResult, SymMachine, TrailEntry};
-use crate::SYM_INPUT_SYMBOL;
+use crate::backend::BitblastBackend;
+use crate::error::Error;
+use crate::session::{PathExecutor, PathOutcome, Session, Summary};
 
-/// Exploration configuration.
+/// Deprecated alias of the unified [`Error`].
+#[deprecated(since = "0.2.0", note = "use `binsym::Error` instead")]
+pub type ExploreError = Error;
+
+/// Exploration configuration of the deprecated [`Explorer`] API.
+///
+/// Each field maps to a [`crate::SessionBuilder`] call: `fuel_per_path` →
+/// `fuel`, `max_paths` → `limit` (0 meant unlimited: omit the call),
+/// `input_len` → `input_len`, `fresh_solver_per_query` →
+/// `backend(BitblastBackend::fresh_per_query())`.
+#[deprecated(since = "0.2.0", note = "use `Session::builder` instead")]
 #[derive(Debug, Clone, Copy)]
 pub struct ExplorerConfig {
     /// Instruction budget per path (guards against runaway SUTs).
     pub fuel_per_path: u64,
     /// Upper bound on explored paths; 0 means unlimited.
     pub max_paths: u64,
-    /// Override for the symbolic-input length (default: the ELF symbol's
-    /// size, or its full data extent).
+    /// Override for the symbolic-input length.
     pub input_len: Option<u32>,
-    /// Ablation switch: discharge every branch-flip query in a *fresh*
-    /// solver instance instead of the incremental push/pop solver. The
-    /// incremental solver reuses bit-blasted circuitry and learned clauses
-    /// across the (highly similar) queries of one exploration; this switch
-    /// quantifies how much that buys (see the `ablation` harness).
+    /// Discharge every branch-flip query in a fresh solver instance.
     pub fresh_solver_per_query: bool,
 }
 
@@ -55,367 +59,112 @@ impl Default for ExplorerConfig {
     }
 }
 
-/// Outcome of executing one path.
-#[derive(Debug, Clone)]
-pub struct PathOutcome {
-    /// How the path terminated.
-    pub exit: StepResult,
-    /// The recorded path trail.
-    pub trail: Vec<TrailEntry>,
-    /// Instructions executed.
-    pub steps: u64,
-}
-
-/// An engine capable of executing one SUT path from scratch under a concrete
-/// input assignment, recording the symbolic path trail.
-///
-/// Implementors: the formal-semantics engine ([`SpecExecutor`] — the paper's
-/// BinSym), the IR-lifter baseline (`binsym-lifter`), and wrapper personas.
-pub trait PathExecutor {
-    /// Executes one complete path with `input` bytes in the symbolic region.
-    ///
-    /// # Errors
-    /// Returns [`ExploreError`] on decode errors, unknown syscalls, or fuel
-    /// exhaustion.
-    fn execute_path(
-        &mut self,
-        tm: &mut TermManager,
-        input: &[u8],
-        fuel: u64,
-    ) -> Result<PathOutcome, ExploreError>;
-
-    /// Length of the symbolic input region in bytes.
-    fn input_len(&self) -> u32;
-}
-
-/// A path that terminated abnormally (nonzero exit status or `ebreak`) —
-/// the bug reports of SE-based testing.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ErrorPath {
-    /// Exit status for `exit` paths; `None` for `ebreak`.
-    pub exit_code: Option<u32>,
-    /// The concrete input that drives execution down this path.
-    pub input: Vec<u8>,
-}
-
-/// Exploration result summary.
-#[derive(Debug, Clone, Default)]
-pub struct Summary {
-    /// Number of execution paths found (the paper's Table I metric).
-    pub paths: u64,
-    /// Abnormal terminations with their witness inputs.
-    pub error_paths: Vec<ErrorPath>,
-    /// Total instructions executed across all paths.
-    pub total_steps: u64,
-    /// Total SMT `check-sat` queries issued.
-    pub solver_checks: u64,
-    /// Longest path trail observed (branches + concretizations).
-    pub max_trail_len: usize,
-    /// True if `max_paths` stopped exploration early.
-    pub truncated: bool,
-}
-
-/// Exploration error.
+/// The deprecated offline DSE explorer; a thin shim over [`Session`] with
+/// the fixed policy of the original API (depth-first selection, bit-blast
+/// backend).
+#[deprecated(since = "0.2.0", note = "use `Session::builder` instead")]
 #[derive(Debug)]
-pub enum ExploreError {
-    /// The binary defines no `__sym_input` symbol.
-    NoSymbolicInput,
-    /// A path failed to execute.
-    Exec(ExecError),
-    /// A path exhausted its instruction budget.
-    OutOfFuel {
-        /// The input that drove the runaway path.
-        input: Vec<u8>,
-    },
+pub struct Explorer {
+    session: Session,
+    /// Legacy `fuel_per_path == 0` compatibility: the old loop executed
+    /// zero instructions and failed each path with `OutOfFuel`, while
+    /// [`crate::SessionBuilder`] rejects zero fuel outright. The shim
+    /// reproduces the old runtime behaviour instead of erroring early.
+    zero_fuel: bool,
 }
 
-impl fmt::Display for ExploreError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ExploreError::NoSymbolicInput => {
-                write!(f, "binary defines no `{SYM_INPUT_SYMBOL}` symbol")
-            }
-            ExploreError::Exec(e) => write!(f, "{e}"),
-            ExploreError::OutOfFuel { .. } => write!(f, "path exceeded its instruction budget"),
-        }
-    }
-}
-
-impl std::error::Error for ExploreError {}
-
-impl From<ExecError> for ExploreError {
-    fn from(e: ExecError) -> Self {
-        ExploreError::Exec(e)
-    }
-}
-
-/// Locates the symbolic input region in an ELF image.
-///
-/// # Errors
-/// Returns [`ExploreError::NoSymbolicInput`] if the `__sym_input` symbol is
-/// missing.
-pub fn find_sym_input(elf: &ElfFile, override_len: Option<u32>) -> Result<(u32, u32), ExploreError> {
-    let sym = elf
-        .symbol(SYM_INPUT_SYMBOL)
-        .ok_or(ExploreError::NoSymbolicInput)?;
-    let sym_addr = sym.value;
-    let default_len = if sym.size != 0 {
-        sym.size
-    } else {
-        elf.segments
-            .iter()
-            .find(|s| (s.vaddr..s.vaddr + s.data.len() as u32).contains(&sym_addr))
-            .map(|s| s.vaddr + s.data.len() as u32 - sym_addr)
-            .unwrap_or(4)
-    };
-    Ok((sym_addr, override_len.unwrap_or(default_len)))
-}
-
-/// The paper's engine: one path execution = one run of the symbolic modular
-/// interpreter over the formal specification.
-#[derive(Debug)]
-pub struct SpecExecutor {
-    spec: Spec,
-    elf: ElfFile,
-    sym_addr: u32,
-    sym_len: u32,
-}
-
-impl SpecExecutor {
-    /// Creates an executor for a binary with a `__sym_input` region.
-    ///
-    /// # Errors
-    /// Returns [`ExploreError::NoSymbolicInput`] if the symbol is missing.
-    pub fn new(spec: Spec, elf: &ElfFile, input_len: Option<u32>) -> Result<Self, ExploreError> {
-        let (sym_addr, sym_len) = find_sym_input(elf, input_len)?;
-        Ok(SpecExecutor {
-            spec,
-            elf: elf.clone(),
-            sym_addr,
-            sym_len,
-        })
-    }
-
-    /// Address of the symbolic input region.
-    pub fn input_addr(&self) -> u32 {
-        self.sym_addr
-    }
-}
-
-impl PathExecutor for SpecExecutor {
-    fn execute_path(
-        &mut self,
-        tm: &mut TermManager,
-        input: &[u8],
-        fuel: u64,
-    ) -> Result<PathOutcome, ExploreError> {
-        let mut m = SymMachine::new(self.spec.clone());
-        m.load_elf(&self.elf);
-        m.mark_symbolic(tm, self.sym_addr, self.sym_len, "in", input);
-        for _ in 0..fuel {
-            match m.step(tm)? {
-                StepResult::Continue => {}
-                exit => {
-                    return Ok(PathOutcome {
-                        exit,
-                        trail: m.trail,
-                        steps: m.steps,
-                    })
-                }
-            }
-        }
-        Err(ExploreError::OutOfFuel {
-            input: input.to_vec(),
-        })
-    }
-
-    fn input_len(&self) -> u32 {
-        self.sym_len
-    }
-}
-
-/// A pending branch flip (one node of the DFS frontier).
-#[derive(Debug, Clone)]
-struct Candidate {
-    /// Trail entries preceding the flipped branch.
-    prefix: Vec<TrailEntry>,
-    /// The branch being flipped.
-    cond: binsym_smt::Term,
-    /// Direction it was taken originally (we assert the opposite).
-    taken: bool,
-    /// Ordinal of the branch among the path's *branch* entries.
-    branch_ord: usize,
-}
-
-/// The offline DSE explorer, generic over the path-execution engine.
-///
-/// See the crate-level docs for an end-to-end example.
-#[derive(Debug)]
-pub struct Explorer<E = SpecExecutor> {
-    executor: E,
-    tm: TermManager,
-    solver: Solver,
-    config: ExplorerConfig,
-    fresh_queries: u64,
-}
-
-impl Explorer<SpecExecutor> {
+impl Explorer {
     /// Creates an explorer running the formal-semantics engine on `elf`.
     ///
     /// # Errors
-    /// Returns [`ExploreError::NoSymbolicInput`] if the binary defines no
+    /// Returns [`Error::NoSymbolicInput`] if the binary defines no
     /// `__sym_input` symbol.
-    pub fn new(spec: Spec, elf: &ElfFile) -> Result<Self, ExploreError> {
+    pub fn new(spec: Spec, elf: &ElfFile) -> Result<Self, Error> {
         Self::with_config(spec, elf, ExplorerConfig::default())
     }
 
     /// Creates an explorer with an explicit configuration.
     ///
     /// # Errors
-    /// Returns [`ExploreError::NoSymbolicInput`] if the binary defines no
+    /// Returns [`Error::NoSymbolicInput`] if the binary defines no
     /// `__sym_input` symbol.
-    pub fn with_config(
-        spec: Spec,
-        elf: &ElfFile,
-        config: ExplorerConfig,
-    ) -> Result<Self, ExploreError> {
-        let executor = SpecExecutor::new(spec, elf, config.input_len)?;
-        Ok(Explorer::from_executor(executor, config))
+    pub fn with_config(spec: Spec, elf: &ElfFile, config: ExplorerConfig) -> Result<Self, Error> {
+        let mut builder = Session::builder(spec).binary(elf);
+        builder = Self::apply(builder, config);
+        Ok(Explorer {
+            session: builder.build()?,
+            zero_fuel: config.fuel_per_path == 0,
+        })
     }
-}
 
-impl<E: PathExecutor> Explorer<E> {
     /// Wraps an arbitrary [`PathExecutor`] in the DSE loop.
-    pub fn from_executor(executor: E, config: ExplorerConfig) -> Self {
+    pub fn from_executor(executor: impl PathExecutor + 'static, config: ExplorerConfig) -> Self {
+        // After `apply` normalizes the legacy config (max_paths 0 meant
+        // unlimited, fuel 0 is emulated via `zero_fuel`), building cannot
+        // fail.
+        let builder = Self::apply(Session::executor_builder(executor), config);
         Explorer {
-            executor,
-            tm: TermManager::new(),
-            solver: Solver::new(),
-            config,
-            fresh_queries: 0,
+            session: builder
+                .build()
+                .expect("normalized legacy config is always valid"),
+            zero_fuel: config.fuel_per_path == 0,
         }
+    }
+
+    fn apply(
+        mut builder: crate::session::SessionBuilder,
+        config: ExplorerConfig,
+    ) -> crate::session::SessionBuilder {
+        // Zero fuel is rejected by the builder; `zero_fuel` reproduces the
+        // legacy runtime behaviour, so any valid placeholder works here.
+        builder = builder.fuel(config.fuel_per_path.max(1));
+        if config.max_paths != 0 {
+            builder = builder.limit(config.max_paths);
+        }
+        if let Some(len) = config.input_len {
+            builder = builder.input_len(len);
+        }
+        if config.fresh_solver_per_query {
+            builder = builder.backend(BitblastBackend::fresh_per_query());
+        }
+        builder
+    }
+
+    /// The underlying session.
+    pub fn session(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// Length of the symbolic input region in bytes.
     pub fn input_len(&self) -> u32 {
-        self.executor.input_len()
-    }
-
-    /// Access to the term manager (e.g. for printing queries).
-    pub fn term_manager(&self) -> &TermManager {
-        &self.tm
-    }
-
-    /// Access to the wrapped executor.
-    pub fn executor(&self) -> &E {
-        &self.executor
+        self.session.input_len()
     }
 
     /// Executes a single path with the given concrete input.
     ///
     /// # Errors
-    /// Returns [`ExploreError`] on execution errors or fuel exhaustion.
-    pub fn execute_path(&mut self, input: &[u8]) -> Result<PathOutcome, ExploreError> {
-        self.executor
-            .execute_path(&mut self.tm, input, self.config.fuel_per_path)
+    /// Returns [`Error`] on execution errors or fuel exhaustion.
+    pub fn execute_path(&mut self, input: &[u8]) -> Result<PathOutcome, Error> {
+        if self.zero_fuel {
+            return Err(Error::OutOfFuel {
+                input: input.to_vec(),
+            });
+        }
+        self.session.execute_path(input)
     }
 
     /// Runs the full depth-first exploration, returning the summary.
     ///
     /// # Errors
-    /// Returns [`ExploreError`] if any path fails to execute.
-    pub fn run_all(&mut self) -> Result<Summary, ExploreError> {
-        let mut summary = Summary::default();
-        let mut stack: Vec<Candidate> = Vec::new();
-        let mut input = vec![0u8; self.executor.input_len() as usize];
-        let mut forced_depth = 0usize;
-
-        loop {
-            let outcome = self.execute_path(&input)?;
-            summary.paths += 1;
-            summary.total_steps += outcome.steps;
-            summary.max_trail_len = summary.max_trail_len.max(outcome.trail.len());
-            match outcome.exit {
-                StepResult::Exited(0) => {}
-                StepResult::Exited(code) => summary.error_paths.push(ErrorPath {
-                    exit_code: Some(code),
-                    input: input.clone(),
-                }),
-                StepResult::Break => summary.error_paths.push(ErrorPath {
-                    exit_code: None,
-                    input: input.clone(),
-                }),
-                StepResult::Continue => unreachable!("execute_path loops on Continue"),
-            }
-            if self.config.max_paths != 0 && summary.paths >= self.config.max_paths {
-                summary.truncated = true;
-                break;
-            }
-
-            // Push flip candidates for the new suffix of this path's trail.
-            let mut branch_ord = 0usize;
-            for (i, entry) in outcome.trail.iter().enumerate() {
-                if let TrailEntry::Branch { cond, taken } = *entry {
-                    if branch_ord >= forced_depth {
-                        stack.push(Candidate {
-                            prefix: outcome.trail[..i].to_vec(),
-                            cond,
-                            taken,
-                            branch_ord,
-                        });
-                    }
-                    branch_ord += 1;
-                }
-            }
-
-            // DFS: pop candidates until a feasible flip is found.
-            let mut next: Option<(Vec<u8>, usize)> = None;
-            while let Some(cand) = stack.pop() {
-                let mut fresh;
-                let solver = if self.config.fresh_solver_per_query {
-                    fresh = Solver::new();
-                    self.fresh_queries += 1;
-                    &mut fresh
-                } else {
-                    self.solver.push();
-                    &mut self.solver
-                };
-                for e in &cand.prefix {
-                    let t = e.path_term(&mut self.tm);
-                    solver.assert_term(&mut self.tm, t);
-                }
-                let flipped = if cand.taken {
-                    self.tm.not(cand.cond)
-                } else {
-                    cand.cond
-                };
-                solver.assert_term(&mut self.tm, flipped);
-                let r = solver.check_sat(&mut self.tm, &[]);
-                if r == SatResult::Sat {
-                    let model = solver.model(&self.tm).expect("sat has model");
-                    let bytes = (0..self.executor.input_len())
-                        .map(|i| model.value(&format!("in{i}")).unwrap_or(0) as u8)
-                        .collect();
-                    if !self.config.fresh_solver_per_query {
-                        self.solver.pop();
-                    }
-                    next = Some((bytes, cand.branch_ord + 1));
-                    break;
-                }
-                if !self.config.fresh_solver_per_query {
-                    self.solver.pop();
-                }
-            }
-            match next {
-                Some((bytes, depth)) => {
-                    input = bytes;
-                    forced_depth = depth;
-                }
-                None => break, // frontier exhausted: all paths enumerated
-            }
+    /// Returns [`Error`] if any path fails to execute.
+    pub fn run_all(&mut self) -> Result<Summary, Error> {
+        if self.zero_fuel {
+            // Legacy semantics: the very first path runs out of fuel.
+            return Err(Error::OutOfFuel {
+                input: vec![0u8; self.session.input_len() as usize],
+            });
         }
-        summary.solver_checks = self.solver.num_checks() + self.fresh_queries;
-        Ok(summary)
+        self.session.run_all()
     }
 }
 
@@ -424,16 +173,9 @@ mod tests {
     use super::*;
     use binsym_asm::Assembler;
 
-    fn explore(src: &str) -> Summary {
-        let elf = Assembler::new().assemble(src).expect("assembles");
-        let mut ex = Explorer::new(Spec::rv32im(), &elf).expect("has sym input");
-        ex.run_all().expect("explores")
-    }
-
     #[test]
-    fn two_paths_for_single_compare() {
-        let s = explore(
-            r#"
+    fn shim_reproduces_session_results() {
+        let src = r#"
         .data
 __sym_input: .word 0
         .text
@@ -449,237 +191,26 @@ hit:
     li a0, 1
     li a7, 93
     ecall
-"#,
-        );
-        assert_eq!(s.paths, 2);
-        assert_eq!(s.error_paths.len(), 1);
-        // The witness input must be 42 (little-endian).
-        assert_eq!(s.error_paths[0].input, vec![42, 0, 0, 0]);
-    }
-
-    #[test]
-    fn chained_compares_enumerate_all_paths() {
-        // Three independent byte comparisons: 8 paths.
-        let s = explore(
-            r#"
-        .data
-__sym_input: .byte 0, 0, 0
-        .text
-_start:
-    la a0, __sym_input
-    li a2, 100
-    lbu a1, 0(a0)
-    bltu a1, a2, c1
-c1: lbu a1, 1(a0)
-    bltu a1, a2, c2
-c2: lbu a1, 2(a0)
-    bltu a1, a2, c3
-c3:
-    li a0, 0
-    li a7, 93
-    ecall
-"#,
-        );
-        assert_eq!(s.paths, 8);
-        assert!(s.error_paths.is_empty());
-    }
-
-    #[test]
-    fn divu_fig2_both_outcomes_found() {
-        // The paper's running example: z = x / y; if (x < z) fail.
-        // With symbolic x, y the fail branch is reachable only via y == 0.
-        let s = explore(
-            r#"
-        .data
-__sym_input: .word 0, 0
-        .text
-_start:
-    la a5, __sym_input
-    lw a0, 0(a5)        # x
-    lw a1, 4(a5)        # y
-    divu a2, a0, a1     # z = x /u y
-    bltu a0, a2, fail   # if (x < z) goto fail
-    li a0, 0
-    li a7, 93
-    ecall
-fail:
-    li a0, 1
-    li a7, 93
-    ecall
-"#,
-        );
-        // Paths: y==0 with x<0xffffffff (fail), y==0 with x==0xffffffff
-        // (no fail), y!=0 (no fail) — DIVU itself forks on y == 0.
-        assert!(s.paths >= 3, "expected >= 3 paths, got {}", s.paths);
-        assert_eq!(s.error_paths.len(), 1, "exactly one failing path");
-        let witness = &s.error_paths[0].input;
-        let y = u32::from_le_bytes([witness[4], witness[5], witness[6], witness[7]]);
-        assert_eq!(y, 0, "the failure witness must have a zero divisor");
-    }
-
-    #[test]
-    fn loop_over_symbolic_bound_terminates() {
-        // Loop count bounded by 2-bit input: 4 paths (0..=3 iterations).
-        let s = explore(
-            r#"
-        .data
-__sym_input: .byte 0
-        .text
-_start:
-    la a0, __sym_input
-    lbu a1, 0(a0)
-    andi a1, a1, 3
-    li a2, 0
-loop:
-    beq a2, a1, done
-    addi a2, a2, 1
-    j loop
-done:
-    li a0, 0
-    li a7, 93
-    ecall
-"#,
-        );
-        assert_eq!(s.paths, 4);
-    }
-
-    #[test]
-    fn table_lookup_with_concretization() {
-        // A symbolic index into a table is concretized; exploration still
-        // covers both sides of the following branch.
-        let s = explore(
-            r#"
-        .data
-__sym_input: .byte 0
-table:       .byte 1, 2, 3, 4
-        .text
-_start:
-    la a0, __sym_input
-    lbu a1, 0(a0)
-    andi a1, a1, 3
-    la a2, table
-    add a2, a2, a1
-    lbu a3, 0(a2)
-    li a4, 3
-    beq a3, a4, found
-    li a0, 0
-    li a7, 93
-    ecall
-found:
-    li a0, 0
-    li a7, 93
-    ecall
-"#,
-        );
-        // At least 2 paths (branch directions); concretization may pin the
-        // table slot, so the exact count depends on the address constraint.
-        assert!(s.paths >= 2);
-        assert!(s.max_trail_len >= 2);
-    }
-
-    #[test]
-    fn error_break_paths_reported() {
-        let s = explore(
-            r#"
-        .data
-__sym_input: .byte 0
-        .text
-_start:
-    la a0, __sym_input
-    lbu a1, 0(a0)
-    li a2, 7
-    bne a1, a2, ok
-    ebreak
-ok:
-    li a0, 0
-    li a7, 93
-    ecall
-"#,
-        );
-        assert_eq!(s.paths, 2);
-        assert_eq!(s.error_paths.len(), 1);
-        assert_eq!(s.error_paths[0].exit_code, None);
-        assert_eq!(s.error_paths[0].input, vec![7]);
-    }
-
-    #[test]
-    fn max_paths_truncates() {
-        let elf = Assembler::new()
-            .assemble(
-                r#"
-        .data
-__sym_input: .byte 0, 0, 0, 0
-        .text
-_start:
-    la a0, __sym_input
-    li a2, 100
-    lbu a1, 0(a0)
-    bltu a1, a2, c1
-c1: lbu a1, 1(a0)
-    bltu a1, a2, c2
-c2: lbu a1, 2(a0)
-    bltu a1, a2, c3
-c3: lbu a1, 3(a0)
-    bltu a1, a2, c4
-c4:
-    li a0, 0
-    li a7, 93
-    ecall
-"#,
-            )
-            .unwrap();
-        let mut ex = Explorer::with_config(
-            Spec::rv32im(),
-            &elf,
-            ExplorerConfig {
-                max_paths: 5,
-                ..ExplorerConfig::default()
-            },
-        )
-        .unwrap();
-        let s = ex.run_all().unwrap();
-        assert_eq!(s.paths, 5);
-        assert!(s.truncated);
-    }
-
-    #[test]
-    fn fresh_solver_ablation_is_path_equivalent() {
-        let src = r#"
-        .data
-__sym_input: .byte 0, 0
-        .text
-_start:
-    la a0, __sym_input
-    li a2, 100
-    lbu a1, 0(a0)
-    bltu a1, a2, c1
-c1: lbu a1, 1(a0)
-    bltu a1, a2, c2
-c2:
-    li a0, 0
-    li a7, 93
-    ecall
 "#;
         let elf = Assembler::new().assemble(src).unwrap();
-        let mut inc = Explorer::new(Spec::rv32im(), &elf).unwrap();
-        let si = inc.run_all().unwrap();
-        let mut fresh = Explorer::with_config(
-            Spec::rv32im(),
-            &elf,
-            ExplorerConfig {
-                fresh_solver_per_query: true,
-                ..ExplorerConfig::default()
-            },
-        )
-        .unwrap();
-        let sf = fresh.run_all().unwrap();
-        assert_eq!(si.paths, sf.paths);
-        assert_eq!(si.error_paths, sf.error_paths);
-        assert_eq!(si.paths, 4);
+        let mut ex = Explorer::new(Spec::rv32im(), &elf).unwrap();
+        let legacy = ex.run_all().unwrap();
+        let modern = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
+        assert_eq!(legacy.paths, modern.paths);
+        assert_eq!(legacy.error_paths, modern.error_paths);
+        assert_eq!(legacy.solver_checks, modern.solver_checks);
     }
 
     #[test]
-    fn execute_path_exposes_outcome() {
+    fn zero_fuel_is_a_runtime_error_not_a_panic() {
+        // The original Explorer accepted fuel_per_path == 0 and failed the
+        // first path with OutOfFuel; the shim must preserve that instead
+        // of panicking at construction.
         let elf = Assembler::new()
             .assemble(
                 r#"
@@ -687,17 +218,25 @@ c2:
 __sym_input: .byte 0
         .text
 _start:
-    la a0, __sym_input
-    lbu a1, 0(a0)
+    li a0, 0
     li a7, 93
-    mv a0, a1
     ecall
 "#,
             )
             .unwrap();
-        let mut ex = Explorer::new(Spec::rv32im(), &elf).unwrap();
-        let out = ex.execute_path(&[9]).unwrap();
-        assert_eq!(out.exit, StepResult::Exited(9));
-        assert!(out.steps > 0);
+        let config = ExplorerConfig {
+            fuel_per_path: 0,
+            ..ExplorerConfig::default()
+        };
+        let mut ex = Explorer::with_config(Spec::rv32im(), &elf, config).unwrap();
+        assert!(matches!(ex.run_all(), Err(Error::OutOfFuel { .. })));
+        assert!(matches!(
+            ex.execute_path(&[1]),
+            Err(Error::OutOfFuel { input }) if input == vec![1]
+        ));
+        // And via from_executor (the path that previously panicked).
+        let exec = crate::session::SpecExecutor::new(Spec::rv32im(), &elf, None).unwrap();
+        let mut ex = Explorer::from_executor(exec, config);
+        assert!(matches!(ex.run_all(), Err(Error::OutOfFuel { .. })));
     }
 }

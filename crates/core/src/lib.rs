@@ -15,15 +15,23 @@
 //!   condition depends on symbolic input, the engine queries the solver for
 //!   both outcomes and explores the feasible ones.
 //!
-//! Exploration follows the paper's §III-B: an **offline executor**
-//! implementing dynamic symbolic execution with depth-first path selection
-//! and address concretization. Each completed execution is one *path*; the
-//! engine restarts the binary from scratch with fresh solver-provided inputs
-//! for every path.
+//! Exploration is driven by a [`Session`], assembled with a builder over
+//! three pluggable seams:
+//!
+//! * [`PathStrategy`] — which pending branch flip to try next ([`Dfs`],
+//!   the paper's §III-B policy and the default; [`Bfs`]; [`RandomRestart`]);
+//! * [`SolverBackend`] — how feasibility queries are discharged
+//!   ([`BitblastBackend`] incremental or fresh-per-query; [`SmtLibDump`]
+//!   recording every query as an SMT-LIB v2 script for offline replay);
+//! * [`Observer`] — instrumentation hooks (`on_step`/`on_branch`/
+//!   `on_path`/`on_query`) for cost models and coverage tracking.
+//!
+//! Paths stream lazily from [`Session::paths`]; [`Session::run_all`]
+//! drains them into a [`Summary`]. All errors unify under [`Error`].
 //!
 //! # Quickstart
 //! ```
-//! use binsym::Explorer;
+//! use binsym::Session;
 //! use binsym_asm::Assembler;
 //! use binsym_isa::Spec;
 //!
@@ -46,24 +54,40 @@
 //!         li a7, 93
 //!         ecall
 //! "#)?;
-//! let mut explorer = Explorer::new(Spec::rv32im(), &elf)?;
-//! let summary = explorer.run_all()?;
+//! let mut session = Session::builder(Spec::rv32im()).binary(&elf).build()?;
+//! let summary = session.run_all()?;
 //! assert_eq!(summary.paths, 2);
 //! assert_eq!(summary.error_paths.len(), 1); // the exit(1) path
+//!
+//! // Or stream the paths lazily and stop at the first bug:
+//! let mut session = Session::builder(Spec::rv32im()).binary(&elf).build()?;
+//! let bug = session.paths().find(|p| p.as_ref().is_ok_and(|p| p.is_error()));
+//! assert_eq!(bug.unwrap()?.input, vec![42, 0, 0, 0]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod error;
 pub mod explore;
 pub mod machine;
+pub mod observe;
+pub mod session;
+pub mod strategy;
 pub mod value;
 
-pub use explore::{
-    find_sym_input, ErrorPath, ExploreError, Explorer, ExplorerConfig, PathExecutor, PathOutcome,
+pub use backend::{BitblastBackend, ScriptSink, SmtLibDump, SolverBackend};
+pub use error::Error;
+#[allow(deprecated)]
+pub use explore::{ExploreError, Explorer, ExplorerConfig};
+pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
+pub use observe::{CountingObserver, NullObserver, Observer};
+pub use session::{
+    find_sym_input, ErrorPath, PathExecutor, PathOutcome, Paths, Session, SessionBuilder,
     SpecExecutor, Summary,
 };
-pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
+pub use strategy::{Bfs, Candidate, Dfs, PathStrategy, RandomRestart};
 pub use value::{SymByte, SymWord};
 
 /// Name of the symbol marking the symbolic input region in SUT binaries

@@ -336,7 +336,7 @@ impl SymMachine {
             Expr::UDiv(a, b) => bv_binop!(
                 a,
                 b,
-                |x: u64, y: u64| if y == 0 { mask(u64::MAX, w) } else { x / y },
+                |x: u64, y: u64| x.checked_div(y).unwrap_or(mask(u64::MAX, w)),
                 udiv
             ),
             Expr::SDiv(a, b) => bv_binop!(
@@ -349,12 +349,9 @@ impl SymMachine {
                 },
                 sdiv
             ),
-            Expr::URem(a, b) => bv_binop!(
-                a,
-                b,
-                |x: u64, y: u64| if y == 0 { x } else { x % y },
-                urem
-            ),
+            Expr::URem(a, b) => {
+                bv_binop!(a, b, |x: u64, y: u64| if y == 0 { x } else { x % y }, urem)
+            }
             Expr::SRem(a, b) => bv_binop!(
                 a,
                 b,
@@ -407,7 +404,11 @@ impl SymMachine {
             Expr::Shl(a, b) => bv_binop!(
                 a,
                 b,
-                |x: u64, y: u64| if y >= u64::from(w) { 0 } else { mask(x << y, w) },
+                |x: u64, y: u64| if y >= u64::from(w) {
+                    0
+                } else {
+                    mask(x << y, w)
+                },
                 shl
             ),
             Expr::LShr(a, b) => bv_binop!(
@@ -562,12 +563,21 @@ impl SymMachine {
                 .map(|t| tm.extract(t, 8 * i + 7, 8 * i))
                 // Extracting from a constant folds away; drop constant terms.
                 .filter(|t| tm.as_const(*t).is_none());
-            self.mem
-                .store(addr.wrapping_add(i), SymByte { concrete: c, term: t });
+            self.mem.store(
+                addr.wrapping_add(i),
+                SymByte {
+                    concrete: c,
+                    term: t,
+                },
+            );
         }
     }
 
-    fn exec_stmts(&mut self, tm: &mut TermManager, stmts: &[Stmt]) -> Result<StepResult, ExecError> {
+    fn exec_stmts(
+        &mut self,
+        tm: &mut TermManager,
+        stmts: &[Stmt],
+    ) -> Result<StepResult, ExecError> {
         for s in stmts {
             match s {
                 Stmt::WriteRegister { rd, value } => {
@@ -605,8 +615,7 @@ impl SymMachine {
                         },
                         (_, true) => {
                             let bits = width.bits();
-                            let se =
-                                mask(sext(u64::from(raw.concrete), bits) as u64, 32) as u32;
+                            let se = mask(sext(u64::from(raw.concrete), bits) as u64, 32) as u32;
                             SymWord {
                                 concrete: se,
                                 term: raw.term.map(|t| {

@@ -1,0 +1,112 @@
+//! Observation hooks into the execution and exploration loops.
+//!
+//! Instrumentation concerns — per-instruction cost models (the benchmark
+//! personas), coverage tracking, progress reporting — used to require
+//! writing a whole [`crate::PathExecutor`] that duplicated the machine
+//! loop. An [`Observer`] instead receives callbacks from the executor and
+//! the [`crate::Session`] loop, so instrumentation composes with *any*
+//! executor without touching its internals.
+//!
+//! All hooks have empty default bodies: implement only what you need.
+
+use binsym_smt::{SatResult, Term};
+
+use crate::session::PathOutcome;
+
+/// Callbacks fired during path execution and exploration.
+///
+/// `on_step`/`on_branch` fire inside [`crate::PathExecutor::execute_path`];
+/// `on_path`/`on_query` fire in the [`crate::Session`] exploration loop.
+pub trait Observer {
+    /// An instruction is about to execute at `pc`; `steps` instructions
+    /// have completed on the current path so far.
+    fn on_step(&mut self, pc: u32, steps: u64) {
+        let _ = (pc, steps);
+    }
+
+    /// A symbolic branch was recorded on the trail.
+    fn on_branch(&mut self, cond: Term, taken: bool) {
+        let _ = (cond, taken);
+    }
+
+    /// A path finished executing under `input`.
+    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
+        let _ = (input, outcome);
+    }
+
+    /// A branch-flip feasibility query was discharged.
+    fn on_query(&mut self, result: SatResult) {
+        let _ = result;
+    }
+}
+
+/// Sharing an observer: the session takes ownership of its observer, so to
+/// read accumulated state back afterwards, wrap the observer in
+/// `Rc<RefCell<…>>`, keep a clone, and hand the other clone to the builder.
+impl<O: Observer> Observer for std::rc::Rc<std::cell::RefCell<O>> {
+    fn on_step(&mut self, pc: u32, steps: u64) {
+        self.borrow_mut().on_step(pc, steps);
+    }
+
+    fn on_branch(&mut self, cond: Term, taken: bool) {
+        self.borrow_mut().on_branch(cond, taken);
+    }
+
+    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
+        self.borrow_mut().on_path(input, outcome);
+    }
+
+    fn on_query(&mut self, result: SatResult) {
+        self.borrow_mut().on_query(result);
+    }
+}
+
+/// The do-nothing observer (the default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// An observer counting events — useful for tests, progress displays, and
+/// cheap coverage proxies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingObserver {
+    /// Instructions executed across all paths.
+    pub steps: u64,
+    /// Symbolic branches recorded across all paths.
+    pub branches: u64,
+    /// Paths completed.
+    pub paths: u64,
+    /// Feasibility queries discharged (both SAT and UNSAT).
+    pub queries: u64,
+    /// Queries that came back satisfiable.
+    pub sat_queries: u64,
+}
+
+impl CountingObserver {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        CountingObserver::default()
+    }
+}
+
+impl Observer for CountingObserver {
+    fn on_step(&mut self, _pc: u32, _steps: u64) {
+        self.steps += 1;
+    }
+
+    fn on_branch(&mut self, _cond: Term, _taken: bool) {
+        self.branches += 1;
+    }
+
+    fn on_path(&mut self, _input: &[u8], _outcome: &PathOutcome) {
+        self.paths += 1;
+    }
+
+    fn on_query(&mut self, result: SatResult) {
+        self.queries += 1;
+        if result == SatResult::Sat {
+            self.sat_queries += 1;
+        }
+    }
+}

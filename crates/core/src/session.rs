@@ -1,0 +1,1026 @@
+//! The exploration session: the engine's public entry point.
+//!
+//! A [`Session`] owns everything one symbolic exploration needs — the path
+//! executor, the term manager, a [`PathStrategy`] deciding which branch to
+//! flip next, and a [`SolverBackend`] discharging feasibility queries — and
+//! is assembled with a builder:
+//!
+//! ```
+//! use binsym::{BitblastBackend, Dfs, Session};
+//! # use binsym_asm::Assembler;
+//! # use binsym_isa::Spec;
+//! # let elf = Assembler::new().assemble("
+//! #         .data
+//! # __sym_input: .word 0
+//! #         .text
+//! # _start: li a0, 0
+//! #     li a7, 93
+//! #     ecall
+//! # ").unwrap();
+//! let mut session = Session::builder(Spec::rv32im())
+//!     .binary(&elf)
+//!     .strategy(Dfs::new())
+//!     .backend(BitblastBackend::new())
+//!     .build()?;
+//! let summary = session.run_all()?;
+//! # Ok::<(), binsym::Error>(())
+//! ```
+//!
+//! Paths can be consumed **lazily** through [`Session::paths`]: each call
+//! to the iterator executes exactly one path and defers the (potentially
+//! expensive) next-input search to the following call — so `take(n)`,
+//! early `break`, and streaming consumers do no wasted solving.
+//! [`Session::run_all`] is a convenience wrapper draining the iterator
+//! into a [`Summary`].
+//!
+//! The exploration algorithm itself is the paper's §III-B offline DSE: the
+//! SUT restarts from scratch per path under a concrete solver-provided
+//! input; completed trails contribute flip candidates to the strategy's
+//! frontier; a candidate's prefix plus negated branch condition is handed
+//! to the backend, and a model of a feasible flip seeds the next run.
+
+use binsym_elf::ElfFile;
+use binsym_isa::Spec;
+use binsym_smt::{SatResult, TermManager};
+
+use crate::backend::{BitblastBackend, SolverBackend};
+use crate::error::Error;
+use crate::machine::{StepResult, SymMachine, TrailEntry};
+use crate::observe::{NullObserver, Observer};
+use crate::strategy::{Candidate, Dfs, PathStrategy};
+use crate::SYM_INPUT_SYMBOL;
+
+/// Outcome of executing one path.
+#[derive(Debug, Clone)]
+pub struct PathOutcome {
+    /// How the path terminated.
+    pub exit: StepResult,
+    /// The recorded path trail.
+    pub trail: Vec<TrailEntry>,
+    /// Instructions executed.
+    pub steps: u64,
+    /// The concrete input that drove execution down this path.
+    pub input: Vec<u8>,
+}
+
+impl PathOutcome {
+    /// True when the path terminated abnormally (nonzero exit or `ebreak`).
+    pub fn is_error(&self) -> bool {
+        !matches!(self.exit, StepResult::Exited(0) | StepResult::Continue)
+    }
+}
+
+/// An engine capable of executing one SUT path from scratch under a
+/// concrete input assignment, recording the symbolic path trail.
+///
+/// Implementors: the formal-semantics engine ([`SpecExecutor`] — the
+/// paper's BinSym), the IR-lifter baseline (`binsym-lifter`), and custom
+/// personas plugged in via [`SessionBuilder::executor`].
+pub trait PathExecutor {
+    /// Executes one complete path with `input` bytes in the symbolic
+    /// region, reporting per-instruction progress to `obs`.
+    ///
+    /// # Errors
+    /// Returns [`Error`] on decode errors, unknown syscalls, or fuel
+    /// exhaustion.
+    fn execute_path(
+        &mut self,
+        tm: &mut TermManager,
+        input: &[u8],
+        fuel: u64,
+        obs: &mut dyn Observer,
+    ) -> Result<PathOutcome, Error>;
+
+    /// Length of the symbolic input region in bytes.
+    fn input_len(&self) -> u32;
+}
+
+/// Sharing an executor: the session takes ownership of its executor, so to
+/// read accumulated executor state back afterwards (cache statistics, lift
+/// counts, …), wrap it in `Rc<RefCell<…>>`, keep a clone, and hand the
+/// other clone to [`SessionBuilder::executor`].
+impl<E: PathExecutor> PathExecutor for std::rc::Rc<std::cell::RefCell<E>> {
+    fn execute_path(
+        &mut self,
+        tm: &mut TermManager,
+        input: &[u8],
+        fuel: u64,
+        obs: &mut dyn Observer,
+    ) -> Result<PathOutcome, Error> {
+        self.borrow_mut().execute_path(tm, input, fuel, obs)
+    }
+
+    fn input_len(&self) -> u32 {
+        self.borrow().input_len()
+    }
+}
+
+/// A path that terminated abnormally (nonzero exit status or `ebreak`) —
+/// the bug reports of SE-based testing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorPath {
+    /// Exit status for `exit` paths; `None` for `ebreak`.
+    pub exit_code: Option<u32>,
+    /// The concrete input that drives execution down this path.
+    pub input: Vec<u8>,
+}
+
+/// Exploration result summary.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    /// Number of execution paths found (the paper's Table I metric).
+    pub paths: u64,
+    /// Abnormal terminations with their witness inputs.
+    pub error_paths: Vec<ErrorPath>,
+    /// Total instructions executed across all paths.
+    pub total_steps: u64,
+    /// Total SMT `check-sat` queries issued.
+    pub solver_checks: u64,
+    /// Longest path trail observed (branches + concretizations).
+    pub max_trail_len: usize,
+    /// True if the path limit stopped exploration early.
+    pub truncated: bool,
+}
+
+/// Locates the symbolic input region in an ELF image.
+///
+/// # Errors
+/// Returns [`Error::NoSymbolicInput`] if the `__sym_input` symbol is
+/// missing.
+pub fn find_sym_input(elf: &ElfFile, override_len: Option<u32>) -> Result<(u32, u32), Error> {
+    let sym = elf.symbol(SYM_INPUT_SYMBOL).ok_or(Error::NoSymbolicInput)?;
+    let sym_addr = sym.value;
+    let default_len = if sym.size != 0 {
+        sym.size
+    } else {
+        elf.segments
+            .iter()
+            .find(|s| (s.vaddr..s.vaddr + s.data.len() as u32).contains(&sym_addr))
+            .map(|s| s.vaddr + s.data.len() as u32 - sym_addr)
+            .unwrap_or(4)
+    };
+    Ok((sym_addr, override_len.unwrap_or(default_len)))
+}
+
+/// The paper's engine: one path execution = one run of the symbolic
+/// modular interpreter over the formal specification.
+#[derive(Debug)]
+pub struct SpecExecutor {
+    spec: Spec,
+    elf: ElfFile,
+    sym_addr: u32,
+    sym_len: u32,
+}
+
+impl SpecExecutor {
+    /// Creates an executor for a binary with a `__sym_input` region.
+    ///
+    /// # Errors
+    /// Returns [`Error::NoSymbolicInput`] if the symbol is missing.
+    pub fn new(spec: Spec, elf: &ElfFile, input_len: Option<u32>) -> Result<Self, Error> {
+        let (sym_addr, sym_len) = find_sym_input(elf, input_len)?;
+        Ok(SpecExecutor {
+            spec,
+            elf: elf.clone(),
+            sym_addr,
+            sym_len,
+        })
+    }
+
+    /// Address of the symbolic input region.
+    pub fn input_addr(&self) -> u32 {
+        self.sym_addr
+    }
+}
+
+impl PathExecutor for SpecExecutor {
+    fn execute_path(
+        &mut self,
+        tm: &mut TermManager,
+        input: &[u8],
+        fuel: u64,
+        obs: &mut dyn Observer,
+    ) -> Result<PathOutcome, Error> {
+        let mut m = SymMachine::new(self.spec.clone());
+        m.load_elf(&self.elf);
+        m.mark_symbolic(tm, self.sym_addr, self.sym_len, "in", input);
+        for _ in 0..fuel {
+            obs.on_step(m.pc, m.steps);
+            let before = m.trail.len();
+            let r = m.step(tm)?;
+            for entry in &m.trail[before..] {
+                if let TrailEntry::Branch { cond, taken } = *entry {
+                    obs.on_branch(cond, taken);
+                }
+            }
+            match r {
+                StepResult::Continue => {}
+                exit => {
+                    return Ok(PathOutcome {
+                        exit,
+                        trail: m.trail,
+                        steps: m.steps,
+                        input: input.to_vec(),
+                    })
+                }
+            }
+        }
+        Err(Error::OutOfFuel {
+            input: input.to_vec(),
+        })
+    }
+
+    fn input_len(&self) -> u32 {
+        self.sym_len
+    }
+}
+
+/// Builder for [`Session`]; obtained via [`Session::builder`] (spec +
+/// binary) or [`Session::executor_builder`] (custom engine, no spec).
+pub struct SessionBuilder {
+    spec: Option<Spec>,
+    elf: Option<ElfFile>,
+    executor: Option<Box<dyn PathExecutor>>,
+    strategy: Box<dyn PathStrategy>,
+    backend: Box<dyn SolverBackend>,
+    observer: Box<dyn Observer>,
+    limit: Option<u64>,
+    fuel: u64,
+    input_len: Option<u32>,
+}
+
+impl std::fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("strategy", &self.strategy.name())
+            .field("backend", &self.backend.name())
+            .field("limit", &self.limit)
+            .field("fuel", &self.fuel)
+            .field("input_len", &self.input_len)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionBuilder {
+    /// The binary to explore (must define a `__sym_input` symbol).
+    pub fn binary(mut self, elf: &ElfFile) -> Self {
+        self.elf = Some(elf.clone());
+        self
+    }
+
+    /// Plugs in a custom [`PathExecutor`] instead of the default
+    /// [`SpecExecutor`] over the builder's spec; the benchmark personas
+    /// and the IR-lifter baseline enter the session this way.
+    pub fn executor(mut self, executor: impl PathExecutor + 'static) -> Self {
+        self.executor = Some(Box::new(executor));
+        self
+    }
+
+    /// Path-selection strategy (default: [`Dfs`], the paper's policy).
+    pub fn strategy(mut self, strategy: impl PathStrategy + 'static) -> Self {
+        self.strategy = Box::new(strategy);
+        self
+    }
+
+    /// Solver backend (default: the incremental [`BitblastBackend`]).
+    pub fn backend(mut self, backend: impl SolverBackend + 'static) -> Self {
+        self.backend = Box::new(backend);
+        self
+    }
+
+    /// Observer receiving step/branch/path/query callbacks (default: none).
+    pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
+        self.observer = Box::new(observer);
+        self
+    }
+
+    /// Upper bound on explored paths. Must be nonzero — for unbounded
+    /// exploration simply don't set a limit.
+    pub fn limit(mut self, max_paths: u64) -> Self {
+        self.limit = Some(max_paths);
+        self
+    }
+
+    /// Instruction budget per path (default: 10 million).
+    pub fn fuel(mut self, fuel_per_path: u64) -> Self {
+        self.fuel = fuel_per_path;
+        self
+    }
+
+    /// Overrides the symbolic-input length (default: the ELF symbol's
+    /// size, or its full data extent).
+    pub fn input_len(mut self, len: u32) -> Self {
+        self.input_len = Some(len);
+        self
+    }
+
+    /// Assembles the session.
+    ///
+    /// # Errors
+    /// [`Error::MissingBinary`] when neither [`SessionBuilder::binary`]
+    /// nor [`SessionBuilder::executor`] was called,
+    /// [`Error::InvalidConfig`] for a zero path limit or zero fuel, and
+    /// [`Error::NoSymbolicInput`] when the binary lacks the symbol.
+    pub fn build(self) -> Result<Session, Error> {
+        if self.limit == Some(0) {
+            return Err(Error::InvalidConfig {
+                what: "path limit must be nonzero (omit `limit` for unbounded exploration)",
+            });
+        }
+        if self.fuel == 0 {
+            return Err(Error::InvalidConfig {
+                what: "per-path fuel must be nonzero",
+            });
+        }
+        let executor = match (self.executor, self.elf) {
+            (Some(exec), _) => exec,
+            (None, Some(elf)) => {
+                let spec = self.spec.ok_or(Error::InvalidConfig {
+                    what:
+                        "exploring a binary needs an ISA spec: start with `Session::builder(spec)`",
+                })?;
+                // Move the builder's ELF copy into the executor instead of
+                // cloning a second time — images can be large, and session
+                // construction sits inside benchmarked regions.
+                let (sym_addr, sym_len) = find_sym_input(&elf, self.input_len)?;
+                Box::new(SpecExecutor {
+                    spec,
+                    elf,
+                    sym_addr,
+                    sym_len,
+                })
+            }
+            (None, None) => return Err(Error::MissingBinary),
+        };
+        let input_len = executor.input_len();
+        Ok(Session {
+            executor,
+            tm: TermManager::new(),
+            strategy: self.strategy,
+            backend: self.backend,
+            observer: self.observer,
+            fuel: self.fuel,
+            max_paths: self.limit,
+            next_input: Some(vec![0u8; input_len as usize]),
+            forced_depth: 0,
+            done: false,
+            summary: Summary::default(),
+        })
+    }
+}
+
+/// One symbolic exploration of one binary: executor + strategy + backend
+/// + observer, with lazily discovered paths.
+///
+/// See the [module docs](self) for the full picture and an example.
+pub struct Session {
+    executor: Box<dyn PathExecutor>,
+    tm: TermManager,
+    strategy: Box<dyn PathStrategy>,
+    backend: Box<dyn SolverBackend>,
+    observer: Box<dyn Observer>,
+    fuel: u64,
+    max_paths: Option<u64>,
+    /// Input for the next path, when already known (the initial all-zero
+    /// input, or a model found eagerly).
+    next_input: Option<Vec<u8>>,
+    /// Branches below this ordinal are already queued from earlier paths
+    /// and must not be re-queued (they are shared prefix).
+    forced_depth: usize,
+    done: bool,
+    summary: Summary,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("strategy", &self.strategy.name())
+            .field("backend", &self.backend.name())
+            .field("paths", &self.summary.paths)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Starts building a session for the given ISA specification.
+    pub fn builder(spec: Spec) -> SessionBuilder {
+        SessionBuilder {
+            spec: Some(spec),
+            elf: None,
+            executor: None,
+            strategy: Box::new(Dfs::new()),
+            backend: Box::new(BitblastBackend::new()),
+            observer: Box::new(NullObserver),
+            limit: None,
+            fuel: 10_000_000,
+            input_len: None,
+        }
+    }
+
+    /// Starts building a session around a custom [`PathExecutor`] — no ISA
+    /// specification is needed (the executor brings its own translation
+    /// layer). Equivalent to `Session::builder(spec).executor(...)` minus
+    /// the throwaway spec.
+    pub fn executor_builder(executor: impl PathExecutor + 'static) -> SessionBuilder {
+        SessionBuilder {
+            spec: None,
+            elf: None,
+            executor: Some(Box::new(executor)),
+            strategy: Box::new(Dfs::new()),
+            backend: Box::new(BitblastBackend::new()),
+            observer: Box::new(NullObserver),
+            limit: None,
+            fuel: 10_000_000,
+            input_len: None,
+        }
+    }
+
+    /// Length of the symbolic input region in bytes.
+    pub fn input_len(&self) -> u32 {
+        self.executor.input_len()
+    }
+
+    /// Access to the term manager (e.g. for printing queries).
+    pub fn term_manager(&self) -> &TermManager {
+        &self.tm
+    }
+
+    /// Name of the active path-selection strategy.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy.name()
+    }
+
+    /// Name of the active solver backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// True when the frontier is exhausted (or the path limit was hit) and
+    /// no further path will be yielded.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Totals accumulated so far (complete once exploration is done).
+    /// [`Summary::solver_checks`] reflects the backend's live counter.
+    pub fn summary(&self) -> Summary {
+        let mut s = self.summary.clone();
+        s.solver_checks = self.backend.num_checks();
+        s
+    }
+
+    /// Executes a single path with the given concrete input, without
+    /// touching the exploration frontier.
+    ///
+    /// This is a replay facility outside the exploration loop: the
+    /// session's observer does **not** see the run (its per-path state and
+    /// counters stay consistent with the explored paths only).
+    ///
+    /// # Errors
+    /// Returns [`Error`] on execution errors or fuel exhaustion.
+    pub fn execute_path(&mut self, input: &[u8]) -> Result<PathOutcome, Error> {
+        self.executor
+            .execute_path(&mut self.tm, input, self.fuel, &mut NullObserver)
+    }
+
+    /// The streaming path iterator: each `next()` executes exactly one
+    /// path and yields its [`PathOutcome`]. The feasibility search for
+    /// the *following* input runs lazily on the subsequent call, so
+    /// consuming a prefix of the paths does no wasted solver work.
+    pub fn paths(&mut self) -> Paths<'_> {
+        Paths { session: self }
+    }
+
+    /// Runs exploration to completion (or to the path limit), returning
+    /// the [`Summary`]. Thin wrapper draining [`Session::paths`]; totals
+    /// accumulate across calls, so interleaving with a partially consumed
+    /// iterator is fine.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if any path fails to execute.
+    pub fn run_all(&mut self) -> Result<Summary, Error> {
+        while let Some(r) = self.next_path() {
+            r?;
+        }
+        Ok(self.summary())
+    }
+
+    /// Core of the lazy loop: executes one path and queues its flip
+    /// candidates; solves for the next input only when none is staged.
+    fn next_path(&mut self) -> Option<Result<PathOutcome, Error>> {
+        if self.done {
+            return None;
+        }
+        let input = match self.next_input.take() {
+            Some(i) => i,
+            None => match self.solve_next() {
+                Some(i) => i,
+                None => {
+                    self.done = true;
+                    return None;
+                }
+            },
+        };
+        let outcome =
+            match self
+                .executor
+                .execute_path(&mut self.tm, &input, self.fuel, &mut *self.observer)
+            {
+                Ok(o) => o,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+
+        self.summary.paths += 1;
+        self.summary.total_steps += outcome.steps;
+        self.summary.max_trail_len = self.summary.max_trail_len.max(outcome.trail.len());
+        match outcome.exit {
+            StepResult::Exited(0) => {}
+            StepResult::Exited(code) => self.summary.error_paths.push(ErrorPath {
+                exit_code: Some(code),
+                input: input.clone(),
+            }),
+            StepResult::Break => self.summary.error_paths.push(ErrorPath {
+                exit_code: None,
+                input: input.clone(),
+            }),
+            StepResult::Continue => unreachable!("execute_path loops on Continue"),
+        }
+        self.observer.on_path(&input, &outcome);
+
+        if self
+            .max_paths
+            .is_some_and(|limit| self.summary.paths >= limit)
+        {
+            self.summary.truncated = true;
+            self.done = true;
+            return Some(Ok(outcome));
+        }
+
+        // Queue flip candidates for the new suffix of this path's trail.
+        let mut branch_ord = 0usize;
+        for (i, entry) in outcome.trail.iter().enumerate() {
+            if let TrailEntry::Branch { cond, taken } = *entry {
+                if branch_ord >= self.forced_depth {
+                    self.strategy.push(Candidate {
+                        prefix: outcome.trail[..i].to_vec(),
+                        cond,
+                        taken,
+                        branch_ord,
+                    });
+                }
+                branch_ord += 1;
+            }
+        }
+        Some(Ok(outcome))
+    }
+
+    /// Pops frontier candidates until a feasible flip is found, returning
+    /// the model's input bytes (and updating `forced_depth`), or `None`
+    /// when the frontier is exhausted.
+    fn solve_next(&mut self) -> Option<Vec<u8>> {
+        while let Some(cand) = self.strategy.pop() {
+            self.backend.push();
+            for e in &cand.prefix {
+                let t = e.path_term(&mut self.tm);
+                self.backend.assert_term(&mut self.tm, t);
+            }
+            let flipped = if cand.taken {
+                self.tm.not(cand.cond)
+            } else {
+                cand.cond
+            };
+            self.backend.assert_term(&mut self.tm, flipped);
+            let r = self.backend.check_sat(&mut self.tm);
+            self.observer.on_query(r);
+            if r == SatResult::Sat {
+                let model = self.backend.model(&self.tm).expect("sat has model");
+                let bytes = (0..self.executor.input_len())
+                    .map(|i| model.value(&format!("in{i}")).unwrap_or(0) as u8)
+                    .collect();
+                self.backend.pop();
+                self.forced_depth = cand.branch_ord + 1;
+                return Some(bytes);
+            }
+            self.backend.pop();
+        }
+        None
+    }
+}
+
+/// Iterator over lazily explored paths; see [`Session::paths`].
+#[derive(Debug)]
+pub struct Paths<'a> {
+    session: &'a mut Session,
+}
+
+impl Iterator for Paths<'_> {
+    type Item = Result<PathOutcome, Error>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.session.next_path()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SmtLibDump;
+    use crate::observe::CountingObserver;
+    use crate::strategy::{Bfs, RandomRestart};
+    use binsym_asm::Assembler;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn session_for(src: &str) -> Session {
+        let elf = Assembler::new().assemble(src).expect("assembles");
+        Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .build()
+            .expect("has sym input")
+    }
+
+    fn explore(src: &str) -> Summary {
+        session_for(src).run_all().expect("explores")
+    }
+
+    const SINGLE_COMPARE: &str = r#"
+        .data
+__sym_input: .word 0
+        .text
+_start:
+    la a0, __sym_input
+    lw a1, 0(a0)
+    li a2, 42
+    beq a1, a2, hit
+    li a0, 0
+    li a7, 93
+    ecall
+hit:
+    li a0, 1
+    li a7, 93
+    ecall
+"#;
+
+    const THREE_COMPARES: &str = r#"
+        .data
+__sym_input: .byte 0, 0, 0
+        .text
+_start:
+    la a0, __sym_input
+    li a2, 100
+    lbu a1, 0(a0)
+    bltu a1, a2, c1
+c1: lbu a1, 1(a0)
+    bltu a1, a2, c2
+c2: lbu a1, 2(a0)
+    bltu a1, a2, c3
+c3:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+
+    #[test]
+    fn two_paths_for_single_compare() {
+        let s = explore(SINGLE_COMPARE);
+        assert_eq!(s.paths, 2);
+        assert_eq!(s.error_paths.len(), 1);
+        // The witness input must be 42 (little-endian).
+        assert_eq!(s.error_paths[0].input, vec![42, 0, 0, 0]);
+    }
+
+    #[test]
+    fn chained_compares_enumerate_all_paths() {
+        // Three independent byte comparisons: 8 paths.
+        let s = explore(THREE_COMPARES);
+        assert_eq!(s.paths, 8);
+        assert!(s.error_paths.is_empty());
+    }
+
+    #[test]
+    fn divu_fig2_both_outcomes_found() {
+        // The paper's running example: z = x / y; if (x < z) fail.
+        // With symbolic x, y the fail branch is reachable only via y == 0.
+        let s = explore(
+            r#"
+        .data
+__sym_input: .word 0, 0
+        .text
+_start:
+    la a5, __sym_input
+    lw a0, 0(a5)        # x
+    lw a1, 4(a5)        # y
+    divu a2, a0, a1     # z = x /u y
+    bltu a0, a2, fail   # if (x < z) goto fail
+    li a0, 0
+    li a7, 93
+    ecall
+fail:
+    li a0, 1
+    li a7, 93
+    ecall
+"#,
+        );
+        // Paths: y==0 with x<0xffffffff (fail), y==0 with x==0xffffffff
+        // (no fail), y!=0 (no fail) — DIVU itself forks on y == 0.
+        assert!(s.paths >= 3, "expected >= 3 paths, got {}", s.paths);
+        assert_eq!(s.error_paths.len(), 1, "exactly one failing path");
+        let witness = &s.error_paths[0].input;
+        let y = u32::from_le_bytes([witness[4], witness[5], witness[6], witness[7]]);
+        assert_eq!(y, 0, "the failure witness must have a zero divisor");
+    }
+
+    #[test]
+    fn loop_over_symbolic_bound_terminates() {
+        // Loop count bounded by 2-bit input: 4 paths (0..=3 iterations).
+        let s = explore(
+            r#"
+        .data
+__sym_input: .byte 0
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    andi a1, a1, 3
+    li a2, 0
+loop:
+    beq a2, a1, done
+    addi a2, a2, 1
+    j loop
+done:
+    li a0, 0
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(s.paths, 4);
+    }
+
+    #[test]
+    fn table_lookup_with_concretization() {
+        // A symbolic index into a table is concretized; exploration still
+        // covers both sides of the following branch.
+        let s = explore(
+            r#"
+        .data
+__sym_input: .byte 0
+table:       .byte 1, 2, 3, 4
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    andi a1, a1, 3
+    la a2, table
+    add a2, a2, a1
+    lbu a3, 0(a2)
+    li a4, 3
+    beq a3, a4, found
+    li a0, 0
+    li a7, 93
+    ecall
+found:
+    li a0, 0
+    li a7, 93
+    ecall
+"#,
+        );
+        // At least 2 paths (branch directions); concretization may pin the
+        // table slot, so the exact count depends on the address constraint.
+        assert!(s.paths >= 2);
+        assert!(s.max_trail_len >= 2);
+    }
+
+    #[test]
+    fn error_break_paths_reported() {
+        let s = explore(
+            r#"
+        .data
+__sym_input: .byte 0
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    li a2, 7
+    bne a1, a2, ok
+    ebreak
+ok:
+    li a0, 0
+    li a7, 93
+    ecall
+"#,
+        );
+        assert_eq!(s.paths, 2);
+        assert_eq!(s.error_paths.len(), 1);
+        assert_eq!(s.error_paths[0].exit_code, None);
+        assert_eq!(s.error_paths[0].input, vec![7]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let elf = Assembler::new()
+            .assemble(
+                r#"
+        .data
+__sym_input: .byte 0, 0, 0, 0
+        .text
+_start:
+    la a0, __sym_input
+    li a2, 100
+    lbu a1, 0(a0)
+    bltu a1, a2, c1
+c1: lbu a1, 1(a0)
+    bltu a1, a2, c2
+c2: lbu a1, 2(a0)
+    bltu a1, a2, c3
+c3: lbu a1, 3(a0)
+    bltu a1, a2, c4
+c4:
+    li a0, 0
+    li a7, 93
+    ecall
+"#,
+            )
+            .unwrap();
+        let mut session = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .limit(5)
+            .build()
+            .unwrap();
+        let s = session.run_all().unwrap();
+        assert_eq!(s.paths, 5);
+        assert!(s.truncated);
+        assert!(session.is_done());
+    }
+
+    #[test]
+    fn fresh_solver_backend_is_path_equivalent() {
+        let explore_with = |backend: BitblastBackend| {
+            let elf = Assembler::new().assemble(THREE_COMPARES).unwrap();
+            Session::builder(Spec::rv32im())
+                .binary(&elf)
+                .backend(backend)
+                .build()
+                .unwrap()
+                .run_all()
+                .unwrap()
+        };
+        let si = explore_with(BitblastBackend::new());
+        let sf = explore_with(BitblastBackend::fresh_per_query());
+        assert_eq!(si.paths, sf.paths);
+        assert_eq!(si.error_paths, sf.error_paths);
+        assert_eq!(si.solver_checks, sf.solver_checks);
+        assert_eq!(si.paths, 8);
+    }
+
+    #[test]
+    fn all_strategies_enumerate_the_same_path_set() {
+        let run = |strategy: Box<dyn PathStrategy>| {
+            let elf = Assembler::new().assemble(THREE_COMPARES).unwrap();
+            Session::builder(Spec::rv32im())
+                .binary(&elf)
+                .strategy(strategy)
+                .build()
+                .unwrap()
+                .run_all()
+                .unwrap()
+        };
+        let dfs = run(Box::new(Dfs::new()));
+        let bfs = run(Box::new(Bfs::new()));
+        let rnd = run(Box::<RandomRestart>::default());
+        assert_eq!(dfs.paths, 8);
+        assert_eq!(bfs.paths, 8, "bfs misses paths");
+        assert_eq!(rnd.paths, 8, "random-restart misses paths");
+    }
+
+    #[test]
+    fn paths_iterator_is_lazy_and_resumable() {
+        let mut session = session_for(THREE_COMPARES);
+        let first: Vec<PathOutcome> = session.paths().take(3).map(|r| r.unwrap()).collect();
+        assert_eq!(first.len(), 3);
+        assert_eq!(session.summary().paths, 3);
+        assert!(!session.is_done());
+        // Draining the rest through run_all completes the same exploration.
+        let s = session.run_all().unwrap();
+        assert_eq!(s.paths, 8);
+    }
+
+    #[test]
+    fn streamed_outcomes_carry_inputs_and_match_summary() {
+        let mut session = session_for(SINGLE_COMPARE);
+        let outcomes: Vec<PathOutcome> = session.paths().map(|r| r.unwrap()).collect();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(
+            outcomes[0].input,
+            vec![0, 0, 0, 0],
+            "first path is all-zero input"
+        );
+        let errors: Vec<&PathOutcome> = outcomes.iter().filter(|o| o.is_error()).collect();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].input, vec![42, 0, 0, 0]);
+        let s = session.summary();
+        assert_eq!(s.paths, 2);
+        assert_eq!(s.error_paths[0].input, errors[0].input);
+    }
+
+    #[test]
+    fn execute_path_exposes_outcome() {
+        let mut session = session_for(
+            r#"
+        .data
+__sym_input: .byte 0
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    li a7, 93
+    mv a0, a1
+    ecall
+"#,
+        );
+        let out = session.execute_path(&[9]).unwrap();
+        assert_eq!(out.exit, StepResult::Exited(9));
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn builder_rejects_missing_binary_and_zero_limits() {
+        let err = Session::builder(Spec::rv32im()).build().unwrap_err();
+        assert!(matches!(err, Error::MissingBinary));
+
+        let elf = Assembler::new().assemble(SINGLE_COMPARE).unwrap();
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .limit(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .fuel(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn observer_sees_steps_branches_paths_and_queries() {
+        let counts = Rc::new(RefCell::new(CountingObserver::new()));
+        let elf = Assembler::new().assemble(SINGLE_COMPARE).unwrap();
+        let s = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .observer(Rc::clone(&counts))
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
+        let c = *counts.borrow();
+        assert_eq!(c.paths, s.paths);
+        assert_eq!(c.steps, s.total_steps);
+        assert_eq!(c.queries, s.solver_checks);
+        assert_eq!(c.branches, 2, "one symbolic branch per path");
+        assert_eq!(c.sat_queries, 1, "one feasible flip");
+    }
+
+    #[test]
+    fn execute_path_bypasses_the_observer() {
+        // Replays must not corrupt path-scoped observer state: counters
+        // stay consistent with the *explored* paths only.
+        let counts = Rc::new(RefCell::new(CountingObserver::new()));
+        let elf = Assembler::new().assemble(SINGLE_COMPARE).unwrap();
+        let mut session = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .observer(Rc::clone(&counts))
+            .build()
+            .unwrap();
+        session.execute_path(&[1, 2, 3, 4]).unwrap();
+        assert_eq!(counts.borrow().steps, 0, "replay must not be observed");
+        let s = session.run_all().unwrap();
+        assert_eq!(counts.borrow().steps, s.total_steps);
+        assert_eq!(counts.borrow().paths, s.paths);
+    }
+
+    #[test]
+    fn smtlib_dump_records_every_query() {
+        let backend = SmtLibDump::new();
+        let scripts = backend.scripts();
+        let elf = Assembler::new().assemble(SINGLE_COMPARE).unwrap();
+        let s = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .backend(backend)
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
+        assert_eq!(s.paths, 2);
+        assert_eq!(scripts.len() as u64, s.solver_checks);
+        for script in scripts.snapshot() {
+            assert!(script.starts_with("(set-logic QF_BV)"));
+            assert!(script.ends_with("(check-sat)\n"));
+        }
+    }
+}

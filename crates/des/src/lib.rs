@@ -406,13 +406,7 @@ mod tests {
         sim.run_to_completion();
         assert_eq!(
             *hits.borrow(),
-            vec![
-                (0, "a"),
-                (0, "b"),
-                (10, "a"),
-                (15, "b"),
-                (20, "a"),
-            ]
+            vec![(0, "a"), (0, "b"), (10, "a"), (15, "b"), (20, "a"),]
         );
         assert_eq!(sim.now(), Time::from_ns(20));
         assert_eq!(sim.events_processed(), 5);

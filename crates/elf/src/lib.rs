@@ -394,9 +394,25 @@ impl ElfFile {
             .map(|s| (seg_offsets[0], s.data.len(), s.vaddr))
             .unwrap_or((0, 0, 0));
         sh(n_text, SHT_PROGBITS, first_off, first_len, 0, 0, first_addr);
-        sh(n_symtab, SHT_SYMTAB, symtab_off, symtab.len(), 3, symentsize, 0);
+        sh(
+            n_symtab,
+            SHT_SYMTAB,
+            symtab_off,
+            symtab.len(),
+            3,
+            symentsize,
+            0,
+        );
         sh(n_strtab, SHT_STRTAB, strtab_off, strtab.len(), 0, 0, 0);
-        sh(n_shstrtab, SHT_STRTAB, shstrtab_off, shstrtab.len(), 0, 0, 0);
+        sh(
+            n_shstrtab,
+            SHT_STRTAB,
+            shstrtab_off,
+            shstrtab.len(),
+            0,
+            0,
+            0,
+        );
         out
     }
 }

@@ -22,7 +22,7 @@
 use std::fmt;
 
 use binsym_elf::ElfFile;
-use binsym_isa::{Expr, Memory, MemWidth, Reg, RegFile, Spec, Stmt};
+use binsym_isa::{Expr, MemWidth, Memory, Reg, RegFile, Spec, Stmt};
 
 /// Syscall number of `exit` in the harness ABI.
 pub const SYSCALL_EXIT: u32 = 93;
@@ -176,11 +176,8 @@ impl Machine {
             Expr::Mul(a, b) => mask(self.eval(a).wrapping_mul(self.eval(b)), w),
             Expr::UDiv(a, b) => {
                 let (x, y) = (self.eval(a), self.eval(b));
-                if y == 0 {
-                    mask(u64::MAX, w)
-                } else {
-                    x / y
-                }
+                // RISC-V semantics: division by zero yields all-ones.
+                x.checked_div(y).unwrap_or(mask(u64::MAX, w))
             }
             Expr::SDiv(a, b) => {
                 let (x, y) = (sext(self.eval(a), w), sext(self.eval(b), w));

@@ -14,9 +14,7 @@ use binsym_isa::Spec;
 
 /// Runs a fragment that leaves its result in `a0` and exits.
 fn run(body: &str) -> u32 {
-    let src = format!(
-        "_start:\n{body}\n        li a7, 93\n        ecall\n"
-    );
+    let src = format!("_start:\n{body}\n        li a7, 93\n        ecall\n");
     let elf = Assembler::new().assemble(&src).expect("assembles");
     let mut m = Machine::new(Spec::rv32im());
     m.load_elf(&elf);
@@ -72,7 +70,10 @@ fn logic_ops() {
     check_rr("and", &[(0xff00_ff00, 0x0f0f_0f0f, 0x0f00_0f00)]);
     check_rr("or", &[(0xff00_ff00, 0x0f0f_0f0f, 0xff0f_ff0f)]);
     check_rr("xor", &[(0xff00_ff00, 0x0f0f_0f0f, 0xf00f_f00f)]);
-    check_ri("andi", &[(0xffff_ffff, -1, 0xffff_ffff), (0xf0f0, 0xff, 0xf0)]);
+    check_ri(
+        "andi",
+        &[(0xffff_ffff, -1, 0xffff_ffff), (0xf0f0, 0xff, 0xf0)],
+    );
     check_ri("ori", &[(0xff00, 0x0f, 0xff0f)]);
     check_ri("xori", &[(0x00ff_00ff, -1, 0xff00_ff00)]);
 }
@@ -84,7 +85,7 @@ fn shifts() {
         &[
             (1, 0, 1),
             (1, 31, 0x8000_0000),
-            (1, 32, 1),          // amount masked to 5 bits
+            (1, 32, 1),                     // amount masked to 5 bits
             (0xffff_ffff, 33, 0xffff_fffe), // 33 & 31 == 1
         ],
     );
@@ -113,8 +114,8 @@ fn set_less_than() {
         "slt",
         &[
             (0, 0, 0),
-            (0xffff_ffff, 0, 1),  // -1 < 0
-            (0, 0xffff_ffff, 0),  // 0 < -1 is false
+            (0xffff_ffff, 0, 1), // -1 < 0
+            (0, 0xffff_ffff, 0), // 0 < -1 is false
             (0x8000_0000, 0x7fff_ffff, 1),
         ],
     );
@@ -153,10 +154,7 @@ fn multiplication() {
     );
     check_rr(
         "mulhu",
-        &[
-            (0xffff_ffff, 0xffff_ffff, 0xffff_fffe),
-            (0x8000_0000, 2, 1),
-        ],
+        &[(0xffff_ffff, 0xffff_ffff, 0xffff_fffe), (0x8000_0000, 2, 1)],
     );
     check_rr(
         "mulhsu",
@@ -243,8 +241,7 @@ cont:"#
 #[test]
 fn misaligned_halves_and_bytes() {
     // Byte-granular memory: offsets 1..3 work for sub-word accesses.
-    let got = run(
-        r#"        la a2, buf
+    let got = run(r#"        la a2, buf
         li a1, 0x11223344
         sw a1, 0(a2)
         lbu a3, 1(a2)
@@ -255,32 +252,31 @@ fn misaligned_halves_and_bytes() {
         .data
 buf:    .space 8
         .text
-cont:"#,
-    );
+cont:"#);
     // byte1 = 0x33, half at 2..3 = 0x1122 -> 0x112233 | ... = 0x33 | 0x112200
     assert_eq!(got, 0x0011_2233);
 }
 
 #[test]
 fn lui_auipc_jal_jalr() {
-    assert_eq!(run("        lui a0, 0xfffff\n        srli a0, a0, 12"), 0xfffff);
+    assert_eq!(
+        run("        lui a0, 0xfffff\n        srli a0, a0, 12"),
+        0xfffff
+    );
     // auipc: pc-relative; _start is the text base.
     let got = run("        auipc a0, 0\n        la a1, _start\n        sub a0, a0, a1");
     assert_eq!(got, 0);
     // jal links pc+4; jalr to register target.
-    let got = run(
-        r#"        jal a1, step1
+    let got = run(r#"        jal a1, step1
 step1:  auipc a2, 0
-        sub a0, a2, a1          # a2 == a1 => 0"#,
-    );
+        sub a0, a2, a1          # a2 == a1 => 0"#);
     assert_eq!(got, 0);
 }
 
 #[test]
 fn branch_compliance() {
     // Each branch taken/not-taken combination sets a distinct bit.
-    let got = run(
-        r#"        li a0, 0
+    let got = run(r#"        li a0, 0
         li a1, -1
         li a2, 1
         blt a1, a2, b1          # signed: taken
@@ -301,23 +297,65 @@ b5:     ori a0, a0, 16
 b5f:    bne a1, a2, b6
         j done
 b6:     ori a0, a0, 32
-done:"#,
-    );
+done:"#);
     assert_eq!(got, 1 | 8 | 16 | 32);
 }
 
 #[test]
 fn x0_semantics() {
-    let got = run(
-        r#"        li a1, 123
+    let got = run(r#"        li a1, 123
         add zero, a1, a1        # discarded
         add a0, zero, zero      # 0
-        addi a0, a0, 55"#,
-    );
+        addi a0, a0, 55"#);
     assert_eq!(got, 55);
 }
 
 #[test]
 fn fence_is_noop() {
     assert_eq!(run("        li a0, 9\n        fence"), 9);
+}
+
+#[test]
+fn symbolic_witnesses_replay_on_the_reference_interpreter() {
+    // The interpreter's third role (see the crate docs): replaying models
+    // found by symbolic execution. Explore a program with the `Session`
+    // API and confirm every error-path witness reproduces its exit code
+    // concretely.
+    use binsym::Session;
+
+    let src = r#"
+        .data
+        .globl __sym_input
+__sym_input: .word 0
+        .text
+        .globl _start
+_start:
+        la   a0, __sym_input
+        lw   a1, 0(a0)
+        li   a2, 12345
+        beq  a1, a2, fail
+        li   a0, 0
+        li   a7, 93
+        ecall
+fail:
+        li   a0, 7
+        li   a7, 93
+        ecall
+"#;
+    let elf = Assembler::new().assemble(src).expect("assembles");
+    let summary = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .build()
+        .expect("sym input")
+        .run_all()
+        .expect("explores");
+    assert_eq!(summary.error_paths.len(), 1);
+    let base = elf.symbol("__sym_input").expect("symbol").value;
+    for err in &summary.error_paths {
+        let mut m = Machine::new(Spec::rv32im());
+        m.load_elf(&elf);
+        m.mem.store_slice(base, &err.input);
+        let exit = m.run(100_000).expect("runs");
+        assert_eq!(exit, Exit::Exited(err.exit_code.expect("exit path")));
+    }
 }

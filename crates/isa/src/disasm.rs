@@ -78,8 +78,7 @@ pub fn disassemble_range(table: &InstrTable, bytes: &[u8], base: u32) -> String 
     for (i, chunk) in bytes.chunks_exact(4).enumerate() {
         let raw = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         let pc = base + 4 * i as u32;
-        let text =
-            disassemble(table, raw, pc).unwrap_or_else(|| format!(".word {raw:#010x}"));
+        let text = disassemble(table, raw, pc).unwrap_or_else(|| format!(".word {raw:#010x}"));
         out.push_str(&format!("{pc:#010x}: {raw:08x}  {text}\n"));
     }
     out
@@ -127,7 +126,10 @@ mod tests {
             disassemble(&table, 0x41f5_5513, 0).as_deref(),
             Some("srai a0, a0, 31")
         );
-        assert_eq!(disassemble(&table, 0x0000_0073, 0).as_deref(), Some("ecall"));
+        assert_eq!(
+            disassemble(&table, 0x0000_0073, 0).as_deref(),
+            Some("ecall")
+        );
     }
 
     #[test]

@@ -301,10 +301,8 @@ impl InstrTable {
             entries.push((n, kv, text.lines().count()));
         }
         for (name, kv, ln) in entries {
-            let desc = desc_from_kv(&name, &kv).map_err(|message| YamlError::Parse {
-                line: ln,
-                message,
-            })?;
+            let desc = desc_from_kv(&name, &kv)
+                .map_err(|message| YamlError::Parse { line: ln, message })?;
             out.push(self.register(desc)?);
         }
         Ok(out)
@@ -325,7 +323,8 @@ fn parse_u32(s: &str) -> Result<u32, String> {
     if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
         u32::from_str_radix(hex, 16).map_err(|e| format!("bad hex literal `{s}`: {e}"))
     } else {
-        s.parse::<u32>().map_err(|e| format!("bad integer `{s}`: {e}"))
+        s.parse::<u32>()
+            .map_err(|e| format!("bad integer `{s}`: {e}"))
     }
 }
 
@@ -384,7 +383,10 @@ fn desc_from_kv(name: &str, kv: &HashMap<String, String>) -> Result<InstrDesc, S
 fn parse_encoding_pattern(s: &str) -> Result<(u32, u32), String> {
     let s = s.trim().trim_matches('\'').trim_matches('"');
     if s.len() != 32 {
-        return Err(format!("encoding pattern must have 32 characters, got {}", s.len()));
+        return Err(format!(
+            "encoding pattern must have 32 characters, got {}",
+            s.len()
+        ));
     }
     let mut mask = 0u32;
     let mut mval = 0u32;

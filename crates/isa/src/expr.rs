@@ -148,6 +148,10 @@ macro_rules! binop_ctor {
     };
 }
 
+// The constructor names deliberately mirror the specification DSL's
+// primitive names (`add`, `sub`, `not`, …), not Rust's operator traits —
+// specification programs read as `a.add(b)`, matching the paper's notation.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// 32-bit constant.
     pub fn imm(value: u32) -> Expr {
@@ -457,7 +461,10 @@ mod tests {
         let bad = Expr::reg(Reg::A0).add(Expr::const_w(1, 8));
         assert!(bad.check().is_err());
         let bad_ite = Expr::ite(Expr::reg(Reg::A0), Expr::imm(1), Expr::imm(2));
-        assert!(bad_ite.check().is_err(), "32-bit condition must be rejected");
+        assert!(
+            bad_ite.check().is_err(),
+            "32-bit condition must be rejected"
+        );
     }
 
     #[test]

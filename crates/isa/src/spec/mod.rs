@@ -41,7 +41,10 @@ impl fmt::Display for CustomError {
         match self {
             CustomError::Yaml(e) => write!(f, "{e}"),
             CustomError::NotExactlyOne(n) => {
-                write!(f, "expected exactly one instruction in description, got {n}")
+                write!(
+                    f,
+                    "expected exactly one instruction in description, got {n}"
+                )
             }
             CustomError::Register(e) => write!(f, "{e}"),
         }
@@ -94,11 +97,7 @@ impl Spec {
             .into_iter()
             .enumerate()
             .map(|(i, h)| {
-                h.unwrap_or_else(|| {
-                    panic!(
-                        "missing semantics for builtin instruction #{i}"
-                    )
-                })
+                h.unwrap_or_else(|| panic!("missing semantics for builtin instruction #{i}"))
             })
             .collect();
         Spec { table, handlers }
@@ -138,10 +137,7 @@ impl Spec {
         yaml: &str,
         semantics: SemanticsFn,
     ) -> Result<InstrId, CustomError> {
-        let ids = self
-            .table
-            .register_yaml(yaml)
-            .map_err(CustomError::Yaml)?;
+        let ids = self.table.register_yaml(yaml).map_err(CustomError::Yaml)?;
         if ids.len() != 1 {
             return Err(CustomError::NotExactlyOne(ids.len()));
         }

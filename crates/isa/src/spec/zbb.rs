@@ -55,7 +55,10 @@ pub fn register(spec: &mut Spec) -> Result<(), CustomError> {
         (r("zext.h", 0xfff0_707f, 0x0800_4033, un), f(zext_h)),
         (r("rol", 0xfe00_707f, 0x6000_1033, rr), f(rol)),
         (r("ror", 0xfe00_707f, 0x6000_5033, rr), f(ror)),
-        (r("rori", 0xfe00_707f, 0x6000_5013, &[Rd, Rs1, Shamt]), f(rori)),
+        (
+            r("rori", 0xfe00_707f, 0x6000_5013, &[Rd, Rs1, Shamt]),
+            f(rori),
+        ),
     ];
     for (desc, sem) in entries {
         spec.register_custom_desc(desc, sem)?;
@@ -186,10 +189,7 @@ fn rotate(x: Expr, amount: Expr, left: bool) -> Expr {
 }
 
 fn rol(d: &Decoded) -> Vec<Stmt> {
-    wr(
-        d.rd(),
-        rotate(Expr::reg(d.rs1()), Expr::reg(d.rs2()), true),
-    )
+    wr(d.rd(), rotate(Expr::reg(d.rs1()), Expr::reg(d.rs2()), true))
 }
 
 fn ror(d: &Decoded) -> Vec<Stmt> {

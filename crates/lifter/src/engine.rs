@@ -18,7 +18,9 @@
 use std::collections::HashMap;
 use std::hint::black_box;
 
-use binsym::{ExecError, ExploreError, PathExecutor, PathOutcome, StepResult, SymByte, SymWord, TrailEntry};
+use binsym::{
+    Error, ExecError, Observer, PathExecutor, PathOutcome, StepResult, SymByte, SymWord, TrailEntry,
+};
 use binsym_elf::ElfFile;
 use binsym_isa::{Memory, Reg, RegFile};
 use binsym_smt::{Term, TermManager};
@@ -258,13 +260,8 @@ impl IrMachine {
             Add => mask(a.c.wrapping_add(b.c), w),
             Sub => mask(a.c.wrapping_sub(b.c), w),
             Mul => mask(a.c.wrapping_mul(b.c), w),
-            DivU => {
-                if b.c == 0 {
-                    mask(u64::MAX, w)
-                } else {
-                    a.c / b.c
-                }
-            }
+            // RISC-V semantics: unsigned division by zero yields all-ones.
+            DivU => a.c.checked_div(b.c).unwrap_or(mask(u64::MAX, w)),
             DivS => {
                 let (x, y) = (sxt(a.c, w), sxt(b.c, w));
                 let r = if y == 0 { -1 } else { x.wrapping_div(y) };
@@ -396,8 +393,13 @@ impl IrMachine {
             let t = term32
                 .map(|t| tm.extract(t, 8 * i + 7, 8 * i))
                 .filter(|t| tm.as_const(*t).is_none());
-            self.mem
-                .store(addr.wrapping_add(i), SymByte { concrete: c, term: t });
+            self.mem.store(
+                addr.wrapping_add(i),
+                SymByte {
+                    concrete: c,
+                    term: t,
+                },
+            );
         }
     }
 
@@ -484,7 +486,8 @@ fn interp_overhead_spin(iters: u32) {
 }
 
 /// The IR-based path executor (one of the paper's baseline engines),
-/// pluggable into [`binsym::Explorer`].
+/// pluggable into a [`binsym::Session`] via
+/// [`binsym::SessionBuilder::executor`].
 #[derive(Debug)]
 pub struct LifterExecutor {
     lifter: Lifter,
@@ -502,8 +505,8 @@ impl LifterExecutor {
     /// Creates an executor for a binary with a `__sym_input` region.
     ///
     /// # Errors
-    /// Returns [`ExploreError::NoSymbolicInput`] if the symbol is missing.
-    pub fn new(elf: &ElfFile, config: EngineConfig) -> Result<Self, ExploreError> {
+    /// Returns [`Error::NoSymbolicInput`] if the symbol is missing.
+    pub fn new(elf: &ElfFile, config: EngineConfig) -> Result<Self, Error> {
         let (sym_addr, sym_len) = binsym::find_sym_input(elf, None)?;
         Ok(LifterExecutor {
             lifter: Lifter::new(config.bugs),
@@ -554,7 +557,8 @@ impl PathExecutor for LifterExecutor {
         tm: &mut TermManager,
         input: &[u8],
         fuel: u64,
-    ) -> Result<PathOutcome, ExploreError> {
+        obs: &mut dyn Observer,
+    ) -> Result<PathOutcome, Error> {
         let mut m = IrMachine::new();
         for seg in &self.elf.segments {
             for (i, &b) in seg.data.iter().enumerate() {
@@ -570,24 +574,31 @@ impl PathExecutor for LifterExecutor {
                 .store(self.sym_addr.wrapping_add(i), SymByte::symbolic(c, var));
         }
         for _ in 0..fuel {
+            obs.on_step(m.pc, m.steps);
             let raw = Self::fetch(&m, m.pc);
             let overhead = self.config.interp_overhead;
             let block = self.lift_at(raw, m.pc).map_err(|e| match e {
                 LiftError::UnknownInstruction { raw, addr } => {
-                    ExploreError::Exec(ExecError::Decode(binsym_isa::DecodeError {
+                    Error::Exec(ExecError::Decode(binsym_isa::DecodeError {
                         raw,
                         addr: Some(addr),
                     }))
                 }
                 LiftError::Unsupported { .. } => {
-                    ExploreError::Exec(ExecError::Decode(binsym_isa::DecodeError {
+                    Error::Exec(ExecError::Decode(binsym_isa::DecodeError {
                         raw,
                         addr: Some(m.pc),
                     }))
                 }
             })?;
+            let trail_before = m.trail.len();
             let exit = m.exec_block(tm, block, overhead)?;
             m.steps += 1;
+            for entry in &m.trail[trail_before..] {
+                if let TrailEntry::Branch { cond, taken } = *entry {
+                    obs.on_branch(cond, taken);
+                }
+            }
             match exit {
                 BlockExit::Fallthrough => m.pc = block.fallthrough,
                 BlockExit::Jump(t) => m.pc = t,
@@ -596,6 +607,7 @@ impl PathExecutor for LifterExecutor {
                         exit: StepResult::Exited(code),
                         trail: m.trail,
                         steps: m.steps,
+                        input: input.to_vec(),
                     })
                 }
                 BlockExit::Break => {
@@ -603,11 +615,12 @@ impl PathExecutor for LifterExecutor {
                         exit: StepResult::Break,
                         trail: m.trail,
                         steps: m.steps,
+                        input: input.to_vec(),
                     })
                 }
             }
         }
-        Err(ExploreError::OutOfFuel {
+        Err(Error::OutOfFuel {
             input: input.to_vec(),
         })
     }
@@ -620,14 +633,17 @@ impl PathExecutor for LifterExecutor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use binsym::{Explorer, ExplorerConfig};
+    use binsym::{NullObserver, Session};
     use binsym_asm::Assembler;
 
     fn explore_with(src: &str, config: EngineConfig) -> binsym::Summary {
         let elf = Assembler::new().assemble(src).expect("assembles");
         let exec = LifterExecutor::new(&elf, config).expect("sym input");
-        let mut ex = Explorer::from_executor(exec, ExplorerConfig::default());
-        ex.run_all().expect("explores")
+        Session::executor_builder(exec)
+            .build()
+            .expect("builds")
+            .run_all()
+            .expect("explores")
     }
 
     const SIGN_CHECK: &str = r#"
@@ -682,8 +698,12 @@ less:
 "#;
         let elf = Assembler::new().assemble(src).unwrap();
         let s_lifter = explore_with(src, EngineConfig::binsec());
-        let mut spec_ex = Explorer::new(binsym_isa::Spec::rv32im(), &elf).unwrap();
-        let s_spec = spec_ex.run_all().unwrap();
+        let s_spec = Session::builder(binsym_isa::Spec::rv32im())
+            .binary(&elf)
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
         assert_eq!(s_lifter.paths, s_spec.paths);
         assert_eq!(s_lifter.error_paths, s_spec.error_paths);
     }
@@ -768,12 +788,16 @@ _start:
             .unwrap();
         // The lifter-based engine cannot execute the custom instruction.
         let exec = LifterExecutor::new(&elf, EngineConfig::binsec()).unwrap();
-        let mut ex = Explorer::from_executor(exec, ExplorerConfig::default());
-        assert!(ex.run_all().is_err(), "lifter must reject MADD");
+        let mut session = Session::executor_builder(exec).build().unwrap();
+        assert!(session.run_all().is_err(), "lifter must reject MADD");
         // The formal-semantics engine handles it (after the 14-line spec
         // extension of the paper's case study).
-        let mut spec_ex = Explorer::new(spec, &elf).unwrap();
-        let s = spec_ex.run_all().unwrap();
+        let s = Session::builder(spec)
+            .binary(&elf)
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
         assert_eq!(s.paths, 1);
     }
 
@@ -796,7 +820,9 @@ loop:
         let elf = Assembler::new().assemble(src).unwrap();
         let mut cached = LifterExecutor::new(&elf, EngineConfig::binsec()).unwrap();
         let mut tm = TermManager::new();
-        cached.execute_path(&mut tm, &[0], 10_000).unwrap();
+        cached
+            .execute_path(&mut tm, &[0], 10_000, &mut NullObserver)
+            .unwrap();
         let cached_lifts = cached.lift_count;
         let mut uncached = LifterExecutor::new(
             &elf,
@@ -808,7 +834,9 @@ loop:
         )
         .unwrap();
         let mut tm = TermManager::new();
-        uncached.execute_path(&mut tm, &[0], 10_000).unwrap();
+        uncached
+            .execute_path(&mut tm, &[0], 10_000, &mut NullObserver)
+            .unwrap();
         assert!(
             cached_lifts < uncached.lift_count,
             "cache must avoid re-lifting loop bodies ({cached_lifts} vs {})",

@@ -179,7 +179,9 @@ impl IrExpr {
         match self {
             IrExpr::Const { width, .. } => *width,
             IrExpr::Temp(_) | IrExpr::GetReg(_) => 32,
-            IrExpr::Unop { op: IrUnop::Not1, .. } => 1,
+            IrExpr::Unop {
+                op: IrUnop::Not1, ..
+            } => 1,
             IrExpr::Unop { arg, .. } => arg.width(),
             IrExpr::Binop { op, lhs, .. } => match op {
                 IrBinop::CmpEq

@@ -194,12 +194,7 @@ pub fn lift_instruction(
         IrBinop::CmpGeS
     };
 
-    let simple = |stmts: Vec<IrStmt>| {
-        Ok(IrBlock {
-            stmts,
-            fallthrough,
-        })
-    };
+    let simple = |stmts: Vec<IrStmt>| Ok(IrBlock { stmts, fallthrough });
     let alu_reg = |op: IrBinop| simple(vec![put(d.rd(), bin(op, rs1(), rs2()))]);
     let alu_imm = |op: IrBinop| simple(vec![put(d.rd(), bin(op, rs1(), imm()))]);
     let branch = |cond: IrExpr| {
@@ -370,7 +365,10 @@ mod tests {
         };
         let b = lift_one(SRAI_31, bugs);
         match &b.stmts[0] {
-            IrStmt::PutReg { value: IrExpr::Binop { op, .. }, .. } => {
+            IrStmt::PutReg {
+                value: IrExpr::Binop { op, .. },
+                ..
+            } => {
                 assert_eq!(*op, IrBinop::Shr);
             }
             other => panic!("unexpected {other:?}"),
@@ -385,7 +383,10 @@ mod tests {
         };
         let b = lift_one(SRA_T3_T4, bugs);
         match &b.stmts[0] {
-            IrStmt::PutReg { value: IrExpr::Binop { rhs, .. }, .. } => {
+            IrStmt::PutReg {
+                value: IrExpr::Binop { rhs, .. },
+                ..
+            } => {
                 assert_eq!(**rhs, IrExpr::c32(29), "shift amount = rs2 index");
             }
             other => panic!("unexpected {other:?}"),
@@ -402,7 +403,10 @@ mod tests {
         let slli31 = 0x01f5_1513;
         let b = lift_one(slli31, bugs);
         match &b.stmts[0] {
-            IrStmt::PutReg { value: IrExpr::Binop { rhs, .. }, .. } => {
+            IrStmt::PutReg {
+                value: IrExpr::Binop { rhs, .. },
+                ..
+            } => {
                 assert_eq!(**rhs, IrExpr::c32(-1i32 as u32));
             }
             other => panic!("unexpected {other:?}"),
@@ -411,7 +415,10 @@ mod tests {
         let slli4 = 0x0045_1513;
         let b = lift_one(slli4, bugs);
         match &b.stmts[0] {
-            IrStmt::PutReg { value: IrExpr::Binop { rhs, .. }, .. } => {
+            IrStmt::PutReg {
+                value: IrExpr::Binop { rhs, .. },
+                ..
+            } => {
                 assert_eq!(**rhs, IrExpr::c32(4));
             }
             other => panic!("unexpected {other:?}"),
@@ -424,18 +431,26 @@ mod tests {
             signed_cmp_unsigned: true,
             ..LifterBugs::NONE
         };
-        // blt a0, a1, +8
+        // blt a0, a1, +8 — the zero funct7 field is spelled out to keep the
+        // encoding fields readable.
+        #[allow(clippy::identity_op)]
         let blt = (0x0u32 << 25) | (11 << 20) | (10 << 15) | (4 << 12) | (8 << 8) | 0x63;
         let b = lift_one(blt, bugs);
         match &b.stmts[0] {
-            IrStmt::Exit { cond: IrExpr::Binop { op, .. }, .. } => {
+            IrStmt::Exit {
+                cond: IrExpr::Binop { op, .. },
+                ..
+            } => {
                 assert_eq!(*op, IrBinop::CmpLtU);
             }
             other => panic!("unexpected {other:?}"),
         }
         let b = lift_one(blt, LifterBugs::NONE);
         match &b.stmts[0] {
-            IrStmt::Exit { cond: IrExpr::Binop { op, .. }, .. } => {
+            IrStmt::Exit {
+                cond: IrExpr::Binop { op, .. },
+                ..
+            } => {
                 assert_eq!(*op, IrBinop::CmpLtS);
             }
             other => panic!("unexpected {other:?}"),
@@ -452,14 +467,20 @@ mod tests {
         let lb = (11 << 15) | (10 << 7) | 0x03;
         let b = lift_one(lb, bugs);
         match &b.stmts[0] {
-            IrStmt::PutReg { value: IrExpr::Widen { signed, .. }, .. } => {
+            IrStmt::PutReg {
+                value: IrExpr::Widen { signed, .. },
+                ..
+            } => {
                 assert!(!signed, "buggy lb zero-extends");
             }
             other => panic!("unexpected {other:?}"),
         }
         let b = lift_one(lb, LifterBugs::NONE);
         match &b.stmts[0] {
-            IrStmt::PutReg { value: IrExpr::Widen { signed, .. }, .. } => {
+            IrStmt::PutReg {
+                value: IrExpr::Widen { signed, .. },
+                ..
+            } => {
                 assert!(signed, "correct lb sign-extends");
             }
             other => panic!("unexpected {other:?}"),

@@ -628,10 +628,9 @@ impl BitBlaster {
         // Any set bit of the amount at positions >= stages means shift >= w
         // (for widths that are powers of two; otherwise also check the
         // in-range stages overflow via comparison).
-        let wlit = amount.len();
         let mut overflow = self.fls(sat);
-        for k in stages as usize..wlit {
-            overflow = self.or_gate(sat, overflow, amount[k]);
+        for &high_bit in &amount[stages as usize..] {
+            overflow = self.or_gate(sat, overflow, high_bit);
         }
         if !w.is_power_of_two() {
             // amount[0..stages] may still encode a value >= w:

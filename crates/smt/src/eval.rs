@@ -112,9 +112,12 @@ fn eval_node(
         Op::BvConst(v) => Value::BitVec(v),
         Op::BoolConst(c) => Value::Bool(c),
         Op::Var(v) => {
-            let raw = assignment.get(&v).copied().ok_or_else(|| UnassignedVarError {
-                name: tm.var_name(v).to_owned(),
-            })?;
+            let raw = assignment
+                .get(&v)
+                .copied()
+                .ok_or_else(|| UnassignedVarError {
+                    name: tm.var_name(v).to_owned(),
+                })?;
             match tm.var_sort(v) {
                 Sort::Bool => Value::Bool(raw != 0),
                 Sort::BitVec(w) => Value::BitVec(raw & mask(w)),
@@ -147,7 +150,8 @@ fn eval_node(
         Op::BvMul => Value::BitVec(bv(0).wrapping_mul(bv(1)) & mask(w)),
         Op::BvUdiv => {
             let (x, y) = (bv(0), bv(1));
-            Value::BitVec(if y == 0 { mask(w) } else { x / y })
+            // RISC-V / SMT-LIB semantics: division by zero yields all-ones.
+            Value::BitVec(x.checked_div(y).unwrap_or(mask(w)))
         }
         Op::BvUrem => {
             let (x, y) = (bv(0), bv(1));
@@ -167,7 +171,11 @@ fn eval_node(
         }
         Op::BvShl => {
             let (x, y) = (bv(0), bv(1));
-            Value::BitVec(if y >= u64::from(w) { 0 } else { (x << y) & mask(w) })
+            Value::BitVec(if y >= u64::from(w) {
+                0
+            } else {
+                (x << y) & mask(w)
+            })
         }
         Op::BvLshr => {
             let (x, y) = (bv(0), bv(1));

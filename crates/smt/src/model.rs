@@ -30,7 +30,10 @@ impl Model {
 
     /// Value of a variable by name; `None` if the variable is unknown.
     pub fn value(&self, name: &str) -> Option<u64> {
-        self.names.get(name).and_then(|id| self.values.get(id)).copied()
+        self.names
+            .get(name)
+            .and_then(|id| self.values.get(id))
+            .copied()
     }
 
     /// Value of a variable by id (defaults to 0 for unknown variables).

@@ -172,10 +172,12 @@ impl VarHeap {
             let l = 2 * i + 1;
             let r = 2 * i + 2;
             let mut best = i;
-            if l < self.heap.len() && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize] {
+            if l < self.heap.len() && act[self.heap[l].0 as usize] > act[self.heap[best].0 as usize]
+            {
                 best = l;
             }
-            if r < self.heap.len() && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize] {
+            if r < self.heap.len() && act[self.heap[r].0 as usize] > act[self.heap[best].0 as usize]
+            {
                 best = r;
             }
             if best == i {
@@ -367,8 +369,14 @@ impl SatSolver {
         let idx = self.clauses.len() as u32;
         let w0 = lits[0];
         let w1 = lits[1];
-        self.watches[(!w0).index()].push(Watch { clause: idx, blocker: w1 });
-        self.watches[(!w1).index()].push(Watch { clause: idx, blocker: w0 });
+        self.watches[(!w0).index()].push(Watch {
+            clause: idx,
+            blocker: w1,
+        });
+        self.watches[(!w1).index()].push(Watch {
+            clause: idx,
+            blocker: w0,
+        });
         self.clauses.push(Clause {
             lits,
             learnt,
@@ -566,7 +574,9 @@ impl SatSolver {
         match self.reason[v] {
             None => false,
             Some(ci) => self.clauses[ci as usize].lits.iter().all(|&q| {
-                q.var() == l.var() || self.seen[q.var().0 as usize] || self.level[q.var().0 as usize] == 0
+                q.var() == l.var()
+                    || self.seen[q.var().0 as usize]
+                    || self.level[q.var().0 as usize] == 0
             }),
         }
     }
@@ -603,7 +613,11 @@ impl SatSolver {
     fn reduce_db(&mut self) {
         // Sort learnt clause indices by activity and remove the weaker half.
         let mut learnt_idx: Vec<usize> = (0..self.clauses.len())
-            .filter(|&i| self.clauses[i].learnt && !self.is_reason(i as u32) && self.clauses[i].lits.len() > 2)
+            .filter(|&i| {
+                self.clauses[i].learnt
+                    && !self.is_reason(i as u32)
+                    && self.clauses[i].lits.len() > 2
+            })
             .collect();
         learnt_idx.sort_by(|&a, &b| {
             self.clauses[a]
@@ -645,7 +659,9 @@ impl SatSolver {
     }
 
     fn is_reason(&self, ci: u32) -> bool {
-        self.trail.iter().any(|l| self.reason[l.var().0 as usize] == Some(ci))
+        self.trail
+            .iter()
+            .any(|l| self.reason[l.var().0 as usize] == Some(ci))
     }
 
     fn luby(x: u64) -> u64 {
@@ -695,11 +711,7 @@ impl SatSolver {
                 }
                 // Conflict within assumption prefix => UNSAT under assumptions.
                 if self.decision_level() <= assumptions.len() as u32 {
-                    let all_assumed = self
-                        .trail_lim
-                        .iter()
-                        .take(assumptions.len())
-                        .count();
+                    let all_assumed = self.trail_lim.iter().take(assumptions.len()).count();
                     // If every decision so far is an assumption, the conflict
                     // depends only on assumptions: report unsat.
                     if self.decision_level() as usize <= all_assumed {
@@ -708,7 +720,7 @@ impl SatSolver {
                     }
                 }
                 let (learnt, bt) = self.analyze(confl);
-                self.backtrack(bt.max(0));
+                self.backtrack(bt);
                 // Re-establish assumptions later; backtracking below the
                 // assumption prefix is fine, the main loop re-assumes.
                 if learnt.len() == 1 {
@@ -934,10 +946,7 @@ mod tests {
         s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
         s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
         for _ in 0..10 {
-            assert_eq!(
-                s.solve(&[Lit::neg(v[0]), Lit::neg(v[1])]),
-                SatResult::Unsat
-            );
+            assert_eq!(s.solve(&[Lit::neg(v[0]), Lit::neg(v[1])]), SatResult::Unsat);
             assert_eq!(s.solve(&[Lit::neg(v[0])]), SatResult::Sat);
             assert_eq!(s.value(v[2]), Some(true));
         }

@@ -67,8 +67,7 @@ impl<'a> SharedPrinter<'a> {
         let tm = self.tm;
         let args = tm.args(t).to_vec();
         let unary = |s: &mut Self, op: &str| format!("({op} {})", s.pp(args[0]));
-        let binary =
-            |s: &mut Self, op: &str| format!("({op} {} {})", s.pp(args[0]), s.pp(args[1]));
+        let binary = |s: &mut Self, op: &str| format!("({op} {} {})", s.pp(args[0]), s.pp(args[1]));
         match tm.op(t) {
             Op::BvConst(v) => {
                 let w = tm.width(t);

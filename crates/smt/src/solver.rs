@@ -81,7 +81,12 @@ impl Solver {
     /// Closes the top assertion frame, retracting its assertions.
     ///
     /// # Panics
-    /// Panics when popping the bottom frame.
+    /// Panics with `"cannot pop the bottom frame"` when no matching
+    /// [`Solver::push`] is open. The bottom frame is the solver's permanent
+    /// assertion context: silently ignoring (or worse, popping) it would
+    /// desynchronize the guard-literal stack from the SAT database and
+    /// corrupt every later query, so an unbalanced `pop` is a hard error
+    /// at the call site instead.
     pub fn pop(&mut self) {
         assert!(self.frames.len() > 1, "cannot pop the bottom frame");
         let g = self.frames.pop().expect("frame");
@@ -200,6 +205,29 @@ mod tests {
         assert_eq!(solver.check_sat(&mut tm, &[]), SatResult::Sat);
         let m = solver.model(&tm).expect("model");
         assert_eq!(m.value("x"), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop the bottom frame")]
+    fn popping_the_bottom_frame_panics() {
+        let mut solver = Solver::new();
+        solver.push();
+        solver.pop(); // balanced: fine
+        solver.pop(); // unbalanced: must panic, not corrupt the frame stack
+    }
+
+    #[test]
+    fn pop_panic_leaves_no_partial_state() {
+        // The depth stays observable and usable after a caught unbalanced
+        // pop (the assert fires before any mutation).
+        let mut solver = Solver::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| solver.pop()));
+        assert!(caught.is_err());
+        assert_eq!(solver.depth(), 1, "bottom frame must survive");
+        let mut tm = TermManager::new();
+        let t = tm.tt();
+        solver.assert_term(&mut tm, t);
+        assert_eq!(solver.check_sat(&mut tm, &[]), SatResult::Sat);
     }
 
     #[test]

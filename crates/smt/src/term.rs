@@ -168,7 +168,15 @@ impl Op {
     fn is_commutative(self) -> bool {
         matches!(
             self,
-            Op::And | Op::Or | Op::Xor | Op::Eq | Op::BvAnd | Op::BvOr | Op::BvXor | Op::BvAdd | Op::BvMul
+            Op::And
+                | Op::Or
+                | Op::Xor
+                | Op::Eq
+                | Op::BvAnd
+                | Op::BvOr
+                | Op::BvXor
+                | Op::BvAdd
+                | Op::BvMul
         )
     }
 }
@@ -316,8 +324,15 @@ impl TermManager {
     /// # Panics
     /// Panics if `width` is 0 or greater than [`MAX_WIDTH`].
     pub fn bv_const(&mut self, value: u64, width: u32) -> Term {
-        assert!((1..=MAX_WIDTH).contains(&width), "unsupported width {width}");
-        self.mk(Op::BvConst(value & mask(width)), vec![], Sort::BitVec(width))
+        assert!(
+            (1..=MAX_WIDTH).contains(&width),
+            "unsupported width {width}"
+        );
+        self.mk(
+            Op::BvConst(value & mask(width)),
+            vec![],
+            Sort::BitVec(width),
+        )
     }
 
     /// The boolean constant `true`.
@@ -717,7 +732,8 @@ impl TermManager {
         debug_assert_eq!(self.sort(a), self.sort(b));
         let w = self.width(a);
         if let Some((x, y, w)) = self.binop_consts(a, b) {
-            let r = if y == 0 { mask(w) } else { x / y };
+            // Division by zero folds to all-ones (RISC-V / SMT-LIB).
+            let r = x.checked_div(y).unwrap_or(mask(w));
             return self.bv_const(r, w);
         }
         if self.as_const(b) == Some(1) {
@@ -747,11 +763,7 @@ impl TermManager {
         if let Some((x, y, w)) = self.binop_consts(a, b) {
             let xs = to_signed(x, w);
             let ys = to_signed(y, w);
-            let r = if ys == 0 {
-                -1i64
-            } else {
-                xs.wrapping_div(ys)
-            };
+            let r = if ys == 0 { -1i64 } else { xs.wrapping_div(ys) };
             return self.bv_const(r as u64, w);
         }
         self.mk(Op::BvSdiv, vec![a, b], Sort::BitVec(w))
@@ -845,7 +857,10 @@ impl TermManager {
     /// Panics if `hi < lo` or `hi` is out of range for the operand width.
     pub fn extract(&mut self, a: Term, hi: u32, lo: u32) -> Term {
         let w = self.width(a);
-        assert!(hi >= lo && hi < w, "invalid extract [{hi}:{lo}] from width {w}");
+        assert!(
+            hi >= lo && hi < w,
+            "invalid extract [{hi}:{lo}] from width {w}"
+        );
         let rw = hi - lo + 1;
         if rw == w {
             return a;
@@ -882,7 +897,11 @@ impl TermManager {
         if let Some(x) = self.as_const(a) {
             return self.bv_const(x, new_width);
         }
-        self.mk(Op::ZeroExt { add: new_width - w }, vec![a], Sort::BitVec(new_width))
+        self.mk(
+            Op::ZeroExt { add: new_width - w },
+            vec![a],
+            Sort::BitVec(new_width),
+        )
     }
 
     /// Sign-extend `a` to `new_width`.
@@ -898,7 +917,11 @@ impl TermManager {
         if let Some(x) = self.as_const(a) {
             return self.bv_const(to_signed(x, w) as u64, new_width);
         }
-        self.mk(Op::SignExt { add: new_width - w }, vec![a], Sort::BitVec(new_width))
+        self.mk(
+            Op::SignExt { add: new_width - w },
+            vec![a],
+            Sort::BitVec(new_width),
+        )
     }
 
     /// `1`-width bitvector from a boolean (`ite(b, 1, 0)`).

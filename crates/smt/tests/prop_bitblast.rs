@@ -5,13 +5,17 @@
 //! assignment `A`, the formula `(∧ vi = A(vi)) ∧ (t = eval(t, A))` must be
 //! SAT and `(∧ vi = A(vi)) ∧ (t ≠ eval(t, A))` must be UNSAT. Together these
 //! pin the circuit's output at the point `A` to the evaluator's result.
+//!
+//! Random cases come from a deterministic in-repo generator (no third-party
+//! property-testing dependency is available in the build environment); the
+//! fixed seeds keep failures reproducible.
 
 use std::collections::HashMap;
 
 use binsym_smt::eval::{eval, Value};
 use binsym_smt::term::VarId;
 use binsym_smt::{SatResult, Solver, Term, TermManager};
-use proptest::prelude::*;
+use binsym_testutil::Rng;
 
 /// A serializable description of a random binary operator.
 #[derive(Debug, Clone, Copy)]
@@ -118,24 +122,25 @@ fn check_point(recipe: &[u8], xv: u8, yv: u8) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn circuit_matches_evaluator(
-        recipe in proptest::collection::vec(any::<u8>(), 1..6),
-        xv in any::<u8>(),
-        yv in any::<u8>(),
-    ) {
+#[test]
+fn circuit_matches_evaluator() {
+    let mut rng = Rng::new(0xb1a5_0001);
+    for _ in 0..64 {
+        let len = 1 + (rng.next_u64() as usize) % 5;
+        let recipe = rng.bytes(len);
+        let xv = rng.next_u8();
+        let yv = rng.next_u8();
         check_point(&recipe, xv, yv);
     }
+}
 
-    #[test]
-    fn comparisons_match_evaluator(
-        xv in any::<u8>(),
-        yv in any::<u8>(),
-        which in 0u8..6,
-    ) {
+#[test]
+fn comparisons_match_evaluator() {
+    let mut rng = Rng::new(0xb1a5_0002);
+    for _ in 0..64 {
+        let xv = rng.next_u8();
+        let yv = rng.next_u8();
+        let which = rng.next_u8() % 6;
         let mut tm = TermManager::new();
         let x = tm.var("x", 8);
         let y = tm.var("y", 8);
@@ -162,13 +167,17 @@ proptest! {
         solver.assert_term(&mut tm, px);
         solver.assert_term(&mut tm, py);
         let want = if expected { pred } else { tm.not(pred) };
-        prop_assert_eq!(solver.check_sat(&mut tm, &[want]), SatResult::Sat);
+        assert_eq!(solver.check_sat(&mut tm, &[want]), SatResult::Sat);
         let deny = tm.not(want);
-        prop_assert_eq!(solver.check_sat(&mut tm, &[deny]), SatResult::Unsat);
+        assert_eq!(solver.check_sat(&mut tm, &[deny]), SatResult::Unsat);
     }
+}
 
-    #[test]
-    fn extract_concat_extend_roundtrip(v in any::<u32>()) {
+#[test]
+fn extract_concat_extend_roundtrip() {
+    let mut rng = Rng::new(0xb1a5_0003);
+    for _ in 0..64 {
+        let v = rng.next_u64() as u32;
         let mut tm = TermManager::new();
         let x = tm.var("x", 32);
         let lo = tm.extract(x, 15, 0);
@@ -180,14 +189,17 @@ proptest! {
         let mut solver = Solver::new();
         solver.assert_term(&mut tm, px);
         let ne = tm.not(eq);
-        prop_assert_eq!(solver.check_sat(&mut tm, &[ne]), SatResult::Unsat);
+        assert_eq!(solver.check_sat(&mut tm, &[ne]), SatResult::Unsat);
     }
+}
 
-    #[test]
-    fn models_satisfy_assertions(
-        recipe in proptest::collection::vec(any::<u8>(), 1..5),
-        target in any::<u8>(),
-    ) {
+#[test]
+fn models_satisfy_assertions() {
+    let mut rng = Rng::new(0xb1a5_0004);
+    for _ in 0..64 {
+        let len = 1 + (rng.next_u64() as usize) % 4;
+        let recipe = rng.bytes(len);
+        let target = rng.next_u8();
         let mut tm = TermManager::new();
         let t = build_term(&mut tm, &recipe);
         let tc = tm.bv_const(u64::from(target), 8);
@@ -196,7 +208,7 @@ proptest! {
         solver.assert_term(&mut tm, eq);
         if solver.check_sat(&mut tm, &[]) == SatResult::Sat {
             let m = solver.model(&tm).expect("model");
-            prop_assert_eq!(m.eval(&tm, eq), Value::Bool(true));
+            assert_eq!(m.eval(&tm, eq), Value::Bool(true));
         }
     }
 }

@@ -12,7 +12,7 @@
 //!   cannot discover: false negative).
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::{ErrorPath, Explorer};
+use binsym_repro::binsym::{ErrorPath, Session};
 use binsym_repro::isa::Spec;
 use binsym_repro::lifter::{EngineConfig, LifterExecutor};
 
@@ -50,21 +50,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let elf = Assembler::new().assemble(PARSE_WORD)?;
 
     // --- BinSym (accurate formal semantics) ---
-    let mut binsym = Explorer::new(Spec::rv32im(), &elf)?;
+    let mut binsym = Session::builder(Spec::rv32im()).binary(&elf).build()?;
     let accurate = binsym.run_all()?;
-    println!("BinSym: {} paths, {} failures", accurate.paths, accurate.error_paths.len());
+    println!(
+        "BinSym: {} paths, {} failures",
+        accurate.paths,
+        accurate.error_paths.len()
+    );
     for e in &accurate.error_paths {
         println!("  real assertion failure with x = {:#010x}", x_of(e));
         assert_ne!(x_of(e), 1, "x == 1 satisfies its assertion");
         assert_eq!(x_of(e) & 1, 1, "only odd x != 1 reaches the failing assert");
     }
-    assert!(!accurate.error_paths.is_empty(), "the real bug must be found");
+    assert!(
+        !accurate.error_paths.is_empty(),
+        "the real bug must be found"
+    );
 
     // --- angr persona (five lifter bugs) ---
     let exec = LifterExecutor::new(&elf, EngineConfig::angr())?;
-    let mut angr = Explorer::from_executor(exec, Default::default());
+    let mut angr = Session::executor_builder(exec).build()?;
     let buggy = angr.run_all()?;
-    println!("angr:   {} paths, {} failures", buggy.paths, buggy.error_paths.len());
+    println!(
+        "angr:   {} paths, {} failures",
+        buggy.paths,
+        buggy.error_paths.len()
+    );
 
     let false_positive = buggy.error_paths.iter().any(|e| x_of(e) == 1);
     println!("  false positive (spurious failure for x == 1): {false_positive}");

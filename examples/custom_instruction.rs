@@ -18,7 +18,7 @@
 //! has to be extended by hand.
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::Explorer;
+use binsym_repro::binsym::Session;
 use binsym_repro::isa::encoding::MADD_YAML;
 use binsym_repro::isa::spec::madd_semantics;
 use binsym_repro::isa::Spec;
@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Fig. 4: the semantics, as a DSL program ---
     let mut spec = Spec::rv32im();
     let id = spec.register_custom(MADD_YAML, madd_semantics())?;
-    println!("registered `{}` as instruction #{}\n", spec.name(id), id.index());
+    println!(
+        "registered `{}` as instruction #{}\n",
+        spec.name(id),
+        id.index()
+    );
 
     // A program exercising MADD on symbolic input: find x with 3x + 7 == 40.
     let elf = Assembler::new().with_table(spec.table().clone()).assemble(
@@ -63,8 +67,8 @@ found:
 
     // The formal-semantics engine explores the custom instruction with zero
     // engine changes.
-    let mut explorer = Explorer::new(spec, &elf)?;
-    let summary = explorer.run_all()?;
+    let mut session = Session::builder(spec).binary(&elf).build()?;
+    let summary = session.run_all()?;
     println!("BinSym paths: {}", summary.paths);
     let witness = &summary.error_paths[0].input;
     let x = u32::from_le_bytes([witness[0], witness[1], witness[2], witness[3]]);
@@ -73,8 +77,7 @@ found:
 
     // The lifter-based baseline cannot execute the binary at all.
     let exec = LifterExecutor::new(&elf, EngineConfig::binsec())?;
-    let mut baseline =
-        binsym_repro::binsym::Explorer::from_executor(exec, Default::default());
+    let mut baseline = Session::executor_builder(exec).build()?;
     match baseline.run_all() {
         Err(e) => println!("IR lifter baseline fails as expected: {e}"),
         Ok(_) => unreachable!("the hand-written lifter cannot know MADD"),

@@ -10,7 +10,7 @@
 //! is zero — the RISC-V `DIVU` edge case of the paper's running example.
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::Explorer;
+use binsym_repro::binsym::Session;
 use binsym_repro::isa::Spec;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -41,9 +41,11 @@ fail:
 "#,
     )?;
 
-    // 2. Explore every feasible path.
-    let mut explorer = Explorer::new(Spec::rv32im(), &elf)?;
-    let summary = explorer.run_all()?;
+    // 2. Build a session and explore every feasible path. The defaults are
+    //    the paper's engine: depth-first path selection, incremental
+    //    bit-blast solver. Swap them with `.strategy(...)`/`.backend(...)`.
+    let mut session = Session::builder(Spec::rv32im()).binary(&elf).build()?;
+    let summary = session.run_all()?;
 
     println!("paths explored : {}", summary.paths);
     println!("solver queries : {}", summary.solver_checks);
@@ -60,5 +62,17 @@ fail:
         assert_eq!(y, 0, "the only failing divisor is zero");
     }
     assert_eq!(summary.error_paths.len(), 1);
+
+    // 4. Or stream paths lazily and stop at the first bug — no solver work
+    //    is spent on paths beyond the ones actually consumed.
+    let mut session = Session::builder(Spec::rv32im()).binary(&elf).build()?;
+    let first_bug = session
+        .paths()
+        .find_map(|p| p.ok().filter(|p| p.is_error()))
+        .expect("the divu bug is found");
+    println!(
+        "first failing path found after {} total instructions",
+        first_bug.steps
+    );
     Ok(())
 }

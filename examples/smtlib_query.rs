@@ -22,11 +22,15 @@
 //!    the paper's running example.
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::{SymMachine, SymWord, TrailEntry};
+use binsym_repro::binsym::{Session, SmtLibDump, SymMachine, SymWord, TrailEntry};
 use binsym_repro::isa::{Reg, Spec};
 use binsym_repro::smt::{smtlib, SatResult, Solver, Term, TermManager};
 
-fn run_snippet(tm: &mut TermManager, x0: u32, y0: u32) -> Result<Vec<TrailEntry>, Box<dyn std::error::Error>> {
+fn run_snippet(
+    tm: &mut TermManager,
+    x0: u32,
+    y0: u32,
+) -> Result<Vec<TrailEntry>, Box<dyn std::error::Error>> {
     let elf = Assembler::new().assemble(
         r#"
 _start:
@@ -61,7 +65,11 @@ fn check(tm: &mut TermManager, assertions: &[Term]) -> SatResult {
     let r = solver.check_sat(tm, &[]);
     println!(
         ";; --> {}\n",
-        if r == SatResult::Sat { "satisfiable" } else { "unsatisfiable" }
+        if r == SatResult::Sat {
+            "satisfiable"
+        } else {
+            "unsatisfiable"
+        }
     );
     r
 }
@@ -99,13 +107,50 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the path condition of the *taken* fail branch is satisfiable — the
     // query shown in the paper's Fig. 2.
     let trail = run_snippet(&mut tm, 1000, 0)?;
-    let assertions: Vec<Term> = trail
-        .iter()
-        .map(|e| e.path_term(&mut tm))
-        .collect();
+    let assertions: Vec<Term> = trail.iter().map(|e| e.path_term(&mut tm)).collect();
     println!(";; query 3: path condition of the executed fail path (Fig. 2 ③)");
     let q3 = check(&mut tm, &assertions);
     assert_eq!(q3, SatResult::Sat);
     println!(";; the fail branch is reachable via the DIVU division-by-zero semantics");
+
+    // Bonus: the same scripts fall out of a whole exploration for free when
+    // the session runs on the `SmtLibDump` backend — every branch-flip
+    // query is recorded as a complete SMT-LIB file for offline replay.
+    let elf = Assembler::new().assemble(
+        r#"
+        .data
+        .globl __sym_input
+__sym_input:
+        .word 0, 0
+        .text
+        .globl _start
+_start:
+        la   a5, __sym_input
+        lw   a0, 0(a5)
+        lw   a1, 4(a5)
+        divu a2, a0, a1
+        bltu a0, a2, fail
+        li   a0, 0
+        li   a7, 93
+        ecall
+fail:
+        li   a0, 1
+        li   a7, 93
+        ecall
+"#,
+    )?;
+    let backend = SmtLibDump::new();
+    let scripts = backend.scripts();
+    let summary = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .backend(backend)
+        .build()?
+        .run_all()?;
+    println!(
+        ";; exploring the full binary recorded {} replayable scripts over {} paths",
+        scripts.len(),
+        summary.paths
+    );
+    assert_eq!(scripts.len() as u64, summary.solver_checks);
     Ok(())
 }

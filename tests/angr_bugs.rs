@@ -10,14 +10,18 @@
 //! * a lifter with exactly one bug       — must diverge as documented.
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::{Explorer, ExplorerConfig, Summary};
+use binsym_repro::binsym::{Session, Summary};
 use binsym_repro::isa::Spec;
 use binsym_repro::lifter::{EngineConfig, LifterBugs, LifterExecutor};
 
 fn explore_spec(src: &str) -> Summary {
     let elf = Assembler::new().assemble(src).expect("assembles");
-    let mut ex = Explorer::new(Spec::rv32im(), &elf).expect("sym input");
-    ex.run_all().expect("explores")
+    Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .build()
+        .expect("sym input")
+        .run_all()
+        .expect("explores")
 }
 
 fn explore_lifter(src: &str, bugs: LifterBugs) -> Summary {
@@ -31,8 +35,11 @@ fn explore_lifter(src: &str, bugs: LifterBugs) -> Summary {
         },
     )
     .expect("sym input");
-    let mut ex = Explorer::from_executor(exec, ExplorerConfig::default());
-    ex.run_all().expect("explores")
+    Session::executor_builder(exec)
+        .build()
+        .expect("builds")
+        .run_all()
+        .expect("explores")
 }
 
 /// Asserts the invariants shared by all five bug scenarios.
@@ -215,7 +222,10 @@ ok:
             ..LifterBugs::NONE
         },
     );
-    assert!(buggy.error_paths.iter().any(|e| x_of(e) == 1), "false positive");
+    assert!(
+        buggy.error_paths.iter().any(|e| x_of(e) == 1),
+        "false positive"
+    );
     assert!(
         buggy.error_paths.iter().all(|e| x_of(e) == 1),
         "false negative: the real failure is missed"

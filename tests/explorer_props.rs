@@ -1,16 +1,29 @@
-//! Property tests on the DSE explorer's core guarantees:
+//! Property tests on the DSE session's core guarantees:
 //!
 //! * **completeness law** — `n` independent symbolic byte comparisons yield
 //!   exactly `2^n` paths;
 //! * **witness soundness** — every error-path input, replayed on the
 //!   *concrete* reference interpreter, reproduces the failure;
 //! * **path determinism** — exploring twice gives identical summaries.
+//!
+//! Random cases come from a deterministic in-repo generator (no third-party
+//! property-testing dependency is available in the build environment); the
+//! fixed seeds keep failures reproducible.
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::Explorer;
+use binsym_repro::binsym::{Session, Summary};
 use binsym_repro::interp::{Exit, Machine};
 use binsym_repro::isa::Spec;
-use proptest::prelude::*;
+use binsym_testutil::Rng;
+
+/// Four nonzero comparison thresholds (zero would make `bltu` unsatisfiable).
+fn thresholds(rng: &mut Rng) -> [u8; 4] {
+    let mut t = [0u8; 4];
+    for b in &mut t {
+        *b = 1 + rng.next_u8() % 255;
+    }
+    t
+}
 
 /// Builds a program with `n` independent byte comparisons against distinct
 /// thresholds, failing (exit 1) iff all comparisons are "below".
@@ -52,61 +65,68 @@ all_below:
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn explore(src: &str) -> (binsym_elf::ElfFile, Summary) {
+    let elf = Assembler::new().assemble(src).expect("assembles");
+    let summary = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .build()
+        .expect("sym input")
+        .run_all()
+        .expect("explores");
+    (elf, summary)
+}
 
-    #[test]
-    fn independent_compares_give_power_of_two_paths(
-        n in 1usize..=4,
-        thresholds in proptest::collection::vec(1u8..=255, 4),
-    ) {
+#[test]
+fn independent_compares_give_power_of_two_paths() {
+    let mut rng = Rng::new(0xd5e_0001);
+    for case in 0..12 {
+        let n = 1 + case % 4;
+        let thresholds = thresholds(&mut rng);
         let src = independent_compares(n, &thresholds);
-        let elf = Assembler::new().assemble(&src).expect("assembles");
-        let mut ex = Explorer::new(Spec::rv32im(), &elf).expect("sym input");
-        let s = ex.run_all().expect("explores");
+        let (_, s) = explore(&src);
         // 2^n comparison outcomes; the final all-below check is implied by
         // the comparison outcomes, so it adds no paths.
-        prop_assert_eq!(s.paths, 1 << n);
+        assert_eq!(s.paths, 1 << n);
         // Exactly one combination (all below) fails.
-        prop_assert_eq!(s.error_paths.len(), 1);
+        assert_eq!(s.error_paths.len(), 1);
     }
+}
 
-    #[test]
-    fn error_witnesses_replay_concretely(
-        n in 1usize..=3,
-        thresholds in proptest::collection::vec(1u8..=255, 4),
-    ) {
+#[test]
+fn error_witnesses_replay_concretely() {
+    let mut rng = Rng::new(0xd5e_0002);
+    for case in 0..12 {
+        let n = 1 + case % 3;
+        let thresholds = thresholds(&mut rng);
         let src = independent_compares(n, &thresholds);
-        let elf = Assembler::new().assemble(&src).expect("assembles");
-        let mut ex = Explorer::new(Spec::rv32im(), &elf).expect("sym input");
-        let s = ex.run_all().expect("explores");
+        let (elf, s) = explore(&src);
         let base = elf.symbol("__sym_input").expect("symbol").value;
         for err in &s.error_paths {
             let mut m = Machine::new(Spec::rv32im());
             m.load_elf(&elf);
             m.mem.store_slice(base, &err.input);
             let exit = m.run(100_000).expect("runs");
-            prop_assert_eq!(
+            assert_eq!(
                 exit,
                 Exit::Exited(err.exit_code.expect("exit path")),
-                "witness {:?} must reproduce concretely", err.input
+                "witness {:?} must reproduce concretely",
+                err.input
             );
         }
     }
+}
 
-    #[test]
-    fn exploration_is_deterministic(
-        n in 1usize..=3,
-        thresholds in proptest::collection::vec(1u8..=255, 4),
-    ) {
+#[test]
+fn exploration_is_deterministic() {
+    let mut rng = Rng::new(0xd5e_0003);
+    for case in 0..12 {
+        let n = 1 + case % 3;
+        let thresholds = thresholds(&mut rng);
         let src = independent_compares(n, &thresholds);
-        let elf = Assembler::new().assemble(&src).expect("assembles");
-        let mut ex1 = Explorer::new(Spec::rv32im(), &elf).expect("sym input");
-        let s1 = ex1.run_all().expect("explores");
-        let mut ex2 = Explorer::new(Spec::rv32im(), &elf).expect("sym input");
-        let s2 = ex2.run_all().expect("explores");
-        prop_assert_eq!(s1.paths, s2.paths);
-        prop_assert_eq!(s1.error_paths, s2.error_paths);
-        prop_assert_eq!(s1.total_steps, s2.total_steps);
+        let (_, s1) = explore(&src);
+        let (_, s2) = explore(&src);
+        assert_eq!(s1.paths, s2.paths);
+        assert_eq!(s1.error_paths, s2.error_paths);
+        assert_eq!(s1.total_steps, s2.total_steps);
     }
 }

@@ -4,7 +4,7 @@
 //! exploration — without modifying any engine.
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::Explorer;
+use binsym_repro::binsym::Session;
 use binsym_repro::interp::{Exit, Machine};
 use binsym_repro::isa::encoding::MADD_YAML;
 use binsym_repro::isa::spec::madd_semantics;
@@ -75,8 +75,12 @@ fn madd_symbolic_exploration_solves_for_input() {
         .with_table(spec.table().clone())
         .assemble(MADD_PROGRAM)
         .expect("assembles");
-    let mut ex = Explorer::new(spec, &elf).expect("sym input");
-    let s = ex.run_all().expect("explores");
+    let s = Session::builder(spec)
+        .binary(&elf)
+        .build()
+        .expect("sym input")
+        .run_all()
+        .expect("explores");
     assert_eq!(s.paths, 2);
     assert_eq!(s.error_paths.len(), 1, "the beq-taken path exits 1");
     let w = &s.error_paths[0].input;

@@ -4,7 +4,7 @@
 //! engine without any tool changes.
 
 use binsym_repro::asm::Assembler;
-use binsym_repro::binsym::Explorer;
+use binsym_repro::binsym::Session;
 use binsym_repro::interp::{Exit, Machine};
 use binsym_repro::isa::spec::zbb;
 
@@ -166,12 +166,20 @@ witness:
 "#,
         )
         .expect("assembles");
-    let mut ex = Explorer::new(spec, &elf).expect("sym input");
-    let s = ex.run_all().expect("explores");
+    let s = Session::builder(spec)
+        .binary(&elf)
+        .build()
+        .expect("sym input")
+        .run_all()
+        .expect("explores");
     assert_eq!(s.paths, 2);
     assert_eq!(s.error_paths.len(), 1);
     let byte = s.error_paths[0].input[0];
-    assert_eq!(byte.count_ones(), 5, "witness {byte:#04x} must have 5 set bits");
+    assert_eq!(
+        byte.count_ones(),
+        5,
+        "witness {byte:#04x} must have 5 set bits"
+    );
 }
 
 #[test]
@@ -179,7 +187,6 @@ fn disassembler_covers_zbb() {
     let spec = zbb::rv32im_zbb();
     // clz a2, a1
     let raw = 0x6000_1013 | (12 << 7) | (11 << 15);
-    let text =
-        binsym_repro::isa::disasm::disassemble(spec.table(), raw, 0).expect("disassembles");
+    let text = binsym_repro::isa::disasm::disassemble(spec.table(), raw, 0).expect("disassembles");
     assert_eq!(text, "clz a2, a1");
 }

@@ -1,20 +1,48 @@
 //! Engine benches: one series per Table I / Fig. 6 benchmark program, one
-//! measurement per engine — the series behind the paper's Fig. 6.
+//! measurement per engine — the series behind the paper's Fig. 6 — plus a
+//! worker-scaling series for the sharded `ParallelSession`.
 //!
 //! Uses a minimal in-repo timing harness (Criterion is not available in the
 //! build environment). Full exploration of the larger benchmarks takes
 //! seconds per run, so the sample count is kept small; use `cargo run
 //! --release -p binsym-bench --bin fig6` for the paper-style 5-run mean
 //! table. Run with `cargo bench -p binsym-bench --bench engines`; set
-//! `BENCH_ALL=1` to lift the heavy-row gate.
+//! `BENCH_ALL=1` to lift the heavy-row gate, `--smoke` (CI) to run only
+//! the fast programs, and `--workers N` / `BINSYM_WORKERS` to size the
+//! scaling series (default 4).
 
 use std::time::{Duration, Instant};
 
-use binsym_bench::{run_engine, Engine};
+use binsym::Session;
+use binsym_bench::cli::BenchOpts;
+use binsym_bench::{run_engine, Engine, Program};
+use binsym_isa::Spec;
+
+fn sample<R>(mut run: impl FnMut() -> R) -> (Duration, usize) {
+    let mut samples = 0usize;
+    let mut total = Duration::ZERO;
+    while samples < 3 && (samples == 0 || total < Duration::from_secs(5)) {
+        let start = Instant::now();
+        run();
+        total += start.elapsed();
+        samples += 1;
+    }
+    (total / samples as u32, samples)
+}
 
 fn main() {
+    let opts = BenchOpts::from_env();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let bench_all = std::env::var_os("BENCH_ALL").is_some();
+    let scaling_workers = opts.workers.unwrap_or(4);
+
+    let programs: Vec<Program> = binsym_bench::all_programs()
+        .into_iter()
+        .filter(|p| !smoke || p.expected_paths <= 1000)
+        .collect();
+
     println!("engine benches (mean wall time per full exploration)\n");
-    for program in binsym_bench::all_programs() {
+    for program in &programs {
         println!("{}:", program.name);
         let elf = program.build();
         for engine in Engine::FIG6 {
@@ -25,25 +53,71 @@ fn main() {
                 Engine::BinSym => program.expected_paths > 3000,
                 _ => program.expected_paths > 1000,
             };
-            if heavy && std::env::var_os("BENCH_ALL").is_none() {
+            if heavy && !bench_all {
                 continue;
             }
-            let mut samples = Vec::new();
-            let mut total = Duration::ZERO;
-            while samples.len() < 3 && (samples.is_empty() || total < Duration::from_secs(5)) {
-                let start = Instant::now();
+            let (mean, samples) = sample(|| {
                 let r = run_engine(engine, &elf).expect("explores");
-                let elapsed = start.elapsed();
                 assert_eq!(r.summary.paths, program.expected_paths);
-                total += elapsed;
-                samples.push(elapsed);
-            }
-            let mean = total / samples.len() as u32;
+            });
             println!(
-                "  {:<14} {mean:>12.2?}   ({} sample(s))",
-                engine.name(),
-                samples.len()
+                "  {:<14} {mean:>12.2?}   ({samples} sample(s))",
+                engine.name()
             );
+        }
+    }
+
+    // Worker scaling: the raw formal-semantics engine (no persona cost
+    // model) sequential vs sharded at 1 and N workers. The headline series
+    // is the two big Table I programs — base64-encode (6250 paths) and
+    // insertion-sort (5040 paths) — where the frontier is wide enough for
+    // stealing to pay off; `--smoke` keeps CI to the fast programs.
+    println!("\nworker scaling (plain BinSym engine, ParallelSession):\n");
+    let scaling: Vec<Program> = if smoke {
+        programs
+    } else {
+        ["base64-encode", "insertion-sort"]
+            .iter()
+            .map(|n| binsym_bench::programs::by_name(n).expect("known benchmark"))
+            .collect()
+    };
+    for program in &scaling {
+        println!("{}:", program.name);
+        let elf = program.build();
+        let (seq_mean, seq_samples) = sample(|| {
+            let s = Session::builder(Spec::rv32im())
+                .binary(&elf)
+                .build()
+                .expect("builds")
+                .run_all()
+                .expect("explores");
+            assert_eq!(s.paths, program.expected_paths);
+        });
+        println!(
+            "  {:<14} {seq_mean:>12.2?}   ({seq_samples} sample(s))",
+            "sequential"
+        );
+        let mut one_worker_mean = None;
+        for workers in [1, scaling_workers] {
+            let (mean, samples) = sample(|| {
+                let s = Session::builder(Spec::rv32im())
+                    .binary(&elf)
+                    .workers(workers)
+                    .build_parallel()
+                    .expect("builds")
+                    .run_all()
+                    .expect("explores");
+                assert_eq!(s.paths, program.expected_paths);
+            });
+            let base = *one_worker_mean.get_or_insert(mean.as_secs_f64());
+            println!(
+                "  {:<14} {mean:>12.2?}   ({samples} sample(s), {:.2}x vs 1 worker)",
+                format!("{workers} worker(s)"),
+                base / mean.as_secs_f64().max(1e-9),
+            );
+            if workers == 1 && scaling_workers == 1 {
+                break;
+            }
         }
     }
 }

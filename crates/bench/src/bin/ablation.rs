@@ -7,9 +7,14 @@
 //! 2. **Lift caching** — the IR engine with and without its translation
 //!    cache (the BINSEC-vs-angr structural difference, isolated from the
 //!    interpretation-overhead model).
+//! 3. **Worker scaling** — the sharded `ParallelSession` (replay-based
+//!    exploration, fresh solver context per prescription) at 1..=N workers
+//!    vs. the sequential incremental engine, isolating what the
+//!    prescription-replay model costs and what the parallelism buys back.
 //!
 //! ```text
-//! cargo run --release -p binsym-bench --bin ablation
+//! cargo run --release -p binsym-bench --bin ablation \
+//!     [--workers N] [--json PATH]
 //! ```
 
 use std::cell::RefCell;
@@ -17,12 +22,15 @@ use std::rc::Rc;
 use std::time::Instant;
 
 use binsym::{BitblastBackend, Session};
+use binsym_bench::cli::{write_json, BenchOpts, Json};
 use binsym_bench::programs;
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let progs = [programs::CLIF_PARSER, programs::URI_PARSER];
+    let mut json_rows = Vec::new();
 
     println!("ABLATION 1 — incremental vs. fresh-solver DSE (BinSym engine)\n");
     println!(
@@ -55,6 +63,12 @@ fn main() {
             times[1],
             times[1].as_secs_f64() / times[0].as_secs_f64().max(1e-9),
         );
+        json_rows.push(Json::O(vec![
+            ("ablation", Json::s("incremental-solving")),
+            ("benchmark", Json::s(p.name)),
+            ("incremental_seconds", Json::F(times[0].as_secs_f64())),
+            ("fresh_seconds", Json::F(times[1].as_secs_f64())),
+        ]));
     }
 
     println!("\nABLATION 2 — IR-engine lift cache (no interpretation overhead)\n");
@@ -98,5 +112,75 @@ fn main() {
             lifts,
             times[1].as_secs_f64() / times[0].as_secs_f64().max(1e-9),
         );
+        json_rows.push(Json::O(vec![
+            ("ablation", Json::s("lift-cache")),
+            ("benchmark", Json::s(p.name)),
+            ("cached_seconds", Json::F(times[0].as_secs_f64())),
+            ("uncached_seconds", Json::F(times[1].as_secs_f64())),
+            ("uncached_lifts", Json::U(lifts)),
+        ]));
+    }
+
+    let max_workers = opts.workers.unwrap_or(4);
+    println!("\nABLATION 3 — worker scaling (replay-based sharded exploration)\n");
+    println!(
+        "{:<16} {:>12} {:>6}  parallel 1..=N workers (speedup vs 1 worker)",
+        "Benchmark", "sequential", ""
+    );
+    for p in progs {
+        let elf = p.build();
+        let mut session = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .build()
+            .expect("sym input");
+        let start = Instant::now();
+        let s = session.run_all().expect("explores");
+        assert_eq!(s.paths, p.expected_paths);
+        let seq = start.elapsed();
+
+        let mut cells = Vec::new();
+        let mut base = None;
+        let mut workers = 1usize;
+        while workers <= max_workers {
+            let mut par = Session::builder(Spec::rv32im())
+                .binary(&elf)
+                .workers(workers)
+                .build_parallel()
+                .expect("builds");
+            let start = Instant::now();
+            let s = par.run_all().expect("explores");
+            assert_eq!(s.paths, p.expected_paths, "sharding must not change paths");
+            let elapsed = start.elapsed();
+            let base_secs = *base.get_or_insert(elapsed.as_secs_f64());
+            cells.push(format!(
+                "{workers}w {:.1?} ({:.2}x)",
+                elapsed,
+                base_secs / elapsed.as_secs_f64().max(1e-9)
+            ));
+            json_rows.push(Json::O(vec![
+                ("ablation", Json::s("worker-scaling")),
+                ("benchmark", Json::s(p.name)),
+                ("workers", Json::U(workers as u64)),
+                ("seconds", Json::F(elapsed.as_secs_f64())),
+                ("sequential_seconds", Json::F(seq.as_secs_f64())),
+            ]));
+            workers *= 2;
+        }
+        println!(
+            "{:<16} {:>12.1?} {:>6}  {}",
+            p.name,
+            seq,
+            "",
+            cells.join("  ")
+        );
+    }
+
+    if let Some(path) = &opts.json {
+        let doc = Json::O(vec![
+            ("bin", Json::s("ablation")),
+            ("max_workers", Json::U(max_workers as u64)),
+            ("rows", Json::A(json_rows)),
+        ]);
+        write_json(path, &doc);
     }
 }

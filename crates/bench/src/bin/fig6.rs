@@ -2,7 +2,8 @@
 //! benchmark, as the arithmetic mean over repeated full explorations.
 //!
 //! ```text
-//! cargo run --release -p binsym-bench --bin fig6 [--runs N] [--quick]
+//! cargo run --release -p binsym-bench --bin fig6 \
+//!     [--runs N] [--quick] [--workers N] [--json PATH]
 //! ```
 //!
 //! The paper reports 5 runs on a Xeon Gold 6240 with the original tools;
@@ -10,10 +11,16 @@
 //! implementation), but the *ordering and rough ratios* are the
 //! reproduction target: BINSEC < BinSym < SymEx-VP ≪ angr. Following the
 //! paper, angr runs with the *fixed* lifter here.
+//!
+//! `--workers N` (env fallback `BINSYM_WORKERS`) times the sharded
+//! `ParallelSession` variant of every persona instead; path counts must
+//! not change. `--json PATH` writes the machine-readable summary tracked
+//! in `BENCH_*.json`.
 
 use std::time::Duration;
 
-use binsym_bench::{all_programs, run_engine, Engine};
+use binsym_bench::cli::{write_json, BenchOpts, Json};
+use binsym_bench::{all_programs, run_engine_parallel, Engine};
 
 fn mean(durations: &[Duration]) -> Duration {
     let total: Duration = durations.iter().sum();
@@ -34,16 +41,14 @@ fn stddev_pct(durations: &[Duration], m: Duration) -> f64 {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let runs: usize = args
-        .iter()
-        .position(|a| a == "--runs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if quick { 1 } else { 5 });
+    let opts = BenchOpts::from_env();
+    let workers = opts.workers_or_sequential();
+    let runs: usize = opts.runs.unwrap_or(if opts.quick { 1 } else { 5 });
 
     println!("FIG. 6 — Total execution time (arithmetic mean over {runs} run(s))");
+    if workers > 0 {
+        println!("(sharded exploration: {workers} workers per engine)");
+    }
     println!("expected ordering per row: BINSEC < BinSym < SymEx-VP << angr\n");
     println!(
         "{:<16} {:>12} {:>12} {:>12} {:>12}   ratios vs BINSEC",
@@ -51,8 +56,9 @@ fn main() {
     );
 
     let mut max_dev: f64 = 0.0;
+    let mut json_rows = Vec::new();
     for p in all_programs() {
-        if quick && p.expected_paths > 1000 {
+        if opts.quick && p.expected_paths > 1000 {
             continue;
         }
         let elf = p.build();
@@ -60,7 +66,7 @@ fn main() {
         for engine in Engine::FIG6 {
             let mut samples = Vec::with_capacity(runs);
             for _ in 0..runs {
-                let r = run_engine(engine, &elf).unwrap_or_else(|e| {
+                let r = run_engine_parallel(engine, &elf, workers).unwrap_or_else(|e| {
                     panic!("{} on {}: {e}", engine.name(), p.name);
                 });
                 assert_eq!(
@@ -74,6 +80,14 @@ fn main() {
             }
             let m = mean(&samples);
             max_dev = max_dev.max(stddev_pct(&samples, m));
+            json_rows.push(Json::O(vec![
+                ("benchmark", Json::s(p.name)),
+                ("engine", Json::s(engine.name())),
+                ("paths", Json::U(p.expected_paths)),
+                ("mean_seconds", Json::F(m.as_secs_f64())),
+                ("stddev_pct", Json::F(stddev_pct(&samples, m))),
+                ("runs", Json::U(runs as u64)),
+            ]));
             means.push(m);
         }
         let base = means[0].as_secs_f64().max(1e-9);
@@ -92,6 +106,18 @@ fn main() {
         );
     }
     println!("\nmax standard deviation across cells: {max_dev:.1} % (paper: <= 5 %)");
+
+    if let Some(path) = &opts.json {
+        let doc = Json::O(vec![
+            ("bin", Json::s("fig6")),
+            ("workers", Json::U(workers as u64)),
+            ("runs", Json::U(runs as u64)),
+            ("quick", Json::B(opts.quick)),
+            ("max_stddev_pct", Json::F(max_dev)),
+            ("rows", Json::A(json_rows)),
+        ]);
+        write_json(path, &doc);
+    }
 }
 
 fn format_duration(d: Duration) -> String {

@@ -2,7 +2,8 @@
 //! different SE engines.
 //!
 //! ```text
-//! cargo run --release -p binsym-bench --bin table1
+//! cargo run --release -p binsym-bench --bin table1 \
+//!     [--quick] [--workers N] [--json PATH]
 //! ```
 //!
 //! Engines: angr (with the five documented lifter bugs), BINSEC, SymEx-VP,
@@ -11,14 +12,24 @@
 //! re-implementation (see EXPERIMENTS.md), but the qualitative result is
 //! identical: angr misses paths on `base64-encode` and `uri-parser`, all
 //! other engines agree on every row.
+//!
+//! `--workers N` (env fallback `BINSYM_WORKERS`) runs every engine on a
+//! sharded `ParallelSession` — the path counts must not change. `--json
+//! PATH` writes a machine-readable summary for the perf trajectory tracked
+//! in `BENCH_*.json`.
 
 use std::time::Instant;
 
-use binsym_bench::{all_programs, run_engine, Engine};
+use binsym_bench::cli::{summary_json, write_json, BenchOpts, Json};
+use binsym_bench::{all_programs, run_engine_parallel, Engine};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let opts = BenchOpts::from_env();
+    let workers = opts.workers_or_sequential();
     println!("TABLE I — Amount of execution paths found by different SE engines");
+    if workers > 0 {
+        println!("(sharded exploration: {workers} workers per engine)");
+    }
     println!("(† marks rows where an engine misses paths)\n");
     println!(
         "{:<16} {:>10} {:>10} {:>10} {:>10}   {:>10}",
@@ -26,15 +37,16 @@ fn main() {
     );
 
     let started = Instant::now();
+    let mut json_rows = Vec::new();
     for p in all_programs() {
-        if quick && p.expected_paths > 1000 {
+        if opts.quick && p.expected_paths > 1000 {
             continue;
         }
         let elf = p.build();
         let mut cells = Vec::new();
         let mut reference: Option<u64> = None;
         for engine in Engine::TABLE1 {
-            let r = run_engine(engine, &elf).unwrap_or_else(|e| {
+            let r = run_engine_parallel(engine, &elf, workers).unwrap_or_else(|e| {
                 panic!("{} on {}: {e}", engine.name(), p.name);
             });
             let paths = r.summary.paths;
@@ -44,6 +56,14 @@ fn main() {
                     Some(r) => assert_eq!(r, paths, "correct engines disagree on {}", p.name),
                 }
             }
+            json_rows.push(Json::O(vec![
+                ("benchmark", Json::s(p.name)),
+                ("engine", Json::s(engine.name())),
+                (
+                    "summary",
+                    summary_json(&r.summary, r.duration.as_secs_f64()),
+                ),
+            ]));
             cells.push(paths);
         }
         let correct = reference.expect("at least one correct engine");
@@ -63,4 +83,14 @@ fn main() {
         );
     }
     println!("\ntotal wall time: {:.1?}", started.elapsed());
+
+    if let Some(path) = &opts.json {
+        let doc = Json::O(vec![
+            ("bin", Json::s("table1")),
+            ("workers", Json::U(workers as u64)),
+            ("quick", Json::B(opts.quick)),
+            ("rows", Json::A(json_rows)),
+        ]);
+        write_json(path, &doc);
+    }
 }

@@ -1,0 +1,233 @@
+//! Shared command-line plumbing for the bench bins: `--workers` /
+//! `BINSYM_WORKERS` resolution and a dependency-free JSON writer for the
+//! machine-readable summaries tracked in `BENCH_*.json`.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Options common to the bench bins.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOpts {
+    /// Worker threads for parallel sessions: `--workers N`, falling back
+    /// to the `BINSYM_WORKERS` environment variable. `None`/0 means
+    /// sequential.
+    pub workers: Option<usize>,
+    /// Where to write the machine-readable JSON summary (`--json PATH`).
+    pub json: Option<PathBuf>,
+    /// Skip the heavy benchmark rows (`--quick`).
+    pub quick: bool,
+    /// Repetitions for timing harnesses (`--runs N`).
+    pub runs: Option<usize>,
+}
+
+impl BenchOpts {
+    /// Parses the process arguments (and the `BINSYM_WORKERS` fallback).
+    /// Unknown arguments are ignored so bins can layer their own flags.
+    pub fn from_env() -> BenchOpts {
+        Self::parse(
+            std::env::args().skip(1),
+            std::env::var("BINSYM_WORKERS").ok(),
+        )
+    }
+
+    fn parse(args: impl Iterator<Item = String>, workers_env: Option<String>) -> BenchOpts {
+        let args: Vec<String> = args.collect();
+        let value_of = |flag: &str| -> Option<&String> {
+            args.iter().position(|a| a == flag).map(|i| {
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} needs a value"))
+            })
+        };
+        // A malformed count must fail loudly: silently falling back to the
+        // sequential engine would record a wrong datapoint in BENCH_*.json.
+        let count = |flag: &str, raw: &str| -> usize {
+            raw.parse()
+                .unwrap_or_else(|_| panic!("invalid value for {flag}: {raw:?}"))
+        };
+        let workers = value_of("--workers")
+            .map(|s| count("--workers", s))
+            .or_else(|| {
+                workers_env
+                    .as_deref()
+                    .filter(|s| !s.is_empty())
+                    .map(|s| count("BINSYM_WORKERS", s))
+            })
+            .filter(|&w| w > 0);
+        BenchOpts {
+            workers,
+            json: value_of("--json").map(PathBuf::from),
+            quick: args.iter().any(|a| a == "--quick"),
+            runs: value_of("--runs").map(|s| count("--runs", s)),
+        }
+    }
+
+    /// The worker count to report in summaries (0 = sequential).
+    pub fn workers_or_sequential(&self) -> usize {
+        self.workers.unwrap_or(0)
+    }
+}
+
+/// A JSON value, built by hand — the build environment has no serde, and
+/// the bench summaries only need objects/arrays of scalars.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// A string (escaped on render).
+    S(String),
+    /// An unsigned integer.
+    U(u64),
+    /// A float (rendered with full precision).
+    F(f64),
+    /// A boolean.
+    B(bool),
+    /// An array.
+    A(Vec<Json>),
+    /// An object with ordered keys.
+    O(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor from anything string-like.
+    pub fn s(v: impl Into<String>) -> Json {
+        Json::S(v.into())
+    }
+
+    /// Renders the value as compact JSON.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::S(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::U(v) => out.push_str(&v.to_string()),
+            Json::F(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::B(v) => out.push_str(if *v { "true" } else { "false" }),
+            Json::A(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::O(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::s(*k).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a JSON summary to `path` (with a trailing newline) and reports
+/// the destination on stdout.
+///
+/// # Panics
+/// Panics if the file cannot be written — bench bins treat an unwritable
+/// summary destination as a hard configuration error.
+pub fn write_json(path: &Path, value: &Json) {
+    let mut file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+    writeln!(file, "{}", value.render())
+        .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("\nJSON summary written to {}", path.display());
+}
+
+/// Renders a [`binsym::Summary`] as a JSON object (shared row shape of
+/// every bench bin).
+pub fn summary_json(summary: &binsym::Summary, seconds: f64) -> Json {
+    Json::O(vec![
+        ("paths", Json::U(summary.paths)),
+        ("error_paths", Json::U(summary.error_paths.len() as u64)),
+        ("total_steps", Json::U(summary.total_steps)),
+        ("solver_checks", Json::U(summary.solver_checks)),
+        ("max_trail_len", Json::U(summary.max_trail_len as u64)),
+        ("truncated", Json::B(summary.truncated)),
+        ("seconds", Json::F(seconds)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_env_fallback() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = BenchOpts::parse(
+            args(&["--workers", "4", "--json", "out.json"]).into_iter(),
+            None,
+        );
+        assert_eq!(o.workers, Some(4));
+        assert_eq!(o.json.as_deref(), Some(Path::new("out.json")));
+        assert!(!o.quick);
+
+        let o = BenchOpts::parse(args(&["--quick"]).into_iter(), Some("2".into()));
+        assert_eq!(o.workers, Some(2), "env fallback");
+        assert!(o.quick);
+
+        let o = BenchOpts::parse(args(&["--workers", "0"]).into_iter(), None);
+        assert_eq!(o.workers, None, "0 means sequential");
+
+        let o = BenchOpts::parse(args(&["--runs", "7"]).into_iter(), None);
+        assert_eq!(o.runs, Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value for --workers")]
+    fn malformed_workers_value_fails_loudly() {
+        let args = vec!["--workers".to_string(), "fourr".to_string()];
+        let _ = BenchOpts::parse(args.into_iter(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers needs a value")]
+    fn trailing_workers_flag_fails_loudly() {
+        let args = vec!["--workers".to_string()];
+        let _ = BenchOpts::parse(args.into_iter(), None);
+    }
+
+    #[test]
+    fn json_renders_escaped_and_nested() {
+        let v = Json::O(vec![
+            ("name", Json::s("a\"b\\c")),
+            ("n", Json::U(42)),
+            ("ok", Json::B(true)),
+            ("xs", Json::A(vec![Json::F(1.5), Json::U(2)])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"name":"a\"b\\c","n":42,"ok":true,"xs":[1.5,2]}"#
+        );
+    }
+}

@@ -23,7 +23,7 @@ use std::hint::black_box;
 use std::rc::Rc;
 use std::time::{Duration, Instant};
 
-use binsym::{Error, Observer, Session, Summary};
+use binsym::{Error, Observer, ParallelSession, PathExecutor, Session, Summary};
 use binsym_des::{Bus, EventQueue, ProcessId, Time};
 use binsym_elf::ElfFile;
 use binsym_isa::Spec;
@@ -98,6 +98,44 @@ impl Engine {
             }
         }
     }
+
+    /// Builds the sharded (work-stealing) exploration session realizing
+    /// this persona on `elf` with the given worker count. Per-worker
+    /// observers reproduce each persona's cost model on every worker
+    /// thread, so parallel timings remain comparable with the sequential
+    /// Fig. 6 personas.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
+    pub fn parallel_session(self, elf: &ElfFile, workers: usize) -> Result<ParallelSession, Error> {
+        let lifter = |elf: &ElfFile, config: EngineConfig| {
+            let elf = elf.clone();
+            Session::factory_builder(move || {
+                Ok(Box::new(LifterExecutor::new(&elf, config)?) as Box<dyn PathExecutor>)
+            })
+        };
+        match self {
+            Engine::BinSym => Session::builder(Spec::rv32im())
+                .binary(elf)
+                .observer_factory(|_| Box::new(GhcRuntimeObserver::default()))
+                .workers(workers)
+                .build_parallel(),
+            Engine::SymExVp => Session::builder(Spec::rv32im())
+                .binary(elf)
+                .observer_factory(|_| Box::new(VpObserver::new()))
+                .workers(workers)
+                .build_parallel(),
+            Engine::Binsec => lifter(elf, EngineConfig::binsec())
+                .workers(workers)
+                .build_parallel(),
+            Engine::Angr => lifter(elf, EngineConfig::angr())
+                .workers(workers)
+                .build_parallel(),
+            Engine::AngrFixed => lifter(elf, EngineConfig::angr_fixed())
+                .workers(workers)
+                .build_parallel(),
+        }
+    }
 }
 
 /// Result of running one engine on one benchmark.
@@ -121,6 +159,31 @@ pub fn run_engine(engine: Engine, elf: &ElfFile) -> Result<RunResult, Error> {
     // harness.
     let start = Instant::now();
     let mut session = engine.session(elf)?;
+    let summary = session.run_all()?;
+    Ok(RunResult {
+        summary,
+        duration: start.elapsed(),
+    })
+}
+
+/// Runs `engine` on `elf` with a sharded [`ParallelSession`] of `workers`
+/// threads to full exploration, measuring wall time. With `workers == 0`
+/// this falls back to the sequential [`run_engine`], so bench bins can
+/// thread one `--workers` knob through unchanged code paths.
+///
+/// # Errors
+/// Returns [`Error`] if the binary lacks a `__sym_input` symbol or a path
+/// fails to replay.
+pub fn run_engine_parallel(
+    engine: Engine,
+    elf: &ElfFile,
+    workers: usize,
+) -> Result<RunResult, Error> {
+    if workers == 0 {
+        return run_engine(engine, elf);
+    }
+    let start = Instant::now();
+    let mut session = engine.parallel_session(elf, workers)?;
     let summary = session.run_all()?;
     Ok(RunResult {
         summary,
@@ -315,6 +378,26 @@ small:
         for engine in Engine::TABLE1 {
             let r = run_engine(engine, &elf).expect("runs");
             assert_eq!(r.summary.paths, 2, "{}", engine.name());
+        }
+    }
+
+    #[test]
+    fn parallel_personas_match_sequential_path_counts() {
+        let elf = small_program();
+        for engine in Engine::TABLE1 {
+            let seq = run_engine(engine, &elf).expect("sequential").summary;
+            for workers in [1, 2] {
+                let par = run_engine_parallel(engine, &elf, workers)
+                    .expect("parallel")
+                    .summary;
+                assert_eq!(
+                    par.paths,
+                    seq.paths,
+                    "{} with {workers} workers",
+                    engine.name()
+                );
+                assert_eq!(par.error_paths.len(), seq.error_paths.len());
+            }
         }
     }
 

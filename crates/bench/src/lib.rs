@@ -8,7 +8,11 @@
 //! * [`engines`] — the four engines compared in the paper, all running on
 //!   the shared DSE loop and SMT solver: BinSym (formal semantics), BINSEC
 //!   (optimized IR), SymEx-VP (BinSym semantics inside a SystemC-style DES
-//!   simulation), and angr (buggy or fixed IR lifter, interpreted).
+//!   simulation), and angr (buggy or fixed IR lifter, interpreted). Every
+//!   persona also runs sharded ([`run_engine_parallel`]) on a
+//!   work-stealing [`binsym::ParallelSession`].
+//! * [`cli`] — shared `--workers`/`--json` plumbing and the dependency-free
+//!   JSON writer behind the `BENCH_*.json` perf-trajectory summaries.
 //!
 //! Reproduce the paper's artifacts with:
 //!
@@ -19,8 +23,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod engines;
 pub mod programs;
 
-pub use engines::{run_engine, Engine, GhcRuntimeObserver, RunResult, VpObserver, VpStats};
+pub use cli::{BenchOpts, Json};
+pub use engines::{
+    run_engine, run_engine_parallel, Engine, GhcRuntimeObserver, RunResult, VpObserver, VpStats,
+};
 pub use programs::{all_programs, Program};

@@ -37,6 +37,15 @@ pub enum Error {
         /// Which parameter, and why it is invalid.
         what: &'static str,
     },
+    /// Replaying a [`crate::Prescription`] on a fresh engine diverged from
+    /// the recorded parent path. Execution is deterministic, so this
+    /// indicates a non-deterministic [`crate::PathExecutor`] (or an engine
+    /// bug) — the prescription model requires that the same input always
+    /// reproduces the same trail.
+    ReplayDivergence {
+        /// What diverged.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -56,6 +65,12 @@ impl fmt::Display for Error {
                 )
             }
             Error::InvalidConfig { what } => write!(f, "invalid session configuration: {what}"),
+            Error::ReplayDivergence { what } => {
+                write!(
+                    f,
+                    "prescription replay diverged from the parent path: {what}"
+                )
+            }
         }
     }
 }

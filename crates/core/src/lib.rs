@@ -29,6 +29,13 @@
 //! Paths stream lazily from [`Session::paths`]; [`Session::run_all`]
 //! drains them into a [`Summary`]. All errors unify under [`Error`].
 //!
+//! The same builder also assembles a **sharded** exploration:
+//! `.workers(n).build_parallel()` yields a [`ParallelSession`] whose worker
+//! threads each own a complete engine and exchange pending paths as
+//! plain-data, replayable [`Prescription`]s through work-stealing shard
+//! frontiers — with results merged deterministically into the sequential
+//! discovery order (see [`parallel`] and [`prescribe`]).
+//!
 //! # Quickstart
 //! ```
 //! use binsym::Session;
@@ -70,24 +77,27 @@
 
 pub mod backend;
 pub mod error;
-pub mod explore;
 pub mod machine;
 pub mod observe;
+pub mod parallel;
+pub mod prescribe;
 pub mod session;
 pub mod strategy;
 pub mod value;
 
 pub use backend::{BitblastBackend, ScriptSink, SmtLibDump, SolverBackend};
 pub use error::Error;
-#[allow(deprecated)]
-pub use explore::{ExploreError, Explorer, ExplorerConfig};
 pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
 pub use observe::{CountingObserver, NullObserver, Observer};
+pub use parallel::{
+    BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
+};
+pub use prescribe::{Flip, PathId, PathRecord, Prescription};
 pub use session::{
     find_sym_input, ErrorPath, PathExecutor, PathOutcome, Paths, Session, SessionBuilder,
     SpecExecutor, Summary,
 };
-pub use strategy::{Bfs, Candidate, Dfs, PathStrategy, RandomRestart};
+pub use strategy::{Bfs, Candidate, Dfs, PathStrategy, PrescriptionStrategy, RandomRestart};
 pub use value::{SymByte, SymWord};
 
 /// Name of the symbol marking the symbolic input region in SUT binaries

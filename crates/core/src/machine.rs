@@ -15,8 +15,8 @@
 //!    [`TrailEntry::Concretize`] constraint pinning the address to its
 //!    concrete value (the paper's address concretization).
 //!
-//! The offline executor in [`crate::explore`] replays and flips these trail
-//! entries to enumerate paths.
+//! The offline exploration loop in [`crate::session`] replays and flips
+//! these trail entries to enumerate paths.
 
 use std::fmt;
 

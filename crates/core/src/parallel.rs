@@ -1,0 +1,945 @@
+//! Work-stealing parallel exploration: [`ParallelSession`].
+//!
+//! The sequential [`crate::Session`] is bounded by one core: one frontier,
+//! one term manager, one incremental solver. `ParallelSession` shards the
+//! same exploration across N worker threads **without** making any of the
+//! engine state `Sync`: the unit of work shipped between threads is a
+//! plain-data [`Prescription`] (see [`crate::prescribe`]), and each worker
+//! owns a complete engine — its own [`TermManager`], [`SolverBackend`],
+//! and [`PathExecutor`] — on which any prescription can be replayed from
+//! scratch.
+//!
+//! # Worker topology
+//!
+//! Every worker has a shard-local frontier (a [`PrescriptionStrategy`])
+//! guarded by its own lock. A worker pushes the prescriptions spawned by
+//! its own paths onto its own shard and pops from it LIFO-deep (under the
+//! default depth-first policy); when its shard runs dry it *steals* from a
+//! victim's shard cold end — the shallowest pending flip, i.e. the largest
+//! unexplored subtree. Exploration terminates when every shard is empty
+//! and no worker holds in-flight work.
+//!
+//! # Determinism
+//!
+//! Replaying a prescription is a pure function of the prescription itself:
+//! the worker resets its term manager (restoring fresh handle numbering,
+//! see [`TermManager::reset`]) and solves the flip query in a brand-new
+//! backend from the builder's factory. Scheduling — worker count, steal
+//! order, shard policy — therefore cannot change any individual result,
+//! only which worker computes it. The merged output is sorted by
+//! [`PathId`], which reproduces the sequential depth-first discovery
+//! order, so the final [`Summary`] (and the [`PathRecord`] stream) is
+//! byte-identical across 1/2/4/8 workers and across repeated runs, and its
+//! path ordering — the sequence of branch-decision fingerprints — is
+//! identical to the sequential session's discovery order. (Witness
+//! *inputs* for a path are whichever model the solver returns; the
+//! sequential session's long-lived incremental solver may pick a
+//! different, equally valid model than the fresh replay context, exactly
+//! as [`crate::BitblastBackend::fresh_per_query`] may.)
+//!
+//! The price of replay is re-executing each parent prefix once per spawned
+//! flip (bounded by the early-stopping
+//! [`PathExecutor::execute_prefix`]) and forgoing cross-query solver
+//! incrementality; the parallel speedup has to buy that back, which it
+//! does on multi-core hardware for the big Table I workloads (see the
+//! `engines` bench).
+//!
+//! A truncated run ([`crate::SessionBuilder::limit`]) stops after exactly
+//! `limit` paths, but *which* paths complete first then depends on
+//! scheduling — only unbounded explorations are schedule-independent.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use binsym_smt::{SatResult, TermManager};
+
+use crate::backend::SolverBackend;
+use crate::error::Error;
+use crate::machine::{StepResult, TrailEntry};
+use crate::observe::{NullObserver, Observer};
+use crate::prescribe::{Flip, PathId, PathRecord, Prescription};
+use crate::session::{ErrorPath, PathExecutor, Summary};
+use crate::strategy::PrescriptionStrategy;
+
+/// Factory producing one [`PathExecutor`] per worker thread.
+pub type ExecutorFactory = Arc<dyn Fn() -> Result<Box<dyn PathExecutor>, Error> + Send + Sync>;
+/// Factory producing a fresh [`SolverBackend`] per replayed prescription.
+pub type BackendFactory = Arc<dyn Fn() -> Box<dyn SolverBackend> + Send + Sync>;
+/// Factory producing one [`Observer`] per worker thread (argument: worker
+/// index).
+pub type ObserverFactory = Arc<dyn Fn(usize) -> Box<dyn Observer> + Send + Sync>;
+/// Factory producing one shard-local frontier policy per worker thread
+/// (argument: worker index).
+pub type ShardStrategyFactory = Arc<dyn Fn(usize) -> Box<dyn PrescriptionStrategy> + Send + Sync>;
+
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Prescription>();
+    assert_send::<PathRecord>();
+    assert_send::<Error>();
+    assert_send::<TermManager>();
+};
+
+/// Result of replaying one prescription, as recorded by a worker.
+#[derive(Debug)]
+struct PrescriptionRecord {
+    id: PathId,
+    /// `Some` when a feasibility query was discharged (every non-root
+    /// prescription), with its result.
+    query: Option<SatResult>,
+    /// The materialized path, when the flip was feasible.
+    path: Option<PathRecord>,
+}
+
+/// The shared work-stealing frontier.
+struct Frontier {
+    shards: Vec<Mutex<Box<dyn PrescriptionStrategy>>>,
+    /// Prescriptions sitting in shards.
+    pending: AtomicUsize,
+    /// Prescriptions taken but not yet fully processed (their spawns are
+    /// not pushed yet), so an empty `pending` does not imply termination.
+    in_flight: AtomicUsize,
+    /// Cooperative stop (error or path limit reached).
+    stop: AtomicBool,
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+}
+
+impl Frontier {
+    fn new(shards: Vec<Box<dyn PrescriptionStrategy>>) -> Self {
+        Frontier {
+            shards: shards.into_iter().map(Mutex::new).collect(),
+            pending: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+        }
+    }
+
+    fn push_batch(&self, shard: usize, batch: Vec<Prescription>) {
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len();
+        {
+            let mut s = self.shards[shard].lock().expect("shard lock");
+            for p in batch {
+                s.push(p);
+            }
+        }
+        self.pending.fetch_add(n, Ordering::SeqCst);
+        if n == 1 {
+            self.idle_cv.notify_one();
+        } else {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Blocks until a prescription is available (own shard first, then
+    /// stealing round-robin), or until exploration is over.
+    fn acquire(&self, me: usize) -> Option<Prescription> {
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(p) = self.shards[me].lock().expect("shard lock").pop() {
+                self.checkout();
+                return Some(p);
+            }
+            for k in 1..self.shards.len() {
+                let victim = (me + k) % self.shards.len();
+                if let Some(p) = self.shards[victim].lock().expect("shard lock").steal() {
+                    self.checkout();
+                    return Some(p);
+                }
+            }
+            if self.pending.load(Ordering::SeqCst) == 0
+                && self.in_flight.load(Ordering::SeqCst) == 0
+            {
+                self.idle_cv.notify_all();
+                return None;
+            }
+            // Somebody is still working and may spawn more; doze briefly.
+            // The timeout bounds any lost-wakeup window.
+            let guard = self.idle_lock.lock().expect("idle lock");
+            let _ = self
+                .idle_cv
+                .wait_timeout(guard, Duration::from_millis(1))
+                .expect("idle wait");
+        }
+    }
+
+    fn checkout(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn release(&self) {
+        if self.in_flight.fetch_sub(1, Ordering::SeqCst) == 1
+            && self.pending.load(Ordering::SeqCst) == 0
+        {
+            // Possibly the last unit of work: wake idlers so they can exit.
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn request_stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.idle_cv.notify_all();
+    }
+}
+
+/// Shared run state beyond the frontier.
+struct RunState {
+    frontier: Frontier,
+    /// Paths materialized so far (for limit enforcement).
+    paths: AtomicU64,
+    truncated: AtomicBool,
+    /// First error in canonical order: workers keep the error whose
+    /// prescription id sorts smallest, so the reported failure is
+    /// schedule-independent.
+    error: Mutex<Option<(PathId, Error)>>,
+}
+
+impl RunState {
+    fn record_error(&self, id: PathId, e: Error) {
+        let mut slot = self.error.lock().expect("error lock");
+        match &*slot {
+            Some((winner, _)) if *winner <= id => {}
+            _ => *slot = Some((id, e)),
+        }
+        self.frontier.request_stop();
+    }
+}
+
+/// A sharded, work-stealing exploration of one binary: N worker threads,
+/// each owning a complete engine, cooperating through replayable
+/// [`Prescription`]s. Built by [`crate::SessionBuilder::build_parallel`];
+/// see the [module docs](self) for topology and determinism guarantees.
+pub struct ParallelSession {
+    workers: usize,
+    executor_factory: ExecutorFactory,
+    backend_factory: BackendFactory,
+    observer_factory: Option<ObserverFactory>,
+    shard_strategy: ShardStrategyFactory,
+    fuel: u64,
+    limit: Option<u64>,
+    input_len: u32,
+    strategy_name: &'static str,
+    backend_name: &'static str,
+    done: bool,
+    summary: Summary,
+    records: Vec<PathRecord>,
+}
+
+impl std::fmt::Debug for ParallelSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelSession")
+            .field("workers", &self.workers)
+            .field("strategy", &self.strategy_name)
+            .field("backend", &self.backend_name)
+            .field("paths", &self.summary.paths)
+            .field("done", &self.done)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParallelSession {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        workers: usize,
+        executor_factory: ExecutorFactory,
+        backend_factory: BackendFactory,
+        observer_factory: Option<ObserverFactory>,
+        shard_strategy: ShardStrategyFactory,
+        fuel: u64,
+        limit: Option<u64>,
+        input_len: u32,
+    ) -> Self {
+        let strategy_name = shard_strategy(0).name();
+        let backend_name = backend_factory().name();
+        ParallelSession {
+            workers,
+            executor_factory,
+            backend_factory,
+            observer_factory,
+            shard_strategy,
+            fuel,
+            limit,
+            input_len,
+            strategy_name,
+            backend_name,
+            done: false,
+            summary: Summary::default(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Length of the symbolic input region in bytes.
+    pub fn input_len(&self) -> u32 {
+        self.input_len
+    }
+
+    /// Name of the shard-local path-selection policy.
+    pub fn strategy_name(&self) -> &'static str {
+        self.strategy_name
+    }
+
+    /// Name of the per-query solver backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend_name
+    }
+
+    /// True once [`ParallelSession::run_all`] has completed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Totals of the completed exploration (empty before
+    /// [`ParallelSession::run_all`]).
+    pub fn summary(&self) -> Summary {
+        self.summary.clone()
+    }
+
+    /// The deterministic merged event stream: one record per materialized
+    /// path, sorted by [`PathId`] — i.e. in sequential depth-first
+    /// discovery order, independent of worker count and scheduling. Empty
+    /// before [`ParallelSession::run_all`].
+    pub fn records(&self) -> &[PathRecord] {
+        &self.records
+    }
+
+    /// Runs the sharded exploration to completion (or to the path limit)
+    /// and returns the merged [`Summary`]. After a successful run,
+    /// subsequent calls return the cached summary without re-exploring; a
+    /// *failed* run is never cached — calling again re-explores and
+    /// deterministically reproduces the error.
+    ///
+    /// # Errors
+    /// Returns the canonically-first [`Error`] if any worker fails to
+    /// replay a prescription (decode error, unknown syscall, fuel
+    /// exhaustion).
+    pub fn run_all(&mut self) -> Result<Summary, Error> {
+        if self.done {
+            return Ok(self.summary());
+        }
+        let shards: Vec<Box<dyn PrescriptionStrategy>> = (0..self.workers)
+            .map(|i| (self.shard_strategy)(i))
+            .collect();
+        let state = RunState {
+            frontier: Frontier::new(shards),
+            paths: AtomicU64::new(0),
+            truncated: AtomicBool::new(false),
+            error: Mutex::new(None),
+        };
+        state.frontier.push_batch(
+            0,
+            vec![Prescription::root(vec![0u8; self.input_len as usize])],
+        );
+
+        let mut outputs: Vec<Vec<PrescriptionRecord>> = Vec::with_capacity(self.workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.workers);
+            for idx in 0..self.workers {
+                let state = &state;
+                let executor_factory = Arc::clone(&self.executor_factory);
+                let backend_factory = Arc::clone(&self.backend_factory);
+                let observer_factory = self.observer_factory.clone();
+                let fuel = self.fuel;
+                let limit = self.limit;
+                handles.push(scope.spawn(move || {
+                    worker_main(
+                        idx,
+                        state,
+                        &*executor_factory,
+                        &*backend_factory,
+                        observer_factory.as_deref(),
+                        fuel,
+                        limit,
+                    )
+                }));
+            }
+            for h in handles {
+                outputs.push(h.join().expect("worker panicked"));
+            }
+        });
+
+        if let Some((_, e)) = state.error.lock().expect("error lock").take() {
+            // A failed run is not cached (`done` stays false): retrying
+            // re-explores and, replay being deterministic, reproduces the
+            // same error instead of masking it behind an empty summary.
+            return Err(e);
+        }
+        self.done = true;
+
+        // Deterministic merge: canonical (sequential depth-first) order.
+        let mut all: Vec<PrescriptionRecord> = outputs.into_iter().flatten().collect();
+        all.sort_by(|a, b| a.id.cmp(&b.id));
+
+        let mut summary = Summary {
+            truncated: state.truncated.load(Ordering::SeqCst),
+            ..Summary::default()
+        };
+        let mut records = Vec::new();
+        for rec in all {
+            if rec.query.is_some() {
+                summary.solver_checks += 1;
+            }
+            if let Some(path) = rec.path {
+                summary.paths += 1;
+                summary.total_steps += path.steps;
+                summary.max_trail_len = summary.max_trail_len.max(path.trail_len);
+                match path.exit {
+                    StepResult::Exited(0) | StepResult::Continue => {}
+                    StepResult::Exited(code) => summary.error_paths.push(ErrorPath {
+                        exit_code: Some(code),
+                        input: path.input.clone(),
+                    }),
+                    StepResult::Break => summary.error_paths.push(ErrorPath {
+                        exit_code: None,
+                        input: path.input.clone(),
+                    }),
+                }
+                records.push(path);
+            }
+        }
+        self.summary = summary;
+        self.records = records;
+        Ok(self.summary())
+    }
+}
+
+/// One worker: pull prescriptions, replay each on the worker's own engine
+/// in a fresh solver context, record results, spawn follow-up work.
+fn worker_main(
+    idx: usize,
+    state: &RunState,
+    executor_factory: &(dyn Fn() -> Result<Box<dyn PathExecutor>, Error> + Send + Sync),
+    backend_factory: &(dyn Fn() -> Box<dyn SolverBackend> + Send + Sync),
+    observer_factory: Option<&(dyn Fn(usize) -> Box<dyn Observer> + Send + Sync)>,
+    fuel: u64,
+    limit: Option<u64>,
+) -> Vec<PrescriptionRecord> {
+    let mut executor = match executor_factory() {
+        Ok(e) => e,
+        Err(e) => {
+            state.record_error(PathId::root(), e);
+            return Vec::new();
+        }
+    };
+    let mut observer: Box<dyn Observer> = match observer_factory {
+        Some(f) => f(idx),
+        None => Box::new(NullObserver),
+    };
+    let mut tm = TermManager::new();
+    let mut out = Vec::new();
+
+    while let Some(p) = state.frontier.acquire(idx) {
+        // Balance the frontier's in-flight count on every exit from this
+        // iteration — including an unwind out of user code (executor,
+        // backend, or observer panics). Without this, a panicking worker
+        // would leave `in_flight` elevated and the surviving workers would
+        // doze forever in `acquire` while the main thread blocks joining.
+        let _checked_in = InFlightGuard(&state.frontier);
+        // A fresh engine context per prescription: reset handle numbering
+        // and solve in a brand-new backend, making the replay a pure
+        // function of the prescription (schedule-independent results).
+        tm.reset();
+        let mut backend = backend_factory();
+        match replay(
+            &mut *executor,
+            &mut tm,
+            &mut *backend,
+            &mut *observer,
+            &p,
+            fuel,
+        ) {
+            Err(e) => {
+                state.record_error(p.id, e);
+                break;
+            }
+            Ok((query, materialized)) => {
+                let mut record = PrescriptionRecord {
+                    id: p.id,
+                    query,
+                    path: None,
+                };
+                if let Some((path, spawned)) = materialized {
+                    let n = state.paths.fetch_add(1, Ordering::SeqCst) + 1;
+                    match limit {
+                        Some(l) if n > l => {
+                            // Raced past the limit: drop this path entirely.
+                            continue;
+                        }
+                        Some(l) if n == l => {
+                            state.truncated.store(true, Ordering::SeqCst);
+                            state.frontier.request_stop();
+                            record.path = Some(path);
+                        }
+                        _ => {
+                            record.path = Some(path);
+                            // Spawn before the guard releases in-flight, so
+                            // the termination check never sees a window with
+                            // neither pending nor in-flight work.
+                            state.frontier.push_batch(idx, spawned);
+                        }
+                    }
+                }
+                out.push(record);
+            }
+        }
+    }
+    out
+}
+
+/// Releases one unit of in-flight work when dropped; on an unwind it also
+/// stops the run so the sibling workers exit instead of exploring on while
+/// the main thread re-raises the panic from `join`.
+struct InFlightGuard<'a>(&'a Frontier);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.request_stop();
+        }
+        self.0.release();
+    }
+}
+
+/// Replays one prescription on the given engine: solve the flip (if any),
+/// materialize the path, and derive the prescriptions of its unexplored
+/// suffix. Pure in the prescription given a fresh `tm`/`backend` context.
+#[allow(clippy::type_complexity)]
+fn replay(
+    executor: &mut dyn PathExecutor,
+    tm: &mut TermManager,
+    backend: &mut dyn SolverBackend,
+    observer: &mut dyn Observer,
+    p: &Prescription,
+    fuel: u64,
+) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
+    let (query, input) = match p.flip {
+        None => (None, p.input.clone()),
+        Some(flip) => {
+            let trail = executor.execute_prefix(tm, &p.input, fuel, flip.ord + 1)?;
+            let mut ord = 0usize;
+            let mut cut = None;
+            for (i, entry) in trail.iter().enumerate() {
+                if let TrailEntry::Branch { cond, taken } = *entry {
+                    if ord == flip.ord {
+                        cut = Some((i, cond, taken));
+                        break;
+                    }
+                    ord += 1;
+                }
+            }
+            let Some((i, cond, taken)) = cut else {
+                return Err(Error::ReplayDivergence {
+                    what: "parent replay recorded fewer branches than prescribed",
+                });
+            };
+            if taken != flip.taken {
+                return Err(Error::ReplayDivergence {
+                    what: "parent replay took the prescribed branch in the other direction",
+                });
+            }
+            backend.push();
+            for entry in &trail[..i] {
+                let t = entry.path_term(tm);
+                backend.assert_term(tm, t);
+            }
+            let flipped = if taken { tm.not(cond) } else { cond };
+            backend.assert_term(tm, flipped);
+            let r = backend.check_sat(tm);
+            observer.on_query(r);
+            if r != SatResult::Sat {
+                backend.pop();
+                return Ok((Some(r), None));
+            }
+            let model = backend.model(tm).expect("sat has model");
+            let bytes: Vec<u8> = (0..executor.input_len())
+                .map(|i| model.value(&format!("in{i}")).unwrap_or(0) as u8)
+                .collect();
+            backend.pop();
+            (Some(r), bytes)
+        }
+    };
+
+    let outcome = executor.execute_path(tm, &input, fuel, observer)?;
+    observer.on_path(&input, &outcome);
+
+    let forced = p.flip.map_or(0, |f| f.ord + 1);
+    let mut spawned = Vec::new();
+    let mut decisions = Vec::new();
+    for entry in &outcome.trail {
+        if let TrailEntry::Branch { taken, .. } = *entry {
+            let ord = decisions.len();
+            if ord >= forced {
+                spawned.push(Prescription {
+                    id: p.id.child(ord),
+                    input: input.clone(),
+                    flip: Some(Flip { ord, taken }),
+                });
+            }
+            decisions.push(taken);
+        }
+    }
+    let record = PathRecord {
+        id: p.id.clone(),
+        input,
+        exit: outcome.exit,
+        steps: outcome.steps,
+        trail_len: outcome.trail.len(),
+        decisions,
+    };
+    Ok((query, Some((record, spawned))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::CountingObserver;
+    use crate::session::Session;
+    use crate::strategy::{Bfs, RandomRestart};
+    use binsym_asm::Assembler;
+    use binsym_isa::Spec;
+
+    const THREE_COMPARES: &str = r#"
+        .data
+__sym_input: .byte 0, 0, 0
+        .text
+_start:
+    la a0, __sym_input
+    li a2, 100
+    lbu a1, 0(a0)
+    bltu a1, a2, c1
+c1: lbu a1, 1(a0)
+    bltu a1, a2, c2
+c2: lbu a1, 2(a0)
+    bltu a1, a2, c3
+c3:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+
+    const WITH_BUG: &str = r#"
+        .data
+__sym_input: .byte 0
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    li a2, 7
+    bne a1, a2, ok
+    ebreak
+ok:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+
+    fn elf(src: &str) -> binsym_elf::ElfFile {
+        Assembler::new().assemble(src).expect("assembles")
+    }
+
+    fn parallel(src: &str, workers: usize) -> ParallelSession {
+        Session::builder(Spec::rv32im())
+            .binary(&elf(src))
+            .workers(workers)
+            .build_parallel()
+            .expect("builds")
+    }
+
+    #[test]
+    fn matches_sequential_summary_and_path_set() {
+        let mut seq = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .build()
+            .unwrap();
+        // The model-independent fingerprint of each path is its
+        // branch-decision vector; the complete path *set* is a semantic
+        // property and must agree exactly. The discovery *order* within
+        // each engine is DFS over its own solver's models (witness inputs
+        // are model choices — the sequential incremental solver and the
+        // fresh replay contexts may pick different, equally valid models,
+        // reordering sibling subtrees).
+        let mut seq_decisions: Vec<Vec<bool>> = seq
+            .paths()
+            .map(|r| {
+                r.unwrap()
+                    .trail
+                    .iter()
+                    .filter_map(|e| match *e {
+                        TrailEntry::Branch { taken, .. } => Some(taken),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .collect();
+        seq_decisions.sort();
+        let seq_summary = seq.summary();
+
+        let reference = {
+            let mut par = parallel(THREE_COMPARES, 1);
+            par.run_all().unwrap();
+            par
+        };
+        for workers in [1, 2, 4] {
+            let mut par = parallel(THREE_COMPARES, workers);
+            let summary = par.run_all().unwrap();
+            assert_eq!(summary.paths, seq_summary.paths, "{workers} workers");
+            assert_eq!(summary.total_steps, seq_summary.total_steps);
+            assert_eq!(summary.solver_checks, seq_summary.solver_checks);
+            assert_eq!(summary.max_trail_len, seq_summary.max_trail_len);
+            let mut par_decisions: Vec<Vec<bool>> =
+                par.records().iter().map(|r| r.decisions.clone()).collect();
+            par_decisions.sort();
+            assert_eq!(
+                par_decisions, seq_decisions,
+                "{workers} workers: path set equals sequential"
+            );
+            // Across worker counts the merge is byte-identical, witness
+            // inputs included.
+            assert_eq!(par.records(), reference.records(), "{workers} workers");
+            assert_eq!(summary.error_paths, reference.summary().error_paths);
+        }
+    }
+
+    #[test]
+    fn canonical_sort_reproduces_single_worker_dfs_discovery_order() {
+        // With one worker and the default depth-first shard policy, the
+        // live processing order IS sequential DFS discovery. The merged
+        // output is sorted by PathId — so if PathId::Ord is correct, the
+        // sort must be a no-op relative to what the worker's observer saw.
+        #[derive(Debug, Default)]
+        struct DecisionLog(Arc<Mutex<Vec<Vec<bool>>>>);
+        impl Observer for DecisionLog {
+            fn on_path(&mut self, _input: &[u8], outcome: &crate::session::PathOutcome) {
+                let decisions = outcome
+                    .trail
+                    .iter()
+                    .filter_map(|e| match *e {
+                        TrailEntry::Branch { taken, .. } => Some(taken),
+                        _ => None,
+                    })
+                    .collect();
+                self.0.lock().unwrap().push(decisions);
+            }
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let handle = Arc::clone(&log);
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(1)
+            .observer_factory(move |_| Box::new(DecisionLog(Arc::clone(&handle))))
+            .build_parallel()
+            .unwrap();
+        par.run_all().unwrap();
+        let discovery: Vec<Vec<bool>> = log.lock().unwrap().clone();
+        let merged: Vec<Vec<bool>> = par.records().iter().map(|r| r.decisions.clone()).collect();
+        assert_eq!(merged, discovery, "PathId sort == DFS discovery order");
+    }
+
+    #[test]
+    fn error_paths_surface_with_witness_inputs() {
+        let mut par = parallel(WITH_BUG, 3);
+        let s = par.run_all().unwrap();
+        assert_eq!(s.paths, 2);
+        assert_eq!(s.error_paths.len(), 1);
+        assert_eq!(s.error_paths[0].exit_code, None);
+        assert_eq!(s.error_paths[0].input, vec![7]);
+        assert!(par.is_done());
+        // Cached: a second run_all returns the same summary.
+        let again = par.run_all().unwrap();
+        assert_eq!(again.paths, 2);
+    }
+
+    #[test]
+    fn shard_policies_do_not_change_merged_results() {
+        let reference = parallel(THREE_COMPARES, 2).run_all().unwrap();
+        let policies: [ShardStrategyFactory; 2] = [
+            Arc::new(|_| Box::new(Bfs::<Prescription>::new())),
+            Arc::new(|i| Box::new(RandomRestart::<Prescription>::with_seed(42 + i as u64))),
+        ];
+        for policy in policies {
+            let mut par = Session::builder(Spec::rv32im())
+                .binary(&elf(THREE_COMPARES))
+                .workers(2)
+                .shard_strategy(move |i| policy(i))
+                .build_parallel()
+                .unwrap();
+            let s = par.run_all().unwrap();
+            assert_eq!(s.paths, reference.paths);
+            assert_eq!(s.error_paths, reference.error_paths);
+            assert_eq!(s.total_steps, reference.total_steps);
+            assert_eq!(s.solver_checks, reference.solver_checks);
+        }
+    }
+
+    #[test]
+    fn limit_truncates_with_exact_count() {
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(4)
+            .limit(5)
+            .build_parallel()
+            .unwrap();
+        let s = par.run_all().unwrap();
+        assert_eq!(s.paths, 5);
+        assert!(s.truncated);
+    }
+
+    #[test]
+    fn worker_observers_fire_per_shard() {
+        use std::sync::atomic::AtomicU64;
+        #[derive(Debug)]
+        struct AtomicCounter(Arc<AtomicU64>);
+        impl Observer for AtomicCounter {
+            fn on_path(&mut self, _input: &[u8], _outcome: &crate::session::PathOutcome) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let paths_seen = Arc::new(AtomicU64::new(0));
+        let handle = Arc::clone(&paths_seen);
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .observer_factory(move |_| Box::new(AtomicCounter(Arc::clone(&handle))))
+            .build_parallel()
+            .unwrap();
+        let s = par.run_all().unwrap();
+        assert_eq!(paths_seen.load(Ordering::SeqCst), s.paths);
+    }
+
+    #[test]
+    fn counting_observer_is_a_valid_worker_observer() {
+        // Worker observers do not need shared handles to be useful in
+        // benchmarks (cost models); a plain counter per worker works.
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .observer_factory(|_| Box::new(CountingObserver::new()))
+            .build_parallel()
+            .unwrap();
+        assert_eq!(par.run_all().unwrap().paths, 8);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported_as_error() {
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .fuel(3)
+            .build_parallel()
+            .unwrap();
+        assert!(matches!(par.run_all(), Err(Error::OutOfFuel { .. })));
+        // A failed run is not cached as an empty success: retrying
+        // re-explores and reproduces the same error.
+        assert!(!par.is_done());
+        assert!(matches!(par.run_all(), Err(Error::OutOfFuel { .. })));
+        assert!(par.records().is_empty());
+    }
+
+    #[test]
+    fn panicking_worker_observer_propagates_instead_of_deadlocking() {
+        #[derive(Debug)]
+        struct Bomb;
+        impl Observer for Bomb {
+            fn on_path(&mut self, _input: &[u8], _outcome: &crate::session::PathOutcome) {
+                panic!("observer bomb");
+            }
+        }
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .observer_factory(|_| Box::new(Bomb))
+            .build_parallel()
+            .unwrap();
+        // The panic must surface through run_all (via the worker join), not
+        // hang the surviving workers on a never-released in-flight count.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| par.run_all()));
+        assert!(result.is_err(), "worker panic propagates");
+    }
+
+    #[test]
+    fn builder_validation() {
+        let elf = elf(THREE_COMPARES);
+        // workers + build() is refused.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(2)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        // Zero workers.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(0)
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        // Sequential-only instances are rejected in parallel mode.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .observer(CountingObserver::new())
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .backend(crate::backend::BitblastBackend::new())
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .strategy(crate::strategy::Dfs::new())
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        // No binary at all.
+        let err = Session::builder(Spec::rv32im())
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::MissingBinary));
+    }
+
+    #[test]
+    fn factory_builder_serves_both_modes() {
+        let image = elf(THREE_COMPARES);
+        let make = move || -> ExecutorFactory {
+            let image = image.clone();
+            Arc::new(move || {
+                Ok(Box::new(crate::session::SpecExecutor::new(
+                    Spec::rv32im(),
+                    &image,
+                    None,
+                )?) as Box<dyn PathExecutor>)
+            })
+        };
+        let f = make();
+        let seq = Session::factory_builder(move || f())
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
+        let f = make();
+        let par = Session::factory_builder(move || f())
+            .workers(2)
+            .build_parallel()
+            .unwrap()
+            .run_all()
+            .unwrap();
+        assert_eq!(seq.paths, 8);
+        assert_eq!(par.paths, 8);
+        assert_eq!(seq.error_paths, par.error_paths);
+    }
+}

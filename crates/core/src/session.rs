@@ -47,7 +47,11 @@ use crate::backend::{BitblastBackend, SolverBackend};
 use crate::error::Error;
 use crate::machine::{StepResult, SymMachine, TrailEntry};
 use crate::observe::{NullObserver, Observer};
-use crate::strategy::{Candidate, Dfs, PathStrategy};
+use crate::parallel::{
+    BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
+};
+use crate::prescribe::{Flip, PathId, Prescription};
+use crate::strategy::{Candidate, Dfs, PathStrategy, PrescriptionStrategy};
 use crate::SYM_INPUT_SYMBOL;
 
 /// Outcome of executing one path.
@@ -91,6 +95,29 @@ pub trait PathExecutor {
         obs: &mut dyn Observer,
     ) -> Result<PathOutcome, Error>;
 
+    /// Replays the *prefix* of the path driven by `input`: executes until
+    /// `branch_limit` symbolic branches have been recorded (or the path
+    /// ends), returning the trail. Used by prescription replay
+    /// ([`crate::ParallelSession`]), where only the constraint prefix up to
+    /// the flipped branch is needed — engines that can stop early save the
+    /// path's tail. Replays are never observed (no [`Observer`] hooks fire).
+    ///
+    /// The default implementation executes the full path and returns its
+    /// complete trail, which is correct for any executor.
+    ///
+    /// # Errors
+    /// Returns [`Error`] on execution errors or fuel exhaustion.
+    fn execute_prefix(
+        &mut self,
+        tm: &mut TermManager,
+        input: &[u8],
+        fuel: u64,
+        branch_limit: usize,
+    ) -> Result<Vec<TrailEntry>, Error> {
+        let _ = branch_limit;
+        Ok(self.execute_path(tm, input, fuel, &mut NullObserver)?.trail)
+    }
+
     /// Length of the symbolic input region in bytes.
     fn input_len(&self) -> u32;
 }
@@ -108,6 +135,17 @@ impl<E: PathExecutor> PathExecutor for std::rc::Rc<std::cell::RefCell<E>> {
         obs: &mut dyn Observer,
     ) -> Result<PathOutcome, Error> {
         self.borrow_mut().execute_path(tm, input, fuel, obs)
+    }
+
+    fn execute_prefix(
+        &mut self,
+        tm: &mut TermManager,
+        input: &[u8],
+        fuel: u64,
+        branch_limit: usize,
+    ) -> Result<Vec<TrailEntry>, Error> {
+        self.borrow_mut()
+            .execute_prefix(tm, input, fuel, branch_limit)
     }
 
     fn input_len(&self) -> u32 {
@@ -230,23 +268,68 @@ impl PathExecutor for SpecExecutor {
         })
     }
 
+    fn execute_prefix(
+        &mut self,
+        tm: &mut TermManager,
+        input: &[u8],
+        fuel: u64,
+        branch_limit: usize,
+    ) -> Result<Vec<TrailEntry>, Error> {
+        // Early-stop replay: a prescription only needs the trail up to its
+        // flipped branch, so stop as soon as enough branches are recorded
+        // instead of running the path to termination.
+        let mut m = SymMachine::new(self.spec.clone());
+        m.load_elf(&self.elf);
+        m.mark_symbolic(tm, self.sym_addr, self.sym_len, "in", input);
+        let mut branches = 0usize;
+        for _ in 0..fuel {
+            let before = m.trail.len();
+            let r = m.step(tm)?;
+            branches += m.trail[before..].iter().filter(|e| e.is_branch()).count();
+            if branches >= branch_limit || r != StepResult::Continue {
+                return Ok(m.trail);
+            }
+        }
+        Err(Error::OutOfFuel {
+            input: input.to_vec(),
+        })
+    }
+
     fn input_len(&self) -> u32 {
         self.sym_len
     }
 }
 
-/// Builder for [`Session`]; obtained via [`Session::builder`] (spec +
-/// binary) or [`Session::executor_builder`] (custom engine, no spec).
+/// Builder for [`Session`] and [`ParallelSession`]; obtained via
+/// [`Session::builder`] (spec + binary), [`Session::executor_builder`]
+/// (custom engine instance, no spec), or [`Session::factory_builder`]
+/// (replicable custom engine, usable by worker threads).
+///
+/// Sequential and parallel sessions grow from the same builder: the shared
+/// knobs (`binary`, `limit`, `fuel`, `input_len`) apply to both, while the
+/// engine *instances* (`strategy`, `backend`, `observer`, `executor`) are
+/// sequential-only — worker threads cannot share them — and have `Send`
+/// *factory* counterparts (`shard_strategy`, `backend_factory`,
+/// `observer_factory`, `executor_factory`) consumed by
+/// [`SessionBuilder::build_parallel`].
 pub struct SessionBuilder {
     spec: Option<Spec>,
     elf: Option<ElfFile>,
     executor: Option<Box<dyn PathExecutor>>,
     strategy: Box<dyn PathStrategy>,
+    strategy_set: bool,
     backend: Box<dyn SolverBackend>,
+    backend_set: bool,
     observer: Box<dyn Observer>,
+    observer_set: bool,
     limit: Option<u64>,
     fuel: u64,
     input_len: Option<u32>,
+    workers: Option<usize>,
+    executor_factory: Option<ExecutorFactory>,
+    backend_factory: Option<BackendFactory>,
+    observer_factory: Option<ObserverFactory>,
+    shard_strategy: Option<ShardStrategyFactory>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -257,6 +340,7 @@ impl std::fmt::Debug for SessionBuilder {
             .field("limit", &self.limit)
             .field("fuel", &self.fuel)
             .field("input_len", &self.input_len)
+            .field("workers", &self.workers)
             .finish_non_exhaustive()
     }
 }
@@ -277,20 +361,84 @@ impl SessionBuilder {
     }
 
     /// Path-selection strategy (default: [`Dfs`], the paper's policy).
+    /// Sequential-only; parallel sessions take [`SessionBuilder::shard_strategy`].
     pub fn strategy(mut self, strategy: impl PathStrategy + 'static) -> Self {
         self.strategy = Box::new(strategy);
+        self.strategy_set = true;
         self
     }
 
     /// Solver backend (default: the incremental [`BitblastBackend`]).
+    /// Sequential-only; parallel sessions take [`SessionBuilder::backend_factory`].
     pub fn backend(mut self, backend: impl SolverBackend + 'static) -> Self {
         self.backend = Box::new(backend);
+        self.backend_set = true;
         self
     }
 
     /// Observer receiving step/branch/path/query callbacks (default: none).
+    /// Sequential-only; parallel sessions take [`SessionBuilder::observer_factory`].
     pub fn observer(mut self, observer: impl Observer + 'static) -> Self {
         self.observer = Box::new(observer);
+        self.observer_set = true;
+        self
+    }
+
+    /// Number of worker threads for [`SessionBuilder::build_parallel`]
+    /// (default: the machine's available parallelism, capped at 8). Must be
+    /// nonzero. Setting it makes the builder parallel-only: `build()` will
+    /// refuse, pointing here.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Factory producing one [`PathExecutor`] per worker thread (and, when
+    /// no explicit executor/binary was given, the sequential executor too).
+    /// The factory must be `Send + Sync`; the executors it returns stay on
+    /// the thread that created them.
+    pub fn executor_factory(
+        mut self,
+        factory: impl Fn() -> Result<Box<dyn PathExecutor>, Error> + Send + Sync + 'static,
+    ) -> Self {
+        self.executor_factory = Some(std::sync::Arc::new(factory));
+        self
+    }
+
+    /// Factory producing the solver backend for each replayed prescription
+    /// in a parallel session (default: the incremental
+    /// [`BitblastBackend`]). Called once per feasibility query batch so
+    /// every replay solves in a context that is a pure function of its
+    /// prescription — the root of cross-run determinism.
+    pub fn backend_factory(
+        mut self,
+        factory: impl Fn() -> Box<dyn SolverBackend> + Send + Sync + 'static,
+    ) -> Self {
+        self.backend_factory = Some(std::sync::Arc::new(factory));
+        self
+    }
+
+    /// Factory producing one [`Observer`] per worker thread, receiving the
+    /// worker index. Worker observers see their shard's events live
+    /// (`on_step`/`on_branch` during materialized-path execution, plus
+    /// `on_query`/`on_path`); the deterministic merged stream is the record
+    /// list of [`ParallelSession::records`].
+    pub fn observer_factory(
+        mut self,
+        factory: impl Fn(usize) -> Box<dyn Observer> + Send + Sync + 'static,
+    ) -> Self {
+        self.observer_factory = Some(std::sync::Arc::new(factory));
+        self
+    }
+
+    /// Factory producing each worker's shard-local frontier policy,
+    /// receiving the worker index (default: depth-first). Affects
+    /// *scheduling only*: the merged results are canonical for any policy.
+    pub fn shard_strategy(
+        mut self,
+        factory: impl Fn(usize) -> Box<dyn PrescriptionStrategy> + Send + Sync + 'static,
+    ) -> Self {
+        self.shard_strategy = Some(std::sync::Arc::new(factory));
         self
     }
 
@@ -314,14 +462,7 @@ impl SessionBuilder {
         self
     }
 
-    /// Assembles the session.
-    ///
-    /// # Errors
-    /// [`Error::MissingBinary`] when neither [`SessionBuilder::binary`]
-    /// nor [`SessionBuilder::executor`] was called,
-    /// [`Error::InvalidConfig`] for a zero path limit or zero fuel, and
-    /// [`Error::NoSymbolicInput`] when the binary lacks the symbol.
-    pub fn build(self) -> Result<Session, Error> {
+    fn validate_common(&self) -> Result<(), Error> {
         if self.limit == Some(0) {
             return Err(Error::InvalidConfig {
                 what: "path limit must be nonzero (omit `limit` for unbounded exploration)",
@@ -332,9 +473,29 @@ impl SessionBuilder {
                 what: "per-path fuel must be nonzero",
             });
         }
-        let executor = match (self.executor, self.elf) {
-            (Some(exec), _) => exec,
-            (None, Some(elf)) => {
+        Ok(())
+    }
+
+    /// Assembles the sequential session.
+    ///
+    /// # Errors
+    /// [`Error::MissingBinary`] when none of [`SessionBuilder::binary`],
+    /// [`SessionBuilder::executor`], or
+    /// [`SessionBuilder::executor_factory`] was called,
+    /// [`Error::InvalidConfig`] for a zero path limit, zero fuel, or a
+    /// builder made parallel-only via [`SessionBuilder::workers`], and
+    /// [`Error::NoSymbolicInput`] when the binary lacks the symbol.
+    pub fn build(self) -> Result<Session, Error> {
+        self.validate_common()?;
+        if self.workers.is_some() {
+            return Err(Error::InvalidConfig {
+                what: "`workers` configures a parallel session: call `build_parallel()`",
+            });
+        }
+        let executor = match (self.executor, self.executor_factory, self.elf) {
+            (Some(exec), _, _) => exec,
+            (None, Some(factory), _) => factory()?,
+            (None, None, Some(elf)) => {
                 let spec = self.spec.ok_or(Error::InvalidConfig {
                     what:
                         "exploring a binary needs an ISA spec: start with `Session::builder(spec)`",
@@ -350,7 +511,7 @@ impl SessionBuilder {
                     sym_len,
                 })
             }
-            (None, None) => return Err(Error::MissingBinary),
+            (None, None, None) => return Err(Error::MissingBinary),
         };
         let input_len = executor.input_len();
         Ok(Session {
@@ -361,11 +522,92 @@ impl SessionBuilder {
             observer: self.observer,
             fuel: self.fuel,
             max_paths: self.limit,
-            next_input: Some(vec![0u8; input_len as usize]),
+            next_input: Some((PathId::root(), vec![0u8; input_len as usize])),
             forced_depth: 0,
             done: false,
             summary: Summary::default(),
         })
+    }
+
+    /// Assembles a [`ParallelSession`]: N worker threads, each owning a
+    /// complete engine, exploring the same path tree via replayable
+    /// [`Prescription`]s pulled from work-stealing shard frontiers.
+    ///
+    /// The sequential-only engine instances must not have been set — their
+    /// factory counterparts replace them, because every worker needs its
+    /// own copies.
+    ///
+    /// # Errors
+    /// [`Error::MissingBinary`] when no binary and no executor factory was
+    /// given; [`Error::InvalidConfig`] for zero workers/limit/fuel or for
+    /// sequential-only components without factories;
+    /// [`Error::NoSymbolicInput`] when the binary lacks the symbol.
+    pub fn build_parallel(self) -> Result<ParallelSession, Error> {
+        self.validate_common()?;
+        if self.workers == Some(0) {
+            return Err(Error::InvalidConfig {
+                what: "worker count must be nonzero",
+            });
+        }
+        if self.executor.is_some() && self.executor_factory.is_none() {
+            return Err(Error::InvalidConfig {
+                what: "a boxed executor cannot be shared across workers: use `executor_factory`",
+            });
+        }
+        if self.strategy_set {
+            return Err(Error::InvalidConfig {
+                what: "`strategy` is sequential-only: use `shard_strategy` for parallel sessions",
+            });
+        }
+        if self.backend_set {
+            return Err(Error::InvalidConfig {
+                what: "`backend` is sequential-only: use `backend_factory` for parallel sessions",
+            });
+        }
+        if self.observer_set {
+            return Err(Error::InvalidConfig {
+                what: "`observer` is sequential-only: use `observer_factory` for parallel sessions",
+            });
+        }
+        let executor_factory: ExecutorFactory = match (self.executor_factory, self.elf) {
+            (Some(factory), _) => factory,
+            (None, Some(elf)) => {
+                let spec = self.spec.ok_or(Error::InvalidConfig {
+                    what:
+                        "exploring a binary needs an ISA spec: start with `Session::builder(spec)`",
+                })?;
+                let input_len = self.input_len;
+                std::sync::Arc::new(move || {
+                    Ok(Box::new(SpecExecutor::new(spec.clone(), &elf, input_len)?))
+                })
+            }
+            (None, None) => return Err(Error::MissingBinary),
+        };
+        // Probe one executor now: fail fast on a broken factory or missing
+        // symbol, and learn the input length for the root prescription.
+        let input_len = executor_factory()?.input_len();
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(8)
+        });
+        let backend_factory: BackendFactory = self
+            .backend_factory
+            .unwrap_or_else(|| std::sync::Arc::new(|| Box::new(BitblastBackend::new())));
+        let shard_strategy: ShardStrategyFactory = self
+            .shard_strategy
+            .unwrap_or_else(|| std::sync::Arc::new(|_| Box::new(Dfs::<Prescription>::new())));
+        Ok(ParallelSession::new(
+            workers,
+            executor_factory,
+            backend_factory,
+            self.observer_factory,
+            shard_strategy,
+            self.fuel,
+            self.limit,
+            input_len,
+        ))
     }
 }
 
@@ -381,9 +623,9 @@ pub struct Session {
     observer: Box<dyn Observer>,
     fuel: u64,
     max_paths: Option<u64>,
-    /// Input for the next path, when already known (the initial all-zero
-    /// input, or a model found eagerly).
-    next_input: Option<Vec<u8>>,
+    /// Identity and input of the next path, when already known (the
+    /// initial all-zero root input, or a model found eagerly).
+    next_input: Option<(PathId, Vec<u8>)>,
     /// Branches below this ordinal are already queued from earlier paths
     /// and must not be re-queued (they are shared prefix).
     forced_depth: usize,
@@ -403,37 +645,60 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
+    fn empty_builder() -> SessionBuilder {
+        SessionBuilder {
+            spec: None,
+            elf: None,
+            executor: None,
+            strategy: Box::new(Dfs::<Candidate>::new()),
+            strategy_set: false,
+            backend: Box::new(BitblastBackend::new()),
+            backend_set: false,
+            observer: Box::new(NullObserver),
+            observer_set: false,
+            limit: None,
+            fuel: 10_000_000,
+            input_len: None,
+            workers: None,
+            executor_factory: None,
+            backend_factory: None,
+            observer_factory: None,
+            shard_strategy: None,
+        }
+    }
+
     /// Starts building a session for the given ISA specification.
     pub fn builder(spec: Spec) -> SessionBuilder {
         SessionBuilder {
             spec: Some(spec),
-            elf: None,
-            executor: None,
-            strategy: Box::new(Dfs::new()),
-            backend: Box::new(BitblastBackend::new()),
-            observer: Box::new(NullObserver),
-            limit: None,
-            fuel: 10_000_000,
-            input_len: None,
+            ..Session::empty_builder()
         }
     }
 
     /// Starts building a session around a custom [`PathExecutor`] — no ISA
     /// specification is needed (the executor brings its own translation
     /// layer). Equivalent to `Session::builder(spec).executor(...)` minus
-    /// the throwaway spec.
+    /// the throwaway spec. Sequential-only (the boxed executor cannot be
+    /// replicated onto worker threads); parallel custom engines start from
+    /// [`Session::factory_builder`].
     pub fn executor_builder(executor: impl PathExecutor + 'static) -> SessionBuilder {
         SessionBuilder {
-            spec: None,
-            elf: None,
             executor: Some(Box::new(executor)),
-            strategy: Box::new(Dfs::new()),
-            backend: Box::new(BitblastBackend::new()),
-            observer: Box::new(NullObserver),
-            limit: None,
-            fuel: 10_000_000,
-            input_len: None,
+            ..Session::empty_builder()
         }
+    }
+
+    /// Starts building a session around a *replicable* custom engine: the
+    /// factory is invoked once per worker thread by
+    /// [`SessionBuilder::build_parallel`] (and once by
+    /// [`SessionBuilder::build`] for a sequential session), so one builder
+    /// serves both modes. Shorthand for
+    /// `Session::builder(spec).executor_factory(...)` minus the throwaway
+    /// spec.
+    pub fn factory_builder(
+        factory: impl Fn() -> Result<Box<dyn PathExecutor>, Error> + Send + Sync + 'static,
+    ) -> SessionBuilder {
+        Session::empty_builder().executor_factory(factory)
     }
 
     /// Length of the symbolic input region in bytes.
@@ -512,7 +777,7 @@ impl Session {
         if self.done {
             return None;
         }
-        let input = match self.next_input.take() {
+        let (path_id, input) = match self.next_input.take() {
             Some(i) => i,
             None => match self.solve_next() {
                 Some(i) => i,
@@ -570,6 +835,14 @@ impl Session {
                         cond,
                         taken,
                         branch_ord,
+                        prescription: Prescription {
+                            id: path_id.child(branch_ord),
+                            input: outcome.input.clone(),
+                            flip: Some(Flip {
+                                ord: branch_ord,
+                                taken,
+                            }),
+                        },
                     });
                 }
                 branch_ord += 1;
@@ -579,9 +852,9 @@ impl Session {
     }
 
     /// Pops frontier candidates until a feasible flip is found, returning
-    /// the model's input bytes (and updating `forced_depth`), or `None`
-    /// when the frontier is exhausted.
-    fn solve_next(&mut self) -> Option<Vec<u8>> {
+    /// the new path's identity and the model's input bytes (and updating
+    /// `forced_depth`), or `None` when the frontier is exhausted.
+    fn solve_next(&mut self) -> Option<(PathId, Vec<u8>)> {
         while let Some(cand) = self.strategy.pop() {
             self.backend.push();
             for e in &cand.prefix {
@@ -603,7 +876,7 @@ impl Session {
                     .collect();
                 self.backend.pop();
                 self.forced_depth = cand.branch_ord + 1;
-                return Some(bytes);
+                return Some((cand.prescription.id, bytes));
             }
             self.backend.pop();
         }
@@ -888,8 +1161,8 @@ c4:
                 .run_all()
                 .unwrap()
         };
-        let dfs = run(Box::new(Dfs::new()));
-        let bfs = run(Box::new(Bfs::new()));
+        let dfs = run(Box::<Dfs>::default());
+        let bfs = run(Box::<Bfs>::default());
         let rnd = run(Box::<RandomRestart>::default());
         assert_eq!(dfs.paths, 8);
         assert_eq!(bfs.paths, 8, "bfs misses paths");

@@ -1,10 +1,21 @@
 //! Pluggable path-selection strategies for the DSE worklist.
 //!
-//! The exploration loop maintains a *frontier* of pending branch flips
-//! ([`Candidate`]s). Which candidate is discharged next is the search
-//! policy — the paper's engine hard-wires depth-first selection (§III-B),
-//! but the policy is orthogonal to both the executor and the solver, so
-//! [`crate::Session`] takes it as a [`PathStrategy`] trait object:
+//! The exploration loop maintains a *frontier* of pending branch flips.
+//! Which entry is discharged next is the search policy — the paper's engine
+//! hard-wires depth-first selection (§III-B), but the policy is orthogonal
+//! to both the executor and the solver, so it is a pluggable seam. The
+//! worklist structures are generic over the item they schedule and serve
+//! two frontiers:
+//!
+//! * the **sequential** frontier of [`crate::Session`], holding
+//!   [`Candidate`]s (live term handles, continued in place) behind the
+//!   [`PathStrategy`] trait;
+//! * the **shard-local** frontiers of [`crate::ParallelSession`], holding
+//!   plain-data [`Prescription`]s behind the [`PrescriptionStrategy`]
+//!   trait — the same policies, plus a [`steal`](PrescriptionStrategy::steal)
+//!   end for idle workers.
+//!
+//! The policies:
 //!
 //! * [`Dfs`] — depth-first (the paper's behaviour, and the default): flip
 //!   the deepest unexplored branch of the most recent path first;
@@ -16,7 +27,9 @@
 //!
 //! All strategies enumerate the same complete path set on terminating
 //! programs — only the discovery *order* (and thus which paths a truncated
-//! exploration sees) differs.
+//! exploration sees) differs. In a parallel session the policy affects
+//! *scheduling only*: the merged results are canonically ordered and
+//! identical for every policy (see [`crate::ParallelSession`]).
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -24,8 +37,11 @@ use std::fmt;
 use binsym_smt::Term;
 
 use crate::machine::TrailEntry;
+use crate::prescribe::Prescription;
 
-/// A pending branch flip: one node of the exploration frontier.
+/// A pending branch flip on the sequential frontier: live term handles
+/// plus, in [`Candidate::prescription`], the plain-data form that lets the
+/// same pending path be replayed on a fresh engine.
 #[derive(Debug, Clone)]
 pub struct Candidate {
     /// Trail entries preceding the flipped branch (the path-condition
@@ -37,6 +53,8 @@ pub struct Candidate {
     pub taken: bool,
     /// Ordinal of the branch among the path's *branch* entries.
     pub branch_ord: usize,
+    /// Replayable plain-data identity of this pending path.
+    pub prescription: Prescription,
 }
 
 /// A worklist policy deciding which pending branch flip to discharge next.
@@ -77,81 +95,212 @@ impl PathStrategy for Box<dyn PathStrategy> {
     }
 }
 
-/// Depth-first path selection (the paper's §III-B policy, and the default).
-#[derive(Debug, Default)]
-pub struct Dfs {
-    stack: Vec<Candidate>,
+/// A shard-local worklist policy over plain-data [`Prescription`]s, used by
+/// the worker threads of [`crate::ParallelSession`].
+///
+/// Each worker owns one instance and pushes/pops through it; idle workers
+/// *steal* from a victim's instance through [`PrescriptionStrategy::steal`],
+/// which should hand out the entry the owner would schedule **last** (the
+/// classic work-stealing discipline: the thief takes the biggest pending
+/// subtree, minimizing contention on the owner's hot end).
+///
+/// The policy only shapes scheduling; every pushed prescription must be
+/// handed out exactly once across `pop` and `steal`.
+pub trait PrescriptionStrategy: fmt::Debug + Send {
+    /// Human-readable policy name (for logs and summaries).
+    fn name(&self) -> &'static str;
+
+    /// Adds a prescription to this shard's frontier.
+    fn push(&mut self, prescription: Prescription);
+
+    /// Removes and returns the owner's next prescription.
+    fn pop(&mut self) -> Option<Prescription>;
+
+    /// Removes and returns a prescription for a *stealing* worker
+    /// (default: same as [`PrescriptionStrategy::pop`]).
+    fn steal(&mut self) -> Option<Prescription> {
+        self.pop()
+    }
+
+    /// Number of pending prescriptions.
+    fn frontier_len(&self) -> usize;
 }
 
-impl Dfs {
+/// Depth-first selection (the paper's §III-B policy, and the default).
+///
+/// Generic over the scheduled item: `Dfs<Candidate>` (the default) is the
+/// sequential [`PathStrategy`], `Dfs<Prescription>` the shard-local
+/// [`PrescriptionStrategy`] — there the owner pops the deepest entry while
+/// thieves steal the shallowest (largest) pending subtree.
+#[derive(Debug)]
+pub struct Dfs<T = Candidate> {
+    stack: VecDeque<T>,
+}
+
+impl<T> Dfs<T> {
     /// Creates an empty depth-first frontier.
     pub fn new() -> Self {
-        Dfs::default()
+        Dfs {
+            stack: VecDeque::new(),
+        }
+    }
+
+    /// Adds an item to the frontier.
+    pub fn push(&mut self, item: T) {
+        self.stack.push_back(item);
+    }
+
+    /// Removes and returns the deepest (most recently pushed) item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.stack.pop_back()
+    }
+
+    /// Number of pending items.
+    pub fn frontier_len(&self) -> usize {
+        self.stack.len()
     }
 }
 
-impl PathStrategy for Dfs {
+impl<T> Default for Dfs<T> {
+    fn default() -> Self {
+        Dfs::new()
+    }
+}
+
+impl PathStrategy for Dfs<Candidate> {
     fn name(&self) -> &'static str {
         "dfs"
     }
 
     fn push(&mut self, candidate: Candidate) {
-        self.stack.push(candidate);
+        Dfs::push(self, candidate);
     }
 
     fn pop(&mut self) -> Option<Candidate> {
-        self.stack.pop()
+        Dfs::pop(self)
     }
 
     fn frontier_len(&self) -> usize {
-        self.stack.len()
+        Dfs::frontier_len(self)
     }
 }
 
-/// Breadth-first path selection: oldest (shallowest) branch flips first.
-#[derive(Debug, Default)]
-pub struct Bfs {
-    queue: VecDeque<Candidate>,
+impl PrescriptionStrategy for Dfs<Prescription> {
+    fn name(&self) -> &'static str {
+        "dfs"
+    }
+
+    fn push(&mut self, prescription: Prescription) {
+        Dfs::push(self, prescription);
+    }
+
+    fn pop(&mut self) -> Option<Prescription> {
+        Dfs::pop(self)
+    }
+
+    fn steal(&mut self) -> Option<Prescription> {
+        self.stack.pop_front()
+    }
+
+    fn frontier_len(&self) -> usize {
+        Dfs::frontier_len(self)
+    }
 }
 
-impl Bfs {
+/// Breadth-first selection: oldest (shallowest) branch flips first.
+///
+/// Generic like [`Dfs`]; as a shard policy, thieves steal from the deep
+/// end while the owner drains shallow prefixes.
+#[derive(Debug)]
+pub struct Bfs<T = Candidate> {
+    queue: VecDeque<T>,
+}
+
+impl<T> Bfs<T> {
     /// Creates an empty breadth-first frontier.
     pub fn new() -> Self {
-        Bfs::default()
+        Bfs {
+            queue: VecDeque::new(),
+        }
+    }
+
+    /// Adds an item to the frontier.
+    pub fn push(&mut self, item: T) {
+        self.queue.push_back(item);
+    }
+
+    /// Removes and returns the oldest (shallowest) item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.queue.pop_front()
+    }
+
+    /// Number of pending items.
+    pub fn frontier_len(&self) -> usize {
+        self.queue.len()
     }
 }
 
-impl PathStrategy for Bfs {
+impl<T> Default for Bfs<T> {
+    fn default() -> Self {
+        Bfs::new()
+    }
+}
+
+impl PathStrategy for Bfs<Candidate> {
     fn name(&self) -> &'static str {
         "bfs"
     }
 
     fn push(&mut self, candidate: Candidate) {
-        self.queue.push_back(candidate);
+        Bfs::push(self, candidate);
     }
 
     fn pop(&mut self) -> Option<Candidate> {
-        self.queue.pop_front()
+        Bfs::pop(self)
     }
 
     fn frontier_len(&self) -> usize {
-        self.queue.len()
+        Bfs::frontier_len(self)
     }
 }
 
-/// Random path selection with restarts: each flip is drawn uniformly from
-/// the whole frontier, so exploration repeatedly "restarts" from unrelated
+impl PrescriptionStrategy for Bfs<Prescription> {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn push(&mut self, prescription: Prescription) {
+        Bfs::push(self, prescription);
+    }
+
+    fn pop(&mut self) -> Option<Prescription> {
+        Bfs::pop(self)
+    }
+
+    fn steal(&mut self) -> Option<Prescription> {
+        self.queue.pop_back()
+    }
+
+    fn frontier_len(&self) -> usize {
+        Bfs::frontier_len(self)
+    }
+}
+
+/// Random selection with restarts: each flip is drawn uniformly from the
+/// whole frontier, so exploration repeatedly "restarts" from unrelated
 /// program regions instead of draining one subtree.
 ///
 /// The generator is a deterministic xorshift64*, so a given seed always
-/// reproduces the same exploration order.
+/// reproduces the same exploration order. Generic like [`Dfs`]; as a shard
+/// policy both the owner and thieves draw randomly (in a parallel session
+/// this only perturbs scheduling — the merged results are canonical).
 #[derive(Debug)]
-pub struct RandomRestart {
-    frontier: Vec<Candidate>,
+pub struct RandomRestart<T = Candidate> {
+    frontier: Vec<T>,
     state: u64,
 }
 
-impl RandomRestart {
+impl<T> RandomRestart<T> {
     /// Creates the strategy with an explicit seed (any value; 0 is mapped
     /// to a fixed nonzero constant).
     pub fn with_seed(seed: u64) -> Self {
@@ -182,24 +331,14 @@ impl RandomRestart {
         self.state = x;
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
-}
 
-impl Default for RandomRestart {
-    fn default() -> Self {
-        RandomRestart::new()
-    }
-}
-
-impl PathStrategy for RandomRestart {
-    fn name(&self) -> &'static str {
-        "random-restart"
+    /// Adds an item to the frontier.
+    pub fn push(&mut self, item: T) {
+        self.frontier.push(item);
     }
 
-    fn push(&mut self, candidate: Candidate) {
-        self.frontier.push(candidate);
-    }
-
-    fn pop(&mut self) -> Option<Candidate> {
+    /// Removes and returns a uniformly pseudo-random item.
+    pub fn pop(&mut self) -> Option<T> {
         if self.frontier.is_empty() {
             return None;
         }
@@ -207,14 +346,58 @@ impl PathStrategy for RandomRestart {
         Some(self.frontier.swap_remove(i))
     }
 
-    fn frontier_len(&self) -> usize {
+    /// Number of pending items.
+    pub fn frontier_len(&self) -> usize {
         self.frontier.len()
+    }
+}
+
+impl<T> Default for RandomRestart<T> {
+    fn default() -> Self {
+        RandomRestart::new()
+    }
+}
+
+impl PathStrategy for RandomRestart<Candidate> {
+    fn name(&self) -> &'static str {
+        "random-restart"
+    }
+
+    fn push(&mut self, candidate: Candidate) {
+        RandomRestart::push(self, candidate);
+    }
+
+    fn pop(&mut self) -> Option<Candidate> {
+        RandomRestart::pop(self)
+    }
+
+    fn frontier_len(&self) -> usize {
+        RandomRestart::frontier_len(self)
+    }
+}
+
+impl PrescriptionStrategy for RandomRestart<Prescription> {
+    fn name(&self) -> &'static str {
+        "random-restart"
+    }
+
+    fn push(&mut self, prescription: Prescription) {
+        RandomRestart::push(self, prescription);
+    }
+
+    fn pop(&mut self) -> Option<Prescription> {
+        RandomRestart::pop(self)
+    }
+
+    fn frontier_len(&self) -> usize {
+        RandomRestart::frontier_len(self)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prescribe::{Flip, PathId};
     use binsym_smt::TermManager;
 
     fn candidate(ord: usize) -> Candidate {
@@ -226,6 +409,15 @@ mod tests {
             cond: tm.eq(v, one),
             taken: true,
             branch_ord: ord,
+            prescription: prescription(ord),
+        }
+    }
+
+    fn prescription(ord: usize) -> Prescription {
+        Prescription {
+            id: PathId::root().child(ord),
+            input: vec![0],
+            flip: Some(Flip { ord, taken: true }),
         }
     }
 
@@ -278,5 +470,58 @@ mod tests {
             "every candidate popped once"
         );
         assert_ne!(order(42), order(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn shard_policies_steal_from_the_cold_end() {
+        let ord_of = |p: Prescription| p.flip.unwrap().ord;
+
+        let mut dfs = Dfs::<Prescription>::new();
+        for i in 0..3 {
+            dfs.push(prescription(i));
+        }
+        assert_eq!(dfs.steal().map(ord_of), Some(0), "dfs thief takes oldest");
+        assert_eq!(dfs.pop().map(ord_of), Some(2), "dfs owner keeps newest");
+
+        let mut bfs = Bfs::<Prescription>::new();
+        for i in 0..3 {
+            bfs.push(prescription(i));
+        }
+        assert_eq!(bfs.steal().map(ord_of), Some(2), "bfs thief takes newest");
+        assert_eq!(bfs.pop().map(ord_of), Some(0));
+    }
+
+    #[test]
+    fn shard_policies_hand_out_every_item_once() {
+        fn drain(mut s: Box<dyn PrescriptionStrategy>) -> Vec<usize> {
+            let mut out = Vec::new();
+            loop {
+                // Alternate owner pops and steals to exercise both ends.
+                let next = if out.len() % 2 == 0 {
+                    s.pop()
+                } else {
+                    s.steal()
+                };
+                match next {
+                    Some(p) => out.push(p.flip.unwrap().ord),
+                    None => break,
+                }
+            }
+            out
+        }
+        let policies: [Box<dyn PrescriptionStrategy>; 3] = [
+            Box::new(Dfs::<Prescription>::new()),
+            Box::new(Bfs::<Prescription>::new()),
+            Box::new(RandomRestart::<Prescription>::with_seed(7)),
+        ];
+        for mut s in policies {
+            for i in 0..6 {
+                s.push(prescription(i));
+            }
+            assert_eq!(s.frontier_len(), 6);
+            let mut seen = drain(s);
+            seen.sort_unstable();
+            assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        }
     }
 }

@@ -236,6 +236,31 @@ impl TermManager {
         self.vars.len()
     }
 
+    /// Clears every term and variable, returning the manager to the state
+    /// of a fresh [`TermManager::new`] while keeping its allocations.
+    ///
+    /// # Handle hygiene
+    /// [`Term`] and [`VarId`] handles are plain indices into this manager's
+    /// arena: they are only meaningful for the manager (and reset
+    /// generation) that produced them. After `reset`, every previously
+    /// handed-out handle is dangling — using one is not memory-unsafe but
+    /// will resolve to an unrelated term or panic on an out-of-range index.
+    /// Engines that replay work on a per-task context (one reset per task)
+    /// must therefore never let handles escape the task that created them;
+    /// cross-task data has to travel as plain data (inputs, decisions),
+    /// not as term handles.
+    ///
+    /// Because term and variable numbering restart from zero, a reset
+    /// manager reproduces handle assignment exactly like a brand-new one:
+    /// replaying the same construction sequence yields the same handles,
+    /// which keeps reset-based engine reuse bit-deterministic.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+        self.interned.clear();
+        self.vars.clear();
+        self.var_by_name.clear();
+    }
+
     pub(crate) fn node(&self, t: Term) -> &Node {
         &self.nodes[t.index()]
     }
@@ -1086,5 +1111,25 @@ mod tests {
         assert_eq!(to_signed(0x7f, 8), 127);
         assert_eq!(to_signed(0x8000_0000, 32), i64::from(i32::MIN));
         assert_eq!(to_signed(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn reset_reproduces_fresh_handle_assignment() {
+        let build = |tm: &mut TermManager| {
+            let x = tm.var("x", 32);
+            let five = tm.bv_const(5, 32);
+            (x, five, tm.ult(x, five))
+        };
+        let mut tm = TermManager::new();
+        let first = build(&mut tm);
+        // Interleave unrelated construction so a second fresh run would
+        // diverge without the reset.
+        let _ = tm.var("noise", 8);
+        tm.reset();
+        assert_eq!(tm.num_nodes(), 0);
+        assert_eq!(tm.num_vars(), 0);
+        let second = build(&mut tm);
+        assert_eq!(first, second, "reset restarts handle numbering");
+        assert!(tm.find_var("noise").is_none());
     }
 }

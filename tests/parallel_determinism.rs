@@ -1,0 +1,154 @@
+//! Determinism suite for the sharded `ParallelSession` (all five Table I
+//! programs).
+//!
+//! Replaying a prescription is a pure function of the prescription, so a
+//! parallel exploration must produce **identical** merged results —
+//! path counts, branch counts, per-path records (witness inputs included),
+//! and summary contents — across 1/2/4/8 workers, across repeated runs,
+//! and across shard scheduling policies (including `RandomRestart` with a
+//! fixed seed). Against the *sequential* engine the comparison is
+//! model-independent: the same pinned path count, the same multiset of
+//! branch-decision fingerprints, the same solver-check and step totals
+//! (witness inputs are solver model choices and may legitimately differ
+//! between the sequential incremental solver and the fresh replay
+//! contexts).
+//!
+//! The three big programs run under `#[ignore]` so the debug-mode tier-1
+//! suite stays fast; CI runs them in release with `--include-ignored`.
+
+use binsym_repro::bench::programs::{self, Program};
+use binsym_repro::binsym::{PathRecord, Prescription, RandomRestart, Session, Summary, TrailEntry};
+use binsym_repro::isa::Spec;
+
+/// Branch-decision fingerprints of a sequential exploration, in discovery
+/// order, plus its summary.
+fn sequential_fingerprint(p: &Program) -> (Summary, Vec<Vec<bool>>) {
+    let elf = p.build();
+    let mut session = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .build()
+        .expect("builds");
+    let decisions: Vec<Vec<bool>> = session
+        .paths()
+        .map(|r| {
+            r.expect("path executes")
+                .trail
+                .iter()
+                .filter_map(|e| match *e {
+                    TrailEntry::Branch { taken, .. } => Some(taken),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect();
+    (session.summary(), decisions)
+}
+
+/// One parallel run with the given worker count and shard policy seed
+/// (`None` = default depth-first policy).
+fn parallel_run(p: &Program, workers: usize, seed: Option<u64>) -> (Summary, Vec<PathRecord>) {
+    let elf = p.build();
+    let mut builder = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers);
+    if let Some(seed) = seed {
+        builder = builder.shard_strategy(move |i| {
+            Box::new(RandomRestart::<Prescription>::with_seed(seed + i as u64))
+        });
+    }
+    let mut session = builder.build_parallel().expect("builds");
+    let summary = session.run_all().expect("explores");
+    (summary, session.records().to_vec())
+}
+
+fn assert_summaries_equal(a: &Summary, b: &Summary, what: &str) {
+    assert_eq!(a.paths, b.paths, "{what}: paths");
+    assert_eq!(a.error_paths, b.error_paths, "{what}: error paths");
+    assert_eq!(a.total_steps, b.total_steps, "{what}: total steps");
+    assert_eq!(a.solver_checks, b.solver_checks, "{what}: solver checks");
+    assert_eq!(a.max_trail_len, b.max_trail_len, "{what}: max trail len");
+    assert_eq!(a.truncated, b.truncated, "{what}: truncated");
+}
+
+/// The full determinism contract for one benchmark program.
+fn check_program(p: &Program) {
+    let (seq_summary, seq_decisions) = sequential_fingerprint(p);
+    assert_eq!(
+        seq_summary.paths, p.expected_paths,
+        "{}: sequential",
+        p.name
+    );
+    let seq_branches: u64 = seq_decisions.iter().map(|d| d.len() as u64).sum();
+    let mut seq_set = seq_decisions;
+    seq_set.sort();
+
+    // Reference: 1 worker, default policy.
+    let (ref_summary, ref_records) = parallel_run(p, 1, None);
+
+    for workers in [1usize, 2, 4, 8] {
+        let (summary, records) = parallel_run(p, workers, None);
+        let what = format!("{} with {workers} workers", p.name);
+
+        // Pinned Table I path count.
+        assert_eq!(summary.paths, p.expected_paths, "{what}: pinned count");
+        // Identical summary contents and records across worker counts.
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: merged records");
+
+        // Branch counts and the path set agree with the sequential engine.
+        let par_branches: u64 = records.iter().map(PathRecord::branches).sum();
+        assert_eq!(par_branches, seq_branches, "{what}: total branches");
+        let mut par_set: Vec<Vec<bool>> = records.iter().map(|r| r.decisions.clone()).collect();
+        par_set.sort();
+        assert_eq!(par_set, seq_set, "{what}: path set vs sequential");
+        assert_eq!(summary.total_steps, seq_summary.total_steps, "{what}");
+        assert_eq!(summary.solver_checks, seq_summary.solver_checks, "{what}");
+        assert_eq!(summary.max_trail_len, seq_summary.max_trail_len, "{what}");
+        assert_eq!(
+            summary.error_paths.len(),
+            seq_summary.error_paths.len(),
+            "{what}: error path count"
+        );
+    }
+
+    // Repeated run: byte-identical.
+    let (summary, records) = parallel_run(p, 2, None);
+    assert_summaries_equal(&summary, &ref_summary, &format!("{} repeated", p.name));
+    assert_eq!(records, ref_records, "{}: repeated run records", p.name);
+
+    // RandomRestart with a fixed seed: scheduling changes, results do not.
+    for workers in [1usize, 4] {
+        let (summary, records) = parallel_run(p, workers, Some(0xdead_beef));
+        let what = format!("{} random-restart {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: merged records");
+    }
+}
+
+#[test]
+fn clif_parser_is_deterministic() {
+    check_program(&programs::CLIF_PARSER);
+}
+
+#[test]
+fn bubble_sort_is_deterministic() {
+    check_program(&programs::BUBBLE_SORT);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_is_deterministic() {
+    check_program(&programs::URI_PARSER);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn base64_encode_is_deterministic() {
+    check_program(&programs::BASE64_ENCODE);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn insertion_sort_is_deterministic() {
+    check_program(&programs::INSERTION_SORT);
+}

@@ -202,6 +202,27 @@ fn random_restart_and_alternate_backends_reproduce_quickstart_counts() {
 }
 
 #[test]
+fn parallel_builder_reproduces_quickstart_and_finds_the_witness() {
+    // The same builder grows the sharded session; the divu bug's witness
+    // (y == 0) is the unique model, so even the input bytes must match
+    // the sequential run's.
+    let elf = assemble(QUICKSTART_DIVU);
+    let mut session = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(2)
+        .build_parallel()
+        .expect("builds");
+    let s = session.run_all().expect("explores");
+    assert_eq!(s.paths, 2, "quickstart has 2 paths");
+    assert_eq!(s.error_paths.len(), 1, "and 1 error path");
+    let y = u32::from_le_bytes(s.error_paths[0].input[..4].try_into().unwrap());
+    assert_eq!(y, 0);
+    // The merged record stream is available, in canonical order.
+    assert_eq!(session.records().len(), 2);
+    assert!(session.records().iter().any(|r| r.is_error()));
+}
+
+#[test]
 fn smtlib_dump_backend_streams_replayable_scripts() {
     let elf = assemble(QUICKSTART_DIVU);
     let backend = SmtLibDump::new();

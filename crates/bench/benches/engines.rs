@@ -8,14 +8,16 @@
 //! --release -p binsym-bench --bin fig6` for the paper-style 5-run mean
 //! table. Run with `cargo bench -p binsym-bench --bench engines`; set
 //! `BENCH_ALL=1` to lift the heavy-row gate, `--smoke` (CI) to run only
-//! the fast programs, and `--workers N` / `BINSYM_WORKERS` to size the
-//! scaling series (default 4).
+//! the fast programs, `--workers N` / `BINSYM_WORKERS` to size the
+//! scaling series (default 4), and `--strategy dfs|bfs|coverage` to swap
+//! the path-selection policy (path counts must not change).
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use binsym::Session;
+use binsym::{CoverageMap, CoverageObserver, Session, SessionBuilder};
 use binsym_bench::cli::BenchOpts;
-use binsym_bench::{run_engine, Engine, Program};
+use binsym_bench::{run_engine_with, Engine, Program, SearchStrategy};
 use binsym_isa::Spec;
 
 fn sample<R>(mut run: impl FnMut() -> R) -> (Duration, usize) {
@@ -30,18 +32,52 @@ fn sample<R>(mut run: impl FnMut() -> R) -> (Duration, usize) {
     (total / samples as u32, samples)
 }
 
+/// A plain (no persona cost model) builder for `elf` under `strategy`:
+/// sequential when `workers == 0`, sharded otherwise. Coverage runs get a
+/// fresh map per exploration, fed by per-worker observers.
+fn plain_builder(
+    elf: &binsym_elf::ElfFile,
+    workers: usize,
+    strategy: SearchStrategy,
+) -> SessionBuilder {
+    let map = (strategy == SearchStrategy::Coverage).then(|| CoverageMap::shared_for(elf));
+    let builder = Session::builder(Spec::rv32im()).binary(elf);
+    if workers == 0 {
+        let builder = strategy.install(builder, map.as_ref());
+        match map {
+            Some(map) => builder.observer(CoverageObserver::new(map)),
+            None => builder,
+        }
+    } else {
+        let builder = strategy
+            .install_sharded(builder, map.as_ref())
+            .workers(workers);
+        match map {
+            Some(map) => {
+                builder.observer_factory(move |_| Box::new(CoverageObserver::new(Arc::clone(&map))))
+            }
+            None => builder,
+        }
+    }
+}
+
 fn main() {
     let opts = BenchOpts::from_env();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let bench_all = std::env::var_os("BENCH_ALL").is_some();
     let scaling_workers = opts.workers.unwrap_or(4);
+    let strategy = SearchStrategy::from_opts(&opts);
 
     let programs: Vec<Program> = binsym_bench::all_programs()
         .into_iter()
         .filter(|p| !smoke || p.expected_paths <= 1000)
         .collect();
 
-    println!("engine benches (mean wall time per full exploration)\n");
+    println!("engine benches (mean wall time per full exploration)");
+    if strategy != SearchStrategy::Dfs {
+        println!("(path-selection strategy: {})", strategy.name());
+    }
+    println!();
     for program in &programs {
         println!("{}:", program.name);
         let elf = program.build();
@@ -57,7 +93,7 @@ fn main() {
                 continue;
             }
             let (mean, samples) = sample(|| {
-                let r = run_engine(engine, &elf).expect("explores");
+                let r = run_engine_with(engine, &elf, 0, strategy).expect("explores");
                 assert_eq!(r.summary.paths, program.expected_paths);
             });
             println!(
@@ -85,8 +121,7 @@ fn main() {
         println!("{}:", program.name);
         let elf = program.build();
         let (seq_mean, seq_samples) = sample(|| {
-            let s = Session::builder(Spec::rv32im())
-                .binary(&elf)
+            let s = plain_builder(&elf, 0, strategy)
                 .build()
                 .expect("builds")
                 .run_all()
@@ -100,9 +135,7 @@ fn main() {
         let mut one_worker_mean = None;
         for workers in [1, scaling_workers] {
             let (mean, samples) = sample(|| {
-                let s = Session::builder(Spec::rv32im())
-                    .binary(&elf)
-                    .workers(workers)
+                let s = plain_builder(&elf, workers, strategy)
                     .build_parallel()
                     .expect("builds")
                     .run_all()

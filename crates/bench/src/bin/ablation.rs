@@ -11,10 +11,16 @@
 //!    exploration, fresh solver context per prescription) at 1..=N workers
 //!    vs. the sequential incremental engine, isolating what the
 //!    prescription-replay model costs and what the parallelism buys back.
+//! 4. **Search strategy vs. coverage velocity** — paths needed to reach
+//!    full text-segment PC coverage under DFS, BFS, and the
+//!    coverage-guided policy, on all five Table I programs. Every policy
+//!    enumerates the same complete path set; what differs — and what a
+//!    truncated exploration budget buys — is how *early* unexecuted code
+//!    surfaces.
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin ablation \
-//!     [--workers N] [--json PATH]
+//!     [--quick] [--workers N] [--json PATH]
 //! ```
 
 use std::cell::RefCell;
@@ -23,7 +29,7 @@ use std::time::Instant;
 
 use binsym::{BitblastBackend, Session};
 use binsym_bench::cli::{write_json, BenchOpts, Json};
-use binsym_bench::programs;
+use binsym_bench::{all_programs, coverage_trajectory, programs, SearchStrategy};
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
 
@@ -172,6 +178,46 @@ fn main() {
             seq,
             "",
             cells.join("  ")
+        );
+    }
+
+    println!("\nABLATION 4 — paths to full PC coverage (search-strategy comparison)\n");
+    println!(
+        "{:<16} {:>8} {:>8} {:>10} {:>10} {:>12}",
+        "Benchmark", "dfs", "bfs", "coverage", "text PCs", "total paths"
+    );
+    for p in all_programs() {
+        if opts.quick && p.expected_paths > 1000 {
+            continue;
+        }
+        let mut to_full = Vec::new();
+        let mut reference: Option<(u64, u64)> = None;
+        for strategy in SearchStrategy::ALL {
+            let (paths_to_full, final_cov, total) = coverage_trajectory(&p, strategy);
+            assert_eq!(total, p.expected_paths, "{}: full enumeration", p.name);
+            match reference {
+                None => reference = Some((final_cov, total)),
+                Some(r) => assert_eq!(
+                    r,
+                    (final_cov, total),
+                    "{}: final coverage is strategy-independent",
+                    p.name
+                ),
+            }
+            json_rows.push(Json::O(vec![
+                ("ablation", Json::s("coverage-velocity")),
+                ("benchmark", Json::s(p.name)),
+                ("strategy", Json::s(strategy.name())),
+                ("paths_to_full_coverage", Json::U(paths_to_full)),
+                ("covered_pcs", Json::U(final_cov)),
+                ("total_paths", Json::U(total)),
+            ]));
+            to_full.push(paths_to_full);
+        }
+        let (final_cov, total) = reference.expect("ran");
+        println!(
+            "{:<16} {:>8} {:>8} {:>10} {:>10} {:>12}",
+            p.name, to_full[0], to_full[1], to_full[2], final_cov, total
         );
     }
 

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin fig6 \
-//!     [--runs N] [--quick] [--workers N] [--json PATH]
+//!     [--runs N] [--quick] [--workers N] [--strategy dfs|bfs|coverage] \
+//!     [--json PATH]
 //! ```
 //!
 //! The paper reports 5 runs on a Xeon Gold 6240 with the original tools;
@@ -14,13 +15,15 @@
 //!
 //! `--workers N` (env fallback `BINSYM_WORKERS`) times the sharded
 //! `ParallelSession` variant of every persona instead; path counts must
-//! not change. `--json PATH` writes the machine-readable summary tracked
-//! in `BENCH_*.json`.
+//! not change — and neither may they under `--strategy bfs|coverage`
+//! (full exploration is strategy-independent; coverage runs also report
+//! covered text PCs). `--json PATH` writes the machine-readable summary
+//! tracked in `BENCH_*.json`.
 
 use std::time::Duration;
 
 use binsym_bench::cli::{write_json, BenchOpts, Json};
-use binsym_bench::{all_programs, run_engine_parallel, Engine};
+use binsym_bench::{all_programs, run_engine_with, Engine, SearchStrategy};
 
 fn mean(durations: &[Duration]) -> Duration {
     let total: Duration = durations.iter().sum();
@@ -43,11 +46,15 @@ fn stddev_pct(durations: &[Duration], m: Duration) -> f64 {
 fn main() {
     let opts = BenchOpts::from_env();
     let workers = opts.workers_or_sequential();
+    let strategy = SearchStrategy::from_opts(&opts);
     let runs: usize = opts.runs.unwrap_or(if opts.quick { 1 } else { 5 });
 
     println!("FIG. 6 — Total execution time (arithmetic mean over {runs} run(s))");
     if workers > 0 {
         println!("(sharded exploration: {workers} workers per engine)");
+    }
+    if strategy != SearchStrategy::Dfs {
+        println!("(path-selection strategy: {})", strategy.name());
     }
     println!("expected ordering per row: BINSEC < BinSym < SymEx-VP << angr\n");
     println!(
@@ -65,8 +72,9 @@ fn main() {
         let mut means = Vec::new();
         for engine in Engine::FIG6 {
             let mut samples = Vec::with_capacity(runs);
+            let mut covered = None;
             for _ in 0..runs {
-                let r = run_engine_parallel(engine, &elf, workers).unwrap_or_else(|e| {
+                let r = run_engine_with(engine, &elf, workers, strategy).unwrap_or_else(|e| {
                     panic!("{} on {}: {e}", engine.name(), p.name);
                 });
                 assert_eq!(
@@ -76,18 +84,25 @@ fn main() {
                     engine.name(),
                     p.name
                 );
+                covered = r.covered_pcs;
                 samples.push(r.duration);
             }
             let m = mean(&samples);
             max_dev = max_dev.max(stddev_pct(&samples, m));
-            json_rows.push(Json::O(vec![
+            let mut row = vec![
                 ("benchmark", Json::s(p.name)),
                 ("engine", Json::s(engine.name())),
+                ("strategy", Json::s(strategy.name())),
                 ("paths", Json::U(p.expected_paths)),
                 ("mean_seconds", Json::F(m.as_secs_f64())),
                 ("stddev_pct", Json::F(stddev_pct(&samples, m))),
                 ("runs", Json::U(runs as u64)),
-            ]));
+            ];
+            if let Some((covered, tracked)) = covered {
+                row.push(("covered_pcs", Json::U(covered)));
+                row.push(("tracked_pcs", Json::U(tracked)));
+            }
+            json_rows.push(Json::O(row));
             means.push(m);
         }
         let base = means[0].as_secs_f64().max(1e-9);
@@ -111,6 +126,7 @@ fn main() {
         let doc = Json::O(vec![
             ("bin", Json::s("fig6")),
             ("workers", Json::U(workers as u64)),
+            ("strategy", Json::s(strategy.name())),
             ("runs", Json::U(runs as u64)),
             ("quick", Json::B(opts.quick)),
             ("max_stddev_pct", Json::F(max_dev)),

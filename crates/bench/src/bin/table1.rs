@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin table1 \
-//!     [--quick] [--workers N] [--json PATH]
+//!     [--quick] [--workers N] [--strategy dfs|bfs|coverage] [--json PATH]
 //! ```
 //!
 //! Engines: angr (with the five documented lifter bugs), BINSEC, SymEx-VP,
@@ -14,21 +14,27 @@
 //! other engines agree on every row.
 //!
 //! `--workers N` (env fallback `BINSYM_WORKERS`) runs every engine on a
-//! sharded `ParallelSession` — the path counts must not change. `--json
-//! PATH` writes a machine-readable summary for the perf trajectory tracked
-//! in `BENCH_*.json`.
+//! sharded `ParallelSession` — the path counts must not change. Neither
+//! may `--strategy bfs|coverage`: every policy enumerates the complete
+//! path set, only the discovery order differs (coverage runs additionally
+//! report covered text PCs). `--json PATH` writes a machine-readable
+//! summary for the perf trajectory tracked in `BENCH_*.json`.
 
 use std::time::Instant;
 
 use binsym_bench::cli::{summary_json, write_json, BenchOpts, Json};
-use binsym_bench::{all_programs, run_engine_parallel, Engine};
+use binsym_bench::{all_programs, run_engine_with, Engine, SearchStrategy};
 
 fn main() {
     let opts = BenchOpts::from_env();
     let workers = opts.workers_or_sequential();
+    let strategy = SearchStrategy::from_opts(&opts);
     println!("TABLE I — Amount of execution paths found by different SE engines");
     if workers > 0 {
         println!("(sharded exploration: {workers} workers per engine)");
+    }
+    if strategy != SearchStrategy::Dfs {
+        println!("(path-selection strategy: {})", strategy.name());
     }
     println!("(† marks rows where an engine misses paths)\n");
     println!(
@@ -46,7 +52,7 @@ fn main() {
         let mut cells = Vec::new();
         let mut reference: Option<u64> = None;
         for engine in Engine::TABLE1 {
-            let r = run_engine_parallel(engine, &elf, workers).unwrap_or_else(|e| {
+            let r = run_engine_with(engine, &elf, workers, strategy).unwrap_or_else(|e| {
                 panic!("{} on {}: {e}", engine.name(), p.name);
             });
             let paths = r.summary.paths;
@@ -56,14 +62,20 @@ fn main() {
                     Some(r) => assert_eq!(r, paths, "correct engines disagree on {}", p.name),
                 }
             }
-            json_rows.push(Json::O(vec![
+            let mut row = vec![
                 ("benchmark", Json::s(p.name)),
                 ("engine", Json::s(engine.name())),
+                ("strategy", Json::s(strategy.name())),
                 (
                     "summary",
                     summary_json(&r.summary, r.duration.as_secs_f64()),
                 ),
-            ]));
+            ];
+            if let Some((covered, tracked)) = r.covered_pcs {
+                row.push(("covered_pcs", Json::U(covered)));
+                row.push(("tracked_pcs", Json::U(tracked)));
+            }
+            json_rows.push(Json::O(row));
             cells.push(paths);
         }
         let correct = reference.expect("at least one correct engine");
@@ -88,6 +100,7 @@ fn main() {
         let doc = Json::O(vec![
             ("bin", Json::s("table1")),
             ("workers", Json::U(workers as u64)),
+            ("strategy", Json::s(strategy.name())),
             ("quick", Json::B(opts.quick)),
             ("rows", Json::A(json_rows)),
         ]);

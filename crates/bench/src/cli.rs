@@ -1,6 +1,7 @@
 //! Shared command-line plumbing for the bench bins: `--workers` /
-//! `BINSYM_WORKERS` resolution and a dependency-free JSON writer for the
-//! machine-readable summaries tracked in `BENCH_*.json`.
+//! `BINSYM_WORKERS` resolution, `--strategy` parsing, and a
+//! dependency-free JSON writer for the machine-readable summaries tracked
+//! in `BENCH_*.json`.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -12,6 +13,9 @@ pub struct BenchOpts {
     /// to the `BINSYM_WORKERS` environment variable. `None`/0 means
     /// sequential.
     pub workers: Option<usize>,
+    /// Path-selection strategy (`--strategy dfs|bfs|coverage`, default
+    /// dfs); parsed into a [`crate::SearchStrategy`] by the engines layer.
+    pub strategy: Option<String>,
     /// Where to write the machine-readable JSON summary (`--json PATH`).
     pub json: Option<PathBuf>,
     /// Skip the heavy benchmark rows (`--quick`).
@@ -55,6 +59,7 @@ impl BenchOpts {
             .filter(|&w| w > 0);
         BenchOpts {
             workers,
+            strategy: value_of("--strategy").cloned(),
             json: value_of("--json").map(PathBuf::from),
             quick: args.iter().any(|a| a == "--quick"),
             runs: value_of("--runs").map(|s| count("--runs", s)),
@@ -201,6 +206,9 @@ mod tests {
 
         let o = BenchOpts::parse(args(&["--runs", "7"]).into_iter(), None);
         assert_eq!(o.runs, Some(7));
+
+        let o = BenchOpts::parse(args(&["--strategy", "coverage"]).into_iter(), None);
+        assert_eq!(o.strategy.as_deref(), Some("coverage"));
     }
 
     #[test]

@@ -21,13 +21,111 @@
 use std::cell::RefCell;
 use std::hint::black_box;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use binsym::{Error, Observer, ParallelSession, PathExecutor, Session, Summary};
+use binsym::{
+    Bfs, Candidate, CoverageGuided, CoverageMap, CoverageObserver, Error, Observer,
+    ParallelSession, PathExecutor, Prescription, Session, SessionBuilder, Summary,
+};
 use binsym_des::{Bus, EventQueue, ProcessId, Time};
 use binsym_elf::ElfFile;
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterExecutor};
+
+/// The path-selection policies the bench bins expose via `--strategy`.
+///
+/// [`SearchStrategy::Coverage`] allocates a fresh [`CoverageMap`] per run,
+/// wires a [`CoverageObserver`] next to the persona's cost-model observer,
+/// and reports the covered-PC count in [`RunResult::covered_pcs`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchStrategy {
+    /// Depth-first (the paper's policy, and the default).
+    #[default]
+    Dfs,
+    /// Breadth-first.
+    Bfs,
+    /// Coverage-guided: prioritize flips under uncovered branch sites.
+    Coverage,
+}
+
+impl SearchStrategy {
+    /// All strategies the ablation harness compares.
+    pub const ALL: [SearchStrategy; 3] = [
+        SearchStrategy::Dfs,
+        SearchStrategy::Bfs,
+        SearchStrategy::Coverage,
+    ];
+
+    /// Display name (matches the `--strategy` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchStrategy::Dfs => "dfs",
+            SearchStrategy::Bfs => "bfs",
+            SearchStrategy::Coverage => "coverage",
+        }
+    }
+
+    /// Parses a `--strategy` value.
+    pub fn parse(s: &str) -> Option<SearchStrategy> {
+        match s {
+            "dfs" => Some(SearchStrategy::Dfs),
+            "bfs" => Some(SearchStrategy::Bfs),
+            "coverage" => Some(SearchStrategy::Coverage),
+            _ => None,
+        }
+    }
+
+    /// Resolves the strategy requested in `opts` (default: depth-first).
+    ///
+    /// # Panics
+    /// Panics on an unknown `--strategy` value — bench bins treat that as
+    /// a hard configuration error, like a malformed `--workers`.
+    pub fn from_opts(opts: &crate::cli::BenchOpts) -> SearchStrategy {
+        match &opts.strategy {
+            None => SearchStrategy::default(),
+            Some(raw) => SearchStrategy::parse(raw).unwrap_or_else(|| {
+                panic!("invalid value for --strategy: {raw:?} (dfs|bfs|coverage)")
+            }),
+        }
+    }
+
+    /// Installs this policy (and, for coverage, its observer feeding
+    /// `map`) on a *sequential* session builder.
+    pub fn install(
+        self,
+        builder: SessionBuilder,
+        map: Option<&Arc<CoverageMap>>,
+    ) -> SessionBuilder {
+        match self {
+            SearchStrategy::Dfs => builder,
+            SearchStrategy::Bfs => builder.strategy(Bfs::<Candidate>::new()),
+            SearchStrategy::Coverage => {
+                let map = map.expect("coverage strategy needs a map");
+                builder.strategy(CoverageGuided::<Candidate>::new(Arc::clone(map)))
+            }
+        }
+    }
+
+    /// Installs this policy as the shard policy of a *parallel* session
+    /// builder.
+    pub fn install_sharded(
+        self,
+        builder: SessionBuilder,
+        map: Option<&Arc<CoverageMap>>,
+    ) -> SessionBuilder {
+        match self {
+            SearchStrategy::Dfs => builder,
+            SearchStrategy::Bfs => builder.shard_strategy(|_| Box::new(Bfs::<Prescription>::new())),
+            SearchStrategy::Coverage => {
+                let map = Arc::clone(map.expect("coverage strategy needs a map"));
+                builder.shard_strategy(move |_| {
+                    Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&map)))
+                })
+            }
+        }
+    }
+}
 
 /// The engines compared in the paper's §V.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,31 +170,60 @@ impl Engine {
         }
     }
 
+    /// The persona's cost-model observer, when it has one (the lifter
+    /// personas model their overhead inside the executor instead).
+    fn persona_observer(self) -> Option<Box<dyn Observer>> {
+        match self {
+            Engine::BinSym => Some(Box::new(GhcRuntimeObserver::default())),
+            Engine::SymExVp => Some(Box::new(VpObserver::new())),
+            Engine::Binsec | Engine::Angr | Engine::AngrFixed => None,
+        }
+    }
+
+    /// The persona's engine wiring (executor or spec + binary), with no
+    /// observer, strategy, or worker count installed yet.
+    fn base_builder(self, elf: &ElfFile) -> Result<SessionBuilder, Error> {
+        Ok(match self {
+            Engine::BinSym | Engine::SymExVp => Session::builder(Spec::rv32im()).binary(elf),
+            Engine::Binsec => {
+                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::binsec())?)
+            }
+            Engine::Angr => {
+                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr())?)
+            }
+            Engine::AngrFixed => {
+                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr_fixed())?)
+            }
+        })
+    }
+
     /// Builds the exploration session realizing this persona on `elf`.
     ///
     /// # Errors
     /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
     pub fn session(self, elf: &ElfFile) -> Result<Session, Error> {
-        match self {
-            Engine::BinSym => Session::builder(Spec::rv32im())
-                .binary(elf)
-                .observer(GhcRuntimeObserver::default())
-                .build(),
-            Engine::SymExVp => Session::builder(Spec::rv32im())
-                .binary(elf)
-                .observer(VpObserver::new())
-                .build(),
-            Engine::Binsec => {
-                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::binsec())?).build()
-            }
-            Engine::Angr => {
-                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr())?).build()
-            }
-            Engine::AngrFixed => {
-                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr_fixed())?)
-                    .build()
-            }
-        }
+        self.session_with(elf, SearchStrategy::Dfs, None)
+    }
+
+    /// Builds the persona's session under an explicit path-selection
+    /// strategy. [`SearchStrategy::Coverage`] requires the shared
+    /// `coverage` map; a [`CoverageObserver`] feeding it is composed next
+    /// to the persona's cost-model observer.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
+    pub fn session_with(
+        self,
+        elf: &ElfFile,
+        strategy: SearchStrategy,
+        coverage: Option<&Arc<CoverageMap>>,
+    ) -> Result<Session, Error> {
+        let builder = strategy.install(self.base_builder(elf)?, coverage);
+        let builder = match compose_observer(self.persona_observer(), coverage) {
+            Some(observer) => builder.observer(observer),
+            None => builder,
+        };
+        builder.build()
     }
 
     /// Builds the sharded (work-stealing) exploration session realizing
@@ -108,33 +235,100 @@ impl Engine {
     /// # Errors
     /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
     pub fn parallel_session(self, elf: &ElfFile, workers: usize) -> Result<ParallelSession, Error> {
-        let lifter = |elf: &ElfFile, config: EngineConfig| {
-            let elf = elf.clone();
-            Session::factory_builder(move || {
-                Ok(Box::new(LifterExecutor::new(&elf, config)?) as Box<dyn PathExecutor>)
-            })
+        self.parallel_session_with(elf, workers, SearchStrategy::Dfs, None)
+    }
+
+    /// Builds the persona's sharded session under an explicit shard
+    /// policy. With [`SearchStrategy::Coverage`] every worker's
+    /// [`CoverageGuided`] frontier reads — and every worker's
+    /// [`CoverageObserver`] feeds — the same lock-free `coverage` map.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
+    pub fn parallel_session_with(
+        self,
+        elf: &ElfFile,
+        workers: usize,
+        strategy: SearchStrategy,
+        coverage: Option<&Arc<CoverageMap>>,
+    ) -> Result<ParallelSession, Error> {
+        let builder = match self {
+            Engine::BinSym | Engine::SymExVp => Session::builder(Spec::rv32im()).binary(elf),
+            Engine::Binsec | Engine::Angr | Engine::AngrFixed => {
+                let config = match self {
+                    Engine::Binsec => EngineConfig::binsec(),
+                    Engine::Angr => EngineConfig::angr(),
+                    _ => EngineConfig::angr_fixed(),
+                };
+                let elf = elf.clone();
+                Session::factory_builder(move || {
+                    Ok(Box::new(LifterExecutor::new(&elf, config)?) as Box<dyn PathExecutor>)
+                })
+            }
         };
-        match self {
-            Engine::BinSym => Session::builder(Spec::rv32im())
-                .binary(elf)
-                .observer_factory(|_| Box::new(GhcRuntimeObserver::default()))
-                .workers(workers)
-                .build_parallel(),
-            Engine::SymExVp => Session::builder(Spec::rv32im())
-                .binary(elf)
-                .observer_factory(|_| Box::new(VpObserver::new()))
-                .workers(workers)
-                .build_parallel(),
-            Engine::Binsec => lifter(elf, EngineConfig::binsec())
-                .workers(workers)
-                .build_parallel(),
-            Engine::Angr => lifter(elf, EngineConfig::angr())
-                .workers(workers)
-                .build_parallel(),
-            Engine::AngrFixed => lifter(elf, EngineConfig::angr_fixed())
-                .workers(workers)
-                .build_parallel(),
+        let builder = strategy.install_sharded(builder, coverage).workers(workers);
+        let builder = if self.persona_observer().is_some() || coverage.is_some() {
+            let map = coverage.map(Arc::clone);
+            builder.observer_factory(move |_| {
+                compose_observer(self.persona_observer(), map.as_ref())
+                    .expect("factory installed without observer or map")
+            })
+        } else {
+            builder
+        };
+        builder.build_parallel()
+    }
+}
+
+/// Streams one full *sequential* exploration of `p` (plain BinSym engine,
+/// no persona cost model) under `strategy`, with a fresh [`CoverageMap`]
+/// observing every path. Returns `(paths_to_full_coverage, covered_pcs,
+/// total_paths)` — the ablation-4 "coverage velocity" metric, shared by
+/// the ablation harness and the acceptance tests so the two can never
+/// measure different things.
+///
+/// # Panics
+/// Panics if the program fails to build, explore, or enumerate at least
+/// one path — the bundled benchmarks are repo invariants.
+pub fn coverage_trajectory(p: &crate::Program, strategy: SearchStrategy) -> (u64, u64, u64) {
+    let elf = p.build();
+    let map = CoverageMap::shared_for(&elf);
+    let builder = strategy.install(
+        Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .observer(CoverageObserver::new(Arc::clone(&map))),
+        Some(&map),
+    );
+    let mut session = builder.build().expect("builds");
+    let mut per_path = Vec::new();
+    for r in session.paths() {
+        r.expect("explores");
+        per_path.push(map.covered_count());
+    }
+    let total = per_path.len() as u64;
+    let final_cov = *per_path.last().expect("at least one path");
+    let to_full = per_path
+        .iter()
+        .position(|&c| c == final_cov)
+        .expect("found") as u64
+        + 1;
+    (to_full, final_cov, total)
+}
+
+/// Composes a persona's cost-model observer with a coverage feed, when
+/// either exists — the one place the pairing (and its callback order:
+/// persona first) is defined.
+fn compose_observer(
+    persona: Option<Box<dyn Observer>>,
+    map: Option<&Arc<CoverageMap>>,
+) -> Option<Box<dyn Observer>> {
+    match (persona, map) {
+        (Some(persona), Some(map)) => {
+            Some(Box::new((persona, CoverageObserver::new(Arc::clone(map)))))
         }
+        (Some(persona), None) => Some(persona),
+        (None, Some(map)) => Some(Box::new(CoverageObserver::new(Arc::clone(map)))),
+        (None, None) => None,
     }
 }
 
@@ -145,6 +339,9 @@ pub struct RunResult {
     pub summary: Summary,
     /// Wall-clock duration of the exploration.
     pub duration: Duration,
+    /// Distinct text-segment instruction slots executed, out of the slots
+    /// tracked — reported for coverage-strategy runs (`None` otherwise).
+    pub covered_pcs: Option<(u64, u64)>,
 }
 
 /// Runs `engine` on `elf` to full exploration, measuring wall time.
@@ -154,16 +351,7 @@ pub struct RunResult {
 /// fails (the buggy angr persona *can* fail on binaries with custom
 /// instructions — that is part of the reproduction).
 pub fn run_engine(engine: Engine, elf: &ElfFile) -> Result<RunResult, Error> {
-    // The timed region includes engine construction (ELF clone, lifter
-    // setup), matching the original measurement boundary of the Fig. 6
-    // harness.
-    let start = Instant::now();
-    let mut session = engine.session(elf)?;
-    let summary = session.run_all()?;
-    Ok(RunResult {
-        summary,
-        duration: start.elapsed(),
-    })
+    run_engine_with(engine, elf, 0, SearchStrategy::Dfs)
 }
 
 /// Runs `engine` on `elf` with a sharded [`ParallelSession`] of `workers`
@@ -179,15 +367,40 @@ pub fn run_engine_parallel(
     elf: &ElfFile,
     workers: usize,
 ) -> Result<RunResult, Error> {
-    if workers == 0 {
-        return run_engine(engine, elf);
-    }
+    run_engine_with(engine, elf, workers, SearchStrategy::Dfs)
+}
+
+/// Runs `engine` on `elf` under an explicit strategy — sequential when
+/// `workers == 0`, sharded otherwise — measuring wall time. A coverage
+/// run allocates its own [`CoverageMap`] and reports the covered-PC count.
+///
+/// # Errors
+/// Returns [`Error`] if the binary lacks a `__sym_input` symbol or a path
+/// fails to execute or replay.
+pub fn run_engine_with(
+    engine: Engine,
+    elf: &ElfFile,
+    workers: usize,
+    strategy: SearchStrategy,
+) -> Result<RunResult, Error> {
+    let coverage = (strategy == SearchStrategy::Coverage).then(|| CoverageMap::shared_for(elf));
+    // The timed region includes engine construction (ELF clone, lifter
+    // setup), matching the original measurement boundary of the Fig. 6
+    // harness.
     let start = Instant::now();
-    let mut session = engine.parallel_session(elf, workers)?;
-    let summary = session.run_all()?;
+    let summary = if workers == 0 {
+        engine
+            .session_with(elf, strategy, coverage.as_ref())?
+            .run_all()?
+    } else {
+        engine
+            .parallel_session_with(elf, workers, strategy, coverage.as_ref())?
+            .run_all()?
+    };
     Ok(RunResult {
         summary,
         duration: start.elapsed(),
+        covered_pcs: coverage.map(|m| (m.covered_count(), m.tracked_slots())),
     })
 }
 
@@ -399,6 +612,57 @@ small:
                 assert_eq!(par.error_paths.len(), seq.error_paths.len());
             }
         }
+    }
+
+    #[test]
+    fn coverage_strategy_preserves_path_counts_and_reports_coverage() {
+        let elf = small_program();
+        for engine in [Engine::BinSym, Engine::Binsec] {
+            let seq = run_engine_with(engine, &elf, 0, SearchStrategy::Coverage).expect("seq");
+            assert_eq!(seq.summary.paths, 2, "{} sequential", engine.name());
+            let (covered, tracked) = seq.covered_pcs.expect("coverage reported");
+            assert!(covered > 0 && covered <= tracked, "{}", engine.name());
+
+            let par = run_engine_with(engine, &elf, 2, SearchStrategy::Coverage).expect("par");
+            assert_eq!(par.summary.paths, 2, "{} sharded", engine.name());
+            assert_eq!(
+                par.covered_pcs.expect("coverage reported"),
+                (covered, tracked),
+                "{}: full exploration covers the same PCs on any schedule",
+                engine.name()
+            );
+
+            let dfs = run_engine(engine, &elf).expect("dfs");
+            assert_eq!(dfs.summary.paths, par.summary.paths);
+            assert!(dfs.covered_pcs.is_none(), "dfs runs report no coverage");
+        }
+    }
+
+    #[test]
+    fn bfs_strategy_preserves_path_counts() {
+        let elf = small_program();
+        for workers in [0usize, 2] {
+            let r = run_engine_with(Engine::BinSym, &elf, workers, SearchStrategy::Bfs)
+                .expect("explores");
+            assert_eq!(r.summary.paths, 2, "{workers} workers");
+            assert!(r.covered_pcs.is_none());
+        }
+    }
+
+    #[test]
+    fn search_strategy_parses_and_rejects() {
+        assert_eq!(SearchStrategy::parse("dfs"), Some(SearchStrategy::Dfs));
+        assert_eq!(SearchStrategy::parse("bfs"), Some(SearchStrategy::Bfs));
+        assert_eq!(
+            SearchStrategy::parse("coverage"),
+            Some(SearchStrategy::Coverage)
+        );
+        assert_eq!(SearchStrategy::parse("dfS"), None);
+        let opts = crate::cli::BenchOpts {
+            strategy: Some("coverage".into()),
+            ..Default::default()
+        };
+        assert_eq!(SearchStrategy::from_opts(&opts), SearchStrategy::Coverage);
     }
 
     #[test]

@@ -10,9 +10,12 @@
 //!   (optimized IR), SymEx-VP (BinSym semantics inside a SystemC-style DES
 //!   simulation), and angr (buggy or fixed IR lifter, interpreted). Every
 //!   persona also runs sharded ([`run_engine_parallel`]) on a
-//!   work-stealing [`binsym::ParallelSession`].
-//! * [`cli`] — shared `--workers`/`--json` plumbing and the dependency-free
-//!   JSON writer behind the `BENCH_*.json` perf-trajectory summaries.
+//!   work-stealing [`binsym::ParallelSession`], and under any
+//!   [`SearchStrategy`] ([`run_engine_with`]) — depth-first, breadth-first,
+//!   or coverage-guided with covered-PC reporting.
+//! * [`cli`] — shared `--workers`/`--strategy`/`--json` plumbing and the
+//!   dependency-free JSON writer behind the `BENCH_*.json` perf-trajectory
+//!   summaries.
 //!
 //! Reproduce the paper's artifacts with:
 //!
@@ -29,6 +32,7 @@ pub mod programs;
 
 pub use cli::{BenchOpts, Json};
 pub use engines::{
-    run_engine, run_engine_parallel, Engine, GhcRuntimeObserver, RunResult, VpObserver, VpStats,
+    coverage_trajectory, run_engine, run_engine_parallel, run_engine_with, Engine,
+    GhcRuntimeObserver, RunResult, SearchStrategy, VpObserver, VpStats,
 };
 pub use programs::{all_programs, Program};

@@ -19,7 +19,8 @@
 //! three pluggable seams:
 //!
 //! * [`PathStrategy`] — which pending branch flip to try next ([`Dfs`],
-//!   the paper's §III-B policy and the default; [`Bfs`]; [`RandomRestart`]);
+//!   the paper's §III-B policy and the default; [`Bfs`]; [`RandomRestart`];
+//!   [`CoverageGuided`], ranking flips against a lock-free [`CoverageMap`]);
 //! * [`SolverBackend`] — how feasibility queries are discharged
 //!   ([`BitblastBackend`] incremental or fresh-per-query; [`SmtLibDump`]
 //!   recording every query as an SMT-LIB v2 script for offline replay);
@@ -76,6 +77,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod coverage;
 pub mod error;
 pub mod machine;
 pub mod observe;
@@ -86,6 +88,7 @@ pub mod strategy;
 pub mod value;
 
 pub use backend::{BitblastBackend, ScriptSink, SmtLibDump, SolverBackend};
+pub use coverage::{CoverageMap, CoverageObserver};
 pub use error::Error;
 pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
 pub use observe::{CountingObserver, NullObserver, Observer};
@@ -97,7 +100,10 @@ pub use session::{
     find_sym_input, ErrorPath, PathExecutor, PathOutcome, Paths, Session, SessionBuilder,
     SpecExecutor, Summary,
 };
-pub use strategy::{Bfs, Candidate, Dfs, PathStrategy, PrescriptionStrategy, RandomRestart};
+pub use strategy::{
+    Bfs, BranchSited, Candidate, CoverageGuided, Dfs, PathStrategy, PrescriptionStrategy,
+    RandomRestart,
+};
 pub use value::{SymByte, SymWord};
 
 /// Name of the symbol marking the symbolic input region in SUT binaries

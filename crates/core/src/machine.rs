@@ -31,12 +31,16 @@ use crate::SYSCALL_EXIT;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrailEntry {
     /// A `runIfElse` on a symbolic condition: `cond` is the boolean term,
-    /// `taken` the direction the concrete payload chose.
+    /// `taken` the direction the concrete payload chose, `pc` the address
+    /// of the branching instruction (the *branch site* — the unit of the
+    /// coverage map, see [`crate::CoverageMap`]).
     Branch {
         /// Boolean condition term.
         cond: Term,
         /// Direction taken on this path.
         taken: bool,
+        /// Program counter of the branching instruction.
+        pc: u32,
     },
     /// An address-concretization constraint (always true on this path and
     /// never flipped).
@@ -50,7 +54,7 @@ impl TrailEntry {
     /// The boolean term this entry contributes to the path condition.
     pub fn path_term(&self, tm: &mut TermManager) -> Term {
         match *self {
-            TrailEntry::Branch { cond, taken } => {
+            TrailEntry::Branch { cond, taken, .. } => {
                 if taken {
                     cond
                 } else {
@@ -641,7 +645,11 @@ impl SymMachine {
                         // a real branch point.
                         match tm.as_bool_const(cb) {
                             Some(_) => {}
-                            None => self.trail.push(TrailEntry::Branch { cond: cb, taken }),
+                            None => self.trail.push(TrailEntry::Branch {
+                                cond: cb,
+                                taken,
+                                pc: self.pc,
+                            }),
                         }
                     }
                     let branch = if taken { then } else { els };

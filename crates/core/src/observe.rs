@@ -9,6 +9,8 @@
 //!
 //! All hooks have empty default bodies: implement only what you need.
 
+use std::sync::{Arc, Mutex};
+
 use binsym_smt::{SatResult, Term};
 
 use crate::session::PathOutcome;
@@ -24,9 +26,10 @@ pub trait Observer {
         let _ = (pc, steps);
     }
 
-    /// A symbolic branch was recorded on the trail.
-    fn on_branch(&mut self, cond: Term, taken: bool) {
-        let _ = (cond, taken);
+    /// A symbolic branch was recorded on the trail; `pc` is the branch
+    /// site (the address of the branching instruction).
+    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
+        let _ = (pc, cond, taken);
     }
 
     /// A path finished executing under `input`.
@@ -48,8 +51,8 @@ impl<O: Observer> Observer for std::rc::Rc<std::cell::RefCell<O>> {
         self.borrow_mut().on_step(pc, steps);
     }
 
-    fn on_branch(&mut self, cond: Term, taken: bool) {
-        self.borrow_mut().on_branch(cond, taken);
+    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
+        self.borrow_mut().on_branch(pc, cond, taken);
     }
 
     fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
@@ -58,6 +61,79 @@ impl<O: Observer> Observer for std::rc::Rc<std::cell::RefCell<O>> {
 
     fn on_query(&mut self, result: SatResult) {
         self.borrow_mut().on_query(result);
+    }
+}
+
+/// Sharing an accumulator **across worker threads**: the `Rc<RefCell<…>>`
+/// wrapper above is not `Send`, so it cannot serve the per-worker observers
+/// of a [`crate::ParallelSession`]. Wrap the accumulator in
+/// `Arc<Mutex<…>>` instead, keep one clone, and hand further clones out of
+/// [`crate::SessionBuilder::observer_factory`] — every worker then feeds
+/// the same state behind the lock. (For high-frequency signals prefer a
+/// lock-free structure such as [`crate::CoverageMap`] with a dedicated
+/// observer; the mutex forwarding is for arbitrary accumulators.)
+impl<O: Observer> Observer for Arc<Mutex<O>> {
+    fn on_step(&mut self, pc: u32, steps: u64) {
+        self.lock().expect("observer lock").on_step(pc, steps);
+    }
+
+    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
+        self.lock()
+            .expect("observer lock")
+            .on_branch(pc, cond, taken);
+    }
+
+    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
+        self.lock().expect("observer lock").on_path(input, outcome);
+    }
+
+    fn on_query(&mut self, result: SatResult) {
+        self.lock().expect("observer lock").on_query(result);
+    }
+}
+
+/// Boxed observers forward: lets composed observers (see the pair impl
+/// below) mix concrete and type-erased parts.
+impl<O: Observer + ?Sized> Observer for Box<O> {
+    fn on_step(&mut self, pc: u32, steps: u64) {
+        (**self).on_step(pc, steps);
+    }
+
+    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
+        (**self).on_branch(pc, cond, taken);
+    }
+
+    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
+        (**self).on_path(input, outcome);
+    }
+
+    fn on_query(&mut self, result: SatResult) {
+        (**self).on_query(result);
+    }
+}
+
+/// Composing observers: a pair fans every callback out to both members (in
+/// order), so e.g. a persona cost model and a coverage tracker can watch
+/// the same session. Nest pairs for more than two.
+impl<A: Observer, B: Observer> Observer for (A, B) {
+    fn on_step(&mut self, pc: u32, steps: u64) {
+        self.0.on_step(pc, steps);
+        self.1.on_step(pc, steps);
+    }
+
+    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
+        self.0.on_branch(pc, cond, taken);
+        self.1.on_branch(pc, cond, taken);
+    }
+
+    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
+        self.0.on_path(input, outcome);
+        self.1.on_path(input, outcome);
+    }
+
+    fn on_query(&mut self, result: SatResult) {
+        self.0.on_query(result);
+        self.1.on_query(result);
     }
 }
 
@@ -95,7 +171,7 @@ impl Observer for CountingObserver {
         self.steps += 1;
     }
 
-    fn on_branch(&mut self, _cond: Term, _taken: bool) {
+    fn on_branch(&mut self, _pc: u32, _cond: Term, _taken: bool) {
         self.branches += 1;
     }
 

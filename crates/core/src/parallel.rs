@@ -44,11 +44,29 @@
 //! does on multi-core hardware for the big Table I workloads (see the
 //! `engines` bench).
 //!
-//! A truncated run ([`crate::SessionBuilder::limit`]) stops after exactly
-//! `limit` paths, but *which* paths complete first then depends on
-//! scheduling — only unbounded explorations are schedule-independent.
+//! # Canonical truncation
+//!
+//! A truncated run ([`crate::SessionBuilder::limit`]) is schedule-
+//! independent too: it returns the `limit` **lowest-`PathId`** paths of the
+//! full exploration — i.e. the exact prefix an unbounded run's merged
+//! stream would start with — not the first `limit` paths that happened to
+//! *finish*. Workers over-collect under a shrinking watermark (the
+//! `limit`-th smallest materialized id so far): a prescription whose id
+//! already exceeds the watermark can never enter the final prefix — and,
+//! parents ordering before descendants, neither can anything it would
+//! spawn — so it is pruned without replay, and the merged, `PathId`-sorted
+//! record list is trimmed at the `limit`-th path. Query records ride the
+//! same trim, so summaries and records of truncated runs are byte-identical
+//! across 1..N workers, repeated runs, and shard policies.
+//!
+//! Replay errors obey the same cut: a truncated run keeps exploring past
+//! an error and decides at merge time — the error surfaces iff its id
+//! sorts before the `limit`-th path (i.e. the sequential engine would
+//! have hit it before stopping); an error beyond the cut belongs to work
+//! the truncated exploration never owed anyone and is dropped. Stopping
+//! at the first error observed would make the outcome a race.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -191,12 +209,45 @@ impl Frontier {
     }
 }
 
+/// The `limit` lowest materialized [`PathId`]s so far, as a bounded
+/// max-heap. Once full, its maximum is a *watermark*: any prescription
+/// whose id exceeds it can never enter the final truncated prefix (and,
+/// parents ordering before descendants, neither can its whole subtree), so
+/// workers prune such work without replaying it. The watermark only ever
+/// tightens, which makes pruning canonical: everything below the final
+/// watermark is guaranteed to be materialized on every schedule.
+struct Watermark {
+    limit: usize,
+    heap: std::collections::BinaryHeap<PathId>,
+}
+
+impl Watermark {
+    fn new(limit: u64) -> Self {
+        Watermark {
+            limit: usize::try_from(limit).unwrap_or(usize::MAX),
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// Records a materialized path id.
+    fn insert(&mut self, id: PathId) {
+        self.heap.push(id);
+        if self.heap.len() > self.limit {
+            self.heap.pop();
+        }
+    }
+
+    /// True when `id` can no longer enter the `limit` lowest ids.
+    fn prunes(&self, id: &PathId) -> bool {
+        self.heap.len() >= self.limit && self.heap.peek().is_some_and(|max| id > max)
+    }
+}
+
 /// Shared run state beyond the frontier.
 struct RunState {
     frontier: Frontier,
-    /// Paths materialized so far (for limit enforcement).
-    paths: AtomicU64,
-    truncated: AtomicBool,
+    /// Canonical truncation state; `None` for unbounded runs.
+    watermark: Option<Mutex<Watermark>>,
     /// First error in canonical order: workers keep the error whose
     /// prescription id sorts smallest, so the reported failure is
     /// schedule-independent.
@@ -204,13 +255,46 @@ struct RunState {
 }
 
 impl RunState {
+    /// Records a replay error, keeping the canonically-first one.
+    ///
+    /// Unbounded runs stop immediately — the run is lost either way. A
+    /// *truncated* run keeps exploring: whether this error lies inside the
+    /// canonical `limit`-prefix (and must surface) or beyond it (and must
+    /// be dropped, exactly as the sequential engine would never have
+    /// reached it) is only decidable once the watermark has converged, so
+    /// stopping here would make the outcome schedule-dependent.
     fn record_error(&self, id: PathId, e: Error) {
+        // A root-id error (worker startup, root-prescription replay) sorts
+        // before any cut, so it surfaces on every schedule — stopping
+        // early is safe and spares the surviving workers a doomed
+        // exploration.
+        let always_surfaces = self.watermark.is_none() || id == PathId::root();
         let mut slot = self.error.lock().expect("error lock");
         match &*slot {
             Some((winner, _)) if *winner <= id => {}
             _ => *slot = Some((id, e)),
         }
-        self.frontier.request_stop();
+        if always_surfaces {
+            self.frontier.request_stop();
+        }
+    }
+
+    /// True when `id` is already past the truncation watermark.
+    fn pruned(&self, id: &PathId) -> bool {
+        self.watermark
+            .as_ref()
+            .is_some_and(|w| w.lock().expect("watermark lock").prunes(id))
+    }
+
+    /// Notes a materialized path for the truncation watermark and, in the
+    /// same lock scope, sheds the spawns the tightened watermark already
+    /// rules out.
+    fn note_path(&self, id: &PathId, spawned: &mut Vec<Prescription>) {
+        if let Some(w) = &self.watermark {
+            let mut w = w.lock().expect("watermark lock");
+            w.insert(id.clone());
+            spawned.retain(|s| !w.prunes(&s.id));
+        }
     }
 }
 
@@ -335,8 +419,7 @@ impl ParallelSession {
             .collect();
         let state = RunState {
             frontier: Frontier::new(shards),
-            paths: AtomicU64::new(0),
-            truncated: AtomicBool::new(false),
+            watermark: self.limit.map(|l| Mutex::new(Watermark::new(l))),
             error: Mutex::new(None),
         };
         state.frontier.push_batch(
@@ -353,7 +436,6 @@ impl ParallelSession {
                 let backend_factory = Arc::clone(&self.backend_factory);
                 let observer_factory = self.observer_factory.clone();
                 let fuel = self.fuel;
-                let limit = self.limit;
                 handles.push(scope.spawn(move || {
                     worker_main(
                         idx,
@@ -362,7 +444,6 @@ impl ParallelSession {
                         &*backend_factory,
                         observer_factory.as_deref(),
                         fuel,
-                        limit,
                     )
                 }));
             }
@@ -371,20 +452,65 @@ impl ParallelSession {
             }
         });
 
-        if let Some((_, e)) = state.error.lock().expect("error lock").take() {
-            // A failed run is not cached (`done` stays false): retrying
-            // re-explores and, replay being deterministic, reproduces the
-            // same error instead of masking it behind an empty summary.
-            return Err(e);
+        let mut error = state.error.lock().expect("error lock").take();
+        if self.limit.is_none() {
+            if let Some((_, e)) = error.take() {
+                // A failed run is not cached (`done` stays false): retrying
+                // re-explores and, replay being deterministic, reproduces
+                // the same error instead of masking it behind an empty
+                // summary.
+                return Err(e);
+            }
         }
-        self.done = true;
 
         // Deterministic merge: canonical (sequential depth-first) order.
         let mut all: Vec<PrescriptionRecord> = outputs.into_iter().flatten().collect();
         all.sort_by(|a, b| a.id.cmp(&b.id));
 
+        // Canonical truncation: workers over-collected under the shrinking
+        // watermark; keep exactly the `limit` lowest-id paths — the prefix
+        // an unbounded run's merged stream starts with — and the query
+        // records up to and including the last kept path. Records past the
+        // cut (racers and their queries) are schedule-dependent and must
+        // not surface.
+        let mut truncated = false;
+        if let Some(limit) = self.limit {
+            let mut paths = 0u64;
+            let mut cut = all.len();
+            let mut cut_id = None;
+            for (i, rec) in all.iter().enumerate() {
+                if rec.path.is_some() {
+                    paths += 1;
+                    if paths == limit {
+                        cut = i + 1;
+                        cut_id = Some(&rec.id);
+                        break;
+                    }
+                }
+            }
+            // A replay error surfaces iff the sequential engine would have
+            // hit it before its `limit`-th path: its id sorts before the
+            // cut (or the limit was never reached). Every prescription
+            // below the final watermark is processed on every schedule, so
+            // this decision — and the canonically-first error it returns —
+            // is schedule-independent. Errors beyond the cut belong to
+            // work the truncated exploration never owed anyone.
+            if let Some((eid, e)) = error.take() {
+                let surfaces = match cut_id {
+                    None => true,
+                    Some(cid) => eid < *cid,
+                };
+                if surfaces {
+                    return Err(e);
+                }
+            }
+            truncated = paths >= limit;
+            all.truncate(cut);
+        }
+        self.done = true;
+
         let mut summary = Summary {
-            truncated: state.truncated.load(Ordering::SeqCst),
+            truncated,
             ..Summary::default()
         };
         let mut records = Vec::new();
@@ -425,7 +551,6 @@ fn worker_main(
     backend_factory: &(dyn Fn() -> Box<dyn SolverBackend> + Send + Sync),
     observer_factory: Option<&(dyn Fn(usize) -> Box<dyn Observer> + Send + Sync)>,
     fuel: u64,
-    limit: Option<u64>,
 ) -> Vec<PrescriptionRecord> {
     let mut executor = match executor_factory() {
         Ok(e) => e,
@@ -448,6 +573,12 @@ fn worker_main(
         // would leave `in_flight` elevated and the surviving workers would
         // doze forever in `acquire` while the main thread blocks joining.
         let _checked_in = InFlightGuard(&state.frontier);
+        // Canonical truncation: ids past the watermark can never enter the
+        // final `limit`-lowest prefix, and neither can their descendants —
+        // skip the replay entirely, recording nothing.
+        if state.pruned(&p.id) {
+            continue;
+        }
         // A fresh engine context per prescription: reset handle numbering
         // and solve in a brand-new backend, making the replay a pure
         // function of the prescription (schedule-independent results).
@@ -462,8 +593,15 @@ fn worker_main(
             fuel,
         ) {
             Err(e) => {
+                let stopping = state.watermark.is_none();
                 state.record_error(p.id, e);
-                break;
+                if stopping {
+                    break;
+                }
+                // Truncated run: the erroring prescription contributes no
+                // record and spawns nothing; whether the error surfaces is
+                // decided canonically at merge time.
+                continue;
             }
             Ok((query, materialized)) => {
                 let mut record = PrescriptionRecord {
@@ -471,26 +609,15 @@ fn worker_main(
                     query,
                     path: None,
                 };
-                if let Some((path, spawned)) = materialized {
-                    let n = state.paths.fetch_add(1, Ordering::SeqCst) + 1;
-                    match limit {
-                        Some(l) if n > l => {
-                            // Raced past the limit: drop this path entirely.
-                            continue;
-                        }
-                        Some(l) if n == l => {
-                            state.truncated.store(true, Ordering::SeqCst);
-                            state.frontier.request_stop();
-                            record.path = Some(path);
-                        }
-                        _ => {
-                            record.path = Some(path);
-                            // Spawn before the guard releases in-flight, so
-                            // the termination check never sees a window with
-                            // neither pending nor in-flight work.
-                            state.frontier.push_batch(idx, spawned);
-                        }
-                    }
+                if let Some((path, mut spawned)) = materialized {
+                    // Note the path and shed spawns the tightened
+                    // watermark already rules out, then push the rest
+                    // before the guard releases in-flight, so the
+                    // termination check never sees a window with neither
+                    // pending nor in-flight work.
+                    state.note_path(&record.id, &mut spawned);
+                    record.path = Some(path);
+                    state.frontier.push_batch(idx, spawned);
                 }
                 out.push(record);
             }
@@ -532,15 +659,15 @@ fn replay(
             let mut ord = 0usize;
             let mut cut = None;
             for (i, entry) in trail.iter().enumerate() {
-                if let TrailEntry::Branch { cond, taken } = *entry {
+                if let TrailEntry::Branch { cond, taken, pc } = *entry {
                     if ord == flip.ord {
-                        cut = Some((i, cond, taken));
+                        cut = Some((i, cond, taken, pc));
                         break;
                     }
                     ord += 1;
                 }
             }
-            let Some((i, cond, taken)) = cut else {
+            let Some((i, cond, taken, pc)) = cut else {
                 return Err(Error::ReplayDivergence {
                     what: "parent replay recorded fewer branches than prescribed",
                 });
@@ -548,6 +675,11 @@ fn replay(
             if taken != flip.taken {
                 return Err(Error::ReplayDivergence {
                     what: "parent replay took the prescribed branch in the other direction",
+                });
+            }
+            if pc != flip.pc {
+                return Err(Error::ReplayDivergence {
+                    what: "parent replay reached the prescribed branch at a different site",
                 });
             }
             backend.push();
@@ -579,13 +711,13 @@ fn replay(
     let mut spawned = Vec::new();
     let mut decisions = Vec::new();
     for entry in &outcome.trail {
-        if let TrailEntry::Branch { taken, .. } = *entry {
+        if let TrailEntry::Branch { taken, pc, .. } = *entry {
             let ord = decisions.len();
             if ord >= forced {
                 spawned.push(Prescription {
                     id: p.id.child(ord),
                     input: input.clone(),
-                    flip: Some(Flip { ord, taken }),
+                    flip: Some(Flip { ord, taken, pc }),
                 });
             }
             decisions.push(taken);
@@ -846,6 +978,71 @@ ok:
         assert!(!par.is_done());
         assert!(matches!(par.run_all(), Err(Error::OutOfFuel { .. })));
         assert!(par.records().is_empty());
+    }
+
+    #[test]
+    fn truncated_runs_surface_errors_canonically() {
+        // An unknown syscall reachable only on the all-flipped path, whose
+        // id ([0,1,2]) sorts *last* in canonical order: a truncated run
+        // whose prefix ends before it must succeed (the sequential engine
+        // would have stopped before ever replaying it), while a budget
+        // that forces exploration past every materializable path must
+        // surface it — identically on every worker count.
+        const LATE_ERROR: &str = r#"
+        .data
+__sym_input: .byte 0, 0, 0
+        .text
+_start:
+    la a0, __sym_input
+    li a2, 100
+    li a3, 0
+    lbu a1, 0(a0)
+    bltu a1, a2, c1
+    addi a3, a3, 1
+c1: lbu a1, 1(a0)
+    bltu a1, a2, c2
+    addi a3, a3, 1
+c2: lbu a1, 2(a0)
+    bltu a1, a2, c3
+    addi a3, a3, 1
+c3: li a4, 3
+    bne a3, a4, ok
+    li a7, 999
+    ecall
+ok:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+        let image = elf(LATE_ERROR);
+        let run = |workers: usize, limit: Option<u64>| {
+            let mut builder = Session::builder(Spec::rv32im())
+                .binary(&image)
+                .workers(workers);
+            if let Some(limit) = limit {
+                builder = builder.limit(limit);
+            }
+            builder.build_parallel().unwrap().run_all()
+        };
+        // Unbounded: the error always surfaces.
+        assert!(matches!(
+            run(2, None),
+            Err(Error::Exec(
+                crate::machine::ExecError::UnknownSyscall { .. }
+            ))
+        ));
+        for workers in [1usize, 2, 4] {
+            // 7 paths materialize before the erroring prescription in
+            // canonical order; a 4-path budget never owes it.
+            let s = run(workers, Some(4)).expect("error lies beyond the cut");
+            assert_eq!(s.paths, 4, "{workers} workers");
+            assert!(s.truncated);
+            // A budget the exploration cannot fill forces the error.
+            assert!(
+                matches!(run(workers, Some(8)), Err(Error::Exec(_))),
+                "{workers} workers: unreachable budget surfaces the error"
+            );
+        }
     }
 
     #[test]

@@ -100,6 +100,11 @@ pub struct Flip {
     /// Direction the parent path took at that branch; the replay asserts
     /// the opposite.
     pub taken: bool,
+    /// Program counter of the branch site. Carried so scheduling policies
+    /// (e.g. [`crate::CoverageGuided`]) can rank pending flips against a
+    /// coverage map *without* replaying them; replay also cross-checks it
+    /// against the reproduced trail as a divergence guard.
+    pub pc: u32,
 }
 
 /// A pending path as plain data: `Send + 'static`, replayable on any
@@ -127,6 +132,12 @@ impl Prescription {
             input,
             flip: None,
         }
+    }
+
+    /// Program counter of the branch site this prescription flips (`None`
+    /// for the root prescription).
+    pub fn branch_pc(&self) -> Option<u32> {
+        self.flip.map(|f| f.pc)
     }
 }
 

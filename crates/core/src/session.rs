@@ -247,8 +247,8 @@ impl PathExecutor for SpecExecutor {
             let before = m.trail.len();
             let r = m.step(tm)?;
             for entry in &m.trail[before..] {
-                if let TrailEntry::Branch { cond, taken } = *entry {
-                    obs.on_branch(cond, taken);
+                if let TrailEntry::Branch { cond, taken, pc } = *entry {
+                    obs.on_branch(pc, cond, taken);
                 }
             }
             match r {
@@ -444,6 +444,11 @@ impl SessionBuilder {
 
     /// Upper bound on explored paths. Must be nonzero — for unbounded
     /// exploration simply don't set a limit.
+    ///
+    /// A sequential session stops after the first `max_paths` paths in
+    /// *strategy order*; a parallel session returns the canonical
+    /// `max_paths`-lowest-[`PathId`] prefix of the full exploration,
+    /// independent of scheduling (see [`crate::parallel`]).
     pub fn limit(mut self, max_paths: u64) -> Self {
         self.limit = Some(max_paths);
         self
@@ -828,7 +833,7 @@ impl Session {
         // Queue flip candidates for the new suffix of this path's trail.
         let mut branch_ord = 0usize;
         for (i, entry) in outcome.trail.iter().enumerate() {
-            if let TrailEntry::Branch { cond, taken } = *entry {
+            if let TrailEntry::Branch { cond, taken, pc } = *entry {
                 if branch_ord >= self.forced_depth {
                     self.strategy.push(Candidate {
                         prefix: outcome.trail[..i].to_vec(),
@@ -841,6 +846,7 @@ impl Session {
                             flip: Some(Flip {
                                 ord: branch_ord,
                                 taken,
+                                pc,
                             }),
                         },
                     });

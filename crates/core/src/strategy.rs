@@ -23,7 +23,11 @@
 //!   covering short prefixes before deep suffixes;
 //! * [`RandomRestart`] — pick a uniformly pseudo-random frontier entry,
 //!   restarting exploration from an unrelated part of the program; a
-//!   deterministic seed keeps runs reproducible.
+//!   deterministic seed keeps runs reproducible;
+//! * [`CoverageGuided`] — pick the pending flip whose branch site is least
+//!   covered in a shared [`CoverageMap`], surfacing unexecuted code early
+//!   under a path budget (ties broken depth-first, so the order is a pure
+//!   function of the coverage snapshots).
 //!
 //! All strategies enumerate the same complete path set on terminating
 //! programs — only the discovery *order* (and thus which paths a truncated
@@ -33,9 +37,11 @@
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use binsym_smt::Term;
 
+use crate::coverage::CoverageMap;
 use crate::machine::TrailEntry;
 use crate::prescribe::Prescription;
 
@@ -332,6 +338,23 @@ impl<T> RandomRestart<T> {
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
+    /// Draws a uniform index below `n` by rejection sampling: draws whose
+    /// value falls in the tail remainder of the 2⁶⁴ space are discarded, so
+    /// every index is exactly equally likely (a bare `next_u64() % n` would
+    /// favor small indices whenever `n` does not divide 2⁶⁴). Still a pure
+    /// function of the seed.
+    fn next_below(&mut self, n: usize) -> usize {
+        let n = n as u64;
+        debug_assert!(n > 0);
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return (x % n) as usize;
+            }
+        }
+    }
+
     /// Adds an item to the frontier.
     pub fn push(&mut self, item: T) {
         self.frontier.push(item);
@@ -342,7 +365,7 @@ impl<T> RandomRestart<T> {
         if self.frontier.is_empty() {
             return None;
         }
-        let i = (self.next_u64() as usize) % self.frontier.len();
+        let i = self.next_below(self.frontier.len());
         Some(self.frontier.swap_remove(i))
     }
 
@@ -394,6 +417,166 @@ impl PrescriptionStrategy for RandomRestart<Prescription> {
     }
 }
 
+/// A frontier item that knows the branch flip it describes — the hook the
+/// [`CoverageGuided`] policy ranks by. Implemented by both frontier item
+/// kinds ([`Candidate`] and [`Prescription`]).
+pub trait BranchSited {
+    /// The branch site's program counter and the direction the flip would
+    /// *assert* (the opposite of what the parent path took). `None` for
+    /// the root prescription, which always schedules first.
+    fn flip_site(&self) -> Option<(u32, bool)>;
+}
+
+impl BranchSited for Candidate {
+    fn flip_site(&self) -> Option<(u32, bool)> {
+        self.prescription.flip_site()
+    }
+}
+
+impl BranchSited for Prescription {
+    fn flip_site(&self) -> Option<(u32, bool)> {
+        self.flip.map(|f| (f.pc, !f.taken))
+    }
+}
+
+/// Coverage-guided selection: pop the pending flip whose branch site is
+/// least covered in a shared [`CoverageMap`] — concretely, a flip ranks as
+/// **uncovered** while no explored path has ever driven its branch in the
+/// direction the flip asserts (the site itself always executed: the parent
+/// path went through it). Discharging an uncovered flip is therefore
+/// guaranteed new behaviour, which is what should surface first under a
+/// path budget ([`crate::SessionBuilder::limit`]).
+///
+/// With the map's one-bit-per-direction signal "least covered" is binary:
+/// **uncovered before covered**. Within each class the tie-break is
+/// deterministic depth-first (most recently pushed entry first), so the
+/// pop order is a pure function of the push sequence and the coverage
+/// snapshots at pop time — a sequential session is exactly reproducible,
+/// and a parallel session's merged results are canonical for 1..N workers
+/// regardless of how the racy snapshots perturb scheduling (see
+/// [`crate::ParallelSession`]).
+///
+/// Generic like [`Dfs`]: `CoverageGuided<Candidate>` (the default) is the
+/// sequential [`PathStrategy`] — pair it with a
+/// [`crate::CoverageObserver`] on the same map so executed paths feed the
+/// signal — and `CoverageGuided<Prescription>` the shard-local
+/// [`PrescriptionStrategy`], where thieves steal from the cold end (the
+/// oldest *covered* entry, falling back to the oldest entry).
+pub struct CoverageGuided<T = Candidate> {
+    frontier: Vec<T>,
+    map: Arc<CoverageMap>,
+}
+
+impl<T> fmt::Debug for CoverageGuided<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CoverageGuided")
+            .field("frontier_len", &self.frontier.len())
+            .field("covered", &self.map.covered_count())
+            .finish()
+    }
+}
+
+impl<T: BranchSited> CoverageGuided<T> {
+    /// Creates the strategy reading the shared coverage `map`.
+    pub fn new(map: Arc<CoverageMap>) -> Self {
+        CoverageGuided {
+            frontier: Vec::new(),
+            map,
+        }
+    }
+
+    /// The shared map this strategy ranks against.
+    pub fn map(&self) -> &Arc<CoverageMap> {
+        &self.map
+    }
+
+    /// True when the direction this item's flip asserts has never been
+    /// observed at its branch site (the root prescription counts as
+    /// uncovered: it must run before anything else can).
+    fn is_uncovered(&self, item: &T) -> bool {
+        match item.flip_site() {
+            None => true,
+            Some((pc, dir)) => !self.map.is_direction_covered(pc, dir),
+        }
+    }
+
+    /// Adds an item to the frontier.
+    pub fn push(&mut self, item: T) {
+        self.frontier.push(item);
+    }
+
+    /// Removes and returns the most recently pushed *uncovered* entry,
+    /// falling back to the most recently pushed entry (plain depth-first)
+    /// when every branch site is already covered.
+    pub fn pop(&mut self) -> Option<T> {
+        let i = self
+            .frontier
+            .iter()
+            .rposition(|item| self.is_uncovered(item))
+            .or_else(|| self.frontier.len().checked_sub(1))?;
+        Some(self.frontier.remove(i))
+    }
+
+    /// Removes and returns the entry the owner would schedule last: the
+    /// oldest *covered* entry, falling back to the oldest entry.
+    pub fn steal(&mut self) -> Option<T> {
+        if self.frontier.is_empty() {
+            return None;
+        }
+        let i = self
+            .frontier
+            .iter()
+            .position(|item| !self.is_uncovered(item))
+            .unwrap_or(0);
+        Some(self.frontier.remove(i))
+    }
+
+    /// Number of pending items.
+    pub fn frontier_len(&self) -> usize {
+        self.frontier.len()
+    }
+}
+
+impl PathStrategy for CoverageGuided<Candidate> {
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+
+    fn push(&mut self, candidate: Candidate) {
+        CoverageGuided::push(self, candidate);
+    }
+
+    fn pop(&mut self) -> Option<Candidate> {
+        CoverageGuided::pop(self)
+    }
+
+    fn frontier_len(&self) -> usize {
+        CoverageGuided::frontier_len(self)
+    }
+}
+
+impl PrescriptionStrategy for CoverageGuided<Prescription> {
+    fn name(&self) -> &'static str {
+        "coverage"
+    }
+
+    fn push(&mut self, prescription: Prescription) {
+        CoverageGuided::push(self, prescription);
+    }
+
+    fn pop(&mut self) -> Option<Prescription> {
+        CoverageGuided::pop(self)
+    }
+
+    fn steal(&mut self) -> Option<Prescription> {
+        CoverageGuided::steal(self)
+    }
+
+    fn frontier_len(&self) -> usize {
+        CoverageGuided::frontier_len(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -414,10 +597,16 @@ mod tests {
     }
 
     fn prescription(ord: usize) -> Prescription {
+        // A distinct 4-byte-aligned branch site per ordinal, so coverage
+        // tests can mark individual sites.
         Prescription {
             id: PathId::root().child(ord),
             input: vec![0],
-            flip: Some(Flip { ord, taken: true }),
+            flip: Some(Flip {
+                ord,
+                taken: true,
+                pc: 0x1000 + 4 * ord as u32,
+            }),
         }
     }
 
@@ -509,10 +698,13 @@ mod tests {
             }
             out
         }
-        let policies: [Box<dyn PrescriptionStrategy>; 3] = [
+        let map = Arc::new(CoverageMap::new(0x1000, 0x100));
+        map.mark_direction(0x1004, false); // ord 1 covered: exercise ranking too
+        let policies: [Box<dyn PrescriptionStrategy>; 4] = [
             Box::new(Dfs::<Prescription>::new()),
             Box::new(Bfs::<Prescription>::new()),
             Box::new(RandomRestart::<Prescription>::with_seed(7)),
+            Box::new(CoverageGuided::<Prescription>::new(map)),
         ];
         for mut s in policies {
             for i in 0..6 {
@@ -523,5 +715,114 @@ mod tests {
             seen.sort_unstable();
             assert_eq!(seen, (0..6).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn random_restart_pop_is_unbiased() {
+        // Rejection sampling: for frontier lengths that do not divide 2^64
+        // the old `next_u64() % len` draw was (infinitesimally) biased; the
+        // uniformity of the *generator + draw* pipeline is what this sanity
+        // test pins — each index must be hit in proportion over many draws.
+        for len in [3usize, 5, 6, 7] {
+            let mut s = RandomRestart::<Prescription>::with_seed(0x5eed ^ len as u64);
+            let trials = 3000;
+            let mut hits = vec![0u32; len];
+            for _ in 0..trials {
+                for i in 0..len {
+                    s.push(prescription(i));
+                }
+                let first = s.pop().expect("non-empty").flip.unwrap().ord;
+                hits[first] += 1;
+                while s.pop().is_some() {}
+            }
+            let expected = trials as f64 / len as f64;
+            for (i, &h) in hits.iter().enumerate() {
+                let dev = (f64::from(h) - expected).abs() / expected;
+                assert!(
+                    dev < 0.25,
+                    "len {len}: index {i} hit {h} times (expected ~{expected:.0})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_restart_rejection_sampling_stays_seed_deterministic() {
+        let order = |seed: u64| {
+            let mut s = RandomRestart::<Prescription>::with_seed(seed);
+            for i in 0..7 {
+                s.push(prescription(i));
+            }
+            let mut seen = Vec::new();
+            while let Some(p) = s.pop() {
+                seen.push(p.flip.unwrap().ord);
+            }
+            seen
+        };
+        assert_eq!(order(123), order(123));
+    }
+
+    #[test]
+    fn coverage_guided_prefers_uncovered_branch_sites() {
+        let map = Arc::new(CoverageMap::new(0x1000, 0x100));
+        let mut s = CoverageGuided::<Prescription>::new(Arc::clone(&map));
+        for i in 0..4 {
+            s.push(prescription(i));
+        }
+        // The directions flips 2 and 3 would assert (`taken: true` parents,
+        // so the flips drive `false`) were already observed: the policy
+        // must pick the newest *uncovered* flip (ord 1), not the newest
+        // overall (ord 3). Executing the sites alone changes nothing — a
+        // pending flip's site always executed on its parent path.
+        map.mark(0x1008);
+        map.mark(0x100c);
+        map.mark_direction(0x1008, false);
+        map.mark_direction(0x100c, false);
+        assert_eq!(s.pop().unwrap().flip.unwrap().ord, 1);
+        assert_eq!(s.pop().unwrap().flip.unwrap().ord, 0);
+        // All remaining sites covered: fall back to plain depth-first.
+        assert_eq!(s.pop().unwrap().flip.unwrap().ord, 3);
+        assert_eq!(s.pop().unwrap().flip.unwrap().ord, 2);
+        assert!(s.pop().is_none());
+    }
+
+    #[test]
+    fn coverage_guided_schedules_root_first_and_steals_covered_first() {
+        let map = Arc::new(CoverageMap::new(0x1000, 0x100));
+        let mut s = CoverageGuided::<Prescription>::new(Arc::clone(&map));
+        s.push(Prescription::root(vec![0]));
+        assert!(
+            s.pop().unwrap().flip.is_none(),
+            "root counts as uncovered and schedules"
+        );
+
+        for i in 0..3 {
+            s.push(prescription(i));
+        }
+        map.mark_direction(0x1004, false); // ord 1's flip direction covered
+        let stolen = PrescriptionStrategy::steal(&mut s).unwrap();
+        assert_eq!(
+            stolen.flip.unwrap().ord,
+            1,
+            "thief takes the covered entry the owner wants least"
+        );
+        // No covered entries left: thief falls back to the oldest.
+        let stolen = PrescriptionStrategy::steal(&mut s).unwrap();
+        assert_eq!(stolen.flip.unwrap().ord, 0);
+        assert_eq!(s.pop().unwrap().flip.unwrap().ord, 2);
+    }
+
+    #[test]
+    fn coverage_guided_serves_the_sequential_frontier_too() {
+        let map = Arc::new(CoverageMap::new(0x1000, 0x100));
+        let mut s: Box<dyn PathStrategy> = Box::new(CoverageGuided::<Candidate>::new(map));
+        assert_eq!(s.name(), "coverage");
+        for i in 0..3 {
+            s.push(candidate(i));
+        }
+        assert_eq!(s.frontier_len(), 3);
+        let mut seen: Vec<usize> = std::iter::from_fn(|| s.pop().map(|c| c.branch_ord)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
     }
 }

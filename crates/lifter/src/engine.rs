@@ -442,7 +442,11 @@ impl IrMachine {
                     if c.is_symbolic() {
                         let cb = c.boolean(tm);
                         if tm.as_bool_const(cb).is_none() {
-                            self.trail.push(TrailEntry::Branch { cond: cb, taken });
+                            self.trail.push(TrailEntry::Branch {
+                                cond: cb,
+                                taken,
+                                pc: self.pc,
+                            });
                         }
                     }
                     if taken {
@@ -595,8 +599,8 @@ impl PathExecutor for LifterExecutor {
             let exit = m.exec_block(tm, block, overhead)?;
             m.steps += 1;
             for entry in &m.trail[trail_before..] {
-                if let TrailEntry::Branch { cond, taken } = *entry {
-                    obs.on_branch(cond, taken);
+                if let TrailEntry::Branch { cond, taken, pc } = *entry {
+                    obs.on_branch(pc, cond, taken);
                 }
             }
             match exit {

@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let conds: Vec<(Term, bool)> = trail
         .iter()
         .map(|e| match *e {
-            TrailEntry::Branch { cond, taken } => (cond, taken),
+            TrailEntry::Branch { cond, taken, .. } => (cond, taken),
             TrailEntry::Concretize { .. } => unreachable!("no symbolic addresses here"),
         })
         .collect();

@@ -1,0 +1,199 @@
+//! Determinism suite for coverage-guided exploration on the shared
+//! frontier, plus the coverage-velocity pin of the ablation harness.
+//!
+//! The [`CoverageGuided`] policy reads a racy (lock-free) coverage map, so
+//! in a parallel session its *scheduling* may differ between runs — but a
+//! shard policy only decides which worker replays which prescription, and
+//! replay is a pure function of the prescription, so the merged records
+//! must be **byte-identical** across 1/2/4/8 workers, across repeated
+//! runs, and against the default depth-first policy. The same holds for
+//! truncated (`limit`-bounded) coverage runs, which must return the
+//! canonical `limit`-lowest-`PathId` prefix on every schedule.
+//!
+//! The heavy programs run under `#[ignore]` so the debug-mode tier-1 suite
+//! stays fast; CI runs them in release with `--include-ignored`.
+
+use std::sync::Arc;
+
+use binsym_repro::bench::programs::{self, Program};
+use binsym_repro::bench::{coverage_trajectory, SearchStrategy};
+use binsym_repro::binsym::{
+    CoverageGuided, CoverageMap, CoverageObserver, PathRecord, Prescription, Session, Summary,
+};
+use binsym_repro::isa::Spec;
+
+/// One parallel run with per-worker coverage observers feeding — and
+/// coverage-guided shard policies reading — one shared lock-free map.
+fn coverage_run(
+    p: &Program,
+    workers: usize,
+    limit: Option<u64>,
+) -> (Summary, Vec<PathRecord>, u64) {
+    let elf = p.build();
+    let map = CoverageMap::shared_for(&elf);
+    let policy_map = Arc::clone(&map);
+    let observer_map = Arc::clone(&map);
+    let mut builder = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers)
+        .shard_strategy(move |_| {
+            Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
+        })
+        .observer_factory(move |_| Box::new(CoverageObserver::new(Arc::clone(&observer_map))));
+    if let Some(limit) = limit {
+        builder = builder.limit(limit);
+    }
+    let mut session = builder.build_parallel().expect("builds");
+    assert_eq!(session.strategy_name(), "coverage");
+    let summary = session.run_all().expect("explores");
+    (summary, session.records().to_vec(), map.covered_count())
+}
+
+/// Reference run: default depth-first shard policy, no coverage plumbing.
+fn dfs_run(p: &Program, workers: usize, limit: Option<u64>) -> (Summary, Vec<PathRecord>) {
+    let elf = p.build();
+    let mut builder = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers);
+    if let Some(limit) = limit {
+        builder = builder.limit(limit);
+    }
+    let mut session = builder.build_parallel().expect("builds");
+    let summary = session.run_all().expect("explores");
+    (summary, session.records().to_vec())
+}
+
+fn assert_summaries_equal(a: &Summary, b: &Summary, what: &str) {
+    assert_eq!(a.paths, b.paths, "{what}: paths");
+    assert_eq!(a.error_paths, b.error_paths, "{what}: error paths");
+    assert_eq!(a.total_steps, b.total_steps, "{what}: total steps");
+    assert_eq!(a.solver_checks, b.solver_checks, "{what}: solver checks");
+    assert_eq!(a.max_trail_len, b.max_trail_len, "{what}: max trail len");
+    assert_eq!(a.truncated, b.truncated, "{what}: truncated");
+}
+
+/// The full-exploration determinism contract: coverage-guided scheduling
+/// must not change any merged result.
+fn check_program(p: &Program) {
+    let (ref_summary, ref_records) = dfs_run(p, 1, None);
+    assert_eq!(ref_summary.paths, p.expected_paths, "{}: dfs", p.name);
+
+    let mut final_coverage = None;
+    for workers in [1usize, 2, 4, 8] {
+        let (summary, records, covered) = coverage_run(p, workers, None);
+        let what = format!("{} coverage-guided, {workers} workers", p.name);
+        assert_eq!(summary.paths, p.expected_paths, "{what}: pinned count");
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: merged records vs dfs");
+        // Full enumeration executes every reachable instruction slot, so
+        // the final coverage is policy- and schedule-independent.
+        match final_coverage {
+            None => final_coverage = Some(covered),
+            Some(c) => assert_eq!(c, covered, "{what}: final covered PCs"),
+        }
+        assert!(covered > 0, "{what}: map was fed");
+    }
+
+    // Repeated run (racy map snapshots may reschedule): byte-identical.
+    let (summary, records, _) = coverage_run(p, 4, None);
+    assert_summaries_equal(&summary, &ref_summary, &format!("{} repeated", p.name));
+    assert_eq!(records, ref_records, "{}: repeated run records", p.name);
+}
+
+/// The truncated-run contract: a `limit`-bounded coverage-guided run
+/// returns the canonical limit-lowest-id prefix on every schedule.
+fn check_truncated(p: &Program, limit: u64) {
+    let (full_summary, full_records) = dfs_run(p, 1, None);
+    assert!(full_summary.paths > limit, "limit must actually truncate");
+    let (ref_summary, ref_records, _) = coverage_run(p, 1, Some(limit));
+    assert_eq!(ref_summary.paths, limit, "{}: truncated count", p.name);
+    assert!(ref_summary.truncated, "{}: truncated flag", p.name);
+    assert_eq!(
+        ref_records.as_slice(),
+        &full_records[..limit as usize],
+        "{}: truncation is the canonical prefix of the full run",
+        p.name
+    );
+
+    for workers in [2usize, 4, 8] {
+        let (summary, records, _) = coverage_run(p, workers, Some(limit));
+        let what = format!("{} truncated coverage, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: merged records");
+    }
+
+    // The dfs policy truncates to the same canonical prefix.
+    for workers in [1usize, 4] {
+        let (summary, records) = dfs_run(p, workers, Some(limit));
+        let what = format!("{} truncated dfs, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: merged records");
+    }
+}
+
+/// Sequential paths-to-full-coverage under a strategy — the exact
+/// ablation-4 metric, via the shared [`coverage_trajectory`] helper.
+fn paths_to_full_coverage(p: &Program, strategy: SearchStrategy) -> u64 {
+    let (to_full, _, total) = coverage_trajectory(p, strategy);
+    assert_eq!(total, p.expected_paths, "{}", p.name);
+    to_full
+}
+
+#[test]
+fn clif_parser_coverage_guided_is_deterministic() {
+    check_program(&programs::CLIF_PARSER);
+}
+
+#[test]
+fn clif_parser_truncated_runs_are_canonical() {
+    check_truncated(&programs::CLIF_PARSER, 17);
+}
+
+#[test]
+fn bubble_sort_truncated_runs_are_canonical() {
+    check_truncated(&programs::BUBBLE_SORT, 100);
+}
+
+#[test]
+fn coverage_guided_reaches_full_coverage_before_dfs() {
+    // The acceptance pin: prioritizing flips under uncovered branch sites
+    // must surface the last unexecuted instruction in strictly fewer paths
+    // than depth-first order on at least one Table I program.
+    let p = &programs::CLIF_PARSER;
+    let dfs = paths_to_full_coverage(p, SearchStrategy::Dfs);
+    let coverage = paths_to_full_coverage(p, SearchStrategy::Coverage);
+    assert!(
+        coverage < dfs,
+        "coverage-guided must reach full coverage first (coverage {coverage} vs dfs {dfs})"
+    );
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn bubble_sort_coverage_guided_is_deterministic() {
+    check_program(&programs::BUBBLE_SORT);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_coverage_guided_is_deterministic() {
+    check_program(&programs::URI_PARSER);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_truncated_runs_are_canonical() {
+    check_truncated(&programs::URI_PARSER, 300);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn base64_encode_coverage_guided_is_deterministic() {
+    check_program(&programs::BASE64_ENCODE);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn insertion_sort_coverage_guided_is_deterministic() {
+    check_program(&programs::INSERTION_SORT);
+}

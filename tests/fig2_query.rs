@@ -49,7 +49,14 @@ fn fail_branch_unreachable_with_nonzero_divisor() {
     let mut tm = TermManager::new();
     let trail = snippet_trail(&mut tm, 1000, 3);
     let (guard, bltu) = match (&trail[0], &trail[1]) {
-        (TrailEntry::Branch { cond: g, taken: gt }, TrailEntry::Branch { cond: b, taken: bt }) => {
+        (
+            TrailEntry::Branch {
+                cond: g, taken: gt, ..
+            },
+            TrailEntry::Branch {
+                cond: b, taken: bt, ..
+            },
+        ) => {
             assert!(!gt, "divisor 3 != 0");
             assert!(!bt, "1000/3 < 1000");
             (*g, *b)

@@ -47,6 +47,16 @@ fn sequential_fingerprint(p: &Program) -> (Summary, Vec<Vec<bool>>) {
 /// One parallel run with the given worker count and shard policy seed
 /// (`None` = default depth-first policy).
 fn parallel_run(p: &Program, workers: usize, seed: Option<u64>) -> (Summary, Vec<PathRecord>) {
+    parallel_run_limited(p, workers, seed, None)
+}
+
+/// Like [`parallel_run`], optionally truncated to a path budget.
+fn parallel_run_limited(
+    p: &Program,
+    workers: usize,
+    seed: Option<u64>,
+    limit: Option<u64>,
+) -> (Summary, Vec<PathRecord>) {
     let elf = p.build();
     let mut builder = Session::builder(Spec::rv32im())
         .binary(&elf)
@@ -55,6 +65,9 @@ fn parallel_run(p: &Program, workers: usize, seed: Option<u64>) -> (Summary, Vec
         builder = builder.shard_strategy(move |i| {
             Box::new(RandomRestart::<Prescription>::with_seed(seed + i as u64))
         });
+    }
+    if let Some(limit) = limit {
+        builder = builder.limit(limit);
     }
     let mut session = builder.build_parallel().expect("builds");
     let summary = session.run_all().expect("explores");
@@ -125,9 +138,62 @@ fn check_program(p: &Program) {
     }
 }
 
+/// The truncated-run contract: a `limit`-bounded run returns the canonical
+/// `limit`-lowest-`PathId` prefix of the full exploration — byte-identical
+/// across 1/2/4/8 workers, repeated runs, and shard policies — instead of
+/// whichever `limit` paths happened to finish first on one schedule.
+fn check_truncated(p: &Program, limit: u64) {
+    let (_, full_records) = parallel_run(p, 1, None);
+    assert!(
+        full_records.len() as u64 > limit,
+        "{}: limit must actually truncate",
+        p.name
+    );
+    let (ref_summary, ref_records) = parallel_run_limited(p, 1, None, Some(limit));
+    assert_eq!(ref_summary.paths, limit, "{}: exact count", p.name);
+    assert!(ref_summary.truncated, "{}: truncated flag", p.name);
+    assert_eq!(
+        ref_records.as_slice(),
+        &full_records[..limit as usize],
+        "{}: truncation is the canonical prefix of the unbounded run",
+        p.name
+    );
+
+    for workers in [2usize, 4, 8] {
+        let (summary, records) = parallel_run_limited(p, workers, None, Some(limit));
+        let what = format!("{} truncated, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: merged records");
+    }
+
+    // Scheduling policies must not leak into the truncated result either.
+    for workers in [1usize, 4] {
+        let (summary, records) = parallel_run_limited(p, workers, Some(0xfeed_f00d), Some(limit));
+        let what = format!("{} truncated random-restart, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: merged records");
+    }
+
+    // Repeated run: byte-identical.
+    let (summary, records) = parallel_run_limited(p, 4, None, Some(limit));
+    assert_summaries_equal(&summary, &ref_summary, &format!("{} repeated", p.name));
+    assert_eq!(records, ref_records, "{}: repeated truncated run", p.name);
+}
+
 #[test]
 fn clif_parser_is_deterministic() {
     check_program(&programs::CLIF_PARSER);
+}
+
+#[test]
+fn clif_parser_truncated_run_is_canonical() {
+    check_truncated(&programs::CLIF_PARSER, 23);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn bubble_sort_truncated_run_is_canonical() {
+    check_truncated(&programs::BUBBLE_SORT, 250);
 }
 
 #[test]

@@ -9,14 +9,16 @@
 //! table. Run with `cargo bench -p binsym-bench --bench engines`; set
 //! `BENCH_ALL=1` to lift the heavy-row gate, `--smoke` (CI) to run only
 //! the fast programs, `--workers N` / `BINSYM_WORKERS` to size the
-//! scaling series (default 4), and `--strategy dfs|bfs|coverage` to swap
-//! the path-selection policy (path counts must not change).
+//! scaling series (default 4), `--strategy dfs|bfs|coverage` to swap
+//! the path-selection policy (path counts must not change), and
+//! `--json PATH` to record the scaling series (cold and warm-start
+//! datapoints per worker count) machine-readably.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use binsym::{CoverageMap, CoverageObserver, Session, SessionBuilder};
-use binsym_bench::cli::BenchOpts;
+use binsym_bench::cli::{write_json, BenchOpts, Json};
 use binsym_bench::{run_engine_with, Engine, Program, SearchStrategy};
 use binsym_isa::Spec;
 
@@ -34,11 +36,13 @@ fn sample<R>(mut run: impl FnMut() -> R) -> (Duration, usize) {
 
 /// A plain (no persona cost model) builder for `elf` under `strategy`:
 /// sequential when `workers == 0`, sharded otherwise. Coverage runs get a
-/// fresh map per exploration, fed by per-worker observers.
+/// fresh map per exploration, fed by per-worker observers; `warm` enables
+/// the deterministic prefix-keyed warm start (parallel only).
 fn plain_builder(
     elf: &binsym_elf::ElfFile,
     workers: usize,
     strategy: SearchStrategy,
+    warm: bool,
 ) -> SessionBuilder {
     let map = (strategy == SearchStrategy::Coverage).then(|| CoverageMap::shared_for(elf));
     let builder = Session::builder(Spec::rv32im()).binary(elf);
@@ -51,7 +55,8 @@ fn plain_builder(
     } else {
         let builder = strategy
             .install_sharded(builder, map.as_ref())
-            .workers(workers);
+            .workers(workers)
+            .warm_start(warm);
         match map {
             Some(map) => {
                 builder.observer_factory(move |_| Box::new(CoverageObserver::new(Arc::clone(&map))))
@@ -63,7 +68,7 @@ fn plain_builder(
 
 fn main() {
     let opts = BenchOpts::from_env();
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let smoke = opts.smoke;
     let bench_all = std::env::var_os("BENCH_ALL").is_some();
     let scaling_workers = opts.workers.unwrap_or(4);
     let strategy = SearchStrategy::from_opts(&opts);
@@ -104,10 +109,13 @@ fn main() {
     }
 
     // Worker scaling: the raw formal-semantics engine (no persona cost
-    // model) sequential vs sharded at 1 and N workers. The headline series
-    // is the two big Table I programs — base64-encode (6250 paths) and
-    // insertion-sort (5040 paths) — where the frontier is wide enough for
-    // stealing to pay off; `--smoke` keeps CI to the fast programs.
+    // model) sequential vs sharded at 1 and N workers, each worker count
+    // cold and with the deterministic warm start (results are identical;
+    // the delta is the replayed-prefix cost the cache claws back). The
+    // headline series is the two big Table I programs — base64-encode
+    // (6250 paths) and insertion-sort (5040 paths) — where the frontier is
+    // wide enough for stealing to pay off; `--smoke` keeps CI to the fast
+    // programs.
     println!("\nworker scaling (plain BinSym engine, ParallelSession):\n");
     let scaling: Vec<Program> = if smoke {
         programs
@@ -117,11 +125,12 @@ fn main() {
             .map(|n| binsym_bench::programs::by_name(n).expect("known benchmark"))
             .collect()
     };
+    let mut json_rows = Vec::new();
     for program in &scaling {
         println!("{}:", program.name);
         let elf = program.build();
         let (seq_mean, seq_samples) = sample(|| {
-            let s = plain_builder(&elf, 0, strategy)
+            let s = plain_builder(&elf, 0, strategy, false)
                 .build()
                 .expect("builds")
                 .run_all()
@@ -132,25 +141,51 @@ fn main() {
             "  {:<14} {seq_mean:>12.2?}   ({seq_samples} sample(s))",
             "sequential"
         );
+        json_rows.push(Json::O(vec![
+            ("benchmark", Json::s(program.name)),
+            ("strategy", Json::s(strategy.name())),
+            ("workers", Json::U(0)),
+            ("warm_start", Json::B(false)),
+            ("mean_seconds", Json::F(seq_mean.as_secs_f64())),
+            ("samples", Json::U(seq_samples as u64)),
+        ]));
         let mut one_worker_mean = None;
         for workers in [1, scaling_workers] {
-            let (mean, samples) = sample(|| {
-                let s = plain_builder(&elf, workers, strategy)
-                    .build_parallel()
-                    .expect("builds")
-                    .run_all()
-                    .expect("explores");
-                assert_eq!(s.paths, program.expected_paths);
-            });
-            let base = *one_worker_mean.get_or_insert(mean.as_secs_f64());
-            println!(
-                "  {:<14} {mean:>12.2?}   ({samples} sample(s), {:.2}x vs 1 worker)",
-                format!("{workers} worker(s)"),
-                base / mean.as_secs_f64().max(1e-9),
-            );
+            for warm in [false, true] {
+                let (mean, samples) = sample(|| {
+                    let s = plain_builder(&elf, workers, strategy, warm)
+                        .build_parallel()
+                        .expect("builds")
+                        .run_all()
+                        .expect("explores");
+                    assert_eq!(s.paths, program.expected_paths);
+                });
+                let base = *one_worker_mean.get_or_insert(mean.as_secs_f64());
+                println!(
+                    "  {:<14} {mean:>12.2?}   ({samples} sample(s), {:.2}x vs 1 worker cold)",
+                    format!("{workers} worker(s){}", if warm { " warm" } else { "" }),
+                    base / mean.as_secs_f64().max(1e-9),
+                );
+                json_rows.push(Json::O(vec![
+                    ("benchmark", Json::s(program.name)),
+                    ("strategy", Json::s(strategy.name())),
+                    ("workers", Json::U(workers as u64)),
+                    ("warm_start", Json::B(warm)),
+                    ("mean_seconds", Json::F(mean.as_secs_f64())),
+                    ("samples", Json::U(samples as u64)),
+                ]));
+            }
             if workers == 1 && scaling_workers == 1 {
                 break;
             }
         }
+    }
+    if let Some(path) = &opts.json {
+        let doc = Json::O(vec![
+            ("bin", Json::s("engines-bench")),
+            ("smoke", Json::B(smoke)),
+            ("scaling", Json::A(json_rows)),
+        ]);
+        write_json(path, &doc);
     }
 }

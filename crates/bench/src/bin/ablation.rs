@@ -7,10 +7,15 @@
 //! 2. **Lift caching** — the IR engine with and without its translation
 //!    cache (the BINSEC-vs-angr structural difference, isolated from the
 //!    interpretation-overhead model).
-//! 3. **Worker scaling** — the sharded `ParallelSession` (replay-based
-//!    exploration, fresh solver context per prescription) at 1..=N workers
-//!    vs. the sequential incremental engine, isolating what the
-//!    prescription-replay model costs and what the parallelism buys back.
+//! 3. **Worker scaling and warm start** — the sharded `ParallelSession`
+//!    (replay-based exploration, fresh solver context per prescription) at
+//!    1..=N workers vs. the sequential incremental engine, isolating what
+//!    the prescription-replay model costs and what the parallelism buys
+//!    back; each worker count also runs with the deterministic
+//!    prefix-keyed warm start (`.warm_start(true)`), quantifying how much
+//!    replayed-prefix cost the cache claws back (per-path seconds and
+//!    cache hit/reuse counters in the `--json` rows) — with results
+//!    byte-identical to the cache-off run by construction.
 //! 4. **Search strategy vs. coverage velocity** — paths needed to reach
 //!    full text-segment PC coverage under DFS, BFS, and the
 //!    coverage-guided policy, on all five Table I programs. Every policy
@@ -20,14 +25,24 @@
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin ablation \
-//!     [--quick] [--workers N] [--json PATH]
+//!     [--quick] [--smoke] [--workers N] [--runs N] [--json PATH]
 //! ```
+//!
+//! `--runs N` averages the ablation-3 timings over N interleaved
+//! cold/warm rounds (default 1), damping scheduler noise on shared
+//! hardware; the cache counters are deterministic and identical across
+//! rounds.
+//!
+//! `--smoke` is the CI-sized run: ablation 3 only (warm start on/off, the
+//! smallest Table I program), so every merge exercises the warm-start
+//! datapoint without the full matrix.
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use binsym::{BitblastBackend, Session};
+use binsym::{BitblastBackend, CountingObserver, Session};
 use binsym_bench::cli::{write_json, BenchOpts, Json};
 use binsym_bench::{all_programs, coverage_trajectory, programs, SearchStrategy};
 use binsym_isa::Spec;
@@ -35,8 +50,28 @@ use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
 
 fn main() {
     let opts = BenchOpts::from_env();
-    let progs = [programs::CLIF_PARSER, programs::URI_PARSER];
+    let progs = if opts.smoke {
+        vec![programs::CLIF_PARSER]
+    } else {
+        vec![programs::CLIF_PARSER, programs::URI_PARSER]
+    };
+    let progs = &progs[..];
     let mut json_rows = Vec::new();
+
+    if opts.smoke {
+        let max_workers = opts.workers.unwrap_or(2);
+        ablation3(progs, max_workers, opts.runs.unwrap_or(1), &mut json_rows);
+        if let Some(path) = &opts.json {
+            let doc = Json::O(vec![
+                ("bin", Json::s("ablation")),
+                ("smoke", Json::B(true)),
+                ("max_workers", Json::U(max_workers as u64)),
+                ("rows", Json::A(json_rows)),
+            ]);
+            write_json(path, &doc);
+        }
+        return;
+    }
 
     println!("ABLATION 1 — incremental vs. fresh-solver DSE (BinSym engine)\n");
     println!(
@@ -128,58 +163,7 @@ fn main() {
     }
 
     let max_workers = opts.workers.unwrap_or(4);
-    println!("\nABLATION 3 — worker scaling (replay-based sharded exploration)\n");
-    println!(
-        "{:<16} {:>12} {:>6}  parallel 1..=N workers (speedup vs 1 worker)",
-        "Benchmark", "sequential", ""
-    );
-    for p in progs {
-        let elf = p.build();
-        let mut session = Session::builder(Spec::rv32im())
-            .binary(&elf)
-            .build()
-            .expect("sym input");
-        let start = Instant::now();
-        let s = session.run_all().expect("explores");
-        assert_eq!(s.paths, p.expected_paths);
-        let seq = start.elapsed();
-
-        let mut cells = Vec::new();
-        let mut base = None;
-        let mut workers = 1usize;
-        while workers <= max_workers {
-            let mut par = Session::builder(Spec::rv32im())
-                .binary(&elf)
-                .workers(workers)
-                .build_parallel()
-                .expect("builds");
-            let start = Instant::now();
-            let s = par.run_all().expect("explores");
-            assert_eq!(s.paths, p.expected_paths, "sharding must not change paths");
-            let elapsed = start.elapsed();
-            let base_secs = *base.get_or_insert(elapsed.as_secs_f64());
-            cells.push(format!(
-                "{workers}w {:.1?} ({:.2}x)",
-                elapsed,
-                base_secs / elapsed.as_secs_f64().max(1e-9)
-            ));
-            json_rows.push(Json::O(vec![
-                ("ablation", Json::s("worker-scaling")),
-                ("benchmark", Json::s(p.name)),
-                ("workers", Json::U(workers as u64)),
-                ("seconds", Json::F(elapsed.as_secs_f64())),
-                ("sequential_seconds", Json::F(seq.as_secs_f64())),
-            ]));
-            workers *= 2;
-        }
-        println!(
-            "{:<16} {:>12.1?} {:>6}  {}",
-            p.name,
-            seq,
-            "",
-            cells.join("  ")
-        );
-    }
+    ablation3(progs, max_workers, opts.runs.unwrap_or(1), &mut json_rows);
 
     println!("\nABLATION 4 — paths to full PC coverage (search-strategy comparison)\n");
     println!(
@@ -228,5 +212,103 @@ fn main() {
             ("rows", Json::A(json_rows)),
         ]);
         write_json(path, &doc);
+    }
+}
+
+/// Ablation 3: the sharded engine at 1..=N workers, each worker count
+/// measured cold (fresh solver context per prescription) and warm
+/// (deterministic prefix-keyed cache). The two runs produce byte-identical
+/// results by construction; the delta — per-path seconds plus the cache's
+/// hit/reuse counters — is the replayed-prefix cost the warm start claws
+/// back.
+fn ablation3(
+    progs: &[binsym_bench::Program],
+    max_workers: usize,
+    runs: usize,
+    json_rows: &mut Vec<Json>,
+) {
+    println!("\nABLATION 3 — worker scaling and warm start (replay-based sharded exploration)\n");
+    println!(
+        "{:<16} {:>12}   per worker count: cold/warm wall (cold→warm ms/path)",
+        "Benchmark", "sequential"
+    );
+    for &p in progs {
+        let elf = p.build();
+        let mut session = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .build()
+            .expect("sym input");
+        let start = Instant::now();
+        let s = session.run_all().expect("explores");
+        assert_eq!(s.paths, p.expected_paths);
+        let seq = start.elapsed();
+
+        let mut cells = Vec::new();
+        let mut workers = 1usize;
+        while workers <= max_workers {
+            let mut seconds = [0.0f64; 2];
+            let mut tallies = [CountingObserver::new(); 2];
+            // Interleave the cold/warm rounds so slow machine drift hits
+            // both sides equally.
+            for _ in 0..runs.max(1) {
+                for (slot, warm) in [false, true].into_iter().enumerate() {
+                    // Both sides carry the identical observer plumbing
+                    // (the shared-mutex counter), so the cold/warm delta
+                    // measures the cache alone, not observer overhead.
+                    let counters = Arc::new(Mutex::new(CountingObserver::new()));
+                    let handle = Arc::clone(&counters);
+                    let mut par = Session::builder(Spec::rv32im())
+                        .binary(&elf)
+                        .workers(workers)
+                        .warm_start(warm)
+                        .observer_factory(move |_| Box::new(Arc::clone(&handle)))
+                        .build_parallel()
+                        .expect("builds");
+                    let start = Instant::now();
+                    let s = par.run_all().expect("explores");
+                    assert_eq!(s.paths, p.expected_paths, "sharding must not change paths");
+                    seconds[slot] += start.elapsed().as_secs_f64();
+                    tallies[slot] = *counters.lock().expect("counters");
+                }
+            }
+            for slot in &mut seconds {
+                *slot /= runs.max(1) as f64;
+            }
+            for (slot, warm) in [false, true].into_iter().enumerate() {
+                let c = tallies[slot];
+                let mut row = vec![
+                    ("ablation", Json::s("worker-scaling")),
+                    ("benchmark", Json::s(p.name)),
+                    ("workers", Json::U(workers as u64)),
+                    ("warm_start", Json::B(warm)),
+                    ("runs", Json::U(runs.max(1) as u64)),
+                    ("seconds", Json::F(seconds[slot])),
+                    (
+                        "seconds_per_path",
+                        Json::F(seconds[slot] / p.expected_paths as f64),
+                    ),
+                    ("sequential_seconds", Json::F(seq.as_secs_f64())),
+                ];
+                if warm {
+                    row.extend([
+                        ("warm_hits", Json::U(c.warm_hits)),
+                        ("warm_misses", Json::U(c.warm_misses)),
+                        ("warm_replays_skipped", Json::U(c.warm_replays_skipped)),
+                        ("warm_prefix_reused", Json::U(c.warm_prefix_reused)),
+                        ("warm_prefix_blasted", Json::U(c.warm_prefix_blasted)),
+                    ]);
+                }
+                json_rows.push(Json::O(row));
+            }
+            cells.push(format!(
+                "{workers}w {:.2}s/{:.2}s ({:.1}→{:.1})",
+                seconds[0],
+                seconds[1],
+                1e3 * seconds[0] / p.expected_paths as f64,
+                1e3 * seconds[1] / p.expected_paths as f64,
+            ));
+            workers *= 2;
+        }
+        println!("{:<16} {:>12.1?}   {}", p.name, seq, cells.join("  "));
     }
 }

@@ -20,6 +20,8 @@ pub struct BenchOpts {
     pub json: Option<PathBuf>,
     /// Skip the heavy benchmark rows (`--quick`).
     pub quick: bool,
+    /// CI-sized run: only the fast programs and datapoints (`--smoke`).
+    pub smoke: bool,
     /// Repetitions for timing harnesses (`--runs N`).
     pub runs: Option<usize>,
 }
@@ -38,8 +40,15 @@ impl BenchOpts {
         let args: Vec<String> = args.collect();
         let value_of = |flag: &str| -> Option<&String> {
             args.iter().position(|a| a == flag).map(|i| {
-                args.get(i + 1)
-                    .unwrap_or_else(|| panic!("{flag} needs a value"))
+                // The value slot must exist AND not be another flag:
+                // `--workers --quick` used to silently consume `--quick`
+                // as the worker count and then panic with a misleading
+                // "invalid value" message; fail with the real problem.
+                match args.get(i + 1) {
+                    Some(v) if !v.starts_with("--") => v,
+                    Some(v) => panic!("{flag} needs a value (found flag {v:?} instead)"),
+                    None => panic!("{flag} needs a value"),
+                }
             })
         };
         // A malformed count must fail loudly: silently falling back to the
@@ -62,6 +71,7 @@ impl BenchOpts {
             strategy: value_of("--strategy").cloned(),
             json: value_of("--json").map(PathBuf::from),
             quick: args.iter().any(|a| a == "--quick"),
+            smoke: args.iter().any(|a| a == "--smoke"),
             runs: value_of("--runs").map(|s| count("--runs", s)),
         }
     }
@@ -223,6 +233,43 @@ mod tests {
     fn trailing_workers_flag_fails_loudly() {
         let args = vec!["--workers".to_string()];
         let _ = BenchOpts::parse(args.into_iter(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--workers needs a value (found flag \"--quick\" instead)")]
+    fn flag_as_value_is_rejected_with_the_real_problem() {
+        // Used to silently take `--quick` as the worker count and then
+        // panic with a misleading "invalid value for --workers" message.
+        let args = vec!["--workers".to_string(), "--quick".to_string()];
+        let _ = BenchOpts::parse(args.into_iter(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--json needs a value (found flag \"--workers\" instead)")]
+    fn flag_as_value_is_rejected_for_string_flags_too() {
+        let args = vec![
+            "--json".to_string(),
+            "--workers".to_string(),
+            "2".to_string(),
+        ];
+        let _ = BenchOpts::parse(args.into_iter(), None);
+    }
+
+    #[test]
+    fn negative_looking_values_are_not_flags() {
+        // A single leading dash is a value, not a flag: only `--`-prefixed
+        // tokens are rejected.
+        let args = vec!["--json".to_string(), "-out.json".to_string()];
+        let o = BenchOpts::parse(args.into_iter(), None);
+        assert_eq!(o.json.as_deref(), Some(Path::new("-out.json")));
+    }
+
+    #[test]
+    fn smoke_flag_parses() {
+        let args = vec!["--smoke".to_string()];
+        let o = BenchOpts::parse(args.into_iter(), None);
+        assert!(o.smoke);
+        assert!(!o.quick);
     }
 
     #[test]

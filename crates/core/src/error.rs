@@ -46,6 +46,14 @@ pub enum Error {
         /// What diverged.
         what: &'static str,
     },
+    /// A warm-start cache operation failed (a stale or foreign cached
+    /// context frame). Always an engine bug; surfaced as a typed error so
+    /// a worker thread fails one prescription deterministically instead of
+    /// panicking mid-exploration.
+    WarmStart {
+        /// What went wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -70,6 +78,9 @@ impl fmt::Display for Error {
                     f,
                     "prescription replay diverged from the parent path: {what}"
                 )
+            }
+            Error::WarmStart { what } => {
+                write!(f, "warm-start cache failure: {what}")
             }
         }
     }

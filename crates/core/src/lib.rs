@@ -86,12 +86,13 @@ pub mod prescribe;
 pub mod session;
 pub mod strategy;
 pub mod value;
+pub mod warm;
 
 pub use backend::{BitblastBackend, ScriptSink, SmtLibDump, SolverBackend};
 pub use coverage::{CoverageMap, CoverageObserver};
 pub use error::Error;
 pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
-pub use observe::{CountingObserver, NullObserver, Observer};
+pub use observe::{CountingObserver, NullObserver, Observer, WarmQueryStats};
 pub use parallel::{
     BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
 };

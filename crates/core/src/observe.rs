@@ -15,6 +15,34 @@ use binsym_smt::{SatResult, Term};
 
 use crate::session::PathOutcome;
 
+/// Per-query accounting of the deterministic warm-start cache
+/// ([`crate::SessionBuilder::warm_start`]), reported by parallel workers
+/// through [`Observer::on_warm_query`] right after [`Observer::on_query`].
+///
+/// The cache affects wall time only, never results, so these counters are
+/// the *only* observable difference between a warm and a cold run — use
+/// them to quantify how much replayed-prefix work the cache clawed back
+/// (the engines bench and ablation 3 aggregate them via
+/// [`crate::CountingObserver`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmQueryStats {
+    /// The query result (same value the paired `on_query` received).
+    pub result: SatResult,
+    /// A cache entry for the parent input was resident (its trail — and,
+    /// for a promoted parent, its retained solver context — was reused).
+    /// Promotion is lazy, so a hit does *not* imply a retained context:
+    /// [`WarmQueryStats::prefix_reused`] is the context-reuse signal.
+    pub cache_hit: bool,
+    /// The parent-prefix re-execution was skipped entirely (the trail was
+    /// served from the cache).
+    pub replay_skipped: bool,
+    /// Prefix path terms served from the retained solver context
+    /// (bit-blast reused).
+    pub prefix_reused: u64,
+    /// Prefix path terms bit-blasted anew for this query.
+    pub prefix_blasted: u64,
+}
+
 /// Callbacks fired during path execution and exploration.
 ///
 /// `on_step`/`on_branch` fire inside [`crate::PathExecutor::execute_path`];
@@ -41,6 +69,14 @@ pub trait Observer {
     fn on_query(&mut self, result: SatResult) {
         let _ = result;
     }
+
+    /// The query just reported through [`Observer::on_query`] went through
+    /// the warm-start cache; `stats` carries its hit/miss and prefix-reuse
+    /// accounting. Fires only in parallel sessions with
+    /// [`crate::SessionBuilder::warm_start`] enabled.
+    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
+        let _ = stats;
+    }
 }
 
 /// Sharing an observer: the session takes ownership of its observer, so to
@@ -61,6 +97,10 @@ impl<O: Observer> Observer for std::rc::Rc<std::cell::RefCell<O>> {
 
     fn on_query(&mut self, result: SatResult) {
         self.borrow_mut().on_query(result);
+    }
+
+    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
+        self.borrow_mut().on_warm_query(stats);
     }
 }
 
@@ -90,6 +130,10 @@ impl<O: Observer> Observer for Arc<Mutex<O>> {
     fn on_query(&mut self, result: SatResult) {
         self.lock().expect("observer lock").on_query(result);
     }
+
+    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
+        self.lock().expect("observer lock").on_warm_query(stats);
+    }
 }
 
 /// Boxed observers forward: lets composed observers (see the pair impl
@@ -109,6 +153,10 @@ impl<O: Observer + ?Sized> Observer for Box<O> {
 
     fn on_query(&mut self, result: SatResult) {
         (**self).on_query(result);
+    }
+
+    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
+        (**self).on_warm_query(stats);
     }
 }
 
@@ -135,6 +183,11 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
         self.0.on_query(result);
         self.1.on_query(result);
     }
+
+    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
+        self.0.on_warm_query(stats);
+        self.1.on_warm_query(stats);
+    }
 }
 
 /// The do-nothing observer (the default).
@@ -157,6 +210,17 @@ pub struct CountingObserver {
     pub queries: u64,
     /// Queries that came back satisfiable.
     pub sat_queries: u64,
+    /// Warm-start queries that found a cache entry for their parent
+    /// input (see [`WarmQueryStats::cache_hit`]).
+    pub warm_hits: u64,
+    /// Warm-start queries that had to build a fresh cache entry.
+    pub warm_misses: u64,
+    /// Warm-start queries that skipped the parent-prefix re-execution.
+    pub warm_replays_skipped: u64,
+    /// Prefix path terms served from retained solver contexts.
+    pub warm_prefix_reused: u64,
+    /// Prefix path terms bit-blasted anew by warm-start queries.
+    pub warm_prefix_blasted: u64,
 }
 
 impl CountingObserver {
@@ -184,5 +248,18 @@ impl Observer for CountingObserver {
         if result == SatResult::Sat {
             self.sat_queries += 1;
         }
+    }
+
+    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
+        if stats.cache_hit {
+            self.warm_hits += 1;
+        } else {
+            self.warm_misses += 1;
+        }
+        if stats.replay_skipped {
+            self.warm_replays_skipped += 1;
+        }
+        self.warm_prefix_reused += stats.prefix_reused;
+        self.warm_prefix_blasted += stats.prefix_blasted;
     }
 }

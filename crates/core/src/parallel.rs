@@ -42,7 +42,12 @@
 //! [`PathExecutor::execute_prefix`]) and forgoing cross-query solver
 //! incrementality; the parallel speedup has to buy that back, which it
 //! does on multi-core hardware for the big Table I workloads (see the
-//! `engines` bench).
+//! `engines` bench). [`crate::SessionBuilder::warm_start`] claws most of
+//! that price back *without* giving up determinism: each worker keeps a
+//! bounded cache keyed by parent input that reuses the parent-prefix
+//! trail and its bit-blast across consecutive prescriptions from the same
+//! subtree, solving each flip in a disposable frame on top — bit-identical
+//! results, cheaper replays (see [`crate::warm`] and ablation 3).
 //!
 //! # Canonical truncation
 //!
@@ -79,6 +84,7 @@ use crate::observe::{NullObserver, Observer};
 use crate::prescribe::{Flip, PathId, PathRecord, Prescription};
 use crate::session::{ErrorPath, PathExecutor, Summary};
 use crate::strategy::PrescriptionStrategy;
+use crate::warm::WarmCache;
 
 /// Factory producing one [`PathExecutor`] per worker thread.
 pub type ExecutorFactory = Arc<dyn Fn() -> Result<Box<dyn PathExecutor>, Error> + Send + Sync>;
@@ -311,6 +317,10 @@ pub struct ParallelSession {
     fuel: u64,
     limit: Option<u64>,
     input_len: u32,
+    /// Per-worker warm-start cache bound; `None` = cache off (the
+    /// default). See [`crate::warm`] — affects wall time only, never
+    /// results.
+    warm_capacity: Option<usize>,
     strategy_name: &'static str,
     backend_name: &'static str,
     done: bool,
@@ -341,9 +351,14 @@ impl ParallelSession {
         fuel: u64,
         limit: Option<u64>,
         input_len: u32,
+        warm_capacity: Option<usize>,
     ) -> Self {
         let strategy_name = shard_strategy(0).name();
-        let backend_name = backend_factory().name();
+        let backend_name = if warm_capacity.is_some() {
+            "bitblast-warm"
+        } else {
+            backend_factory().name()
+        };
         ParallelSession {
             workers,
             executor_factory,
@@ -353,6 +368,7 @@ impl ParallelSession {
             fuel,
             limit,
             input_len,
+            warm_capacity,
             strategy_name,
             backend_name,
             done: false,
@@ -379,6 +395,12 @@ impl ParallelSession {
     /// Name of the per-query solver backend.
     pub fn backend_name(&self) -> &'static str {
         self.backend_name
+    }
+
+    /// True when the deterministic prefix-keyed warm start is enabled
+    /// ([`crate::SessionBuilder::warm_start`]).
+    pub fn warm_start(&self) -> bool {
+        self.warm_capacity.is_some()
     }
 
     /// True once [`ParallelSession::run_all`] has completed.
@@ -436,6 +458,7 @@ impl ParallelSession {
                 let backend_factory = Arc::clone(&self.backend_factory);
                 let observer_factory = self.observer_factory.clone();
                 let fuel = self.fuel;
+                let warm_capacity = self.warm_capacity;
                 handles.push(scope.spawn(move || {
                     worker_main(
                         idx,
@@ -444,6 +467,7 @@ impl ParallelSession {
                         &*backend_factory,
                         observer_factory.as_deref(),
                         fuel,
+                        warm_capacity,
                     )
                 }));
             }
@@ -543,7 +567,9 @@ impl ParallelSession {
 }
 
 /// One worker: pull prescriptions, replay each on the worker's own engine
-/// in a fresh solver context, record results, spawn follow-up work.
+/// in a fresh solver context (or through the worker's warm-start cache),
+/// record results, spawn follow-up work.
+#[allow(clippy::too_many_arguments)]
 fn worker_main(
     idx: usize,
     state: &RunState,
@@ -551,6 +577,7 @@ fn worker_main(
     backend_factory: &(dyn Fn() -> Box<dyn SolverBackend> + Send + Sync),
     observer_factory: Option<&(dyn Fn(usize) -> Box<dyn Observer> + Send + Sync)>,
     fuel: u64,
+    warm_capacity: Option<usize>,
 ) -> Vec<PrescriptionRecord> {
     let mut executor = match executor_factory() {
         Ok(e) => e,
@@ -564,6 +591,7 @@ fn worker_main(
         None => Box::new(NullObserver),
     };
     let mut tm = TermManager::new();
+    let mut warm = warm_capacity.map(WarmCache::new);
     let mut out = Vec::new();
 
     while let Some(p) = state.frontier.acquire(idx) {
@@ -580,18 +608,26 @@ fn worker_main(
             continue;
         }
         // A fresh engine context per prescription: reset handle numbering
-        // and solve in a brand-new backend, making the replay a pure
+        // and solve in a brand-new backend — or, with warm start on, in a
+        // cached prefix context whose answers are bit-identical to the
+        // fresh one (see `crate::warm`). Either way the replay is a pure
         // function of the prescription (schedule-independent results).
-        tm.reset();
-        let mut backend = backend_factory();
-        match replay(
-            &mut *executor,
-            &mut tm,
-            &mut *backend,
-            &mut *observer,
-            &p,
-            fuel,
-        ) {
+        let outcome = match &mut warm {
+            Some(cache) => replay_warm(&mut *executor, &mut tm, cache, &mut *observer, &p, fuel),
+            None => {
+                tm.reset();
+                let mut backend = backend_factory();
+                replay(
+                    &mut *executor,
+                    &mut tm,
+                    &mut *backend,
+                    &mut *observer,
+                    &p,
+                    fuel,
+                )
+            }
+        };
+        match outcome {
             Err(e) => {
                 let stopping = state.watermark.is_none();
                 state.record_error(p.id, e);
@@ -656,38 +692,13 @@ fn replay(
         None => (None, p.input.clone()),
         Some(flip) => {
             let trail = executor.execute_prefix(tm, &p.input, fuel, flip.ord + 1)?;
-            let mut ord = 0usize;
-            let mut cut = None;
-            for (i, entry) in trail.iter().enumerate() {
-                if let TrailEntry::Branch { cond, taken, pc } = *entry {
-                    if ord == flip.ord {
-                        cut = Some((i, cond, taken, pc));
-                        break;
-                    }
-                    ord += 1;
-                }
-            }
-            let Some((i, cond, taken, pc)) = cut else {
-                return Err(Error::ReplayDivergence {
-                    what: "parent replay recorded fewer branches than prescribed",
-                });
-            };
-            if taken != flip.taken {
-                return Err(Error::ReplayDivergence {
-                    what: "parent replay took the prescribed branch in the other direction",
-                });
-            }
-            if pc != flip.pc {
-                return Err(Error::ReplayDivergence {
-                    what: "parent replay reached the prescribed branch at a different site",
-                });
-            }
+            let (i, cond) = flip.locate(&trail)?;
             backend.push();
             for entry in &trail[..i] {
                 let t = entry.path_term(tm);
                 backend.assert_term(tm, t);
             }
-            let flipped = if taken { tm.not(cond) } else { cond };
+            let flipped = if flip.taken { tm.not(cond) } else { cond };
             backend.assert_term(tm, flipped);
             let r = backend.check_sat(tm);
             observer.on_query(r);
@@ -696,14 +707,63 @@ fn replay(
                 return Ok((Some(r), None));
             }
             let model = backend.model(tm).expect("sat has model");
-            let bytes: Vec<u8> = (0..executor.input_len())
-                .map(|i| model.value(&format!("in{i}")).unwrap_or(0) as u8)
-                .collect();
+            let bytes = crate::prescribe::witness_bytes(&model, executor.input_len());
             backend.pop();
             (Some(r), bytes)
         }
     };
 
+    materialize(executor, tm, observer, p, fuel, query, input)
+}
+
+/// The warm-start counterpart of [`replay`]: the flip query goes through
+/// the worker's [`WarmCache`] (parent-input-keyed trail + blasted-prefix
+/// contexts) instead of a fresh backend. The cache guarantees answers
+/// bit-identical to [`replay`]'s (see [`crate::warm`]), so the two paths
+/// are interchangeable result-wise; only wall time and the
+/// [`Observer::on_warm_query`] accounting differ.
+#[allow(clippy::type_complexity)]
+fn replay_warm(
+    executor: &mut dyn PathExecutor,
+    tm: &mut TermManager,
+    cache: &mut WarmCache,
+    observer: &mut dyn Observer,
+    p: &Prescription,
+    fuel: u64,
+) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
+    let (query, input) = match p.flip {
+        None => (None, p.input.clone()),
+        Some(flip) => {
+            let (r, bytes, stats) = cache.solve_flip(executor, &p.input, flip, fuel)?;
+            observer.on_query(r);
+            observer.on_warm_query(&stats);
+            match bytes {
+                None => return Ok((Some(r), None)),
+                Some(bytes) => (Some(r), bytes),
+            }
+        }
+    };
+
+    // Materialization runs on the worker's own term manager, reset per
+    // path as in the cold path (the cached contexts keep their handles
+    // private to the cache).
+    tm.reset();
+    materialize(executor, tm, observer, p, fuel, query, input)
+}
+
+/// Executes the materialized path under `input` and derives the
+/// prescriptions of its unexplored suffix — the shared tail of [`replay`]
+/// and [`replay_warm`].
+#[allow(clippy::type_complexity)]
+fn materialize(
+    executor: &mut dyn PathExecutor,
+    tm: &mut TermManager,
+    observer: &mut dyn Observer,
+    p: &Prescription,
+    fuel: u64,
+    query: Option<SatResult>,
+    input: Vec<u8>,
+) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
     let outcome = executor.execute_path(tm, &input, fuel, observer)?;
     observer.on_path(&input, &outcome);
 
@@ -1064,6 +1124,159 @@ ok:
         // hang the surviving workers on a never-released in-flight count.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| par.run_all()));
         assert!(result.is_err(), "worker panic propagates");
+    }
+
+    #[test]
+    fn warm_start_records_are_byte_identical_to_cache_off() {
+        let reference = {
+            let mut par = parallel(THREE_COMPARES, 1);
+            par.run_all().unwrap();
+            par
+        };
+        for workers in [1usize, 2, 4] {
+            let mut warm = Session::builder(Spec::rv32im())
+                .binary(&elf(THREE_COMPARES))
+                .workers(workers)
+                .warm_start(true)
+                .build_parallel()
+                .unwrap();
+            assert!(warm.warm_start());
+            assert_eq!(warm.backend_name(), "bitblast-warm");
+            let summary = warm.run_all().unwrap();
+            assert_eq!(summary.paths, 8, "{workers} workers");
+            assert_eq!(
+                warm.records(),
+                reference.records(),
+                "{workers} workers: warm records byte-identical to cache-off"
+            );
+            assert_eq!(summary.solver_checks, reference.summary().solver_checks);
+            assert_eq!(summary.error_paths, reference.summary().error_paths);
+        }
+    }
+
+    #[test]
+    fn warm_start_with_tiny_capacity_stays_identical() {
+        let reference = {
+            let mut par = parallel(THREE_COMPARES, 2);
+            par.run_all().unwrap();
+            par
+        };
+        // Capacity 1 forces constant eviction — results must not care.
+        let mut warm = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .warm_start(true)
+            .warm_capacity(1)
+            .build_parallel()
+            .unwrap();
+        warm.run_all().unwrap();
+        assert_eq!(warm.records(), reference.records());
+    }
+
+    #[test]
+    fn warm_start_reports_cache_stats_through_observers() {
+        use std::sync::atomic::AtomicU64;
+        #[derive(Debug)]
+        struct WarmTally {
+            queries: Arc<AtomicU64>,
+            warm: Arc<AtomicU64>,
+            hits: Arc<AtomicU64>,
+        }
+        impl Observer for WarmTally {
+            fn on_query(&mut self, _r: SatResult) {
+                self.queries.fetch_add(1, Ordering::SeqCst);
+            }
+            fn on_warm_query(&mut self, stats: &crate::observe::WarmQueryStats) {
+                self.warm.fetch_add(1, Ordering::SeqCst);
+                if stats.cache_hit {
+                    self.hits.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        let queries = Arc::new(AtomicU64::new(0));
+        let warm = Arc::new(AtomicU64::new(0));
+        let hits = Arc::new(AtomicU64::new(0));
+        let (q, w, h) = (Arc::clone(&queries), Arc::clone(&warm), Arc::clone(&hits));
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(1)
+            .warm_start(true)
+            .observer_factory(move |_| {
+                Box::new(WarmTally {
+                    queries: Arc::clone(&q),
+                    warm: Arc::clone(&w),
+                    hits: Arc::clone(&h),
+                })
+            })
+            .build_parallel()
+            .unwrap();
+        let s = par.run_all().unwrap();
+        assert_eq!(
+            queries.load(Ordering::SeqCst),
+            s.solver_checks,
+            "every query observed"
+        );
+        assert_eq!(
+            warm.load(Ordering::SeqCst),
+            s.solver_checks,
+            "every query carries warm stats"
+        );
+        assert!(
+            hits.load(Ordering::SeqCst) > 0,
+            "sibling flips hit the cache"
+        );
+    }
+
+    #[test]
+    fn warm_start_builder_validation() {
+        let elf = elf(THREE_COMPARES);
+        // Sequential build refuses warm start.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .warm_start(true)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        // Warm start and a custom backend factory are incompatible.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(2)
+            .warm_start(true)
+            .backend_factory(|| Box::new(crate::backend::BitblastBackend::new()))
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        // Zero capacity is rejected.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(2)
+            .warm_start(true)
+            .warm_capacity(0)
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        // warm_start(false) with a backend factory stays fine.
+        Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(2)
+            .backend_factory(|| Box::new(crate::backend::BitblastBackend::new()))
+            .build_parallel()
+            .unwrap();
+    }
+
+    #[test]
+    fn warm_start_surfaces_error_paths_identically() {
+        let mut cold = parallel(WITH_BUG, 2);
+        let cold_summary = cold.run_all().unwrap();
+        let mut warm = Session::builder(Spec::rv32im())
+            .binary(&elf(WITH_BUG))
+            .workers(2)
+            .warm_start(true)
+            .build_parallel()
+            .unwrap();
+        let warm_summary = warm.run_all().unwrap();
+        assert_eq!(warm_summary.error_paths, cold_summary.error_paths);
+        assert_eq!(warm.records(), cold.records());
     }
 
     #[test]

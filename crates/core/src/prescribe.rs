@@ -29,7 +29,10 @@
 
 use std::cmp::Ordering;
 
-use crate::machine::StepResult;
+use binsym_smt::{Model, Term};
+
+use crate::error::Error;
+use crate::machine::{StepResult, TrailEntry};
 
 /// Canonical identity of a path in the exploration tree.
 ///
@@ -105,6 +108,55 @@ pub struct Flip {
     /// coverage map *without* replaying them; replay also cross-checks it
     /// against the reproduced trail as a divergence guard.
     pub pc: u32,
+}
+
+impl Flip {
+    /// Locates this flip in a replayed parent trail: returns the trail
+    /// index of the prescribed branch and its condition term, after
+    /// cross-checking ordinal, direction, and branch site against the
+    /// reproduced trail. These are **the** divergence guards of
+    /// prescription replay — cold ([`crate::ParallelSession`]) and
+    /// warm-start replay share this single implementation so the two
+    /// paths can never drift apart.
+    ///
+    /// # Errors
+    /// [`Error::ReplayDivergence`] when the trail has fewer branches than
+    /// prescribed, or the branch at the ordinal differs in direction or
+    /// site.
+    pub fn locate(&self, trail: &[TrailEntry]) -> Result<(usize, Term), Error> {
+        let mut ord = 0usize;
+        for (i, entry) in trail.iter().enumerate() {
+            if let TrailEntry::Branch { cond, taken, pc } = *entry {
+                if ord == self.ord {
+                    if taken != self.taken {
+                        return Err(Error::ReplayDivergence {
+                            what: "parent replay took the prescribed branch in the other direction",
+                        });
+                    }
+                    if pc != self.pc {
+                        return Err(Error::ReplayDivergence {
+                            what: "parent replay reached the prescribed branch at a different site",
+                        });
+                    }
+                    return Ok((i, cond));
+                }
+                ord += 1;
+            }
+        }
+        Err(Error::ReplayDivergence {
+            what: "parent replay recorded fewer branches than prescribed",
+        })
+    }
+}
+
+/// Extracts the `in{i}` witness bytes of a feasibility model — the
+/// concrete input that drives execution down the materialized path.
+/// Shared by cold and warm replay so the witness encoding has a single
+/// definition.
+pub fn witness_bytes(model: &Model, input_len: u32) -> Vec<u8> {
+    (0..input_len)
+        .map(|i| model.value(&format!("in{i}")).unwrap_or(0) as u8)
+        .collect()
 }
 
 /// A pending path as plain data: `Send + 'static`, replayable on any

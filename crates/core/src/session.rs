@@ -330,6 +330,8 @@ pub struct SessionBuilder {
     backend_factory: Option<BackendFactory>,
     observer_factory: Option<ObserverFactory>,
     shard_strategy: Option<ShardStrategyFactory>,
+    warm_start: bool,
+    warm_capacity: Option<usize>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -442,6 +444,35 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables the deterministic prefix-keyed solver warm start for
+    /// parallel sessions (default: off). Each worker keeps a bounded
+    /// cache keyed by parent concrete input: the parent-prefix trail is
+    /// executed once and reused, and the prefix's bit-blast is held open
+    /// in a reusable solver context with each flip solved in a disposable
+    /// frame on top. The cache affects **wall time only, never models** —
+    /// merged records stay byte-identical to a cache-off run on every
+    /// worker count, schedule, and hit pattern (see [`crate::warm`]).
+    ///
+    /// Parallel-only (the sequential engine already has true cross-query
+    /// incrementality); incompatible with a custom
+    /// [`SessionBuilder::backend_factory`], which the warm path replaces.
+    pub fn warm_start(mut self, enabled: bool) -> Self {
+        self.warm_start = enabled;
+        self
+    }
+
+    /// Bounds the warm-start cache to `contexts` resident parent contexts
+    /// per worker (default: [`crate::warm::DEFAULT_WARM_CAPACITY`]) and
+    /// implies [`SessionBuilder::warm_start`]`(true)` — setting a cache
+    /// size for a disabled cache would otherwise be a silent no-op.
+    /// Eviction is least-recently-used; like every other cache knob it
+    /// changes wall time only, never results. Must be nonzero.
+    pub fn warm_capacity(mut self, contexts: usize) -> Self {
+        self.warm_start = true;
+        self.warm_capacity = Some(contexts);
+        self
+    }
+
     /// Upper bound on explored paths. Must be nonzero — for unbounded
     /// exploration simply don't set a limit.
     ///
@@ -478,6 +509,11 @@ impl SessionBuilder {
                 what: "per-path fuel must be nonzero",
             });
         }
+        if self.warm_capacity == Some(0) {
+            return Err(Error::InvalidConfig {
+                what: "warm-start capacity must be nonzero",
+            });
+        }
         Ok(())
     }
 
@@ -495,6 +531,12 @@ impl SessionBuilder {
         if self.workers.is_some() {
             return Err(Error::InvalidConfig {
                 what: "`workers` configures a parallel session: call `build_parallel()`",
+            });
+        }
+        if self.warm_start {
+            return Err(Error::InvalidConfig {
+                what: "`warm_start` serves the parallel engine (the sequential session is \
+                       already incremental): call `build_parallel()`",
             });
         }
         let executor = match (self.executor, self.executor_factory, self.elf) {
@@ -574,6 +616,12 @@ impl SessionBuilder {
                 what: "`observer` is sequential-only: use `observer_factory` for parallel sessions",
             });
         }
+        if self.warm_start && self.backend_factory.is_some() {
+            return Err(Error::InvalidConfig {
+                what: "`warm_start` replaces the per-query backend with cached prefix \
+                       contexts: drop `backend_factory` or disable warm start",
+            });
+        }
         let executor_factory: ExecutorFactory = match (self.executor_factory, self.elf) {
             (Some(factory), _) => factory,
             (None, Some(elf)) => {
@@ -603,6 +651,10 @@ impl SessionBuilder {
         let shard_strategy: ShardStrategyFactory = self
             .shard_strategy
             .unwrap_or_else(|| std::sync::Arc::new(|_| Box::new(Dfs::<Prescription>::new())));
+        let warm_capacity = self.warm_start.then(|| {
+            self.warm_capacity
+                .unwrap_or(crate::warm::DEFAULT_WARM_CAPACITY)
+        });
         Ok(ParallelSession::new(
             workers,
             executor_factory,
@@ -612,6 +664,7 @@ impl SessionBuilder {
             self.fuel,
             self.limit,
             input_len,
+            warm_capacity,
         ))
     }
 }
@@ -669,6 +722,8 @@ impl Session {
             backend_factory: None,
             observer_factory: None,
             shard_strategy: None,
+            warm_start: false,
+            warm_capacity: None,
         }
     }
 

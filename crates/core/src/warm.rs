@@ -1,0 +1,499 @@
+//! The deterministic prefix-keyed solver warm start of the parallel
+//! engine.
+//!
+//! Cache-off prescription replay ([`crate::parallel`]) pays twice per
+//! flip query: it re-executes the parent input's path prefix to reproduce
+//! the trail, and it bit-blasts that prefix into a brand-new solver.
+//! Consecutive prescriptions from the same subtree — siblings under DFS,
+//! affine pops under [`crate::CoverageGuided`] — replay the *identical*
+//! parent prefix. A per-worker [`WarmCache`] keys that shared work by the
+//! parent's concrete input:
+//!
+//! * the **trail** of the parent prefix is executed once per parent and
+//!   served from the cache afterwards (re-executed only when a later
+//!   query needs a *deeper* prefix than was recorded);
+//! * the **bit-blast** of the shared prefix lives in a
+//!   [`binsym_smt::PrefixContext`], which detects the longest shared
+//!   leading run between consecutive queries (the `(parent input, prefix
+//!   branch ordinal)` key) and solves each flip in a disposable frame on
+//!   top — exactly as the sequential incremental engine layers flip
+//!   queries over its assertion stack. Contexts are **lazily promoted**
+//!   ([`PROMOTE_AFTER_QUERIES`]): most parents are queried only once or
+//!   twice (a path spawns one pending flip on average), so early queries
+//!   on a parent solve cold from the cached trail and only a
+//!   demonstrated hub builds the retained context — the context's
+//!   bookkeeping taxes only parents with proven reuse.
+//!
+//! # Determinism
+//!
+//! The cache must be invisible in the results: merged parallel records
+//! are byte-identical across worker counts, schedules, *and cache hit
+//! patterns* — the cache affects wall time only, never models. Three
+//! facts carry the argument:
+//!
+//! 1. Trail reuse is sound because execution is deterministic: the cached
+//!    trail of input `I` is the trail any fresh replay of `I` would
+//!    record (prefixes of deeper runs included).
+//! 2. [`PrefixContext`] guarantees bit-identical models to a cold
+//!    per-query solver: its retained prefix state is pristine (never
+//!    solved on) and every flip runs in a scratch clone, so learnt
+//!    clauses and heuristic state from one query can never steer another
+//!    (see `binsym_smt::prefix` for the full argument).
+//! 3. Eviction (bounded LRU) only discards contexts; a rebuilt context
+//!    reproduces the evicted one's answers exactly (same pure function).
+//!
+//! Everything observable beyond timing — results, models, spawned
+//! prescriptions — is therefore a pure function of the prescription, as
+//! in cache-off mode; only the hit/miss counters surfaced through
+//! [`crate::Observer::on_warm_query`] reveal the cache at all.
+
+use binsym_smt::{PrefixContext, SatResult, Solver, Term, TermManager};
+
+use crate::error::Error;
+use crate::machine::TrailEntry;
+use crate::observe::WarmQueryStats;
+use crate::prescribe::Flip;
+use crate::session::PathExecutor;
+
+/// Default bound on cached parent contexts per worker
+/// ([`crate::SessionBuilder::warm_capacity`] overrides it). Unpromoted
+/// entries are cheap (a term manager and a trail), so the default leans
+/// toward covering a depth-first worker's ancestor chain.
+pub const DEFAULT_WARM_CAPACITY: usize = 16;
+
+/// Number of flip queries a parent must receive before it is promoted to
+/// a retained [`PrefixContext`]. Promotion re-blasts the prefix into the
+/// context and pays the context's bookkeeping (op log, per-query scratch
+/// clone) from then on, so it must only happen where further siblings are
+/// actually likely: the measured query-multiplicity distribution is
+/// heavily skewed (most parents are queried once or twice, a few hubs
+/// tens of times), and promoting on the *fourth* query captures the hubs
+/// while never taxing the long tail — interleaved A/B timing across the
+/// Table I shapes shows earlier promotion regressing the tail-heavy
+/// programs and this threshold winning on all of them.
+const PROMOTE_AFTER_QUERIES: u32 = 3;
+
+/// One cached parent input: its term manager, recorded trail, and (once
+/// the parent has proven reuse) the retained solver context over the
+/// blasted prefix.
+struct WarmEntry {
+    /// The parent path's concrete input (the cache key).
+    input: Vec<u8>,
+    /// Term manager owning every handle in `trail` and `ctx`. Never
+    /// reset while the entry lives — hash-consing keeps re-derived
+    /// prefix terms handle-stable across queries.
+    tm: TermManager,
+    /// Longest trail recorded for this input so far.
+    trail: Vec<TrailEntry>,
+    /// Number of branch entries in `trail`.
+    branches: usize,
+    /// The retained blasted-prefix solver context. **Lazy**: most parents
+    /// are queried only a few times, and a context's bookkeeping (op log,
+    /// per-query scratch clone) would tax them for nothing — so early
+    /// queries on a parent solve cold from the cached trail, and only the
+    /// [`PROMOTE_AFTER_QUERIES`]-exceeding query promotes the parent to a
+    /// retained context. The trail reuse (skipping the prefix
+    /// re-execution) applies from the first hit either way.
+    ctx: Option<PrefixContext>,
+    /// Flip queries discharged against this parent so far.
+    queries: u32,
+    /// LRU stamp (larger = more recently used).
+    stamp: u64,
+}
+
+/// A bounded, LRU-evicted map from parent input to [`WarmEntry`], owned
+/// by one worker thread of a [`crate::ParallelSession`].
+pub(crate) struct WarmCache {
+    capacity: usize,
+    entries: Vec<WarmEntry>,
+    tick: u64,
+}
+
+impl WarmCache {
+    /// Creates an empty cache bounded to `capacity` parent contexts.
+    pub(crate) fn new(capacity: usize) -> Self {
+        WarmCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            tick: 0,
+        }
+    }
+
+    /// Discharges the flip query of one prescription through the cache:
+    /// returns the query result, the witness input bytes on SAT, and the
+    /// per-query cache accounting.
+    ///
+    /// Results are bit-identical to the cache-off replay of the same
+    /// prescription (see the [module docs](self)).
+    ///
+    /// # Errors
+    /// The same errors cache-off replay produces (execution failure,
+    /// fuel exhaustion, [`Error::ReplayDivergence`]), plus
+    /// [`Error::WarmStart`] for broken solver invariants. A *corrupted
+    /// cached context* (stale/foreign frame) is not an error here: the
+    /// context is discarded and the query falls back to the cold solve,
+    /// whose answer is bit-identical — so even that failure mode cannot
+    /// change results.
+    pub(crate) fn solve_flip(
+        &mut self,
+        executor: &mut dyn PathExecutor,
+        input: &[u8],
+        flip: Flip,
+        fuel: u64,
+    ) -> Result<(SatResult, Option<Vec<u8>>, WarmQueryStats), Error> {
+        self.tick += 1;
+        let tick = self.tick;
+        let pos = self.entries.iter().position(|e| e.input == input);
+        let hit = pos.is_some();
+        let mut replayed = false;
+        let idx = match pos {
+            Some(i) => {
+                let e = &mut self.entries[i];
+                e.stamp = tick;
+                if e.branches <= flip.ord {
+                    // The cached trail is too shallow for this flip:
+                    // execute deeper on the entry's own term manager
+                    // (hash-consing reproduces the shared prefix's
+                    // handles exactly).
+                    let trail = executor.execute_prefix(&mut e.tm, input, fuel, flip.ord + 1)?;
+                    e.branches = trail.iter().filter(|t| t.is_branch()).count();
+                    e.trail = trail;
+                    replayed = true;
+                }
+                i
+            }
+            None => {
+                let mut tm = TermManager::new();
+                let trail = executor.execute_prefix(&mut tm, input, fuel, flip.ord + 1)?;
+                replayed = true;
+                let branches = trail.iter().filter(|t| t.is_branch()).count();
+                if self.entries.len() >= self.capacity {
+                    let lru = self
+                        .entries
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, e)| e.stamp)
+                        .map(|(i, _)| i)
+                        .expect("capacity >= 1 implies a resident entry");
+                    self.entries.swap_remove(lru);
+                }
+                self.entries.push(WarmEntry {
+                    input: input.to_vec(),
+                    tm,
+                    trail,
+                    branches,
+                    ctx: None,
+                    queries: 0,
+                    stamp: tick,
+                });
+                self.entries.len() - 1
+            }
+        };
+        let WarmEntry {
+            tm,
+            trail,
+            ctx,
+            queries,
+            ..
+        } = &mut self.entries[idx];
+
+        // Locate the prescribed branch with the shared divergence guards
+        // — the single implementation cold replay uses too.
+        let (i, cond) = flip.locate(trail)?;
+        let flipped = if flip.taken { tm.not(cond) } else { cond };
+        let promote = *queries >= PROMOTE_AFTER_QUERIES;
+        *queries += 1;
+        let mut warm_result = None;
+        if ctx.is_some() || promote {
+            // Proven reuse: solve through the retained prefix context
+            // (built once the parent exceeds the promotion gate).
+            let c = ctx.get_or_insert_with(PrefixContext::new);
+            let prefix: Vec<Term> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
+            match c.solve_flip(tm, &prefix, flipped) {
+                Ok(report) => {
+                    warm_result = Some((
+                        report.result,
+                        report.reused as u64,
+                        report.blasted as u64,
+                        c.model(tm),
+                    ));
+                }
+                Err(_) => {
+                    // A corrupted context (stale/foreign frame) must not
+                    // change results: discard it and fall through to the
+                    // cold solve, which answers bit-identically. The
+                    // determinism invariant survives even the failure
+                    // mode the typed errors exist for.
+                    *ctx = None;
+                }
+            }
+        }
+        let (result, reused, blasted, model) = match warm_result {
+            Some(r) => r,
+            None => {
+                // Unpromoted parent (or discarded context): cold solve
+                // from the cached trail — the exact cache-off op sequence
+                // minus the prefix re-execution, with none of a context's
+                // bookkeeping (most parents are queried only once or
+                // twice and would never amortize it).
+                let mut solver = Solver::new();
+                solver.push();
+                for entry in &trail[..i] {
+                    let t = entry.path_term(tm);
+                    solver.assert_term(tm, t);
+                }
+                solver.assert_term(tm, flipped);
+                let r = solver.check_sat(tm, &[]);
+                (r, 0, i as u64, solver.model(tm))
+            }
+        };
+        let stats = WarmQueryStats {
+            result,
+            cache_hit: hit,
+            replay_skipped: !replayed,
+            prefix_reused: reused,
+            prefix_blasted: blasted,
+        };
+        if result != SatResult::Sat {
+            return Ok((result, None, stats));
+        }
+        let model = model.ok_or(Error::WarmStart {
+            what: "satisfiable warm query produced no model",
+        })?;
+        let bytes = crate::prescribe::witness_bytes(&model, executor.input_len());
+        Ok((result, Some(bytes), stats))
+    }
+
+    /// Number of resident parent contexts.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl std::fmt::Debug for WarmCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmCache")
+            .field("capacity", &self.capacity)
+            .field("resident", &self.entries.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::{PathOutcome, SpecExecutor};
+    use binsym_asm::Assembler;
+    use binsym_isa::Spec;
+
+    const THREE_COMPARES: &str = r#"
+        .data
+__sym_input: .byte 0, 0, 0
+        .text
+_start:
+    la a0, __sym_input
+    li a2, 100
+    lbu a1, 0(a0)
+    bltu a1, a2, c1
+c1: lbu a1, 1(a0)
+    bltu a1, a2, c2
+c2: lbu a1, 2(a0)
+    bltu a1, a2, c3
+c3:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+
+    fn executor() -> SpecExecutor {
+        let elf = Assembler::new()
+            .assemble(THREE_COMPARES)
+            .expect("assembles");
+        SpecExecutor::new(Spec::rv32im(), &elf, None).expect("sym input")
+    }
+
+    /// Cache-off reference: the exact replay sequence of the cold worker
+    /// path (fresh tm + fresh incremental backend per query). This is an
+    /// *intentionally independent* re-implementation — it must not share
+    /// code with the production paths it is the oracle for.
+    fn cold_solve(
+        executor: &mut SpecExecutor,
+        input: &[u8],
+        flip: Flip,
+    ) -> (SatResult, Option<Vec<u8>>) {
+        use crate::backend::{BitblastBackend, SolverBackend};
+        use crate::session::PathExecutor as _;
+        let mut tm = TermManager::new();
+        let trail = executor
+            .execute_prefix(&mut tm, input, 10_000, flip.ord + 1)
+            .expect("replays");
+        let mut ord = 0usize;
+        let mut cut = None;
+        for (i, entry) in trail.iter().enumerate() {
+            if let TrailEntry::Branch { cond, taken, pc } = *entry {
+                if ord == flip.ord {
+                    cut = Some((i, cond, taken, pc));
+                    break;
+                }
+                ord += 1;
+            }
+        }
+        let (i, cond, taken, _) = cut.expect("branch exists");
+        let mut backend = BitblastBackend::new();
+        backend.push();
+        for entry in &trail[..i] {
+            let t = entry.path_term(&mut tm);
+            backend.assert_term(&mut tm, t);
+        }
+        let flipped = if taken { tm.not(cond) } else { cond };
+        backend.assert_term(&mut tm, flipped);
+        let r = backend.check_sat(&mut tm);
+        if r != SatResult::Sat {
+            return (r, None);
+        }
+        let model = backend.model(&tm).expect("sat has model");
+        let bytes = (0..executor.input_len())
+            .map(|b| model.value(&format!("in{b}")).unwrap_or(0) as u8)
+            .collect();
+        (r, Some(bytes))
+    }
+
+    /// The parent trail's flips, as the engine would prescribe them.
+    fn flips_of(executor: &mut SpecExecutor, input: &[u8]) -> Vec<Flip> {
+        let mut tm = TermManager::new();
+        let mut out = Vec::new();
+        let outcome: PathOutcome = executor
+            .execute_path(&mut tm, input, 10_000, &mut crate::observe::NullObserver)
+            .expect("executes");
+        for entry in &outcome.trail {
+            if let TrailEntry::Branch { taken, pc, .. } = *entry {
+                out.push(Flip {
+                    ord: out.len(),
+                    taken,
+                    pc,
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn warm_answers_match_cold_replay_bit_for_bit() {
+        let mut exec = executor();
+        let flips = flips_of(&mut exec, &[0, 0, 0]);
+        assert_eq!(flips.len(), 3);
+        let mut cache = WarmCache::new(4);
+        // Deepest-first (the DFS sibling order), then revisit ascending.
+        for &ord in &[2usize, 1, 0, 1, 2] {
+            let flip = flips[ord];
+            let (r, bytes, stats) = cache
+                .solve_flip(&mut exec, &[0, 0, 0], flip, 10_000)
+                .expect("solves");
+            let (cold_r, cold_bytes) = cold_solve(&mut exec, &[0, 0, 0], flip);
+            assert_eq!(r, cold_r, "ord {ord}");
+            assert_eq!(bytes, cold_bytes, "ord {ord}: bit-identical witness");
+            assert_eq!(stats.result, r);
+        }
+    }
+
+    #[test]
+    fn trail_and_context_reuse_is_reported() {
+        let mut exec = executor();
+        let flips = flips_of(&mut exec, &[0, 0, 0]);
+        let mut cache = WarmCache::new(4);
+        let (_, _, first) = cache
+            .solve_flip(&mut exec, &[0, 0, 0], flips[2], 10_000)
+            .expect("solves");
+        assert!(!first.cache_hit, "first query builds the context");
+        assert!(!first.replay_skipped, "first query executes the prefix");
+        let (_, _, second) = cache
+            .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
+            .expect("solves");
+        assert!(second.cache_hit, "sibling reuses the cached trail");
+        assert!(second.replay_skipped, "sibling skips the re-execution");
+        // The PROMOTE_AFTER_QUERIES-exceeding query promotes the parent
+        // to a retained context (the prefix is blasted into it); the one
+        // after is pure context reuse.
+        for _ in 2..=PROMOTE_AFTER_QUERIES {
+            let (_, _, s) = cache
+                .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
+                .expect("solves");
+            assert_eq!(s.prefix_reused, 0, "unpromoted queries solve cold");
+        }
+        let (_, _, promoting) = cache
+            .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
+            .expect("solves");
+        assert!(promoting.cache_hit);
+        let (_, _, reusing) = cache
+            .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
+            .expect("solves");
+        assert!(reusing.cache_hit);
+        assert!(reusing.replay_skipped);
+        assert!(reusing.prefix_reused >= promoting.prefix_reused);
+        assert_eq!(reusing.prefix_blasted, 0, "same prefix: pure reuse");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_bound_and_answers_stay_correct() {
+        let mut exec = executor();
+        let flips = flips_of(&mut exec, &[0, 0, 0]);
+        let mut cache = WarmCache::new(2);
+        let inputs: [&[u8]; 3] = [&[0, 0, 0], &[200, 0, 0], &[0, 200, 0]];
+        for input in inputs {
+            let local = flips_of(&mut exec, input);
+            let flip = local[0];
+            let (r, bytes, _) = cache
+                .solve_flip(&mut exec, input, flip, 10_000)
+                .expect("ok");
+            let (cold_r, cold_bytes) = cold_solve(&mut exec, input, flip);
+            assert_eq!(r, cold_r);
+            assert_eq!(bytes, cold_bytes);
+            assert!(cache.len() <= 2, "capacity bound holds");
+        }
+        // The first input was evicted; a revisit is a miss but still
+        // bit-identical.
+        let (r, bytes, stats) = cache
+            .solve_flip(&mut exec, &[0, 0, 0], flips[2], 10_000)
+            .expect("ok");
+        assert!(!stats.cache_hit, "evicted entry rebuilt");
+        let (cold_r, cold_bytes) = cold_solve(&mut exec, &[0, 0, 0], flips[2]);
+        assert_eq!(r, cold_r);
+        assert_eq!(bytes, cold_bytes);
+    }
+
+    #[test]
+    fn divergent_prescriptions_error_like_cold_replay() {
+        let mut exec = executor();
+        let flips = flips_of(&mut exec, &[0, 0, 0]);
+        let mut cache = WarmCache::new(4);
+        // Too-deep ordinal: fewer branches than prescribed.
+        let bogus = Flip {
+            ord: 17,
+            taken: true,
+            pc: 0,
+        };
+        assert!(matches!(
+            cache.solve_flip(&mut exec, &[0, 0, 0], bogus, 10_000),
+            Err(Error::ReplayDivergence { .. })
+        ));
+        // Wrong direction.
+        let wrong_dir = Flip {
+            taken: !flips[0].taken,
+            ..flips[0]
+        };
+        assert!(matches!(
+            cache.solve_flip(&mut exec, &[0, 0, 0], wrong_dir, 10_000),
+            Err(Error::ReplayDivergence { .. })
+        ));
+        // Wrong site.
+        let wrong_pc = Flip {
+            pc: flips[0].pc ^ 4,
+            ..flips[0]
+        };
+        assert!(matches!(
+            cache.solve_flip(&mut exec, &[0, 0, 0], wrong_pc, 10_000),
+            Err(Error::ReplayDivergence { .. })
+        ));
+    }
+}

@@ -13,7 +13,7 @@
 
 use std::collections::HashMap;
 
-use crate::sat::{Lit, SatSolver};
+use crate::sat::{Lit, RollbackError, SatSolver};
 use crate::term::{Op, Sort, Term, TermManager, VarId};
 
 /// Blasted form of a term: one literal per bit (LSB first) or a single
@@ -22,6 +22,28 @@ use crate::term::{Op, Sort, Term, TermManager, VarId};
 enum Blasted {
     Bool(Lit),
     Bits(Vec<Lit>),
+}
+
+/// One journaled cache insertion of a journaling blaster (see
+/// [`BitBlaster::with_journal`]). The maps are insert-only, so undoing an
+/// insertion restores them exactly.
+#[derive(Debug, Clone, Copy)]
+enum JournalEntry {
+    Cache(Term),
+    VarBits(VarId),
+    TrueLit,
+}
+
+/// Opaque handle to a cache state of a journaling [`BitBlaster`], paired
+/// with the [`crate::sat::SatCheckpoint`] of the solver it blasts into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlastCheckpoint {
+    blaster: u64,
+    len: usize,
+    /// Journal-version counter at issue time (see the solver-side
+    /// equivalent in [`crate::sat`]): detects a prefix that was truncated
+    /// and regrown with different insertions after this checkpoint.
+    version: u64,
 }
 
 /// The bit-blaster. Owns the term→literal cache; clauses are appended to the
@@ -35,12 +57,115 @@ pub struct BitBlaster {
     cache: HashMap<Term, Blasted>,
     var_bits: HashMap<VarId, Vec<Lit>>,
     true_lit: Option<Lit>,
+    /// Insertion journal for [`BitBlaster::rollback`] (`None` unless the
+    /// blaster was created with [`BitBlaster::with_journal`]).
+    journal: Option<Vec<JournalEntry>>,
+    /// Instance id tying checkpoints to the blaster that issued them
+    /// (0 = unjournaled).
+    journal_id: u64,
+    /// Per-entry append versions (parallel to `journal`) from the
+    /// monotone `journal_version` counter — detects truncated-and-regrown
+    /// prefixes exactly like the solver's op versions.
+    entry_versions: Vec<u64>,
+    /// Next value of the append-version counter (never reset).
+    journal_version: u64,
 }
+
+/// Monotonic instance ids for journaling blasters (see the solver's
+/// equivalent in [`crate::sat`]).
+static NEXT_JOURNAL_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 impl BitBlaster {
     /// Creates an empty blaster.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty blaster that journals its cache insertions,
+    /// enabling [`BitBlaster::checkpoint`] / [`BitBlaster::rollback`] —
+    /// the cache-side half of the warm-start prefix context (the solver
+    /// side is [`SatSolver::rollback`]; the two must be checkpointed and
+    /// rolled back together to stay consistent).
+    pub fn with_journal() -> Self {
+        let mut b = BitBlaster::new();
+        b.journal = Some(Vec::new());
+        b.journal_id = NEXT_JOURNAL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        b
+    }
+
+    /// A checkpoint denoting the current cache state.
+    ///
+    /// # Errors
+    /// [`RollbackError::LogDisabled`] unless the blaster was created with
+    /// [`BitBlaster::with_journal`].
+    pub fn checkpoint(&self) -> Result<BlastCheckpoint, RollbackError> {
+        match &self.journal {
+            Some(journal) => Ok(BlastCheckpoint {
+                blaster: self.journal_id,
+                len: journal.len(),
+                version: self.journal_version,
+            }),
+            None => Err(RollbackError::LogDisabled),
+        }
+    }
+
+    /// Removes every cache entry inserted after `cp`, restoring the maps
+    /// exactly (entries are only ever inserted when absent, so removal is
+    /// a perfect inverse).
+    ///
+    /// # Errors
+    /// [`RollbackError`] when the checkpoint is stale, foreign, or the
+    /// blaster has no journal; the blaster is left unchanged.
+    pub fn rollback(&mut self, cp: &BlastCheckpoint) -> Result<(), RollbackError> {
+        let journal = self.journal.as_ref().ok_or(RollbackError::LogDisabled)?;
+        if cp.blaster != self.journal_id {
+            return Err(RollbackError::ForeignCheckpoint);
+        }
+        if cp.len > journal.len() {
+            return Err(RollbackError::StaleCheckpoint);
+        }
+        // Same-length is not enough: a regrown prefix carries newer
+        // versions than the checkpoint and is a different state.
+        if cp.len > 0 && self.entry_versions[cp.len - 1] >= cp.version {
+            return Err(RollbackError::StaleCheckpoint);
+        }
+        let mut journal = self.journal.take().expect("journal checked above");
+        for entry in journal.drain(cp.len..).rev() {
+            match entry {
+                JournalEntry::Cache(t) => {
+                    self.cache.remove(&t);
+                }
+                JournalEntry::VarBits(v) => {
+                    self.var_bits.remove(&v);
+                }
+                JournalEntry::TrueLit => self.true_lit = None,
+            }
+        }
+        self.journal = Some(journal);
+        self.entry_versions.truncate(cp.len);
+        Ok(())
+    }
+
+    /// A clone sharing the full cache but carrying no journal — the
+    /// scratch instance the warm-start path blasts a flip query with.
+    pub fn clone_unjournaled(&self) -> BitBlaster {
+        BitBlaster {
+            cache: self.cache.clone(),
+            var_bits: self.var_bits.clone(),
+            true_lit: self.true_lit,
+            journal: None,
+            journal_id: 0,
+            entry_versions: Vec::new(),
+            journal_version: 0,
+        }
+    }
+
+    fn record(&mut self, entry: JournalEntry) {
+        if let Some(journal) = &mut self.journal {
+            journal.push(entry);
+            self.entry_versions.push(self.journal_version);
+            self.journal_version += 1;
+        }
     }
 
     /// The constant-true literal (allocated on first use).
@@ -52,6 +177,7 @@ impl BitBlaster {
         let l = Lit::pos(v);
         sat.add_clause(&[l]);
         self.true_lit = Some(l);
+        self.record(JournalEntry::TrueLit);
         l
     }
 
@@ -106,6 +232,7 @@ impl BitBlaster {
             }
             let blasted = self.blast_node(tm, sat, cur);
             self.cache.insert(cur, blasted);
+            self.record(JournalEntry::Cache(cur));
         }
         self.cache[&t].clone()
     }
@@ -136,25 +263,21 @@ impl BitBlaster {
                 Blasted::Bits(bits)
             }
             Op::BoolConst(b) => Blasted::Bool(if b { self.tru(sat) } else { self.fls(sat) }),
-            Op::Var(v) => match tm.var_sort(v) {
-                Sort::Bool => {
-                    let l = *self
-                        .var_bits
-                        .entry(v)
-                        .or_insert_with(|| vec![Lit::pos(sat.new_var())])
-                        .first()
-                        .expect("one literal");
-                    Blasted::Bool(l)
+            Op::Var(v) => {
+                if let std::collections::hash_map::Entry::Vacant(slot) = self.var_bits.entry(v) {
+                    let width = match tm.var_sort(v) {
+                        Sort::Bool => 1,
+                        Sort::BitVec(w) => w,
+                    };
+                    slot.insert((0..width).map(|_| Lit::pos(sat.new_var())).collect());
+                    self.record(JournalEntry::VarBits(v));
                 }
-                Sort::BitVec(w) => {
-                    let lits = self
-                        .var_bits
-                        .entry(v)
-                        .or_insert_with(|| (0..w).map(|_| Lit::pos(sat.new_var())).collect())
-                        .clone();
-                    Blasted::Bits(lits)
+                let lits = &self.var_bits[&v];
+                match tm.var_sort(v) {
+                    Sort::Bool => Blasted::Bool(*lits.first().expect("one literal")),
+                    Sort::BitVec(_) => Blasted::Bits(lits.clone()),
                 }
-            },
+            }
             Op::Not => Blasted::Bool(!blit(self, 0)),
             Op::And => {
                 let g = self.and_gate(sat, blit(self, 0), blit(self, 1));
@@ -817,6 +940,73 @@ mod tests {
         let eqr = tm.eq(sh, allones);
         let both = tm.and(eqs, eqr);
         assert!(is_sat(&mut tm, both));
+    }
+
+    #[test]
+    fn journal_rollback_restores_cache_exactly() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let c3 = tm.bv_const(3, 8);
+        let lt = tm.ult(x, c3);
+
+        // Control: blast only `lt` on a fresh pair.
+        let mut control_sat = SatSolver::new();
+        let mut control_bb = BitBlaster::new();
+        let control_lit = control_bb.blast_bool(&tm, &mut control_sat, lt);
+
+        // Journaled: blast `lt`, checkpoint, blast an unrelated term on a
+        // logged solver, roll both back — blasting `lt`-derived terms again
+        // must be pure cache hits producing the control's literals.
+        let mut sat = SatSolver::with_op_log();
+        let mut bb = BitBlaster::with_journal();
+        let lit = bb.blast_bool(&tm, &mut sat, lt);
+        assert_eq!(lit, control_lit, "same op sequence, same literals");
+        let sat_cp = sat.checkpoint().expect("logged");
+        let bb_cp = bb.checkpoint().expect("journaled");
+        let nvars = sat.num_vars();
+
+        let y = tm.var("y", 8);
+        let yy = tm.add(y, y);
+        let extra = tm.eq(yy, c3);
+        let _ = bb.blast_bool(&tm, &mut sat, extra);
+        assert!(sat.num_vars() > nvars);
+
+        bb.rollback(&bb_cp).expect("valid");
+        sat.rollback(&sat_cp).expect("valid");
+        assert_eq!(sat.num_vars(), nvars, "extra vars shed");
+        assert_eq!(bb.blast_bool(&tm, &mut sat, lt), control_lit, "cache kept");
+        assert_eq!(sat.num_vars(), nvars, "re-blast was a pure cache hit");
+        // Re-blasting the unrelated term re-allocates deterministically.
+        let again = bb.blast_bool(&tm, &mut sat, extra);
+        let mut sat2 = SatSolver::new();
+        let mut bb2 = BitBlaster::new();
+        let _ = bb2.blast_bool(&tm, &mut sat2, lt);
+        assert_eq!(again, bb2.blast_bool(&tm, &mut sat2, extra));
+    }
+
+    #[test]
+    fn journal_rollback_rejects_stale_foreign_and_unjournaled() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 4);
+        let mut bb = BitBlaster::with_journal();
+        let mut sat = SatSolver::new();
+        let early = bb.checkpoint().expect("journaled");
+        let _ = bb.blast_bits(&tm, &mut sat, x);
+        let late = bb.checkpoint().expect("journaled");
+        bb.rollback(&early).expect("valid");
+        assert_eq!(bb.rollback(&late), Err(RollbackError::StaleCheckpoint));
+        // Regrowing the journal to the same length does not resurrect the
+        // stale checkpoint: the content differs.
+        let y = tm.var("y", 4);
+        let _ = bb.blast_bits(&tm, &mut sat, y);
+        assert_eq!(bb.rollback(&late), Err(RollbackError::StaleCheckpoint));
+        let plain = BitBlaster::new();
+        assert_eq!(plain.checkpoint(), Err(RollbackError::LogDisabled));
+        let mut other = BitBlaster::with_journal();
+        assert_eq!(
+            other.rollback(&early),
+            Err(RollbackError::ForeignCheckpoint)
+        );
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //! * [`bitblast`] — Tseitin encoding of bitvector terms to CNF,
 //! * [`solver`] — an incremental `assert`/`push`/`pop`/`check_sat` façade with
 //!   model extraction,
-//! * [`smtlib`] — an SMT-LIB v2 printer used to regenerate the paper's Fig. 2
+//! * [`prefix`] — reusable blasted path-prefix contexts for the parallel
+//!   engine's deterministic warm start (flip queries layered as disposable
+//!   frames; models bit-identical to a cold per-query solver),
+//! * [`smtlib`] — an SMT-LIB v2 printer (with `let`-sharing for multiply
+//!   referenced internal nodes) used to regenerate the paper's Fig. 2
 //!   solver query.
 //!
 //! # Example
@@ -36,12 +40,14 @@
 pub mod bitblast;
 pub mod eval;
 pub mod model;
+pub mod prefix;
 pub mod sat;
 pub mod smtlib;
 pub mod solver;
 pub mod term;
 
 pub use model::Model;
-pub use sat::{Lit, SatResult, SatSolver};
+pub use prefix::{PrefixContext, PrefixError, PrefixSolveReport};
+pub use sat::{Lit, RollbackError, SatCheckpoint, SatResult, SatSolver};
 pub use solver::Solver;
 pub use term::{Op, Sort, Term, TermManager};

@@ -114,7 +114,7 @@ struct Watch {
 }
 
 /// Indexed max-heap over variable activities (the VSIDS order).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct VarHeap {
     heap: Vec<Var>,
     pos: Vec<Option<u32>>, // position of var in heap
@@ -193,10 +193,94 @@ impl VarHeap {
         self.pos[self.heap[i].0 as usize] = Some(i as u32);
         self.pos[self.heap[j].0 as usize] = Some(j as u32);
     }
+
+    /// Drops every variable `>= nvars`, preserving the relative order of
+    /// the survivors (exact for the rollback fast path: with untouched
+    /// zero activities the heap array is plain insertion order, which a
+    /// fresh construction reproduces).
+    fn truncate_vars(&mut self, nvars: usize) {
+        self.heap.retain(|v| (v.0 as usize) < nvars);
+        self.pos.truncate(nvars);
+        for (i, v) in self.heap.iter().enumerate() {
+            self.pos[v.0 as usize] = Some(i as u32);
+        }
+    }
 }
 
+/// One logged construction operation of an op-logged solver (see
+/// [`SatSolver::with_op_log`]).
+#[derive(Debug, Clone)]
+enum LoggedOp {
+    NewVar,
+    Clause(Vec<Lit>),
+}
+
+/// Opaque handle to a construction point of an op-logged [`SatSolver`].
+///
+/// Obtained from [`SatSolver::checkpoint`]; passing it to
+/// [`SatSolver::rollback`] returns the solver to a state **bit-identical**
+/// to a fresh solver that performed only the construction operations
+/// (variable allocations and clause additions) up to the checkpoint — all
+/// later clauses, variables, learnt clauses, and search state (activities,
+/// saved phases, trail) are shed. A checkpoint stays valid as long as its
+/// op prefix survives; rolling back past it invalidates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCheckpoint {
+    /// Instance id of the solver that issued the checkpoint.
+    solver: u64,
+    /// Length of the construction-op prefix the checkpoint denotes.
+    ops: usize,
+    /// Log-version counter at issue time: every op in the denoted prefix
+    /// must carry an older version, or the prefix was truncated and
+    /// regrown with different content after this checkpoint was issued —
+    /// which makes it stale even when the lengths coincide again.
+    version: u64,
+    /// Snapshot of the cheap state counters at checkpoint time, enabling
+    /// the O(removed) truncation fast path of [`SatSolver::rollback`].
+    vars: usize,
+    clauses: usize,
+    trail: usize,
+    unsat: bool,
+    /// Statistics snapshot, so the truncation fast path restores the same
+    /// observable counters the op-replay path rebuilds.
+    stats: SatStats,
+}
+
+/// Why a checkpoint operation could not be performed.
+///
+/// These conditions are engine bugs (a stale or foreign cache frame), so
+/// they surface as typed errors rather than panics: the warm-start cache
+/// runs on worker threads, where a panic would poison the whole
+/// exploration instead of failing one prescription.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RollbackError {
+    /// The solver was not created with [`SatSolver::with_op_log`].
+    LogDisabled,
+    /// The checkpoint was issued by a different solver instance.
+    ForeignCheckpoint,
+    /// The checkpoint points past the surviving op log (it was invalidated
+    /// by an earlier rollback).
+    StaleCheckpoint,
+}
+
+impl fmt::Display for RollbackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RollbackError::LogDisabled => write!(f, "solver has no op log"),
+            RollbackError::ForeignCheckpoint => {
+                write!(f, "checkpoint was issued by a different solver")
+            }
+            RollbackError::StaleCheckpoint => {
+                write!(f, "checkpoint was invalidated by an earlier rollback")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RollbackError {}
+
 /// Statistics counters exposed for benchmarking and tests.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct SatStats {
     /// Number of conflicts encountered.
     pub conflicts: u64,
@@ -243,7 +327,33 @@ pub struct SatSolver {
     unsat: bool, // became unsat at level 0
     stats: SatStats,
     max_learnts: f64,
+    /// Construction-op log for [`SatSolver::rollback`] (`None` unless the
+    /// solver was created with [`SatSolver::with_op_log`]).
+    log: Option<Vec<LoggedOp>>,
+    /// Instance id tying checkpoints to the solver that issued them
+    /// (0 = unlogged).
+    log_id: u64,
+    /// Per-op append versions (parallel to `log`), from the monotone
+    /// `log_version` counter: lets [`SatSolver::rollback`] detect a
+    /// checkpoint whose prefix was truncated and regrown (same length,
+    /// different ops) instead of silently restoring the wrong state.
+    op_versions: Vec<u64>,
+    /// Next value of the append-version counter (never reset).
+    log_version: u64,
+    /// True once [`SatSolver::solve`] has run: search perturbs activities,
+    /// phases, and the heap, so rollback must rebuild by op replay.
+    solved: bool,
+    /// True once unit propagation has modified any watch list (moved a
+    /// watch, updated a blocker): pre-existing lists are then no longer
+    /// append-only, so the truncation fast path would not restore them
+    /// exactly. Stays false through normal clause construction.
+    watches_perturbed: bool,
 }
+
+/// Monotonic instance ids for op-logged solvers, so a checkpoint handed to
+/// the wrong solver is detected instead of silently replaying an unrelated
+/// op prefix.
+static NEXT_LOG_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 const VAR_DECAY: f64 = 0.95;
 const CLA_DECAY: f64 = 0.999;
@@ -257,6 +367,188 @@ impl SatSolver {
             cla_inc: 1.0,
             max_learnts: 3000.0,
             ..Default::default()
+        }
+    }
+
+    /// Creates an empty solver that records its construction operations
+    /// (variable allocations and clause additions), enabling
+    /// [`SatSolver::checkpoint`] / [`SatSolver::rollback`].
+    ///
+    /// The log costs one copy of every added clause; use it only where
+    /// rollback is actually needed (the warm-start prefix contexts).
+    pub fn with_op_log() -> Self {
+        let mut s = SatSolver::new();
+        s.log = Some(Vec::new());
+        s.log_id = NEXT_LOG_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        s
+    }
+
+    /// A checkpoint denoting the current construction-op prefix.
+    ///
+    /// # Errors
+    /// [`RollbackError::LogDisabled`] unless the solver was created with
+    /// [`SatSolver::with_op_log`].
+    pub fn checkpoint(&self) -> Result<SatCheckpoint, RollbackError> {
+        match &self.log {
+            Some(log) => Ok(SatCheckpoint {
+                solver: self.log_id,
+                ops: log.len(),
+                version: self.log_version,
+                vars: self.assigns.len(),
+                clauses: self.clauses.len(),
+                trail: self.trail.len(),
+                unsat: self.unsat,
+                stats: self.stats,
+            }),
+            None => Err(RollbackError::LogDisabled),
+        }
+    }
+
+    /// Returns the solver to the state of `cp`.
+    ///
+    /// The resulting state is *bit-identical* to a brand-new solver that
+    /// performed exactly the construction operations up to the checkpoint:
+    /// later clauses and variables are gone, learnt clauses are dropped,
+    /// and all search state (activities, saved phases, assignments) is
+    /// reset — a solve after `rollback` behaves exactly like a solve on
+    /// that fresh solver. This is what lets a cached, already-solved-on
+    /// context serve later queries with the same models a cold context
+    /// would produce.
+    ///
+    /// Two implementations, same contract: a solver that was never solved
+    /// on and whose watch lists were never perturbed by propagation is
+    /// still an append-only structure, so rolling back is an O(removed)
+    /// *truncation* (the warm-start hot path — depth-first siblings shrink
+    /// the retained prefix on almost every query); otherwise the logged
+    /// construction-op prefix is replayed into a fresh instance.
+    ///
+    /// # Errors
+    /// [`RollbackError`] when the checkpoint is stale, foreign, or the
+    /// solver has no op log; the solver is left unchanged.
+    pub fn rollback(&mut self, cp: &SatCheckpoint) -> Result<(), RollbackError> {
+        let log = self.log.as_ref().ok_or(RollbackError::LogDisabled)?;
+        if cp.solver != self.log_id {
+            return Err(RollbackError::ForeignCheckpoint);
+        }
+        if cp.ops > log.len() {
+            return Err(RollbackError::StaleCheckpoint);
+        }
+        // A prefix of the right length is not enough: if an earlier
+        // rollback truncated below `cp.ops` and the log regrew, the ops
+        // now in the prefix are different (newer) than the ones the
+        // checkpoint denoted — restoring them would be silently wrong.
+        if cp.ops > 0 && self.op_versions[cp.ops - 1] >= cp.version {
+            return Err(RollbackError::StaleCheckpoint);
+        }
+        if self.truncation_applies(cp) {
+            self.truncate_to(cp);
+            self.log
+                .as_mut()
+                .expect("log checked above")
+                .truncate(cp.ops);
+            self.op_versions.truncate(cp.ops);
+            return Ok(());
+        }
+        let mut log = self.log.take().expect("log checked above");
+        log.truncate(cp.ops);
+        let mut op_versions = std::mem::take(&mut self.op_versions);
+        op_versions.truncate(cp.ops);
+        let id = self.log_id;
+        let version = self.log_version;
+        // Replay into a fresh instance; `log` is detached, so the replayed
+        // ops are not re-recorded.
+        *self = SatSolver::new();
+        for op in &log {
+            match op {
+                LoggedOp::NewVar => {
+                    self.new_var();
+                }
+                LoggedOp::Clause(c) => self.add_clause(c),
+            }
+        }
+        self.log = Some(log);
+        self.log_id = id;
+        self.op_versions = op_versions;
+        self.log_version = version;
+        Ok(())
+    }
+
+    /// True when the truncation fast path restores `cp`'s state exactly:
+    /// the solver is pristine (never solved, watch lists append-only, no
+    /// decision levels), nothing shrank below the checkpoint counters, and
+    /// every assignment made since the checkpoint binds a variable that
+    /// the truncation removes wholesale.
+    fn truncation_applies(&self, cp: &SatCheckpoint) -> bool {
+        !self.solved
+            && !self.watches_perturbed
+            && self.trail_lim.is_empty()
+            && cp.vars <= self.assigns.len()
+            && cp.clauses <= self.clauses.len()
+            && cp.trail <= self.trail.len()
+            && self.trail[cp.trail..]
+                .iter()
+                .all(|l| (l.var().0 as usize) >= cp.vars)
+    }
+
+    /// The truncation fast path of [`SatSolver::rollback`]: pops the
+    /// watches of removed clauses (append-only lists, removed in reverse
+    /// attach order, so each sits at its list's tail) and truncates every
+    /// growth-only structure.
+    fn truncate_to(&mut self, cp: &SatCheckpoint) {
+        // `!self.solved` (checked by the caller) implies no learnt
+        // clauses: they are only ever attached inside `solve`.
+        debug_assert!(self.clauses.iter().all(|c| !c.learnt));
+        for ci in (cp.clauses..self.clauses.len()).rev() {
+            let w0 = self.clauses[ci].lits[0];
+            let w1 = self.clauses[ci].lits[1];
+            let a = self.watches[(!w0).index()].pop();
+            let b = self.watches[(!w1).index()].pop();
+            debug_assert_eq!(a.map(|w| w.clause), Some(ci as u32), "append-only watches");
+            debug_assert_eq!(b.map(|w| w.clause), Some(ci as u32), "append-only watches");
+        }
+        self.clauses.truncate(cp.clauses);
+        self.trail.truncate(cp.trail);
+        self.qhead = self.trail.len();
+        self.assigns.truncate(cp.vars);
+        self.phase.truncate(cp.vars);
+        self.reason.truncate(cp.vars);
+        self.level.truncate(cp.vars);
+        self.activity.truncate(cp.vars);
+        self.seen.truncate(cp.vars);
+        self.watches.truncate(2 * cp.vars);
+        self.heap.truncate_vars(cp.vars);
+        self.unsat = cp.unsat;
+        self.stats = cp.stats;
+    }
+
+    /// A clone sharing the full solver state but carrying no op log — the
+    /// scratch instance the warm-start path layers a flip query on, leaving
+    /// the logged context untouched.
+    pub fn clone_unlogged(&self) -> SatSolver {
+        SatSolver {
+            clauses: self.clauses.clone(),
+            watches: self.watches.clone(),
+            assigns: self.assigns.clone(),
+            phase: self.phase.clone(),
+            reason: self.reason.clone(),
+            level: self.level.clone(),
+            trail: self.trail.clone(),
+            trail_lim: self.trail_lim.clone(),
+            qhead: self.qhead,
+            activity: self.activity.clone(),
+            var_inc: self.var_inc,
+            cla_inc: self.cla_inc,
+            heap: self.heap.clone(),
+            seen: self.seen.clone(),
+            unsat: self.unsat,
+            stats: self.stats,
+            max_learnts: self.max_learnts,
+            log: None,
+            log_id: 0,
+            op_versions: Vec::new(),
+            log_version: 0,
+            solved: self.solved,
+            watches_perturbed: self.watches_perturbed,
         }
     }
 
@@ -277,6 +569,11 @@ impl SatSolver {
 
     /// Allocates a fresh variable.
     pub fn new_var(&mut self) -> Var {
+        if let Some(log) = &mut self.log {
+            log.push(LoggedOp::NewVar);
+            self.op_versions.push(self.log_version);
+            self.log_version += 1;
+        }
         let v = Var(self.assigns.len() as u32);
         self.assigns.push(LBool::Undef);
         self.phase.push(false);
@@ -329,6 +626,13 @@ impl SatSolver {
     /// Must be called with the solver at decision level 0 (it always is
     /// between [`SatSolver::solve`] calls).
     pub fn add_clause(&mut self, lits: &[Lit]) {
+        if let Some(log) = &mut self.log {
+            // Log before any simplification/early return so a rollback
+            // replay reproduces the exact same call sequence.
+            log.push(LoggedOp::Clause(lits.to_vec()));
+            self.op_versions.push(self.log_version);
+            self.log_version += 1;
+        }
         // Adding clauses invalidates any model found by a previous solve;
         // return to decision level 0 first.
         self.backtrack(0);
@@ -423,11 +727,13 @@ impl SatSolver {
                 let false_lit = !p;
                 if self.clauses[ci].lits[0] == false_lit {
                     self.clauses[ci].lits.swap(0, 1);
+                    self.watches_perturbed = true;
                 }
                 debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
                 let first = self.clauses[ci].lits[0];
                 if first != w.blocker && self.lit_value(first) == LBool::True {
                     watches[i].blocker = first;
+                    self.watches_perturbed = true;
                     i += 1;
                     continue;
                 }
@@ -441,11 +747,13 @@ impl SatSolver {
                             blocker: first,
                         });
                         watches.swap_remove(i);
+                        self.watches_perturbed = true;
                         continue 'watches;
                     }
                 }
                 // Clause is unit or conflicting.
                 watches[i].blocker = first;
+                self.watches_perturbed = true;
                 if self.lit_value(first) == LBool::False {
                     conflict = Some(w.clause);
                     self.qhead = self.trail.len();
@@ -688,6 +996,7 @@ impl SatSolver {
     /// instance has no model extending the assumptions (the clause database
     /// is unchanged and further queries may be posed).
     pub fn solve(&mut self, assumptions: &[Lit]) -> SatResult {
+        self.solved = true;
         if self.unsat {
             return SatResult::Unsat;
         }
@@ -937,6 +1246,187 @@ mod tests {
         s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[0]), Lit::neg(v[1])]);
         s.add_clause(&[Lit::pos(v[1]), Lit::neg(v[1])]); // tautology: dropped
         assert_eq!(s.solve(&[]), SatResult::Sat);
+    }
+
+    /// Drives a solver through a battery of assumption queries and records
+    /// every result together with the full model — a behavioural
+    /// fingerprint that is only equal for bit-identical solver states.
+    fn fingerprint(s: &mut SatSolver, nvars: usize) -> Vec<(SatResult, Vec<Option<bool>>)> {
+        let mut out = Vec::new();
+        for i in 0..nvars {
+            for neg in [false, true] {
+                let r = s.solve(&[Lit::new(Var(i as u32), neg)]);
+                let model = (0..nvars).map(|v| s.value(Var(v as u32))).collect();
+                out.push((r, model));
+            }
+        }
+        out.push((
+            s.solve(&[]),
+            (0..nvars).map(|v| s.value(Var(v as u32))).collect(),
+        ));
+        out
+    }
+
+    #[test]
+    fn rollback_restores_fresh_equivalent_state() {
+        // Construction prefix shared by the logged solver and the control.
+        let prefix: &[&[(u32, bool)]] = &[
+            &[(0, false), (1, false)],
+            &[(0, true), (2, false)],
+            &[(1, true), (2, true), (3, false)],
+        ];
+        let build = |s: &mut SatSolver| {
+            let vars = lits(s, 4);
+            for cl in prefix {
+                let c: Vec<Lit> = cl
+                    .iter()
+                    .map(|&(v, n)| Lit::new(vars[v as usize], n))
+                    .collect();
+                s.add_clause(&c);
+            }
+        };
+        let mut logged = SatSolver::with_op_log();
+        build(&mut logged);
+        let cp = logged.checkpoint().expect("logged");
+
+        // Pollute: more vars, clauses, and a solve (learnt clauses, VSIDS
+        // activity, saved phases).
+        let extra = logged.new_var();
+        logged.add_clause(&[Lit::pos(extra), Lit::neg(Var(0))]);
+        logged.add_clause(&[Lit::neg(extra), Lit::pos(Var(3))]);
+        assert_eq!(logged.solve(&[Lit::pos(Var(0))]), SatResult::Sat);
+
+        logged.rollback(&cp).expect("valid checkpoint");
+        assert_eq!(logged.num_vars(), 4, "extra var shed");
+
+        let mut control = SatSolver::new();
+        build(&mut control);
+        assert_eq!(
+            fingerprint(&mut logged, 4),
+            fingerprint(&mut control, 4),
+            "rolled-back solver must behave bit-identically to a fresh one"
+        );
+    }
+
+    #[test]
+    fn pristine_rollback_takes_the_truncation_path_and_is_exact() {
+        // Construct-only solvers roll back by truncation; the result must
+        // be bit-equivalent to a fresh construction of the prefix.
+        let build_prefix = |s: &mut SatSolver| {
+            let v = lits(s, 3);
+            s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+            s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2]), Lit::neg(v[0])]);
+        };
+        let mut s = SatSolver::with_op_log();
+        build_prefix(&mut s);
+        let cp = s.checkpoint().expect("logged");
+        assert!(s.truncation_applies(&cp), "pristine solver truncates");
+
+        // Extend with more vars and clauses (still no solve).
+        let extra = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(extra[0]), Lit::neg(extra[1])]);
+        s.add_clause(&[Lit::neg(Var(0)), Lit::pos(extra[1])]);
+        assert!(s.truncation_applies(&cp), "extension stays pristine");
+        s.rollback(&cp).expect("valid");
+        assert_eq!(s.num_vars(), 3);
+        assert_eq!(s.num_clauses(), 2);
+
+        let mut control = SatSolver::new();
+        build_prefix(&mut control);
+        assert_eq!(
+            s.stats(),
+            control.stats(),
+            "observable counters restored like the replay path rebuilds them"
+        );
+        assert_eq!(
+            fingerprint(&mut s, 3),
+            fingerprint(&mut control, 3),
+            "truncation rollback must be bit-equivalent to fresh construction"
+        );
+    }
+
+    #[test]
+    fn solved_rollback_falls_back_to_replay() {
+        let mut s = SatSolver::with_op_log();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        let cp = s.checkpoint().expect("logged");
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert!(
+            !s.truncation_applies(&cp),
+            "search state forces the replay path"
+        );
+        s.rollback(&cp).expect("valid");
+        let mut control = SatSolver::new();
+        let cv = lits(&mut control, 2);
+        control.add_clause(&[Lit::pos(cv[0]), Lit::pos(cv[1])]);
+        assert_eq!(fingerprint(&mut s, 2), fingerprint(&mut control, 2));
+    }
+
+    #[test]
+    fn rollback_to_empty_and_repeated_rollbacks() {
+        let mut s = SatSolver::with_op_log();
+        let cp0 = s.checkpoint().expect("logged");
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0])]);
+        let cp1 = s.checkpoint().expect("logged");
+        s.add_clause(&[Lit::neg(v[0])]); // now unsat
+        assert_eq!(s.solve(&[]), SatResult::Unsat);
+        s.rollback(&cp1).expect("valid");
+        assert_eq!(s.solve(&[]), SatResult::Sat, "unsat state shed");
+        assert_eq!(s.value(v[0]), Some(true));
+        // cp1 is still valid after rolling back to it; cp0 too.
+        s.rollback(&cp1)
+            .expect("checkpoint at current prefix stays valid");
+        s.rollback(&cp0).expect("earlier checkpoint stays valid");
+        assert_eq!(s.num_vars(), 0);
+        // But cp1 now points past the truncated log.
+        assert_eq!(s.rollback(&cp1), Err(RollbackError::StaleCheckpoint));
+    }
+
+    #[test]
+    fn regrown_log_invalidates_checkpoints_of_the_old_prefix() {
+        // A checkpoint denotes specific op *content*, not just a length:
+        // truncating below it and regrowing the log with different ops
+        // must leave it stale even when the lengths coincide again.
+        let mut s = SatSolver::with_op_log();
+        let base = s.checkpoint().expect("logged");
+        let v0 = s.new_var();
+        s.add_clause(&[Lit::pos(v0)]);
+        let old = s.checkpoint().expect("logged");
+        s.rollback(&base).expect("valid");
+        let v0b = s.new_var();
+        s.add_clause(&[Lit::neg(v0b)]); // same length, different content
+        assert_eq!(s.rollback(&old), Err(RollbackError::StaleCheckpoint));
+        // The surviving state is the regrown one, untouched.
+        assert_eq!(s.solve(&[]), SatResult::Sat);
+        assert_eq!(s.value(v0b), Some(false));
+    }
+
+    #[test]
+    fn rollback_rejects_foreign_and_unlogged() {
+        let mut a = SatSolver::with_op_log();
+        let mut b = SatSolver::with_op_log();
+        let _ = a.new_var();
+        let cp = a.checkpoint().expect("logged");
+        assert_eq!(b.rollback(&cp), Err(RollbackError::ForeignCheckpoint));
+        let mut plain = SatSolver::new();
+        assert_eq!(plain.checkpoint(), Err(RollbackError::LogDisabled));
+        assert_eq!(plain.rollback(&cp), Err(RollbackError::LogDisabled));
+    }
+
+    #[test]
+    fn unlogged_clone_matches_original_behaviour() {
+        let mut s = SatSolver::with_op_log();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        let mut clone = s.clone_unlogged();
+        assert_eq!(clone.checkpoint(), Err(RollbackError::LogDisabled));
+        assert_eq!(fingerprint(&mut clone, 3), fingerprint(&mut s, 3));
+        // Mutating the clone leaves the original untouched.
+        clone.add_clause(&[Lit::neg(v[0])]);
+        assert_eq!(s.solve(&[Lit::pos(v[0])]), SatResult::Sat);
     }
 
     #[test]

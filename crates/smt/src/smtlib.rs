@@ -49,21 +49,82 @@ pub fn query_to_smtlib(tm: &TermManager, assertions: &[Term]) -> String {
 
 struct SharedPrinter<'a> {
     tm: &'a TermManager,
+    /// `let`-binding names of already-bound shared nodes; [`Self::pp`]
+    /// prints these as their bound symbol instead of expanding them.
+    names: std::collections::HashMap<Term, String>,
 }
 
 impl<'a> SharedPrinter<'a> {
     fn new(tm: &'a TermManager) -> Self {
-        SharedPrinter { tm }
+        SharedPrinter {
+            tm,
+            names: std::collections::HashMap::new(),
+        }
     }
 
+    /// Prints `t`, `let`-binding every internal node that is referenced
+    /// more than once in the DAG. Without the bindings a shared node is
+    /// re-printed per reference, which is **exponential** on the deep
+    /// shared DAGs symbolic execution produces (e.g. repeated
+    /// `acc = acc + acc`); with them the output is linear in the DAG size.
     fn print(&mut self, t: Term) -> String {
-        // Straightforward recursive printing. Terms are DAGs; for the query
-        // sizes we print (branch conditions) tree expansion is acceptable
-        // and matches what the paper shows.
-        self.pp(t)
+        let shared = self.shared_nodes(t);
+        if shared.is_empty() {
+            return self.pp(t);
+        }
+        // Bind in post-order (operands before users): each definition may
+        // reference only names bound by an *enclosing* `let`, so one
+        // binding per `let` keeps the scoping trivially correct.
+        let mut bindings = Vec::with_capacity(shared.len());
+        for (i, &node) in shared.iter().enumerate() {
+            let def = self.pp(node); // expands: `node` itself is unnamed yet
+            let name = format!("?t{i}");
+            bindings.push((name.clone(), def));
+            self.names.insert(node, name);
+        }
+        let mut out = String::new();
+        for (name, def) in &bindings {
+            let _ = write!(out, "(let (({name} {def})) ");
+        }
+        out.push_str(&self.pp(t));
+        out.extend(std::iter::repeat(')').take(bindings.len()));
+        self.names.clear();
+        out
+    }
+
+    /// Internal (non-leaf) nodes of `t`'s DAG referenced more than once,
+    /// in post-order (every node's operands precede it). Iterative, so
+    /// deep `ite`-chains cannot overflow the stack here.
+    fn shared_nodes(&self, t: Term) -> Vec<Term> {
+        use std::collections::HashMap;
+        let tm = self.tm;
+        let mut refs: HashMap<Term, u32> = HashMap::new();
+        let mut post = Vec::new();
+        let mut stack = vec![(t, false)];
+        while let Some((cur, expanded)) = stack.pop() {
+            if expanded {
+                post.push(cur);
+                continue;
+            }
+            let first_visit = !refs.contains_key(&cur);
+            *refs.entry(cur).or_insert(0) += 1;
+            if first_visit {
+                stack.push((cur, true));
+                for &a in tm.args(cur) {
+                    stack.push((a, false));
+                }
+            }
+        }
+        // The root's single count comes from its own stack entry, not a
+        // reference; it is never bound (the body *is* the root).
+        post.retain(|n| *n != t && !tm.args(*n).is_empty() && refs[n] > 1);
+        post
     }
 
     fn pp(&mut self, t: Term) -> String {
+        if let Some(name) = self.names.get(&t) {
+            return name.clone();
+        }
         let tm = self.tm;
         let args = tm.args(t).to_vec();
         let unary = |s: &mut Self, op: &str| format!("({op} {})", s.pp(args[0]));
@@ -147,6 +208,69 @@ mod tests {
         assert!(q.contains("(declare-const y (_ BitVec 32))"));
         assert!(q.contains("(assert (bvult x (bvudiv x y)))"));
         assert!(q.ends_with("(check-sat)\n"));
+    }
+
+    #[test]
+    fn shared_internal_nodes_are_let_bound() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let y = tm.var("y", 8);
+        let s = tm.add(x, y);
+        let m = tm.mul(s, s);
+        assert_eq!(
+            term_to_smtlib(&tm, m),
+            "(let ((?t0 (bvadd x y))) (bvmul ?t0 ?t0))"
+        );
+    }
+
+    #[test]
+    fn nested_shared_nodes_bind_operands_first() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let s = tm.add(x, x); // leaf shared twice: no let (leaves stay inline)
+        let d = tm.mul(s, s); // internal shared twice: bound
+        let e = tm.add(d, d);
+        let p = term_to_smtlib(&tm, e);
+        assert_eq!(
+            p,
+            "(let ((?t0 (bvadd x x))) (let ((?t1 (bvmul ?t0 ?t0))) (bvadd ?t1 ?t1)))"
+        );
+    }
+
+    #[test]
+    fn deep_shared_dag_prints_in_linear_size() {
+        // acc_{i+1} = acc_i + acc_i, 64 deep: tree expansion would need
+        // 2^64 leaves — the printer must stay linear via let-sharing.
+        let mut tm = TermManager::new();
+        let mut acc = tm.var("x", 32);
+        for _ in 0..64 {
+            acc = tm.add(acc, acc);
+        }
+        let p = term_to_smtlib(&tm, acc);
+        assert!(p.len() < 4096, "linear-size output, got {} bytes", p.len());
+        assert!(p.starts_with("(let ((?t0 (bvadd x x)))"), "{p}");
+        assert!(p.contains("?t62"), "{p}");
+        // Balanced parentheses as a cheap well-formedness check.
+        let open = p.matches('(').count();
+        let close = p.matches(')').count();
+        assert_eq!(open, close, "{p}");
+    }
+
+    #[test]
+    fn query_script_uses_let_sharing_per_assertion() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let y = tm.var("y", 8);
+        let s = tm.add(x, y);
+        let sq = tm.mul(s, s);
+        let c = tm.bv_const(9, 8);
+        let eq = tm.eq(sq, c);
+        let q = query_to_smtlib(&tm, &[eq]);
+        assert!(
+            q.contains("(assert (let ((?t0 (bvadd x y))) (= (bvmul ?t0 ?t0) #x09)))"),
+            "{q}"
+        );
+        assert!(q.ends_with("(check-sat)\n"), "{q}");
     }
 
     #[test]

@@ -142,26 +142,34 @@ impl Solver {
         if !self.last_was_sat {
             return None;
         }
-        let mut m = Model::new();
-        for (id, name, sort) in tm.iter_vars() {
-            let Some(bits) = self.blaster.var_literals(id) else {
-                // Variable never reached the solver: unconstrained, default 0.
-                m.insert(id, name, 0);
-                continue;
-            };
-            let mut val = 0u64;
-            for (i, &l) in bits.iter().enumerate() {
-                let assigned = self.sat.value(l.var()).unwrap_or(false);
-                let bit = assigned != l.is_neg();
-                if bit {
-                    val |= 1 << i;
-                }
-            }
-            let _ = sort;
-            m.insert(id, name, val);
-        }
-        Some(m)
+        Some(extract_model(&self.blaster, &self.sat, tm))
     }
+}
+
+/// Reads the model of a satisfiable `(blaster, sat)` pair: every variable
+/// registered in `tm`, with variables that never reached the solver
+/// defaulting to 0 (unconstrained). The **single** definition of model
+/// completion — [`Solver::model`] and the warm-start
+/// [`crate::PrefixContext::model`] both go through it, so the "warm models
+/// bit-identical to cold" contract cannot drift.
+pub(crate) fn extract_model(blaster: &BitBlaster, sat: &SatSolver, tm: &TermManager) -> Model {
+    let mut m = Model::new();
+    for (id, name, _sort) in tm.iter_vars() {
+        let Some(bits) = blaster.var_literals(id) else {
+            // Variable never reached the solver: unconstrained, default 0.
+            m.insert(id, name, 0);
+            continue;
+        };
+        let mut val = 0u64;
+        for (i, &l) in bits.iter().enumerate() {
+            let assigned = sat.value(l.var()).unwrap_or(false);
+            if assigned != l.is_neg() {
+                val |= 1 << i;
+            }
+        }
+        m.insert(id, name, val);
+    }
+    m
 }
 
 #[cfg(test)]

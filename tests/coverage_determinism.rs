@@ -10,6 +10,11 @@
 //! truncated (`limit`-bounded) coverage runs, which must return the
 //! canonical `limit`-lowest-`PathId` prefix on every schedule.
 //!
+//! The prefix-keyed warm start rides the same contract: coverage-guided
+//! shard policies give it subtree affinity (consecutive owner pops share
+//! prefixes), and its records must stay byte-identical to cache-off runs
+//! regardless of the hit pattern.
+//!
 //! The heavy programs run under `#[ignore]` so the debug-mode tier-1 suite
 //! stays fast; CI runs them in release with `--include-ignored`.
 
@@ -29,6 +34,18 @@ fn coverage_run(
     workers: usize,
     limit: Option<u64>,
 ) -> (Summary, Vec<PathRecord>, u64) {
+    coverage_run_configured(p, workers, limit, false)
+}
+
+/// Like [`coverage_run`], optionally with the prefix-keyed warm start —
+/// the pairing the cache is designed for: `CoverageGuided`'s subtree
+/// affinity keeps a worker's consecutive pops under shared prefixes.
+fn coverage_run_configured(
+    p: &Program,
+    workers: usize,
+    limit: Option<u64>,
+    warm: bool,
+) -> (Summary, Vec<PathRecord>, u64) {
     let elf = p.build();
     let map = CoverageMap::shared_for(&elf);
     let policy_map = Arc::clone(&map);
@@ -36,6 +53,7 @@ fn coverage_run(
     let mut builder = Session::builder(Spec::rv32im())
         .binary(&elf)
         .workers(workers)
+        .warm_start(warm)
         .shard_strategy(move |_| {
             Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
         })
@@ -139,9 +157,43 @@ fn paths_to_full_coverage(p: &Program, strategy: SearchStrategy) -> u64 {
     to_full
 }
 
+/// The warm-start × coverage-guided contract: with `.warm_start(true)` on
+/// coverage-guided shard frontiers, merged records stay byte-identical to
+/// the plain depth-first cache-off reference at every worker count,
+/// including a truncated run.
+fn check_warm_start(p: &Program, limit: u64) {
+    let (ref_summary, ref_records) = dfs_run(p, 1, None);
+    for workers in [1usize, 2, 4, 8] {
+        let (summary, records, covered) = coverage_run_configured(p, workers, None, true);
+        let what = format!("{} warm coverage, {workers} workers", p.name);
+        assert_eq!(summary.paths, p.expected_paths, "{what}: pinned count");
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: byte-identical to cache-off");
+        assert!(covered > 0, "{what}: map was fed");
+    }
+    let (cut_summary, cut_records, _) = coverage_run(p, 1, Some(limit));
+    for workers in [1usize, 4] {
+        let (summary, records, _) = coverage_run_configured(p, workers, Some(limit), true);
+        let what = format!("{} warm truncated coverage, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &cut_summary, &what);
+        assert_eq!(records, cut_records, "{what}: canonical prefix");
+    }
+}
+
 #[test]
 fn clif_parser_coverage_guided_is_deterministic() {
     check_program(&programs::CLIF_PARSER);
+}
+
+#[test]
+fn clif_parser_warm_coverage_is_invisible_in_results() {
+    check_warm_start(&programs::CLIF_PARSER, 17);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_warm_coverage_is_invisible_in_results() {
+    check_warm_start(&programs::URI_PARSER, 300);
 }
 
 #[test]

@@ -13,6 +13,10 @@
 //! between the sequential incremental solver and the fresh replay
 //! contexts).
 //!
+//! The prefix-keyed warm start ([`Session`]`Builder::warm_start`) must be
+//! invisible here too: a warm run's records are pinned byte-identical to
+//! the cache-off run — the cache may only change wall time, never models.
+//!
 //! The three big programs run under `#[ignore]` so the debug-mode tier-1
 //! suite stays fast; CI runs them in release with `--include-ignored`.
 
@@ -47,7 +51,7 @@ fn sequential_fingerprint(p: &Program) -> (Summary, Vec<Vec<bool>>) {
 /// One parallel run with the given worker count and shard policy seed
 /// (`None` = default depth-first policy).
 fn parallel_run(p: &Program, workers: usize, seed: Option<u64>) -> (Summary, Vec<PathRecord>) {
-    parallel_run_limited(p, workers, seed, None)
+    parallel_run_configured(p, workers, seed, None, false)
 }
 
 /// Like [`parallel_run`], optionally truncated to a path budget.
@@ -57,10 +61,22 @@ fn parallel_run_limited(
     seed: Option<u64>,
     limit: Option<u64>,
 ) -> (Summary, Vec<PathRecord>) {
+    parallel_run_configured(p, workers, seed, limit, false)
+}
+
+/// Full knob set: shard seed, truncation, and the prefix-keyed warm start.
+fn parallel_run_configured(
+    p: &Program,
+    workers: usize,
+    seed: Option<u64>,
+    limit: Option<u64>,
+    warm: bool,
+) -> (Summary, Vec<PathRecord>) {
     let elf = p.build();
     let mut builder = Session::builder(Spec::rv32im())
         .binary(&elf)
-        .workers(workers);
+        .workers(workers)
+        .warm_start(warm);
     if let Some(seed) = seed {
         builder = builder.shard_strategy(move |i| {
             Box::new(RandomRestart::<Prescription>::with_seed(seed + i as u64))
@@ -180,9 +196,57 @@ fn check_truncated(p: &Program, limit: u64) {
     assert_eq!(records, ref_records, "{}: repeated truncated run", p.name);
 }
 
+/// The warm-start contract: `.warm_start(true)` must be invisible in the
+/// results — records and summaries byte-identical to the cache-off run at
+/// every worker count, with the random shard policy, and on a truncated
+/// (`limit`) run. The cache affects wall time only, never models.
+fn check_warm_start(p: &Program, limit: u64) {
+    let (ref_summary, ref_records) = parallel_run(p, 1, None);
+    for workers in [1usize, 2, 4, 8] {
+        let (summary, records) = parallel_run_configured(p, workers, None, None, true);
+        let what = format!("{} warm, {workers} workers", p.name);
+        assert_eq!(summary.paths, p.expected_paths, "{what}: pinned count");
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: byte-identical to cache-off");
+    }
+
+    // Scheduling policy changes the hit pattern, not the results.
+    let (summary, records) = parallel_run_configured(p, 4, Some(0xbead_cafe), None, true);
+    let what = format!("{} warm random-restart", p.name);
+    assert_summaries_equal(&summary, &ref_summary, &what);
+    assert_eq!(records, ref_records, "{what}: merged records");
+
+    // Truncated warm runs return the same canonical prefix as truncated
+    // cache-off runs.
+    let (cut_summary, cut_records) = parallel_run_limited(p, 1, None, Some(limit));
+    for workers in [1usize, 4] {
+        let (summary, records) = parallel_run_configured(p, workers, None, Some(limit), true);
+        let what = format!("{} warm truncated, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &cut_summary, &what);
+        assert_eq!(records, cut_records, "{what}: canonical prefix");
+    }
+}
+
 #[test]
 fn clif_parser_is_deterministic() {
     check_program(&programs::CLIF_PARSER);
+}
+
+#[test]
+fn clif_parser_warm_start_is_invisible_in_results() {
+    check_warm_start(&programs::CLIF_PARSER, 23);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn bubble_sort_warm_start_is_invisible_in_results() {
+    check_warm_start(&programs::BUBBLE_SORT, 250);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_warm_start_is_invisible_in_results() {
+    check_warm_start(&programs::URI_PARSER, 300);
 }
 
 #[test]

@@ -22,20 +22,30 @@
 //!    enumerates the same complete path set; what differs — and what a
 //!    truncated exploration budget buys — is how *early* unexecuted code
 //!    surfaces.
+//! 5. **Static-analysis gate** — the word-level known-bits/interval
+//!    screen (`.static_analysis(..)`) on vs. off, on all five Table I
+//!    programs. The gate may only remove whole solver queries, never
+//!    change results, so the run asserts
+//!    `checks(off) == checks(on) + eliminated` alongside the path count.
+//!    Only programs whose flip set contains infeasible branches (bubble
+//!    sort in Table I) can show nonzero elimination; the rows carry the
+//!    off-side unsat totals so the ceiling is visible next to the count.
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin ablation \
 //!     [--quick] [--smoke] [--workers N] [--runs N] [--json PATH]
 //! ```
 //!
-//! `--runs N` averages the ablation-3 timings over N interleaved
-//! cold/warm rounds (default 1), damping scheduler noise on shared
-//! hardware; the cache counters are deterministic and identical across
-//! rounds.
+//! `--runs N` averages the timed ablations (3 and 5) over N interleaved
+//! rounds (default 1), damping scheduler noise on shared hardware; the
+//! counters are deterministic and identical across rounds, and the
+//! emitted rows carry the per-round values (totals divided by N).
 //!
-//! `--smoke` is the CI-sized run: ablation 3 only (warm start on/off, the
-//! smallest Table I program), so every merge exercises the warm-start
-//! datapoint without the full matrix.
+//! `--smoke` is the CI-sized run: ablation 3 (warm start on/off, the
+//! smallest Table I program) plus ablation 5 (gate on/off on the smallest
+//! program and on bubble sort — the one with infeasible flips), so every
+//! merge exercises the warm-start and queries-eliminated datapoints
+//! without the full matrix.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -43,7 +53,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use binsym::{BitblastBackend, CountingObserver, Session};
-use binsym_bench::cli::{write_json, BenchOpts, Json};
+use binsym_bench::cli::{add_counters, counters_per_round, write_json, BenchOpts, Json};
 use binsym_bench::{all_programs, coverage_trajectory, programs, SearchStrategy};
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
@@ -60,7 +70,17 @@ fn main() {
 
     if opts.smoke {
         let max_workers = opts.workers.unwrap_or(2);
-        ablation3(progs, max_workers, opts.runs.unwrap_or(1), &mut json_rows);
+        let runs = opts.runs.unwrap_or(1);
+        ablation3(progs, max_workers, runs, &mut json_rows);
+        // Bubble sort is the Table I program whose flip set contains
+        // infeasible branches, so it is the one that shows a nonzero
+        // queries-eliminated count in CI.
+        ablation5(
+            &[programs::CLIF_PARSER, programs::BUBBLE_SORT],
+            max_workers,
+            runs,
+            &mut json_rows,
+        );
         if let Some(path) = &opts.json {
             let doc = Json::O(vec![
                 ("bin", Json::s("ablation")),
@@ -205,6 +225,17 @@ fn main() {
         );
     }
 
+    let a5_progs: Vec<_> = all_programs()
+        .into_iter()
+        .filter(|p| !(opts.quick && p.expected_paths > 1000))
+        .collect();
+    ablation5(
+        &a5_progs,
+        max_workers,
+        opts.runs.unwrap_or(1),
+        &mut json_rows,
+    );
+
     if let Some(path) = &opts.json {
         let doc = Json::O(vec![
             ("bin", Json::s("ablation")),
@@ -268,14 +299,17 @@ fn ablation3(
                     let s = par.run_all().expect("explores");
                     assert_eq!(s.paths, p.expected_paths, "sharding must not change paths");
                     seconds[slot] += start.elapsed().as_secs_f64();
-                    tallies[slot] = *counters.lock().expect("counters");
+                    add_counters(&mut tallies[slot], &counters.lock().expect("counters"));
                 }
             }
             for slot in &mut seconds {
                 *slot /= runs.max(1) as f64;
             }
             for (slot, warm) in [false, true].into_iter().enumerate() {
-                let c = tallies[slot];
+                // Counters are deterministic across rounds, so the
+                // per-round average reproduces any single round — the
+                // rows stay comparable whatever `--runs` was.
+                let c = counters_per_round(&tallies[slot], runs.max(1));
                 let mut row = vec![
                     ("ablation", Json::s("worker-scaling")),
                     ("benchmark", Json::s(p.name)),
@@ -310,5 +344,95 @@ fn ablation3(
             workers *= 2;
         }
         println!("{:<16} {:>12.1?}   {}", p.name, seq, cells.join("  "));
+    }
+}
+
+/// Ablation 5: the word-level static-analysis gate on vs. off, on the
+/// sharded engine. The gate screens each branch-flip query against the
+/// known-bits/interval facts of its path prefix and discharges the decided
+/// ones without bit-blasting; by construction it may only *remove* solver
+/// checks, never change results, which the run asserts via the path count
+/// and the check-accounting identity.
+fn ablation5(
+    progs: &[binsym_bench::Program],
+    workers: usize,
+    runs: usize,
+    json_rows: &mut Vec<Json>,
+) {
+    println!(
+        "\nABLATION 5 — static-analysis gate (known-bits/interval screening of flip queries)\n"
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "Benchmark", "gate off", "gate on", "unsat flips", "eliminated", "facts"
+    );
+    for &p in progs {
+        let elf = p.build();
+        let mut seconds = [0.0f64; 2];
+        let mut tallies = [CountingObserver::new(); 2];
+        let mut checks = [0u64; 2];
+        // Interleave the off/on rounds so slow machine drift hits both
+        // sides equally.
+        for _ in 0..runs.max(1) {
+            for (slot, analysis) in [false, true].into_iter().enumerate() {
+                let counters = Arc::new(Mutex::new(CountingObserver::new()));
+                let handle = Arc::clone(&counters);
+                let mut par = Session::builder(Spec::rv32im())
+                    .binary(&elf)
+                    .workers(workers)
+                    .static_analysis(analysis)
+                    .observer_factory(move |_| Box::new(Arc::clone(&handle)))
+                    .build_parallel()
+                    .expect("builds");
+                let start = Instant::now();
+                let s = par.run_all().expect("explores");
+                assert_eq!(s.paths, p.expected_paths, "the gate must not change paths");
+                seconds[slot] += start.elapsed().as_secs_f64();
+                checks[slot] += s.solver_checks;
+                add_counters(&mut tallies[slot], &counters.lock().expect("counters"));
+            }
+        }
+        let runs = runs.max(1);
+        for slot in &mut seconds {
+            *slot /= runs as f64;
+        }
+        let off = counters_per_round(&tallies[0], runs);
+        let on = counters_per_round(&tallies[1], runs);
+        let checks = [checks[0] / runs as u64, checks[1] / runs as u64];
+        // Every screened-out query must be accounted for one-to-one in
+        // the solver-check delta.
+        assert_eq!(
+            checks[0],
+            checks[1] + on.sa_queries_eliminated,
+            "{}: eliminated queries must explain the full check delta",
+            p.name
+        );
+        let unsat = off.queries - off.sat_queries;
+        println!(
+            "{:<16} {:>9.2}s {:>9.2}s {:>12} {:>12} {:>10}",
+            p.name, seconds[0], seconds[1], unsat, on.sa_queries_eliminated, on.sa_facts
+        );
+        for (slot, analysis) in [false, true].into_iter().enumerate() {
+            let c = if analysis { &on } else { &off };
+            let mut row = vec![
+                ("ablation", Json::s("static-analysis")),
+                ("benchmark", Json::s(p.name)),
+                ("workers", Json::U(workers as u64)),
+                ("static_analysis", Json::B(analysis)),
+                ("runs", Json::U(runs as u64)),
+                ("seconds", Json::F(seconds[slot])),
+                ("solver_checks", Json::U(checks[slot])),
+                ("queries", Json::U(c.queries)),
+                ("unsat_queries", Json::U(c.queries - c.sat_queries)),
+            ];
+            if analysis {
+                row.extend([
+                    ("sa_queries", Json::U(c.sa_queries)),
+                    ("sa_queries_eliminated", Json::U(c.sa_queries_eliminated)),
+                    ("sa_facts", Json::U(c.sa_facts)),
+                ]);
+            }
+            json_rows.push(Json::O(row));
+        }
     }
 }

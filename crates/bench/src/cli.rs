@@ -178,6 +178,52 @@ pub fn write_json(path: &Path, value: &Json) {
     println!("\nJSON summary written to {}", path.display());
 }
 
+/// Accumulates one round's [`binsym::CountingObserver`] totals into a
+/// multi-run sum (the timing harnesses interleave rounds and average).
+pub fn add_counters(sum: &mut binsym::CountingObserver, round: &binsym::CountingObserver) {
+    sum.steps += round.steps;
+    sum.branches += round.branches;
+    sum.paths += round.paths;
+    sum.queries += round.queries;
+    sum.sat_queries += round.sat_queries;
+    sum.warm_hits += round.warm_hits;
+    sum.warm_misses += round.warm_misses;
+    sum.warm_replays_skipped += round.warm_replays_skipped;
+    sum.warm_prefix_reused += round.warm_prefix_reused;
+    sum.warm_prefix_blasted += round.warm_prefix_blasted;
+    sum.sa_queries += round.sa_queries;
+    sum.sa_queries_eliminated += round.sa_queries_eliminated;
+    sum.sa_facts += round.sa_facts;
+}
+
+/// Divides totals accumulated over `runs` rounds back to their per-round
+/// values, so `--runs N` reports the same counters as a single run (the
+/// timings are averaged; the counters are deterministic across rounds, so
+/// the division is exact — a remainder would mean a round diverged, which
+/// the determinism suites forbid).
+pub fn counters_per_round(sum: &binsym::CountingObserver, runs: usize) -> binsym::CountingObserver {
+    let n = runs.max(1) as u64;
+    let per = |total: u64| -> u64 {
+        debug_assert_eq!(total % n, 0, "counter diverged across rounds");
+        total / n
+    };
+    binsym::CountingObserver {
+        steps: per(sum.steps),
+        branches: per(sum.branches),
+        paths: per(sum.paths),
+        queries: per(sum.queries),
+        sat_queries: per(sum.sat_queries),
+        warm_hits: per(sum.warm_hits),
+        warm_misses: per(sum.warm_misses),
+        warm_replays_skipped: per(sum.warm_replays_skipped),
+        warm_prefix_reused: per(sum.warm_prefix_reused),
+        warm_prefix_blasted: per(sum.warm_prefix_blasted),
+        sa_queries: per(sum.sa_queries),
+        sa_queries_eliminated: per(sum.sa_queries_eliminated),
+        sa_facts: per(sum.sa_facts),
+    }
+}
+
 /// Renders a [`binsym::Summary`] as a JSON object (shared row shape of
 /// every bench bin).
 pub fn summary_json(summary: &binsym::Summary, seconds: f64) -> Json {
@@ -270,6 +316,70 @@ mod tests {
         let o = BenchOpts::parse(args.into_iter(), None);
         assert!(o.smoke);
         assert!(!o.quick);
+    }
+
+    #[test]
+    fn multi_run_counters_average_back_to_single_round_values() {
+        use binsym::CountingObserver;
+        let round = CountingObserver {
+            queries: 719,
+            sat_queries: 719,
+            warm_hits: 12,
+            sa_queries: 2421,
+            sa_queries_eliminated: 1702,
+            sa_facts: 31,
+            ..CountingObserver::new()
+        };
+        let mut sum = CountingObserver::new();
+        for _ in 0..3 {
+            add_counters(&mut sum, &round);
+        }
+        assert_eq!(sum.sa_queries_eliminated, 3 * 1702, "accumulated");
+        let avg = counters_per_round(&sum, 3);
+        assert_eq!(avg.queries, round.queries);
+        assert_eq!(avg.warm_hits, round.warm_hits);
+        assert_eq!(avg.sa_queries, round.sa_queries);
+        assert_eq!(avg.sa_queries_eliminated, round.sa_queries_eliminated);
+        assert_eq!(avg.sa_facts, round.sa_facts);
+        // runs = 0 clamps to a single round.
+        assert_eq!(counters_per_round(&round, 0).queries, round.queries);
+    }
+
+    #[test]
+    fn ablation_row_emits_averaged_counters() {
+        // The regression this guards: `--json --runs N` used to average
+        // the seconds but emit the counters of whichever round ran last.
+        // Build the row the way the ablation bin does and parse the
+        // counters back out of the rendered JSON.
+        use binsym::CountingObserver;
+        let one = CountingObserver {
+            sa_queries: 2421,
+            sa_queries_eliminated: 1702,
+            ..CountingObserver::new()
+        };
+        let mut sum = CountingObserver::new();
+        for _ in 0..4 {
+            add_counters(&mut sum, &one);
+        }
+        let c = counters_per_round(&sum, 4);
+        let row = Json::O(vec![
+            ("ablation", Json::s("static-analysis")),
+            ("sa_queries", Json::U(c.sa_queries)),
+            ("sa_queries_eliminated", Json::U(c.sa_queries_eliminated)),
+        ]);
+        let rendered = row.render();
+        let field = |key: &str| -> u64 {
+            let pat = format!("\"{key}\":");
+            let at = rendered.find(&pat).expect("key present") + pat.len();
+            rendered[at..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .expect("number")
+        };
+        assert_eq!(field("sa_queries"), 2421);
+        assert_eq!(field("sa_queries_eliminated"), 1702);
     }
 
     #[test]

@@ -14,12 +14,19 @@
 //!   inner backend while rendering each discharged query as a complete
 //!   SMT-LIB v2 script (via `binsym_smt::smtlib`) for offline replay with
 //!   an external solver.
+//!
+//! Ahead of any backend sits the [`StaticGate`]: a word-level screening
+//! stage (known bits, intervals, order closure — `binsym_smt::analysis`)
+//! that decides statically-determined flip queries with **zero** SAT
+//! calls and passes only residual queries on to bit-blasting.
 
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
-use binsym_smt::{smtlib, Model, SatResult, Solver, Term, TermManager};
+use binsym_smt::{smtlib, Analysis, Model, SatResult, Solver, Sort, Term, TermManager};
+
+use crate::observe::StaticAnalysisStats;
 
 /// A solver usable by the exploration loop: scoped assertions plus
 /// satisfiability checking with model extraction.
@@ -287,6 +294,168 @@ impl<B: SolverBackend> SolverBackend for SmtLibDump<B> {
     }
 }
 
+/// Outcome of screening one flip query through the [`StaticGate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScreenReport {
+    /// `Some((result, witness))` when the query was decided statically:
+    /// UNSAT verdicts carry no witness; SAT verdicts carry the parent's
+    /// witness extended by analysis-forced input bytes. `None` means the
+    /// query is residual and must be discharged by the backend.
+    pub verdict: Option<(SatResult, Option<Vec<u8>>)>,
+    /// Per-query accounting for [`crate::Observer::on_static_analysis`].
+    pub stats: StaticAnalysisStats,
+}
+
+/// The word-level static-analysis gate in front of a [`SolverBackend`].
+///
+/// For each flip query `prefix ∧ flipped` the gate assumes every prefix
+/// conjunct into a fresh [`Analysis`] and asks for a verdict on the
+/// flipped condition:
+///
+/// * **constant false** — the flip is reported UNSAT with zero SAT calls;
+/// * **constant true** — the flip is SAT and the parent's own witness
+///   (extended by any analysis-forced input bytes) satisfies it. For the
+///   engines' query streams this verdict is provably unreachable — the
+///   parent input satisfies `prefix ∧ ¬flipped`, so `flipped` can never be
+///   a *consequence* of the prefix — but the gate implements it for
+///   completeness and the shadow check guards it;
+/// * **unknown** — the query is residual and goes to the backend,
+///   asserting the **original** terms (not simplified ones: rewriting the
+///   asserted graph could change CNF variable order and therefore which
+///   model the SAT solver picks, breaking the byte-identical-records
+///   determinism contract).
+///
+/// The analysis allocates no terms, so screening cannot perturb
+/// hash-consing order — an analysis-on run builds exactly the same term
+/// DAG as an analysis-off run.
+///
+/// With `shadow` set (builder knob or env `BINSYM_SA_SHADOW`), every
+/// definite verdict is cross-checked against the full SAT query in a
+/// fresh solver; a disagreement panics with the offending query's SMT-LIB
+/// dump. (The shadow solver *does* intern auxiliary terms, so shadow mode
+/// is a correctness tool, not part of the determinism contract.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticGate {
+    enabled: bool,
+    shadow: bool,
+}
+
+impl StaticGate {
+    /// Builds a gate; `shadow` is additionally forced on by a non-empty,
+    /// non-`"0"` `BINSYM_SA_SHADOW` environment variable (and shadow mode
+    /// implies the gate itself is enabled).
+    pub fn new(enabled: bool, shadow: bool) -> Self {
+        let shadow =
+            shadow || std::env::var("BINSYM_SA_SHADOW").is_ok_and(|v| !v.is_empty() && v != "0");
+        StaticGate {
+            enabled: enabled || shadow,
+            shadow,
+        }
+    }
+
+    /// A gate that never screens anything (analysis off, no shadow).
+    pub fn disabled() -> Self {
+        StaticGate {
+            enabled: false,
+            shadow: false,
+        }
+    }
+
+    /// Whether the gate screens queries at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Whether verdicts are cross-checked against the full SAT query.
+    pub fn shadow(&self) -> bool {
+        self.shadow
+    }
+
+    /// Screens one flip query. Returns `None` when the gate is disabled
+    /// (the caller proceeds exactly as without a gate and fires no
+    /// static-analysis observer hook).
+    pub fn screen(
+        &self,
+        tm: &mut TermManager,
+        prefix: &[Term],
+        flipped: Term,
+        parent_input: &[u8],
+    ) -> Option<ScreenReport> {
+        if !self.enabled {
+            return None;
+        }
+        let mut an = Analysis::new();
+        for &c in prefix {
+            an.assume(tm, c);
+        }
+        let verdict = an.verdict(tm, flipped);
+        let stats = StaticAnalysisStats {
+            eliminated: verdict.map(|v| if v { SatResult::Sat } else { SatResult::Unsat }),
+            conjuncts: prefix.len() as u64,
+            facts: an.fact_count(),
+        };
+        let verdict = match verdict {
+            None => None,
+            Some(false) => {
+                if self.shadow {
+                    self.shadow_check(tm, prefix, flipped, SatResult::Unsat);
+                }
+                Some((SatResult::Unsat, None))
+            }
+            Some(true) => {
+                if self.shadow {
+                    self.shadow_check(tm, prefix, flipped, SatResult::Sat);
+                }
+                // The parent input satisfies the prefix, and the analysis
+                // says the prefix *implies* the flipped condition — so the
+                // parent witness works, tightened by any bytes the
+                // combined facts force to a single value.
+                an.assume(tm, flipped);
+                let bytes = (0..parent_input.len())
+                    .map(|i| {
+                        let Some(vid) = tm.find_var(&format!("in{i}")) else {
+                            return parent_input[i];
+                        };
+                        let Sort::BitVec(w) = tm.var_sort(vid) else {
+                            return parent_input[i];
+                        };
+                        let vt = tm.var(&format!("in{i}"), w);
+                        an.forced_value(tm, vt).map_or(parent_input[i], |v| v as u8)
+                    })
+                    .collect();
+                Some((SatResult::Sat, Some(bytes)))
+            }
+        };
+        Some(ScreenReport { verdict, stats })
+    }
+
+    /// Discharges the full query in a fresh solver and panics (with the
+    /// query's SMT-LIB script) if it disagrees with the analysis verdict.
+    fn shadow_check(
+        &self,
+        tm: &mut TermManager,
+        prefix: &[Term],
+        flipped: Term,
+        expect: SatResult,
+    ) {
+        let mut solver = Solver::new();
+        for &c in prefix {
+            solver.assert_term(tm, c);
+        }
+        solver.assert_term(tm, flipped);
+        let got = solver.check_sat(tm, &[]);
+        if got != expect {
+            let mut all: Vec<Term> = prefix.to_vec();
+            all.push(flipped);
+            panic!(
+                "static-analysis shadow check failed: analysis verdict {expect:?}, \
+                 solver says {got:?}\n{}",
+                smtlib::query_to_smtlib(tm, &all)
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,5 +507,66 @@ mod tests {
     #[should_panic(expected = "cannot pop the bottom frame")]
     fn fresh_backend_bottom_pop_panics() {
         BitblastBackend::fresh_per_query().pop();
+    }
+
+    #[test]
+    fn gate_eliminates_reencountered_flip() {
+        let mut tm = TermManager::new();
+        let x = tm.var("in0", 8);
+        let y = tm.var("in1", 8);
+        let cond = tm.ule(x, y);
+        let flipped = tm.not(cond);
+        // Shadow on: the verdict is cross-checked against a real solver.
+        let gate = StaticGate::new(true, true);
+        let report = gate
+            .screen(&mut tm, &[cond], flipped, &[0, 0])
+            .expect("enabled");
+        assert_eq!(report.verdict, Some((SatResult::Unsat, None)));
+        assert_eq!(report.stats.eliminated, Some(SatResult::Unsat));
+        assert!(report.stats.facts > 0);
+    }
+
+    #[test]
+    fn gate_passes_residual_queries_through() {
+        let mut tm = TermManager::new();
+        let x = tm.var("in0", 8);
+        let y = tm.var("in1", 8);
+        let cond = tm.ule(x, y);
+        let other = tm.var("in2", 8);
+        let unrelated = tm.ult(other, x);
+        let gate = StaticGate::new(true, false);
+        let report = gate
+            .screen(&mut tm, &[cond], unrelated, &[0, 0, 0])
+            .expect("enabled");
+        assert_eq!(report.verdict, None);
+        assert_eq!(report.stats.eliminated, None);
+    }
+
+    #[test]
+    fn gate_sat_verdict_extends_parent_witness() {
+        let mut tm = TermManager::new();
+        let x = tm.var("in0", 8);
+        let c = tm.bv_const(42, 8);
+        let pin = tm.eq(x, c);
+        let bound = tm.bv_const(50, 8);
+        let implied = tm.ult(x, bound); // follows from in0 = 42
+        let gate = StaticGate::new(true, true);
+        let report = gate
+            .screen(&mut tm, &[pin], implied, &[7, 9])
+            .expect("enabled");
+        let (r, bytes) = report.verdict.expect("decided");
+        assert_eq!(r, SatResult::Sat);
+        // in0 is forced to 42; in1 keeps the parent byte.
+        assert_eq!(bytes, Some(vec![42, 9]));
+    }
+
+    #[test]
+    fn disabled_gate_screens_nothing() {
+        let mut tm = TermManager::new();
+        let cond = x_lt_5(&mut tm);
+        let flipped = tm.not(cond);
+        assert!(StaticGate::disabled()
+            .screen(&mut tm, &[cond], flipped, &[0])
+            .is_none());
     }
 }

@@ -23,7 +23,11 @@
 //!   [`CoverageGuided`], ranking flips against a lock-free [`CoverageMap`]);
 //! * [`SolverBackend`] — how feasibility queries are discharged
 //!   ([`BitblastBackend`] incremental or fresh-per-query; [`SmtLibDump`]
-//!   recording every query as an SMT-LIB v2 script for offline replay);
+//!   recording every query as an SMT-LIB v2 script for offline replay),
+//!   fronted by a word-level static-analysis gate ([`StaticGate`], on by
+//!   default) that prunes flip queries the path condition already
+//!   decides — without ever changing results (see
+//!   [`SessionBuilder::static_analysis`]);
 //! * [`Observer`] — instrumentation hooks (`on_step`/`on_branch`/
 //!   `on_path`/`on_query`) for cost models and coverage tracking.
 //!
@@ -88,11 +92,13 @@ pub mod strategy;
 pub mod value;
 pub mod warm;
 
-pub use backend::{BitblastBackend, ScriptSink, SmtLibDump, SolverBackend};
+pub use backend::{
+    BitblastBackend, ScreenReport, ScriptSink, SmtLibDump, SolverBackend, StaticGate,
+};
 pub use coverage::{CoverageMap, CoverageObserver};
 pub use error::Error;
 pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
-pub use observe::{CountingObserver, NullObserver, Observer, WarmQueryStats};
+pub use observe::{CountingObserver, NullObserver, Observer, StaticAnalysisStats, WarmQueryStats};
 pub use parallel::{
     BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
 };

@@ -43,6 +43,28 @@ pub struct WarmQueryStats {
     pub prefix_blasted: u64,
 }
 
+/// Per-query accounting of the word-level static-analysis gate
+/// ([`crate::SessionBuilder::static_analysis`]), reported through
+/// [`Observer::on_static_analysis`] for **every** screened flip query —
+/// eliminated or residual.
+///
+/// Like the warm cache, the gate affects wall time only, never merged
+/// results: an eliminated query fires *neither* [`Observer::on_query`]
+/// nor [`Observer::on_warm_query`] and does not count as a solver check,
+/// so analysis-on and analysis-off runs stay byte-identical in their
+/// records and differ only in these counters (and in `solver_checks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticAnalysisStats {
+    /// `Some(verdict)` when the analysis decided the query without any
+    /// SAT call; `None` for residual queries that went to the solver.
+    pub eliminated: Option<SatResult>,
+    /// Path-condition conjuncts assumed by the analysis.
+    pub conjuncts: u64,
+    /// Word-level facts derived (boolean truth values, interval
+    /// refinements, and order-closure edges).
+    pub facts: u64,
+}
+
 /// Callbacks fired during path execution and exploration.
 ///
 /// `on_step`/`on_branch` fire inside [`crate::PathExecutor::execute_path`];
@@ -77,6 +99,14 @@ pub trait Observer {
     fn on_warm_query(&mut self, stats: &WarmQueryStats) {
         let _ = stats;
     }
+
+    /// The static-analysis gate screened a flip query; `stats` says
+    /// whether it was eliminated (no SAT call — in that case no
+    /// [`Observer::on_query`] fires for it) or residual. Fires only with
+    /// [`crate::SessionBuilder::static_analysis`] enabled (the default).
+    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
+        let _ = stats;
+    }
 }
 
 /// Sharing an observer: the session takes ownership of its observer, so to
@@ -101,6 +131,10 @@ impl<O: Observer> Observer for std::rc::Rc<std::cell::RefCell<O>> {
 
     fn on_warm_query(&mut self, stats: &WarmQueryStats) {
         self.borrow_mut().on_warm_query(stats);
+    }
+
+    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
+        self.borrow_mut().on_static_analysis(stats);
     }
 }
 
@@ -134,6 +168,12 @@ impl<O: Observer> Observer for Arc<Mutex<O>> {
     fn on_warm_query(&mut self, stats: &WarmQueryStats) {
         self.lock().expect("observer lock").on_warm_query(stats);
     }
+
+    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
+        self.lock()
+            .expect("observer lock")
+            .on_static_analysis(stats);
+    }
 }
 
 /// Boxed observers forward: lets composed observers (see the pair impl
@@ -157,6 +197,10 @@ impl<O: Observer + ?Sized> Observer for Box<O> {
 
     fn on_warm_query(&mut self, stats: &WarmQueryStats) {
         (**self).on_warm_query(stats);
+    }
+
+    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
+        (**self).on_static_analysis(stats);
     }
 }
 
@@ -187,6 +231,11 @@ impl<A: Observer, B: Observer> Observer for (A, B) {
     fn on_warm_query(&mut self, stats: &WarmQueryStats) {
         self.0.on_warm_query(stats);
         self.1.on_warm_query(stats);
+    }
+
+    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
+        self.0.on_static_analysis(stats);
+        self.1.on_static_analysis(stats);
     }
 }
 
@@ -221,6 +270,12 @@ pub struct CountingObserver {
     pub warm_prefix_reused: u64,
     /// Prefix path terms bit-blasted anew by warm-start queries.
     pub warm_prefix_blasted: u64,
+    /// Flip queries screened by the static-analysis gate.
+    pub sa_queries: u64,
+    /// Screened queries eliminated without any SAT call.
+    pub sa_queries_eliminated: u64,
+    /// Word-level facts derived across all screened queries.
+    pub sa_facts: u64,
 }
 
 impl CountingObserver {
@@ -261,5 +316,13 @@ impl Observer for CountingObserver {
         }
         self.warm_prefix_reused += stats.prefix_reused;
         self.warm_prefix_blasted += stats.prefix_blasted;
+    }
+
+    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
+        self.sa_queries += 1;
+        if stats.eliminated.is_some() {
+            self.sa_queries_eliminated += 1;
+        }
+        self.sa_facts += stats.facts;
     }
 }

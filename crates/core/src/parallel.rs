@@ -77,7 +77,7 @@ use std::time::Duration;
 
 use binsym_smt::{SatResult, TermManager};
 
-use crate::backend::SolverBackend;
+use crate::backend::{SolverBackend, StaticGate};
 use crate::error::Error;
 use crate::machine::{StepResult, TrailEntry};
 use crate::observe::{NullObserver, Observer};
@@ -321,6 +321,10 @@ pub struct ParallelSession {
     /// default). See [`crate::warm`] — affects wall time only, never
     /// results.
     warm_capacity: Option<usize>,
+    /// The word-level static-analysis gate screening flip queries before
+    /// any bit-blast (on by default). Affects wall time only, never
+    /// merged records.
+    gate: StaticGate,
     strategy_name: &'static str,
     backend_name: &'static str,
     done: bool,
@@ -352,6 +356,7 @@ impl ParallelSession {
         limit: Option<u64>,
         input_len: u32,
         warm_capacity: Option<usize>,
+        gate: StaticGate,
     ) -> Self {
         let strategy_name = shard_strategy(0).name();
         let backend_name = if warm_capacity.is_some() {
@@ -369,6 +374,7 @@ impl ParallelSession {
             limit,
             input_len,
             warm_capacity,
+            gate,
             strategy_name,
             backend_name,
             done: false,
@@ -459,6 +465,7 @@ impl ParallelSession {
                 let observer_factory = self.observer_factory.clone();
                 let fuel = self.fuel;
                 let warm_capacity = self.warm_capacity;
+                let gate = self.gate;
                 handles.push(scope.spawn(move || {
                     worker_main(
                         idx,
@@ -468,6 +475,7 @@ impl ParallelSession {
                         observer_factory.as_deref(),
                         fuel,
                         warm_capacity,
+                        gate,
                     )
                 }));
             }
@@ -578,6 +586,7 @@ fn worker_main(
     observer_factory: Option<&(dyn Fn(usize) -> Box<dyn Observer> + Send + Sync)>,
     fuel: u64,
     warm_capacity: Option<usize>,
+    gate: StaticGate,
 ) -> Vec<PrescriptionRecord> {
     let mut executor = match executor_factory() {
         Ok(e) => e,
@@ -613,7 +622,15 @@ fn worker_main(
         // fresh one (see `crate::warm`). Either way the replay is a pure
         // function of the prescription (schedule-independent results).
         let outcome = match &mut warm {
-            Some(cache) => replay_warm(&mut *executor, &mut tm, cache, &mut *observer, &p, fuel),
+            Some(cache) => replay_warm(
+                &mut *executor,
+                &mut tm,
+                cache,
+                &mut *observer,
+                &p,
+                fuel,
+                gate,
+            ),
             None => {
                 tm.reset();
                 let mut backend = backend_factory();
@@ -624,6 +641,7 @@ fn worker_main(
                     &mut *observer,
                     &p,
                     fuel,
+                    gate,
                 )
             }
         };
@@ -679,7 +697,7 @@ impl Drop for InFlightGuard<'_> {
 /// Replays one prescription on the given engine: solve the flip (if any),
 /// materialize the path, and derive the prescriptions of its unexplored
 /// suffix. Pure in the prescription given a fresh `tm`/`backend` context.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn replay(
     executor: &mut dyn PathExecutor,
     tm: &mut TermManager,
@@ -687,18 +705,35 @@ fn replay(
     observer: &mut dyn Observer,
     p: &Prescription,
     fuel: u64,
+    gate: StaticGate,
 ) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
     let (query, input) = match p.flip {
         None => (None, p.input.clone()),
         Some(flip) => {
             let trail = executor.execute_prefix(tm, &p.input, fuel, flip.ord + 1)?;
             let (i, cond) = flip.locate(&trail)?;
+            // Terms are interned in the same order whether or not the gate
+            // screens the query, so gated and ungated replays build
+            // identical term handles (and hence identical CNF and models).
+            let prefix: Vec<_> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
+            let flipped = if flip.taken { tm.not(cond) } else { cond };
+            if let Some(report) = gate.screen(tm, &prefix, flipped, &p.input) {
+                observer.on_static_analysis(&report.stats);
+                match report.verdict {
+                    // Eliminated: no solver check, no `on_query`, and a
+                    // `query: None` record so the merge counts nothing.
+                    Some((SatResult::Unsat, _)) => return Ok((None, None)),
+                    Some((SatResult::Sat, bytes)) => {
+                        let bytes = bytes.expect("sat verdict carries witness bytes");
+                        return materialize(executor, tm, observer, p, fuel, None, bytes);
+                    }
+                    None => {}
+                }
+            }
             backend.push();
-            for entry in &trail[..i] {
-                let t = entry.path_term(tm);
+            for &t in &prefix {
                 backend.assert_term(tm, t);
             }
-            let flipped = if flip.taken { tm.not(cond) } else { cond };
             backend.assert_term(tm, flipped);
             let r = backend.check_sat(tm);
             observer.on_query(r);
@@ -722,7 +757,7 @@ fn replay(
 /// bit-identical to [`replay`]'s (see [`crate::warm`]), so the two paths
 /// are interchangeable result-wise; only wall time and the
 /// [`Observer::on_warm_query`] accounting differ.
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn replay_warm(
     executor: &mut dyn PathExecutor,
     tm: &mut TermManager,
@@ -730,16 +765,28 @@ fn replay_warm(
     observer: &mut dyn Observer,
     p: &Prescription,
     fuel: u64,
+    gate: StaticGate,
 ) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
     let (query, input) = match p.flip {
         None => (None, p.input.clone()),
         Some(flip) => {
-            let (r, bytes, stats) = cache.solve_flip(executor, &p.input, flip, fuel)?;
-            observer.on_query(r);
-            observer.on_warm_query(&stats);
+            let (r, bytes, warm_stats, sa_stats) =
+                cache.solve_flip(executor, &p.input, flip, fuel, gate)?;
+            if let Some(sa) = &sa_stats {
+                observer.on_static_analysis(sa);
+            }
+            // An eliminated query carries no warm stats: it fires neither
+            // `on_query` nor `on_warm_query` and records `query: None`, so
+            // the merge's solver-check count matches an analysis-off run
+            // minus exactly the eliminated queries.
+            if let Some(warm) = &warm_stats {
+                observer.on_query(r);
+                observer.on_warm_query(warm);
+            }
+            let query = warm_stats.is_some().then_some(r);
             match bytes {
-                None => return Ok((Some(r), None)),
-                Some(bytes) => (Some(r), bytes),
+                None => return Ok((query, None)),
+                Some(bytes) => (query, bytes),
             }
         }
     };

@@ -43,7 +43,7 @@ use binsym_elf::ElfFile;
 use binsym_isa::Spec;
 use binsym_smt::{SatResult, TermManager};
 
-use crate::backend::{BitblastBackend, SolverBackend};
+use crate::backend::{BitblastBackend, SolverBackend, StaticGate};
 use crate::error::Error;
 use crate::machine::{StepResult, SymMachine, TrailEntry};
 use crate::observe::{NullObserver, Observer};
@@ -332,6 +332,8 @@ pub struct SessionBuilder {
     shard_strategy: Option<ShardStrategyFactory>,
     warm_start: bool,
     warm_capacity: Option<usize>,
+    static_analysis: bool,
+    sa_shadow: bool,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -473,6 +475,34 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables the word-level static-analysis gate (default: **on**).
+    /// Before a flip query is bit-blasted, a known-bits + interval +
+    /// order-closure pass over the path condition tries to decide it
+    /// outright; decided queries skip the SAT solver entirely (see
+    /// [`crate::StaticGate`]). Like the warm-start cache, the gate affects
+    /// wall time only, never results: merged records stay byte-identical
+    /// to an analysis-off run — residual queries are blasted from the
+    /// original terms, and eliminated verdicts are exact. Per-query
+    /// accounting flows through [`crate::Observer::on_static_analysis`].
+    pub fn static_analysis(mut self, enabled: bool) -> Self {
+        self.static_analysis = enabled;
+        self
+    }
+
+    /// Cross-checks **every** static-analysis verdict against the full
+    /// SAT query, panicking with an SMT-LIB dump of the query on any
+    /// disagreement (default: off; also enabled by the `BINSYM_SA_SHADOW`
+    /// environment variable). A soundness tripwire for CI — it re-adds
+    /// the solver work the gate saves, so leave it off when benchmarking.
+    /// Implies [`SessionBuilder::static_analysis`]`(true)`.
+    pub fn static_analysis_shadow_check(mut self, enabled: bool) -> Self {
+        self.sa_shadow = enabled;
+        if enabled {
+            self.static_analysis = true;
+        }
+        self
+    }
+
     /// Upper bound on explored paths. Must be nonzero — for unbounded
     /// exploration simply don't set a limit.
     ///
@@ -567,6 +597,7 @@ impl SessionBuilder {
             strategy: self.strategy,
             backend: self.backend,
             observer: self.observer,
+            gate: StaticGate::new(self.static_analysis, self.sa_shadow),
             fuel: self.fuel,
             max_paths: self.limit,
             next_input: Some((PathId::root(), vec![0u8; input_len as usize])),
@@ -665,6 +696,7 @@ impl SessionBuilder {
             self.limit,
             input_len,
             warm_capacity,
+            StaticGate::new(self.static_analysis, self.sa_shadow),
         ))
     }
 }
@@ -679,6 +711,7 @@ pub struct Session {
     strategy: Box<dyn PathStrategy>,
     backend: Box<dyn SolverBackend>,
     observer: Box<dyn Observer>,
+    gate: StaticGate,
     fuel: u64,
     max_paths: Option<u64>,
     /// Identity and input of the next path, when already known (the
@@ -724,6 +757,8 @@ impl Session {
             shard_strategy: None,
             warm_start: false,
             warm_capacity: None,
+            static_analysis: true,
+            sa_shadow: false,
         }
     }
 
@@ -917,16 +952,40 @@ impl Session {
     /// `forced_depth`), or `None` when the frontier is exhausted.
     fn solve_next(&mut self) -> Option<(PathId, Vec<u8>)> {
         while let Some(cand) = self.strategy.pop() {
-            self.backend.push();
-            for e in &cand.prefix {
-                let t = e.path_term(&mut self.tm);
-                self.backend.assert_term(&mut self.tm, t);
-            }
+            // Terms are interned in the same order whether or not the gate
+            // screens the query, so analysis-on and analysis-off runs see
+            // identical term handles (and hence identical CNF and models).
+            let prefix: Vec<_> = cand
+                .prefix
+                .iter()
+                .map(|e| e.path_term(&mut self.tm))
+                .collect();
             let flipped = if cand.taken {
                 self.tm.not(cand.cond)
             } else {
                 cand.cond
             };
+            if let Some(report) =
+                self.gate
+                    .screen(&mut self.tm, &prefix, flipped, &cand.prescription.input)
+            {
+                self.observer.on_static_analysis(&report.stats);
+                if let Some((r, bytes)) = report.verdict {
+                    // Eliminated: no backend call, no `on_query`.
+                    match r {
+                        SatResult::Sat => {
+                            let bytes = bytes.expect("sat verdict carries witness bytes");
+                            self.forced_depth = cand.branch_ord + 1;
+                            return Some((cand.prescription.id, bytes));
+                        }
+                        SatResult::Unsat => continue,
+                    }
+                }
+            }
+            self.backend.push();
+            for &t in &prefix {
+                self.backend.assert_term(&mut self.tm, t);
+            }
             self.backend.assert_term(&mut self.tm, flipped);
             let r = self.backend.check_sat(&mut self.tm);
             self.observer.on_query(r);

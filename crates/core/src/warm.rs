@@ -49,9 +49,10 @@
 
 use binsym_smt::{PrefixContext, SatResult, Solver, Term, TermManager};
 
+use crate::backend::StaticGate;
 use crate::error::Error;
 use crate::machine::TrailEntry;
-use crate::observe::WarmQueryStats;
+use crate::observe::{StaticAnalysisStats, WarmQueryStats};
 use crate::prescribe::Flip;
 use crate::session::PathExecutor;
 
@@ -120,8 +121,15 @@ impl WarmCache {
     }
 
     /// Discharges the flip query of one prescription through the cache:
-    /// returns the query result, the witness input bytes on SAT, and the
-    /// per-query cache accounting.
+    /// returns the query result, the witness input bytes on SAT, the
+    /// per-query cache accounting (`None` when the static gate eliminated
+    /// the query — no solver ran, so there is nothing to account), and the
+    /// gate's screening stats (`None` when the gate is disabled).
+    ///
+    /// The gate screens *before* the promotion counter ticks: an
+    /// eliminated query does not advance a parent toward context
+    /// promotion — promotion affects wall time only, so this cannot
+    /// change results.
     ///
     /// Results are bit-identical to the cache-off replay of the same
     /// prescription (see the [module docs](self)).
@@ -134,13 +142,23 @@ impl WarmCache {
     /// context is discarded and the query falls back to the cold solve,
     /// whose answer is bit-identical — so even that failure mode cannot
     /// change results.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn solve_flip(
         &mut self,
         executor: &mut dyn PathExecutor,
         input: &[u8],
         flip: Flip,
         fuel: u64,
-    ) -> Result<(SatResult, Option<Vec<u8>>, WarmQueryStats), Error> {
+        gate: StaticGate,
+    ) -> Result<
+        (
+            SatResult,
+            Option<Vec<u8>>,
+            Option<WarmQueryStats>,
+            Option<StaticAnalysisStats>,
+        ),
+        Error,
+    > {
         self.tick += 1;
         let tick = self.tick;
         let pos = self.entries.iter().position(|e| e.input == input);
@@ -201,6 +219,25 @@ impl WarmCache {
         // — the single implementation cold replay uses too.
         let (i, cond) = flip.locate(trail)?;
         let flipped = if flip.taken { tm.not(cond) } else { cond };
+        // Terms are interned in the same order whether or not the gate
+        // screens the query (flipped first, then the prefix — the order
+        // both solve paths below have always used), so screening cannot
+        // perturb the entry's hash-consed handles.
+        let prefix: Vec<Term> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
+        let mut sa_stats = None;
+        if let Some(report) = gate.screen(tm, &prefix, flipped, input) {
+            sa_stats = Some(report.stats);
+            match report.verdict {
+                Some((SatResult::Unsat, _)) => {
+                    return Ok((SatResult::Unsat, None, None, sa_stats));
+                }
+                Some((SatResult::Sat, bytes)) => {
+                    let bytes = bytes.expect("sat verdict carries witness bytes");
+                    return Ok((SatResult::Sat, Some(bytes), None, sa_stats));
+                }
+                None => {}
+            }
+        }
         let promote = *queries >= PROMOTE_AFTER_QUERIES;
         *queries += 1;
         let mut warm_result = None;
@@ -208,7 +245,6 @@ impl WarmCache {
             // Proven reuse: solve through the retained prefix context
             // (built once the parent exceeds the promotion gate).
             let c = ctx.get_or_insert_with(PrefixContext::new);
-            let prefix: Vec<Term> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
             match c.solve_flip(tm, &prefix, flipped) {
                 Ok(report) => {
                     warm_result = Some((
@@ -238,8 +274,7 @@ impl WarmCache {
                 // twice and would never amortize it).
                 let mut solver = Solver::new();
                 solver.push();
-                for entry in &trail[..i] {
-                    let t = entry.path_term(tm);
+                for &t in &prefix {
                     solver.assert_term(tm, t);
                 }
                 solver.assert_term(tm, flipped);
@@ -255,13 +290,13 @@ impl WarmCache {
             prefix_blasted: blasted,
         };
         if result != SatResult::Sat {
-            return Ok((result, None, stats));
+            return Ok((result, None, Some(stats), sa_stats));
         }
         let model = model.ok_or(Error::WarmStart {
             what: "satisfiable warm query produced no model",
         })?;
         let bytes = crate::prescribe::witness_bytes(&model, executor.input_len());
-        Ok((result, Some(bytes), stats))
+        Ok((result, Some(bytes), Some(stats), sa_stats))
     }
 
     /// Number of resident parent contexts.
@@ -311,6 +346,23 @@ c3:
             .assemble(THREE_COMPARES)
             .expect("assembles");
         SpecExecutor::new(Spec::rv32im(), &elf, None).expect("sym input")
+    }
+
+    /// Gate-off cache query: the oracle tests compare against a gate-free
+    /// cold path, so every query is residual and carries warm stats.
+    fn warm_solve(
+        cache: &mut WarmCache,
+        exec: &mut SpecExecutor,
+        input: &[u8],
+        flip: Flip,
+    ) -> Result<(SatResult, Option<Vec<u8>>, WarmQueryStats), Error> {
+        let (r, bytes, stats, _) =
+            cache.solve_flip(exec, input, flip, 10_000, StaticGate::disabled())?;
+        Ok((
+            r,
+            bytes,
+            stats.expect("gate disabled: every query is residual"),
+        ))
     }
 
     /// Cache-off reference: the exact replay sequence of the cold worker
@@ -387,9 +439,8 @@ c3:
         // Deepest-first (the DFS sibling order), then revisit ascending.
         for &ord in &[2usize, 1, 0, 1, 2] {
             let flip = flips[ord];
-            let (r, bytes, stats) = cache
-                .solve_flip(&mut exec, &[0, 0, 0], flip, 10_000)
-                .expect("solves");
+            let (r, bytes, stats) =
+                warm_solve(&mut cache, &mut exec, &[0, 0, 0], flip).expect("solves");
             let (cold_r, cold_bytes) = cold_solve(&mut exec, &[0, 0, 0], flip);
             assert_eq!(r, cold_r, "ord {ord}");
             assert_eq!(bytes, cold_bytes, "ord {ord}: bit-identical witness");
@@ -402,32 +453,27 @@ c3:
         let mut exec = executor();
         let flips = flips_of(&mut exec, &[0, 0, 0]);
         let mut cache = WarmCache::new(4);
-        let (_, _, first) = cache
-            .solve_flip(&mut exec, &[0, 0, 0], flips[2], 10_000)
-            .expect("solves");
+        let (_, _, first) =
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], flips[2]).expect("solves");
         assert!(!first.cache_hit, "first query builds the context");
         assert!(!first.replay_skipped, "first query executes the prefix");
-        let (_, _, second) = cache
-            .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
-            .expect("solves");
+        let (_, _, second) =
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], flips[1]).expect("solves");
         assert!(second.cache_hit, "sibling reuses the cached trail");
         assert!(second.replay_skipped, "sibling skips the re-execution");
         // The PROMOTE_AFTER_QUERIES-exceeding query promotes the parent
         // to a retained context (the prefix is blasted into it); the one
         // after is pure context reuse.
         for _ in 2..=PROMOTE_AFTER_QUERIES {
-            let (_, _, s) = cache
-                .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
-                .expect("solves");
+            let (_, _, s) =
+                warm_solve(&mut cache, &mut exec, &[0, 0, 0], flips[1]).expect("solves");
             assert_eq!(s.prefix_reused, 0, "unpromoted queries solve cold");
         }
-        let (_, _, promoting) = cache
-            .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
-            .expect("solves");
+        let (_, _, promoting) =
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], flips[1]).expect("solves");
         assert!(promoting.cache_hit);
-        let (_, _, reusing) = cache
-            .solve_flip(&mut exec, &[0, 0, 0], flips[1], 10_000)
-            .expect("solves");
+        let (_, _, reusing) =
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], flips[1]).expect("solves");
         assert!(reusing.cache_hit);
         assert!(reusing.replay_skipped);
         assert!(reusing.prefix_reused >= promoting.prefix_reused);
@@ -443,9 +489,7 @@ c3:
         for input in inputs {
             let local = flips_of(&mut exec, input);
             let flip = local[0];
-            let (r, bytes, _) = cache
-                .solve_flip(&mut exec, input, flip, 10_000)
-                .expect("ok");
+            let (r, bytes, _) = warm_solve(&mut cache, &mut exec, input, flip).expect("ok");
             let (cold_r, cold_bytes) = cold_solve(&mut exec, input, flip);
             assert_eq!(r, cold_r);
             assert_eq!(bytes, cold_bytes);
@@ -453,9 +497,8 @@ c3:
         }
         // The first input was evicted; a revisit is a miss but still
         // bit-identical.
-        let (r, bytes, stats) = cache
-            .solve_flip(&mut exec, &[0, 0, 0], flips[2], 10_000)
-            .expect("ok");
+        let (r, bytes, stats) =
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], flips[2]).expect("ok");
         assert!(!stats.cache_hit, "evicted entry rebuilt");
         let (cold_r, cold_bytes) = cold_solve(&mut exec, &[0, 0, 0], flips[2]);
         assert_eq!(r, cold_r);
@@ -474,7 +517,7 @@ c3:
             pc: 0,
         };
         assert!(matches!(
-            cache.solve_flip(&mut exec, &[0, 0, 0], bogus, 10_000),
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], bogus),
             Err(Error::ReplayDivergence { .. })
         ));
         // Wrong direction.
@@ -483,7 +526,7 @@ c3:
             ..flips[0]
         };
         assert!(matches!(
-            cache.solve_flip(&mut exec, &[0, 0, 0], wrong_dir, 10_000),
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], wrong_dir),
             Err(Error::ReplayDivergence { .. })
         ));
         // Wrong site.
@@ -492,8 +535,54 @@ c3:
             ..flips[0]
         };
         assert!(matches!(
-            cache.solve_flip(&mut exec, &[0, 0, 0], wrong_pc, 10_000),
+            warm_solve(&mut cache, &mut exec, &[0, 0, 0], wrong_pc),
             Err(Error::ReplayDivergence { .. })
         ));
+    }
+
+    #[test]
+    fn gate_eliminates_reencountered_flip_through_the_cache() {
+        // The same comparison is branched on twice: flipping the second
+        // occurrence contradicts the first (which sits in the prefix), so
+        // the static gate decides it UNSAT without any solver.
+        const SAME_COND_TWICE: &str = r#"
+        .data
+__sym_input: .byte 0
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    li a2, 100
+    bltu a1, a2, c1
+c1: bltu a1, a2, c2
+c2:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+        let elf = Assembler::new().assemble(SAME_COND_TWICE).expect("asm");
+        let mut exec = SpecExecutor::new(Spec::rv32im(), &elf, None).expect("sym input");
+        let flips = flips_of(&mut exec, &[0]);
+        assert_eq!(flips.len(), 2);
+        let mut cache = WarmCache::new(4);
+        let gate = StaticGate::new(true, true); // shadow-checked
+        let (r, bytes, warm, sa) = cache
+            .solve_flip(&mut exec, &[0], flips[1], 10_000, gate)
+            .expect("solves");
+        assert_eq!(r, SatResult::Unsat);
+        assert!(bytes.is_none());
+        assert!(warm.is_none(), "eliminated query carries no warm stats");
+        let sa = sa.expect("gate screened the query");
+        assert_eq!(sa.eliminated, Some(SatResult::Unsat));
+        // The first flip is residual: the gate screens it but the solver
+        // decides it, bit-identically to a gate-free cold replay.
+        let (r0, b0, warm0, sa0) = cache
+            .solve_flip(&mut exec, &[0], flips[0], 10_000, gate)
+            .expect("solves");
+        let (cold_r, cold_b) = cold_solve(&mut exec, &[0], flips[0]);
+        assert_eq!(r0, cold_r);
+        assert_eq!(b0, cold_b);
+        assert!(warm0.is_some(), "residual query carries warm stats");
+        assert_eq!(sa0.expect("screened").eliminated, None);
     }
 }

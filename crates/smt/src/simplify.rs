@@ -1,0 +1,304 @@
+//! Bottom-up term rewriting on top of the [`crate::analysis`] lattice.
+//!
+//! [`simplify`] rebuilds a term bottom-up through the [`TermManager`]
+//! constructors (which already fold constants and the classic algebraic
+//! identities: `x ^ x → 0`, `x & 0 → 0`, `ite` with a constant condition,
+//! shift/extract/extension collapses) and layers the rewrites the
+//! constructors cannot see locally:
+//!
+//! * `zext(zext(x)) → zext(x)` and `sext(sext(x)) → sext(x)` flattening,
+//! * `concat(x[h:m+1], x[m:l]) → x[h:l]` (adjacent-extract rejoining,
+//!   which the constructor then collapses to `x` when full-width),
+//! * `concat(0, x) → zext(x)`,
+//! * analysis-driven folding: any subterm whose known-bits/interval fact
+//!   pins a single value becomes a constant, and any boolean subterm with
+//!   a definite [`Analysis::verdict`] (e.g. a comparison decided by an
+//!   interval, or by the assumed order closure) becomes `true`/`false`.
+//!
+//! [`simplify`] uses an empty [`Analysis`] — the result is equivalent to
+//! the input under **every** assignment (the property suite pins
+//! `eval(simplify(t), σ) == eval(t, σ)` at random points).
+//! [`simplify_under`] folds relative to a set of assumptions: the result
+//! is equivalent only under assignments satisfying them, which is exactly
+//! the contract a path-condition gate needs.
+//!
+//! Note on the query pipeline: the engine's static gate (see
+//! `binsym-core`) uses verdicts to *eliminate* whole queries but blasts
+//! residual queries from the **original** terms, not the simplified ones.
+//! Rewriting the asserted graph could change CNF variable order and hence
+//! which model the SAT solver returns — and witness bytes are pinned
+//! byte-identical across analysis-on/off runs by the determinism suites,
+//! an invariant this repo values above the smaller CNF.
+
+use std::collections::HashMap;
+
+use crate::analysis::Analysis;
+use crate::term::{Op, Sort, Term, TermManager};
+
+/// Structure-only simplification: sound under every assignment.
+pub fn simplify(tm: &mut TermManager, t: Term) -> Term {
+    simplify_under(tm, &mut Analysis::new(), t)
+}
+
+/// Simplification relative to the assumptions recorded in `an`: the
+/// result agrees with `t` on every assignment satisfying them.
+pub fn simplify_under(tm: &mut TermManager, an: &mut Analysis, root: Term) -> Term {
+    let mut out: HashMap<Term, Term> = HashMap::new();
+    let mut stack = vec![root];
+    while let Some(&t) = stack.last() {
+        if out.contains_key(&t) {
+            stack.pop();
+            continue;
+        }
+        let args: Vec<Term> = tm.args(t).to_vec();
+        let mut ready = true;
+        for &a in &args {
+            if !out.contains_key(&a) {
+                stack.push(a);
+                ready = false;
+            }
+        }
+        if !ready {
+            continue;
+        }
+        let sargs: Vec<Term> = args.iter().map(|a| out[a]).collect();
+        let r = rewrite(tm, an, t, &sargs);
+        out.insert(t, r);
+        stack.pop();
+    }
+    out[&root]
+}
+
+/// Rebuild one node from simplified operands, then apply the extra rules.
+fn rewrite(tm: &mut TermManager, an: &mut Analysis, t: Term, a: &[Term]) -> Term {
+    let r = rebuild(tm, t, a);
+    let r = collapse_extensions(tm, r);
+    let r = rejoin_concat(tm, r);
+    fold_by_analysis(tm, an, r)
+}
+
+/// Re-issue the node through its constructor (hash-consing + the
+/// constructor-level folds) with already-simplified operands.
+fn rebuild(tm: &mut TermManager, t: Term, a: &[Term]) -> Term {
+    match tm.op(t) {
+        Op::BvConst(_) | Op::BoolConst(_) | Op::Var(_) => t,
+        Op::Not => tm.not(a[0]),
+        Op::And => tm.and(a[0], a[1]),
+        Op::Or => tm.or(a[0], a[1]),
+        Op::Xor => tm.xor(a[0], a[1]),
+        Op::Implies => tm.implies(a[0], a[1]),
+        Op::Ite => tm.ite(a[0], a[1], a[2]),
+        Op::Eq => tm.eq(a[0], a[1]),
+        Op::Ult => tm.ult(a[0], a[1]),
+        Op::Slt => tm.slt(a[0], a[1]),
+        Op::Ule => tm.ule(a[0], a[1]),
+        Op::Sle => tm.sle(a[0], a[1]),
+        Op::BvNot => tm.bv_not(a[0]),
+        Op::BvNeg => tm.bv_neg(a[0]),
+        Op::BvAnd => tm.bv_and(a[0], a[1]),
+        Op::BvOr => tm.bv_or(a[0], a[1]),
+        Op::BvXor => tm.bv_xor(a[0], a[1]),
+        Op::BvAdd => tm.add(a[0], a[1]),
+        Op::BvSub => tm.sub(a[0], a[1]),
+        Op::BvMul => tm.mul(a[0], a[1]),
+        Op::BvUdiv => tm.udiv(a[0], a[1]),
+        Op::BvUrem => tm.urem(a[0], a[1]),
+        Op::BvSdiv => tm.sdiv(a[0], a[1]),
+        Op::BvSrem => tm.srem(a[0], a[1]),
+        Op::BvShl => tm.shl(a[0], a[1]),
+        Op::BvLshr => tm.lshr(a[0], a[1]),
+        Op::BvAshr => tm.ashr(a[0], a[1]),
+        Op::Concat => tm.concat(a[0], a[1]),
+        Op::Extract { hi, lo } => tm.extract(a[0], hi, lo),
+        Op::ZeroExt { .. } => {
+            let w = tm.width(t);
+            tm.zext(a[0], w)
+        }
+        Op::SignExt { .. } => {
+            let w = tm.width(t);
+            tm.sext(a[0], w)
+        }
+    }
+}
+
+/// `zext(zext(x)) → zext(x)` / `sext(sext(x)) → sext(x)`.
+fn collapse_extensions(tm: &mut TermManager, t: Term) -> Term {
+    match tm.op(t) {
+        Op::ZeroExt { .. } => {
+            let inner = tm.args(t)[0];
+            if matches!(tm.op(inner), Op::ZeroExt { .. }) {
+                let base = tm.args(inner)[0];
+                let w = tm.width(t);
+                return tm.zext(base, w);
+            }
+            t
+        }
+        Op::SignExt { .. } => {
+            let inner = tm.args(t)[0];
+            if matches!(tm.op(inner), Op::SignExt { .. }) {
+                let base = tm.args(inner)[0];
+                let w = tm.width(t);
+                return tm.sext(base, w);
+            }
+            t
+        }
+        _ => t,
+    }
+}
+
+/// `concat(x[h:m+1], x[m:l]) → x[h:l]` and `concat(0, x) → zext(x)`.
+fn rejoin_concat(tm: &mut TermManager, t: Term) -> Term {
+    if !matches!(tm.op(t), Op::Concat) {
+        return t;
+    }
+    let (h, l) = (tm.args(t)[0], tm.args(t)[1]);
+    if let (Op::Extract { hi: h1, lo: l1 }, Op::Extract { hi: h2, lo: l2 }) = (tm.op(h), tm.op(l)) {
+        let (src_h, src_l) = (tm.args(h)[0], tm.args(l)[0]);
+        if src_h == src_l && l1 == h2 + 1 {
+            return tm.extract(src_h, h1, l2);
+        }
+    }
+    if tm.as_const(h) == Some(0) {
+        let w = tm.width(t);
+        return tm.zext(l, w);
+    }
+    t
+}
+
+/// Replace a node the analysis pins to a constant with that constant.
+fn fold_by_analysis(tm: &mut TermManager, an: &mut Analysis, t: Term) -> Term {
+    if an.is_contradictory() {
+        return t;
+    }
+    match tm.sort(t) {
+        Sort::Bool => match an.verdict(tm, t) {
+            Some(b) => tm.bool_const(b),
+            None => t,
+        },
+        Sort::BitVec(w) => match an.forced_value(tm, t) {
+            Some(v) => tm.bv_const(v, w),
+            None => t,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_self_folds_to_zero() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let y = tm.var("y", 32);
+        let s = tm.add(x, y);
+        let t = tm.bv_xor(s, s);
+        let s = simplify(&mut tm, t);
+        assert_eq!(tm.as_const(s), Some(0));
+    }
+
+    #[test]
+    fn zext_chain_collapses() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let a = tm.zext(x, 16);
+        let b = tm.zext(a, 32);
+        let s = simplify(&mut tm, b);
+        assert!(matches!(tm.op(s), Op::ZeroExt { add: 24 }));
+        assert_eq!(tm.args(s)[0], x);
+    }
+
+    #[test]
+    fn sext_chain_collapses() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let a = tm.sext(x, 16);
+        let b = tm.sext(a, 32);
+        let s = simplify(&mut tm, b);
+        assert!(matches!(tm.op(s), Op::SignExt { add: 24 }));
+        assert_eq!(tm.args(s)[0], x);
+    }
+
+    #[test]
+    fn adjacent_extracts_rejoin() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let hi = tm.extract(x, 31, 16);
+        let lo = tm.extract(x, 15, 0);
+        let back = tm.concat(hi, lo);
+        assert_eq!(simplify(&mut tm, back), x);
+        let part_hi = tm.extract(x, 23, 8);
+        let part_lo = tm.extract(x, 7, 0);
+        let part = tm.concat(part_hi, part_lo);
+        let s = simplify(&mut tm, part);
+        assert!(matches!(tm.op(s), Op::Extract { hi: 23, lo: 0 }));
+    }
+
+    #[test]
+    fn zero_concat_becomes_zext() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let z = tm.bv_const(0, 24);
+        let c = tm.concat(z, x);
+        let s = simplify(&mut tm, c);
+        assert!(matches!(tm.op(s), Op::ZeroExt { add: 24 }));
+    }
+
+    #[test]
+    fn interval_folds_comparison() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let eight = tm.bv_const(8, 32);
+        let r = tm.urem(x, eight);
+        let sixteen = tm.bv_const(16, 32);
+        let lt = tm.ult(r, sixteen);
+        let s = simplify(&mut tm, lt);
+        assert_eq!(tm.as_bool_const(s), Some(true));
+    }
+
+    #[test]
+    fn assumptions_fold_reencountered_branches() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let y = tm.var("y", 32);
+        let le = tm.ule(x, y);
+        let mut an = Analysis::new();
+        an.assume(&tm, le);
+        // The flipped re-encounter ¬(x ≤ y) folds to false.
+        let flip = tm.not(le);
+        let s = simplify_under(&mut tm, &mut an, flip);
+        assert_eq!(tm.as_bool_const(s), Some(false));
+        // And so does the complement comparison y < x.
+        let gt = tm.ult(y, x);
+        let s2 = simplify_under(&mut tm, &mut an, gt);
+        assert_eq!(tm.as_bool_const(s2), Some(false));
+    }
+
+    #[test]
+    fn forced_singleton_becomes_constant() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let c = tm.bv_const(42, 8);
+        let eq = tm.eq(x, c);
+        let mut an = Analysis::new();
+        an.assume(&tm, eq);
+        let one = tm.bv_const(1, 8);
+        let sum = tm.add(x, one);
+        let s = simplify_under(&mut tm, &mut an, sum);
+        assert_eq!(tm.as_const(s), Some(43));
+    }
+
+    #[test]
+    fn ite_with_analysis_constant_condition() {
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 32);
+        let four = tm.bv_const(4, 32);
+        let r = tm.urem(x, four); // interval [0, 3]
+        let ten = tm.bv_const(10, 32);
+        let cond = tm.ult(r, ten); // statically true
+        let a = tm.var("a", 32);
+        let b = tm.var("b", 32);
+        let sel = tm.ite(cond, a, b);
+        assert_eq!(simplify(&mut tm, sel), a);
+    }
+}

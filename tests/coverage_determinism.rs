@@ -34,17 +34,19 @@ fn coverage_run(
     workers: usize,
     limit: Option<u64>,
 ) -> (Summary, Vec<PathRecord>, u64) {
-    coverage_run_configured(p, workers, limit, false)
+    coverage_run_configured(p, workers, limit, false, true)
 }
 
 /// Like [`coverage_run`], optionally with the prefix-keyed warm start —
 /// the pairing the cache is designed for: `CoverageGuided`'s subtree
-/// affinity keeps a worker's consecutive pops under shared prefixes.
+/// affinity keeps a worker's consecutive pops under shared prefixes —
+/// and with the static-analysis gate explicitly on or off.
 fn coverage_run_configured(
     p: &Program,
     workers: usize,
     limit: Option<u64>,
     warm: bool,
+    analysis: bool,
 ) -> (Summary, Vec<PathRecord>, u64) {
     let elf = p.build();
     let map = CoverageMap::shared_for(&elf);
@@ -54,6 +56,7 @@ fn coverage_run_configured(
         .binary(&elf)
         .workers(workers)
         .warm_start(warm)
+        .static_analysis(analysis)
         .shard_strategy(move |_| {
             Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
         })
@@ -82,10 +85,16 @@ fn dfs_run(p: &Program, workers: usize, limit: Option<u64>) -> (Summary, Vec<Pat
 }
 
 fn assert_summaries_equal(a: &Summary, b: &Summary, what: &str) {
+    assert_eq!(a.solver_checks, b.solver_checks, "{what}: solver checks");
+    assert_summaries_equal_modulo_checks(a, b, what);
+}
+
+/// Everything but `solver_checks` — the one field the static-analysis
+/// gate may change (it removes whole checks, never adds or alters them).
+fn assert_summaries_equal_modulo_checks(a: &Summary, b: &Summary, what: &str) {
     assert_eq!(a.paths, b.paths, "{what}: paths");
     assert_eq!(a.error_paths, b.error_paths, "{what}: error paths");
     assert_eq!(a.total_steps, b.total_steps, "{what}: total steps");
-    assert_eq!(a.solver_checks, b.solver_checks, "{what}: solver checks");
     assert_eq!(a.max_trail_len, b.max_trail_len, "{what}: max trail len");
     assert_eq!(a.truncated, b.truncated, "{what}: truncated");
 }
@@ -164,7 +173,7 @@ fn paths_to_full_coverage(p: &Program, strategy: SearchStrategy) -> u64 {
 fn check_warm_start(p: &Program, limit: u64) {
     let (ref_summary, ref_records) = dfs_run(p, 1, None);
     for workers in [1usize, 2, 4, 8] {
-        let (summary, records, covered) = coverage_run_configured(p, workers, None, true);
+        let (summary, records, covered) = coverage_run_configured(p, workers, None, true, true);
         let what = format!("{} warm coverage, {workers} workers", p.name);
         assert_eq!(summary.paths, p.expected_paths, "{what}: pinned count");
         assert_summaries_equal(&summary, &ref_summary, &what);
@@ -173,7 +182,7 @@ fn check_warm_start(p: &Program, limit: u64) {
     }
     let (cut_summary, cut_records, _) = coverage_run(p, 1, Some(limit));
     for workers in [1usize, 4] {
-        let (summary, records, _) = coverage_run_configured(p, workers, Some(limit), true);
+        let (summary, records, _) = coverage_run_configured(p, workers, Some(limit), true, true);
         let what = format!("{} warm truncated coverage, {workers} workers", p.name);
         assert_summaries_equal(&summary, &cut_summary, &what);
         assert_eq!(records, cut_records, "{what}: canonical prefix");
@@ -194,6 +203,56 @@ fn clif_parser_warm_coverage_is_invisible_in_results() {
 #[ignore = "heavy: run in release (CI runs with --include-ignored)"]
 fn uri_parser_warm_coverage_is_invisible_in_results() {
     check_warm_start(&programs::URI_PARSER, 300);
+}
+
+/// The warm × coverage × analysis stack: all three features on at once
+/// must still merge records byte-identical to the plain depth-first
+/// reference with every feature off, at every worker count, full and
+/// truncated. (`solver_checks` is compared modulo the gate's
+/// eliminations — the gate-off reference counts the screened queries.)
+fn check_warm_coverage_analysis(p: &Program, limit: u64) {
+    let (ref_summary, ref_records, _) = coverage_run_configured(p, 1, None, false, false);
+    assert_eq!(ref_summary.paths, p.expected_paths, "{}: reference", p.name);
+    for workers in [1usize, 2, 4, 8] {
+        let (summary, records, covered) = coverage_run_configured(p, workers, None, true, true);
+        let what = format!("{} warm+coverage+analysis, {workers} workers", p.name);
+        assert_summaries_equal_modulo_checks(&summary, &ref_summary, &what);
+        assert!(
+            summary.solver_checks <= ref_summary.solver_checks,
+            "{what}: the gate may only remove checks"
+        );
+        assert_eq!(records, ref_records, "{what}: byte-identical to all-off");
+        assert!(covered > 0, "{what}: map was fed");
+    }
+    let (cut_summary, cut_records, _) = coverage_run_configured(p, 1, Some(limit), false, false);
+    for workers in [1usize, 4] {
+        let (summary, records, _) = coverage_run_configured(p, workers, Some(limit), true, true);
+        let what = format!(
+            "{} warm+coverage+analysis truncated, {workers} workers",
+            p.name
+        );
+        assert_summaries_equal_modulo_checks(&summary, &cut_summary, &what);
+        assert_eq!(records, cut_records, "{what}: canonical prefix");
+    }
+}
+
+#[test]
+fn clif_parser_warm_coverage_analysis_is_invisible_in_results() {
+    check_warm_coverage_analysis(&programs::CLIF_PARSER, 17);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn bubble_sort_warm_coverage_analysis_is_invisible_in_results() {
+    // The program where the gate actually eliminates queries, under the
+    // full feature stack.
+    check_warm_coverage_analysis(&programs::BUBBLE_SORT, 100);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_warm_coverage_analysis_is_invisible_in_results() {
+    check_warm_coverage_analysis(&programs::URI_PARSER, 300);
 }
 
 #[test]

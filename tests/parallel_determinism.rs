@@ -17,11 +17,23 @@
 //! invisible here too: a warm run's records are pinned byte-identical to
 //! the cache-off run — the cache may only change wall time, never models.
 //!
+//! The word-level static-analysis gate
+//! ([`Session`]`Builder::static_analysis`) carries the same contract with
+//! one calibrated exception: it *removes* whole solver checks (so
+//! `solver_checks` shrinks by exactly the eliminated count, which the
+//! suite asserts via the observer's `sa_queries_eliminated`), but the
+//! merged records — witness bytes included — stay byte-identical to the
+//! gate-off run at every worker count, warm or cold.
+//!
 //! The three big programs run under `#[ignore]` so the debug-mode tier-1
 //! suite stays fast; CI runs them in release with `--include-ignored`.
 
+use std::sync::{Arc, Mutex};
+
 use binsym_repro::bench::programs::{self, Program};
-use binsym_repro::binsym::{PathRecord, Prescription, RandomRestart, Session, Summary, TrailEntry};
+use binsym_repro::binsym::{
+    CountingObserver, PathRecord, Prescription, RandomRestart, Session, Summary, TrailEntry,
+};
 use binsym_repro::isa::Spec;
 
 /// Branch-decision fingerprints of a sequential exploration, in discovery
@@ -91,12 +103,96 @@ fn parallel_run_configured(
 }
 
 fn assert_summaries_equal(a: &Summary, b: &Summary, what: &str) {
+    assert_eq!(a.solver_checks, b.solver_checks, "{what}: solver checks");
+    assert_summaries_equal_modulo_checks(a, b, what);
+}
+
+/// Everything [`assert_summaries_equal`] pins except `solver_checks` —
+/// the one summary field the static-analysis gate is *allowed* to change
+/// (downward, by exactly the eliminated count).
+fn assert_summaries_equal_modulo_checks(a: &Summary, b: &Summary, what: &str) {
     assert_eq!(a.paths, b.paths, "{what}: paths");
     assert_eq!(a.error_paths, b.error_paths, "{what}: error paths");
     assert_eq!(a.total_steps, b.total_steps, "{what}: total steps");
-    assert_eq!(a.solver_checks, b.solver_checks, "{what}: solver checks");
     assert_eq!(a.max_trail_len, b.max_trail_len, "{what}: max trail len");
     assert_eq!(a.truncated, b.truncated, "{what}: truncated");
+}
+
+/// One parallel run with the static-analysis gate explicitly set, plus a
+/// shared counting observer so the gate's elimination counters are
+/// visible to the accounting assertions.
+fn analysis_run(
+    p: &Program,
+    workers: usize,
+    limit: Option<u64>,
+    warm: bool,
+    analysis: bool,
+) -> (Summary, Vec<PathRecord>, CountingObserver) {
+    let elf = p.build();
+    let counters = Arc::new(Mutex::new(CountingObserver::new()));
+    let handle = Arc::clone(&counters);
+    let mut builder = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers)
+        .warm_start(warm)
+        .static_analysis(analysis)
+        .observer_factory(move |_| Box::new(Arc::clone(&handle)));
+    if let Some(limit) = limit {
+        builder = builder.limit(limit);
+    }
+    let mut session = builder.build_parallel().expect("builds");
+    let summary = session.run_all().expect("explores");
+    let counts = *counters.lock().expect("counters");
+    (summary, session.records().to_vec(), counts)
+}
+
+/// The static-analysis contract: gate on vs. off, cold and warm, at every
+/// worker count — merged records byte-identical, and every solver check
+/// the gated run saves accounted for one-to-one by `sa_queries_eliminated`.
+fn check_static_analysis(p: &Program, limit: Option<u64>) {
+    let (off_summary, off_records, off_counts) = analysis_run(p, 1, limit, false, false);
+    if limit.is_none() {
+        assert_eq!(off_summary.paths, p.expected_paths, "{}: gate off", p.name);
+    }
+    assert_eq!(
+        off_counts.sa_queries_eliminated, 0,
+        "{}: a disabled gate must not screen anything",
+        p.name
+    );
+    for workers in [1usize, 2, 4, 8] {
+        for warm in [false, true] {
+            let (summary, records, counts) = analysis_run(p, workers, limit, warm, true);
+            let what = format!(
+                "{} gate on{}, {workers} workers",
+                p.name,
+                if warm { " + warm" } else { "" }
+            );
+            assert_eq!(records, off_records, "{what}: byte-identical to gate-off");
+            assert_summaries_equal_modulo_checks(&summary, &off_summary, &what);
+            if limit.is_none() {
+                // Full run: every attempt merges, so the observer's
+                // elimination counter explains the check delta exactly.
+                assert_eq!(
+                    summary.solver_checks + counts.sa_queries_eliminated,
+                    off_summary.solver_checks,
+                    "{what}: eliminated queries must explain the full check delta"
+                );
+            } else {
+                // Truncated run: merged `solver_checks` stops at the
+                // canonical cut, but the observer also sees racer
+                // attempts beyond it — only the inequalities are pinned.
+                assert!(
+                    summary.solver_checks <= off_summary.solver_checks,
+                    "{what}: the gate may only remove checks"
+                );
+                assert!(
+                    counts.sa_queries_eliminated
+                        >= off_summary.solver_checks - summary.solver_checks,
+                    "{what}: eliminations must cover the in-cut check delta"
+                );
+            }
+        }
+    }
 }
 
 /// The full determinism contract for one benchmark program.
@@ -247,6 +343,31 @@ fn bubble_sort_warm_start_is_invisible_in_results() {
 #[ignore = "heavy: run in release (CI runs with --include-ignored)"]
 fn uri_parser_warm_start_is_invisible_in_results() {
     check_warm_start(&programs::URI_PARSER, 300);
+}
+
+#[test]
+fn clif_parser_static_analysis_is_invisible_in_results() {
+    check_static_analysis(&programs::CLIF_PARSER, None);
+}
+
+#[test]
+fn bubble_sort_truncated_static_analysis_is_invisible_in_results() {
+    // Bubble sort is the Table I program with infeasible flips — the one
+    // where the gate actually eliminates queries — so it is the essential
+    // on-vs-off pin; truncated so the debug-mode suite stays fast.
+    check_static_analysis(&programs::BUBBLE_SORT, Some(120));
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn bubble_sort_static_analysis_is_invisible_in_results() {
+    check_static_analysis(&programs::BUBBLE_SORT, None);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_static_analysis_is_invisible_in_results() {
+    check_static_analysis(&programs::URI_PARSER, None);
 }
 
 #[test]

@@ -12,14 +12,20 @@
 //! scaling series (default 4), `--strategy dfs|bfs|coverage` to swap
 //! the path-selection policy (path counts must not change), and
 //! `--json PATH` to record the scaling series (cold and warm-start
-//! datapoints per worker count) machine-readably.
+//! datapoints per worker count) machine-readably. `--metrics` adds
+//! per-phase seconds and query-latency percentiles to each scaling row;
+//! `--trace PATH` records the whole bench into one Chrome trace-event
+//! file for `ui.perfetto.dev`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use binsym::{CoverageMap, CoverageObserver, Session, SessionBuilder};
-use binsym_bench::cli::{write_json, BenchOpts, Json};
-use binsym_bench::{run_engine_with, Engine, Program, SearchStrategy};
+use binsym::{
+    ChromeTraceSink, CoverageMap, CoverageObserver, MetricsRegistry, Session, SessionBuilder,
+    TraceSink,
+};
+use binsym_bench::cli::{metrics_json, write_json, BenchOpts, Json};
+use binsym_bench::{run_engine_instrumented, Engine, Program, SearchStrategy};
 use binsym_isa::Spec;
 
 fn sample<R>(mut run: impl FnMut() -> R) -> (Duration, usize) {
@@ -43,9 +49,17 @@ fn plain_builder(
     workers: usize,
     strategy: SearchStrategy,
     warm: bool,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    trace: Option<&Arc<dyn TraceSink>>,
 ) -> SessionBuilder {
     let map = (strategy == SearchStrategy::Coverage).then(|| CoverageMap::shared_for(elf));
-    let builder = Session::builder(Spec::rv32im()).binary(elf);
+    let mut builder = Session::builder(Spec::rv32im()).binary(elf);
+    if let Some(registry) = metrics {
+        builder = builder.metrics(Arc::clone(registry));
+    }
+    if let Some(sink) = trace {
+        builder = builder.trace(Arc::clone(sink));
+    }
     if workers == 0 {
         let builder = strategy.install(builder, map.as_ref());
         match map {
@@ -72,6 +86,11 @@ fn main() {
     let bench_all = std::env::var_os("BENCH_ALL").is_some();
     let scaling_workers = opts.workers.unwrap_or(4);
     let strategy = SearchStrategy::from_opts(&opts);
+    let sink = opts
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(ChromeTraceSink::new()));
+    let trace = sink.as_ref().map(|s| Arc::clone(s) as Arc<dyn TraceSink>);
 
     let programs: Vec<Program> = binsym_bench::all_programs()
         .into_iter()
@@ -98,7 +117,8 @@ fn main() {
                 continue;
             }
             let (mean, samples) = sample(|| {
-                let r = run_engine_with(engine, &elf, 0, strategy).expect("explores");
+                let r = run_engine_instrumented(engine, &elf, 0, strategy, false, trace.as_ref())
+                    .expect("explores");
                 assert_eq!(r.summary.paths, program.expected_paths);
             });
             println!(
@@ -129,35 +149,59 @@ fn main() {
     for program in &scaling {
         println!("{}:", program.name);
         let elf = program.build();
+        // One registry per datapoint, accumulating across the samples —
+        // `metrics_json` averages back to per-exploration values.
+        let seq_registry = opts.metrics.then(|| Arc::new(MetricsRegistry::new(1)));
         let (seq_mean, seq_samples) = sample(|| {
-            let s = plain_builder(&elf, 0, strategy, false)
-                .build()
-                .expect("builds")
-                .run_all()
-                .expect("explores");
+            let s = plain_builder(
+                &elf,
+                0,
+                strategy,
+                false,
+                seq_registry.as_ref(),
+                trace.as_ref(),
+            )
+            .build()
+            .expect("builds")
+            .run_all()
+            .expect("explores");
             assert_eq!(s.paths, program.expected_paths);
         });
         println!(
             "  {:<14} {seq_mean:>12.2?}   ({seq_samples} sample(s))",
             "sequential"
         );
-        json_rows.push(Json::O(vec![
+        let mut row = vec![
             ("benchmark", Json::s(program.name)),
             ("strategy", Json::s(strategy.name())),
             ("workers", Json::U(0)),
             ("warm_start", Json::B(false)),
             ("mean_seconds", Json::F(seq_mean.as_secs_f64())),
             ("samples", Json::U(seq_samples as u64)),
-        ]));
+        ];
+        if let Some(registry) = &seq_registry {
+            row.push(("metrics", metrics_json(&registry.report(), seq_samples)));
+        }
+        json_rows.push(Json::O(row));
         let mut one_worker_mean = None;
         for workers in [1, scaling_workers] {
             for warm in [false, true] {
+                let registry = opts
+                    .metrics
+                    .then(|| Arc::new(MetricsRegistry::new(workers)));
                 let (mean, samples) = sample(|| {
-                    let s = plain_builder(&elf, workers, strategy, warm)
-                        .build_parallel()
-                        .expect("builds")
-                        .run_all()
-                        .expect("explores");
+                    let s = plain_builder(
+                        &elf,
+                        workers,
+                        strategy,
+                        warm,
+                        registry.as_ref(),
+                        trace.as_ref(),
+                    )
+                    .build_parallel()
+                    .expect("builds")
+                    .run_all()
+                    .expect("explores");
                     assert_eq!(s.paths, program.expected_paths);
                 });
                 let base = *one_worker_mean.get_or_insert(mean.as_secs_f64());
@@ -166,14 +210,18 @@ fn main() {
                     format!("{workers} worker(s){}", if warm { " warm" } else { "" }),
                     base / mean.as_secs_f64().max(1e-9),
                 );
-                json_rows.push(Json::O(vec![
+                let mut row = vec![
                     ("benchmark", Json::s(program.name)),
                     ("strategy", Json::s(strategy.name())),
                     ("workers", Json::U(workers as u64)),
                     ("warm_start", Json::B(warm)),
                     ("mean_seconds", Json::F(mean.as_secs_f64())),
                     ("samples", Json::U(samples as u64)),
-                ]));
+                ];
+                if let Some(registry) = &registry {
+                    row.push(("metrics", metrics_json(&registry.report(), samples)));
+                }
+                json_rows.push(Json::O(row));
             }
             if workers == 1 && scaling_workers == 1 {
                 break;
@@ -187,5 +235,14 @@ fn main() {
             ("scaling", Json::A(json_rows)),
         ]);
         write_json(path, &doc);
+    }
+    if let (Some(path), Some(sink)) = (&opts.trace, &sink) {
+        sink.write_to(path)
+            .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+        println!(
+            "trace: {} events written to {} (open in ui.perfetto.dev)",
+            sink.len(),
+            path.display()
+        );
     }
 }

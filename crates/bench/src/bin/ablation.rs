@@ -33,8 +33,14 @@
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin ablation \
-//!     [--quick] [--smoke] [--workers N] [--runs N] [--json PATH]
+//!     [--quick] [--smoke] [--workers N] [--runs N] [--json PATH] \
+//!     [--metrics] [--trace PATH]
 //! ```
+//!
+//! `--metrics` adds per-phase seconds (execute vs solve vs gate, averaged
+//! over the rounds like the wall times) and query-latency percentiles to
+//! the timed ablations' JSON rows; `--trace PATH` records the campaign
+//! into one Chrome trace-event file for `ui.perfetto.dev`.
 //!
 //! `--runs N` averages the timed ablations (3 and 5) over N interleaved
 //! rounds (default 1), damping scheduler noise on shared hardware; the
@@ -52,8 +58,12 @@ use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use binsym::{BitblastBackend, CountingObserver, Session};
-use binsym_bench::cli::{add_counters, counters_per_round, write_json, BenchOpts, Json};
+use binsym::{
+    BitblastBackend, ChromeTraceSink, CountingObserver, MetricsRegistry, Session, TraceSink,
+};
+use binsym_bench::cli::{
+    add_counters, counters_per_round, metrics_json, write_json, BenchOpts, Json,
+};
 use binsym_bench::{all_programs, coverage_trajectory, programs, SearchStrategy};
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
@@ -67,11 +77,23 @@ fn main() {
     };
     let progs = &progs[..];
     let mut json_rows = Vec::new();
+    let sink = opts
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(ChromeTraceSink::new()));
+    let trace = sink.as_ref().map(|s| Arc::clone(s) as Arc<dyn TraceSink>);
 
     if opts.smoke {
         let max_workers = opts.workers.unwrap_or(2);
         let runs = opts.runs.unwrap_or(1);
-        ablation3(progs, max_workers, runs, &mut json_rows);
+        ablation3(
+            progs,
+            max_workers,
+            runs,
+            opts.metrics,
+            trace.as_ref(),
+            &mut json_rows,
+        );
         // Bubble sort is the Table I program whose flip set contains
         // infeasible branches, so it is the one that shows a nonzero
         // queries-eliminated count in CI.
@@ -79,6 +101,8 @@ fn main() {
             &[programs::CLIF_PARSER, programs::BUBBLE_SORT],
             max_workers,
             runs,
+            opts.metrics,
+            trace.as_ref(),
             &mut json_rows,
         );
         if let Some(path) = &opts.json {
@@ -90,6 +114,7 @@ fn main() {
             ]);
             write_json(path, &doc);
         }
+        write_trace(&opts, &sink);
         return;
     }
 
@@ -183,7 +208,14 @@ fn main() {
     }
 
     let max_workers = opts.workers.unwrap_or(4);
-    ablation3(progs, max_workers, opts.runs.unwrap_or(1), &mut json_rows);
+    ablation3(
+        progs,
+        max_workers,
+        opts.runs.unwrap_or(1),
+        opts.metrics,
+        trace.as_ref(),
+        &mut json_rows,
+    );
 
     println!("\nABLATION 4 — paths to full PC coverage (search-strategy comparison)\n");
     println!(
@@ -233,6 +265,8 @@ fn main() {
         &a5_progs,
         max_workers,
         opts.runs.unwrap_or(1),
+        opts.metrics,
+        trace.as_ref(),
         &mut json_rows,
     );
 
@@ -243,6 +277,20 @@ fn main() {
             ("rows", Json::A(json_rows)),
         ]);
         write_json(path, &doc);
+    }
+    write_trace(&opts, &sink);
+}
+
+/// Writes the shared campaign trace when `--trace PATH` was given.
+fn write_trace(opts: &BenchOpts, sink: &Option<Arc<ChromeTraceSink>>) {
+    if let (Some(path), Some(sink)) = (&opts.trace, sink) {
+        sink.write_to(path)
+            .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+        println!(
+            "trace: {} events written to {} (open in ui.perfetto.dev)",
+            sink.len(),
+            path.display()
+        );
     }
 }
 
@@ -256,6 +304,8 @@ fn ablation3(
     progs: &[binsym_bench::Program],
     max_workers: usize,
     runs: usize,
+    metrics: bool,
+    trace: Option<&Arc<dyn TraceSink>>,
     json_rows: &mut Vec<Json>,
 ) {
     println!("\nABLATION 3 — worker scaling and warm start (replay-based sharded exploration)\n");
@@ -279,6 +329,10 @@ fn ablation3(
         while workers <= max_workers {
             let mut seconds = [0.0f64; 2];
             let mut tallies = [CountingObserver::new(); 2];
+            // One registry per side, accumulating across all rounds —
+            // `metrics_json` averages back to per-round values.
+            let registries: [Option<Arc<MetricsRegistry>>; 2] =
+                std::array::from_fn(|_| metrics.then(|| Arc::new(MetricsRegistry::new(workers))));
             // Interleave the cold/warm rounds so slow machine drift hits
             // both sides equally.
             for _ in 0..runs.max(1) {
@@ -288,13 +342,18 @@ fn ablation3(
                     // measures the cache alone, not observer overhead.
                     let counters = Arc::new(Mutex::new(CountingObserver::new()));
                     let handle = Arc::clone(&counters);
-                    let mut par = Session::builder(Spec::rv32im())
+                    let mut builder = Session::builder(Spec::rv32im())
                         .binary(&elf)
                         .workers(workers)
                         .warm_start(warm)
-                        .observer_factory(move |_| Box::new(Arc::clone(&handle)))
-                        .build_parallel()
-                        .expect("builds");
+                        .observer_factory(move |_| Box::new(Arc::clone(&handle)));
+                    if let Some(registry) = &registries[slot] {
+                        builder = builder.metrics(Arc::clone(registry));
+                    }
+                    if let Some(sink) = trace {
+                        builder = builder.trace(Arc::clone(sink));
+                    }
+                    let mut par = builder.build_parallel().expect("builds");
                     let start = Instant::now();
                     let s = par.run_all().expect("explores");
                     assert_eq!(s.paths, p.expected_paths, "sharding must not change paths");
@@ -332,6 +391,9 @@ fn ablation3(
                         ("warm_prefix_blasted", Json::U(c.warm_prefix_blasted)),
                     ]);
                 }
+                if let Some(registry) = &registries[slot] {
+                    row.push(("metrics", metrics_json(&registry.report(), runs.max(1))));
+                }
                 json_rows.push(Json::O(row));
             }
             cells.push(format!(
@@ -357,6 +419,8 @@ fn ablation5(
     progs: &[binsym_bench::Program],
     workers: usize,
     runs: usize,
+    metrics: bool,
+    trace: Option<&Arc<dyn TraceSink>>,
     json_rows: &mut Vec<Json>,
 ) {
     println!(
@@ -371,19 +435,29 @@ fn ablation5(
         let mut seconds = [0.0f64; 2];
         let mut tallies = [CountingObserver::new(); 2];
         let mut checks = [0u64; 2];
+        // One registry per side, accumulating across all rounds —
+        // `metrics_json` averages back to per-round values (the gate's
+        // win shows up as solve seconds moving into gate seconds).
+        let registries: [Option<Arc<MetricsRegistry>>; 2] =
+            std::array::from_fn(|_| metrics.then(|| Arc::new(MetricsRegistry::new(workers))));
         // Interleave the off/on rounds so slow machine drift hits both
         // sides equally.
         for _ in 0..runs.max(1) {
             for (slot, analysis) in [false, true].into_iter().enumerate() {
                 let counters = Arc::new(Mutex::new(CountingObserver::new()));
                 let handle = Arc::clone(&counters);
-                let mut par = Session::builder(Spec::rv32im())
+                let mut builder = Session::builder(Spec::rv32im())
                     .binary(&elf)
                     .workers(workers)
                     .static_analysis(analysis)
-                    .observer_factory(move |_| Box::new(Arc::clone(&handle)))
-                    .build_parallel()
-                    .expect("builds");
+                    .observer_factory(move |_| Box::new(Arc::clone(&handle)));
+                if let Some(registry) = &registries[slot] {
+                    builder = builder.metrics(Arc::clone(registry));
+                }
+                if let Some(sink) = trace {
+                    builder = builder.trace(Arc::clone(sink));
+                }
+                let mut par = builder.build_parallel().expect("builds");
                 let start = Instant::now();
                 let s = par.run_all().expect("explores");
                 assert_eq!(s.paths, p.expected_paths, "the gate must not change paths");
@@ -431,6 +505,9 @@ fn ablation5(
                     ("sa_queries_eliminated", Json::U(c.sa_queries_eliminated)),
                     ("sa_facts", Json::U(c.sa_facts)),
                 ]);
+            }
+            if let Some(registry) = &registries[slot] {
+                row.push(("metrics", metrics_json(&registry.report(), runs)));
             }
             json_rows.push(Json::O(row));
         }

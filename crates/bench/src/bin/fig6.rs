@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p binsym-bench --bin fig6 \
 //!     [--runs N] [--quick] [--workers N] [--strategy dfs|bfs|coverage] \
-//!     [--json PATH]
+//!     [--json PATH] [--metrics] [--trace PATH]
 //! ```
 //!
 //! The paper reports 5 runs on a Xeon Gold 6240 with the original tools;
@@ -19,11 +19,18 @@
 //! (full exploration is strategy-independent; coverage runs also report
 //! covered text PCs). `--json PATH` writes the machine-readable summary
 //! tracked in `BENCH_*.json`.
+//!
+//! `--metrics` adds per-row phase seconds (execute vs solve vs gate,
+//! averaged over the `--runs` rounds) and query-latency percentiles;
+//! `--trace PATH` records the whole campaign into one Chrome trace-event
+//! file for `ui.perfetto.dev`. Both are wall-time-only.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use binsym_bench::cli::{write_json, BenchOpts, Json};
-use binsym_bench::{all_programs, run_engine_with, Engine, SearchStrategy};
+use binsym::{ChromeTraceSink, MetricsReport, TraceSink};
+use binsym_bench::cli::{metrics_json, write_json, BenchOpts, Json};
+use binsym_bench::{all_programs, run_engine_instrumented, Engine, SearchStrategy};
 
 fn mean(durations: &[Duration]) -> Duration {
     let total: Duration = durations.iter().sum();
@@ -48,6 +55,11 @@ fn main() {
     let workers = opts.workers_or_sequential();
     let strategy = SearchStrategy::from_opts(&opts);
     let runs: usize = opts.runs.unwrap_or(if opts.quick { 1 } else { 5 });
+    let sink = opts
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(ChromeTraceSink::new()));
+    let trace = sink.as_ref().map(|s| Arc::clone(s) as Arc<dyn TraceSink>);
 
     println!("FIG. 6 — Total execution time (arithmetic mean over {runs} run(s))");
     if workers > 0 {
@@ -73,8 +85,17 @@ fn main() {
         for engine in Engine::FIG6 {
             let mut samples = Vec::with_capacity(runs);
             let mut covered = None;
+            let mut merged = MetricsReport::empty();
             for _ in 0..runs {
-                let r = run_engine_with(engine, &elf, workers, strategy).unwrap_or_else(|e| {
+                let r = run_engine_instrumented(
+                    engine,
+                    &elf,
+                    workers,
+                    strategy,
+                    opts.metrics,
+                    trace.as_ref(),
+                )
+                .unwrap_or_else(|e| {
                     panic!("{} on {}: {e}", engine.name(), p.name);
                 });
                 assert_eq!(
@@ -85,6 +106,9 @@ fn main() {
                     p.name
                 );
                 covered = r.covered_pcs;
+                if let Some(report) = &r.metrics {
+                    merged.merge(report);
+                }
                 samples.push(r.duration);
             }
             let m = mean(&samples);
@@ -101,6 +125,10 @@ fn main() {
             if let Some((covered, tracked)) = covered {
                 row.push(("covered_pcs", Json::U(covered)));
                 row.push(("tracked_pcs", Json::U(tracked)));
+            }
+            if opts.metrics {
+                // Averaged back to one round, like mean_seconds.
+                row.push(("metrics", metrics_json(&merged, runs)));
             }
             json_rows.push(Json::O(row));
             means.push(m);
@@ -133,6 +161,15 @@ fn main() {
             ("rows", Json::A(json_rows)),
         ]);
         write_json(path, &doc);
+    }
+    if let (Some(path), Some(sink)) = (&opts.trace, &sink) {
+        sink.write_to(path)
+            .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+        println!(
+            "trace: {} events written to {} (open in ui.perfetto.dev)",
+            sink.len(),
+            path.display()
+        );
     }
 }
 

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin table1 \
-//!     [--quick] [--workers N] [--strategy dfs|bfs|coverage] [--json PATH]
+//!     [--quick] [--workers N] [--strategy dfs|bfs|coverage] [--json PATH] \
+//!     [--metrics] [--trace PATH]
 //! ```
 //!
 //! Engines: angr (with the five documented lifter bugs), BINSEC, SymEx-VP,
@@ -19,16 +20,31 @@
 //! path set, only the discovery order differs (coverage runs additionally
 //! report covered text PCs). `--json PATH` writes a machine-readable
 //! summary for the perf trajectory tracked in `BENCH_*.json`.
+//!
+//! `--metrics` collects per-phase wall time and solver-query latency
+//! percentiles into each JSON row; `--trace PATH` records every run of the
+//! campaign into one Chrome trace-event file, one track per worker, for
+//! `ui.perfetto.dev`. Both are wall-time-only: path counts and records are
+//! byte-identical with and without them (pinned in the determinism suites).
 
+use std::sync::Arc;
 use std::time::Instant;
 
-use binsym_bench::cli::{summary_json, write_json, BenchOpts, Json};
-use binsym_bench::{all_programs, run_engine_with, Engine, SearchStrategy};
+use binsym::{ChromeTraceSink, TraceSink};
+use binsym_bench::cli::{metrics_json, summary_json, write_json, BenchOpts, Json};
+use binsym_bench::{all_programs, run_engine_instrumented, Engine, SearchStrategy};
 
 fn main() {
     let opts = BenchOpts::from_env();
     let workers = opts.workers_or_sequential();
     let strategy = SearchStrategy::from_opts(&opts);
+    // One sink for the whole campaign: every engine × benchmark run lands
+    // in a single Perfetto-openable file, timestamps from one epoch.
+    let sink = opts
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(ChromeTraceSink::new()));
+    let trace = sink.as_ref().map(|s| Arc::clone(s) as Arc<dyn TraceSink>);
     println!("TABLE I — Amount of execution paths found by different SE engines");
     if workers > 0 {
         println!("(sharded exploration: {workers} workers per engine)");
@@ -52,7 +68,15 @@ fn main() {
         let mut cells = Vec::new();
         let mut reference: Option<u64> = None;
         for engine in Engine::TABLE1 {
-            let r = run_engine_with(engine, &elf, workers, strategy).unwrap_or_else(|e| {
+            let r = run_engine_instrumented(
+                engine,
+                &elf,
+                workers,
+                strategy,
+                opts.metrics,
+                trace.as_ref(),
+            )
+            .unwrap_or_else(|e| {
                 panic!("{} on {}: {e}", engine.name(), p.name);
             });
             let paths = r.summary.paths;
@@ -74,6 +98,9 @@ fn main() {
             if let Some((covered, tracked)) = r.covered_pcs {
                 row.push(("covered_pcs", Json::U(covered)));
                 row.push(("tracked_pcs", Json::U(tracked)));
+            }
+            if let Some(report) = &r.metrics {
+                row.push(("metrics", metrics_json(report, 1)));
             }
             json_rows.push(Json::O(row));
             cells.push(paths);
@@ -105,5 +132,14 @@ fn main() {
             ("rows", Json::A(json_rows)),
         ]);
         write_json(path, &doc);
+    }
+    if let (Some(path), Some(sink)) = (&opts.trace, &sink) {
+        sink.write_to(path)
+            .unwrap_or_else(|e| panic!("writing trace to {}: {e}", path.display()));
+        println!(
+            "trace: {} events written to {} (open in ui.perfetto.dev)",
+            sink.len(),
+            path.display()
+        );
     }
 }

@@ -24,6 +24,12 @@ pub struct BenchOpts {
     pub smoke: bool,
     /// Repetitions for timing harnesses (`--runs N`).
     pub runs: Option<usize>,
+    /// Where to write a Chrome-trace-event file of the run
+    /// (`--trace PATH`), openable in `ui.perfetto.dev`.
+    pub trace: Option<PathBuf>,
+    /// Collect phase-timing metrics and include them in the report
+    /// (`--metrics`).
+    pub metrics: bool,
 }
 
 impl BenchOpts {
@@ -73,6 +79,8 @@ impl BenchOpts {
             quick: args.iter().any(|a| a == "--quick"),
             smoke: args.iter().any(|a| a == "--smoke"),
             runs: value_of("--runs").map(|s| count("--runs", s)),
+            trace: value_of("--trace").map(PathBuf::from),
+            metrics: args.iter().any(|a| a == "--metrics"),
         }
     }
 
@@ -86,6 +94,8 @@ impl BenchOpts {
 /// the bench summaries only need objects/arrays of scalars.
 #[derive(Debug, Clone)]
 pub enum Json {
+    /// The null value.
+    Null,
     /// A string (escaped on render).
     S(String),
     /// An unsigned integer.
@@ -115,6 +125,7 @@ impl Json {
 
     fn render_into(&self, out: &mut String) {
         match self {
+            Json::Null => out.push_str("null"),
             Json::S(s) => {
                 out.push('"');
                 for c in s.chars() {
@@ -236,6 +247,343 @@ pub fn summary_json(summary: &binsym::Summary, seconds: f64) -> Json {
         ("truncated", Json::B(summary.truncated)),
         ("seconds", Json::F(seconds)),
     ])
+}
+
+/// Renders a [`binsym::MetricsReport`] accumulated over `runs` rounds as a
+/// JSON object: per-phase wall seconds (averaged back to one round, like
+/// the timings), per-round path/query counts (deterministic across rounds,
+/// so the division is exact), and the p50/p90/p99 solver-query latency
+/// percentiles over the union histogram of all rounds.
+pub fn metrics_json(report: &binsym::MetricsReport, runs: usize) -> Json {
+    let n = runs.max(1) as u64;
+    let phases: Vec<(&'static str, Json)> = binsym::Phase::ALL
+        .iter()
+        .map(|&p| (p.name(), Json::F(report.phase_seconds(p) / n as f64)))
+        .collect();
+    let latency = report.query_latency();
+    Json::O(vec![
+        ("phase_seconds", Json::O(phases)),
+        ("paths", Json::U(report.paths / n)),
+        ("queries", Json::U(report.queries / n)),
+        (
+            "query_latency",
+            Json::O(vec![
+                ("p50_seconds", Json::F(latency.percentile(0.50))),
+                ("p90_seconds", Json::F(latency.percentile(0.90))),
+                ("p99_seconds", Json::F(latency.percentile(0.99))),
+                ("count", Json::U(latency.total() / n)),
+            ]),
+        ),
+    ])
+}
+
+/// A parsed JSON value — the reading counterpart of the [`Json`] writer
+/// (whose object keys are `&'static str` and thus cannot hold parsed
+/// input). Used by the `trace_check` bin to validate trace files without
+/// serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`; trace timestamps fit exactly).
+    Num(f64),
+    /// A string, with escapes decoded.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, keys in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Parses one complete JSON document (trailing whitespace allowed).
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first syntax error.
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` on non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array items, when this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(JsonValue::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            std::str::from_utf8(&bytes[start..*pos])
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .map(JsonValue::Num)
+                .ok_or_else(|| format!("invalid token at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input is a &str, so byte
+                // boundaries are valid).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xc0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).expect("valid utf8"));
+            }
+        }
+    }
+}
+
+/// Shape summary of a validated trace file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceShape {
+    /// Span-pair and instant events (metadata excluded).
+    pub events: usize,
+    /// Distinct tracks (`tid`s) carrying at least one event.
+    pub tracks: usize,
+}
+
+/// Validates a trace file produced by `--trace` (the Chrome trace-event
+/// document of `binsym::ChromeTraceSink`) or by `binsym::JsonlTraceSink`
+/// (one event object per line): every event parses, every `B` has a
+/// matching same-name `E` on its track, timestamps are monotone per track,
+/// and at least one track carries at least one event.
+///
+/// # Errors
+/// Returns a description of the first schema violation.
+pub fn validate_trace(text: &str) -> Result<TraceShape, String> {
+    let events: Vec<JsonValue> = match JsonValue::parse(text) {
+        Ok(doc) => doc
+            .get("traceEvents")
+            .ok_or("document has no traceEvents array")?
+            .as_array()
+            .ok_or("traceEvents is not an array")?
+            .to_vec(),
+        // Not one JSON document: treat as JSONL, one event per line.
+        Err(_) => text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|line| JsonValue::parse(line).map_err(|e| format!("unparseable JSONL line: {e}")))
+            .collect::<Result<_, _>>()?,
+    };
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts: std::collections::BTreeMap<u64, f64> = std::collections::BTreeMap::new();
+    let mut counted = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i} has no ph"))?;
+        if ph == "M" {
+            continue; // metadata carries no timestamp/track semantics
+        }
+        let name = ev
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("event {i} has no name"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i} has no tid"))? as u64;
+        let ts = ev
+            .get("ts")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("event {i} has no ts"))?;
+        let prev = last_ts.entry(tid).or_insert(ts);
+        if ts < *prev {
+            return Err(format!(
+                "event {i} ({name}): ts {ts} goes backwards on track {tid}"
+            ));
+        }
+        *prev = ts;
+        counted += 1;
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name.to_string()),
+            "E" => {
+                let open = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| format!("event {i}: E without open span on track {tid}"))?;
+                if open != name {
+                    return Err(format!(
+                        "event {i}: E {name:?} closes open span {open:?} on track {tid}"
+                    ));
+                }
+            }
+            "i" | "I" => {}
+            other => return Err(format!("event {i}: unknown ph {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("track {tid}: span {open:?} never closed"));
+        }
+    }
+    if counted == 0 {
+        return Err("trace carries no events".into());
+    }
+    Ok(TraceShape {
+        events: counted,
+        tracks: last_ts.len(),
+    })
 }
 
 #[cfg(test)]
@@ -389,10 +737,130 @@ mod tests {
             ("n", Json::U(42)),
             ("ok", Json::B(true)),
             ("xs", Json::A(vec![Json::F(1.5), Json::U(2)])),
+            ("none", Json::Null),
         ]);
         assert_eq!(
             v.render(),
-            r#"{"name":"a\"b\\c","n":42,"ok":true,"xs":[1.5,2]}"#
+            r#"{"name":"a\"b\\c","n":42,"ok":true,"xs":[1.5,2],"none":null}"#
         );
+    }
+
+    #[test]
+    fn json_value_roundtrips_writer_output() {
+        let doc = Json::O(vec![
+            ("name", Json::s("sp\"an\\x")),
+            ("n", Json::U(42)),
+            ("f", Json::F(1.5)),
+            ("ok", Json::B(true)),
+            ("none", Json::Null),
+            ("xs", Json::A(vec![Json::U(1), Json::U(2)])),
+        ])
+        .render();
+        let v = JsonValue::parse(&doc).expect("parses");
+        assert_eq!(v.get("name").and_then(JsonValue::as_str), Some("sp\"an\\x"));
+        assert_eq!(v.get("n").and_then(JsonValue::as_f64), Some(42.0));
+        assert_eq!(v.get("f").and_then(JsonValue::as_f64), Some(1.5));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        assert_eq!(
+            v.get("xs").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(2)
+        );
+        assert!(JsonValue::parse("{\"a\":1,}").is_err());
+        assert!(JsonValue::parse("[1 2]").is_err());
+        assert!(JsonValue::parse("{\"a\":1} trailing").is_err());
+        assert!(JsonValue::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn metrics_json_averages_over_runs() {
+        use binsym::{MetricsRegistry, Phase};
+        let registry = MetricsRegistry::new(1);
+        // Two identical rounds on shard 0: 4s of solving, 6 paths,
+        // 2 queries total.
+        for _ in 0..2 {
+            registry.shard(0).record_phase(Phase::Solve, 2_000_000_000);
+            for _ in 0..3 {
+                registry.shard(0).note_path();
+            }
+            registry.shard(0).record_query(1_000_000);
+        }
+        let rendered = metrics_json(&registry.report(), 2).render();
+        let doc = JsonValue::parse(&rendered).expect("metrics json parses");
+        let phase = doc.get("phase_seconds").expect("phase_seconds");
+        let solve = phase
+            .get("solve")
+            .and_then(JsonValue::as_f64)
+            .expect("solve");
+        assert!((solve - 2.0).abs() < 1e-9, "per-round solve secs: {solve}");
+        assert_eq!(doc.get("paths").and_then(JsonValue::as_f64), Some(3.0));
+        assert_eq!(doc.get("queries").and_then(JsonValue::as_f64), Some(1.0));
+        let latency = doc.get("query_latency").expect("query_latency");
+        assert_eq!(latency.get("count").and_then(JsonValue::as_f64), Some(1.0));
+        let p99 = latency
+            .get("p99_seconds")
+            .and_then(JsonValue::as_f64)
+            .expect("p99");
+        assert!(p99 > 0.0);
+        // Every phase name appears, even idle ones.
+        for p in Phase::ALL {
+            assert!(phase.get(p.name()).is_some(), "missing phase {}", p.name());
+        }
+    }
+
+    #[test]
+    fn validate_trace_accepts_real_sink_output() {
+        use binsym::{ChromeTraceSink, JsonlTraceSink, TraceSink};
+        let chrome = ChromeTraceSink::new();
+        chrome.begin_span(0, "solve");
+        chrome.begin_span(1, "execute");
+        chrome.instant(0, "warm_rollback");
+        chrome.end_span(1, "execute");
+        chrome.end_span(0, "solve");
+        let shape = validate_trace(&chrome.render()).expect("chrome trace valid");
+        assert_eq!(shape.tracks, 2);
+        assert_eq!(shape.events, 5);
+
+        let dir = std::env::temp_dir().join(format!("binsym-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("trace.jsonl");
+        {
+            let jsonl = JsonlTraceSink::to_file(&path).expect("jsonl sink");
+            jsonl.begin_span(3, "merge");
+            jsonl.end_span(3, "merge");
+        }
+        let text = std::fs::read_to_string(&path).expect("read jsonl");
+        let shape = validate_trace(&text).expect("jsonl trace valid");
+        assert_eq!(shape.tracks, 1);
+        assert_eq!(shape.events, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn validate_trace_rejects_malformed_traces() {
+        // Unbalanced: B without E.
+        let dangling = r#"{"traceEvents":[
+{"name":"solve","ph":"B","ts":1,"pid":1,"tid":0}
+]}"#;
+        assert!(validate_trace(dangling)
+            .unwrap_err()
+            .contains("never closed"));
+        // E closing the wrong span name.
+        let crossed = r#"{"traceEvents":[
+{"name":"solve","ph":"B","ts":1,"pid":1,"tid":0},
+{"name":"execute","ph":"E","ts":2,"pid":1,"tid":0}
+]}"#;
+        assert!(validate_trace(crossed)
+            .unwrap_err()
+            .contains("closes open span"));
+        // Timestamps must be monotone per track.
+        let backwards = r#"{"traceEvents":[
+{"name":"a","ph":"i","ts":5,"pid":1,"tid":0,"s":"t"},
+{"name":"b","ph":"i","ts":3,"pid":1,"tid":0,"s":"t"}
+]}"#;
+        assert!(validate_trace(backwards).unwrap_err().contains("backwards"));
+        // An empty trace is a failure, not a vacuous pass.
+        assert!(validate_trace(r#"{"traceEvents":[]}"#).is_err());
+        assert!(validate_trace("not json at all").is_err());
     }
 }

@@ -25,8 +25,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use binsym::{
-    Bfs, Candidate, CoverageGuided, CoverageMap, CoverageObserver, Error, Observer,
-    ParallelSession, PathExecutor, Prescription, Session, SessionBuilder, Summary,
+    Bfs, Candidate, CoverageGuided, CoverageMap, CoverageObserver, Error, MetricsRegistry,
+    MetricsReport, Observer, ParallelSession, PathExecutor, Prescription, Session, SessionBuilder,
+    Summary, TraceSink,
 };
 use binsym_des::{Bus, EventQueue, ProcessId, Time};
 use binsym_elf::ElfFile;
@@ -218,7 +219,26 @@ impl Engine {
         strategy: SearchStrategy,
         coverage: Option<&Arc<CoverageMap>>,
     ) -> Result<Session, Error> {
+        self.session_configured(elf, strategy, coverage, None, None)
+    }
+
+    /// [`Engine::session_with`] plus observability: an optional shared
+    /// metrics registry (sequential sessions stamp shard 0) and an optional
+    /// trace sink. Both are wall-time-only — the explored records are
+    /// byte-identical with and without them.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
+    pub fn session_configured(
+        self,
+        elf: &ElfFile,
+        strategy: SearchStrategy,
+        coverage: Option<&Arc<CoverageMap>>,
+        metrics: Option<&Arc<MetricsRegistry>>,
+        trace: Option<&Arc<dyn TraceSink>>,
+    ) -> Result<Session, Error> {
         let builder = strategy.install(self.base_builder(elf)?, coverage);
+        let builder = install_instrumentation(builder, metrics, trace);
         let builder = match compose_observer(self.persona_observer(), coverage) {
             Some(observer) => builder.observer(observer),
             None => builder,
@@ -252,6 +272,25 @@ impl Engine {
         strategy: SearchStrategy,
         coverage: Option<&Arc<CoverageMap>>,
     ) -> Result<ParallelSession, Error> {
+        self.parallel_session_configured(elf, workers, strategy, coverage, None, None)
+    }
+
+    /// [`Engine::parallel_session_with`] plus observability: an optional
+    /// shared metrics registry (one shard per worker, merged on read) and
+    /// an optional trace sink (one track per worker, merge phase on track
+    /// `workers`). Both are wall-time-only.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
+    pub fn parallel_session_configured(
+        self,
+        elf: &ElfFile,
+        workers: usize,
+        strategy: SearchStrategy,
+        coverage: Option<&Arc<CoverageMap>>,
+        metrics: Option<&Arc<MetricsRegistry>>,
+        trace: Option<&Arc<dyn TraceSink>>,
+    ) -> Result<ParallelSession, Error> {
         let builder = match self {
             Engine::BinSym | Engine::SymExVp => Session::builder(Spec::rv32im()).binary(elf),
             Engine::Binsec | Engine::Angr | Engine::AngrFixed => {
@@ -267,6 +306,7 @@ impl Engine {
             }
         };
         let builder = strategy.install_sharded(builder, coverage).workers(workers);
+        let builder = install_instrumentation(builder, metrics, trace);
         let builder = if self.persona_observer().is_some() || coverage.is_some() {
             let map = coverage.map(Arc::clone);
             builder.observer_factory(move |_| {
@@ -315,6 +355,23 @@ pub fn coverage_trajectory(p: &crate::Program, strategy: SearchStrategy) -> (u64
     (to_full, final_cov, total)
 }
 
+/// Installs the optional observability knobs on a builder — shared by the
+/// sequential and parallel `*_configured` constructors.
+fn install_instrumentation(
+    builder: SessionBuilder,
+    metrics: Option<&Arc<MetricsRegistry>>,
+    trace: Option<&Arc<dyn TraceSink>>,
+) -> SessionBuilder {
+    let builder = match metrics {
+        Some(registry) => builder.metrics(Arc::clone(registry)),
+        None => builder,
+    };
+    match trace {
+        Some(sink) => builder.trace(Arc::clone(sink)),
+        None => builder,
+    }
+}
+
 /// Composes a persona's cost-model observer with a coverage feed, when
 /// either exists — the one place the pairing (and its callback order:
 /// persona first) is defined.
@@ -342,6 +399,9 @@ pub struct RunResult {
     /// Distinct text-segment instruction slots executed, out of the slots
     /// tracked — reported for coverage-strategy runs (`None` otherwise).
     pub covered_pcs: Option<(u64, u64)>,
+    /// Merged phase-timing metrics — reported when the run was launched
+    /// with metrics collection on (`None` otherwise).
+    pub metrics: Option<MetricsReport>,
 }
 
 /// Runs `engine` on `elf` to full exploration, measuring wall time.
@@ -383,24 +443,54 @@ pub fn run_engine_with(
     workers: usize,
     strategy: SearchStrategy,
 ) -> Result<RunResult, Error> {
+    run_engine_instrumented(engine, elf, workers, strategy, false, None)
+}
+
+/// [`run_engine_with`] plus observability: with `metrics` a fresh
+/// [`MetricsRegistry`] (one shard per worker) is allocated for the run and
+/// its merged [`MetricsReport`] lands in [`RunResult::metrics`]; with
+/// `trace` every phase is spanned into the given sink — the bench bins
+/// share one [`binsym::ChromeTraceSink`] across all their runs so the whole
+/// benchmark campaign lands in a single Perfetto-openable file.
+///
+/// # Errors
+/// Returns [`Error`] if the binary lacks a `__sym_input` symbol or a path
+/// fails to execute or replay.
+pub fn run_engine_instrumented(
+    engine: Engine,
+    elf: &ElfFile,
+    workers: usize,
+    strategy: SearchStrategy,
+    metrics: bool,
+    trace: Option<&Arc<dyn TraceSink>>,
+) -> Result<RunResult, Error> {
     let coverage = (strategy == SearchStrategy::Coverage).then(|| CoverageMap::shared_for(elf));
+    let registry = metrics.then(|| Arc::new(MetricsRegistry::new(workers.max(1))));
     // The timed region includes engine construction (ELF clone, lifter
     // setup), matching the original measurement boundary of the Fig. 6
     // harness.
     let start = Instant::now();
     let summary = if workers == 0 {
         engine
-            .session_with(elf, strategy, coverage.as_ref())?
+            .session_configured(elf, strategy, coverage.as_ref(), registry.as_ref(), trace)?
             .run_all()?
     } else {
         engine
-            .parallel_session_with(elf, workers, strategy, coverage.as_ref())?
+            .parallel_session_configured(
+                elf,
+                workers,
+                strategy,
+                coverage.as_ref(),
+                registry.as_ref(),
+                trace,
+            )?
             .run_all()?
     };
     Ok(RunResult {
         summary,
         duration: start.elapsed(),
         covered_pcs: coverage.map(|m| (m.covered_count(), m.tracked_slots())),
+        metrics: registry.map(|r| r.report()),
     })
 }
 
@@ -706,6 +796,37 @@ small:
         let stats = stats.borrow();
         assert!(stats.simulated_time > Time::ZERO, "aborted path counted");
         assert!(stats.events >= 3, "one kernel event per executed step");
+    }
+
+    #[test]
+    fn instrumented_runs_report_metrics_without_changing_results() {
+        let elf = small_program();
+        let sink = Arc::new(binsym::ChromeTraceSink::new());
+        let trace: Arc<dyn TraceSink> = Arc::clone(&sink) as Arc<dyn TraceSink>;
+        for workers in [0usize, 2] {
+            let plain = run_engine_with(Engine::BinSym, &elf, workers, SearchStrategy::Dfs)
+                .expect("plain run");
+            assert!(plain.metrics.is_none(), "metrics are opt-in");
+            let instrumented = run_engine_instrumented(
+                Engine::BinSym,
+                &elf,
+                workers,
+                SearchStrategy::Dfs,
+                true,
+                Some(&trace),
+            )
+            .expect("instrumented run");
+            assert_eq!(instrumented.summary.paths, plain.summary.paths);
+            assert_eq!(
+                instrumented.summary.solver_checks, plain.summary.solver_checks,
+                "instrumentation is wall-time-only ({workers} workers)"
+            );
+            let report = instrumented.metrics.expect("metrics collected");
+            assert_eq!(report.paths, instrumented.summary.paths);
+            assert!(report.query_latency().total() > 0, "queries were timed");
+        }
+        assert!(!sink.is_empty(), "phases were traced");
+        crate::cli::validate_trace(&sink.render()).expect("trace well-formed");
     }
 
     #[test]

@@ -374,6 +374,10 @@ impl StaticGate {
     /// Screens one flip query. Returns `None` when the gate is disabled
     /// (the caller proceeds exactly as without a gate and fires no
     /// static-analysis observer hook).
+    ///
+    /// Callers time this call under [`crate::Phase::Gate`], so a screen's
+    /// cost — and the solve time it saves — shows up per-phase in the
+    /// metrics report and as a `gate` span in the trace.
     pub fn screen(
         &self,
         tm: &mut TermManager,

@@ -84,11 +84,13 @@ pub mod backend;
 pub mod coverage;
 pub mod error;
 pub mod machine;
+pub mod metrics;
 pub mod observe;
 pub mod parallel;
 pub mod prescribe;
 pub mod session;
 pub mod strategy;
+pub mod trace;
 pub mod value;
 pub mod warm;
 
@@ -98,6 +100,9 @@ pub use backend::{
 pub use coverage::{CoverageMap, CoverageObserver};
 pub use error::Error;
 pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
+pub use metrics::{
+    Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport, Phase, WorkerMetrics,
+};
 pub use observe::{CountingObserver, NullObserver, Observer, StaticAnalysisStats, WarmQueryStats};
 pub use parallel::{
     BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
@@ -111,6 +116,7 @@ pub use strategy::{
     Bfs, BranchSited, Candidate, CoverageGuided, Dfs, PathStrategy, PrescriptionStrategy,
     RandomRestart,
 };
+pub use trace::{ChromeTraceSink, JsonlTraceSink, TraceSink};
 pub use value::{SymByte, SymWord};
 
 /// Name of the symbol marking the symbolic input region in SUT binaries

@@ -13,6 +13,7 @@ use std::sync::{Arc, Mutex};
 
 use binsym_smt::{SatResult, Term};
 
+use crate::metrics::Phase;
 use crate::session::PathOutcome;
 
 /// Per-query accounting of the deterministic warm-start cache
@@ -107,136 +108,82 @@ pub trait Observer {
     fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
         let _ = stats;
     }
-}
 
-/// Sharing an observer: the session takes ownership of its observer, so to
-/// read accumulated state back afterwards, wrap the observer in
-/// `Rc<RefCell<…>>`, keep a clone, and hand the other clone to the builder.
-impl<O: Observer> Observer for std::rc::Rc<std::cell::RefCell<O>> {
-    fn on_step(&mut self, pc: u32, steps: u64) {
-        self.borrow_mut().on_step(pc, steps);
-    }
-
-    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
-        self.borrow_mut().on_branch(pc, cond, taken);
-    }
-
-    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
-        self.borrow_mut().on_path(input, outcome);
-    }
-
-    fn on_query(&mut self, result: SatResult) {
-        self.borrow_mut().on_query(result);
-    }
-
-    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
-        self.borrow_mut().on_warm_query(stats);
-    }
-
-    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
-        self.borrow_mut().on_static_analysis(stats);
+    /// A timed engine [`Phase`] completed, taking `nanos` wall nanoseconds.
+    ///
+    /// Fires only when instrumentation is active — a metrics registry
+    /// ([`crate::SessionBuilder::metrics`]) or a trace sink
+    /// ([`crate::SessionBuilder::trace`]) is installed — because the engine
+    /// measures no clocks otherwise, keeping the disabled path free.
+    fn on_phase(&mut self, phase: Phase, nanos: u64) {
+        let _ = (phase, nanos);
     }
 }
 
-/// Sharing an accumulator **across worker threads**: the `Rc<RefCell<…>>`
-/// wrapper above is not `Send`, so it cannot serve the per-worker observers
-/// of a [`crate::ParallelSession`]. Wrap the accumulator in
-/// `Arc<Mutex<…>>` instead, keep one clone, and hand further clones out of
-/// [`crate::SessionBuilder::observer_factory`] — every worker then feeds
-/// the same state behind the lock. (For high-frequency signals prefer a
-/// lock-free structure such as [`crate::CoverageMap`] with a dedicated
-/// observer; the mutex forwarding is for arbitrary accumulators.)
-impl<O: Observer> Observer for Arc<Mutex<O>> {
-    fn on_step(&mut self, pc: u32, steps: u64) {
-        self.lock().expect("observer lock").on_step(pc, steps);
-    }
+/// Generates every forwarding [`Observer`] impl from one list of hook
+/// signatures, so a new hook is declared in exactly two places — the trait
+/// and this list — instead of being hand-copied into each wrapper impl (a
+/// proven drift hazard while the catalog grows). Every hook argument is
+/// `Copy` (scalars, `Term`, or shared references), which is what lets the
+/// pair impl fan the same arguments out to both members.
+macro_rules! forward_observer_hooks {
+    ($(fn $hook:ident(&mut self $(, $arg:ident: $ty:ty)*);)+) => {
+        /// Sharing an observer: the session takes ownership of its
+        /// observer, so to read accumulated state back afterwards, wrap the
+        /// observer in `Rc<RefCell<…>>`, keep a clone, and hand the other
+        /// clone to the builder.
+        impl<O: Observer> Observer for std::rc::Rc<std::cell::RefCell<O>> {
+            $(fn $hook(&mut self $(, $arg: $ty)*) {
+                self.borrow_mut().$hook($($arg),*);
+            })+
+        }
 
-    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
-        self.lock()
-            .expect("observer lock")
-            .on_branch(pc, cond, taken);
-    }
+        /// Sharing an accumulator **across worker threads**: the
+        /// `Rc<RefCell<…>>` wrapper above is not `Send`, so it cannot serve
+        /// the per-worker observers of a [`crate::ParallelSession`]. Wrap
+        /// the accumulator in `Arc<Mutex<…>>` instead, keep one clone, and
+        /// hand further clones out of
+        /// [`crate::SessionBuilder::observer_factory`] — every worker then
+        /// feeds the same state behind the lock. (For high-frequency
+        /// signals prefer a lock-free structure such as
+        /// [`crate::CoverageMap`] with a dedicated observer, or the
+        /// sharded [`crate::MetricsRegistry`]; the mutex forwarding is for
+        /// arbitrary accumulators.)
+        impl<O: Observer> Observer for Arc<Mutex<O>> {
+            $(fn $hook(&mut self $(, $arg: $ty)*) {
+                self.lock().expect("observer lock").$hook($($arg),*);
+            })+
+        }
 
-    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
-        self.lock().expect("observer lock").on_path(input, outcome);
-    }
+        /// Boxed observers forward: lets composed observers (see the pair
+        /// impl below) mix concrete and type-erased parts.
+        impl<O: Observer + ?Sized> Observer for Box<O> {
+            $(fn $hook(&mut self $(, $arg: $ty)*) {
+                (**self).$hook($($arg),*);
+            })+
+        }
 
-    fn on_query(&mut self, result: SatResult) {
-        self.lock().expect("observer lock").on_query(result);
-    }
-
-    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
-        self.lock().expect("observer lock").on_warm_query(stats);
-    }
-
-    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
-        self.lock()
-            .expect("observer lock")
-            .on_static_analysis(stats);
-    }
+        /// Composing observers: a pair fans every callback out to both
+        /// members (in order), so e.g. a persona cost model and a coverage
+        /// tracker can watch the same session. Nest pairs for more than
+        /// two.
+        impl<A: Observer, B: Observer> Observer for (A, B) {
+            $(fn $hook(&mut self $(, $arg: $ty)*) {
+                self.0.$hook($($arg),*);
+                self.1.$hook($($arg),*);
+            })+
+        }
+    };
 }
 
-/// Boxed observers forward: lets composed observers (see the pair impl
-/// below) mix concrete and type-erased parts.
-impl<O: Observer + ?Sized> Observer for Box<O> {
-    fn on_step(&mut self, pc: u32, steps: u64) {
-        (**self).on_step(pc, steps);
-    }
-
-    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
-        (**self).on_branch(pc, cond, taken);
-    }
-
-    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
-        (**self).on_path(input, outcome);
-    }
-
-    fn on_query(&mut self, result: SatResult) {
-        (**self).on_query(result);
-    }
-
-    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
-        (**self).on_warm_query(stats);
-    }
-
-    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
-        (**self).on_static_analysis(stats);
-    }
-}
-
-/// Composing observers: a pair fans every callback out to both members (in
-/// order), so e.g. a persona cost model and a coverage tracker can watch
-/// the same session. Nest pairs for more than two.
-impl<A: Observer, B: Observer> Observer for (A, B) {
-    fn on_step(&mut self, pc: u32, steps: u64) {
-        self.0.on_step(pc, steps);
-        self.1.on_step(pc, steps);
-    }
-
-    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool) {
-        self.0.on_branch(pc, cond, taken);
-        self.1.on_branch(pc, cond, taken);
-    }
-
-    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome) {
-        self.0.on_path(input, outcome);
-        self.1.on_path(input, outcome);
-    }
-
-    fn on_query(&mut self, result: SatResult) {
-        self.0.on_query(result);
-        self.1.on_query(result);
-    }
-
-    fn on_warm_query(&mut self, stats: &WarmQueryStats) {
-        self.0.on_warm_query(stats);
-        self.1.on_warm_query(stats);
-    }
-
-    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {
-        self.0.on_static_analysis(stats);
-        self.1.on_static_analysis(stats);
-    }
+forward_observer_hooks! {
+    fn on_step(&mut self, pc: u32, steps: u64);
+    fn on_branch(&mut self, pc: u32, cond: Term, taken: bool);
+    fn on_path(&mut self, input: &[u8], outcome: &PathOutcome);
+    fn on_query(&mut self, result: SatResult);
+    fn on_warm_query(&mut self, stats: &WarmQueryStats);
+    fn on_static_analysis(&mut self, stats: &StaticAnalysisStats);
+    fn on_phase(&mut self, phase: Phase, nanos: u64);
 }
 
 /// The do-nothing observer (the default).

@@ -80,9 +80,10 @@ use binsym_smt::{SatResult, TermManager};
 use crate::backend::{SolverBackend, StaticGate};
 use crate::error::Error;
 use crate::machine::{StepResult, TrailEntry};
+use crate::metrics::{InstrumentationConfig, Instruments, Phase};
 use crate::observe::{NullObserver, Observer};
 use crate::prescribe::{Flip, PathId, PathRecord, Prescription};
-use crate::session::{ErrorPath, PathExecutor, Summary};
+use crate::session::{ErrorPath, PathExecutor, Progress, Summary};
 use crate::strategy::PrescriptionStrategy;
 use crate::warm::WarmCache;
 
@@ -325,6 +326,10 @@ pub struct ParallelSession {
     /// any bit-blast (on by default). Affects wall time only, never
     /// merged records.
     gate: StaticGate,
+    /// Metrics/trace/progress wiring ([`crate::SessionBuilder::metrics`],
+    /// `::trace`, `::progress`). Like the warm cache and the gate,
+    /// instrumentation affects wall time only, never merged records.
+    instrumentation: InstrumentationConfig,
     strategy_name: &'static str,
     backend_name: &'static str,
     done: bool,
@@ -357,6 +362,7 @@ impl ParallelSession {
         input_len: u32,
         warm_capacity: Option<usize>,
         gate: StaticGate,
+        instrumentation: InstrumentationConfig,
     ) -> Self {
         let strategy_name = shard_strategy(0).name();
         let backend_name = if warm_capacity.is_some() {
@@ -375,6 +381,7 @@ impl ParallelSession {
             input_len,
             warm_capacity,
             gate,
+            instrumentation,
             strategy_name,
             backend_name,
             done: false,
@@ -455,7 +462,16 @@ impl ParallelSession {
             vec![Prescription::root(vec![0u8; self.input_len as usize])],
         );
 
+        // One `Instruments` handle per worker, all sharing the registry and
+        // sink but each stamping its own track (worker index); track
+        // `self.workers` is reserved for the coordinator's merge phase.
+        let base_instr = Instruments::new(
+            self.instrumentation.metrics.clone(),
+            self.instrumentation.trace.clone(),
+            0,
+        );
         let mut outputs: Vec<Vec<PrescriptionRecord>> = Vec::with_capacity(self.workers);
+        let progress_stop = AtomicBool::new(false);
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.workers);
             for idx in 0..self.workers {
@@ -466,6 +482,7 @@ impl ParallelSession {
                 let fuel = self.fuel;
                 let warm_capacity = self.warm_capacity;
                 let gate = self.gate;
+                let instr = base_instr.for_track(idx as u32);
                 handles.push(scope.spawn(move || {
                     worker_main(
                         idx,
@@ -476,11 +493,36 @@ impl ParallelSession {
                         fuel,
                         warm_capacity,
                         gate,
+                        instr,
                     )
                 }));
             }
+            // The periodic stderr reporter runs off the workers' hot paths
+            // entirely: it reads the shared registry (relaxed loads) and the
+            // frontier's pending gauge on its own thread, so enabling it
+            // cannot perturb results.
+            let reporter = self.instrumentation.progress.map(|interval| {
+                let registry = self.instrumentation.metrics.clone();
+                let coverage = self.instrumentation.progress_coverage.clone();
+                let state = &state;
+                let stop = &progress_stop;
+                scope.spawn(move || {
+                    let mut progress = Progress::new(interval, coverage);
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(20));
+                        progress.tick(
+                            registry.as_ref(),
+                            Some(state.frontier.pending.load(Ordering::Relaxed)),
+                        );
+                    }
+                })
+            });
             for h in handles {
                 outputs.push(h.join().expect("worker panicked"));
+            }
+            progress_stop.store(true, Ordering::Relaxed);
+            if let Some(h) = reporter {
+                h.join().expect("progress reporter panicked");
             }
         });
 
@@ -496,6 +538,10 @@ impl ParallelSession {
         }
 
         // Deterministic merge: canonical (sequential depth-first) order.
+        // Timed on the coordinator track (`self.workers`) so the trace
+        // shows the sequential tail after the worker tracks go quiet.
+        let merge_instr = base_instr.for_track(self.workers as u32);
+        let merge_started = merge_instr.begin(Phase::Merge);
         let mut all: Vec<PrescriptionRecord> = outputs.into_iter().flatten().collect();
         all.sort_by(|a, b| a.id.cmp(&b.id));
 
@@ -533,6 +579,9 @@ impl ParallelSession {
                     Some(cid) => eid < *cid,
                 };
                 if surfaces {
+                    // Close the merge span before bailing so traced runs
+                    // keep every `B` event balanced even on error.
+                    merge_instr.finish(merge_started, Phase::Merge, &mut NullObserver);
                     return Err(e);
                 }
             }
@@ -570,6 +619,7 @@ impl ParallelSession {
         }
         self.summary = summary;
         self.records = records;
+        merge_instr.finish(merge_started, Phase::Merge, &mut NullObserver);
         Ok(self.summary())
     }
 }
@@ -587,6 +637,7 @@ fn worker_main(
     fuel: u64,
     warm_capacity: Option<usize>,
     gate: StaticGate,
+    instr: Instruments,
 ) -> Vec<PrescriptionRecord> {
     let mut executor = match executor_factory() {
         Ok(e) => e,
@@ -630,6 +681,7 @@ fn worker_main(
                 &p,
                 fuel,
                 gate,
+                &instr,
             ),
             None => {
                 tm.reset();
@@ -642,6 +694,7 @@ fn worker_main(
                     &p,
                     fuel,
                     gate,
+                    &instr,
                 )
             }
         };
@@ -706,18 +759,25 @@ fn replay(
     p: &Prescription,
     fuel: u64,
     gate: StaticGate,
+    instr: &Instruments,
 ) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
     let (query, input) = match p.flip {
         None => (None, p.input.clone()),
         Some(flip) => {
-            let trail = executor.execute_prefix(tm, &p.input, fuel, flip.ord + 1)?;
+            let replay_started = instr.begin(Phase::Replay);
+            let trail = executor.execute_prefix(tm, &p.input, fuel, flip.ord + 1);
+            instr.finish(replay_started, Phase::Replay, observer);
+            let trail = trail?;
             let (i, cond) = flip.locate(&trail)?;
             // Terms are interned in the same order whether or not the gate
             // screens the query, so gated and ungated replays build
             // identical term handles (and hence identical CNF and models).
             let prefix: Vec<_> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
             let flipped = if flip.taken { tm.not(cond) } else { cond };
-            if let Some(report) = gate.screen(tm, &prefix, flipped, &p.input) {
+            let gate_started = instr.begin(Phase::Gate);
+            let screened = gate.screen(tm, &prefix, flipped, &p.input);
+            instr.finish(gate_started, Phase::Gate, observer);
+            if let Some(report) = screened {
                 observer.on_static_analysis(&report.stats);
                 match report.verdict {
                     // Eliminated: no solver check, no `on_query`, and a
@@ -725,17 +785,24 @@ fn replay(
                     Some((SatResult::Unsat, _)) => return Ok((None, None)),
                     Some((SatResult::Sat, bytes)) => {
                         let bytes = bytes.expect("sat verdict carries witness bytes");
-                        return materialize(executor, tm, observer, p, fuel, None, bytes);
+                        return materialize(executor, tm, observer, p, fuel, None, bytes, instr);
                     }
                     None => {}
                 }
             }
+            let blast_started = instr.begin(Phase::BitBlast);
             backend.push();
             for &t in &prefix {
                 backend.assert_term(tm, t);
             }
             backend.assert_term(tm, flipped);
+            instr.finish(blast_started, Phase::BitBlast, observer);
+            let solve_started = instr.begin(Phase::Solve);
             let r = backend.check_sat(tm);
+            let solve_nanos = instr.finish(solve_started, Phase::Solve, observer);
+            if solve_started.is_some() {
+                instr.record_query(solve_nanos);
+            }
             observer.on_query(r);
             if r != SatResult::Sat {
                 backend.pop();
@@ -748,7 +815,7 @@ fn replay(
         }
     };
 
-    materialize(executor, tm, observer, p, fuel, query, input)
+    materialize(executor, tm, observer, p, fuel, query, input, instr)
 }
 
 /// The warm-start counterpart of [`replay`]: the flip query goes through
@@ -766,12 +833,13 @@ fn replay_warm(
     p: &Prescription,
     fuel: u64,
     gate: StaticGate,
+    instr: &Instruments,
 ) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
     let (query, input) = match p.flip {
         None => (None, p.input.clone()),
         Some(flip) => {
             let (r, bytes, warm_stats, sa_stats) =
-                cache.solve_flip(executor, &p.input, flip, fuel, gate)?;
+                cache.solve_flip(executor, &p.input, flip, fuel, gate, instr, observer)?;
             if let Some(sa) = &sa_stats {
                 observer.on_static_analysis(sa);
             }
@@ -795,13 +863,13 @@ fn replay_warm(
     // path as in the cold path (the cached contexts keep their handles
     // private to the cache).
     tm.reset();
-    materialize(executor, tm, observer, p, fuel, query, input)
+    materialize(executor, tm, observer, p, fuel, query, input, instr)
 }
 
 /// Executes the materialized path under `input` and derives the
 /// prescriptions of its unexplored suffix — the shared tail of [`replay`]
 /// and [`replay_warm`].
-#[allow(clippy::type_complexity)]
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
 fn materialize(
     executor: &mut dyn PathExecutor,
     tm: &mut TermManager,
@@ -810,8 +878,13 @@ fn materialize(
     fuel: u64,
     query: Option<SatResult>,
     input: Vec<u8>,
+    instr: &Instruments,
 ) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
-    let outcome = executor.execute_path(tm, &input, fuel, observer)?;
+    let execute_started = instr.begin(Phase::Execute);
+    let outcome = executor.execute_path(tm, &input, fuel, observer);
+    instr.finish(execute_started, Phase::Execute, observer);
+    let outcome = outcome?;
+    instr.note_path();
     observer.on_path(&input, &outcome);
 
     let forced = p.flip.map_or(0, |f| f.ord + 1);

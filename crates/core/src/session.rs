@@ -39,19 +39,25 @@
 //! frontier; a candidate's prefix plus negated branch condition is handed
 //! to the backend, and a model of a feasible flip seeds the next run.
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
 use binsym_elf::ElfFile;
 use binsym_isa::Spec;
 use binsym_smt::{SatResult, TermManager};
 
 use crate::backend::{BitblastBackend, SolverBackend, StaticGate};
+use crate::coverage::CoverageMap;
 use crate::error::Error;
 use crate::machine::{StepResult, SymMachine, TrailEntry};
+use crate::metrics::{Instruments, MetricsRegistry, Phase};
 use crate::observe::{NullObserver, Observer};
 use crate::parallel::{
     BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
 };
 use crate::prescribe::{Flip, PathId, Prescription};
 use crate::strategy::{Candidate, Dfs, PathStrategy, PrescriptionStrategy};
+use crate::trace::TraceSink;
 use crate::SYM_INPUT_SYMBOL;
 
 /// Outcome of executing one path.
@@ -334,6 +340,10 @@ pub struct SessionBuilder {
     warm_capacity: Option<usize>,
     static_analysis: bool,
     sa_shadow: bool,
+    metrics: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<dyn TraceSink>>,
+    progress: Option<Duration>,
+    progress_coverage: Option<Arc<CoverageMap>>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -503,6 +513,48 @@ impl SessionBuilder {
         self
     }
 
+    /// Installs a shared [`MetricsRegistry`]: the engine times every
+    /// [`Phase`] (execute/replay, bit-blast, solve, gate, warm promote/
+    /// solve, merge) into the registry's lock-free per-worker shards, plus
+    /// a per-query latency histogram. Keep an `Arc` clone and read
+    /// [`MetricsRegistry::report`] after the run.
+    ///
+    /// Like the warm cache and the static gate, metrics change **wall time
+    /// only, never results** — both determinism suites pin metrics-on runs
+    /// byte-identical to metrics-off runs. With no registry and no trace
+    /// sink installed the engine measures no clocks at all.
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// Installs a [`TraceSink`] receiving begin/end span events for every
+    /// timed [`Phase`], one track per worker (track `i` = worker `i`; a
+    /// parallel merge lands on track `workers`). Use
+    /// [`crate::ChromeTraceSink`] to open the hunt in `ui.perfetto.dev`,
+    /// or [`crate::JsonlTraceSink`] for streaming consumers. Carries the
+    /// same wall-time-only contract as [`SessionBuilder::metrics`].
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Enables a periodic stderr progress report (paths/sec, queries/sec,
+    /// and — in parallel sessions — frontier depth) every `interval`.
+    /// Counters come from the metrics registry; if none was installed, a
+    /// private one is created. Must be nonzero.
+    pub fn progress(mut self, interval: Duration) -> Self {
+        self.progress = Some(interval);
+        self
+    }
+
+    /// Adds covered-PC counts from `map` to the progress report (pair with
+    /// the same shared map fed by [`crate::CoverageObserver`]s).
+    pub fn progress_coverage(mut self, map: Arc<CoverageMap>) -> Self {
+        self.progress_coverage = Some(map);
+        self
+    }
+
     /// Upper bound on explored paths. Must be nonzero — for unbounded
     /// exploration simply don't set a limit.
     ///
@@ -544,7 +596,24 @@ impl SessionBuilder {
                 what: "warm-start capacity must be nonzero",
             });
         }
+        if self.progress == Some(Duration::ZERO) {
+            return Err(Error::InvalidConfig {
+                what: "progress interval must be nonzero",
+            });
+        }
         Ok(())
+    }
+
+    /// The metrics registry the session will write to: the explicit one,
+    /// or a private registry when only the progress reporter needs
+    /// counters (no registry at all otherwise — the disabled path must
+    /// measure nothing).
+    fn effective_metrics(&self, workers: usize) -> Option<Arc<MetricsRegistry>> {
+        match (&self.metrics, self.progress) {
+            (Some(registry), _) => Some(Arc::clone(registry)),
+            (None, Some(_)) => Some(Arc::new(MetricsRegistry::new(workers))),
+            (None, None) => None,
+        }
     }
 
     /// Assembles the sequential session.
@@ -569,6 +638,10 @@ impl SessionBuilder {
                        already incremental): call `build_parallel()`",
             });
         }
+        let instr = Instruments::new(self.effective_metrics(1), self.trace.clone(), 0);
+        let progress = self
+            .progress
+            .map(|interval| Progress::new(interval, self.progress_coverage.clone()));
         let executor = match (self.executor, self.executor_factory, self.elf) {
             (Some(exec), _, _) => exec,
             (None, Some(factory), _) => factory()?,
@@ -604,6 +677,8 @@ impl SessionBuilder {
             forced_depth: 0,
             done: false,
             summary: Summary::default(),
+            instr,
+            progress,
         })
     }
 
@@ -653,6 +728,18 @@ impl SessionBuilder {
                        contexts: drop `backend_factory` or disable warm start",
             });
         }
+        let workers = self.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+                .min(8)
+        });
+        let instrumentation = crate::metrics::InstrumentationConfig {
+            metrics: self.effective_metrics(workers),
+            trace: self.trace.clone(),
+            progress: self.progress,
+            progress_coverage: self.progress_coverage.clone(),
+        };
         let executor_factory: ExecutorFactory = match (self.executor_factory, self.elf) {
             (Some(factory), _) => factory,
             (None, Some(elf)) => {
@@ -670,12 +757,6 @@ impl SessionBuilder {
         // Probe one executor now: fail fast on a broken factory or missing
         // symbol, and learn the input length for the root prescription.
         let input_len = executor_factory()?.input_len();
-        let workers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-                .min(8)
-        });
         let backend_factory: BackendFactory = self
             .backend_factory
             .unwrap_or_else(|| std::sync::Arc::new(|| Box::new(BitblastBackend::new())));
@@ -697,6 +778,7 @@ impl SessionBuilder {
             input_len,
             warm_capacity,
             StaticGate::new(self.static_analysis, self.sa_shadow),
+            instrumentation,
         ))
     }
 }
@@ -722,6 +804,71 @@ pub struct Session {
     forced_depth: usize,
     done: bool,
     summary: Summary,
+    /// Phase timers and trace spans (track 0); disabled unless a metrics
+    /// registry or trace sink was installed.
+    instr: Instruments,
+    progress: Option<Progress>,
+}
+
+/// State of the opt-in stderr progress reporter. The sequential session
+/// ticks it from the exploration loop itself (thread-free, at most one
+/// line per interval); a parallel session ticks it from a dedicated
+/// reporter thread.
+pub(crate) struct Progress {
+    interval: Duration,
+    coverage: Option<Arc<CoverageMap>>,
+    started: Instant,
+    last: Instant,
+    last_paths: u64,
+    last_queries: u64,
+}
+
+impl Progress {
+    pub(crate) fn new(interval: Duration, coverage: Option<Arc<CoverageMap>>) -> Self {
+        Progress {
+            interval,
+            coverage,
+            started: Instant::now(),
+            last: Instant::now(),
+            last_paths: 0,
+            last_queries: 0,
+        }
+    }
+
+    /// Emit one report line if `interval` has elapsed since the last.
+    pub(crate) fn tick(
+        &mut self,
+        registry: Option<&Arc<MetricsRegistry>>,
+        frontier_depth: Option<usize>,
+    ) {
+        use std::fmt::Write as _;
+
+        let now = Instant::now();
+        if now.duration_since(self.last) < self.interval {
+            return;
+        }
+        let dt = now.duration_since(self.last).as_secs_f64();
+        let paths = registry.map_or(0, |r| r.total_paths());
+        let queries = registry.map_or(0, |r| r.total_queries());
+        let mut line = format!(
+            "[binsym] t={:.1}s paths={} ({:.1}/s) queries={} ({:.1}/s)",
+            now.duration_since(self.started).as_secs_f64(),
+            paths,
+            (paths - self.last_paths) as f64 / dt,
+            queries,
+            (queries - self.last_queries) as f64 / dt,
+        );
+        if let Some(depth) = frontier_depth {
+            let _ = write!(line, " frontier={depth}");
+        }
+        if let Some(map) = &self.coverage {
+            let _ = write!(line, " covered={}", map.covered_count());
+        }
+        eprintln!("{line}");
+        self.last = now;
+        self.last_paths = paths;
+        self.last_queries = queries;
+    }
 }
 
 impl std::fmt::Debug for Session {
@@ -759,6 +906,10 @@ impl Session {
             warm_capacity: None,
             static_analysis: true,
             sa_shadow: false,
+            metrics: None,
+            trace: None,
+            progress: None,
+            progress_coverage: None,
         }
     }
 
@@ -882,6 +1033,7 @@ impl Session {
                 }
             },
         };
+        let started = self.instr.begin(Phase::Execute);
         let outcome =
             match self
                 .executor
@@ -889,10 +1041,15 @@ impl Session {
             {
                 Ok(o) => o,
                 Err(e) => {
+                    self.instr
+                        .finish(started, Phase::Execute, &mut *self.observer);
                     self.done = true;
                     return Some(Err(e));
                 }
             };
+        self.instr
+            .finish(started, Phase::Execute, &mut *self.observer);
+        self.instr.note_path();
 
         self.summary.paths += 1;
         self.summary.total_steps += outcome.steps;
@@ -910,6 +1067,9 @@ impl Session {
             StepResult::Continue => unreachable!("execute_path loops on Continue"),
         }
         self.observer.on_path(&input, &outcome);
+        if let Some(progress) = &mut self.progress {
+            progress.tick(self.instr.registry(), None);
+        }
 
         if self
             .max_paths
@@ -965,10 +1125,13 @@ impl Session {
             } else {
                 cand.cond
             };
-            if let Some(report) =
+            let gate_started = self.instr.begin(Phase::Gate);
+            let screened =
                 self.gate
-                    .screen(&mut self.tm, &prefix, flipped, &cand.prescription.input)
-            {
+                    .screen(&mut self.tm, &prefix, flipped, &cand.prescription.input);
+            self.instr
+                .finish(gate_started, Phase::Gate, &mut *self.observer);
+            if let Some(report) = screened {
                 self.observer.on_static_analysis(&report.stats);
                 if let Some((r, bytes)) = report.verdict {
                     // Eliminated: no backend call, no `on_query`.
@@ -982,12 +1145,22 @@ impl Session {
                     }
                 }
             }
+            let blast_started = self.instr.begin(Phase::BitBlast);
             self.backend.push();
             for &t in &prefix {
                 self.backend.assert_term(&mut self.tm, t);
             }
             self.backend.assert_term(&mut self.tm, flipped);
+            self.instr
+                .finish(blast_started, Phase::BitBlast, &mut *self.observer);
+            let solve_started = self.instr.begin(Phase::Solve);
             let r = self.backend.check_sat(&mut self.tm);
+            let solve_nanos = self
+                .instr
+                .finish(solve_started, Phase::Solve, &mut *self.observer);
+            if solve_started.is_some() {
+                self.instr.record_query(solve_nanos);
+            }
             self.observer.on_query(r);
             if r == SatResult::Sat {
                 let model = self.backend.model(&self.tm).expect("sat has model");
@@ -1358,6 +1531,51 @@ _start:
             .build()
             .unwrap_err();
         assert!(matches!(err, Error::InvalidConfig { .. }));
+
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .progress(std::time::Duration::ZERO)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn progress_reporter_and_metrics_leave_results_unchanged() {
+        let plain = explore(SINGLE_COMPARE);
+        let elf = Assembler::new().assemble(SINGLE_COMPARE).unwrap();
+        let registry = std::sync::Arc::new(crate::metrics::MetricsRegistry::new(1));
+        let s = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .metrics(std::sync::Arc::clone(&registry))
+            .progress(std::time::Duration::from_millis(1))
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
+        assert_eq!(s.paths, plain.paths);
+        assert_eq!(s.solver_checks, plain.solver_checks);
+        assert_eq!(s.total_steps, plain.total_steps);
+        let report = registry.report();
+        assert_eq!(report.paths, s.paths);
+        assert_eq!(report.queries, s.solver_checks);
+    }
+
+    #[test]
+    fn progress_without_metrics_gets_a_private_registry() {
+        // `.progress()` alone must not panic or skew results — the builder
+        // auto-creates a registry for the reporter to read.
+        let plain = explore(SINGLE_COMPARE);
+        let elf = Assembler::new().assemble(SINGLE_COMPARE).unwrap();
+        let s = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .progress(std::time::Duration::from_millis(1))
+            .build()
+            .unwrap()
+            .run_all()
+            .unwrap();
+        assert_eq!(s.paths, plain.paths);
+        assert_eq!(s.solver_checks, plain.solver_checks);
     }
 
     #[test]

@@ -52,7 +52,8 @@ use binsym_smt::{PrefixContext, SatResult, Solver, Term, TermManager};
 use crate::backend::StaticGate;
 use crate::error::Error;
 use crate::machine::TrailEntry;
-use crate::observe::{StaticAnalysisStats, WarmQueryStats};
+use crate::metrics::{Instruments, Phase};
+use crate::observe::{Observer, StaticAnalysisStats, WarmQueryStats};
 use crate::prescribe::Flip;
 use crate::session::PathExecutor;
 
@@ -142,7 +143,7 @@ impl WarmCache {
     /// context is discarded and the query falls back to the cold solve,
     /// whose answer is bit-identical — so even that failure mode cannot
     /// change results.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     pub(crate) fn solve_flip(
         &mut self,
         executor: &mut dyn PathExecutor,
@@ -150,6 +151,8 @@ impl WarmCache {
         flip: Flip,
         fuel: u64,
         gate: StaticGate,
+        instr: &Instruments,
+        observer: &mut dyn Observer,
     ) -> Result<
         (
             SatResult,
@@ -173,7 +176,10 @@ impl WarmCache {
                     // execute deeper on the entry's own term manager
                     // (hash-consing reproduces the shared prefix's
                     // handles exactly).
-                    let trail = executor.execute_prefix(&mut e.tm, input, fuel, flip.ord + 1)?;
+                    let replay_started = instr.begin(Phase::Replay);
+                    let trail = executor.execute_prefix(&mut e.tm, input, fuel, flip.ord + 1);
+                    instr.finish(replay_started, Phase::Replay, observer);
+                    let trail = trail?;
                     e.branches = trail.iter().filter(|t| t.is_branch()).count();
                     e.trail = trail;
                     replayed = true;
@@ -182,7 +188,10 @@ impl WarmCache {
             }
             None => {
                 let mut tm = TermManager::new();
-                let trail = executor.execute_prefix(&mut tm, input, fuel, flip.ord + 1)?;
+                let replay_started = instr.begin(Phase::Replay);
+                let trail = executor.execute_prefix(&mut tm, input, fuel, flip.ord + 1);
+                instr.finish(replay_started, Phase::Replay, observer);
+                let trail = trail?;
                 replayed = true;
                 let branches = trail.iter().filter(|t| t.is_branch()).count();
                 if self.entries.len() >= self.capacity {
@@ -225,7 +234,10 @@ impl WarmCache {
         // perturb the entry's hash-consed handles.
         let prefix: Vec<Term> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
         let mut sa_stats = None;
-        if let Some(report) = gate.screen(tm, &prefix, flipped, input) {
+        let gate_started = instr.begin(Phase::Gate);
+        let screened = gate.screen(tm, &prefix, flipped, input);
+        instr.finish(gate_started, Phase::Gate, observer);
+        if let Some(report) = screened {
             sa_stats = Some(report.stats);
             match report.verdict {
                 Some((SatResult::Unsat, _)) => {
@@ -243,10 +255,25 @@ impl WarmCache {
         let mut warm_result = None;
         if ctx.is_some() || promote {
             // Proven reuse: solve through the retained prefix context
-            // (built once the parent exceeds the promotion gate).
+            // (built once the parent exceeds the promotion gate). The
+            // promoting query — the one that builds the context and blasts
+            // the whole prefix into it — is timed as `WarmPromote`; later
+            // queries riding the retained context are `WarmSolve`.
+            let promoting = ctx.is_none();
             let c = ctx.get_or_insert_with(PrefixContext::new);
-            match c.solve_flip(tm, &prefix, flipped) {
+            let phase = if promoting {
+                Phase::WarmPromote
+            } else {
+                Phase::WarmSolve
+            };
+            let warm_started = instr.begin(phase);
+            let solved = c.solve_flip(tm, &prefix, flipped);
+            let warm_nanos = instr.finish(warm_started, phase, observer);
+            match solved {
                 Ok(report) => {
+                    if warm_started.is_some() {
+                        instr.record_query(warm_nanos);
+                    }
                     warm_result = Some((
                         report.result,
                         report.reused as u64,
@@ -260,6 +287,7 @@ impl WarmCache {
                     // cold solve, which answers bit-identically. The
                     // determinism invariant survives even the failure
                     // mode the typed errors exist for.
+                    instr.instant("warm_rollback");
                     *ctx = None;
                 }
             }
@@ -272,13 +300,20 @@ impl WarmCache {
                 // minus the prefix re-execution, with none of a context's
                 // bookkeeping (most parents are queried only once or
                 // twice and would never amortize it).
+                let blast_started = instr.begin(Phase::BitBlast);
                 let mut solver = Solver::new();
                 solver.push();
                 for &t in &prefix {
                     solver.assert_term(tm, t);
                 }
                 solver.assert_term(tm, flipped);
+                instr.finish(blast_started, Phase::BitBlast, observer);
+                let solve_started = instr.begin(Phase::Solve);
                 let r = solver.check_sat(tm, &[]);
+                let solve_nanos = instr.finish(solve_started, Phase::Solve, observer);
+                if solve_started.is_some() {
+                    instr.record_query(solve_nanos);
+                }
                 (r, 0, i as u64, solver.model(tm))
             }
         };
@@ -356,8 +391,15 @@ c3:
         input: &[u8],
         flip: Flip,
     ) -> Result<(SatResult, Option<Vec<u8>>, WarmQueryStats), Error> {
-        let (r, bytes, stats, _) =
-            cache.solve_flip(exec, input, flip, 10_000, StaticGate::disabled())?;
+        let (r, bytes, stats, _) = cache.solve_flip(
+            exec,
+            input,
+            flip,
+            10_000,
+            StaticGate::disabled(),
+            &Instruments::disabled(),
+            &mut crate::observe::NullObserver,
+        )?;
         Ok((
             r,
             bytes,
@@ -567,7 +609,15 @@ c2:
         let mut cache = WarmCache::new(4);
         let gate = StaticGate::new(true, true); // shadow-checked
         let (r, bytes, warm, sa) = cache
-            .solve_flip(&mut exec, &[0], flips[1], 10_000, gate)
+            .solve_flip(
+                &mut exec,
+                &[0],
+                flips[1],
+                10_000,
+                gate,
+                &Instruments::disabled(),
+                &mut crate::observe::NullObserver,
+            )
             .expect("solves");
         assert_eq!(r, SatResult::Unsat);
         assert!(bytes.is_none());
@@ -577,7 +627,15 @@ c2:
         // The first flip is residual: the gate screens it but the solver
         // decides it, bit-identically to a gate-free cold replay.
         let (r0, b0, warm0, sa0) = cache
-            .solve_flip(&mut exec, &[0], flips[0], 10_000, gate)
+            .solve_flip(
+                &mut exec,
+                &[0],
+                flips[0],
+                10_000,
+                gate,
+                &Instruments::disabled(),
+                &mut crate::observe::NullObserver,
+            )
             .expect("solves");
         let (cold_r, cold_b) = cold_solve(&mut exec, &[0], flips[0]);
         assert_eq!(r0, cold_r);

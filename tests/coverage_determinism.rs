@@ -15,6 +15,11 @@
 //! prefixes), and its records must stay byte-identical to cache-off runs
 //! regardless of the hit pattern.
 //!
+//! The observability layer (`SessionBuilder::metrics` / `::trace`) stacks
+//! on top of all of this without exceptions: an instrumented warm
+//! coverage-guided run is pinned byte-identical — solver checks included —
+//! to the plain uninstrumented one.
+//!
 //! The heavy programs run under `#[ignore]` so the debug-mode tier-1 suite
 //! stays fast; CI runs them in release with `--include-ignored`.
 
@@ -23,7 +28,8 @@ use std::sync::Arc;
 use binsym_repro::bench::programs::{self, Program};
 use binsym_repro::bench::{coverage_trajectory, SearchStrategy};
 use binsym_repro::binsym::{
-    CoverageGuided, CoverageMap, CoverageObserver, PathRecord, Prescription, Session, Summary,
+    ChromeTraceSink, CoverageGuided, CoverageMap, CoverageObserver, MetricsRegistry, PathRecord,
+    Prescription, Session, Summary, TraceSink,
 };
 use binsym_repro::isa::Spec;
 
@@ -189,9 +195,69 @@ fn check_warm_start(p: &Program, limit: u64) {
     }
 }
 
+/// A coverage-guided run with metrics and tracing fully on, stacked on
+/// the warm start — the everything-enabled configuration.
+fn instrumented_coverage_run(p: &Program, workers: usize) -> (Summary, Vec<PathRecord>) {
+    let elf = p.build();
+    let map = CoverageMap::shared_for(&elf);
+    let policy_map = Arc::clone(&map);
+    let observer_map = Arc::clone(&map);
+    let registry = Arc::new(MetricsRegistry::new(workers));
+    let sink = Arc::new(ChromeTraceSink::new());
+    let mut session = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers)
+        .warm_start(true)
+        .metrics(Arc::clone(&registry))
+        .trace(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .shard_strategy(move |_| {
+            Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
+        })
+        .observer_factory(move |_| Box::new(CoverageObserver::new(Arc::clone(&observer_map))))
+        .build_parallel()
+        .expect("builds");
+    let summary = session.run_all().expect("explores");
+    let report = registry.report();
+    assert_eq!(
+        report.paths, summary.paths,
+        "{}: metrics count every merged path",
+        p.name
+    );
+    assert!(!sink.is_empty(), "{}: phases were traced", p.name);
+    (summary, session.records().to_vec())
+}
+
+/// The observability × coverage × warm-start contract: metrics + tracing
+/// on top of the warm coverage-guided stack must still merge records
+/// byte-identical — and summaries, solver checks included, equal — to the
+/// plain coverage-guided cache-off run, at every worker count.
+fn check_instrumentation(p: &Program) {
+    let (ref_summary, ref_records, _) = coverage_run(p, 1, None);
+    for workers in [1usize, 2, 4, 8] {
+        let (summary, records) = instrumented_coverage_run(p, workers);
+        let what = format!("{} instrumented warm coverage, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(
+            records, ref_records,
+            "{what}: byte-identical to instrumentation-off"
+        );
+    }
+}
+
 #[test]
 fn clif_parser_coverage_guided_is_deterministic() {
     check_program(&programs::CLIF_PARSER);
+}
+
+#[test]
+fn clif_parser_instrumented_coverage_is_invisible_in_results() {
+    check_instrumentation(&programs::CLIF_PARSER);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_instrumented_coverage_is_invisible_in_results() {
+    check_instrumentation(&programs::URI_PARSER);
 }
 
 #[test]

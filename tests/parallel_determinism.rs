@@ -25,6 +25,12 @@
 //! merged records — witness bytes included — stay byte-identical to the
 //! gate-off run at every worker count, warm or cold.
 //!
+//! The observability layer (`SessionBuilder::metrics` / `::trace`) carries
+//! the same contract with no exceptions at all: phase timers and trace
+//! spans observe the run and feed nothing back, so an instrumented run's
+//! records and summary — solver checks included — are pinned byte-identical
+//! to the uninstrumented run at every worker count.
+//!
 //! The three big programs run under `#[ignore]` so the debug-mode tier-1
 //! suite stays fast; CI runs them in release with `--include-ignored`.
 
@@ -32,7 +38,8 @@ use std::sync::{Arc, Mutex};
 
 use binsym_repro::bench::programs::{self, Program};
 use binsym_repro::binsym::{
-    CountingObserver, PathRecord, Prescription, RandomRestart, Session, Summary, TrailEntry,
+    ChromeTraceSink, CountingObserver, MetricsRegistry, PathRecord, Prescription, RandomRestart,
+    Session, Summary, TraceSink, TrailEntry,
 };
 use binsym_repro::isa::Spec;
 
@@ -323,9 +330,62 @@ fn check_warm_start(p: &Program, limit: u64) {
     }
 }
 
+/// One parallel run with metrics and tracing fully on. Also sanity-checks
+/// the collected data: the merged report counts every path and the trace
+/// sink saw events.
+fn instrumented_run(p: &Program, workers: usize) -> (Summary, Vec<PathRecord>) {
+    let elf = p.build();
+    let registry = Arc::new(MetricsRegistry::new(workers));
+    let sink = Arc::new(ChromeTraceSink::new());
+    let mut session = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers)
+        .metrics(Arc::clone(&registry))
+        .trace(Arc::clone(&sink) as Arc<dyn TraceSink>)
+        .build_parallel()
+        .expect("builds");
+    let summary = session.run_all().expect("explores");
+    let report = registry.report();
+    assert_eq!(
+        report.paths, summary.paths,
+        "{}: metrics count every merged path",
+        p.name
+    );
+    assert!(report.queries > 0, "{}: queries were timed", p.name);
+    assert!(!sink.is_empty(), "{}: phases were traced", p.name);
+    (summary, session.records().to_vec())
+}
+
+/// The observability contract: metrics + tracing on vs. off at every
+/// worker count — merged records byte-identical, summaries (solver checks
+/// included) identical. Instrumentation changes wall time only.
+fn check_instrumentation(p: &Program) {
+    let (ref_summary, ref_records) = parallel_run(p, 1, None);
+    for workers in [1usize, 2, 4, 8] {
+        let (summary, records) = instrumented_run(p, workers);
+        let what = format!("{} instrumented, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(
+            records, ref_records,
+            "{what}: byte-identical to instrumentation-off"
+        );
+    }
+}
+
 #[test]
 fn clif_parser_is_deterministic() {
     check_program(&programs::CLIF_PARSER);
+}
+
+#[test]
+fn clif_parser_instrumentation_is_invisible_in_results() {
+    check_instrumentation(&programs::CLIF_PARSER);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_instrumentation_is_invisible_in_results() {
+    check_instrumentation(&programs::URI_PARSER);
 }
 
 #[test]

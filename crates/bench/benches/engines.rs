@@ -12,7 +12,9 @@
 //! scaling series (default 4), `--strategy dfs|bfs|coverage` to swap
 //! the path-selection policy (path counts must not change), and
 //! `--json PATH` to record the scaling series (cold and warm-start
-//! datapoints per worker count) machine-readably. `--metrics` adds
+//! datapoints per worker count) and the scratch-clone microbench (ns per
+//! warm-path solver+blaster clone pair at several prefix depths)
+//! machine-readably. `--metrics` adds
 //! per-phase seconds and query-latency percentiles to each scaling row;
 //! `--trace PATH` records the whole bench into one Chrome trace-event
 //! file for `ui.perfetto.dev`.
@@ -27,6 +29,35 @@ use binsym::{
 use binsym_bench::cli::{metrics_json, write_json, BenchOpts, Json};
 use binsym_bench::{run_engine_instrumented, Engine, Program, SearchStrategy};
 use binsym_isa::Spec;
+
+/// Measures the warm path's per-flip scratch clone — the
+/// `SatSolver::clone_unlogged` + `BitBlaster::clone_unjournaled` pair a
+/// retained prefix context pays on every query — on a chain-shaped prefix
+/// of `depth` conjuncts (the `prefix.rs` test shape: running 8-bit sums
+/// compared against constants). Returns (ns per clone pair, clones timed).
+fn clone_cost_ns(depth: usize) -> (f64, usize) {
+    use binsym_smt::bitblast::BitBlaster;
+    use binsym_smt::{SatSolver, TermManager};
+    let mut tm = TermManager::new();
+    let mut sat = SatSolver::with_op_log();
+    let mut bb = BitBlaster::with_journal();
+    let mut acc = tm.bv_const(0, 8);
+    for i in 0..depth {
+        let v = tm.var(&format!("in{i}"), 8);
+        acc = tm.add(acc, v);
+        let bound = tm.bv_const(200 + (i % 40) as u64, 8);
+        let cond = tm.ult(acc, bound);
+        let lit = bb.blast_bool(&tm, &mut sat, cond);
+        sat.add_clause(&[lit]);
+    }
+    let start = Instant::now();
+    let mut clones = 0usize;
+    while clones < 10_000 && (clones == 0 || start.elapsed() < Duration::from_millis(300)) {
+        std::hint::black_box((sat.clone_unlogged(), bb.clone_unjournaled()));
+        clones += 1;
+    }
+    (start.elapsed().as_nanos() as f64 / clones as f64, clones)
+}
 
 fn sample<R>(mut run: impl FnMut() -> R) -> (Duration, usize) {
     let mut samples = 0usize;
@@ -126,6 +157,24 @@ fn main() {
                 engine.name()
             );
         }
+    }
+
+    // Scratch-clone microbench: ns per warm-path clone pair at a few
+    // prefix depths — the datapoint behind the flat-arena clause store
+    // and bits arena (`--json` records it under `clone_cost`).
+    println!("\nscratch clone (SatSolver + BitBlaster pair, chain prefix):\n");
+    let mut clone_rows = Vec::new();
+    for depth in [16usize, 64, 256] {
+        let (ns, clones) = clone_cost_ns(depth);
+        println!(
+            "  depth {depth:<5} {:>10.0} ns/clone   ({clones} clone(s))",
+            ns
+        );
+        clone_rows.push(Json::O(vec![
+            ("prefix_depth", Json::U(depth as u64)),
+            ("ns_per_clone", Json::F(ns)),
+            ("clones", Json::U(clones as u64)),
+        ]));
     }
 
     // Worker scaling: the raw formal-semantics engine (no persona cost
@@ -232,6 +281,7 @@ fn main() {
         let doc = Json::O(vec![
             ("bin", Json::s("engines-bench")),
             ("smoke", Json::B(smoke)),
+            ("clone_cost", Json::A(clone_rows)),
             ("scaling", Json::A(json_rows)),
         ]);
         write_json(path, &doc);

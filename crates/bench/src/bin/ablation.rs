@@ -47,11 +47,12 @@
 //! counters are deterministic and identical across rounds, and the
 //! emitted rows carry the per-round values (totals divided by N).
 //!
-//! `--smoke` is the CI-sized run: ablation 3 (warm start on/off, the
-//! smallest Table I program) plus ablation 5 (gate on/off on the smallest
-//! program and on bubble sort — the one with infeasible flips), so every
-//! merge exercises the warm-start and queries-eliminated datapoints
-//! without the full matrix.
+//! `--smoke` is the CI-sized run: ablation 3 (warm start on/off, on the
+//! smallest Table I program and on uri-parser — the structural-keying
+//! canary, whose warm rows are asserted to show `warm_prefix_reused > 0`)
+//! plus ablation 5 (gate on/off on the smallest program and on bubble
+//! sort — the one with infeasible flips), so every merge exercises the
+//! warm-start and queries-eliminated datapoints without the full matrix.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -86,14 +87,19 @@ fn main() {
     if opts.smoke {
         let max_workers = opts.workers.unwrap_or(2);
         let runs = opts.runs.unwrap_or(1);
+        // uri-parser rides along in the CI-sized run because it is the
+        // program whose flip set only shares prefixes *across* parents:
+        // its `warm_prefix_reused` was exactly 0 under input keying, so
+        // it is the regression canary for the structural context keys.
         ablation3(
-            progs,
+            &[programs::CLIF_PARSER, programs::URI_PARSER],
             max_workers,
             runs,
             opts.metrics,
             trace.as_ref(),
             &mut json_rows,
         );
+        assert_warm_prefix_reuse(&json_rows, "uri-parser");
         // Bubble sort is the Table I program whose flip set contains
         // infeasible branches, so it is the one that shows a nonzero
         // queries-eliminated count in CI.
@@ -208,14 +214,24 @@ fn main() {
     }
 
     let max_workers = opts.workers.unwrap_or(4);
+    // All five Table I programs: the structural context keys must show
+    // nonzero prefix reuse on every one of them, so the full run records
+    // warm counters for the whole table (`--quick` keeps the small ones).
+    let a3_progs: Vec<_> = all_programs()
+        .into_iter()
+        .filter(|p| !(opts.quick && p.expected_paths > 1000))
+        .collect();
     ablation3(
-        progs,
+        &a3_progs,
         max_workers,
         opts.runs.unwrap_or(1),
         opts.metrics,
         trace.as_ref(),
         &mut json_rows,
     );
+    for p in &a3_progs {
+        assert_warm_prefix_reuse(&json_rows, p.name);
+    }
 
     println!("\nABLATION 4 — paths to full PC coverage (search-strategy comparison)\n");
     println!(
@@ -389,6 +405,11 @@ fn ablation3(
                         ("warm_replays_skipped", Json::U(c.warm_replays_skipped)),
                         ("warm_prefix_reused", Json::U(c.warm_prefix_reused)),
                         ("warm_prefix_blasted", Json::U(c.warm_prefix_blasted)),
+                        ("warm_context_keys", Json::U(c.warm_context_keys)),
+                        (
+                            "warm_cross_parent_reuse",
+                            Json::U(c.warm_cross_parent_reuse),
+                        ),
                     ]);
                 }
                 if let Some(registry) = &registries[slot] {
@@ -407,6 +428,35 @@ fn ablation3(
         }
         println!("{:<16} {:>12.1?}   {}", p.name, seq, cells.join("  "));
     }
+}
+
+/// Asserts the `--smoke` structural-keying datapoint: every warm
+/// worker-scaling row of `benchmark` must show nonzero retained-context
+/// prefix reuse. Under the pre-structural input keying uri-parser sat at
+/// `warm_prefix_reused: 0` — this is the counter CI pins above zero.
+fn assert_warm_prefix_reuse(rows: &[Json], benchmark: &str) {
+    let mut saw_warm_row = false;
+    for row in rows {
+        let Json::O(fields) = row else { continue };
+        let field = |k: &str| fields.iter().find(|(n, _)| *n == k).map(|(_, v)| v);
+        let is = |k: &str, want: &str| matches!(field(k), Some(Json::S(s)) if s == want);
+        if !is("ablation", "worker-scaling") || !is("benchmark", benchmark) {
+            continue;
+        }
+        if !matches!(field("warm_start"), Some(Json::B(true))) {
+            continue;
+        }
+        saw_warm_row = true;
+        let reused = match field("warm_prefix_reused") {
+            Some(Json::U(v)) => *v,
+            _ => panic!("warm row missing warm_prefix_reused"),
+        };
+        assert!(
+            reused > 0,
+            "{benchmark}: warm_prefix_reused must stay > 0 under structural context keys"
+        );
+    }
+    assert!(saw_warm_row, "no warm worker-scaling rows for {benchmark}");
 }
 
 /// Ablation 5: the word-level static-analysis gate on vs. off, on the

@@ -202,6 +202,8 @@ pub fn add_counters(sum: &mut binsym::CountingObserver, round: &binsym::Counting
     sum.warm_replays_skipped += round.warm_replays_skipped;
     sum.warm_prefix_reused += round.warm_prefix_reused;
     sum.warm_prefix_blasted += round.warm_prefix_blasted;
+    sum.warm_context_keys += round.warm_context_keys;
+    sum.warm_cross_parent_reuse += round.warm_cross_parent_reuse;
     sum.sa_queries += round.sa_queries;
     sum.sa_queries_eliminated += round.sa_queries_eliminated;
     sum.sa_facts += round.sa_facts;
@@ -229,6 +231,8 @@ pub fn counters_per_round(sum: &binsym::CountingObserver, runs: usize) -> binsym
         warm_replays_skipped: per(sum.warm_replays_skipped),
         warm_prefix_reused: per(sum.warm_prefix_reused),
         warm_prefix_blasted: per(sum.warm_prefix_blasted),
+        warm_context_keys: per(sum.warm_context_keys),
+        warm_cross_parent_reuse: per(sum.warm_cross_parent_reuse),
         sa_queries: per(sum.sa_queries),
         sa_queries_eliminated: per(sum.sa_queries_eliminated),
         sa_facts: per(sum.sa_facts),

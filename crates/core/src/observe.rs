@@ -42,6 +42,13 @@ pub struct WarmQueryStats {
     pub prefix_reused: u64,
     /// Prefix path terms bit-blasted anew for this query.
     pub prefix_blasted: u64,
+    /// No structurally matching context key was resident, so the query
+    /// opened a fresh structural-context entry.
+    pub context_key_created: bool,
+    /// The structural context entry serving this query was last used by a
+    /// *different* parent input — the cross-parent sharing the structural
+    /// keying exists for.
+    pub cross_parent_reuse: bool,
 }
 
 /// Per-query accounting of the word-level static-analysis gate
@@ -217,6 +224,11 @@ pub struct CountingObserver {
     pub warm_prefix_reused: u64,
     /// Prefix path terms bit-blasted anew by warm-start queries.
     pub warm_prefix_blasted: u64,
+    /// Structural context keys opened (fresh context-cache entries).
+    pub warm_context_keys: u64,
+    /// Warm-start queries served by a structural context entry last used
+    /// by a different parent input (cross-parent sharing).
+    pub warm_cross_parent_reuse: u64,
     /// Flip queries screened by the static-analysis gate.
     pub sa_queries: u64,
     /// Screened queries eliminated without any SAT call.
@@ -263,6 +275,12 @@ impl Observer for CountingObserver {
         }
         self.warm_prefix_reused += stats.prefix_reused;
         self.warm_prefix_blasted += stats.prefix_blasted;
+        if stats.context_key_created {
+            self.warm_context_keys += 1;
+        }
+        if stats.cross_parent_reuse {
+            self.warm_cross_parent_reuse += 1;
+        }
     }
 
     fn on_static_analysis(&mut self, stats: &StaticAnalysisStats) {

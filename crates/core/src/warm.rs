@@ -1,28 +1,38 @@
-//! The deterministic prefix-keyed solver warm start of the parallel
-//! engine.
+//! The deterministic structurally-keyed solver warm start of the
+//! parallel engine.
 //!
 //! Cache-off prescription replay ([`crate::parallel`]) pays twice per
 //! flip query: it re-executes the parent input's path prefix to reproduce
 //! the trail, and it bit-blasts that prefix into a brand-new solver.
 //! Consecutive prescriptions from the same subtree — siblings under DFS,
-//! affine pops under [`crate::CoverageGuided`] — replay the *identical*
-//! parent prefix. A per-worker [`WarmCache`] keys that shared work by the
-//! parent's concrete input:
+//! affine pops under [`crate::CoverageGuided`] — replay prefixes that are
+//! *structurally* identical even when their parent inputs differ. A
+//! per-worker [`WarmCache`] therefore splits the shared work into two
+//! caches over one shared [`TermManager`]:
 //!
-//! * the **trail** of the parent prefix is executed once per parent and
-//!   served from the cache afterwards (re-executed only when a later
-//!   query needs a *deeper* prefix than was recorded);
-//! * the **bit-blast** of the shared prefix lives in a
-//!   [`binsym_smt::PrefixContext`], which detects the longest shared
-//!   leading run between consecutive queries (the `(parent input, prefix
-//!   branch ordinal)` key) and solves each flip in a disposable frame on
-//!   top — exactly as the sequential incremental engine layers flip
-//!   queries over its assertion stack. Contexts are **lazily promoted**
-//!   ([`PROMOTE_AFTER_QUERIES`]): most parents are queried only once or
-//!   twice (a path spawns one pending flip on average), so early queries
-//!   on a parent solve cold from the cached trail and only a
-//!   demonstrated hub builds the retained context — the context's
-//!   bookkeeping taxes only parents with proven reuse.
+//! * the **trail cache** keys recorded trails by the parent's concrete
+//!   input (the trail's witness values are input-dependent); a cached
+//!   trail is re-executed only when a later query needs a *deeper*
+//!   prefix than was recorded;
+//! * the **context cache** keys retained
+//!   [`binsym_smt::PrefixContext`]s by the **structural decision
+//!   prefix** — the sequence of `(branch-site pc, asserted direction)`
+//!   pairs, which is input-independent. Execution is deterministic, so
+//!   two parents whose trails share a leading decision run derive the
+//!   *same* path-condition terms for it (the shared term manager
+//!   hash-conses them to identical handles), and one retained bit-blast
+//!   serves them both: a query is routed to the resident entry sharing
+//!   the longest leading run with its own key (ties to the most recently
+//!   used entry), and the entry's key follows the last query served.
+//!   Contexts are **lazily promoted** ([`PROMOTE_AFTER_QUERIES`]): the
+//!   promotion counter lives on the structural entry, so sibling parents
+//!   pool their queries toward promotion and the retained context's
+//!   bookkeeping (op log, per-query scratch clone) taxes only regions
+//!   with proven reuse.
+//!
+//! Both caches are bounded and LRU-evicted through an intrusive recency
+//! list ([`Lru`]): touch, insert, and evict are all O(1) (the previous
+//! per-insertion `min_by_key` scan was O(entries)).
 //!
 //! # Determinism
 //!
@@ -35,17 +45,22 @@
 //!    trail of input `I` is the trail any fresh replay of `I` would
 //!    record (prefixes of deeper runs included).
 //! 2. [`PrefixContext`] guarantees bit-identical models to a cold
-//!    per-query solver: its retained prefix state is pristine (never
-//!    solved on) and every flip runs in a scratch clone, so learnt
-//!    clauses and heuristic state from one query can never steer another
-//!    (see `binsym_smt::prefix` for the full argument).
-//! 3. Eviction (bounded LRU) only discards contexts; a rebuilt context
+//!    per-query solver *regardless of its retained state*: the retained
+//!    prefix is pristine (never solved on), every flip runs in a scratch
+//!    clone, and [`PrefixContext::solve_flip`] recomputes the true
+//!    term-level shared run on every query — so even routing a query to
+//!    a structurally unrelated context only costs time (a full rollback
+//!    and re-blast), never correctness (see `binsym_smt::prefix` for the
+//!    full argument). Structural matching is purely a search heuristic.
+//! 3. Eviction only discards cached state; a rebuilt trail or context
 //!    reproduces the evicted one's answers exactly (same pure function).
 //!
 //! Everything observable beyond timing — results, models, spawned
 //! prescriptions — is therefore a pure function of the prescription, as
 //! in cache-off mode; only the hit/miss counters surfaced through
 //! [`crate::Observer::on_warm_query`] reveal the cache at all.
+
+use std::collections::HashMap;
 
 use binsym_smt::{PrefixContext, SatResult, Solver, Term, TermManager};
 
@@ -75,48 +90,310 @@ pub const DEFAULT_WARM_CAPACITY: usize = 16;
 /// programs and this threshold winning on all of them.
 const PROMOTE_AFTER_QUERIES: u32 = 3;
 
-/// One cached parent input: its term manager, recorded trail, and (once
-/// the parent has proven reuse) the retained solver context over the
-/// blasted prefix.
-struct WarmEntry {
+/// Sentinel for "no slot" in the intrusive recency list.
+const NIL: u32 = u32::MAX;
+
+/// Intrusive doubly-linked recency list over slab slot indices: touch,
+/// insert, and least-recent eviction are all O(1), replacing the former
+/// O(entries) `min_by_key` stamp scan per insertion. Eviction order is
+/// exactly least-recently-used and thus deterministic for a given query
+/// sequence.
+#[derive(Debug)]
+struct Lru {
+    head: u32,
+    tail: u32,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+}
+
+impl Lru {
+    fn new() -> Self {
+        Lru {
+            head: NIL,
+            tail: NIL,
+            prev: Vec::new(),
+            next: Vec::new(),
+        }
+    }
+
+    /// Links `slot` (currently unlinked) at the most-recent end.
+    fn push_front(&mut self, slot: u32) {
+        let n = slot as usize + 1;
+        if self.prev.len() < n {
+            self.prev.resize(n, NIL);
+            self.next.resize(n, NIL);
+        }
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = self.head;
+        if self.head != NIL {
+            self.prev[self.head as usize] = slot;
+        } else {
+            self.tail = slot;
+        }
+        self.head = slot;
+    }
+
+    /// Unlinks `slot` (currently linked).
+    fn unlink(&mut self, slot: u32) {
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p != NIL {
+            self.next[p as usize] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n as usize] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[slot as usize] = NIL;
+        self.next[slot as usize] = NIL;
+    }
+
+    /// Moves a linked `slot` to the most-recent end.
+    fn touch(&mut self, slot: u32) {
+        if self.head != slot {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+    }
+
+    /// Unlinks and returns the least-recently-used slot.
+    fn pop_back(&mut self) -> Option<u32> {
+        let t = self.tail;
+        if t == NIL {
+            return None;
+        }
+        self.unlink(t);
+        Some(t)
+    }
+}
+
+/// One cached parent input: the longest trail recorded for it so far.
+/// Trails are input-keyed because their witness values depend on the
+/// concrete input; the input-independent half (the bit-blasted prefix)
+/// lives in the structurally-keyed [`CtxSlot`]s instead.
+struct TrailSlot {
     /// The parent path's concrete input (the cache key).
     input: Vec<u8>,
-    /// Term manager owning every handle in `trail` and `ctx`. Never
-    /// reset while the entry lives — hash-consing keeps re-derived
-    /// prefix terms handle-stable across queries.
-    tm: TermManager,
     /// Longest trail recorded for this input so far.
     trail: Vec<TrailEntry>,
     /// Number of branch entries in `trail`.
     branches: usize,
-    /// The retained blasted-prefix solver context. **Lazy**: most parents
-    /// are queried only a few times, and a context's bookkeeping (op log,
-    /// per-query scratch clone) would tax them for nothing — so early
-    /// queries on a parent solve cold from the cached trail, and only the
-    /// [`PROMOTE_AFTER_QUERIES`]-exceeding query promotes the parent to a
-    /// retained context. The trail reuse (skipping the prefix
-    /// re-execution) applies from the first hit either way.
+}
+
+/// The bounded, LRU-evicted parent-input → trail half of the cache.
+struct TrailCache {
+    capacity: usize,
+    /// Slab of slots; `None` marks a freed slot awaiting reuse.
+    slots: Vec<Option<TrailSlot>>,
+    free: Vec<u32>,
+    index: HashMap<Vec<u8>, u32>,
+    lru: Lru,
+}
+
+impl TrailCache {
+    fn new(capacity: usize) -> Self {
+        TrailCache {
+            capacity: capacity.max(1),
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            lru: Lru::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Looks `input` up, marking the entry most-recently used on a hit.
+    fn lookup(&mut self, input: &[u8]) -> Option<u32> {
+        let slot = *self.index.get(input)?;
+        self.lru.touch(slot);
+        Some(slot)
+    }
+
+    fn slot_mut(&mut self, slot: u32) -> &mut TrailSlot {
+        self.slots[slot as usize].as_mut().expect("live trail slot")
+    }
+
+    /// Inserts a fresh trail for `input` (not resident), evicting the
+    /// least-recently-used entry at capacity. Returns the slot id.
+    fn insert(&mut self, input: &[u8], trail: Vec<TrailEntry>, branches: usize) -> u32 {
+        if self.index.len() >= self.capacity {
+            let victim = self.lru.pop_back().expect("capacity >= 1");
+            let old = self.slots[victim as usize].take().expect("linked slot");
+            self.index.remove(&old.input);
+            self.free.push(victim);
+        }
+        let fresh = TrailSlot {
+            input: input.to_vec(),
+            trail,
+            branches,
+        };
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slots[s as usize] = Some(fresh);
+                s
+            }
+            None => {
+                self.slots.push(Some(fresh));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(input.to_vec(), slot);
+        self.lru.push_front(slot);
+        slot
+    }
+}
+
+/// One structural region: a promotion counter and (once the region has
+/// proven reuse) the retained solver context over its blasted prefix.
+struct CtxSlot {
+    /// Structural key: the `(branch pc, taken)` pairs of the most recent
+    /// query's prefix. Adaptive — it follows the last query served, so
+    /// the entry drifts with the worker's current subtree.
+    key: Vec<(u32, bool)>,
+    /// Parent input of the most recent query (cross-parent accounting
+    /// only; never used for matching).
+    last_parent: Vec<u8>,
+    /// The retained blasted-prefix solver context. **Lazy**: most
+    /// regions see only a few queries, and a context's bookkeeping (op
+    /// log, per-query scratch clone) would tax them for nothing — so
+    /// early queries solve cold from the cached trail and only the
+    /// [`PROMOTE_AFTER_QUERIES`]-exceeding query builds the context.
     ctx: Option<PrefixContext>,
-    /// Flip queries discharged against this parent so far.
+    /// Flip queries routed to this region so far (pooled across sibling
+    /// parents — the point of structural keying).
     queries: u32,
-    /// LRU stamp (larger = more recently used).
+    /// Recency stamp for deterministic best-match tie-breaks.
     stamp: u64,
 }
 
-/// A bounded, LRU-evicted map from parent input to [`WarmEntry`], owned
-/// by one worker thread of a [`crate::ParallelSession`].
-pub(crate) struct WarmCache {
+/// The bounded, LRU-evicted structural-prefix → context half of the
+/// cache.
+struct ContextCache {
     capacity: usize,
-    entries: Vec<WarmEntry>,
+    slots: Vec<Option<CtxSlot>>,
+    free: Vec<u32>,
+    lru: Lru,
+}
+
+/// Length of the shared leading run of two structural keys.
+fn shared_run(a: &[(u32, bool)], b: &[(u32, bool)]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+impl ContextCache {
+    fn new(capacity: usize) -> Self {
+        ContextCache {
+            capacity: capacity.max(1),
+            slots: Vec::new(),
+            free: Vec::new(),
+            lru: Lru::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    fn slot_mut(&mut self, slot: u32) -> &mut CtxSlot {
+        self.slots[slot as usize].as_mut().expect("live ctx slot")
+    }
+
+    /// Routes a query to the resident entry sharing the longest leading
+    /// structural run with `key` (ties to the larger recency stamp —
+    /// deterministic), opening a fresh entry when nothing shares at
+    /// least one decision. The chosen entry's key is rewritten to `key`
+    /// and its recency updated. Returns
+    /// `(slot, created, cross_parent_reuse)`.
+    fn lookup_or_insert(
+        &mut self,
+        key: &[(u32, bool)],
+        input: &[u8],
+        tick: u64,
+    ) -> (u32, bool, bool) {
+        let mut best: Option<(usize, u64, u32)> = None;
+        for (s, slot) in self.slots.iter().enumerate() {
+            let Some(e) = slot else { continue };
+            let share = shared_run(&e.key, key);
+            if share == 0 && !(key.is_empty() && e.key.is_empty()) {
+                continue;
+            }
+            if best.map_or(true, |(bs, bst, _)| (share, e.stamp) > (bs, bst)) {
+                best = Some((share, e.stamp, s as u32));
+            }
+        }
+        match best {
+            Some((_, _, s)) => {
+                let e = self.slots[s as usize].as_mut().expect("live ctx slot");
+                let cross = e.last_parent != input;
+                if cross {
+                    e.last_parent.clear();
+                    e.last_parent.extend_from_slice(input);
+                }
+                e.key.clear();
+                e.key.extend_from_slice(key);
+                e.stamp = tick;
+                self.lru.touch(s);
+                (s, false, cross)
+            }
+            None => {
+                if self.len() >= self.capacity {
+                    let victim = self.lru.pop_back().expect("capacity >= 1");
+                    self.slots[victim as usize] = None;
+                    self.free.push(victim);
+                }
+                let fresh = CtxSlot {
+                    key: key.to_vec(),
+                    last_parent: input.to_vec(),
+                    ctx: None,
+                    queries: 0,
+                    stamp: tick,
+                };
+                let slot = match self.free.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(fresh);
+                        s
+                    }
+                    None => {
+                        self.slots.push(Some(fresh));
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.lru.push_front(slot);
+                (slot, true, false)
+            }
+        }
+    }
+}
+
+/// The per-worker warm-start cache of a [`crate::ParallelSession`]: an
+/// input-keyed [`TrailCache`] and a structurally-keyed [`ContextCache`]
+/// over one shared term manager, each bounded to `capacity` entries with
+/// its own O(1) LRU.
+pub(crate) struct WarmCache {
+    /// One shared term manager for every cached trail and context.
+    /// Never reset while the cache lives — hash-consing is what makes
+    /// structurally identical prefixes from *different parents* derive
+    /// identical term handles, so one retained context can serve them
+    /// all. (The former per-parent managers duplicated every shared
+    /// prefix per entry; sharing roughly cancels the lifetime growth.)
+    tm: TermManager,
+    trails: TrailCache,
+    contexts: ContextCache,
     tick: u64,
 }
 
 impl WarmCache {
-    /// Creates an empty cache bounded to `capacity` parent contexts.
+    /// Creates an empty cache; each half is bounded to `capacity`.
     pub(crate) fn new(capacity: usize) -> Self {
         WarmCache {
-            capacity: capacity.max(1),
-            entries: Vec::new(),
+            tm: TermManager::new(),
+            trails: TrailCache::new(capacity),
+            contexts: ContextCache::new(capacity),
             tick: 0,
         }
     }
@@ -164,65 +441,44 @@ impl WarmCache {
     > {
         self.tick += 1;
         let tick = self.tick;
-        let pos = self.entries.iter().position(|e| e.input == input);
+        let pos = self.trails.lookup(input);
         let hit = pos.is_some();
         let mut replayed = false;
-        let idx = match pos {
-            Some(i) => {
-                let e = &mut self.entries[i];
-                e.stamp = tick;
-                if e.branches <= flip.ord {
+        let slot = match pos {
+            Some(s) => {
+                if self.trails.slot_mut(s).branches <= flip.ord {
                     // The cached trail is too shallow for this flip:
-                    // execute deeper on the entry's own term manager
+                    // execute deeper on the shared term manager
                     // (hash-consing reproduces the shared prefix's
                     // handles exactly).
                     let replay_started = instr.begin(Phase::Replay);
-                    let trail = executor.execute_prefix(&mut e.tm, input, fuel, flip.ord + 1);
+                    let trail = executor.execute_prefix(&mut self.tm, input, fuel, flip.ord + 1);
                     instr.finish(replay_started, Phase::Replay, observer);
                     let trail = trail?;
+                    let e = self.trails.slot_mut(s);
                     e.branches = trail.iter().filter(|t| t.is_branch()).count();
                     e.trail = trail;
                     replayed = true;
                 }
-                i
+                s
             }
             None => {
-                let mut tm = TermManager::new();
                 let replay_started = instr.begin(Phase::Replay);
-                let trail = executor.execute_prefix(&mut tm, input, fuel, flip.ord + 1);
+                let trail = executor.execute_prefix(&mut self.tm, input, fuel, flip.ord + 1);
                 instr.finish(replay_started, Phase::Replay, observer);
                 let trail = trail?;
                 replayed = true;
                 let branches = trail.iter().filter(|t| t.is_branch()).count();
-                if self.entries.len() >= self.capacity {
-                    let lru = self
-                        .entries
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, e)| e.stamp)
-                        .map(|(i, _)| i)
-                        .expect("capacity >= 1 implies a resident entry");
-                    self.entries.swap_remove(lru);
-                }
-                self.entries.push(WarmEntry {
-                    input: input.to_vec(),
-                    tm,
-                    trail,
-                    branches,
-                    ctx: None,
-                    queries: 0,
-                    stamp: tick,
-                });
-                self.entries.len() - 1
+                self.trails.insert(input, trail, branches)
             }
         };
-        let WarmEntry {
+        let WarmCache {
             tm,
-            trail,
-            ctx,
-            queries,
+            trails,
+            contexts,
             ..
-        } = &mut self.entries[idx];
+        } = self;
+        let trail = &trails.slot_mut(slot).trail;
 
         // Locate the prescribed branch with the shared divergence guards
         // — the single implementation cold replay uses too.
@@ -231,8 +487,17 @@ impl WarmCache {
         // Terms are interned in the same order whether or not the gate
         // screens the query (flipped first, then the prefix — the order
         // both solve paths below have always used), so screening cannot
-        // perturb the entry's hash-consed handles.
+        // perturb the shared manager's hash-consed handles.
         let prefix: Vec<Term> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
+        // The input-independent structural identity of this query's
+        // prefix: the context cache routes on it.
+        let skey: Vec<(u32, bool)> = trail[..i]
+            .iter()
+            .filter_map(|e| match *e {
+                TrailEntry::Branch { taken, pc, .. } => Some((pc, taken)),
+                _ => None,
+            })
+            .collect();
         let mut sa_stats = None;
         let gate_started = instr.begin(Phase::Gate);
         let screened = gate.screen(tm, &prefix, flipped, input);
@@ -250,12 +515,15 @@ impl WarmCache {
                 None => {}
             }
         }
-        let promote = *queries >= PROMOTE_AFTER_QUERIES;
-        *queries += 1;
+        let (cslot, created, cross_parent) = contexts.lookup_or_insert(&skey, input, tick);
+        let centry = contexts.slot_mut(cslot);
+        let promote = centry.queries >= PROMOTE_AFTER_QUERIES;
+        centry.queries += 1;
+        let ctx = &mut centry.ctx;
         let mut warm_result = None;
         if ctx.is_some() || promote {
             // Proven reuse: solve through the retained prefix context
-            // (built once the parent exceeds the promotion gate). The
+            // (built once the region exceeds the promotion gate). The
             // promoting query — the one that builds the context and blasts
             // the whole prefix into it — is timed as `WarmPromote`; later
             // queries riding the retained context are `WarmSolve`.
@@ -323,6 +591,8 @@ impl WarmCache {
             replay_skipped: !replayed,
             prefix_reused: reused,
             prefix_blasted: blasted,
+            context_key_created: created,
+            cross_parent_reuse: cross_parent,
         };
         if result != SatResult::Sat {
             return Ok((result, None, Some(stats), sa_stats));
@@ -334,18 +604,45 @@ impl WarmCache {
         Ok((result, Some(bytes), Some(stats), sa_stats))
     }
 
-    /// Number of resident parent contexts.
+    /// Number of resident parent trails.
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.entries.len()
+        self.trails.len()
+    }
+
+    /// Number of resident structural context entries.
+    #[cfg(test)]
+    pub(crate) fn context_len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// Parent inputs currently resident in the trail cache, least
+    /// recently used first (test observability for the eviction order).
+    #[cfg(test)]
+    pub(crate) fn resident_inputs_lru_first(&self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut s = self.trails.lru.tail;
+        while s != NIL {
+            out.push(
+                self.trails.slots[s as usize]
+                    .as_ref()
+                    .expect("linked slot")
+                    .input
+                    .clone(),
+            );
+            s = self.trails.lru.prev[s as usize];
+        }
+        out
     }
 }
 
 impl std::fmt::Debug for WarmCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WarmCache")
-            .field("capacity", &self.capacity)
-            .field("resident", &self.entries.len())
+            .field("trail_capacity", &self.trails.capacity)
+            .field("trails_resident", &self.trails.len())
+            .field("context_capacity", &self.contexts.capacity)
+            .field("contexts_resident", &self.contexts.len())
             .finish()
     }
 }
@@ -545,6 +842,79 @@ c3:
         let (cold_r, cold_bytes) = cold_solve(&mut exec, &[0, 0, 0], flips[2]);
         assert_eq!(r, cold_r);
         assert_eq!(bytes, cold_bytes);
+    }
+
+    #[test]
+    fn lru_eviction_order_is_pinned_least_recent_first() {
+        let mut exec = executor();
+        let mut cache = WarmCache::new(2);
+        let a: &[u8] = &[0, 0, 0];
+        let b: &[u8] = &[200, 0, 0];
+        let c: &[u8] = &[0, 200, 0];
+        for input in [a, b] {
+            let flip = flips_of(&mut exec, input)[0];
+            warm_solve(&mut cache, &mut exec, input, flip).expect("ok");
+        }
+        // Touch `a` again: `b` becomes the least-recently-used entry.
+        let fa = flips_of(&mut exec, a)[0];
+        let (_, _, s) = warm_solve(&mut cache, &mut exec, a, fa).expect("ok");
+        assert!(s.cache_hit);
+        assert_eq!(
+            cache.resident_inputs_lru_first(),
+            vec![b.to_vec(), a.to_vec()]
+        );
+        // Inserting `c` at capacity must evict exactly `b`.
+        let fc = flips_of(&mut exec, c)[0];
+        warm_solve(&mut cache, &mut exec, c, fc).expect("ok");
+        assert_eq!(
+            cache.resident_inputs_lru_first(),
+            vec![a.to_vec(), c.to_vec()]
+        );
+        let (_, _, sa) = warm_solve(&mut cache, &mut exec, a, fa).expect("ok");
+        assert!(sa.cache_hit, "a survived the eviction");
+        let fb = flips_of(&mut exec, b)[0];
+        let (_, _, sb) = warm_solve(&mut cache, &mut exec, b, fb).expect("ok");
+        assert!(!sb.cache_hit, "b was the deterministic victim");
+    }
+
+    #[test]
+    fn sibling_parents_share_one_structural_context() {
+        let mut exec = executor();
+        // Two different parent inputs with the *same* decision prefix:
+        // both are < 100 at every compare, so their trails are
+        // structurally identical while their witness bytes differ.
+        let a: &[u8] = &[0, 0, 0];
+        let b: &[u8] = &[1, 1, 1];
+        let fa = flips_of(&mut exec, a)[2];
+        let fb = flips_of(&mut exec, b)[2];
+        let mut cache = WarmCache::new(4);
+        let (_, _, first) = warm_solve(&mut cache, &mut exec, a, fa).expect("ok");
+        assert!(first.context_key_created, "first query opens the region");
+        assert!(!first.cross_parent_reuse);
+        // Pool queries on the region through parent `a` until promotion.
+        for _ in 1..=PROMOTE_AFTER_QUERIES {
+            warm_solve(&mut cache, &mut exec, a, fa).expect("ok");
+        }
+        assert_eq!(cache.context_len(), 1, "one structural region");
+        // Parent `b` rides the context parent `a` promoted: the full
+        // prefix is served from the retained bit-blast and the answer is
+        // still bit-identical to a cold replay of `b`.
+        let (r, bytes, s) = warm_solve(&mut cache, &mut exec, b, fb).expect("ok");
+        assert!(!s.context_key_created, "same structural key: no new region");
+        assert!(s.cross_parent_reuse, "a context built by `a` served `b`");
+        assert!(s.prefix_reused > 0, "cross-parent bit-blast reuse");
+        assert_eq!(s.prefix_blasted, 0, "identical prefix: nothing re-blasted");
+        assert_eq!(cache.context_len(), 1, "still one region");
+        let (cold_r, cold_bytes) = cold_solve(&mut exec, b, fb);
+        assert_eq!(r, cold_r);
+        assert_eq!(bytes, cold_bytes, "bit-identical witness across parents");
+        // A structurally different parent (first compare falls the other
+        // way) opens its own region instead of riding this one.
+        let c: &[u8] = &[200, 0, 0];
+        let fc = flips_of(&mut exec, c)[1];
+        let (_, _, sc) = warm_solve(&mut cache, &mut exec, c, fc).expect("ok");
+        assert!(sc.context_key_created, "divergent prefix: new region");
+        assert_eq!(cache.context_len(), 2);
     }
 
     #[test]

@@ -17,11 +17,13 @@ use crate::sat::{Lit, RollbackError, SatSolver};
 use crate::term::{Op, Sort, Term, TermManager, VarId};
 
 /// Blasted form of a term: one literal per bit (LSB first) or a single
-/// boolean literal.
-#[derive(Debug, Clone)]
+/// boolean literal. Bitvector results live in the blaster's flat bits
+/// arena as an `(offset, len)` window, keeping the cache `Copy` and the
+/// per-flip scratch clone a plain memcpy.
+#[derive(Debug, Clone, Copy)]
 enum Blasted {
     Bool(Lit),
-    Bits(Vec<Lit>),
+    Bits { off: u32, len: u32 },
 }
 
 /// One journaled cache insertion of a journaling blaster (see
@@ -40,6 +42,9 @@ enum JournalEntry {
 pub struct BlastCheckpoint {
     blaster: u64,
     len: usize,
+    /// Bits-arena length at issue time: the arena is append-only, so
+    /// rollback truncates it exactly here.
+    bits_len: usize,
     /// Journal-version counter at issue time (see the solver-side
     /// equivalent in [`crate::sat`]): detects a prefix that was truncated
     /// and regrown with different insertions after this checkpoint.
@@ -55,7 +60,10 @@ pub struct BlastCheckpoint {
 #[derive(Debug, Default)]
 pub struct BitBlaster {
     cache: HashMap<Term, Blasted>,
-    var_bits: HashMap<VarId, Vec<Lit>>,
+    var_bits: HashMap<VarId, (u32, u32)>,
+    /// Flat arena backing every [`Blasted::Bits`] window and every
+    /// `var_bits` slice, LSB first. Append-only between checkpoints.
+    bits: Vec<Lit>,
     true_lit: Option<Lit>,
     /// Insertion journal for [`BitBlaster::rollback`] (`None` unless the
     /// blaster was created with [`BitBlaster::with_journal`]).
@@ -103,6 +111,7 @@ impl BitBlaster {
             Some(journal) => Ok(BlastCheckpoint {
                 blaster: self.journal_id,
                 len: journal.len(),
+                bits_len: self.bits.len(),
                 version: self.journal_version,
             }),
             None => Err(RollbackError::LogDisabled),
@@ -143,6 +152,9 @@ impl BitBlaster {
         }
         self.journal = Some(journal);
         self.entry_versions.truncate(cp.len);
+        // Every arena append is paired with a journal record in the same
+        // call, so truncating here sheds exactly the rolled-back windows.
+        self.bits.truncate(cp.bits_len);
         Ok(())
     }
 
@@ -152,6 +164,7 @@ impl BitBlaster {
         BitBlaster {
             cache: self.cache.clone(),
             var_bits: self.var_bits.clone(),
+            bits: self.bits.clone(),
             true_lit: self.true_lit,
             journal: None,
             journal_id: 0,
@@ -187,7 +200,27 @@ impl BitBlaster {
 
     /// SAT literals backing a bitvector variable, if it has been blasted.
     pub fn var_literals(&self, v: VarId) -> Option<&[Lit]> {
-        self.var_bits.get(&v).map(Vec::as_slice)
+        self.var_bits
+            .get(&v)
+            .map(|&(off, len)| &self.bits[off as usize..(off + len) as usize])
+    }
+
+    /// Copies `lits` into the bits arena and returns its window.
+    fn intern_bits(&mut self, lits: &[Lit]) -> Blasted {
+        let off = self.bits.len() as u32;
+        self.bits.extend_from_slice(lits);
+        Blasted::Bits {
+            off,
+            len: lits.len() as u32,
+        }
+    }
+
+    /// The arena slice behind a [`Blasted::Bits`] window.
+    fn window(&self, b: Blasted) -> &[Lit] {
+        match b {
+            Blasted::Bits { off, len } => &self.bits[off as usize..(off + len) as usize],
+            Blasted::Bool(_) => panic!("expected bits"),
+        }
     }
 
     /// Blasts a boolean term, returning its literal.
@@ -197,7 +230,7 @@ impl BitBlaster {
     pub fn blast_bool(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Lit {
         match self.blast(tm, sat, t) {
             Blasted::Bool(l) => l,
-            Blasted::Bits(_) => panic!("expected boolean term"),
+            Blasted::Bits { .. } => panic!("expected boolean term"),
         }
     }
 
@@ -207,14 +240,14 @@ impl BitBlaster {
     /// Panics if `t` is boolean.
     pub fn blast_bits(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Vec<Lit> {
         match self.blast(tm, sat, t) {
-            Blasted::Bits(b) => b,
+            b @ Blasted::Bits { .. } => self.window(b).to_vec(),
             Blasted::Bool(_) => panic!("expected bitvector term"),
         }
     }
 
     fn blast(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Blasted {
-        if let Some(b) = self.cache.get(&t) {
-            return b.clone();
+        if let Some(&b) = self.cache.get(&t) {
+            return b;
         }
         // Iterative post-order to avoid recursion depth issues on long
         // ite-chains produced by symbolic execution.
@@ -234,24 +267,21 @@ impl BitBlaster {
             self.cache.insert(cur, blasted);
             self.record(JournalEntry::Cache(cur));
         }
-        self.cache[&t].clone()
+        self.cache[&t]
     }
 
     fn blast_node(&mut self, tm: &TermManager, sat: &mut SatSolver, t: Term) -> Blasted {
         let args = tm.args(t).to_vec();
-        let get = |bb: &Self, i: usize| bb.cache[&args[i]].clone();
-        let bits = |bb: &Self, i: usize| match bb.cache[&args[i]] {
-            Blasted::Bits(ref b) => b.clone(),
-            Blasted::Bool(_) => panic!("expected bits"),
-        };
+        let get = |bb: &Self, i: usize| bb.cache[&args[i]];
+        let bits = |bb: &Self, i: usize| bb.window(bb.cache[&args[i]]).to_vec();
         let blit = |bb: &Self, i: usize| match bb.cache[&args[i]] {
             Blasted::Bool(l) => l,
-            Blasted::Bits(_) => panic!("expected bool"),
+            Blasted::Bits { .. } => panic!("expected bool"),
         };
         match tm.op(t) {
             Op::BvConst(v) => {
                 let w = tm.width(t);
-                let bits = (0..w)
+                let out: Vec<Lit> = (0..w)
                     .map(|i| {
                         if (v >> i) & 1 == 1 {
                             self.tru(sat)
@@ -260,22 +290,27 @@ impl BitBlaster {
                         }
                     })
                     .collect();
-                Blasted::Bits(bits)
+                self.intern_bits(&out)
             }
             Op::BoolConst(b) => Blasted::Bool(if b { self.tru(sat) } else { self.fls(sat) }),
             Op::Var(v) => {
-                if let std::collections::hash_map::Entry::Vacant(slot) = self.var_bits.entry(v) {
+                if !self.var_bits.contains_key(&v) {
                     let width = match tm.var_sort(v) {
                         Sort::Bool => 1,
                         Sort::BitVec(w) => w,
                     };
-                    slot.insert((0..width).map(|_| Lit::pos(sat.new_var())).collect());
+                    let off = self.bits.len() as u32;
+                    for _ in 0..width {
+                        let l = Lit::pos(sat.new_var());
+                        self.bits.push(l);
+                    }
+                    self.var_bits.insert(v, (off, width));
                     self.record(JournalEntry::VarBits(v));
                 }
-                let lits = &self.var_bits[&v];
+                let (off, len) = self.var_bits[&v];
                 match tm.var_sort(v) {
-                    Sort::Bool => Blasted::Bool(*lits.first().expect("one literal")),
-                    Sort::BitVec(_) => Blasted::Bits(lits.clone()),
+                    Sort::Bool => Blasted::Bool(self.bits[off as usize]),
+                    Sort::BitVec(_) => Blasted::Bits { off, len },
                 }
             }
             Op::Not => Blasted::Bool(!blit(self, 0)),
@@ -300,14 +335,15 @@ impl BitBlaster {
                     let g = self.mux_gate(sat, blit(self, 0), a, b);
                     Blasted::Bool(g)
                 }
-                (Blasted::Bits(a), Blasted::Bits(b)) => {
+                (wa @ Blasted::Bits { .. }, wb @ Blasted::Bits { .. }) => {
+                    let (a, b) = (self.window(wa).to_vec(), self.window(wb).to_vec());
                     let c = blit(self, 0);
-                    let out = a
+                    let out: Vec<Lit> = a
                         .iter()
                         .zip(&b)
                         .map(|(&x, &y)| self.mux_gate(sat, c, x, y))
                         .collect();
-                    Blasted::Bits(out)
+                    self.intern_bits(&out)
                 }
                 _ => panic!("ite branch sorts differ"),
             },
@@ -316,7 +352,8 @@ impl BitBlaster {
                     let g = self.iff_gate(sat, a, b);
                     Blasted::Bool(g)
                 }
-                (Blasted::Bits(a), Blasted::Bits(b)) => {
+                (wa @ Blasted::Bits { .. }, wb @ Blasted::Bits { .. }) => {
+                    let (a, b) = (self.window(wa).to_vec(), self.window(wb).to_vec());
                     let g = self.eq_bits(sat, &a, &b);
                     Blasted::Bool(g)
                 }
@@ -349,109 +386,122 @@ impl BitBlaster {
                 let gt = self.ult_bits(sat, &b, &a);
                 Blasted::Bool(!gt)
             }
-            Op::BvNot => Blasted::Bits(bits(self, 0).iter().map(|&l| !l).collect()),
+            Op::BvNot => {
+                let out: Vec<Lit> = bits(self, 0).iter().map(|&l| !l).collect();
+                self.intern_bits(&out)
+            }
             Op::BvNeg => {
                 let a = bits(self, 0);
                 let inv: Vec<Lit> = a.iter().map(|&l| !l).collect();
                 let one = self.tru(sat);
-                Blasted::Bits(self.add_with_carry(sat, &inv, None, one))
+                let out = self.add_with_carry(sat, &inv, None, one);
+                self.intern_bits(&out)
             }
             Op::BvAnd => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
-                let out = a
+                let out: Vec<Lit> = a
                     .iter()
                     .zip(&b)
                     .map(|(&x, &y)| self.and_gate(sat, x, y))
                     .collect();
-                Blasted::Bits(out)
+                self.intern_bits(&out)
             }
             Op::BvOr => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
-                let out = a
+                let out: Vec<Lit> = a
                     .iter()
                     .zip(&b)
                     .map(|(&x, &y)| self.or_gate(sat, x, y))
                     .collect();
-                Blasted::Bits(out)
+                self.intern_bits(&out)
             }
             Op::BvXor => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
-                let out = a
+                let out: Vec<Lit> = a
                     .iter()
                     .zip(&b)
                     .map(|(&x, &y)| self.xor_gate(sat, x, y))
                     .collect();
-                Blasted::Bits(out)
+                self.intern_bits(&out)
             }
             Op::BvAdd => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
                 let f = self.fls(sat);
-                Blasted::Bits(self.add_with_carry(sat, &a, Some(&b), f))
+                let out = self.add_with_carry(sat, &a, Some(&b), f);
+                self.intern_bits(&out)
             }
             Op::BvSub => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
                 let binv: Vec<Lit> = b.iter().map(|&l| !l).collect();
                 let t = self.tru(sat);
-                Blasted::Bits(self.add_with_carry(sat, &a, Some(&binv), t))
+                let out = self.add_with_carry(sat, &a, Some(&binv), t);
+                self.intern_bits(&out)
             }
             Op::BvMul => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
-                Blasted::Bits(self.mul_bits(sat, &a, &b))
+                let out = self.mul_bits(sat, &a, &b);
+                self.intern_bits(&out)
             }
             Op::BvUdiv => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
                 let (q, _r) = self.udivrem_bits(sat, &a, &b);
-                Blasted::Bits(q)
+                self.intern_bits(&q)
             }
             Op::BvUrem => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
                 let (_q, r) = self.udivrem_bits(sat, &a, &b);
-                Blasted::Bits(r)
+                self.intern_bits(&r)
             }
             Op::BvSdiv => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
-                Blasted::Bits(self.sdiv_bits(sat, &a, &b))
+                let out = self.sdiv_bits(sat, &a, &b);
+                self.intern_bits(&out)
             }
             Op::BvSrem => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
-                Blasted::Bits(self.srem_bits(sat, &a, &b))
+                let out = self.srem_bits(sat, &a, &b);
+                self.intern_bits(&out)
             }
             Op::BvShl => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
                 let f = self.fls(sat);
-                Blasted::Bits(self.barrel_shift(sat, &a, &b, ShiftKind::Left, f))
+                let out = self.barrel_shift(sat, &a, &b, ShiftKind::Left, f);
+                self.intern_bits(&out)
             }
             Op::BvLshr => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
                 let f = self.fls(sat);
-                Blasted::Bits(self.barrel_shift(sat, &a, &b, ShiftKind::LogicalRight, f))
+                let out = self.barrel_shift(sat, &a, &b, ShiftKind::LogicalRight, f);
+                self.intern_bits(&out)
             }
             Op::BvAshr => {
                 let (a, b) = (bits(self, 0), bits(self, 1));
                 let sign = *a.last().expect("nonempty");
-                Blasted::Bits(self.barrel_shift(sat, &a, &b, ShiftKind::ArithRight, sign))
+                let out = self.barrel_shift(sat, &a, &b, ShiftKind::ArithRight, sign);
+                self.intern_bits(&out)
             }
             Op::Concat => {
                 let (hi, lo) = (bits(self, 0), bits(self, 1));
                 let mut out = lo;
                 out.extend(hi);
-                Blasted::Bits(out)
+                self.intern_bits(&out)
             }
             Op::Extract { hi, lo } => {
                 let a = bits(self, 0);
-                Blasted::Bits(a[lo as usize..=hi as usize].to_vec())
+                let out = a[lo as usize..=hi as usize].to_vec();
+                self.intern_bits(&out)
             }
             Op::ZeroExt { add } => {
                 let mut a = bits(self, 0);
                 let f = self.fls(sat);
                 a.extend(std::iter::repeat(f).take(add as usize));
-                Blasted::Bits(a)
+                self.intern_bits(&a)
             }
             Op::SignExt { add } => {
                 let mut a = bits(self, 0);
                 let s = *a.last().expect("nonempty");
                 a.extend(std::iter::repeat(s).take(add as usize));
-                Blasted::Bits(a)
+                self.intern_bits(&a)
             }
         }
     }

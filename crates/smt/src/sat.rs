@@ -100,17 +100,216 @@ pub enum SatResult {
     Unsat,
 }
 
-#[derive(Debug, Clone)]
-struct Clause {
-    lits: Vec<Lit>,
+/// Per-clause metadata; the literals live in the [`ClauseStore`] arena at
+/// `off..off + len`.
+#[derive(Debug, Clone, Copy)]
+struct ClauseHeader {
+    off: u32,
+    len: u32,
     learnt: bool,
     activity: f64,
+}
+
+/// Flat clause storage: one shared literal arena plus (offset, length)
+/// headers, replacing the former `Vec<Clause{lits: Vec<Lit>}>`. Cloning
+/// the whole database — the warm-start path's per-flip scratch clone —
+/// is two `memcpy`s instead of one small-`Vec` clone per clause.
+///
+/// Clauses are appended in arena order and only ever removed from the
+/// tail ([`ClauseStore::truncate`], the rollback fast path) or by a full
+/// compacting rebuild (`reduce_db`), so the arena never fragments.
+#[derive(Debug, Default, Clone)]
+struct ClauseStore {
+    arena: Vec<Lit>,
+    headers: Vec<ClauseHeader>,
+}
+
+impl ClauseStore {
+    fn len(&self) -> usize {
+        self.headers.len()
+    }
+
+    fn push(&mut self, lits: &[Lit], learnt: bool, activity: f64) -> u32 {
+        let idx = self.headers.len() as u32;
+        let off = self.arena.len() as u32;
+        self.arena.extend_from_slice(lits);
+        self.headers.push(ClauseHeader {
+            off,
+            len: lits.len() as u32,
+            learnt,
+            activity,
+        });
+        idx
+    }
+
+    fn lits(&self, ci: usize) -> &[Lit] {
+        let h = self.headers[ci];
+        &self.arena[h.off as usize..(h.off + h.len) as usize]
+    }
+
+    fn lits_mut(&mut self, ci: usize) -> &mut [Lit] {
+        let h = self.headers[ci];
+        &mut self.arena[h.off as usize..(h.off + h.len) as usize]
+    }
+
+    fn is_learnt(&self, ci: usize) -> bool {
+        self.headers[ci].learnt
+    }
+
+    fn activity(&self, ci: usize) -> f64 {
+        self.headers[ci].activity
+    }
+
+    fn add_activity(&mut self, ci: usize, inc: f64) {
+        self.headers[ci].activity += inc;
+    }
+
+    fn scale_learnt_activities(&mut self, factor: f64) {
+        for h in self.headers.iter_mut().filter(|h| h.learnt) {
+            h.activity *= factor;
+        }
+    }
+
+    /// Drops every clause `>= n` (tail-only, in arena order).
+    fn truncate(&mut self, n: usize) {
+        let end = match n {
+            0 => 0,
+            _ => {
+                let h = self.headers[n - 1];
+                (h.off + h.len) as usize
+            }
+        };
+        self.headers.truncate(n);
+        self.arena.truncate(end);
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct Watch {
     clause: u32,
     blocker: Lit,
+}
+
+/// One literal's watch list inside the [`WatchLists`] arena: a segment of
+/// `data` at `start..start + cap`, of which the first `len` are live.
+#[derive(Debug, Default, Clone, Copy)]
+struct WatchSeg {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+/// Flattened watch lists: one `Watch` arena plus a per-literal segment
+/// table, replacing the former `Vec<Vec<Watch>>` (one heap allocation per
+/// literal). Cloning — again the per-flip scratch-clone hot path — is two
+/// `memcpy`s.
+///
+/// A list that outgrows its segment relocates to the arena tail with
+/// doubled capacity (preserving order); the hole it leaves is reclaimed
+/// lazily when a rollback truncates the arena past it. Capacity doubling
+/// bounds the total hole volume by the live volume, so the arena stays
+/// within a small constant of a perfectly compact layout.
+#[derive(Debug, Default, Clone)]
+struct WatchLists {
+    data: Vec<Watch>,
+    segs: Vec<WatchSeg>,
+}
+
+impl WatchLists {
+    const DUMMY: Watch = Watch {
+        clause: u32::MAX,
+        blocker: Lit(u32::MAX),
+    };
+
+    /// Grows the table to `n` lists (new lists empty).
+    fn grow_lists(&mut self, n: usize) {
+        self.segs.resize(n, WatchSeg::default());
+    }
+
+    fn len_of(&self, l: Lit) -> usize {
+        self.segs[l.index()].len as usize
+    }
+
+    fn get(&self, l: Lit, i: usize) -> Watch {
+        let s = self.segs[l.index()];
+        self.data[s.start as usize + i]
+    }
+
+    fn set_blocker(&mut self, l: Lit, i: usize, blocker: Lit) {
+        let s = self.segs[l.index()];
+        self.data[s.start as usize + i].blocker = blocker;
+    }
+
+    fn push(&mut self, l: Lit, w: Watch) {
+        let idx = l.index();
+        let seg = self.segs[idx];
+        if seg.len == seg.cap {
+            // Relocate to the tail with doubled capacity, preserving
+            // order (order determines propagation order and therefore
+            // learnt clauses and models — it must never change).
+            let new_cap = (seg.cap * 2).max(4);
+            let new_start = self.data.len() as u32;
+            for i in 0..seg.len {
+                let live = self.data[(seg.start + i) as usize];
+                self.data.push(live);
+            }
+            self.data
+                .resize(new_start as usize + new_cap as usize, Self::DUMMY);
+            self.segs[idx] = WatchSeg {
+                start: new_start,
+                len: seg.len,
+                cap: new_cap,
+            };
+        }
+        let seg = &mut self.segs[idx];
+        self.data[(seg.start + seg.len) as usize] = w;
+        seg.len += 1;
+    }
+
+    fn pop(&mut self, l: Lit) -> Option<Watch> {
+        let seg = &mut self.segs[l.index()];
+        if seg.len == 0 {
+            return None;
+        }
+        seg.len -= 1;
+        Some(self.data[(seg.start + seg.len) as usize])
+    }
+
+    fn swap_remove(&mut self, l: Lit, i: usize) {
+        let seg = self.segs[l.index()];
+        let last = (seg.len - 1) as usize;
+        self.data
+            .swap(seg.start as usize + i, seg.start as usize + last);
+        self.segs[l.index()].len -= 1;
+    }
+
+    /// Drops every list `>= n` and reclaims the arena tail past the last
+    /// surviving segment (relocation holes below it are kept — they are
+    /// bounded by capacity doubling and vanish at the next truncation
+    /// below them).
+    fn truncate_lists(&mut self, n: usize) {
+        self.segs.truncate(n);
+        let end = self.segs.iter().map(|s| s.start + s.cap).max().unwrap_or(0);
+        self.data.truncate(end as usize);
+    }
+
+    /// In-place per-list `retain` + clause-index remap (order-preserving),
+    /// for learnt-clause database reduction.
+    fn retain_remap(&mut self, map: &[Option<u32>]) {
+        for si in 0..self.segs.len() {
+            let seg = self.segs[si];
+            let mut live = 0u32;
+            for r in 0..seg.len {
+                let mut watch = self.data[(seg.start + r) as usize];
+                if let Some(ni) = map[watch.clause as usize] {
+                    watch.clause = ni;
+                    self.data[(seg.start + live) as usize] = watch;
+                    live += 1;
+                }
+            }
+            self.segs[si].len = live;
+        }
+    }
 }
 
 /// Indexed max-heap over variable activities (the VSIDS order).
@@ -310,8 +509,8 @@ pub struct SatStats {
 /// ```
 #[derive(Debug, Default)]
 pub struct SatSolver {
-    clauses: Vec<Clause>,
-    watches: Vec<Vec<Watch>>, // indexed by Lit::index
+    clauses: ClauseStore,
+    watches: WatchLists, // one list per Lit::index
     assigns: Vec<LBool>,
     phase: Vec<bool>,
     reason: Vec<Option<u32>>,
@@ -497,12 +696,12 @@ impl SatSolver {
     fn truncate_to(&mut self, cp: &SatCheckpoint) {
         // `!self.solved` (checked by the caller) implies no learnt
         // clauses: they are only ever attached inside `solve`.
-        debug_assert!(self.clauses.iter().all(|c| !c.learnt));
+        debug_assert!((0..self.clauses.len()).all(|ci| !self.clauses.is_learnt(ci)));
         for ci in (cp.clauses..self.clauses.len()).rev() {
-            let w0 = self.clauses[ci].lits[0];
-            let w1 = self.clauses[ci].lits[1];
-            let a = self.watches[(!w0).index()].pop();
-            let b = self.watches[(!w1).index()].pop();
+            let w0 = self.clauses.lits(ci)[0];
+            let w1 = self.clauses.lits(ci)[1];
+            let a = self.watches.pop(!w0);
+            let b = self.watches.pop(!w1);
             debug_assert_eq!(a.map(|w| w.clause), Some(ci as u32), "append-only watches");
             debug_assert_eq!(b.map(|w| w.clause), Some(ci as u32), "append-only watches");
         }
@@ -515,7 +714,7 @@ impl SatSolver {
         self.level.truncate(cp.vars);
         self.activity.truncate(cp.vars);
         self.seen.truncate(cp.vars);
-        self.watches.truncate(2 * cp.vars);
+        self.watches.truncate_lists(2 * cp.vars);
         self.heap.truncate_vars(cp.vars);
         self.unsat = cp.unsat;
         self.stats = cp.stats;
@@ -559,7 +758,9 @@ impl SatSolver {
 
     /// Number of problem (non-learnt) clauses.
     pub fn num_clauses(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.learnt).count()
+        (0..self.clauses.len())
+            .filter(|&ci| !self.clauses.is_learnt(ci))
+            .count()
     }
 
     /// Solver statistics.
@@ -581,8 +782,7 @@ impl SatSolver {
         self.level.push(0);
         self.activity.push(0.0);
         self.seen.push(false);
-        self.watches.push(Vec::new());
-        self.watches.push(Vec::new());
+        self.watches.grow_lists(2 * self.assigns.len());
         self.heap.grow(self.assigns.len());
         self.heap.push(v, &self.activity);
         v
@@ -663,29 +863,30 @@ impl SatSolver {
                 }
             }
             _ => {
-                self.attach_clause(c, false);
+                self.attach_clause(&c, false);
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool) -> u32 {
         debug_assert!(lits.len() >= 2);
-        let idx = self.clauses.len() as u32;
         let w0 = lits[0];
         let w1 = lits[1];
-        self.watches[(!w0).index()].push(Watch {
-            clause: idx,
-            blocker: w1,
-        });
-        self.watches[(!w1).index()].push(Watch {
-            clause: idx,
-            blocker: w0,
-        });
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            activity: 0.0,
-        });
+        let idx = self.clauses.push(lits, learnt, 0.0);
+        self.watches.push(
+            !w0,
+            Watch {
+                clause: idx,
+                blocker: w1,
+            },
+        );
+        self.watches.push(
+            !w1,
+            Watch {
+                clause: idx,
+                blocker: w0,
+            },
+        );
         if learnt {
             self.stats.learnts += 1;
         }
@@ -707,16 +908,20 @@ impl SatSolver {
     }
 
     /// Unit propagation; returns the index of a conflicting clause, if any.
+    ///
+    /// Iterates `p`'s watch list in place: a moved watch is pushed onto
+    /// `!l`'s list, and `l == !p` is impossible there (`l` is non-false
+    /// while `!p` is false), so no push can ever relocate or grow the list
+    /// being iterated — indices into it stay stable throughout.
     fn propagate(&mut self) -> Option<u32> {
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
             self.stats.propagations += 1;
             let mut i = 0;
-            let mut watches = std::mem::take(&mut self.watches[p.index()]);
             let mut conflict: Option<u32> = None;
-            'watches: while i < watches.len() {
-                let w = watches[i];
+            'watches: while i < self.watches.len_of(p) {
+                let w = self.watches.get(p, i);
                 // Quick check: blocker already true?
                 if self.lit_value(w.blocker) == LBool::True {
                     i += 1;
@@ -725,34 +930,37 @@ impl SatSolver {
                 let ci = w.clause as usize;
                 // Ensure the false literal (!p) is at position 1.
                 let false_lit = !p;
-                if self.clauses[ci].lits[0] == false_lit {
-                    self.clauses[ci].lits.swap(0, 1);
+                if self.clauses.lits(ci)[0] == false_lit {
+                    self.clauses.lits_mut(ci).swap(0, 1);
                     self.watches_perturbed = true;
                 }
-                debug_assert_eq!(self.clauses[ci].lits[1], false_lit);
-                let first = self.clauses[ci].lits[0];
+                debug_assert_eq!(self.clauses.lits(ci)[1], false_lit);
+                let first = self.clauses.lits(ci)[0];
                 if first != w.blocker && self.lit_value(first) == LBool::True {
-                    watches[i].blocker = first;
+                    self.watches.set_blocker(p, i, first);
                     self.watches_perturbed = true;
                     i += 1;
                     continue;
                 }
                 // Look for a new literal to watch.
-                for k in 2..self.clauses[ci].lits.len() {
-                    let l = self.clauses[ci].lits[k];
+                for k in 2..self.clauses.lits(ci).len() {
+                    let l = self.clauses.lits(ci)[k];
                     if self.lit_value(l) != LBool::False {
-                        self.clauses[ci].lits.swap(1, k);
-                        self.watches[(!l).index()].push(Watch {
-                            clause: w.clause,
-                            blocker: first,
-                        });
-                        watches.swap_remove(i);
+                        self.clauses.lits_mut(ci).swap(1, k);
+                        self.watches.push(
+                            !l,
+                            Watch {
+                                clause: w.clause,
+                                blocker: first,
+                            },
+                        );
+                        self.watches.swap_remove(p, i);
                         self.watches_perturbed = true;
                         continue 'watches;
                     }
                 }
                 // Clause is unit or conflicting.
-                watches[i].blocker = first;
+                self.watches.set_blocker(p, i, first);
                 self.watches_perturbed = true;
                 if self.lit_value(first) == LBool::False {
                     conflict = Some(w.clause);
@@ -762,9 +970,6 @@ impl SatSolver {
                 self.enqueue(first, Some(w.clause));
                 i += 1;
             }
-            // Put back remaining watches (append any added during the loop).
-            let added = std::mem::replace(&mut self.watches[p.index()], watches);
-            self.watches[p.index()].extend(added);
             if conflict.is_some() {
                 return conflict;
             }
@@ -785,15 +990,12 @@ impl SatSolver {
     }
 
     fn bump_clause(&mut self, ci: usize) {
-        let c = &mut self.clauses[ci];
-        if !c.learnt {
+        if !self.clauses.is_learnt(ci) {
             return;
         }
-        c.activity += self.cla_inc;
-        if c.activity > RESCALE_LIMIT {
-            for cl in self.clauses.iter_mut().filter(|c| c.learnt) {
-                cl.activity *= 1e-100;
-            }
+        self.clauses.add_activity(ci, self.cla_inc);
+        if self.clauses.activity(ci) > RESCALE_LIMIT {
+            self.clauses.scale_learnt_activities(1e-100);
             self.cla_inc *= 1e-100;
         }
     }
@@ -808,7 +1010,7 @@ impl SatSolver {
 
         loop {
             self.bump_clause(clause as usize);
-            let lits: Vec<Lit> = self.clauses[clause as usize].lits.clone();
+            let lits: Vec<Lit> = self.clauses.lits(clause as usize).to_vec();
             let start = usize::from(p.is_some());
             for &q in &lits[start..] {
                 let v = q.var().0 as usize;
@@ -881,7 +1083,7 @@ impl SatSolver {
         let v = l.var().0 as usize;
         match self.reason[v] {
             None => false,
-            Some(ci) => self.clauses[ci as usize].lits.iter().all(|&q| {
+            Some(ci) => self.clauses.lits(ci as usize).iter().all(|&q| {
                 q.var() == l.var()
                     || self.seen[q.var().0 as usize]
                     || self.level[q.var().0 as usize] == 0
@@ -922,15 +1124,15 @@ impl SatSolver {
         // Sort learnt clause indices by activity and remove the weaker half.
         let mut learnt_idx: Vec<usize> = (0..self.clauses.len())
             .filter(|&i| {
-                self.clauses[i].learnt
+                self.clauses.is_learnt(i)
                     && !self.is_reason(i as u32)
-                    && self.clauses[i].lits.len() > 2
+                    && self.clauses.lits(i).len() > 2
             })
             .collect();
         learnt_idx.sort_by(|&a, &b| {
-            self.clauses[a]
-                .activity
-                .partial_cmp(&self.clauses[b].activity)
+            self.clauses
+                .activity(a)
+                .partial_cmp(&self.clauses.activity(b))
                 .expect("activities are finite")
         });
         let remove: Vec<usize> = learnt_idx[..learnt_idx.len() / 2].to_vec();
@@ -938,27 +1140,24 @@ impl SatSolver {
             return;
         }
         let removed: std::collections::HashSet<usize> = remove.iter().copied().collect();
-        // Rebuild the clause arena and watches without the removed clauses.
+        // Rebuild the clause arena (compacting out the holes) and remap the
+        // watches and reasons to the surviving indices.
         let mut map: Vec<Option<u32>> = vec![None; self.clauses.len()];
-        let mut new_clauses = Vec::with_capacity(self.clauses.len() - removed.len());
-        for (i, c) in self.clauses.iter().enumerate() {
+        let mut new_clauses = ClauseStore::default();
+        for (i, slot) in map.iter_mut().enumerate() {
             if removed.contains(&i) {
                 continue;
             }
-            map[i] = Some(new_clauses.len() as u32);
-            new_clauses.push(c.clone());
+            let ni = new_clauses.push(
+                self.clauses.lits(i),
+                self.clauses.is_learnt(i),
+                self.clauses.activity(i),
+            );
+            *slot = Some(ni);
         }
         self.clauses = new_clauses;
         self.stats.learnts -= removed.len() as u64;
-        for w in &mut self.watches {
-            w.retain_mut(|watch| match map[watch.clause as usize] {
-                Some(ni) => {
-                    watch.clause = ni;
-                    true
-                }
-                None => false,
-            });
-        }
+        self.watches.retain_remap(&map);
         for r in &mut self.reason {
             if let Some(ci) = *r {
                 *r = map[ci as usize]; // reasons of kept assignments survive
@@ -1042,7 +1241,7 @@ impl SatSolver {
                         self.enqueue(learnt[0], None);
                     }
                 } else {
-                    let ci = self.attach_clause(learnt.clone(), true);
+                    let ci = self.attach_clause(&learnt, true);
                     self.enqueue(learnt[0], Some(ci));
                 }
                 self.var_inc /= VAR_DECAY;
@@ -1427,6 +1626,141 @@ mod tests {
         // Mutating the clone leaves the original untouched.
         clone.add_clause(&[Lit::neg(v[0])]);
         assert_eq!(s.solve(&[Lit::pos(v[0])]), SatResult::Sat);
+    }
+
+    /// FNV-1a fold of one `u64` into a running hash.
+    fn fnv(h: &mut u64, x: u64) {
+        *h ^= x;
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    /// Folds a full fingerprint battery (results + models) and the stats
+    /// counters into `h`, so two solvers hash equal only when their
+    /// observable behaviour is bit-identical.
+    fn fold_fingerprint(h: &mut u64, s: &mut SatSolver, nvars: usize) {
+        for (r, model) in fingerprint(s, nvars) {
+            fnv(h, u64::from(r == SatResult::Sat));
+            for v in model {
+                fnv(
+                    h,
+                    match v {
+                        None => 0,
+                        Some(false) => 1,
+                        Some(true) => 2,
+                    },
+                );
+            }
+        }
+        let st = s.stats();
+        fnv(h, st.conflicts);
+        fnv(h, st.decisions);
+        fnv(h, st.propagations);
+        fnv(h, st.restarts);
+        fnv(h, st.learnts);
+    }
+
+    fn xorshift(seed: &mut u64) -> u64 {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *seed
+    }
+
+    /// Builds a seeded random k-SAT instance on a fresh batch of variables.
+    fn random_instance(s: &mut SatSolver, seed: &mut u64, nvars: usize, nclauses: usize) {
+        let vars = lits(s, nvars);
+        for _ in 0..nclauses {
+            let mut cl = Vec::new();
+            for _ in 0..3 {
+                let v = vars[(xorshift(seed) % nvars as u64) as usize];
+                cl.push(Lit::new(v, xorshift(seed) % 2 == 0));
+            }
+            s.add_clause(&cl);
+        }
+    }
+
+    /// The behavioural pin of the clause-store layout: seeded random CNF
+    /// instances driven through assumption batteries, both rollback paths,
+    /// and a forced learnt-clause reduction, hashed bit-for-bit. The
+    /// constants were recorded from the pre-arena `Vec<Clause>` /
+    /// `Vec<Vec<Watch>>` layout; the flat-arena store must reproduce every
+    /// result, model bit, and statistics counter exactly.
+    #[test]
+    fn clause_store_fingerprints_match_the_pre_arena_layout() {
+        // Plain incremental solving over a spread of densities.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut seed = 0x5eed_0001u64;
+        for round in 0..6u64 {
+            let nvars = 18 + 3 * (round as usize);
+            let nclauses = nvars * 4 + (round as usize % 3);
+            let mut s = SatSolver::new();
+            random_instance(&mut s, &mut seed, nvars, nclauses);
+            fold_fingerprint(&mut h, &mut s, nvars);
+        }
+        assert_eq!(h, 0x4c22_c0f3_8b81_c30b, "plain battery drifted");
+
+        // Truncation-path rollback: pristine construction, checkpoint,
+        // extend, roll back, battery.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut seed = 0x5eed_0002u64;
+        for _ in 0..4u64 {
+            let mut s = SatSolver::with_op_log();
+            random_instance(&mut s, &mut seed, 16, 40);
+            let cp = s.checkpoint().expect("logged");
+            assert!(s.truncation_applies(&cp), "construct-only stays pristine");
+            random_instance(&mut s, &mut seed, 10, 30);
+            s.rollback(&cp).expect("valid");
+            fold_fingerprint(&mut h, &mut s, 16);
+        }
+        assert_eq!(h, 0xe578_0b47_fb12_f25b, "truncation rollback drifted");
+
+        // Replay-path rollback: solve between checkpoint and rollback so
+        // the op log is replayed into a fresh instance.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut seed = 0x5eed_0003u64;
+        for _ in 0..4u64 {
+            let mut s = SatSolver::with_op_log();
+            random_instance(&mut s, &mut seed, 16, 40);
+            let cp = s.checkpoint().expect("logged");
+            random_instance(&mut s, &mut seed, 10, 30);
+            let _ = s.solve(&[]);
+            s.rollback(&cp).expect("valid");
+            fold_fingerprint(&mut h, &mut s, 16);
+        }
+        assert_eq!(h, 0x40c3_3f96_3120_73b1, "replay rollback drifted");
+
+        // Learnt-clause reduction: accumulate learnt clauses across
+        // incremental queries, force `reduce_db`, and pin the surviving
+        // behaviour (clause remapping, watch rebuild, reason remapping).
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut seed = 0x5eed_0004u64;
+        for round in 0..3u64 {
+            let nvars = 40 + 4 * (round as usize);
+            let mut s = SatSolver::new();
+            random_instance(&mut s, &mut seed, nvars, nvars * 4 + 8);
+            // Assumption batteries breed learnt clauses deterministically.
+            for i in 0..nvars {
+                let a = Lit::new(Var(i as u32), i % 2 == 0);
+                let b = Lit::new(Var(((i + 7) % nvars) as u32), i % 3 == 0);
+                let _ = s.solve(&[a, b]);
+            }
+            fnv(&mut h, s.stats().learnts);
+            s.reduce_db();
+            fnv(&mut h, s.stats().learnts);
+            fold_fingerprint(&mut h, &mut s, nvars);
+        }
+        assert_eq!(h, 0x79a6_b8b5_6e7f_278f, "reduce_db behaviour drifted");
+
+        // Unlogged clone: the scratch instance must behave identically to
+        // its origin.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut seed = 0x5eed_0005u64;
+        let mut s = SatSolver::with_op_log();
+        random_instance(&mut s, &mut seed, 24, 96);
+        let mut clone = s.clone_unlogged();
+        fold_fingerprint(&mut h, &mut clone, 24);
+        fold_fingerprint(&mut h, &mut s, 24);
+        assert_eq!(h, 0x2cd5_5097_e3b2_46a1, "unlogged clone drifted");
     }
 
     #[test]

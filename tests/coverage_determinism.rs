@@ -23,13 +23,13 @@
 //! The heavy programs run under `#[ignore]` so the debug-mode tier-1 suite
 //! stays fast; CI runs them in release with `--include-ignored`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use binsym_repro::bench::programs::{self, Program};
 use binsym_repro::bench::{coverage_trajectory, SearchStrategy};
 use binsym_repro::binsym::{
-    ChromeTraceSink, CoverageGuided, CoverageMap, CoverageObserver, MetricsRegistry, PathRecord,
-    Prescription, Session, Summary, TraceSink,
+    ChromeTraceSink, CountingObserver, CoverageGuided, CoverageMap, CoverageObserver,
+    MetricsRegistry, PathRecord, Prescription, Session, Summary, TraceSink,
 };
 use binsym_repro::isa::Spec;
 
@@ -54,10 +54,27 @@ fn coverage_run_configured(
     warm: bool,
     analysis: bool,
 ) -> (Summary, Vec<PathRecord>, u64) {
+    let (summary, records, covered, _) = coverage_run_counted(p, workers, limit, warm, analysis);
+    (summary, records, covered)
+}
+
+/// Like [`coverage_run_configured`], additionally composing a shared
+/// [`CountingObserver`] next to each worker's coverage observer (the
+/// observer-pair impl fans every callback out to both) so the suite can
+/// assert the structurally-keyed warm cache engaged.
+fn coverage_run_counted(
+    p: &Program,
+    workers: usize,
+    limit: Option<u64>,
+    warm: bool,
+    analysis: bool,
+) -> (Summary, Vec<PathRecord>, u64, CountingObserver) {
     let elf = p.build();
     let map = CoverageMap::shared_for(&elf);
     let policy_map = Arc::clone(&map);
     let observer_map = Arc::clone(&map);
+    let counters = Arc::new(Mutex::new(CountingObserver::new()));
+    let handle = Arc::clone(&counters);
     let mut builder = Session::builder(Spec::rv32im())
         .binary(&elf)
         .workers(workers)
@@ -66,14 +83,25 @@ fn coverage_run_configured(
         .shard_strategy(move |_| {
             Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
         })
-        .observer_factory(move |_| Box::new(CoverageObserver::new(Arc::clone(&observer_map))));
+        .observer_factory(move |_| {
+            Box::new((
+                Arc::clone(&handle),
+                CoverageObserver::new(Arc::clone(&observer_map)),
+            ))
+        });
     if let Some(limit) = limit {
         builder = builder.limit(limit);
     }
     let mut session = builder.build_parallel().expect("builds");
     assert_eq!(session.strategy_name(), "coverage");
     let summary = session.run_all().expect("explores");
-    (summary, session.records().to_vec(), map.covered_count())
+    let counts = *counters.lock().expect("counters");
+    (
+        summary,
+        session.records().to_vec(),
+        map.covered_count(),
+        counts,
+    )
 }
 
 /// Reference run: default depth-first shard policy, no coverage plumbing.
@@ -176,15 +204,34 @@ fn paths_to_full_coverage(p: &Program, strategy: SearchStrategy) -> u64 {
 /// coverage-guided shard frontiers, merged records stay byte-identical to
 /// the plain depth-first cache-off reference at every worker count,
 /// including a truncated run.
+///
+/// The structural-key pin rides along: coverage-guided subtree affinity is
+/// exactly the access pattern the structurally-keyed context cache is
+/// built for, so the suite asserts contexts were opened, prefix terms were
+/// served warm, and entries were re-used across different parent inputs —
+/// all while the merged records above stay byte-identical.
 fn check_warm_start(p: &Program, limit: u64) {
     let (ref_summary, ref_records) = dfs_run(p, 1, None);
     for workers in [1usize, 2, 4, 8] {
-        let (summary, records, covered) = coverage_run_configured(p, workers, None, true, true);
+        let (summary, records, covered, counts) =
+            coverage_run_counted(p, workers, None, true, true);
         let what = format!("{} warm coverage, {workers} workers", p.name);
         assert_eq!(summary.paths, p.expected_paths, "{what}: pinned count");
         assert_summaries_equal(&summary, &ref_summary, &what);
         assert_eq!(records, ref_records, "{what}: byte-identical to cache-off");
         assert!(covered > 0, "{what}: map was fed");
+        assert!(
+            counts.warm_context_keys > 0,
+            "{what}: structural context keys were opened"
+        );
+        assert!(
+            counts.warm_prefix_reused > 0,
+            "{what}: retained contexts served prefix terms"
+        );
+        assert!(
+            counts.warm_cross_parent_reuse > 0,
+            "{what}: structural keys must share contexts across sibling parents"
+        );
     }
     let (cut_summary, cut_records, _) = coverage_run(p, 1, Some(limit));
     for workers in [1usize, 4] {

@@ -303,14 +303,40 @@ fn check_truncated(p: &Program, limit: u64) {
 /// results — records and summaries byte-identical to the cache-off run at
 /// every worker count, with the random shard policy, and on a truncated
 /// (`limit`) run. The cache affects wall time only, never models.
+///
+/// The structural-key pin rides along: warm runs carry a counting
+/// observer, and the suite asserts the structurally-keyed context cache
+/// actually engaged — contexts were opened, prefix terms were served warm,
+/// and entries were re-used across *different* parent inputs — while the
+/// records above stay byte-identical. Cross-parent sharing is the whole
+/// point of structural keys; this proves it happens and is invisible.
 fn check_warm_start(p: &Program, limit: u64) {
     let (ref_summary, ref_records) = parallel_run(p, 1, None);
     for workers in [1usize, 2, 4, 8] {
-        let (summary, records) = parallel_run_configured(p, workers, None, None, true);
+        // `analysis: true` matches the builder default the cache-off
+        // reference runs under (the gate is on unless disabled), so the
+        // only knob this loop turns is the warm start itself.
+        let (summary, records, counts) = analysis_run(p, workers, None, true, true);
         let what = format!("{} warm, {workers} workers", p.name);
         assert_eq!(summary.paths, p.expected_paths, "{what}: pinned count");
         assert_summaries_equal(&summary, &ref_summary, &what);
         assert_eq!(records, ref_records, "{what}: byte-identical to cache-off");
+        assert!(
+            counts.warm_hits + counts.warm_misses > 0,
+            "{what}: warm queries fired"
+        );
+        assert!(
+            counts.warm_context_keys > 0,
+            "{what}: structural context keys were opened"
+        );
+        assert!(
+            counts.warm_prefix_reused > 0,
+            "{what}: retained contexts served prefix terms"
+        );
+        assert!(
+            counts.warm_cross_parent_reuse > 0,
+            "{what}: structural keys must share contexts across sibling parents"
+        );
     }
 
     // Scheduling policy changes the hit pattern, not the results.

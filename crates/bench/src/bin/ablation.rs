@@ -30,12 +30,25 @@
 //!    Only programs whose flip set contains infeasible branches (bubble
 //!    sort in Table I) can show nonzero elimination; the rows carry the
 //!    off-side unsat totals so the ceiling is visible next to the count.
+//! 6. **Checkpoint overhead** — the atomic frontier persistence
+//!    (`.checkpoint(path, every)`) off vs. every 16 merged paths vs. every
+//!    single path, on the sharded engine. Checkpoints are wall-time-only
+//!    (the resume determinism pins forbid result drift), so the rows
+//!    quantify what the tmp+rename serialization of the full committed
+//!    record set costs at each interval; `checkpoints_written` counts the
+//!    writes.
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin ablation \
 //!     [--quick] [--smoke] [--workers N] [--runs N] [--json PATH] \
-//!     [--metrics] [--trace PATH]
+//!     [--metrics] [--trace PATH] [--checkpoint PATH]
 //! ```
+//!
+//! `--checkpoint PATH` redirects ablation 6's checkpoint files from the
+//! temp directory to `PATH.<every>.<benchmark>.ck` (and keeps them);
+//! `--checkpoint-every` is fixed by the ablation grid (off / 16 / 1) and
+//! `--resume` is ignored here — an ablation measures complete runs, and a
+//! resumed round would skip the very work being timed.
 //!
 //! `--metrics` adds per-phase seconds (execute vs solve vs gate, averaged
 //! over the rounds like the wall times) and query-latency percentiles to
@@ -55,6 +68,7 @@
 //! warm-start and queries-eliminated datapoints without the full matrix.
 
 use std::cell::RefCell;
+use std::path::{Path, PathBuf};
 use std::rc::Rc;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -71,6 +85,9 @@ use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
 
 fn main() {
     let opts = BenchOpts::from_env();
+    if opts.resume.is_some() {
+        eprintln!("--resume is ignored: ablations time complete runs only");
+    }
     let progs = if opts.smoke {
         vec![programs::CLIF_PARSER]
     } else {
@@ -109,6 +126,16 @@ fn main() {
             runs,
             opts.metrics,
             trace.as_ref(),
+            &mut json_rows,
+        );
+        // Checkpoint overhead on the smallest program: CI pins that the
+        // every-1 row reports `checkpoints_written == paths + 1` (one per
+        // committed path plus the drain write) without result drift.
+        ablation6(
+            &[programs::CLIF_PARSER],
+            max_workers,
+            runs,
+            opts.checkpoint.as_deref(),
             &mut json_rows,
         );
         if let Some(path) = &opts.json {
@@ -283,6 +310,18 @@ fn main() {
         opts.runs.unwrap_or(1),
         opts.metrics,
         trace.as_ref(),
+        &mut json_rows,
+    );
+
+    let a6_progs: Vec<_> = all_programs()
+        .into_iter()
+        .filter(|p| !(opts.quick && p.expected_paths > 1000))
+        .collect();
+    ablation6(
+        &a6_progs,
+        max_workers,
+        opts.runs.unwrap_or(1),
+        opts.checkpoint.as_deref(),
         &mut json_rows,
     );
 
@@ -560,6 +599,121 @@ fn ablation5(
                 row.push(("metrics", metrics_json(&registry.report(), runs)));
             }
             json_rows.push(Json::O(row));
+        }
+    }
+}
+
+/// Ablation 6: atomic checkpoint persistence off vs. every 16 merged paths
+/// vs. every single one, on the sharded engine. Each write serializes the
+/// full committed record set plus the live frontier through a tmp+rename
+/// pair under the merge lock, so the every-1 column is the worst case —
+/// one full-state write per path. The resume determinism pins forbid any
+/// result drift, so the delta is pure wall time; the path count is still
+/// asserted each round, and the every-1 write count must come out exact
+/// (`paths + 1`: one per committed path plus the drain write).
+fn ablation6(
+    progs: &[binsym_bench::Program],
+    workers: usize,
+    runs: usize,
+    checkpoint_base: Option<&Path>,
+    json_rows: &mut Vec<Json>,
+) {
+    const EVERY: [u64; 3] = [0, 16, 1];
+    println!("\nABLATION 6 — checkpoint overhead (atomic tmp+rename frontier persistence)\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>12}",
+        "Benchmark", "off", "every 16", "every 1", "writes(ev.1)"
+    );
+    for &p in progs {
+        let elf = p.build();
+        let mut seconds = [0.0f64; 3];
+        let mut tallies = [CountingObserver::new(); 3];
+        // Interleave the intervals so slow machine drift hits every column
+        // equally, like the other timed ablations.
+        for _ in 0..runs.max(1) {
+            for (slot, every) in EVERY.into_iter().enumerate() {
+                let counters = Arc::new(Mutex::new(CountingObserver::new()));
+                let handle = Arc::clone(&counters);
+                let mut builder = Session::builder(Spec::rv32im())
+                    .binary(&elf)
+                    .workers(workers)
+                    .observer_factory(move |_| Box::new(Arc::clone(&handle)));
+                let mut scratch = None;
+                if every > 0 {
+                    let path = ablation6_target(checkpoint_base, every, p.name, &mut scratch);
+                    builder = builder.checkpoint(path, every);
+                }
+                let mut par = builder.build_parallel().expect("builds");
+                let start = Instant::now();
+                let s = par.run_all().expect("explores");
+                assert_eq!(
+                    s.paths, p.expected_paths,
+                    "checkpointing must not change paths"
+                );
+                seconds[slot] += start.elapsed().as_secs_f64();
+                add_counters(&mut tallies[slot], &counters.lock().expect("counters"));
+                if let Some(path) = scratch {
+                    let _ = std::fs::remove_file(path);
+                }
+            }
+        }
+        let runs = runs.max(1);
+        for slot in &mut seconds {
+            *slot /= runs as f64;
+        }
+        let every1 = counters_per_round(&tallies[2], runs);
+        assert_eq!(
+            every1.checkpoints_written,
+            p.expected_paths + 1,
+            "{}: every-1 must write once per committed path plus the drain",
+            p.name
+        );
+        println!(
+            "{:<16} {:>9.2}s {:>9.2}s {:>9.2}s {:>12}",
+            p.name, seconds[0], seconds[1], seconds[2], every1.checkpoints_written
+        );
+        for (slot, every) in EVERY.into_iter().enumerate() {
+            let c = counters_per_round(&tallies[slot], runs);
+            json_rows.push(Json::O(vec![
+                ("ablation", Json::s("checkpoint-overhead")),
+                ("benchmark", Json::s(p.name)),
+                ("workers", Json::U(workers as u64)),
+                ("checkpoint_every", Json::U(every)),
+                ("runs", Json::U(runs as u64)),
+                ("seconds", Json::F(seconds[slot])),
+                (
+                    "seconds_per_path",
+                    Json::F(seconds[slot] / p.expected_paths as f64),
+                ),
+                ("paths", Json::U(p.expected_paths)),
+                ("checkpoints_written", Json::U(c.checkpoints_written)),
+            ]));
+        }
+    }
+}
+
+/// Picks the checkpoint file for one ablation-6 run: suffixed next to the
+/// `--checkpoint` base when one was given (and kept for inspection), or a
+/// per-process temp file remembered in `scratch` for cleanup otherwise.
+fn ablation6_target(
+    base: Option<&Path>,
+    every: u64,
+    benchmark: &str,
+    scratch: &mut Option<PathBuf>,
+) -> PathBuf {
+    match base {
+        Some(base) => {
+            let mut name = base.as_os_str().to_os_string();
+            name.push(format!(".{every}.{benchmark}.ck"));
+            PathBuf::from(name)
+        }
+        None => {
+            let path = std::env::temp_dir().join(format!(
+                "binsym-ablation6-{}-{benchmark}-{every}.ck",
+                std::process::id()
+            ));
+            *scratch = Some(path.clone());
+            path
         }
     }
 }

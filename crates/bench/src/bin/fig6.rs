@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p binsym-bench --bin fig6 \
 //!     [--runs N] [--quick] [--workers N] [--strategy dfs|bfs|coverage] \
-//!     [--json PATH] [--metrics] [--trace PATH]
+//!     [--json PATH] [--metrics] [--trace PATH] \
+//!     [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 //! ```
 //!
 //! The paper reports 5 runs on a Xeon Gold 6240 with the original tools;
@@ -24,13 +25,21 @@
 //! averaged over the `--runs` rounds) and query-latency percentiles;
 //! `--trace PATH` records the whole campaign into one Chrome trace-event
 //! file for `ui.perfetto.dev`. Both are wall-time-only.
+//!
+//! `--checkpoint PATH` / `--checkpoint-every N` / `--resume PATH` persist
+//! and restore each (engine, benchmark) run's sharded frontier exactly as
+//! in `table1` (suffixed per run, parallel-only). With `--runs N` every
+//! round re-resumes from — and, when checkpointing, overwrites — the same
+//! file; the checkpoint write cost is part of the measured wall time, so
+//! the checkpoint-overhead question belongs to the ablation bin's
+//! dedicated harness, not here.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use binsym::{ChromeTraceSink, MetricsReport, TraceSink};
 use binsym_bench::cli::{metrics_json, write_json, BenchOpts, Json};
-use binsym_bench::{all_programs, run_engine_instrumented, Engine, SearchStrategy};
+use binsym_bench::{all_programs, run_engine_resumable, Engine, SearchStrategy};
 
 fn mean(durations: &[Duration]) -> Duration {
     let total: Duration = durations.iter().sum();
@@ -53,6 +62,10 @@ fn stddev_pct(durations: &[Duration], m: Duration) -> f64 {
 fn main() {
     let opts = BenchOpts::from_env();
     let workers = opts.workers_or_sequential();
+    if workers == 0 && opts.wants_persistence() {
+        eprintln!("--checkpoint/--resume persist the sharded frontier: add --workers N");
+        std::process::exit(2);
+    }
     let strategy = SearchStrategy::from_opts(&opts);
     let runs: usize = opts.runs.unwrap_or(if opts.quick { 1 } else { 5 });
     let sink = opts
@@ -87,13 +100,14 @@ fn main() {
             let mut covered = None;
             let mut merged = MetricsReport::empty();
             for _ in 0..runs {
-                let r = run_engine_instrumented(
+                let r = run_engine_resumable(
                     engine,
                     &elf,
                     workers,
                     strategy,
                     opts.metrics,
                     trace.as_ref(),
+                    &opts.persist_spec(engine.name(), p.name),
                 )
                 .unwrap_or_else(|e| {
                     panic!("{} on {}: {e}", engine.name(), p.name);

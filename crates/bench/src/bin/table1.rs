@@ -4,7 +4,8 @@
 //! ```text
 //! cargo run --release -p binsym-bench --bin table1 \
 //!     [--quick] [--workers N] [--strategy dfs|bfs|coverage] [--json PATH] \
-//!     [--metrics] [--trace PATH]
+//!     [--metrics] [--trace PATH] \
+//!     [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 //! ```
 //!
 //! Engines: angr (with the five documented lifter bugs), BINSEC, SymEx-VP,
@@ -26,17 +27,30 @@
 //! campaign into one Chrome trace-event file, one track per worker, for
 //! `ui.perfetto.dev`. Both are wall-time-only: path counts and records are
 //! byte-identical with and without them (pinned in the determinism suites).
+//!
+//! `--checkpoint PATH` writes an atomic exploration checkpoint per
+//! (engine, benchmark) run to `PATH.<engine>.<benchmark>.ck` every
+//! `--checkpoint-every N` merged paths (default 64) and on drain;
+//! `--resume PATH` seeds each run from the matching file of a previous
+//! invocation. Both require `--workers N` (N > 0) and are wall-time-only:
+//! a resumed campaign reports the same path counts as an uninterrupted
+//! one. The `checkpoints_written`/`resumed_from` counters surface in the
+//! ablation bin's `--json` rows.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use binsym::{ChromeTraceSink, TraceSink};
 use binsym_bench::cli::{metrics_json, summary_json, write_json, BenchOpts, Json};
-use binsym_bench::{all_programs, run_engine_instrumented, Engine, SearchStrategy};
+use binsym_bench::{all_programs, run_engine_resumable, Engine, SearchStrategy};
 
 fn main() {
     let opts = BenchOpts::from_env();
     let workers = opts.workers_or_sequential();
+    if workers == 0 && opts.wants_persistence() {
+        eprintln!("--checkpoint/--resume persist the sharded frontier: add --workers N");
+        std::process::exit(2);
+    }
     let strategy = SearchStrategy::from_opts(&opts);
     // One sink for the whole campaign: every engine × benchmark run lands
     // in a single Perfetto-openable file, timestamps from one epoch.
@@ -68,13 +82,14 @@ fn main() {
         let mut cells = Vec::new();
         let mut reference: Option<u64> = None;
         for engine in Engine::TABLE1 {
-            let r = run_engine_instrumented(
+            let r = run_engine_resumable(
                 engine,
                 &elf,
                 workers,
                 strategy,
                 opts.metrics,
                 trace.as_ref(),
+                &opts.persist_spec(engine.name(), p.name),
             )
             .unwrap_or_else(|e| {
                 panic!("{} on {}: {e}", engine.name(), p.name);

@@ -30,6 +30,17 @@ pub struct BenchOpts {
     /// Collect phase-timing metrics and include them in the report
     /// (`--metrics`).
     pub metrics: bool,
+    /// Base path for atomic exploration checkpoints (`--checkpoint PATH`);
+    /// the bins run many (engine × benchmark) sessions per invocation, so
+    /// each derives its own file via [`persist_target`]. Parallel runs
+    /// only (`--workers N` with N > 0).
+    pub checkpoint: Option<PathBuf>,
+    /// Merged-path interval between checkpoint writes
+    /// (`--checkpoint-every N`, default 64).
+    pub checkpoint_every: Option<u64>,
+    /// Base path to resume explorations from (`--resume PATH`), suffixed
+    /// per (engine, benchmark) exactly like `--checkpoint`.
+    pub resume: Option<PathBuf>,
 }
 
 impl BenchOpts {
@@ -81,6 +92,10 @@ impl BenchOpts {
             runs: value_of("--runs").map(|s| count("--runs", s)),
             trace: value_of("--trace").map(PathBuf::from),
             metrics: args.iter().any(|a| a == "--metrics"),
+            checkpoint: value_of("--checkpoint").map(PathBuf::from),
+            checkpoint_every: value_of("--checkpoint-every")
+                .map(|s| count("--checkpoint-every", s) as u64),
+            resume: value_of("--resume").map(PathBuf::from),
         }
     }
 
@@ -88,6 +103,59 @@ impl BenchOpts {
     pub fn workers_or_sequential(&self) -> usize {
         self.workers.unwrap_or(0)
     }
+
+    /// The checkpoint write interval (default 64 merged paths).
+    pub fn checkpoint_interval(&self) -> u64 {
+        self.checkpoint_every.unwrap_or(64)
+    }
+
+    /// Resolves `--checkpoint`/`--checkpoint-every`/`--resume` into the
+    /// per-(engine, benchmark) [`crate::engines::PersistSpec`] for one run
+    /// of the campaign. Inactive (all `None`) when neither flag was given.
+    pub fn persist_spec(&self, engine: &str, benchmark: &str) -> crate::engines::PersistSpec {
+        crate::engines::PersistSpec {
+            checkpoint: self.checkpoint.as_deref().map(|base| {
+                (
+                    persist_target(base, engine, benchmark),
+                    self.checkpoint_interval(),
+                )
+            }),
+            resume: self
+                .resume
+                .as_deref()
+                .map(|base| persist_target(base, engine, benchmark)),
+        }
+    }
+
+    /// True when any persistence flag was given.
+    pub fn wants_persistence(&self) -> bool {
+        self.checkpoint.is_some() || self.resume.is_some()
+    }
+}
+
+/// The checkpoint file one session of a campaign uses under a `--checkpoint`
+/// (or `--resume`) base path: `BASE.<engine>.<benchmark>.ck`, with names
+/// slugged to `[a-z0-9-]` so personas like "angr (fixed)" stay
+/// filesystem-safe. Symmetric between writing and resuming, so
+/// `--checkpoint X` in one invocation pairs with `--resume X` in the next.
+pub fn persist_target(base: &Path, engine: &str, benchmark: &str) -> PathBuf {
+    let slug = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    };
+    let mut name = base
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".into());
+    name.push_str(&format!(".{}.{}.ck", slug(engine), slug(benchmark)));
+    base.with_file_name(name)
 }
 
 /// A JSON value, built by hand — the build environment has no serde, and
@@ -207,6 +275,8 @@ pub fn add_counters(sum: &mut binsym::CountingObserver, round: &binsym::Counting
     sum.sa_queries += round.sa_queries;
     sum.sa_queries_eliminated += round.sa_queries_eliminated;
     sum.sa_facts += round.sa_facts;
+    sum.checkpoints_written += round.checkpoints_written;
+    sum.resumed_from += round.resumed_from;
 }
 
 /// Divides totals accumulated over `runs` rounds back to their per-round
@@ -236,6 +306,8 @@ pub fn counters_per_round(sum: &binsym::CountingObserver, runs: usize) -> binsym
         sa_queries: per(sum.sa_queries),
         sa_queries_eliminated: per(sum.sa_queries_eliminated),
         sa_facts: per(sum.sa_facts),
+        checkpoints_written: per(sum.checkpoints_written),
+        resumed_from: per(sum.resumed_from),
     }
 }
 
@@ -617,6 +689,38 @@ mod tests {
 
         let o = BenchOpts::parse(args(&["--strategy", "coverage"]).into_iter(), None);
         assert_eq!(o.strategy.as_deref(), Some("coverage"));
+    }
+
+    #[test]
+    fn persistence_flags_parse_and_suffix_per_run() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = BenchOpts::parse(
+            args(&["--checkpoint", "ck/base", "--checkpoint-every", "16"]).into_iter(),
+            None,
+        );
+        assert_eq!(o.checkpoint.as_deref(), Some(Path::new("ck/base")));
+        assert_eq!(o.checkpoint_interval(), 16);
+        assert!(o.wants_persistence());
+        let spec = o.persist_spec("angr (fixed)", "uri-parser");
+        assert_eq!(
+            spec.checkpoint,
+            Some((PathBuf::from("ck/base.angr--fixed-.uri-parser.ck"), 16))
+        );
+        assert_eq!(spec.resume, None);
+
+        let o = BenchOpts::parse(args(&["--resume", "ck/base"]).into_iter(), None);
+        assert_eq!(o.checkpoint_interval(), 64, "default interval");
+        let spec = o.persist_spec("BinSym", "bubble-sort");
+        assert_eq!(
+            spec.resume.as_deref(),
+            Some(Path::new("ck/base.binsym.bubble-sort.ck")),
+            "resume suffixes identically to checkpoint"
+        );
+
+        let o = BenchOpts::parse(args(&["--quick"]).into_iter(), None);
+        assert!(!o.wants_persistence());
+        let spec = o.persist_spec("BinSym", "bubble-sort");
+        assert!(spec.checkpoint.is_none() && spec.resume.is_none());
     }
 
     #[test]

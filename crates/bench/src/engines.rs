@@ -128,6 +128,26 @@ impl SearchStrategy {
     }
 }
 
+/// Checkpoint/resume wiring for one bench run — the
+/// [`binsym::SessionBuilder::checkpoint`] / [`binsym::SessionBuilder::resume`]
+/// knobs as plain data, resolved per (engine, benchmark) by
+/// [`crate::cli::BenchOpts::persist_spec`]. Parallel sessions only; the
+/// default spec is inactive.
+#[derive(Debug, Clone, Default)]
+pub struct PersistSpec {
+    /// Write an atomic checkpoint to this path every N merged paths.
+    pub checkpoint: Option<(std::path::PathBuf, u64)>,
+    /// Seed the exploration from this checkpoint instead of the root.
+    pub resume: Option<std::path::PathBuf>,
+}
+
+impl PersistSpec {
+    /// True when either knob is set.
+    pub fn is_active(&self) -> bool {
+        self.checkpoint.is_some() || self.resume.is_some()
+    }
+}
+
 /// The engines compared in the paper's §V.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Engine {
@@ -291,6 +311,39 @@ impl Engine {
         metrics: Option<&Arc<MetricsRegistry>>,
         trace: Option<&Arc<dyn TraceSink>>,
     ) -> Result<ParallelSession, Error> {
+        self.parallel_session_persistent(
+            elf,
+            workers,
+            strategy,
+            coverage,
+            metrics,
+            trace,
+            &PersistSpec::default(),
+        )
+    }
+
+    /// [`Engine::parallel_session_configured`] plus exploration
+    /// persistence: an optional checkpoint destination (atomic tmp+rename
+    /// writes every N merged paths and on drain) and an optional resume
+    /// source. Both leave merged records byte-identical to a plain
+    /// uninterrupted run — persistence, like instrumentation, is
+    /// wall-time-only.
+    ///
+    /// # Errors
+    /// Returns [`Error`] if the binary lacks a `__sym_input` symbol, or —
+    /// on the first `run_all` — [`binsym::Error::Persist`] when the resume
+    /// source is unreadable or incompatible.
+    #[allow(clippy::too_many_arguments)]
+    pub fn parallel_session_persistent(
+        self,
+        elf: &ElfFile,
+        workers: usize,
+        strategy: SearchStrategy,
+        coverage: Option<&Arc<CoverageMap>>,
+        metrics: Option<&Arc<MetricsRegistry>>,
+        trace: Option<&Arc<dyn TraceSink>>,
+        persist: &PersistSpec,
+    ) -> Result<ParallelSession, Error> {
         let builder = match self {
             Engine::BinSym | Engine::SymExVp => Session::builder(Spec::rv32im()).binary(elf),
             Engine::Binsec | Engine::Angr | Engine::AngrFixed => {
@@ -307,6 +360,14 @@ impl Engine {
         };
         let builder = strategy.install_sharded(builder, coverage).workers(workers);
         let builder = install_instrumentation(builder, metrics, trace);
+        let builder = match &persist.checkpoint {
+            Some((path, every)) => builder.checkpoint(path, *every),
+            None => builder,
+        };
+        let builder = match &persist.resume {
+            Some(path) => builder.resume(path),
+            None => builder,
+        };
         let builder = if self.persona_observer().is_some() || coverage.is_some() {
             let map = coverage.map(Arc::clone);
             builder.observer_factory(move |_| {
@@ -464,6 +525,36 @@ pub fn run_engine_instrumented(
     metrics: bool,
     trace: Option<&Arc<dyn TraceSink>>,
 ) -> Result<RunResult, Error> {
+    run_engine_resumable(
+        engine,
+        elf,
+        workers,
+        strategy,
+        metrics,
+        trace,
+        &PersistSpec::default(),
+    )
+}
+
+/// [`run_engine_instrumented`] plus checkpoint/resume persistence (see
+/// [`PersistSpec`]). Persistence requires a parallel run: with
+/// `workers == 0` an active spec is a configuration error, surfaced as
+/// [`binsym::Error::InvalidConfig`] by the builder.
+///
+/// # Errors
+/// Returns [`Error`] if the binary lacks a `__sym_input` symbol, a path
+/// fails to execute or replay, or the resume source is unreadable or
+/// incompatible ([`binsym::Error::Persist`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_resumable(
+    engine: Engine,
+    elf: &ElfFile,
+    workers: usize,
+    strategy: SearchStrategy,
+    metrics: bool,
+    trace: Option<&Arc<dyn TraceSink>>,
+    persist: &PersistSpec,
+) -> Result<RunResult, Error> {
     let coverage = (strategy == SearchStrategy::Coverage).then(|| CoverageMap::shared_for(elf));
     let registry = metrics.then(|| Arc::new(MetricsRegistry::new(workers.max(1))));
     // The timed region includes engine construction (ELF clone, lifter
@@ -471,18 +562,28 @@ pub fn run_engine_instrumented(
     // harness.
     let start = Instant::now();
     let summary = if workers == 0 {
+        if persist.is_active() {
+            // The sequential builder rejects persistence with the precise
+            // message; route through it instead of duplicating the check.
+            return Err(Session::builder(Spec::rv32im())
+                .binary(elf)
+                .checkpoint("unused", 1)
+                .build()
+                .expect_err("sequential builder rejects persistence"));
+        }
         engine
             .session_configured(elf, strategy, coverage.as_ref(), registry.as_ref(), trace)?
             .run_all()?
     } else {
         engine
-            .parallel_session_configured(
+            .parallel_session_persistent(
                 elf,
                 workers,
                 strategy,
                 coverage.as_ref(),
                 registry.as_ref(),
                 trace,
+                persist,
             )?
             .run_all()?
     };

@@ -32,7 +32,8 @@ pub mod programs;
 
 pub use cli::{BenchOpts, Json};
 pub use engines::{
-    coverage_trajectory, run_engine, run_engine_instrumented, run_engine_parallel, run_engine_with,
-    Engine, GhcRuntimeObserver, RunResult, SearchStrategy, VpObserver, VpStats,
+    coverage_trajectory, run_engine, run_engine_instrumented, run_engine_parallel,
+    run_engine_resumable, run_engine_with, Engine, GhcRuntimeObserver, PersistSpec, RunResult,
+    SearchStrategy, VpObserver, VpStats,
 };
 pub use programs::{all_programs, Program};

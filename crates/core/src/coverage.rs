@@ -192,6 +192,61 @@ impl CoverageMap {
     pub fn base(&self) -> u32 {
         self.base
     }
+
+    /// Captures the current bitmap contents as plain words.
+    ///
+    /// The snapshot is a *consistent-enough* copy for persistence: the map
+    /// is monotone (bits are only ever set), so any interleaving of
+    /// concurrent marks yields a snapshot that is a valid past state of the
+    /// map — exactly what a checkpoint needs.
+    pub fn snapshot(&self) -> CoverageSnapshot {
+        let load = |words: &[AtomicU64]| {
+            words
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect::<Vec<u64>>()
+        };
+        CoverageSnapshot {
+            base: self.base,
+            slots: self.slots,
+            insns: load(&self.insns),
+            dirs: load(&self.dirs),
+        }
+    }
+
+    /// ORs a snapshot's bits back into this map.
+    ///
+    /// Fails with [`crate::Error::Persist`] when the snapshot was taken
+    /// from a map with different geometry (base address or slot count) —
+    /// restoring foreign coverage would mislabel addresses.
+    pub fn restore(&self, snapshot: &CoverageSnapshot) -> Result<(), crate::Error> {
+        if snapshot.base != self.base || snapshot.slots != self.slots {
+            return Err(crate::Error::Persist(
+                crate::persist::PersistError::Mismatch {
+                    what: "coverage map geometry (base/slots)",
+                },
+            ));
+        }
+        let merge = |words: &[AtomicU64], saved: &[u64]| {
+            for (w, s) in words.iter().zip(saved) {
+                w.fetch_or(*s, Ordering::Relaxed);
+            }
+        };
+        merge(&self.insns, &snapshot.insns);
+        merge(&self.dirs, &snapshot.dirs);
+        Ok(())
+    }
+}
+
+/// A plain-data copy of a [`CoverageMap`]'s bitmap, as captured by
+/// [`CoverageMap::snapshot`] and persisted (run-length encoded — the map is
+/// mostly zeros) by the [`crate::persist`] codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageSnapshot {
+    pub(crate) base: u32,
+    pub(crate) slots: u32,
+    pub(crate) insns: Vec<u64>,
+    pub(crate) dirs: Vec<u64>,
 }
 
 /// An [`Observer`] feeding a shared [`CoverageMap`]: every executed

@@ -54,6 +54,10 @@ pub enum Error {
         /// What went wrong.
         what: &'static str,
     },
+    /// A checkpoint/wire operation failed (I/O, bad magic, version
+    /// mismatch, truncated or corrupt section). Load failures surface as
+    /// session-level errors, never panics.
+    Persist(crate::persist::PersistError),
 }
 
 impl fmt::Display for Error {
@@ -82,6 +86,7 @@ impl fmt::Display for Error {
             Error::WarmStart { what } => {
                 write!(f, "warm-start cache failure: {what}")
             }
+            Error::Persist(e) => write!(f, "{e}"),
         }
     }
 }
@@ -92,6 +97,7 @@ impl std::error::Error for Error {
             Error::Exec(e) => Some(e),
             Error::Asm(e) => Some(e),
             Error::Elf(e) => Some(e),
+            Error::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -118,6 +124,12 @@ impl From<binsym_elf::ElfError> for Error {
 impl From<binsym_isa::DecodeError> for Error {
     fn from(e: binsym_isa::DecodeError) -> Self {
         Error::Exec(ExecError::Decode(e))
+    }
+}
+
+impl From<crate::persist::PersistError> for Error {
+    fn from(e: crate::persist::PersistError) -> Self {
+        Error::Persist(e)
     }
 }
 

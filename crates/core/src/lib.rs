@@ -87,6 +87,7 @@ pub mod machine;
 pub mod metrics;
 pub mod observe;
 pub mod parallel;
+pub mod persist;
 pub mod prescribe;
 pub mod session;
 pub mod strategy;
@@ -97,15 +98,20 @@ pub mod warm;
 pub use backend::{
     BitblastBackend, ScreenReport, ScriptSink, SmtLibDump, SolverBackend, StaticGate,
 };
-pub use coverage::{CoverageMap, CoverageObserver};
+pub use coverage::{CoverageMap, CoverageObserver, CoverageSnapshot};
 pub use error::Error;
 pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport, Phase, WorkerMetrics,
 };
-pub use observe::{CountingObserver, NullObserver, Observer, StaticAnalysisStats, WarmQueryStats};
+pub use observe::{
+    CheckpointEvent, CountingObserver, NullObserver, Observer, StaticAnalysisStats, WarmQueryStats,
+};
 pub use parallel::{
     BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
+};
+pub use persist::{
+    decode_one, decode_seq, encode_one, encode_seq, Dec, Document, Enc, PersistError, Wire,
 };
 pub use prescribe::{Flip, PathId, PathRecord, Prescription};
 pub use session::{
@@ -113,8 +119,8 @@ pub use session::{
     SpecExecutor, Summary,
 };
 pub use strategy::{
-    Bfs, BranchSited, Candidate, CoverageGuided, Dfs, PathStrategy, PrescriptionStrategy,
-    RandomRestart,
+    Bfs, BranchSited, Candidate, CoverageGuided, Dfs, FrontierSnapshot, PathStrategy,
+    PrescriptionStrategy, RandomRestart,
 };
 pub use trace::{ChromeTraceSink, JsonlTraceSink, TraceSink};
 pub use value::{SymByte, SymWord};

@@ -73,6 +73,30 @@ pub struct StaticAnalysisStats {
     pub facts: u64,
 }
 
+/// A checkpoint lifecycle event, reported through
+/// [`Observer::on_checkpoint`] by sessions with
+/// [`crate::SessionBuilder::checkpoint`] or
+/// [`crate::SessionBuilder::resume`] configured.
+///
+/// Checkpointing affects wall time only, never merged results, so — like
+/// [`WarmQueryStats`] — these events are the only observable difference
+/// between a checkpointed and a plain run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointEvent {
+    /// A checkpoint file was atomically written; `paths` is the number of
+    /// committed path records it captures.
+    Written {
+        /// Committed path records in the checkpoint.
+        paths: u64,
+    },
+    /// The session seeded itself from a resume checkpoint carrying
+    /// `records` already-materialized records.
+    Resumed {
+        /// Records restored from the checkpoint.
+        records: u64,
+    },
+}
+
 /// Callbacks fired during path execution and exploration.
 ///
 /// `on_step`/`on_branch` fire inside [`crate::PathExecutor::execute_path`];
@@ -124,6 +148,14 @@ pub trait Observer {
     /// measures no clocks otherwise, keeping the disabled path free.
     fn on_phase(&mut self, phase: Phase, nanos: u64) {
         let _ = (phase, nanos);
+    }
+
+    /// A checkpoint was written, or the session resumed from one. Workers
+    /// report [`CheckpointEvent::Written`] through their own observer; the
+    /// coordinator reports [`CheckpointEvent::Resumed`] (and the final
+    /// drain checkpoint) through an extra observer drawn from the factory.
+    fn on_checkpoint(&mut self, event: CheckpointEvent) {
+        let _ = event;
     }
 }
 
@@ -191,6 +223,7 @@ forward_observer_hooks! {
     fn on_warm_query(&mut self, stats: &WarmQueryStats);
     fn on_static_analysis(&mut self, stats: &StaticAnalysisStats);
     fn on_phase(&mut self, phase: Phase, nanos: u64);
+    fn on_checkpoint(&mut self, event: CheckpointEvent);
 }
 
 /// The do-nothing observer (the default).
@@ -235,6 +268,11 @@ pub struct CountingObserver {
     pub sa_queries_eliminated: u64,
     /// Word-level facts derived across all screened queries.
     pub sa_facts: u64,
+    /// Checkpoint files written ([`CheckpointEvent::Written`]).
+    pub checkpoints_written: u64,
+    /// Resume seedings observed ([`CheckpointEvent::Resumed`]; 0 or 1 per
+    /// session).
+    pub resumed_from: u64,
 }
 
 impl CountingObserver {
@@ -289,5 +327,12 @@ impl Observer for CountingObserver {
             self.sa_queries_eliminated += 1;
         }
         self.sa_facts += stats.facts;
+    }
+
+    fn on_checkpoint(&mut self, event: CheckpointEvent) {
+        match event {
+            CheckpointEvent::Written { .. } => self.checkpoints_written += 1,
+            CheckpointEvent::Resumed { .. } => self.resumed_from += 1,
+        }
     }
 }

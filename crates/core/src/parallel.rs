@@ -71,6 +71,7 @@
 //! the truncated exploration never owed anyone and is dropped. Stopping
 //! at the first error observed would make the outcome a race.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -81,10 +82,11 @@ use crate::backend::{SolverBackend, StaticGate};
 use crate::error::Error;
 use crate::machine::{StepResult, TrailEntry};
 use crate::metrics::{InstrumentationConfig, Instruments, Phase};
-use crate::observe::{NullObserver, Observer};
+use crate::observe::{CheckpointEvent, NullObserver, Observer};
+use crate::persist::{decode_seq, encode_seq, section, Dec, Document, Enc, PersistError, Wire};
 use crate::prescribe::{Flip, PathId, PathRecord, Prescription};
 use crate::session::{ErrorPath, PathExecutor, Progress, Summary};
-use crate::strategy::PrescriptionStrategy;
+use crate::strategy::{FrontierSnapshot, PrescriptionStrategy};
 use crate::warm::WarmCache;
 
 /// Factory producing one [`PathExecutor`] per worker thread.
@@ -107,14 +109,222 @@ const _: fn() = || {
 };
 
 /// Result of replaying one prescription, as recorded by a worker.
-#[derive(Debug)]
-struct PrescriptionRecord {
-    id: PathId,
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct PrescriptionRecord {
+    pub(crate) id: PathId,
     /// `Some` when a feasibility query was discharged (every non-root
     /// prescription), with its result.
-    query: Option<SatResult>,
+    pub(crate) query: Option<SatResult>,
     /// The materialized path, when the flip was feasible.
-    path: Option<PathRecord>,
+    pub(crate) path: Option<PathRecord>,
+}
+
+impl Wire for PrescriptionRecord {
+    fn encode(&self, enc: &mut Enc) {
+        self.id.encode(enc);
+        self.query.encode(enc);
+        self.path.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, PersistError> {
+        Ok(PrescriptionRecord {
+            id: PathId::decode(dec)?,
+            query: Option::decode(dec)?,
+            path: Option::decode(dec)?,
+        })
+    }
+}
+
+/// What the session builder asked the run to persist: where to write
+/// checkpoints (and how often, in merged paths) and/or which checkpoint to
+/// resume from. Threaded from [`crate::SessionBuilder::checkpoint`] /
+/// [`crate::SessionBuilder::resume`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PersistPlan {
+    pub(crate) checkpoint: Option<(PathBuf, u64)>,
+    pub(crate) resume: Option<PathBuf>,
+}
+
+/// The run parameters a checkpoint is only valid under. `input_len`,
+/// `fuel` and `limit` shape the result *content*, so a resume validates
+/// them strictly; `workers` and `strategy` shape scheduling only (the
+/// merge is canonical), so they are recorded for exact frontier restore
+/// but a mismatch merely redistributes the pending bag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CheckpointMeta {
+    input_len: u32,
+    fuel: u64,
+    limit: Option<u64>,
+    workers: u64,
+    strategy: String,
+}
+
+impl Wire for CheckpointMeta {
+    fn encode(&self, enc: &mut Enc) {
+        self.input_len.encode(enc);
+        self.fuel.encode(enc);
+        self.limit.encode(enc);
+        self.workers.encode(enc);
+        self.strategy.encode(enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, PersistError> {
+        Ok(CheckpointMeta {
+            input_len: u32::decode(dec)?,
+            fuel: u64::decode(dec)?,
+            limit: Option::decode(dec)?,
+            workers: u64::decode(dec)?,
+            strategy: String::decode(dec)?,
+        })
+    }
+}
+
+/// The committed results of a checkpointing run, guarded by one mutex that
+/// doubles as the **commit lock**: a worker's whole commit — watermark
+/// note, spawned children push, record append, in-flight slot clear, and
+/// (every N paths) the checkpoint write itself — happens under this lock,
+/// so a checkpoint never observes a half-committed prescription.
+struct CheckpointLedger {
+    records: Vec<PrescriptionRecord>,
+    /// Prescriptions whose replay failed. Persisted as loose pending work:
+    /// replay being pure, a resumed run re-replays them and deterministically
+    /// re-derives the same typed [`Error`] — no error serialization needed.
+    failed: Vec<Prescription>,
+    /// Materialized paths committed so far (including restored ones).
+    paths: u64,
+    /// Paths committed since the last checkpoint write.
+    since_write: u64,
+}
+
+/// Shared checkpointing state of one run.
+struct CheckpointShared {
+    ledger: Mutex<CheckpointLedger>,
+    /// Per-worker in-flight slot: filled (under the shard lock) with a clone
+    /// of every popped prescription, cleared when its commit lands. A
+    /// checkpoint taken while holding all shard locks therefore sees every
+    /// popped-but-uncommitted prescription here and persists it as loose
+    /// pending work.
+    slots: Vec<Mutex<Option<Prescription>>>,
+    path: PathBuf,
+    /// Write a checkpoint every this many newly committed paths.
+    every: u64,
+    meta: CheckpointMeta,
+}
+
+/// Everything a resume checkpoint seeds a run with.
+struct ResumeSeed {
+    records: Vec<PrescriptionRecord>,
+    shards: Vec<FrontierSnapshot>,
+    loose: Vec<Prescription>,
+    watermark_ids: Vec<PathId>,
+}
+
+/// Loads and validates a checkpoint. Every failure — I/O, bad magic,
+/// version mismatch, truncation, or a checkpoint taken under different
+/// result-shaping parameters — is a typed [`Error::Persist`], never a
+/// panic.
+fn load_checkpoint(path: &Path, expect: &CheckpointMeta) -> Result<ResumeSeed, Error> {
+    let doc = Document::read(path)?;
+    let meta: CheckpointMeta = crate::persist::decode_one(doc.require(section::META)?)?;
+    if meta.input_len != expect.input_len {
+        return Err(PersistError::Mismatch {
+            what: "checkpoint input_len differs from this session's",
+        }
+        .into());
+    }
+    if meta.fuel != expect.fuel {
+        return Err(PersistError::Mismatch {
+            what: "checkpoint fuel differs from this session's",
+        }
+        .into());
+    }
+    if meta.limit != expect.limit {
+        return Err(PersistError::Mismatch {
+            what: "checkpoint path limit differs from this session's",
+        }
+        .into());
+    }
+    Ok(ResumeSeed {
+        records: decode_seq(doc.require(section::RECORDS)?)?,
+        shards: decode_seq(doc.require(section::PENDING)?)?,
+        loose: decode_seq(doc.require(section::SLOTS)?)?,
+        watermark_ids: decode_seq(doc.require(section::WATERMARK)?)?,
+    })
+}
+
+/// Writes one atomic checkpoint of the run: committed records (from the
+/// held ledger), every shard frontier, every in-flight slot, the failed
+/// list, and the truncation watermark.
+///
+/// Caller holds the ledger (the commit lock); this function additionally
+/// holds **all** shard locks simultaneously while reading frontiers and
+/// slots, which — with `Frontier::acquire` filling a worker's slot under
+/// the shard lock — makes the capture a consistent cut: every prescription
+/// is in exactly one of RECORDS / PENDING / SLOTS. Lock order is
+/// ledger → shards → slots → watermark; workers take at most shard → slot
+/// without the ledger, so the hierarchy is acyclic.
+fn write_checkpoint(
+    ck: &CheckpointShared,
+    ledger: &CheckpointLedger,
+    state: &RunState,
+) -> Result<u64, PersistError> {
+    let guards: Vec<_> = state
+        .frontier
+        .shards
+        .iter()
+        .map(|s| s.lock().expect("shard lock"))
+        .collect();
+    let snapshots: Vec<FrontierSnapshot> = guards.iter().map(|g| g.snapshot()).collect();
+    let mut loose: Vec<Prescription> = ck
+        .slots
+        .iter()
+        .filter_map(|s| s.lock().expect("slot lock").clone())
+        .collect();
+    drop(guards);
+    loose.extend(ledger.failed.iter().cloned());
+    let mut watermark_ids: Vec<PathId> = match &state.watermark {
+        Some(w) => w
+            .lock()
+            .expect("watermark lock")
+            .heap
+            .iter()
+            .cloned()
+            .collect(),
+        None => Vec::new(),
+    };
+    // Heap iteration order is internal; sort so equal run states write
+    // byte-identical checkpoints.
+    watermark_ids.sort();
+
+    let mut doc = Document::new();
+    doc.push(section::META, crate::persist::encode_one(&ck.meta));
+    doc.push(section::RECORDS, encode_seq(&ledger.records));
+    doc.push(section::PENDING, encode_seq(&snapshots));
+    doc.push(section::SLOTS, encode_seq(&loose));
+    doc.push(section::WATERMARK, encode_seq(&watermark_ids));
+    doc.write_atomic(&ck.path)?;
+    Ok(ledger.paths)
+}
+
+/// Spreads a bag of prescriptions across the shards in sorted contiguous
+/// chunks: [`PathId`] order is depth-first discovery order, so contiguous
+/// chunks are (unions of) subtrees — the same locality the live run's
+/// work-stealing maintains. Placement only shapes scheduling; the merge
+/// stays canonical regardless.
+fn distribute(frontier: &Frontier, mut bag: Vec<Prescription>) {
+    if bag.is_empty() {
+        return;
+    }
+    bag.sort_by(|a, b| a.id.cmp(&b.id));
+    let shards = frontier.shards.len();
+    let chunk = bag.len().div_ceil(shards).max(1);
+    let mut shard = 0;
+    while !bag.is_empty() {
+        let rest = bag.split_off(chunk.min(bag.len()));
+        frontier.push_batch(shard % shards, bag);
+        bag = rest;
+        shard += 1;
+    }
 }
 
 /// The shared work-stealing frontier.
@@ -164,21 +374,43 @@ impl Frontier {
 
     /// Blocks until a prescription is available (own shard first, then
     /// stealing round-robin), or until exploration is over.
-    fn acquire(&self, me: usize) -> Option<Prescription> {
+    ///
+    /// When checkpointing is on, `slot` is this worker's in-flight slot: it
+    /// is filled with a clone of the popped prescription **while the shard
+    /// (or victim) lock is still held**, so a checkpoint that reads all
+    /// shards and slots under all shard locks sees every prescription in
+    /// exactly one place.
+    fn acquire(
+        &self,
+        me: usize,
+        slot: Option<&Mutex<Option<Prescription>>>,
+    ) -> Option<Prescription> {
+        let fill = |p: &Prescription| {
+            if let Some(slot) = slot {
+                *slot.lock().expect("slot lock") = Some(p.clone());
+            }
+        };
         loop {
             if self.stop.load(Ordering::SeqCst) {
                 return None;
             }
-            if let Some(p) = self.shards[me].lock().expect("shard lock").pop() {
-                self.checkout();
-                return Some(p);
-            }
-            for k in 1..self.shards.len() {
-                let victim = (me + k) % self.shards.len();
-                if let Some(p) = self.shards[victim].lock().expect("shard lock").steal() {
+            {
+                let mut shard = self.shards[me].lock().expect("shard lock");
+                if let Some(p) = shard.pop() {
+                    fill(&p);
                     self.checkout();
                     return Some(p);
                 }
+            }
+            for k in 1..self.shards.len() {
+                let victim = (me + k) % self.shards.len();
+                let mut shard = self.shards[victim].lock().expect("shard lock");
+                if let Some(p) = shard.steal() {
+                    fill(&p);
+                    self.checkout();
+                    return Some(p);
+                }
+                drop(shard);
             }
             if self.pending.load(Ordering::SeqCst) == 0
                 && self.in_flight.load(Ordering::SeqCst) == 0
@@ -213,6 +445,15 @@ impl Frontier {
     fn request_stop(&self) {
         self.stop.store(true, Ordering::SeqCst);
         self.idle_cv.notify_all();
+    }
+
+    /// Re-seeds shard `i` from a resume snapshot (exact per-shard restore;
+    /// only called before the workers spawn). The caller has already
+    /// matched [`FrontierSnapshot::strategy`] against the shard's policy.
+    fn restore_shard(&self, i: usize, snapshot: FrontierSnapshot) {
+        let n = snapshot.items.len();
+        self.shards[i].lock().expect("shard lock").restore(snapshot);
+        self.pending.fetch_add(n, Ordering::SeqCst);
     }
 }
 
@@ -259,6 +500,10 @@ struct RunState {
     /// prescription id sorts smallest, so the reported failure is
     /// schedule-independent.
     error: Mutex<Option<(PathId, Error)>>,
+    /// Checkpointing state; `None` when no checkpoint path is configured
+    /// (the zero-overhead default — workers then keep thread-local outputs
+    /// and never touch a ledger).
+    checkpoint: Option<CheckpointShared>,
 }
 
 impl RunState {
@@ -330,6 +575,10 @@ pub struct ParallelSession {
     /// `::trace`, `::progress`). Like the warm cache and the gate,
     /// instrumentation affects wall time only, never merged records.
     instrumentation: InstrumentationConfig,
+    /// Checkpoint/resume wiring ([`crate::SessionBuilder::checkpoint`],
+    /// `::resume`). Affects wall time and on-disk artifacts only, never
+    /// merged records.
+    persist: PersistPlan,
     strategy_name: &'static str,
     backend_name: &'static str,
     done: bool,
@@ -363,6 +612,7 @@ impl ParallelSession {
         warm_capacity: Option<usize>,
         gate: StaticGate,
         instrumentation: InstrumentationConfig,
+        persist: PersistPlan,
     ) -> Self {
         let strategy_name = shard_strategy(0).name();
         let backend_name = if warm_capacity.is_some() {
@@ -382,11 +632,23 @@ impl ParallelSession {
             warm_capacity,
             gate,
             instrumentation,
+            persist,
             strategy_name,
             backend_name,
             done: false,
             summary: Summary::default(),
             records: Vec::new(),
+        }
+    }
+
+    /// The result-shaping parameters a checkpoint of this session records.
+    fn checkpoint_meta(&self) -> CheckpointMeta {
+        CheckpointMeta {
+            input_len: self.input_len,
+            fuel: self.fuel,
+            limit: self.limit,
+            workers: self.workers as u64,
+            strategy: self.strategy_name.to_string(),
         }
     }
 
@@ -446,21 +708,143 @@ impl ParallelSession {
     /// replay a prescription (decode error, unknown syscall, fuel
     /// exhaustion).
     pub fn run_all(&mut self) -> Result<Summary, Error> {
+        let root = Prescription::root(vec![0u8; self.input_len as usize]);
+        self.run_seeded(vec![root])
+    }
+
+    /// Runs the exploration over an explicit bag of pending prescriptions
+    /// instead of the root — the worker half of multi-process sharding: a
+    /// parent process materializes the root once
+    /// ([`ParallelSession::expand_root`]), partitions the spawned level-1
+    /// prescriptions into contiguous [`PathId`]-sorted chunks, and each
+    /// child process drains one chunk with `run_bag`. A [`PathId`]'s
+    /// subtree occupies a contiguous interval of the canonical order, so
+    /// the children's merged record streams concatenate — in chunk order —
+    /// into exactly the single-process merged stream.
+    ///
+    /// Same contract as [`ParallelSession::run_all`] otherwise; resume
+    /// (when configured) takes precedence over `bag`.
+    ///
+    /// # Errors
+    /// As [`ParallelSession::run_all`].
+    pub fn run_bag(&mut self, bag: Vec<Prescription>) -> Result<Summary, Error> {
+        self.run_seeded(bag)
+    }
+
+    /// Materializes the root path on a fresh engine and returns its record
+    /// plus the level-1 prescriptions it spawns — the parent-process half
+    /// of a sharded run (see [`ParallelSession::run_bag`]). Runs
+    /// uninstrumented on the calling thread; the session itself is left
+    /// untouched.
+    ///
+    /// # Errors
+    /// Returns the [`Error`] of the root replay (executor construction,
+    /// fuel exhaustion, …).
+    pub fn expand_root(&self) -> Result<(PathRecord, Vec<Prescription>), Error> {
+        let mut executor = (self.executor_factory)()?;
+        let mut tm = TermManager::new();
+        let mut backend = (self.backend_factory)();
+        let mut observer = NullObserver;
+        let instr = Instruments::new(None, None, 0);
+        let root = Prescription::root(vec![0u8; self.input_len as usize]);
+        let (_, materialized) = replay(
+            &mut *executor,
+            &mut tm,
+            &mut *backend,
+            &mut observer,
+            &root,
+            self.fuel,
+            self.gate,
+            &instr,
+        )?;
+        let (record, spawned) = materialized.expect("root prescription has no flip to fail");
+        Ok((record, spawned))
+    }
+
+    fn run_seeded(&mut self, seed: Vec<Prescription>) -> Result<Summary, Error> {
         if self.done {
             return Ok(self.summary());
         }
         let shards: Vec<Box<dyn PrescriptionStrategy>> = (0..self.workers)
             .map(|i| (self.shard_strategy)(i))
             .collect();
-        let state = RunState {
+        let mut state = RunState {
             frontier: Frontier::new(shards),
             watermark: self.limit.map(|l| Mutex::new(Watermark::new(l))),
             error: Mutex::new(None),
+            checkpoint: None,
         };
-        state.frontier.push_batch(
-            0,
-            vec![Prescription::root(vec![0u8; self.input_len as usize])],
-        );
+
+        // The coordinator's own observer (one extra factory draw, index
+        // `workers`) reports resume seeding and the final drain checkpoint.
+        // Only materialized when persistence is configured, so plain runs
+        // see no extra factory call.
+        let persist_active = self.persist.checkpoint.is_some() || self.persist.resume.is_some();
+        let mut coord_observer: Box<dyn Observer> = if persist_active {
+            match &self.observer_factory {
+                Some(f) => f(self.workers),
+                None => Box::new(NullObserver),
+            }
+        } else {
+            Box::new(NullObserver)
+        };
+
+        // Resume: seed the run from the checkpoint instead of `seed`.
+        let mut restored: Vec<PrescriptionRecord> = Vec::new();
+        if let Some(resume_path) = self.persist.resume.clone() {
+            let loaded = load_checkpoint(&resume_path, &self.checkpoint_meta())?;
+            if let Some(w) = &state.watermark {
+                let mut w = w.lock().expect("watermark lock");
+                for id in loaded.watermark_ids {
+                    w.insert(id);
+                }
+            }
+            // Exact per-shard restore when the topology matches (same
+            // worker count, same policy per shard) — including RNG state
+            // and the coverage warm-up; otherwise redistribute the whole
+            // pending bag in sorted contiguous chunks. Either way the
+            // merge stays canonical; only scheduling differs.
+            let exact = loaded.shards.len() == self.workers
+                && loaded.shards.iter().enumerate().all(|(i, snap)| {
+                    snap.strategy == state.frontier.shards[i].lock().expect("shard lock").name()
+                });
+            if exact {
+                for (i, snap) in loaded.shards.into_iter().enumerate() {
+                    state.frontier.restore_shard(i, snap);
+                }
+                distribute(&state.frontier, loaded.loose);
+            } else {
+                let mut bag: Vec<Prescription> =
+                    loaded.shards.into_iter().flat_map(|s| s.items).collect();
+                bag.extend(loaded.loose);
+                distribute(&state.frontier, bag);
+            }
+            restored = loaded.records;
+            coord_observer.on_checkpoint(CheckpointEvent::Resumed {
+                records: restored.len() as u64,
+            });
+        } else {
+            distribute(&state.frontier, seed);
+        }
+
+        if let Some((path, every)) = self.persist.checkpoint.clone() {
+            // Restored records live in the ledger so periodic checkpoints
+            // stay self-contained (a checkpoint of a resumed run carries
+            // the full record set, not a delta).
+            let paths = restored.iter().filter(|r| r.path.is_some()).count() as u64;
+            state.checkpoint = Some(CheckpointShared {
+                ledger: Mutex::new(CheckpointLedger {
+                    records: std::mem::take(&mut restored),
+                    failed: Vec::new(),
+                    paths,
+                    since_write: 0,
+                }),
+                slots: (0..self.workers).map(|_| Mutex::new(None)).collect(),
+                path,
+                every,
+                meta: self.checkpoint_meta(),
+            });
+        }
 
         // One `Instruments` handle per worker, all sharing the registry and
         // sink but each stamping its own track (worker index); track
@@ -532,8 +916,23 @@ impl ParallelSession {
                 // A failed run is not cached (`done` stays false): retrying
                 // re-explores and, replay being deterministic, reproduces
                 // the same error instead of masking it behind an empty
-                // summary.
+                // summary. The last periodic checkpoint stays on disk: the
+                // failed prescription is persisted as loose pending work,
+                // so a resume deterministically re-derives this error.
                 return Err(e);
+            }
+        }
+
+        // Drain checkpoint: one final write after the workers settle, so a
+        // finished (or truncated) run leaves a checkpoint a resume turns
+        // into the identical merged output without re-exploring.
+        if let Some(ck) = &state.checkpoint {
+            let ledger = ck.ledger.lock().expect("ledger lock");
+            let wrote = write_checkpoint(ck, &ledger, &state);
+            drop(ledger);
+            match wrote {
+                Ok(paths) => coord_observer.on_checkpoint(CheckpointEvent::Written { paths }),
+                Err(e) => return Err(Error::Persist(e)),
             }
         }
 
@@ -543,7 +942,15 @@ impl ParallelSession {
         let merge_instr = base_instr.for_track(self.workers as u32);
         let merge_started = merge_instr.begin(Phase::Merge);
         let mut all: Vec<PrescriptionRecord> = outputs.into_iter().flatten().collect();
+        if let Some(ck) = state.checkpoint.take() {
+            all.extend(ck.ledger.into_inner().expect("ledger lock").records);
+        }
+        all.extend(restored);
         all.sort_by(|a, b| a.id.cmp(&b.id));
+        // Defense in depth for resumed runs: replay purity makes equal-id
+        // records byte-identical, so dropping duplicates is canonical.
+        // (The commit-lock consistent cut means none are expected.)
+        all.dedup_by(|a, b| a.id == b.id);
 
         // Canonical truncation: workers over-collected under the shrinking
         // watermark; keep exactly the `limit` lowest-id paths — the prefix
@@ -653,8 +1060,12 @@ fn worker_main(
     let mut tm = TermManager::new();
     let mut warm = warm_capacity.map(WarmCache::new);
     let mut out = Vec::new();
+    // This worker's in-flight slot (checkpointing runs only): `acquire`
+    // fills it under the shard lock; the commit below clears it under the
+    // ledger lock.
+    let slot = state.checkpoint.as_ref().map(|ck| &ck.slots[idx]);
 
-    while let Some(p) = state.frontier.acquire(idx) {
+    while let Some(p) = state.frontier.acquire(idx, slot) {
         // Balance the frontier's in-flight count on every exit from this
         // iteration — including an unwind out of user code (executor,
         // backend, or observer panics). Without this, a panicking worker
@@ -663,8 +1074,14 @@ fn worker_main(
         let _checked_in = InFlightGuard(&state.frontier);
         // Canonical truncation: ids past the watermark can never enter the
         // final `limit`-lowest prefix, and neither can their descendants —
-        // skip the replay entirely, recording nothing.
+        // skip the replay entirely, recording nothing. The slot clear needs
+        // no commit lock: a checkpoint that still captured `p` only makes a
+        // resume re-prune it (the persisted watermark is at least as tight
+        // as the one that pruned it here).
         if state.pruned(&p.id) {
+            if let Some(slot) = slot {
+                *slot.lock().expect("slot lock") = None;
+            }
             continue;
         }
         // A fresh engine context per prescription: reset handle numbering
@@ -701,6 +1118,16 @@ fn worker_main(
         match outcome {
             Err(e) => {
                 let stopping = state.watermark.is_none();
+                if let Some(ck) = &state.checkpoint {
+                    // Persist the failure as loose pending work: replay is
+                    // pure, so a resumed run re-replays the prescription
+                    // and deterministically re-derives this very error —
+                    // no error serialization needed.
+                    let mut ledger = ck.ledger.lock().expect("ledger lock");
+                    ledger.failed.push(p.clone());
+                    *ck.slots[idx].lock().expect("slot lock") = None;
+                    drop(ledger);
+                }
                 state.record_error(p.id, e);
                 if stopping {
                     break;
@@ -716,17 +1143,61 @@ fn worker_main(
                     query,
                     path: None,
                 };
-                if let Some((path, mut spawned)) = materialized {
-                    // Note the path and shed spawns the tightened
-                    // watermark already rules out, then push the rest
-                    // before the guard releases in-flight, so the
-                    // termination check never sees a window with neither
-                    // pending nor in-flight work.
-                    state.note_path(&record.id, &mut spawned);
-                    record.path = Some(path);
-                    state.frontier.push_batch(idx, spawned);
+                match &state.checkpoint {
+                    None => {
+                        if let Some((path, mut spawned)) = materialized {
+                            // Note the path and shed spawns the tightened
+                            // watermark already rules out, then push the
+                            // rest before the guard releases in-flight, so
+                            // the termination check never sees a window
+                            // with neither pending nor in-flight work.
+                            state.note_path(&record.id, &mut spawned);
+                            record.path = Some(path);
+                            state.frontier.push_batch(idx, spawned);
+                        }
+                        out.push(record);
+                    }
+                    Some(ck) => {
+                        // Atomic commit under the ledger lock — record,
+                        // spawned children, and slot clear land together,
+                        // so a checkpoint (which runs inside a commit)
+                        // never captures a half-committed prescription.
+                        let mut wrote = None;
+                        let mut write_err = None;
+                        {
+                            let mut ledger = ck.ledger.lock().expect("ledger lock");
+                            if let Some((path, mut spawned)) = materialized {
+                                state.note_path(&record.id, &mut spawned);
+                                record.path = Some(path);
+                                state.frontier.push_batch(idx, spawned);
+                                ledger.paths += 1;
+                                ledger.since_write += 1;
+                            }
+                            ledger.records.push(record);
+                            *ck.slots[idx].lock().expect("slot lock") = None;
+                            if ledger.since_write >= ck.every {
+                                ledger.since_write = 0;
+                                match write_checkpoint(ck, &ledger, state) {
+                                    Ok(paths) => wrote = Some(paths),
+                                    Err(e) => write_err = Some(e),
+                                }
+                            }
+                        }
+                        if let Some(paths) = wrote {
+                            // Fired outside the lock: a sibling may replace
+                            // the file mid-event, which is fine — every
+                            // written checkpoint is a consistent cut.
+                            observer.on_checkpoint(CheckpointEvent::Written { paths });
+                        }
+                        if let Some(e) = write_err {
+                            // A failed checkpoint write is fatal on every
+                            // schedule: it sorts as a root-id error, which
+                            // always surfaces and stops the run.
+                            state.record_error(PathId::root(), Error::Persist(e));
+                            break;
+                        }
+                    }
                 }
-                out.push(record);
             }
         }
     }
@@ -1471,5 +1942,395 @@ ok:
         assert_eq!(seq.paths, 8);
         assert_eq!(par.paths, 8);
         assert_eq!(seq.error_paths, par.error_paths);
+    }
+
+    /// A collision-free scratch path for checkpoint files.
+    fn ck_path(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static UNIQUE: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "binsym-parallel-{tag}-{}-{}.ck",
+            std::process::id(),
+            UNIQUE.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    /// Simulates a kill: copies the live checkpoint file aside when the
+    /// `fire_at`-th `Written` event fires. The copy opens the file at one
+    /// instant — atomic tmp+rename replacement means whatever inode it
+    /// reads is a complete, consistent checkpoint, so resuming from the
+    /// copy is exactly resuming a process killed at that moment.
+    #[derive(Debug)]
+    struct CopyOnWritten {
+        src: PathBuf,
+        dst: PathBuf,
+        fire_at: u64,
+        seen: Arc<std::sync::atomic::AtomicU64>,
+    }
+    impl Observer for CopyOnWritten {
+        fn on_checkpoint(&mut self, event: CheckpointEvent) {
+            if let CheckpointEvent::Written { .. } = event {
+                if self.seen.fetch_add(1, Ordering::SeqCst) + 1 == self.fire_at {
+                    std::fs::copy(&self.src, &self.dst).expect("copy checkpoint aside");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resume_from_drain_checkpoint_reproduces_the_finished_run() {
+        let path = ck_path("drain");
+        let mut first = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .checkpoint(&path, 4)
+            .build_parallel()
+            .unwrap();
+        let first_summary = first.run_all().unwrap();
+        assert!(path.exists(), "drain checkpoint written");
+        // The drain checkpoint has an empty frontier: resuming replays
+        // nothing and merges the restored records straight through.
+        let mut resumed = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .resume(&path)
+            .build_parallel()
+            .unwrap();
+        let resumed_summary = resumed.run_all().unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(resumed_summary, first_summary);
+        assert_eq!(resumed.records(), first.records());
+    }
+
+    #[test]
+    fn resume_after_mid_run_kill_is_byte_identical() {
+        use std::sync::atomic::AtomicU64;
+        let reference = {
+            let mut par = parallel(THREE_COMPARES, 1);
+            par.run_all().unwrap();
+            par
+        };
+        for workers in [1usize, 2, 4] {
+            let live = ck_path("kill-live");
+            let copy = ck_path("kill-copy");
+            let seen = Arc::new(AtomicU64::new(0));
+            let (src, dst, handle) = (live.clone(), copy.clone(), Arc::clone(&seen));
+            let mut interrupted = Session::builder(Spec::rv32im())
+                .binary(&elf(THREE_COMPARES))
+                .workers(workers)
+                .checkpoint(&live, 1)
+                .observer_factory(move |_| {
+                    Box::new(CopyOnWritten {
+                        src: src.clone(),
+                        dst: dst.clone(),
+                        fire_at: 2,
+                        seen: Arc::clone(&handle),
+                    })
+                })
+                .build_parallel()
+                .unwrap();
+            interrupted.run_all().unwrap();
+            assert!(
+                copy.exists(),
+                "{workers} workers: mid-run checkpoint copied"
+            );
+            // Resume from the mid-run cut with the warm cache on: the
+            // merged records must come out byte-identical to the
+            // uninterrupted cache-off run.
+            let mut resumed = Session::builder(Spec::rv32im())
+                .binary(&elf(THREE_COMPARES))
+                .workers(workers)
+                .warm_start(true)
+                .resume(&copy)
+                .build_parallel()
+                .unwrap();
+            let summary = resumed.run_all().unwrap();
+            let _ = std::fs::remove_file(&live);
+            let _ = std::fs::remove_file(&copy);
+            assert_eq!(summary, reference.summary(), "{workers} workers");
+            assert_eq!(resumed.records(), reference.records(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn resume_redistributes_across_topology_changes() {
+        use std::sync::atomic::AtomicU64;
+        let reference = {
+            let mut par = parallel(THREE_COMPARES, 1);
+            par.run_all().unwrap();
+            par
+        };
+        let live = ck_path("topo-live");
+        let copy = ck_path("topo-copy");
+        let seen = Arc::new(AtomicU64::new(0));
+        let (src, dst, handle) = (live.clone(), copy.clone(), Arc::clone(&seen));
+        let mut interrupted = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(4)
+            .checkpoint(&live, 1)
+            .observer_factory(move |_| {
+                Box::new(CopyOnWritten {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    fire_at: 2,
+                    seen: Arc::clone(&handle),
+                })
+            })
+            .build_parallel()
+            .unwrap();
+        interrupted.run_all().unwrap();
+        // Different worker count AND a different shard policy: the exact
+        // per-shard restore does not apply, so the pending bag is
+        // redistributed — scheduling changes, merged records must not.
+        let mut resumed = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .shard_strategy(|_| Box::new(Bfs::<Prescription>::new()))
+            .resume(&copy)
+            .build_parallel()
+            .unwrap();
+        let summary = resumed.run_all().unwrap();
+        let _ = std::fs::remove_file(&live);
+        let _ = std::fs::remove_file(&copy);
+        assert_eq!(summary, reference.summary());
+        assert_eq!(resumed.records(), reference.records());
+    }
+
+    #[test]
+    fn truncated_resume_keeps_the_canonical_prefix() {
+        use std::sync::atomic::AtomicU64;
+        let reference = {
+            let mut par = Session::builder(Spec::rv32im())
+                .binary(&elf(THREE_COMPARES))
+                .workers(1)
+                .limit(5)
+                .build_parallel()
+                .unwrap();
+            par.run_all().unwrap();
+            par
+        };
+        let live = ck_path("trunc-live");
+        let copy = ck_path("trunc-copy");
+        let seen = Arc::new(AtomicU64::new(0));
+        let (src, dst, handle) = (live.clone(), copy.clone(), Arc::clone(&seen));
+        let mut interrupted = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .limit(5)
+            .checkpoint(&live, 1)
+            .observer_factory(move |_| {
+                Box::new(CopyOnWritten {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    fire_at: 2,
+                    seen: Arc::clone(&handle),
+                })
+            })
+            .build_parallel()
+            .unwrap();
+        interrupted.run_all().unwrap();
+        // The copy carries the watermark: the resumed truncated run must
+        // return the same canonical limit-lowest-id prefix.
+        let mut resumed = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .limit(5)
+            .resume(&copy)
+            .build_parallel()
+            .unwrap();
+        let summary = resumed.run_all().unwrap();
+        let _ = std::fs::remove_file(&live);
+        let _ = std::fs::remove_file(&copy);
+        assert_eq!(summary.paths, 5);
+        assert!(summary.truncated);
+        assert_eq!(summary, reference.summary());
+        assert_eq!(resumed.records(), reference.records());
+    }
+
+    #[test]
+    fn checkpointed_failing_run_resumes_into_the_same_error() {
+        // Unknown syscall on the flipped (a1 == 7) path: a replay *error*,
+        // not an error path — run_all fails, and the failed prescription
+        // is persisted as loose pending work.
+        const BAD_SYSCALL: &str = r#"
+        .data
+__sym_input: .byte 0
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    li a2, 7
+    bne a1, a2, ok
+    li a7, 999
+    ecall
+ok:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+        let path = ck_path("fail");
+        let mut failing = Session::builder(Spec::rv32im())
+            .binary(&elf(BAD_SYSCALL))
+            .workers(2)
+            .checkpoint(&path, 1)
+            .build_parallel()
+            .unwrap();
+        let err = failing.run_all().unwrap_err();
+        assert!(matches!(
+            err,
+            Error::Exec(crate::machine::ExecError::UnknownSyscall { .. })
+        ));
+        assert!(path.exists(), "periodic checkpoint survives the failure");
+        // Resume re-replays the persisted pending prescription and — replay
+        // being pure — deterministically re-derives the same error.
+        let mut resumed = Session::builder(Spec::rv32im())
+            .binary(&elf(BAD_SYSCALL))
+            .workers(2)
+            .resume(&path)
+            .build_parallel()
+            .unwrap();
+        let err = resumed.run_all().unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            err,
+            Error::Exec(crate::machine::ExecError::UnknownSyscall { .. })
+        ));
+    }
+
+    #[test]
+    fn checkpoint_events_reach_counting_observers() {
+        let path = ck_path("counters");
+        let counters = Arc::new(Mutex::new(CountingObserver::new()));
+        let handle = Arc::clone(&counters);
+        let mut par = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .checkpoint(&path, 1)
+            .observer_factory(move |_| Box::new(Arc::clone(&handle)))
+            .build_parallel()
+            .unwrap();
+        let s = par.run_all().unwrap();
+        {
+            let c = counters.lock().unwrap();
+            // One write per committed path plus the coordinator's drain.
+            assert_eq!(c.checkpoints_written, s.paths + 1);
+            assert_eq!(c.resumed_from, 0);
+        }
+        let counters = Arc::new(Mutex::new(CountingObserver::new()));
+        let handle = Arc::clone(&counters);
+        let mut resumed = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(2)
+            .resume(&path)
+            .observer_factory(move |_| Box::new(Arc::clone(&handle)))
+            .build_parallel()
+            .unwrap();
+        resumed.run_all().unwrap();
+        let _ = std::fs::remove_file(&path);
+        let c = counters.lock().unwrap();
+        assert_eq!(c.resumed_from, 1, "coordinator reports the resume seed");
+        assert_eq!(c.checkpoints_written, 0, "resume alone writes nothing");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_or_missing_checkpoints() {
+        let path = ck_path("meta");
+        let mut first = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(1)
+            .checkpoint(&path, 4)
+            .build_parallel()
+            .unwrap();
+        first.run_all().unwrap();
+        // Wrong binary: the symbolic input length disagrees.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf(WITH_BUG))
+            .workers(1)
+            .resume(&path)
+            .build_parallel()
+            .unwrap()
+            .run_all()
+            .unwrap_err();
+        assert!(matches!(err, Error::Persist(PersistError::Mismatch { .. })));
+        // Wrong path limit: truncation is result-shaping.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(1)
+            .limit(5)
+            .resume(&path)
+            .build_parallel()
+            .unwrap()
+            .run_all()
+            .unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(err, Error::Persist(PersistError::Mismatch { .. })));
+        // Missing file: a session-level Io error, never a panic.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf(THREE_COMPARES))
+            .workers(1)
+            .resume(ck_path("missing"))
+            .build_parallel()
+            .unwrap()
+            .run_all()
+            .unwrap_err();
+        assert!(matches!(err, Error::Persist(PersistError::Io(_))));
+    }
+
+    #[test]
+    fn persistence_builder_validation() {
+        let elf = elf(THREE_COMPARES);
+        // Sequential build refuses checkpoint/resume (they persist the
+        // sharded frontier).
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .checkpoint("/tmp/x.ck", 4)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .resume("/tmp/x.ck")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+        // A zero write interval is meaningless.
+        let err = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(2)
+            .checkpoint("/tmp/x.ck", 0)
+            .build_parallel()
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn bag_partition_concatenates_into_the_canonical_stream() {
+        // The multi-process sharding invariant, in-process: materialize the
+        // root once, split the level-1 prescriptions into contiguous
+        // id-sorted chunks, drain each chunk in its own session, and the
+        // concatenation [root] + chunk0 + chunk1 + … IS the single-process
+        // merged stream — because a PathId's subtree occupies a contiguous
+        // interval of the canonical order.
+        let reference = {
+            let mut par = parallel(THREE_COMPARES, 1);
+            par.run_all().unwrap();
+            par
+        };
+        let parent = parallel(THREE_COMPARES, 2);
+        let (root_record, mut level1) = parent.expand_root().unwrap();
+        level1.sort_by(|a, b| a.id.cmp(&b.id));
+        let chunk = level1.len().div_ceil(2).max(1);
+        let mut merged = vec![root_record];
+        let mut solver_checks = 0;
+        while !level1.is_empty() {
+            let rest = level1.split_off(chunk.min(level1.len()));
+            let mut child = parallel(THREE_COMPARES, 2);
+            let s = child.run_bag(level1).unwrap();
+            solver_checks += s.solver_checks;
+            merged.extend(child.records().iter().cloned());
+            level1 = rest;
+        }
+        assert_eq!(merged.as_slice(), reference.records());
+        assert_eq!(solver_checks, reference.summary().solver_checks);
     }
 }

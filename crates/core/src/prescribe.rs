@@ -68,6 +68,12 @@ impl PathId {
         &self.0
     }
 
+    /// Rebuilds an id from its ordinal list (the [`crate::persist`] codec's
+    /// decode path — the wire carries exactly `as_slice`).
+    pub(crate) fn from_ordinals(ordinals: Vec<u32>) -> PathId {
+        PathId(ordinals)
+    }
+
     /// Tree depth (number of flips from the root path).
     pub fn depth(&self) -> usize {
         self.0.len()

@@ -53,7 +53,8 @@ use crate::machine::{StepResult, SymMachine, TrailEntry};
 use crate::metrics::{Instruments, MetricsRegistry, Phase};
 use crate::observe::{NullObserver, Observer};
 use crate::parallel::{
-    BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, ShardStrategyFactory,
+    BackendFactory, ExecutorFactory, ObserverFactory, ParallelSession, PersistPlan,
+    ShardStrategyFactory,
 };
 use crate::prescribe::{Flip, PathId, Prescription};
 use crate::strategy::{Candidate, Dfs, PathStrategy, PrescriptionStrategy};
@@ -170,7 +171,7 @@ pub struct ErrorPath {
 }
 
 /// Exploration result summary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Summary {
     /// Number of execution paths found (the paper's Table I metric).
     pub paths: u64,
@@ -344,6 +345,8 @@ pub struct SessionBuilder {
     trace: Option<Arc<dyn TraceSink>>,
     progress: Option<Duration>,
     progress_coverage: Option<Arc<CoverageMap>>,
+    checkpoint: Option<(std::path::PathBuf, u64)>,
+    resume: Option<std::path::PathBuf>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -555,6 +558,35 @@ impl SessionBuilder {
         self
     }
 
+    /// Writes an atomic checkpoint of the parallel exploration to `path`
+    /// every `every_n` newly merged paths (and once more on drain). A
+    /// checkpoint captures the committed records, every shard frontier
+    /// (including policy-private RNG/coverage state), in-flight work, and
+    /// the truncation watermark in the versioned [`crate::persist`] wire
+    /// format; [`SessionBuilder::resume`] turns it back into a run whose
+    /// merged records are **byte-identical** to the uninterrupted run's.
+    /// Files are written via a temp sibling + rename, so a kill at any
+    /// instant leaves a complete checkpoint on disk. `every_n` must be
+    /// nonzero. Parallel-only. Progress flows through
+    /// [`crate::Observer::on_checkpoint`].
+    pub fn checkpoint(mut self, path: impl Into<std::path::PathBuf>, every_n: u64) -> Self {
+        self.checkpoint = Some((path.into(), every_n));
+        self
+    }
+
+    /// Seeds the parallel exploration from a checkpoint written by
+    /// [`SessionBuilder::checkpoint`] instead of from the root
+    /// prescription. The session's `input_len`, `fuel`, and `limit` must
+    /// match the checkpoint's (typed [`Error::Persist`] otherwise — as for
+    /// any unreadable, truncated, or wrong-version file); worker count and
+    /// shard policy may differ, since they only shape scheduling. The
+    /// resumed run's merged records are byte-identical to the
+    /// uninterrupted run's. Parallel-only.
+    pub fn resume(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.resume = Some(path.into());
+        self
+    }
+
     /// Upper bound on explored paths. Must be nonzero — for unbounded
     /// exploration simply don't set a limit.
     ///
@@ -601,6 +633,11 @@ impl SessionBuilder {
                 what: "progress interval must be nonzero",
             });
         }
+        if matches!(self.checkpoint, Some((_, 0))) {
+            return Err(Error::InvalidConfig {
+                what: "checkpoint interval must be nonzero paths",
+            });
+        }
         Ok(())
     }
 
@@ -630,6 +667,12 @@ impl SessionBuilder {
         if self.workers.is_some() {
             return Err(Error::InvalidConfig {
                 what: "`workers` configures a parallel session: call `build_parallel()`",
+            });
+        }
+        if self.checkpoint.is_some() || self.resume.is_some() {
+            return Err(Error::InvalidConfig {
+                what: "`checkpoint`/`resume` persist the sharded frontier of a parallel \
+                       session: call `build_parallel()`",
             });
         }
         if self.warm_start {
@@ -779,6 +822,10 @@ impl SessionBuilder {
             warm_capacity,
             StaticGate::new(self.static_analysis, self.sa_shadow),
             instrumentation,
+            PersistPlan {
+                checkpoint: self.checkpoint,
+                resume: self.resume,
+            },
         ))
     }
 }
@@ -910,6 +957,8 @@ impl Session {
             trace: None,
             progress: None,
             progress_coverage: None,
+            checkpoint: None,
+            resume: None,
         }
     }
 

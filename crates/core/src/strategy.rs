@@ -41,9 +41,42 @@ use std::sync::Arc;
 
 use binsym_smt::Term;
 
-use crate::coverage::CoverageMap;
+use crate::coverage::{CoverageMap, CoverageSnapshot};
 use crate::machine::TrailEntry;
 use crate::prescribe::Prescription;
+
+/// A plain-data copy of one shard's [`PrescriptionStrategy`] state, as
+/// captured by [`PrescriptionStrategy::snapshot`] and persisted by the
+/// [`crate::persist`] codec.
+///
+/// The snapshot carries everything a policy needs to resume *exactly* where
+/// it stopped: the pending items in the policy's internal order, the
+/// xorshift RNG state for [`RandomRestart`], and a [`CoverageSnapshot`] for
+/// [`CoverageGuided`] (a scheduling-only signal — restoring it warms the
+/// ranking, it never changes the merged results).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierSnapshot {
+    /// The policy's [`PrescriptionStrategy::name`], checked on restore.
+    pub strategy: String,
+    /// Pending prescriptions in the policy's internal storage order.
+    pub items: Vec<Prescription>,
+    /// [`RandomRestart`]'s xorshift64* state (`None` for other policies).
+    pub rng_state: Option<u64>,
+    /// [`CoverageGuided`]'s map contents (`None` for other policies).
+    pub coverage: Option<CoverageSnapshot>,
+}
+
+impl FrontierSnapshot {
+    /// A snapshot carrying only a name and pending items (the common case).
+    fn items_only(strategy: &str, items: Vec<Prescription>) -> Self {
+        FrontierSnapshot {
+            strategy: strategy.to_string(),
+            items,
+            rng_state: None,
+            coverage: None,
+        }
+    }
+}
 
 /// A pending branch flip on the sequential frontier: live term handles
 /// plus, in [`Candidate::prescription`], the plain-data form that lets the
@@ -130,6 +163,18 @@ pub trait PrescriptionStrategy: fmt::Debug + Send {
 
     /// Number of pending prescriptions.
     fn frontier_len(&self) -> usize;
+
+    /// Captures this shard's full scheduling state — pending items in
+    /// internal order plus any policy-private state (RNG, coverage) — so a
+    /// checkpoint can [`restore`](PrescriptionStrategy::restore) it and
+    /// continue with the identical pop sequence.
+    fn snapshot(&self) -> FrontierSnapshot;
+
+    /// Re-seeds this shard from a snapshot taken by the *same* policy:
+    /// appends the snapshot's items in order and adopts any policy-private
+    /// state. Callers check [`FrontierSnapshot::strategy`] against
+    /// [`PrescriptionStrategy::name`] before restoring.
+    fn restore(&mut self, snapshot: FrontierSnapshot);
 }
 
 /// Depth-first selection (the paper's §III-B policy, and the default).
@@ -211,6 +256,14 @@ impl PrescriptionStrategy for Dfs<Prescription> {
     fn frontier_len(&self) -> usize {
         Dfs::frontier_len(self)
     }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot::items_only("dfs", self.stack.iter().cloned().collect())
+    }
+
+    fn restore(&mut self, snapshot: FrontierSnapshot) {
+        self.stack.extend(snapshot.items);
+    }
 }
 
 /// Breadth-first selection: oldest (shallowest) branch flips first.
@@ -289,6 +342,14 @@ impl PrescriptionStrategy for Bfs<Prescription> {
 
     fn frontier_len(&self) -> usize {
         Bfs::frontier_len(self)
+    }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot::items_only("bfs", self.queue.iter().cloned().collect())
+    }
+
+    fn restore(&mut self, snapshot: FrontierSnapshot) {
+        self.queue.extend(snapshot.items);
     }
 }
 
@@ -414,6 +475,20 @@ impl PrescriptionStrategy for RandomRestart<Prescription> {
 
     fn frontier_len(&self) -> usize {
         RandomRestart::frontier_len(self)
+    }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot {
+            rng_state: Some(self.state),
+            ..FrontierSnapshot::items_only("random-restart", self.frontier.clone())
+        }
+    }
+
+    fn restore(&mut self, snapshot: FrontierSnapshot) {
+        self.frontier.extend(snapshot.items);
+        if let Some(state) = snapshot.rng_state {
+            self.state = state;
+        }
     }
 }
 
@@ -574,6 +649,23 @@ impl PrescriptionStrategy for CoverageGuided<Prescription> {
 
     fn frontier_len(&self) -> usize {
         CoverageGuided::frontier_len(self)
+    }
+
+    fn snapshot(&self) -> FrontierSnapshot {
+        FrontierSnapshot {
+            coverage: Some(self.map.snapshot()),
+            ..FrontierSnapshot::items_only("coverage", self.frontier.clone())
+        }
+    }
+
+    fn restore(&mut self, snapshot: FrontierSnapshot) {
+        self.frontier.extend(snapshot.items);
+        // The map is a scheduling-only heuristic; a geometry mismatch
+        // (snapshot from a different binary) just means the ranking warms
+        // from scratch, so a failed restore is silently skipped.
+        if let Some(cov) = &snapshot.coverage {
+            let _ = self.map.restore(cov);
+        }
     }
 }
 

@@ -23,13 +23,16 @@
 //! The heavy programs run under `#[ignore]` so the debug-mode tier-1 suite
 //! stays fast; CI runs them in release with `--include-ignored`.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use binsym_repro::bench::programs::{self, Program};
 use binsym_repro::bench::{coverage_trajectory, SearchStrategy};
 use binsym_repro::binsym::{
-    ChromeTraceSink, CountingObserver, CoverageGuided, CoverageMap, CoverageObserver,
-    MetricsRegistry, PathRecord, Prescription, Session, Summary, TraceSink,
+    CheckpointEvent, ChromeTraceSink, CountingObserver, CoverageGuided, CoverageMap,
+    CoverageObserver, MetricsRegistry, Observer, PathRecord, Prescription, Session, Summary,
+    TraceSink,
 };
 use binsym_repro::isa::Spec;
 
@@ -347,6 +350,136 @@ fn check_warm_coverage_analysis(p: &Program, limit: u64) {
         assert_summaries_equal_modulo_checks(&summary, &cut_summary, &what);
         assert_eq!(records, cut_records, "{what}: canonical prefix");
     }
+}
+
+/// A collision-free scratch path for checkpoint files.
+fn ck_path(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "binsym-coverage-{tag}-{}-{}.ck",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// Simulates a kill: copies the live checkpoint file aside when the
+/// `fire_at`-th `Written` event fires. Atomic tmp+rename replacement means
+/// whatever inode the copy opens is a complete, consistent checkpoint.
+#[derive(Debug)]
+struct CopyOnWritten {
+    src: PathBuf,
+    dst: PathBuf,
+    fire_at: u64,
+    seen: Arc<AtomicU64>,
+}
+impl Observer for CopyOnWritten {
+    fn on_checkpoint(&mut self, event: CheckpointEvent) {
+        if let CheckpointEvent::Written { .. } = event {
+            if self.seen.fetch_add(1, Ordering::SeqCst) + 1 == self.fire_at {
+                std::fs::copy(&self.src, &self.dst).expect("copy checkpoint aside");
+            }
+        }
+    }
+}
+
+/// One everything-on run (warm cache, coverage-guided scheduling, static
+/// gate) checkpointing every merged path, optionally resuming from a
+/// previous cut, with a kill-simulation observer composed next to each
+/// worker's coverage observer.
+fn persistent_coverage_run(
+    p: &Program,
+    workers: usize,
+    checkpoint: Option<(&PathBuf, &CopyOnWritten)>,
+    resume: Option<&PathBuf>,
+) -> (Summary, Vec<PathRecord>) {
+    let elf = p.build();
+    let map = CoverageMap::shared_for(&elf);
+    let policy_map = Arc::clone(&map);
+    let observer_map = Arc::clone(&map);
+    let mut builder = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers)
+        .warm_start(true)
+        .static_analysis(true)
+        .shard_strategy(move |_| {
+            Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
+        });
+    builder = match checkpoint {
+        Some((live, kill)) => {
+            let (src, dst, fire_at) = (kill.src.clone(), kill.dst.clone(), kill.fire_at);
+            let seen = Arc::clone(&kill.seen);
+            builder.checkpoint(live, 1).observer_factory(move |_| {
+                Box::new((
+                    CopyOnWritten {
+                        src: src.clone(),
+                        dst: dst.clone(),
+                        fire_at,
+                        seen: Arc::clone(&seen),
+                    },
+                    CoverageObserver::new(Arc::clone(&observer_map)),
+                ))
+            })
+        }
+        None => builder
+            .observer_factory(move |_| Box::new(CoverageObserver::new(Arc::clone(&observer_map)))),
+    };
+    if let Some(path) = resume {
+        builder = builder.resume(path);
+    }
+    let mut session = builder.build_parallel().expect("builds");
+    let summary = session.run_all().expect("explores");
+    (summary, session.records().to_vec())
+}
+
+/// The kill/resume contract under the full feature stack: a warm
+/// coverage-guided gated run checkpointing every merged path, killed after
+/// `fire_at` paths (simulated by copying the live checkpoint aside), then
+/// resumed from the cut under the same stack, must merge records
+/// byte-identical to the all-off depth-first reference at 1/2/4 workers.
+fn check_kill_resume(p: &Program, fire_at: u64) {
+    let (ref_summary, ref_records, _) = coverage_run_configured(p, 1, None, false, false);
+    for workers in [1usize, 2, 4] {
+        let live = ck_path("kill-live");
+        let copy = ck_path("kill-copy");
+        let kill = CopyOnWritten {
+            src: live.clone(),
+            dst: copy.clone(),
+            fire_at,
+            seen: Arc::new(AtomicU64::new(0)),
+        };
+        persistent_coverage_run(p, workers, Some((&live, &kill)), None);
+        assert!(
+            copy.exists(),
+            "{workers} workers: mid-run checkpoint copied"
+        );
+        let (summary, records) = persistent_coverage_run(p, workers, None, Some(&copy));
+        let _ = std::fs::remove_file(&live);
+        let _ = std::fs::remove_file(&copy);
+        let what = format!(
+            "{} killed+resumed coverage stack, {workers} workers",
+            p.name
+        );
+        assert_summaries_equal_modulo_checks(&summary, &ref_summary, &what);
+        assert!(
+            summary.solver_checks <= ref_summary.solver_checks,
+            "{what}: the gate may only remove checks"
+        );
+        assert_eq!(
+            records, ref_records,
+            "{what}: byte-identical to the uninterrupted all-off run"
+        );
+    }
+}
+
+#[test]
+fn clif_parser_kill_resume_under_full_stack_is_byte_identical() {
+    check_kill_resume(&programs::CLIF_PARSER, 40);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_kill_resume_under_full_stack_is_byte_identical() {
+    check_kill_resume(&programs::URI_PARSER, 500);
 }
 
 #[test]

@@ -34,12 +34,14 @@
 //! The three big programs run under `#[ignore]` so the debug-mode tier-1
 //! suite stays fast; CI runs them in release with `--include-ignored`.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use binsym_repro::bench::programs::{self, Program};
 use binsym_repro::binsym::{
-    ChromeTraceSink, CountingObserver, MetricsRegistry, PathRecord, Prescription, RandomRestart,
-    Session, Summary, TraceSink, TrailEntry,
+    CheckpointEvent, ChromeTraceSink, CountingObserver, MetricsRegistry, Observer, PathRecord,
+    Prescription, RandomRestart, Session, Summary, TraceSink, TrailEntry,
 };
 use binsym_repro::isa::Spec;
 
@@ -356,6 +358,93 @@ fn check_warm_start(p: &Program, limit: u64) {
     }
 }
 
+/// A collision-free scratch path for checkpoint files.
+fn ck_path(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "binsym-determinism-{tag}-{}-{}.ck",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::SeqCst)
+    ))
+}
+
+/// Simulates a kill: copies the live checkpoint file aside when the
+/// `fire_at`-th `Written` event fires. Atomic tmp+rename replacement means
+/// whatever inode the copy opens is a complete, consistent checkpoint, so
+/// resuming from the copy is exactly resuming a process killed at that
+/// moment.
+#[derive(Debug)]
+struct CopyOnWritten {
+    src: PathBuf,
+    dst: PathBuf,
+    fire_at: u64,
+    seen: Arc<AtomicU64>,
+}
+impl Observer for CopyOnWritten {
+    fn on_checkpoint(&mut self, event: CheckpointEvent) {
+        if let CheckpointEvent::Written { .. } = event {
+            if self.seen.fetch_add(1, Ordering::SeqCst) + 1 == self.fire_at {
+                std::fs::copy(&self.src, &self.dst).expect("copy checkpoint aside");
+            }
+        }
+    }
+}
+
+/// The kill/resume contract: a run checkpointing after every merged path,
+/// killed after `fire_at` paths (simulated by copying the live checkpoint
+/// aside), then resumed from the cut — with the warm cache and the static
+/// gate on both sides — must produce merged records byte-identical to the
+/// uninterrupted reference at 1/2/4 workers.
+fn check_kill_resume(p: &Program, fire_at: u64) {
+    let elf = p.build();
+    let (ref_summary, ref_records) = parallel_run(p, 1, None);
+    for workers in [1usize, 2, 4] {
+        let live = ck_path("kill-live");
+        let copy = ck_path("kill-copy");
+        let seen = Arc::new(AtomicU64::new(0));
+        let (src, dst, handle) = (live.clone(), copy.clone(), Arc::clone(&seen));
+        let mut interrupted = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(workers)
+            .warm_start(true)
+            .static_analysis(true)
+            .checkpoint(&live, 1)
+            .observer_factory(move |_| {
+                Box::new(CopyOnWritten {
+                    src: src.clone(),
+                    dst: dst.clone(),
+                    fire_at,
+                    seen: Arc::clone(&handle),
+                })
+            })
+            .build_parallel()
+            .expect("builds");
+        interrupted.run_all().expect("explores");
+        assert!(
+            copy.exists(),
+            "{workers} workers: mid-run checkpoint copied"
+        );
+        let mut resumed = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(workers)
+            .warm_start(true)
+            .static_analysis(true)
+            .resume(&copy)
+            .build_parallel()
+            .expect("builds");
+        let summary = resumed.run_all().expect("resumes");
+        let _ = std::fs::remove_file(&live);
+        let _ = std::fs::remove_file(&copy);
+        let what = format!("{} killed+resumed, {workers} workers", p.name);
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(
+            resumed.records(),
+            ref_records.as_slice(),
+            "{what}: byte-identical to the uninterrupted run"
+        );
+    }
+}
+
 /// One parallel run with metrics and tracing fully on. Also sanity-checks
 /// the collected data: the merged report counts every path and the trace
 /// sink saw events.
@@ -454,6 +543,17 @@ fn bubble_sort_static_analysis_is_invisible_in_results() {
 #[ignore = "heavy: run in release (CI runs with --include-ignored)"]
 fn uri_parser_static_analysis_is_invisible_in_results() {
     check_static_analysis(&programs::URI_PARSER, None);
+}
+
+#[test]
+fn clif_parser_kill_resume_is_byte_identical() {
+    check_kill_resume(&programs::CLIF_PARSER, 40);
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_kill_resume_is_byte_identical() {
+    check_kill_resume(&programs::URI_PARSER, 500);
 }
 
 #[test]

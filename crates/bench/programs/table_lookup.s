@@ -1,0 +1,88 @@
+# table-lookup — a bounds-checked 64-entry table read through a genuinely
+# symbolic index, the memory-model benchmark (not a Table I row).
+#
+#   b = input[0]
+#   if b >= 64:        exit(0)          # B0: bounds check
+#   v = table[b]                        # symbolic-address load
+#   if v == 0x5A: ...                   # B1: the magic slot (only table[37])
+#   if v & 1:     ...                   # B2: value parity
+#   if v < 16:    ...                   # B3: value magnitude
+#   exit(0)
+#
+# The table holds `table[i] = i` except `table[37] = 0x5A` (90 — even and
+# >= 16, so the magic slot sits in an otherwise-unreachable value class).
+# B1–B3 branch on the *loaded value*, so what an engine can reach depends
+# entirely on how it treats the symbolic address `table + b`:
+#
+# * `eq` (the default §III-B pin) freezes `b` to the seed's value on the
+#   first path that executes the load — the pin `table + b == table + 0`
+#   enters the path prefix, so every later flip inherits `b = 0` and
+#   v is the *concrete* byte table[0]. B1–B3 never become symbolic
+#   branches: exploration terminates after 2 paths (bounds check only)
+#   with the magic/odd/high leaves unreached.
+# * `min` pins the smallest feasible index (also 0 here): same 2 paths.
+# * `symbolic:64` keeps `b` live across the whole 64-byte window, so the
+#   loaded value is a `select` over the table and B1–B3 are real branch
+#   sites: 6 paths (1 out-of-bounds + the magic slot + the 4 feasible
+#   parity × magnitude classes) reach every instruction.
+#
+# The table is 64-aligned (`.balign 64`) so the policy's aligned window
+# coincides exactly with the table for every in-bounds index.
+
+        .data
+        # The table comes first: `__sym_input` has no explicit symbol size,
+        # so the engine treats everything from it to the end of the data
+        # segment as symbolic input. Keeping it last makes the input region
+        # exactly the one index byte and the table contents stay concrete.
+        .balign 64
+        .globl table
+table:
+        .byte 0, 1, 2, 3, 4, 5, 6, 7
+        .byte 8, 9, 10, 11, 12, 13, 14, 15
+        .byte 16, 17, 18, 19, 20, 21, 22, 23
+        .byte 24, 25, 26, 27, 28, 29, 30, 31
+        .byte 32, 33, 34, 35, 36, 90, 38, 39
+        .byte 40, 41, 42, 43, 44, 45, 46, 47
+        .byte 48, 49, 50, 51, 52, 53, 54, 55
+        .byte 56, 57, 58, 59, 60, 61, 62, 63
+
+        .globl __sym_input
+__sym_input:
+        .space 1
+
+        .text
+        .globl _start
+_start:
+        la   s0, __sym_input
+        lbu  s1, 0(s0)          # b: the symbolic index byte
+        li   t0, 64
+        bltu s1, t0, lookup     # B0: bounds check
+        li   a0, 0              # out of bounds: exit(0)
+        li   a7, 93
+        ecall
+lookup:
+        la   s2, table
+        add  s2, s2, s1         # &table[b] — symbolic address
+        lbu  s3, 0(s2)          # v = table[b]
+        li   s4, 0              # leaf checksum (keeps leaves distinct)
+
+        li   t0, 90             # 0x5A
+        beq  s3, t0, magic      # B1: the magic slot
+        j    parity
+magic:
+        addi s4, s4, 1
+parity:
+        andi t1, s3, 1
+        beqz t1, small          # B2: value parity
+        addi s4, s4, 2
+small:
+        li   t0, 16
+        bltu s3, t0, low        # B3: value magnitude
+        addi s4, s4, 8
+        j    out
+low:
+        addi s4, s4, 4
+out:
+        li   a0, 0
+        li   a7, 93
+        ecall

@@ -37,6 +37,17 @@
 //!    quantify what the tmp+rename serialization of the full committed
 //!    record set costs at each interval; `checkpoints_written` counts the
 //!    writes.
+//! 7. **Memory policy** — the address-concretization policies
+//!    (`.address_policy(..)`) compared on the dedicated `table-lookup`
+//!    benchmark and the five Table I programs: `eq` (the paper's §III-B
+//!    pin), `min` (smallest feasible address), and `symbolic:64` (the
+//!    window-relational array model). Path count, solver checks, wall
+//!    time, and coverage per row. On the Table I programs every policy
+//!    enumerates the same complete path set (their addresses are
+//!    concrete); on `table-lookup` the concretizing policies saturate at
+//!    partial coverage while `symbolic:64` reaches every instruction —
+//!    the row carries `sym_fewer_paths_to_full: true` once that
+//!    separation is asserted.
 //!
 //! ```text
 //! cargo run --release -p binsym-bench --bin ablation \
@@ -64,8 +75,11 @@
 //! smallest Table I program and on uri-parser — the structural-keying
 //! canary, whose warm rows are asserted to show `warm_prefix_reused > 0`)
 //! plus ablation 5 (gate on/off on the smallest program and on bubble
-//! sort — the one with infeasible flips), so every merge exercises the
-//! warm-start and queries-eliminated datapoints without the full matrix.
+//! sort — the one with infeasible flips) plus ablation 7 (the three
+//! memory policies on `table-lookup` and the smallest Table I program,
+//! asserting the symbolic-coverage separation), so every merge exercises
+//! the warm-start, queries-eliminated, and memory-policy datapoints
+//! without the full matrix.
 
 use std::cell::RefCell;
 use std::path::{Path, PathBuf};
@@ -74,12 +88,16 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use binsym::{
-    BitblastBackend, ChromeTraceSink, CountingObserver, MetricsRegistry, Session, TraceSink,
+    AddressPolicyKind, BitblastBackend, ChromeTraceSink, CountingObserver, MetricsRegistry,
+    Session, TraceSink,
 };
 use binsym_bench::cli::{
     add_counters, counters_per_round, metrics_json, write_json, BenchOpts, Json,
 };
-use binsym_bench::{all_programs, coverage_trajectory, programs, SearchStrategy};
+use binsym_bench::{
+    all_programs, coverage_trajectory, policy_trajectory, programs, SearchStrategy, TABLE_LOOKUP,
+    TABLE_LOOKUP_SYMBOLIC_PATHS,
+};
 use binsym_isa::Spec;
 use binsym_lifter::{EngineConfig, LifterBugs, LifterExecutor};
 
@@ -138,6 +156,10 @@ fn main() {
             opts.checkpoint.as_deref(),
             &mut json_rows,
         );
+        // The memory-policy separation: CI pins that `symbolic:64` reaches
+        // full coverage on table-lookup while the concretizing policies
+        // saturate below it.
+        ablation7(&[TABLE_LOOKUP, programs::CLIF_PARSER], &mut json_rows);
         if let Some(path) = &opts.json {
             let doc = Json::O(vec![
                 ("bin", Json::s("ablation")),
@@ -324,6 +346,15 @@ fn main() {
         opts.checkpoint.as_deref(),
         &mut json_rows,
     );
+
+    // table-lookup leads: it is the program the policies were built to
+    // separate; the Table I programs ride along to pin that the policies
+    // are inert where every address is concrete.
+    let a7_progs: Vec<_> = std::iter::once(TABLE_LOOKUP)
+        .chain(all_programs())
+        .filter(|p| !(opts.quick && p.expected_paths > 1000))
+        .collect();
+    ablation7(&a7_progs, &mut json_rows);
 
     if let Some(path) = &opts.json {
         let doc = Json::O(vec![
@@ -688,6 +719,101 @@ fn ablation6(
                 ("paths", Json::U(p.expected_paths)),
                 ("checkpoints_written", Json::U(c.checkpoints_written)),
             ]));
+        }
+    }
+}
+
+/// Ablation 7: the address-concretization policies on the memory-model
+/// benchmark and the Table I programs, each a full sequential coverage-
+/// guided exploration through [`policy_trajectory`] (the same datapoint
+/// the acceptance tests pin). `eq` is the default and contractually
+/// byte-identical to the pre-policy engine, so its rows must reproduce
+/// `expected_paths` everywhere; on `table-lookup` the run additionally
+/// asserts the policy separation — the concretizing policies saturate
+/// below full coverage, `symbolic:64` reaches every tracked instruction
+/// in exactly [`TABLE_LOOKUP_SYMBOLIC_PATHS`] paths — and stamps the
+/// symbolic row with `sym_fewer_paths_to_full: true` once it holds.
+fn ablation7(progs: &[binsym_bench::Program], json_rows: &mut Vec<Json>) {
+    const POLICIES: [(&str, AddressPolicyKind, u64); 3] = [
+        ("eq", AddressPolicyKind::ConcretizeEq, 0),
+        ("min", AddressPolicyKind::ConcretizeMin, 0),
+        (
+            "symbolic:64",
+            AddressPolicyKind::Symbolic { window: 64 },
+            64,
+        ),
+    ];
+    println!("\nABLATION 7 — memory policy (address concretization vs. windowed array model)\n");
+    println!(
+        "{:<16} {:>24} {:>24} {:>24}",
+        "Benchmark", "eq", "min", "symbolic:64"
+    );
+    println!(
+        "{:<16} {:>24} {:>24} {:>24}",
+        "", "paths/checks cov", "paths/checks cov", "paths/checks cov"
+    );
+    for &p in progs {
+        let runs: Vec<_> = POLICIES
+            .iter()
+            .map(|&(_, policy, _)| policy_trajectory(&p, SearchStrategy::Coverage, policy))
+            .collect();
+        // The default policy is the byte-compat contract: its sequential
+        // enumeration must reproduce the pinned path count on every
+        // program, including the new benchmark.
+        assert_eq!(
+            runs[0].paths, p.expected_paths,
+            "{}: eq must reproduce the pinned path count",
+            p.name
+        );
+        let is_lookup = p.name == TABLE_LOOKUP.name;
+        if is_lookup {
+            let (eq, sym) = (&runs[0], &runs[2]);
+            assert_eq!(
+                sym.paths, TABLE_LOOKUP_SYMBOLIC_PATHS,
+                "table-lookup: symbolic:64 path count is pinned"
+            );
+            assert_eq!(
+                sym.covered_pcs, sym.tracked_pcs,
+                "table-lookup: symbolic:64 must reach full coverage"
+            );
+            assert!(
+                eq.covered_pcs < eq.tracked_pcs,
+                "table-lookup: eq must leave the value-dependent leaves unreached"
+            );
+        }
+        let cells: Vec<String> = runs
+            .iter()
+            .map(|t| {
+                format!(
+                    "{}/{} {}/{}",
+                    t.paths, t.solver_checks, t.covered_pcs, t.tracked_pcs
+                )
+            })
+            .collect();
+        println!(
+            "{:<16} {:>24} {:>24} {:>24}",
+            p.name, cells[0], cells[1], cells[2]
+        );
+        for (&(name, _, window), t) in POLICIES.iter().zip(&runs) {
+            let mut row = vec![
+                ("ablation", Json::s("memory-policy")),
+                ("benchmark", Json::s(p.name)),
+                ("policy", Json::s(name)),
+                ("window", Json::U(window)),
+                ("paths", Json::U(t.paths)),
+                ("solver_checks", Json::U(t.solver_checks)),
+                ("seconds", Json::F(t.seconds)),
+                ("paths_to_full_coverage", Json::U(t.paths_to_full_coverage)),
+                ("covered_pcs", Json::U(t.covered_pcs)),
+                ("tracked_pcs", Json::U(t.tracked_pcs)),
+            ];
+            if is_lookup && window > 0 {
+                // Asserted above: the windowed model reaches full coverage
+                // where the concretizing policies cannot, in finitely many
+                // paths — the headline datapoint of the ablation.
+                row.push(("sym_fewer_paths_to_full", Json::B(true)));
+            }
+            json_rows.push(Json::O(row));
         }
     }
 }

@@ -108,6 +108,10 @@ fn main() {
                     opts.metrics,
                     trace.as_ref(),
                     &opts.persist_spec(engine.name(), p.name),
+                    // The Fig. 6 reproduction is defined under the paper's
+                    // §III-B concretization; the row's pinned path counts
+                    // assume it, so the policy is not a knob here.
+                    binsym::AddressPolicyKind::default(),
                 )
                 .unwrap_or_else(|e| {
                     panic!("{} on {}: {e}", engine.name(), p.name);

@@ -5,12 +5,14 @@
 //! # Parent: partition the pending bag across K worker processes.
 //! cargo run --release -p binsym-bench --bin shard -- \
 //!     --benchmark NAME --procs K [--workers N] [--verify] [--json PATH] \
-//!     [--metrics] [--trace PATH] [--dir PATH]
+//!     [--metrics] [--trace PATH] [--dir PATH] \
+//!     [--memory-policy eq|min|symbolic:N]
 //!
 //! # Single-process hunt (the checkpoint/resume smoke driver).
 //! cargo run --release -p binsym-bench --bin shard -- \
 //!     --hunt --benchmark NAME [--workers N] [--records PATH] \
-//!     [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
+//!     [--checkpoint PATH] [--checkpoint-every N] [--resume PATH] \
+//!     [--memory-policy eq|min|symbolic:N]
 //! ```
 //!
 //! The parent materializes the root path once, sorts the level-1
@@ -46,12 +48,13 @@ use std::time::Instant;
 
 use binsym::persist::section;
 use binsym::{
-    decode_one, decode_seq, encode_one, encode_seq, CoverageGuided, CoverageMap, CoverageObserver,
-    Document, JsonlTraceSink, MetricsRegistry, MetricsReport, PathRecord, Prescription, Session,
-    SessionBuilder, Summary, TraceSink,
+    decode_one, decode_seq, encode_one, encode_seq, AddressPolicyKind, CoverageGuided, CoverageMap,
+    CoverageObserver, Document, JsonlTraceSink, MetricsRegistry, MetricsReport, PathRecord,
+    Prescription, Session, SessionBuilder, Summary, TraceSink,
 };
 use binsym_bench::cli::{write_json, BenchOpts, Json};
-use binsym_bench::programs;
+use binsym_bench::engines::memory_policy_from_opts;
+use binsym_bench::{programs, TABLE_LOOKUP, TABLE_LOOKUP_SYMBOLIC_PATHS};
 use binsym_elf::ElfFile;
 use binsym_isa::Spec;
 
@@ -122,7 +125,7 @@ fn main() {
 /// the prefix-keyed warm cache, coverage-guided scheduling over a shared
 /// map, and the word-level static gate — all on. Determinism must survive
 /// the full stack, so the drivers exercise nothing less.
-fn hunt_builder(elf: &ElfFile, workers: usize) -> SessionBuilder {
+fn hunt_builder(elf: &ElfFile, workers: usize, policy: AddressPolicyKind) -> SessionBuilder {
     let map = CoverageMap::shared_for(elf);
     let policy_map = Arc::clone(&map);
     let observer_map = Arc::clone(&map);
@@ -131,6 +134,7 @@ fn hunt_builder(elf: &ElfFile, workers: usize) -> SessionBuilder {
         .workers(workers)
         .warm_start(true)
         .static_analysis(true)
+        .address_policy(policy)
         .shard_strategy(move |_| {
             Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
         })
@@ -142,6 +146,24 @@ fn program(name: &str) -> programs::Program {
         eprintln!("unknown benchmark {name:?} (expected a Table I program name)");
         std::process::exit(2);
     })
+}
+
+/// The pinned path count for `p` under `policy`. The concretizing
+/// policies reproduce the Table I counts everywhere (`eq` is the default
+/// semantics, and every other program's addresses are concrete); the
+/// windowed model is pinned on `table-lookup` for any window covering the
+/// whole table, and inert elsewhere.
+fn expected_paths(p: &programs::Program, policy: AddressPolicyKind) -> u64 {
+    match policy {
+        AddressPolicyKind::Symbolic { window } if p.name == TABLE_LOOKUP.name => {
+            assert!(
+                window >= 64,
+                "windows smaller than the table carry no pinned count"
+            );
+            TABLE_LOOKUP_SYMBOLIC_PATHS
+        }
+        _ => p.expected_paths,
+    }
 }
 
 /// Rebuilds the merged [`Summary`] from the concatenated record stream —
@@ -182,12 +204,13 @@ fn run_parent(args: &ShardArgs, opts: &BenchOpts) {
     let elf = p.build();
     let workers = opts.workers.unwrap_or(2).max(1);
     let procs = args.procs.max(1);
+    let policy = memory_policy_from_opts(opts);
     let started = Instant::now();
 
     // Materialize the root once and partition its children: contiguous
     // chunks of the id-sorted level-1 prescriptions, so each child's
     // record stream is one contiguous interval of the canonical order.
-    let parent = hunt_builder(&elf, workers)
+    let parent = hunt_builder(&elf, workers, policy)
         .build_parallel()
         .expect("parent session builds");
     let (root_record, mut level1) = parent.expand_root().expect("root replays");
@@ -240,6 +263,9 @@ fn run_parent(args: &ShardArgs, opts: &BenchOpts) {
         if opts.metrics {
             cmd.arg("--metrics");
         }
+        if let Some(mp) = &opts.memory_policy {
+            cmd.arg("--memory-policy").arg(mp);
+        }
         let trace_path = opts.trace.as_ref().map(|t| suffixed(t, &format!(".p{i}")));
         if let Some(tp) = &trace_path {
             cmd.arg("--trace").arg(tp);
@@ -282,7 +308,8 @@ fn run_parent(args: &ShardArgs, opts: &BenchOpts) {
     );
     let summary = summarize(&records, solver_checks);
     assert_eq!(
-        summary.paths, p.expected_paths,
+        summary.paths,
+        expected_paths(&p, policy),
         "sharding must not change the path count"
     );
     if let Some(trace) = &opts.trace {
@@ -302,7 +329,7 @@ fn run_parent(args: &ShardArgs, opts: &BenchOpts) {
     );
 
     if args.verify {
-        let mut reference = hunt_builder(&elf, workers)
+        let mut reference = hunt_builder(&elf, workers, policy)
             .build_parallel()
             .expect("reference session builds");
         let ref_summary = reference.run_all().expect("reference explores");
@@ -367,7 +394,7 @@ fn run_child(args: &ShardArgs, opts: &BenchOpts) {
     let registry = opts
         .metrics
         .then(|| Arc::new(MetricsRegistry::new(workers)));
-    let mut builder = hunt_builder(&elf, workers);
+    let mut builder = hunt_builder(&elf, workers, memory_policy_from_opts(opts));
     if let Some(sink) = &sink {
         builder = builder.trace(Arc::clone(sink) as Arc<dyn TraceSink>);
     }
@@ -394,8 +421,9 @@ fn run_hunt(args: &ShardArgs, opts: &BenchOpts) {
     let p = program(&args.benchmark);
     let elf = p.build();
     let workers = opts.workers.unwrap_or(2).max(1);
+    let policy = memory_policy_from_opts(opts);
     let started = Instant::now();
-    let mut builder = hunt_builder(&elf, workers);
+    let mut builder = hunt_builder(&elf, workers, policy);
     if let Some(path) = &opts.checkpoint {
         builder = builder.checkpoint(path, opts.checkpoint_interval());
     }
@@ -405,7 +433,8 @@ fn run_hunt(args: &ShardArgs, opts: &BenchOpts) {
     let mut session = builder.build_parallel().expect("hunt session builds");
     let summary = session.run_all().expect("hunt explores");
     assert_eq!(
-        summary.paths, p.expected_paths,
+        summary.paths,
+        expected_paths(&p, policy),
         "checkpointing/resuming must not change the path count"
     );
     if let Some(path) = &args.records {

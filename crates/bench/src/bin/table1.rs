@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p binsym-bench --bin table1 \
 //!     [--quick] [--workers N] [--strategy dfs|bfs|coverage] [--json PATH] \
-//!     [--metrics] [--trace PATH] \
+//!     [--memory-policy eq|min|symbolic:N] [--metrics] [--trace PATH] \
 //!     [--checkpoint PATH] [--checkpoint-every N] [--resume PATH]
 //! ```
 //!
@@ -42,6 +42,7 @@ use std::time::Instant;
 
 use binsym::{ChromeTraceSink, TraceSink};
 use binsym_bench::cli::{metrics_json, summary_json, write_json, BenchOpts, Json};
+use binsym_bench::engines::memory_policy_from_opts;
 use binsym_bench::{all_programs, run_engine_resumable, Engine, SearchStrategy};
 
 fn main() {
@@ -52,6 +53,7 @@ fn main() {
         std::process::exit(2);
     }
     let strategy = SearchStrategy::from_opts(&opts);
+    let policy = memory_policy_from_opts(&opts);
     // One sink for the whole campaign: every engine × benchmark run lands
     // in a single Perfetto-openable file, timestamps from one epoch.
     let sink = opts
@@ -65,6 +67,9 @@ fn main() {
     }
     if strategy != SearchStrategy::Dfs {
         println!("(path-selection strategy: {})", strategy.name());
+    }
+    if policy != binsym::AddressPolicyKind::default() {
+        println!("(memory policy: {policy})");
     }
     println!("(† marks rows where an engine misses paths)\n");
     println!(
@@ -90,6 +95,7 @@ fn main() {
                 opts.metrics,
                 trace.as_ref(),
                 &opts.persist_spec(engine.name(), p.name),
+                policy,
             )
             .unwrap_or_else(|e| {
                 panic!("{} on {}: {e}", engine.name(), p.name);
@@ -143,6 +149,7 @@ fn main() {
             ("bin", Json::s("table1")),
             ("workers", Json::U(workers as u64)),
             ("strategy", Json::s(strategy.name())),
+            ("memory_policy", Json::s(policy.to_string())),
             ("quick", Json::B(opts.quick)),
             ("rows", Json::A(json_rows)),
         ]);

@@ -16,6 +16,10 @@ pub struct BenchOpts {
     /// Path-selection strategy (`--strategy dfs|bfs|coverage`, default
     /// dfs); parsed into a [`crate::SearchStrategy`] by the engines layer.
     pub strategy: Option<String>,
+    /// Address-concretization policy of the symbolic-memory layer
+    /// (`--memory-policy eq|min|symbolic:N`, default eq); parsed into a
+    /// [`binsym::AddressPolicyKind`] by [`crate::engines::memory_policy_from_opts`].
+    pub memory_policy: Option<String>,
     /// Where to write the machine-readable JSON summary (`--json PATH`).
     pub json: Option<PathBuf>,
     /// Skip the heavy benchmark rows (`--quick`).
@@ -86,6 +90,7 @@ impl BenchOpts {
         BenchOpts {
             workers,
             strategy: value_of("--strategy").cloned(),
+            memory_policy: value_of("--memory-policy").cloned(),
             json: value_of("--json").map(PathBuf::from),
             quick: args.iter().any(|a| a == "--quick"),
             smoke: args.iter().any(|a| a == "--smoke"),
@@ -689,6 +694,11 @@ mod tests {
 
         let o = BenchOpts::parse(args(&["--strategy", "coverage"]).into_iter(), None);
         assert_eq!(o.strategy.as_deref(), Some("coverage"));
+
+        let o = BenchOpts::parse(args(&["--memory-policy", "symbolic:64"]).into_iter(), None);
+        assert_eq!(o.memory_policy.as_deref(), Some("symbolic:64"));
+        let o = BenchOpts::parse(args(&["--quick"]).into_iter(), None);
+        assert_eq!(o.memory_policy, None, "policy defaults to the engine's");
     }
 
     #[test]

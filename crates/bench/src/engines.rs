@@ -25,9 +25,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use binsym::{
-    Bfs, Candidate, CoverageGuided, CoverageMap, CoverageObserver, Error, MetricsRegistry,
-    MetricsReport, Observer, ParallelSession, PathExecutor, Prescription, Session, SessionBuilder,
-    Summary, TraceSink,
+    AddressPolicyKind, Bfs, Candidate, CoverageGuided, CoverageMap, CoverageObserver, Error,
+    MetricsRegistry, MetricsReport, Observer, ParallelSession, PathExecutor, Prescription, Session,
+    SessionBuilder, Summary, TraceSink,
 };
 use binsym_des::{Bus, EventQueue, ProcessId, Time};
 use binsym_elf::ElfFile;
@@ -90,7 +90,37 @@ impl SearchStrategy {
             }),
         }
     }
+}
 
+/// Parses a `--memory-policy` value — the [`AddressPolicyKind`] `Display`
+/// spellings: `eq`, `min`, or `symbolic:N` with a nonzero window `N`.
+pub fn parse_memory_policy(s: &str) -> Option<AddressPolicyKind> {
+    match s {
+        "eq" => Some(AddressPolicyKind::ConcretizeEq),
+        "min" => Some(AddressPolicyKind::ConcretizeMin),
+        _ => {
+            let window = s.strip_prefix("symbolic:")?.parse().ok()?;
+            (window > 0).then_some(AddressPolicyKind::Symbolic { window })
+        }
+    }
+}
+
+/// Resolves the memory policy requested in `opts` (default: the §III-B
+/// `eq` pin, matching every session built without the flag).
+///
+/// # Panics
+/// Panics on an unknown `--memory-policy` value — bench bins treat that as
+/// a hard configuration error, like a malformed `--workers`.
+pub fn memory_policy_from_opts(opts: &crate::cli::BenchOpts) -> AddressPolicyKind {
+    match &opts.memory_policy {
+        None => AddressPolicyKind::default(),
+        Some(raw) => parse_memory_policy(raw).unwrap_or_else(|| {
+            panic!("invalid value for --memory-policy: {raw:?} (eq|min|symbolic:N)")
+        }),
+    }
+}
+
+impl SearchStrategy {
     /// Installs this policy (and, for coverage, its observer feeding
     /// `map`) on a *sequential* session builder.
     pub fn install(
@@ -201,21 +231,29 @@ impl Engine {
         }
     }
 
-    /// The persona's engine wiring (executor or spec + binary), with no
-    /// observer, strategy, or worker count installed yet.
-    fn base_builder(self, elf: &ElfFile) -> Result<SessionBuilder, Error> {
+    /// The persona's engine wiring (executor or spec + binary) under the
+    /// given address-concretization policy, with no observer, strategy, or
+    /// worker count installed yet. The policy is installed both on the
+    /// executor (for the lifter personas) and on the builder, so the
+    /// builder's cross-check always sees agreeing sides.
+    fn base_builder(
+        self,
+        elf: &ElfFile,
+        policy: AddressPolicyKind,
+    ) -> Result<SessionBuilder, Error> {
         Ok(match self {
             Engine::BinSym | Engine::SymExVp => Session::builder(Spec::rv32im()).binary(elf),
-            Engine::Binsec => {
-                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::binsec())?)
-            }
-            Engine::Angr => {
-                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr())?)
-            }
-            Engine::AngrFixed => {
-                Session::executor_builder(LifterExecutor::new(elf, EngineConfig::angr_fixed())?)
-            }
-        })
+            Engine::Binsec => Session::executor_builder(
+                LifterExecutor::new(elf, EngineConfig::binsec())?.with_policy(policy),
+            ),
+            Engine::Angr => Session::executor_builder(
+                LifterExecutor::new(elf, EngineConfig::angr())?.with_policy(policy),
+            ),
+            Engine::AngrFixed => Session::executor_builder(
+                LifterExecutor::new(elf, EngineConfig::angr_fixed())?.with_policy(policy),
+            ),
+        }
+        .address_policy(policy))
     }
 
     /// Builds the exploration session realizing this persona on `elf`.
@@ -239,13 +277,23 @@ impl Engine {
         strategy: SearchStrategy,
         coverage: Option<&Arc<CoverageMap>>,
     ) -> Result<Session, Error> {
-        self.session_configured(elf, strategy, coverage, None, None)
+        self.session_configured(
+            elf,
+            strategy,
+            coverage,
+            None,
+            None,
+            AddressPolicyKind::default(),
+        )
     }
 
-    /// [`Engine::session_with`] plus observability: an optional shared
+    /// [`Engine::session_with`] plus observability — an optional shared
     /// metrics registry (sequential sessions stamp shard 0) and an optional
-    /// trace sink. Both are wall-time-only — the explored records are
-    /// byte-identical with and without them.
+    /// trace sink, both wall-time-only: the explored records are
+    /// byte-identical with and without them — and the address-concretization
+    /// `policy` of the symbolic-memory layer (which is *not* wall-time-only:
+    /// a non-default policy changes which cells symbolic-address accesses
+    /// touch, and with it the explored path set).
     ///
     /// # Errors
     /// Returns [`Error`] if the binary lacks a `__sym_input` symbol.
@@ -256,8 +304,9 @@ impl Engine {
         coverage: Option<&Arc<CoverageMap>>,
         metrics: Option<&Arc<MetricsRegistry>>,
         trace: Option<&Arc<dyn TraceSink>>,
+        policy: AddressPolicyKind,
     ) -> Result<Session, Error> {
-        let builder = strategy.install(self.base_builder(elf)?, coverage);
+        let builder = strategy.install(self.base_builder(elf, policy)?, coverage);
         let builder = install_instrumentation(builder, metrics, trace);
         let builder = match compose_observer(self.persona_observer(), coverage) {
             Some(observer) => builder.observer(observer),
@@ -319,15 +368,18 @@ impl Engine {
             metrics,
             trace,
             &PersistSpec::default(),
+            AddressPolicyKind::default(),
         )
     }
 
     /// [`Engine::parallel_session_configured`] plus exploration
-    /// persistence: an optional checkpoint destination (atomic tmp+rename
+    /// persistence — an optional checkpoint destination (atomic tmp+rename
     /// writes every N merged paths and on drain) and an optional resume
-    /// source. Both leave merged records byte-identical to a plain
-    /// uninterrupted run — persistence, like instrumentation, is
-    /// wall-time-only.
+    /// source, both leaving merged records byte-identical to a plain
+    /// uninterrupted run — and the address-concretization `policy`, which
+    /// every worker's executor shares (it is stamped into each prescription
+    /// and persisted with checkpoints, so a resume under a different policy
+    /// is rejected).
     ///
     /// # Errors
     /// Returns [`Error`] if the binary lacks a `__sym_input` symbol, or —
@@ -343,6 +395,7 @@ impl Engine {
         metrics: Option<&Arc<MetricsRegistry>>,
         trace: Option<&Arc<dyn TraceSink>>,
         persist: &PersistSpec,
+        policy: AddressPolicyKind,
     ) -> Result<ParallelSession, Error> {
         let builder = match self {
             Engine::BinSym | Engine::SymExVp => Session::builder(Spec::rv32im()).binary(elf),
@@ -354,11 +407,16 @@ impl Engine {
                 };
                 let elf = elf.clone();
                 Session::factory_builder(move || {
-                    Ok(Box::new(LifterExecutor::new(&elf, config)?) as Box<dyn PathExecutor>)
+                    Ok(
+                        Box::new(LifterExecutor::new(&elf, config)?.with_policy(policy))
+                            as Box<dyn PathExecutor>,
+                    )
                 })
             }
         };
-        let builder = strategy.install_sharded(builder, coverage).workers(workers);
+        let builder = strategy
+            .install_sharded(builder.address_policy(policy), coverage)
+            .workers(workers);
         let builder = install_instrumentation(builder, metrics, trace);
         let builder = match &persist.checkpoint {
             Some((path, every)) => builder.checkpoint(path, *every),
@@ -392,28 +450,77 @@ impl Engine {
 /// Panics if the program fails to build, explore, or enumerate at least
 /// one path — the bundled benchmarks are repo invariants.
 pub fn coverage_trajectory(p: &crate::Program, strategy: SearchStrategy) -> (u64, u64, u64) {
+    let t = policy_trajectory(p, strategy, AddressPolicyKind::default());
+    (t.paths_to_full_coverage, t.covered_pcs, t.paths)
+}
+
+/// One memory-policy datapoint on one program: a full *sequential*
+/// exploration (plain BinSym engine) under `strategy` and `policy`, with a
+/// fresh [`CoverageMap`] observing every path. Shared by ablation 7 and
+/// the memory-policy acceptance tests, so the two can never measure
+/// different things. Note `paths_to_full_coverage` is paths to the run's
+/// *final* coverage: when a concretizing policy leaves code unreached
+/// (`covered_pcs < tracked_pcs`), it reports how fast the run saturated at
+/// its — partial — ceiling.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyTrajectory {
+    /// Total enumerated paths.
+    pub paths: u64,
+    /// Exploration feasibility queries discharged by the solver.
+    pub solver_checks: u64,
+    /// Wall-clock seconds of the exploration.
+    pub seconds: f64,
+    /// Paths until the run's final covered-PC count was first reached.
+    pub paths_to_full_coverage: u64,
+    /// Distinct text-segment instruction slots executed.
+    pub covered_pcs: u64,
+    /// Instruction slots tracked (the full-coverage target).
+    pub tracked_pcs: u64,
+}
+
+/// Streams one full sequential exploration of `p` under `strategy` and
+/// the given address-concretization `policy` (see [`PolicyTrajectory`]).
+///
+/// # Panics
+/// Panics if the program fails to build, explore, or enumerate at least
+/// one path — the bundled benchmarks are repo invariants.
+pub fn policy_trajectory(
+    p: &crate::Program,
+    strategy: SearchStrategy,
+    policy: AddressPolicyKind,
+) -> PolicyTrajectory {
     let elf = p.build();
     let map = CoverageMap::shared_for(&elf);
     let builder = strategy.install(
         Session::builder(Spec::rv32im())
             .binary(&elf)
+            .address_policy(policy)
             .observer(CoverageObserver::new(Arc::clone(&map))),
         Some(&map),
     );
     let mut session = builder.build().expect("builds");
+    let start = Instant::now();
     let mut per_path = Vec::new();
     for r in session.paths() {
         r.expect("explores");
         per_path.push(map.covered_count());
     }
-    let total = per_path.len() as u64;
+    let seconds = start.elapsed().as_secs_f64();
+    let summary = session.summary();
     let final_cov = *per_path.last().expect("at least one path");
     let to_full = per_path
         .iter()
         .position(|&c| c == final_cov)
         .expect("found") as u64
         + 1;
-    (to_full, final_cov, total)
+    PolicyTrajectory {
+        paths: per_path.len() as u64,
+        solver_checks: summary.solver_checks,
+        seconds,
+        paths_to_full_coverage: to_full,
+        covered_pcs: final_cov,
+        tracked_pcs: map.tracked_slots(),
+    }
 }
 
 /// Installs the optional observability knobs on a builder — shared by the
@@ -533,11 +640,14 @@ pub fn run_engine_instrumented(
         metrics,
         trace,
         &PersistSpec::default(),
+        AddressPolicyKind::default(),
     )
 }
 
 /// [`run_engine_instrumented`] plus checkpoint/resume persistence (see
-/// [`PersistSpec`]). Persistence requires a parallel run: with
+/// [`PersistSpec`]) and the address-concretization `policy` of the
+/// symbolic-memory layer (`--memory-policy`; the default reproduces every
+/// pre-policy run bit for bit). Persistence requires a parallel run: with
 /// `workers == 0` an active spec is a configuration error, surfaced as
 /// [`binsym::Error::InvalidConfig`] by the builder.
 ///
@@ -554,6 +664,7 @@ pub fn run_engine_resumable(
     metrics: bool,
     trace: Option<&Arc<dyn TraceSink>>,
     persist: &PersistSpec,
+    policy: AddressPolicyKind,
 ) -> Result<RunResult, Error> {
     let coverage = (strategy == SearchStrategy::Coverage).then(|| CoverageMap::shared_for(elf));
     let registry = metrics.then(|| Arc::new(MetricsRegistry::new(workers.max(1))));
@@ -572,7 +683,14 @@ pub fn run_engine_resumable(
                 .expect_err("sequential builder rejects persistence"));
         }
         engine
-            .session_configured(elf, strategy, coverage.as_ref(), registry.as_ref(), trace)?
+            .session_configured(
+                elf,
+                strategy,
+                coverage.as_ref(),
+                registry.as_ref(),
+                trace,
+                policy,
+            )?
             .run_all()?
     } else {
         engine
@@ -584,6 +702,7 @@ pub fn run_engine_resumable(
                 registry.as_ref(),
                 trace,
                 persist,
+                policy,
             )?
             .run_all()?
     };
@@ -941,5 +1060,43 @@ small:
         let buggy = run_engine(Engine::Angr, &elf).expect("angr").summary;
         assert_eq!(correct.paths, p.expected_paths);
         assert_eq!(buggy.paths, p.expected_paths_buggy_angr);
+    }
+
+    #[test]
+    fn memory_policy_spellings_parse() {
+        assert_eq!(
+            parse_memory_policy("eq"),
+            Some(AddressPolicyKind::ConcretizeEq)
+        );
+        assert_eq!(
+            parse_memory_policy("min"),
+            Some(AddressPolicyKind::ConcretizeMin)
+        );
+        assert_eq!(
+            parse_memory_policy("symbolic:64"),
+            Some(AddressPolicyKind::Symbolic { window: 64 })
+        );
+        // The Display form must round-trip through the parser, so the CLI
+        // spelling and the JSON rows can never drift apart.
+        for policy in [
+            AddressPolicyKind::ConcretizeEq,
+            AddressPolicyKind::ConcretizeMin,
+            AddressPolicyKind::Symbolic { window: 128 },
+        ] {
+            assert_eq!(parse_memory_policy(&policy.to_string()), Some(policy));
+        }
+        for bad in ["", "EQ", "symbolic", "symbolic:", "symbolic:0", "window:8"] {
+            assert_eq!(parse_memory_policy(bad), None, "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid value for --memory-policy")]
+    fn malformed_memory_policy_fails_loudly() {
+        let opts = crate::cli::BenchOpts {
+            memory_policy: Some("sym".into()),
+            ..Default::default()
+        };
+        let _ = memory_policy_from_opts(&opts);
     }
 }

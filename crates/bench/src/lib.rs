@@ -32,8 +32,9 @@ pub mod programs;
 
 pub use cli::{BenchOpts, Json};
 pub use engines::{
-    coverage_trajectory, run_engine, run_engine_instrumented, run_engine_parallel,
-    run_engine_resumable, run_engine_with, Engine, GhcRuntimeObserver, PersistSpec, RunResult,
+    coverage_trajectory, memory_policy_from_opts, parse_memory_policy, policy_trajectory,
+    run_engine, run_engine_instrumented, run_engine_parallel, run_engine_resumable,
+    run_engine_with, Engine, GhcRuntimeObserver, PersistSpec, PolicyTrajectory, RunResult,
     SearchStrategy, VpObserver, VpStats,
 };
-pub use programs::{all_programs, Program};
+pub use programs::{all_programs, by_name, Program, TABLE_LOOKUP, TABLE_LOOKUP_SYMBOLIC_PATHS};

@@ -109,6 +109,34 @@ pub const URI_PARSER: Program = Program {
     paper_paths_angr: 8194,
 };
 
+/// `table-lookup`: a bounds-checked 64-entry table read through a
+/// genuinely symbolic index — the memory-model benchmark, *not* a Table I
+/// row (the paper's evaluation predates the pluggable memory layer, so it
+/// stays out of [`all_programs`] and is reachable via [`by_name`]).
+///
+/// The pinned `expected_paths: 2` is the count under the default
+/// [`binsym::AddressPolicyKind::ConcretizeEq`] policy: the §III-B pin
+/// freezes the index to the seed's value inside the path prefix, so the
+/// three branches on the *loaded* value never become symbolic and the
+/// magic/odd/high leaves stay unreached. Under
+/// `AddressPolicyKind::Symbolic { window: 64 }` the same program reaches
+/// every instruction in [`TABLE_LOOKUP_SYMBOLIC_PATHS`] paths (asserted by
+/// ablation 7 and the memory-policy acceptance tests).
+pub const TABLE_LOOKUP: Program = Program {
+    name: "table-lookup",
+    source: include_str!("../programs/table_lookup.s"),
+    input_len: 1,
+    expected_paths: 2,
+    expected_paths_buggy_angr: 2,
+    paper_paths: 0,
+    paper_paths_angr: 0,
+};
+
+/// Complete path count of [`TABLE_LOOKUP`] under the
+/// `symbolic:64` memory policy: 1 out-of-bounds path + the magic slot +
+/// the 4 feasible parity × magnitude value classes.
+pub const TABLE_LOOKUP_SYMBOLIC_PATHS: u64 = 6;
+
 /// All five benchmarks in the paper's Table I row order.
 pub fn all_programs() -> [Program; 5] {
     [
@@ -120,18 +148,28 @@ pub fn all_programs() -> [Program; 5] {
     ]
 }
 
-/// Looks up a benchmark by its Table I name.
+/// Looks up a benchmark by name: the five Table I rows plus the
+/// memory-model benchmark [`TABLE_LOOKUP`].
 pub fn by_name(name: &str) -> Option<Program> {
-    all_programs().into_iter().find(|p| p.name == name)
+    all_programs()
+        .into_iter()
+        .chain([TABLE_LOOKUP])
+        .find(|p| p.name == name)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Every bundled program: the Table I rows plus the memory-model
+    /// benchmark, so the shared invariants cover both.
+    fn bundled() -> Vec<Program> {
+        all_programs().into_iter().chain([TABLE_LOOKUP]).collect()
+    }
+
     #[test]
     fn all_programs_assemble() {
-        for p in all_programs() {
+        for p in bundled() {
             let elf = p.build();
             assert!(elf.symbol("__sym_input").is_some(), "{}", p.name);
             assert!(!elf.segments.is_empty(), "{}", p.name);
@@ -141,14 +179,32 @@ mod tests {
     #[test]
     fn lookup_by_name() {
         assert_eq!(by_name("bubble-sort").unwrap().expected_paths, 720);
+        assert_eq!(by_name("table-lookup").unwrap().input_len, 1);
         assert!(by_name("quicksort").is_none());
+    }
+
+    #[test]
+    fn table_lookup_stays_out_of_table1() {
+        // The memory-model benchmark is not a Table I row: the table1/fig6
+        // campaigns and their pinned counts must not pick it up.
+        assert!(all_programs().iter().all(|p| p.name != "table-lookup"));
+    }
+
+    #[test]
+    fn table_lookup_table_is_window_aligned() {
+        // The symbolic policy windows to `addr - addr % window`; keeping
+        // the table 64-aligned makes the aligned 64-byte window coincide
+        // with the table for every in-bounds index.
+        let elf = TABLE_LOOKUP.build();
+        let table = elf.symbol("table").expect("table symbol").value;
+        assert_eq!(table % 64, 0, "table must be 64-aligned, is {table:#x}");
     }
 
     #[test]
     fn programs_terminate_concretely() {
         // Zero input must drive every benchmark to a normal exit in the
         // concrete reference interpreter.
-        for p in all_programs() {
+        for p in bundled() {
             let elf = p.build();
             let mut m = binsym_interp::Machine::new(binsym_isa::Spec::rv32im());
             m.load_elf(&elf);

@@ -573,4 +573,56 @@ mod tests {
             .screen(&mut tm, &[cond], flipped, &[0])
             .is_none());
     }
+
+    #[test]
+    fn gate_and_shadow_pass_array_queries_through() {
+        // A 64-entry table with one magic slot, read at a symbolic index —
+        // the query shape the symbolic memory policy emits. The word-level
+        // analysis has no array theory, so a select-valued flip must come
+        // back residual (handed to the solver), never wrongly decided.
+        let mut tm = TermManager::new();
+        let idx = tm.var("in0", 8);
+        let base = tm.array_const(0, 8, 8);
+        let slot = tm.bv_const(37, 8);
+        let magic = tm.bv_const(90, 8);
+        let arr = tm.store(base, slot, magic);
+        let v = tm.select(arr, idx);
+        let bound = tm.bv_const(64, 8);
+        let in_bounds = tm.ult(idx, bound);
+        let hit = tm.eq(v, magic);
+
+        let gate = StaticGate::new(true, true);
+        let report = gate
+            .screen(&mut tm, &[in_bounds], hit, &[0])
+            .expect("gate on");
+        assert!(
+            report.verdict.is_none(),
+            "select terms are residual to the word-level gate"
+        );
+
+        // The residual query still discharges through the bit-blasted
+        // array lowering: feasible exactly at the magic slot.
+        let mut solver = Solver::new();
+        solver.assert_term(&mut tm, in_bounds);
+        solver.assert_term(&mut tm, hit);
+        assert_eq!(solver.check_sat(&mut tm, &[]), SatResult::Sat);
+        let zero = tm.bv_const(0, 8);
+        let pin = tm.eq(idx, zero);
+        solver.assert_term(&mut tm, pin);
+        assert_eq!(solver.check_sat(&mut tm, &[]), SatResult::Unsat);
+
+        // A verdict the analysis *can* reach from its word-level facts
+        // must shadow-check cleanly even when the prefix carries array
+        // terms: the fresh shadow solver bit-blasts the select and has to
+        // agree, or shadow_check panics and fails this test.
+        let wide = tm.bv_const(128, 8);
+        let implied = tm.ult(idx, wide);
+        let report = gate
+            .screen(&mut tm, &[in_bounds, hit], implied, &[37])
+            .expect("gate on");
+        assert!(
+            matches!(report.verdict, Some((SatResult::Sat, _))),
+            "the interval fact from the bounds check decides the flip"
+        );
+    }
 }

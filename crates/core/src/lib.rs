@@ -84,6 +84,7 @@ pub mod backend;
 pub mod coverage;
 pub mod error;
 pub mod machine;
+pub mod memory;
 pub mod metrics;
 pub mod observe;
 pub mod parallel;
@@ -101,6 +102,7 @@ pub use backend::{
 pub use coverage::{CoverageMap, CoverageObserver, CoverageSnapshot};
 pub use error::Error;
 pub use machine::{ExecError, StepResult, SymMachine, TrailEntry};
+pub use memory::{AddressPolicy, AddressPolicyKind, Resolution};
 pub use metrics::{
     Histogram, HistogramSnapshot, MetricsRegistry, MetricsReport, Phase, WorkerMetrics,
 };

@@ -24,6 +24,7 @@ use binsym_elf::ElfFile;
 use binsym_isa::{Expr, MemWidth, Memory, Reg, RegFile, Spec, Stmt};
 use binsym_smt::{Term, TermManager};
 
+use crate::memory::{self, AddressPolicyKind, Resolution};
 use crate::value::{SymByte, SymWord};
 use crate::SYSCALL_EXIT;
 
@@ -45,8 +46,16 @@ pub enum TrailEntry {
     /// An address-concretization constraint (always true on this path and
     /// never flipped).
     Concretize {
-        /// Boolean constraint `addr_term = concrete_addr`.
+        /// Boolean constraint recorded by the address policy: `addr_term =
+        /// pinned_addr` for the concretizing policies, a window-membership
+        /// conjunction for [`crate::memory::Symbolic`].
         constraint: Term,
+        /// Program counter of the accessing instruction.
+        pc: u32,
+        /// The policy's decision: the pinned address for the concretizing
+        /// policies, the window base for the symbolic policy. Together with
+        /// `pc` this keys the decision for replay and the warm cache.
+        choice: u64,
     },
 }
 
@@ -61,7 +70,7 @@ impl TrailEntry {
                     tm.not(cond)
                 }
             }
-            TrailEntry::Concretize { constraint } => constraint,
+            TrailEntry::Concretize { constraint, .. } => constraint,
         }
     }
 
@@ -194,6 +203,10 @@ pub struct SymMachine {
     pub steps: u64,
     /// The path trail: symbolic branches and concretization constraints.
     pub trail: Vec<TrailEntry>,
+    /// How memory accesses through symbolic addresses are resolved (see
+    /// [`crate::memory`]); defaults to [`AddressPolicyKind::ConcretizeEq`],
+    /// the paper's behavior.
+    pub policy: AddressPolicyKind,
     next_pc: Option<u32>,
 }
 
@@ -207,6 +220,7 @@ impl SymMachine {
             pc: 0,
             steps: 0,
             trail: Vec::new(),
+            policy: AddressPolicyKind::default(),
             next_pc: None,
         }
     }
@@ -519,21 +533,12 @@ impl SymMachine {
         }
     }
 
-    /// Resolves an address expression, concretizing symbolic addresses by
-    /// recording an equality constraint on the trail (§III-B address
-    /// concretization).
-    fn resolve_addr(&mut self, tm: &mut TermManager, e: &Expr) -> u32 {
+    /// Resolves an address expression for a `size`-byte access through the
+    /// machine's [`AddressPolicyKind`] (§III-B address concretization, or a
+    /// windowed symbolic resolution — see [`crate::memory`]).
+    fn resolve_addr(&mut self, tm: &mut TermManager, e: &Expr, size: u32) -> Resolution {
         let v = self.eval_word(tm, e);
-        if let Some(t) = v.term {
-            let c = tm.bv_const(u64::from(v.concrete), 32);
-            let constraint = tm.eq(t, c);
-            // A constant-true constraint (e.g. from simplification) carries
-            // no information; skip it.
-            if tm.as_bool_const(constraint) != Some(true) {
-                self.trail.push(TrailEntry::Concretize { constraint });
-            }
-        }
-        v.concrete
+        self.policy.resolve(tm, v, size, self.pc, &mut self.trail)
     }
 
     fn load_word_bytes(&self, tm: &mut TermManager, addr: u32, n: u32) -> SymWord {
@@ -589,16 +594,11 @@ impl SymMachine {
                     self.regs.write(*rd, v);
                 }
                 Stmt::WritePc(e) => {
+                    // Symbolic jump targets always concretize by equality,
+                    // regardless of the data-access policy.
                     let v = self.eval_word(tm, e);
-                    if let Some(t) = v.term {
-                        // Symbolic jump target: concretize like an address.
-                        let c = tm.bv_const(u64::from(v.concrete), 32);
-                        let constraint = tm.eq(t, c);
-                        if tm.as_bool_const(constraint) != Some(true) {
-                            self.trail.push(TrailEntry::Concretize { constraint });
-                        }
-                    }
-                    self.next_pc = Some(v.concrete);
+                    let target = memory::concretize_jump(tm, v, self.pc, &mut self.trail);
+                    self.next_pc = Some(target);
                 }
                 Stmt::Load {
                     rd,
@@ -606,8 +606,24 @@ impl SymMachine {
                     signed,
                     addr,
                 } => {
-                    let a = self.resolve_addr(tm, addr);
-                    let raw = self.load_word_bytes(tm, a, width.bytes());
+                    let n = width.bytes();
+                    let raw = match self.resolve_addr(tm, addr, n) {
+                        Resolution::Concrete(a) => self.load_word_bytes(tm, a, n),
+                        Resolution::Window {
+                            concrete,
+                            base,
+                            term,
+                            window,
+                        } => {
+                            let (c, t) = memory::load_window_bytes(
+                                tm, &self.mem, base, window, term, concrete, n,
+                            );
+                            SymWord {
+                                concrete: c,
+                                term: Some(t),
+                            }
+                        }
+                    };
                     let v = match (width, signed) {
                         (MemWidth::Word, _) => raw,
                         (_, false) => SymWord {
@@ -632,9 +648,32 @@ impl SymMachine {
                     self.regs.write(*rd, v);
                 }
                 Stmt::Store { width, addr, value } => {
-                    let a = self.resolve_addr(tm, addr);
-                    let v = self.eval_word(tm, value);
-                    self.store_word_bytes(tm, a, v, width.bytes());
+                    let n = width.bytes();
+                    match self.resolve_addr(tm, addr, n) {
+                        Resolution::Concrete(a) => {
+                            let v = self.eval_word(tm, value);
+                            self.store_word_bytes(tm, a, v, n);
+                        }
+                        Resolution::Window {
+                            concrete,
+                            base,
+                            term,
+                            window,
+                        } => {
+                            let v = self.eval_word(tm, value);
+                            memory::store_window_bytes(
+                                tm,
+                                &mut self.mem,
+                                base,
+                                window,
+                                term,
+                                concrete,
+                                v.concrete,
+                                v.term,
+                                n,
+                            );
+                        }
+                    }
                 }
                 Stmt::If { cond, then, els } => {
                     let c = self.eval(tm, cond);

@@ -81,6 +81,7 @@ use binsym_smt::{SatResult, TermManager};
 use crate::backend::{SolverBackend, StaticGate};
 use crate::error::Error;
 use crate::machine::{StepResult, TrailEntry};
+use crate::memory::AddressPolicyKind;
 use crate::metrics::{InstrumentationConfig, Instruments, Phase};
 use crate::observe::{CheckpointEvent, NullObserver, Observer};
 use crate::persist::{decode_seq, encode_seq, section, Dec, Document, Enc, PersistError, Wire};
@@ -209,6 +210,10 @@ struct CheckpointShared {
     /// Write a checkpoint every this many newly committed paths.
     every: u64,
     meta: CheckpointMeta,
+    /// Address policy of the run; persisted in its own section and
+    /// validated strictly on resume (it shapes every trail, so a
+    /// checkpoint is meaningless under a different policy).
+    policy: AddressPolicyKind,
 }
 
 /// Everything a resume checkpoint seeds a run with.
@@ -223,9 +228,20 @@ struct ResumeSeed {
 /// version mismatch, truncation, or a checkpoint taken under different
 /// result-shaping parameters — is a typed [`Error::Persist`], never a
 /// panic.
-fn load_checkpoint(path: &Path, expect: &CheckpointMeta) -> Result<ResumeSeed, Error> {
+fn load_checkpoint(
+    path: &Path,
+    expect: &CheckpointMeta,
+    expect_policy: AddressPolicyKind,
+) -> Result<ResumeSeed, Error> {
     let doc = Document::read(path)?;
     let meta: CheckpointMeta = crate::persist::decode_one(doc.require(section::META)?)?;
+    let policy: AddressPolicyKind = crate::persist::decode_one(doc.require(section::POLICY)?)?;
+    if policy != expect_policy {
+        return Err(PersistError::Mismatch {
+            what: "checkpoint address policy differs from this session's",
+        }
+        .into());
+    }
     if meta.input_len != expect.input_len {
         return Err(PersistError::Mismatch {
             what: "checkpoint input_len differs from this session's",
@@ -298,6 +314,7 @@ fn write_checkpoint(
 
     let mut doc = Document::new();
     doc.push(section::META, crate::persist::encode_one(&ck.meta));
+    doc.push(section::POLICY, crate::persist::encode_one(&ck.policy));
     doc.push(section::RECORDS, encode_seq(&ledger.records));
     doc.push(section::PENDING, encode_seq(&snapshots));
     doc.push(section::SLOTS, encode_seq(&loose));
@@ -579,6 +596,11 @@ pub struct ParallelSession {
     /// `::resume`). Affects wall time and on-disk artifacts only, never
     /// merged records.
     persist: PersistPlan,
+    /// The address-concretization policy every worker executor resolves
+    /// symbolic memory addresses under (learned from the factory's probe
+    /// executor). Stamped into every prescription and persisted with
+    /// checkpoints.
+    policy: AddressPolicyKind,
     strategy_name: &'static str,
     backend_name: &'static str,
     done: bool,
@@ -613,6 +635,7 @@ impl ParallelSession {
         gate: StaticGate,
         instrumentation: InstrumentationConfig,
         persist: PersistPlan,
+        policy: AddressPolicyKind,
     ) -> Self {
         let strategy_name = shard_strategy(0).name();
         let backend_name = if warm_capacity.is_some() {
@@ -633,6 +656,7 @@ impl ParallelSession {
             gate,
             instrumentation,
             persist,
+            policy,
             strategy_name,
             backend_name,
             done: false,
@@ -660,6 +684,11 @@ impl ParallelSession {
     /// Length of the symbolic input region in bytes.
     pub fn input_len(&self) -> u32 {
         self.input_len
+    }
+
+    /// The address-concretization policy the worker executors run under.
+    pub fn policy(&self) -> AddressPolicyKind {
+        self.policy
     }
 
     /// Name of the shard-local path-selection policy.
@@ -708,7 +737,7 @@ impl ParallelSession {
     /// replay a prescription (decode error, unknown syscall, fuel
     /// exhaustion).
     pub fn run_all(&mut self) -> Result<Summary, Error> {
-        let root = Prescription::root(vec![0u8; self.input_len as usize]);
+        let root = Prescription::root(vec![0u8; self.input_len as usize], self.policy);
         self.run_seeded(vec![root])
     }
 
@@ -746,7 +775,7 @@ impl ParallelSession {
         let mut backend = (self.backend_factory)();
         let mut observer = NullObserver;
         let instr = Instruments::new(None, None, 0);
-        let root = Prescription::root(vec![0u8; self.input_len as usize]);
+        let root = Prescription::root(vec![0u8; self.input_len as usize], self.policy);
         let (_, materialized) = replay(
             &mut *executor,
             &mut tm,
@@ -792,7 +821,7 @@ impl ParallelSession {
         // Resume: seed the run from the checkpoint instead of `seed`.
         let mut restored: Vec<PrescriptionRecord> = Vec::new();
         if let Some(resume_path) = self.persist.resume.clone() {
-            let loaded = load_checkpoint(&resume_path, &self.checkpoint_meta())?;
+            let loaded = load_checkpoint(&resume_path, &self.checkpoint_meta(), self.policy)?;
             if let Some(w) = &state.watermark {
                 let mut w = w.lock().expect("watermark lock");
                 for id in loaded.watermark_ids {
@@ -843,6 +872,7 @@ impl ParallelSession {
                 path,
                 every,
                 meta: self.checkpoint_meta(),
+                policy: self.policy,
             });
         }
 
@@ -1232,6 +1262,7 @@ fn replay(
     gate: StaticGate,
     instr: &Instruments,
 ) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
+    check_policy(p, executor)?;
     let (query, input) = match p.flip {
         None => (None, p.input.clone()),
         Some(flip) => {
@@ -1306,6 +1337,7 @@ fn replay_warm(
     gate: StaticGate,
     instr: &Instruments,
 ) -> Result<(Option<SatResult>, Option<(PathRecord, Vec<Prescription>)>), Error> {
+    check_policy(p, executor)?;
     let (query, input) = match p.flip {
         None => (None, p.input.clone()),
         Some(flip) => {
@@ -1335,6 +1367,20 @@ fn replay_warm(
     // private to the cache).
     tm.reset();
     materialize(executor, tm, observer, p, fuel, query, input, instr)
+}
+
+/// The policy divergence guard of prescription replay: a prescription
+/// records the address policy its trail was produced under, and replaying
+/// it under any other policy would silently renumber branch ordinals (the
+/// trail shape depends on how symbolic addresses resolve). Cold and warm
+/// replay share this single check.
+fn check_policy(p: &Prescription, executor: &dyn PathExecutor) -> Result<(), Error> {
+    if p.policy != executor.policy() {
+        return Err(Error::ReplayDivergence {
+            what: "prescription's address policy differs from the replaying executor's",
+        });
+    }
+    Ok(())
 }
 
 /// Executes the materialized path under `input` and derives the
@@ -1369,6 +1415,7 @@ fn materialize(
                     id: p.id.child(ord),
                     input: input.clone(),
                     flip: Some(Flip { ord, taken, pc }),
+                    policy: p.policy,
                 });
             }
             decisions.push(taken);

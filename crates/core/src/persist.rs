@@ -10,7 +10,7 @@
 //!
 //! ```text
 //! [0..4)    magic  b"BSYW"
-//! [4..8)    format version, little-endian u32 (currently 1)
+//! [4..8)    format version, little-endian u32 (currently 2)
 //! [8..12)   section count, little-endian u32
 //! [12..)    per section: tag u32 | absolute offset u64 | length u64
 //! then      the payload bytes
@@ -46,6 +46,7 @@ use binsym_smt::SatResult;
 
 use crate::coverage::CoverageSnapshot;
 use crate::machine::StepResult;
+use crate::memory::AddressPolicyKind;
 use crate::metrics::{HistogramSnapshot, MetricsReport, NUM_BUCKETS, NUM_PHASES};
 use crate::prescribe::{Flip, PathId, PathRecord, Prescription};
 use crate::session::{ErrorPath, Summary};
@@ -57,7 +58,13 @@ pub const MAGIC: [u8; 4] = *b"BSYW";
 /// Current wire format version. Documents written by a different version
 /// are rejected with [`PersistError::VersionMismatch`] rather than
 /// misread.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// History: version 2 added the address-concretization policy — a new
+/// [`section::POLICY`] in checkpoints and a policy field in every encoded
+/// [`Prescription`] — so version-1 documents (and version-1 readers
+/// handed a version-2 file) fail with a clean mismatch instead of a
+/// misparse.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Well-known section tags used by the checkpoint and shard-runner
 /// documents. A [`Document`] may carry any tags; these are the ones the
@@ -80,6 +87,11 @@ pub mod section {
     pub const SUMMARY: u32 = 7;
     /// A [`crate::MetricsReport`] shard.
     pub const METRICS: u32 = 8;
+    /// The address-concretization policy ([`crate::AddressPolicyKind`])
+    /// the run executed under. Validated strictly on resume: the policy
+    /// shapes every trail, so a checkpoint taken under a different policy
+    /// is unusable.
+    pub const POLICY: u32 = 9;
 }
 
 /// Typed persistence failure. Wrapped as [`crate::Error::Persist`] at the
@@ -419,12 +431,34 @@ impl Wire for Flip {
     }
 }
 
+impl Wire for AddressPolicyKind {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            AddressPolicyKind::ConcretizeEq => enc.u8(0),
+            AddressPolicyKind::ConcretizeMin => enc.u8(1),
+            AddressPolicyKind::Symbolic { window } => {
+                enc.u8(2);
+                enc.u32(*window);
+            }
+        }
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, PersistError> {
+        match dec.u8()? {
+            0 => Ok(AddressPolicyKind::ConcretizeEq),
+            1 => Ok(AddressPolicyKind::ConcretizeMin),
+            2 => Ok(AddressPolicyKind::Symbolic { window: dec.u32()? }),
+            _ => Err(PersistError::Corrupt("address-policy tag out of range")),
+        }
+    }
+}
+
 impl Wire for Prescription {
     fn encode(&self, enc: &mut Enc) {
         self.id.encode(enc);
         enc.u64(self.input.len() as u64);
         enc.bytes(&self.input);
         self.flip.encode(enc);
+        self.policy.encode(enc);
     }
     fn decode(dec: &mut Dec<'_>) -> Result<Self, PersistError> {
         let id = PathId::decode(dec)?;
@@ -434,6 +468,7 @@ impl Wire for Prescription {
             id,
             input,
             flip: Option::decode(dec)?,
+            policy: AddressPolicyKind::decode(dec)?,
         })
     }
 }
@@ -830,6 +865,16 @@ mod tests {
         id
     }
 
+    fn rand_policy(rng: &mut Rng) -> AddressPolicyKind {
+        match rng.below(3) {
+            0 => AddressPolicyKind::ConcretizeEq,
+            1 => AddressPolicyKind::ConcretizeMin,
+            _ => AddressPolicyKind::Symbolic {
+                window: rng.next_u64() as u32,
+            },
+        }
+    }
+
     fn rand_prescription(rng: &mut Rng) -> Prescription {
         let input_len = rng.below(24);
         Prescription {
@@ -844,6 +889,7 @@ mod tests {
                     pc: rng.next_u64() as u32,
                 })
             },
+            policy: rand_policy(rng),
         }
     }
 
@@ -895,7 +941,22 @@ mod tests {
         for _ in 0..500 {
             round_trip(&rand_prescription(&mut rng));
         }
-        round_trip(&Prescription::root(Vec::new()));
+        round_trip(&Prescription::root(
+            Vec::new(),
+            AddressPolicyKind::default(),
+        ));
+        for policy in [
+            AddressPolicyKind::ConcretizeEq,
+            AddressPolicyKind::ConcretizeMin,
+            AddressPolicyKind::Symbolic { window: 64 },
+        ] {
+            round_trip(&policy);
+        }
+        // Corrupt policy tags are typed errors, never panics.
+        assert!(matches!(
+            decode_one::<AddressPolicyKind>(&[9]),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -1026,6 +1087,14 @@ mod tests {
         bytes[4] = 0xff;
         match Document::from_bytes(&bytes) {
             Err(PersistError::VersionMismatch { found }) => assert_eq!(found, 0xff),
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        // A pre-policy (version-1) document is cleanly rejected, not
+        // misparsed: version 2 changed the Prescription payload layout.
+        let mut v1 = Document::new().to_bytes();
+        v1[4] = 1;
+        match Document::from_bytes(&v1) {
+            Err(PersistError::VersionMismatch { found }) => assert_eq!(found, 1),
             other => panic!("expected version mismatch, got {other:?}"),
         }
     }

@@ -33,6 +33,7 @@ use binsym_smt::{Model, Term};
 
 use crate::error::Error;
 use crate::machine::{StepResult, TrailEntry};
+use crate::memory::AddressPolicyKind;
 
 /// Canonical identity of a path in the exploration tree.
 ///
@@ -180,15 +181,24 @@ pub struct Prescription {
     /// The branch flip to apply; `None` for the root prescription, whose
     /// input is executed directly without a feasibility query.
     pub flip: Option<Flip>,
+    /// The address-concretization policy the prescribing exploration ran
+    /// under. Recorded so replay is exact: a replaying engine cross-checks
+    /// this against its own executor's [`crate::PathExecutor::policy`] and
+    /// refuses ([`Error::ReplayDivergence`]) to replay under a different
+    /// one — the trail, and with it every branch ordinal, depends on how
+    /// symbolic addresses were resolved.
+    pub policy: AddressPolicyKind,
 }
 
 impl Prescription {
-    /// The root prescription: execute `input` directly (no solver query).
-    pub fn root(input: Vec<u8>) -> Self {
+    /// The root prescription: execute `input` directly (no solver query)
+    /// under the given address policy.
+    pub fn root(input: Vec<u8>, policy: AddressPolicyKind) -> Self {
         Prescription {
             id: PathId::root(),
             input,
             flip: None,
+            policy,
         }
     }
 

@@ -50,6 +50,7 @@ use crate::backend::{BitblastBackend, SolverBackend, StaticGate};
 use crate::coverage::CoverageMap;
 use crate::error::Error;
 use crate::machine::{StepResult, SymMachine, TrailEntry};
+use crate::memory::AddressPolicyKind;
 use crate::metrics::{Instruments, MetricsRegistry, Phase};
 use crate::observe::{NullObserver, Observer};
 use crate::parallel::{
@@ -127,6 +128,17 @@ pub trait PathExecutor {
 
     /// Length of the symbolic input region in bytes.
     fn input_len(&self) -> u32;
+
+    /// The address-concretization policy this executor resolves symbolic
+    /// memory accesses with (see [`crate::memory`]). Prescription replay
+    /// cross-checks this against the policy recorded in each
+    /// [`Prescription`], so an executor configured differently from the
+    /// session that produced the prescription fails loudly instead of
+    /// diverging silently. The default is the paper's equality
+    /// concretization.
+    fn policy(&self) -> AddressPolicyKind {
+        AddressPolicyKind::ConcretizeEq
+    }
 }
 
 /// Sharing an executor: the session takes ownership of its executor, so to
@@ -157,6 +169,10 @@ impl<E: PathExecutor> PathExecutor for std::rc::Rc<std::cell::RefCell<E>> {
 
     fn input_len(&self) -> u32 {
         self.borrow().input_len()
+    }
+
+    fn policy(&self) -> AddressPolicyKind {
+        self.borrow().policy()
     }
 }
 
@@ -215,6 +231,7 @@ pub struct SpecExecutor {
     elf: ElfFile,
     sym_addr: u32,
     sym_len: u32,
+    policy: AddressPolicyKind,
 }
 
 impl SpecExecutor {
@@ -229,7 +246,16 @@ impl SpecExecutor {
             elf: elf.clone(),
             sym_addr,
             sym_len,
+            policy: AddressPolicyKind::default(),
         })
+    }
+
+    /// Sets the address-concretization policy (default:
+    /// [`AddressPolicyKind::ConcretizeEq`]).
+    #[must_use]
+    pub fn with_policy(mut self, policy: AddressPolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Address of the symbolic input region.
@@ -247,6 +273,7 @@ impl PathExecutor for SpecExecutor {
         obs: &mut dyn Observer,
     ) -> Result<PathOutcome, Error> {
         let mut m = SymMachine::new(self.spec.clone());
+        m.policy = self.policy;
         m.load_elf(&self.elf);
         m.mark_symbolic(tm, self.sym_addr, self.sym_len, "in", input);
         for _ in 0..fuel {
@@ -286,6 +313,7 @@ impl PathExecutor for SpecExecutor {
         // flipped branch, so stop as soon as enough branches are recorded
         // instead of running the path to termination.
         let mut m = SymMachine::new(self.spec.clone());
+        m.policy = self.policy;
         m.load_elf(&self.elf);
         m.mark_symbolic(tm, self.sym_addr, self.sym_len, "in", input);
         let mut branches = 0usize;
@@ -304,6 +332,10 @@ impl PathExecutor for SpecExecutor {
 
     fn input_len(&self) -> u32 {
         self.sym_len
+    }
+
+    fn policy(&self) -> AddressPolicyKind {
+        self.policy
     }
 }
 
@@ -332,6 +364,7 @@ pub struct SessionBuilder {
     limit: Option<u64>,
     fuel: u64,
     input_len: Option<u32>,
+    address_policy: Option<AddressPolicyKind>,
     workers: Option<usize>,
     executor_factory: Option<ExecutorFactory>,
     backend_factory: Option<BackendFactory>,
@@ -612,6 +645,17 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the address-concretization policy for symbolic memory accesses
+    /// (default: [`AddressPolicyKind::ConcretizeEq`], the paper's §III-B
+    /// behavior — see [`crate::memory`] for the alternatives). Applies to
+    /// the builder's own [`SpecExecutor`]; a custom executor (or executor
+    /// factory) must be configured with the same policy itself — the
+    /// builder cross-checks and refuses on a mismatch.
+    pub fn address_policy(mut self, policy: AddressPolicyKind) -> Self {
+        self.address_policy = Some(policy);
+        self
+    }
+
     fn validate_common(&self) -> Result<(), Error> {
         if self.limit == Some(0) {
             return Err(Error::InvalidConfig {
@@ -702,13 +746,24 @@ impl SessionBuilder {
                     elf,
                     sym_addr,
                     sym_len,
+                    policy: self.address_policy.unwrap_or_default(),
                 })
             }
             (None, None, None) => return Err(Error::MissingBinary),
         };
+        if let Some(kind) = self.address_policy {
+            if executor.policy() != kind {
+                return Err(Error::InvalidConfig {
+                    what: "`address_policy` disagrees with the custom executor's policy: \
+                           configure the executor itself (e.g. `with_policy`)",
+                });
+            }
+        }
         let input_len = executor.input_len();
+        let policy = executor.policy();
         Ok(Session {
             executor,
+            policy,
             tm: TermManager::new(),
             strategy: self.strategy,
             backend: self.backend,
@@ -791,15 +846,27 @@ impl SessionBuilder {
                         "exploring a binary needs an ISA spec: start with `Session::builder(spec)`",
                 })?;
                 let input_len = self.input_len;
+                let policy = self.address_policy.unwrap_or_default();
                 std::sync::Arc::new(move || {
-                    Ok(Box::new(SpecExecutor::new(spec.clone(), &elf, input_len)?))
+                    Ok(Box::new(
+                        SpecExecutor::new(spec.clone(), &elf, input_len)?.with_policy(policy),
+                    ))
                 })
             }
             (None, None) => return Err(Error::MissingBinary),
         };
         // Probe one executor now: fail fast on a broken factory or missing
-        // symbol, and learn the input length for the root prescription.
-        let input_len = executor_factory()?.input_len();
+        // symbol, and learn the input length and address policy for the
+        // root prescription.
+        let probe = executor_factory()?;
+        let input_len = probe.input_len();
+        let policy = probe.policy();
+        if self.address_policy.is_some_and(|kind| kind != policy) {
+            return Err(Error::InvalidConfig {
+                what: "`address_policy` disagrees with the executor factory's policy: \
+                       configure the factory's executors themselves (e.g. `with_policy`)",
+            });
+        }
         let backend_factory: BackendFactory = self
             .backend_factory
             .unwrap_or_else(|| std::sync::Arc::new(|| Box::new(BitblastBackend::new())));
@@ -826,6 +893,7 @@ impl SessionBuilder {
                 checkpoint: self.checkpoint,
                 resume: self.resume,
             },
+            policy,
         ))
     }
 }
@@ -836,6 +904,8 @@ impl SessionBuilder {
 /// See the [module docs](self) for the full picture and an example.
 pub struct Session {
     executor: Box<dyn PathExecutor>,
+    /// The executor's address policy, recorded into every prescription.
+    policy: AddressPolicyKind,
     tm: TermManager,
     strategy: Box<dyn PathStrategy>,
     backend: Box<dyn SolverBackend>,
@@ -944,6 +1014,7 @@ impl Session {
             limit: None,
             fuel: 10_000_000,
             input_len: None,
+            address_policy: None,
             workers: None,
             executor_factory: None,
             backend_factory: None,
@@ -1147,6 +1218,7 @@ impl Session {
                                 taken,
                                 pc,
                             }),
+                            policy: self.policy,
                         },
                     });
                 }

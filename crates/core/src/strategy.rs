@@ -699,6 +699,7 @@ mod tests {
                 taken: true,
                 pc: 0x1000 + 4 * ord as u32,
             }),
+            policy: crate::memory::AddressPolicyKind::default(),
         }
     }
 
@@ -882,7 +883,10 @@ mod tests {
     fn coverage_guided_schedules_root_first_and_steals_covered_first() {
         let map = Arc::new(CoverageMap::new(0x1000, 0x100));
         let mut s = CoverageGuided::<Prescription>::new(Arc::clone(&map));
-        s.push(Prescription::root(vec![0]));
+        s.push(Prescription::root(
+            vec![0],
+            crate::memory::AddressPolicyKind::default(),
+        ));
         assert!(
             s.pop().unwrap().flip.is_none(),
             "root counts as uncovered and schedules"

@@ -16,8 +16,10 @@
 //!   prefix than was recorded;
 //! * the **context cache** keys retained
 //!   [`binsym_smt::PrefixContext`]s by the **structural decision
-//!   prefix** — the sequence of `(branch-site pc, asserted direction)`
-//!   pairs, which is input-independent. Execution is deterministic, so
+//!   prefix** — the sequence of [`DecisionKey`]s: one per trail entry,
+//!   `(branch-site pc, asserted direction)` for branches and
+//!   `(site pc, concretization choice)` for address concretizations.
+//!   The key is input-independent. Execution is deterministic, so
 //!   two parents whose trails share a leading decision run derive the
 //!   *same* path-condition terms for it (the shared term manager
 //!   hash-conses them to identical handles), and one retained bit-blast
@@ -92,6 +94,42 @@ const PROMOTE_AFTER_QUERIES: u32 = 3;
 
 /// Sentinel for "no slot" in the intrusive recency list.
 const NIL: u32 = u32::MAX;
+
+/// One element of a structural decision prefix — the input-independent
+/// identity of one trail entry. Both kinds of trail decisions are keyed:
+/// two prefixes only share a bit-blast when they agree on every branch
+/// direction *and* every address-concretization choice, because a
+/// concretization pin (`addr == c`, or a window constraint) is part of the
+/// path condition exactly like a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum DecisionKey {
+    /// A symbolic branch: site and the direction asserted on this path.
+    Branch {
+        /// Program counter of the branch site.
+        pc: u32,
+        /// Direction the path took.
+        taken: bool,
+    },
+    /// An address concretization: site and the choice the policy pinned
+    /// (the concrete address under the eq/min policies, the window base
+    /// under the symbolic policy).
+    Concretize {
+        /// Program counter of the memory access.
+        pc: u32,
+        /// The concretization decision recorded in the trail.
+        choice: u64,
+    },
+}
+
+impl DecisionKey {
+    /// The structural identity of one trail entry.
+    fn of(entry: &TrailEntry) -> DecisionKey {
+        match *entry {
+            TrailEntry::Branch { taken, pc, .. } => DecisionKey::Branch { pc, taken },
+            TrailEntry::Concretize { pc, choice, .. } => DecisionKey::Concretize { pc, choice },
+        }
+    }
+}
 
 /// Intrusive doubly-linked recency list over slab slot indices: touch,
 /// insert, and least-recent eviction are all O(1), replacing the former
@@ -251,10 +289,11 @@ impl TrailCache {
 /// One structural region: a promotion counter and (once the region has
 /// proven reuse) the retained solver context over its blasted prefix.
 struct CtxSlot {
-    /// Structural key: the `(branch pc, taken)` pairs of the most recent
-    /// query's prefix. Adaptive — it follows the last query served, so
-    /// the entry drifts with the worker's current subtree.
-    key: Vec<(u32, bool)>,
+    /// Structural key: the [`DecisionKey`]s of the most recent query's
+    /// prefix — every branch direction and every concretization choice.
+    /// Adaptive — it follows the last query served, so the entry drifts
+    /// with the worker's current subtree.
+    key: Vec<DecisionKey>,
     /// Parent input of the most recent query (cross-parent accounting
     /// only; never used for matching).
     last_parent: Vec<u8>,
@@ -281,7 +320,7 @@ struct ContextCache {
 }
 
 /// Length of the shared leading run of two structural keys.
-fn shared_run(a: &[(u32, bool)], b: &[(u32, bool)]) -> usize {
+fn shared_run(a: &[DecisionKey], b: &[DecisionKey]) -> usize {
     a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 
@@ -311,7 +350,7 @@ impl ContextCache {
     /// `(slot, created, cross_parent_reuse)`.
     fn lookup_or_insert(
         &mut self,
-        key: &[(u32, bool)],
+        key: &[DecisionKey],
         input: &[u8],
         tick: u64,
     ) -> (u32, bool, bool) {
@@ -490,14 +529,10 @@ impl WarmCache {
         // perturb the shared manager's hash-consed handles.
         let prefix: Vec<Term> = trail[..i].iter().map(|e| e.path_term(tm)).collect();
         // The input-independent structural identity of this query's
-        // prefix: the context cache routes on it.
-        let skey: Vec<(u32, bool)> = trail[..i]
-            .iter()
-            .filter_map(|e| match *e {
-                TrailEntry::Branch { taken, pc, .. } => Some((pc, taken)),
-                _ => None,
-            })
-            .collect();
+        // prefix: the context cache routes on it. Every trail entry keys —
+        // concretization choices included, since a pin is part of the path
+        // condition exactly like a branch direction.
+        let skey: Vec<DecisionKey> = trail[..i].iter().map(DecisionKey::of).collect();
         let mut sa_stats = None;
         let gate_started = instr.begin(Phase::Gate);
         let screened = gate.screen(tm, &prefix, flipped, input);

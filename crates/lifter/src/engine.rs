@@ -18,8 +18,10 @@
 use std::collections::HashMap;
 use std::hint::black_box;
 
+use binsym::memory::{self, Resolution};
 use binsym::{
-    Error, ExecError, Observer, PathExecutor, PathOutcome, StepResult, SymByte, SymWord, TrailEntry,
+    AddressPolicyKind, Error, ExecError, Observer, PathExecutor, PathOutcome, StepResult, SymByte,
+    SymWord, TrailEntry,
 };
 use binsym_elf::ElfFile;
 use binsym_isa::{Memory, Reg, RegFile};
@@ -134,6 +136,7 @@ struct IrMachine {
     pc: u32,
     steps: u64,
     trail: Vec<TrailEntry>,
+    policy: AddressPolicyKind,
     temps: HashMap<TempId, Val>,
 }
 
@@ -145,13 +148,14 @@ enum BlockExit {
 }
 
 impl IrMachine {
-    fn new() -> IrMachine {
+    fn new(policy: AddressPolicyKind) -> IrMachine {
         IrMachine {
             regs: RegFile::new(SymWord::concrete(0)),
             mem: Memory::new(SymByte::concrete(0)),
             pc: 0,
             steps: 0,
             trail: Vec::new(),
+            policy,
             temps: HashMap::new(),
         }
     }
@@ -212,8 +216,29 @@ impl IrMachine {
             }
             IrExpr::Load { width, addr } => {
                 let a = self.eval(tm, addr);
-                let concrete_addr = self.concretize(tm, a);
-                self.load(tm, concrete_addr, *width)
+                match self.resolve_addr(tm, a, width.bytes()) {
+                    Resolution::Concrete(ca) => self.load(tm, ca, *width),
+                    Resolution::Window {
+                        concrete,
+                        base,
+                        term,
+                        window,
+                    } => {
+                        let (c, t) = memory::load_window_bytes(
+                            tm,
+                            &self.mem,
+                            base,
+                            window,
+                            term,
+                            concrete,
+                            width.bytes(),
+                        );
+                        Val {
+                            c: u64::from(c),
+                            t: Some(TermV::Bv(t)),
+                        }
+                    }
+                }
             }
             IrExpr::Widen { signed, to, arg } => {
                 let aw = arg.width();
@@ -350,17 +375,16 @@ impl IrMachine {
         Val { c, t }
     }
 
-    /// Concretizes a (possibly symbolic) address, recording the constraint.
-    fn concretize(&mut self, tm: &mut TermManager, v: Val) -> u32 {
-        if v.is_symbolic() {
-            let t = v.bv(tm, 32);
-            let c = tm.bv_const(v.c, 32);
-            let constraint = tm.eq(t, c);
-            if tm.as_bool_const(constraint) != Some(true) {
-                self.trail.push(TrailEntry::Concretize { constraint });
-            }
-        }
-        v.c as u32
+    /// Resolves a (possibly symbolic) data address for a `size`-byte access
+    /// through the shared [`binsym::memory`] policy seam — the same
+    /// implementation the formal-semantics engine uses.
+    fn resolve_addr(&mut self, tm: &mut TermManager, v: Val, size: u32) -> Resolution {
+        let word = SymWord {
+            concrete: v.c as u32,
+            term: v.t.map(|_| v.bv(tm, 32)),
+        };
+        self.policy
+            .resolve(tm, word, size, self.pc, &mut self.trail)
     }
 
     fn load(&mut self, tm: &mut TermManager, addr: u32, width: AccessWidth) -> Val {
@@ -432,9 +456,33 @@ impl IrMachine {
                 }
                 IrStmt::Store { width, addr, value } => {
                     let a = self.eval(tm, addr);
-                    let concrete_addr = self.concretize(tm, a);
-                    let v = self.eval(tm, value);
-                    self.store(tm, concrete_addr, *width, v);
+                    match self.resolve_addr(tm, a, width.bytes()) {
+                        Resolution::Concrete(ca) => {
+                            let v = self.eval(tm, value);
+                            self.store(tm, ca, *width, v);
+                        }
+                        Resolution::Window {
+                            concrete,
+                            base,
+                            term,
+                            window,
+                        } => {
+                            let v = self.eval(tm, value);
+                            let vw = width.bits();
+                            let vt = v.t.map(|_| v.bv(tm, vw.max(32)));
+                            memory::store_window_bytes(
+                                tm,
+                                &mut self.mem,
+                                base,
+                                window,
+                                term,
+                                concrete,
+                                v.c as u32,
+                                vt,
+                                width.bytes(),
+                            );
+                        }
+                    }
                 }
                 IrStmt::Exit { cond, target } => {
                     let c = self.eval(tm, cond);
@@ -455,8 +503,14 @@ impl IrMachine {
                 }
                 IrStmt::JumpConst(t) => return Ok(BlockExit::Jump(*t)),
                 IrStmt::JumpInd(e) => {
+                    // Jump targets always concretize by equality, whatever
+                    // the data-access policy (the pc stays concrete).
                     let v = self.eval(tm, e);
-                    let target = self.concretize(tm, v);
+                    let word = SymWord {
+                        concrete: v.c as u32,
+                        term: v.t.map(|_| v.bv(tm, 32)),
+                    };
+                    let target = memory::concretize_jump(tm, word, self.pc, &mut self.trail);
                     return Ok(BlockExit::Jump(target));
                 }
                 IrStmt::Syscall => {
@@ -496,6 +550,7 @@ fn interp_overhead_spin(iters: u32) {
 pub struct LifterExecutor {
     lifter: Lifter,
     config: EngineConfig,
+    policy: AddressPolicyKind,
     elf: ElfFile,
     sym_addr: u32,
     sym_len: u32,
@@ -515,6 +570,7 @@ impl LifterExecutor {
         Ok(LifterExecutor {
             lifter: Lifter::new(config.bugs),
             config,
+            policy: AddressPolicyKind::default(),
             elf: elf.clone(),
             sym_addr,
             sym_len,
@@ -522,6 +578,14 @@ impl LifterExecutor {
             scratch: None,
             lift_count: 0,
         })
+    }
+
+    /// Sets the address-concretization policy (default:
+    /// [`AddressPolicyKind::ConcretizeEq`]).
+    #[must_use]
+    pub fn with_policy(mut self, policy: AddressPolicyKind) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The persona configuration.
@@ -563,7 +627,7 @@ impl PathExecutor for LifterExecutor {
         fuel: u64,
         obs: &mut dyn Observer,
     ) -> Result<PathOutcome, Error> {
-        let mut m = IrMachine::new();
+        let mut m = IrMachine::new(self.policy);
         for seg in &self.elf.segments {
             for (i, &b) in seg.data.iter().enumerate() {
                 m.mem
@@ -631,6 +695,10 @@ impl PathExecutor for LifterExecutor {
 
     fn input_len(&self) -> u32 {
         self.sym_len
+    }
+
+    fn policy(&self) -> AddressPolicyKind {
+        self.policy
     }
 }
 
@@ -710,6 +778,83 @@ less:
             .unwrap();
         assert_eq!(s_lifter.paths, s_spec.paths);
         assert_eq!(s_lifter.error_paths, s_spec.error_paths);
+    }
+
+    #[test]
+    fn concretization_decisions_agree_with_spec_engine_across_policies() {
+        // Both executors resolve symbolic addresses through the shared
+        // `binsym::memory` policy seam, so on the same program and input
+        // their trails must record the identical decision sequence —
+        // branch directions AND concretization (pc, choice) pairs — under
+        // every address policy. This is the contract that lets spec- and
+        // lifter-produced prescriptions replay on either engine.
+        const TABLE_LOOKUP: &str = r#"
+        .data
+__sym_input: .byte 0
+table: .byte 10, 20, 30, 40
+        .text
+_start:
+    la a0, __sym_input
+    lbu a1, 0(a0)
+    andi a1, a1, 3
+    la a2, table
+    add a2, a2, a1
+    lbu a3, 0(a2)
+    li a4, 10
+    beq a3, a4, ten
+    li a0, 0
+    li a7, 93
+    ecall
+ten:
+    li a0, 0
+    li a7, 93
+    ecall
+"#;
+        use binsym::{AddressPolicyKind, SpecExecutor, TrailEntry};
+        let elf = Assembler::new().assemble(TABLE_LOOKUP).unwrap();
+        // The trail's decision fingerprint, term handles stripped (the two
+        // engines intern into different term managers).
+        fn decisions(trail: &[TrailEntry]) -> Vec<(&'static str, u32, u64)> {
+            trail
+                .iter()
+                .map(|e| match *e {
+                    TrailEntry::Branch { pc, taken, .. } => ("branch", pc, u64::from(taken)),
+                    TrailEntry::Concretize { pc, choice, .. } => ("concretize", pc, choice),
+                })
+                .collect()
+        }
+        for policy in [
+            AddressPolicyKind::ConcretizeEq,
+            AddressPolicyKind::ConcretizeMin,
+            AddressPolicyKind::Symbolic { window: 4 },
+        ] {
+            let mut spec = SpecExecutor::new(binsym_isa::Spec::rv32im(), &elf, None)
+                .unwrap()
+                .with_policy(policy);
+            let mut lifter = LifterExecutor::new(&elf, EngineConfig::binsec())
+                .unwrap()
+                .with_policy(policy);
+            let mut spec_tm = TermManager::new();
+            let mut lifter_tm = TermManager::new();
+            let s = spec
+                .execute_path(&mut spec_tm, &[0], 10_000, &mut NullObserver)
+                .unwrap();
+            let l = lifter
+                .execute_path(&mut lifter_tm, &[0], 10_000, &mut NullObserver)
+                .unwrap();
+            let spec_decisions = decisions(&s.trail);
+            assert_eq!(
+                spec_decisions,
+                decisions(&l.trail),
+                "{policy}: executor trails diverge"
+            );
+            assert!(
+                spec_decisions
+                    .iter()
+                    .any(|(kind, _, _)| *kind == "concretize"),
+                "{policy}: the symbolic load must reach the policy seam"
+            );
+        }
     }
 
     #[test]

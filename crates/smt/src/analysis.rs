@@ -144,6 +144,9 @@ enum AbsVal {
     Bool(Option<bool>),
     /// Bitvector fact.
     Bv(BvFact),
+    /// Array-sorted node (store chain / constant array): opaque. Facts
+    /// about array *contents* surface through the [`Op::Select`] transfer.
+    Array,
 }
 
 /// Accumulated word-level assumptions plus the memoized dataflow pass.
@@ -386,7 +389,7 @@ impl Analysis {
         }
         let v = match self.abs(tm, t) {
             AbsVal::Bool(b) => b,
-            AbsVal::Bv(_) => None,
+            AbsVal::Bv(_) | AbsVal::Array => None,
         };
         if self.contradictory {
             return None;
@@ -402,7 +405,7 @@ impl Analysis {
     pub fn bv_fact(&mut self, tm: &TermManager, t: Term) -> BvFact {
         match self.abs(tm, t) {
             AbsVal::Bv(f) => f,
-            AbsVal::Bool(_) => panic!("bv_fact on a boolean term"),
+            AbsVal::Bool(_) | AbsVal::Array => panic!("bv_fact on a non-bitvector term"),
         }
     }
 
@@ -453,11 +456,11 @@ impl Analysis {
         let args = tm.args(t);
         let bf = |an: &Self, i: usize| match an.memo[&args[i]] {
             AbsVal::Bool(b) => b,
-            AbsVal::Bv(_) => unreachable!("bool operand expected"),
+            AbsVal::Bv(_) | AbsVal::Array => unreachable!("bool operand expected"),
         };
         let vf = |an: &Self, i: usize| match an.memo[&args[i]] {
             AbsVal::Bv(f) => f,
-            AbsVal::Bool(_) => unreachable!("bv operand expected"),
+            AbsVal::Bool(_) | AbsVal::Array => unreachable!("bv operand expected"),
         };
         let out = match tm.sort(t) {
             Sort::Bool => {
@@ -490,6 +493,7 @@ impl Analysis {
                 }
                 AbsVal::Bv(f)
             }
+            Sort::Array { .. } => AbsVal::Array,
         };
         out
     }
@@ -556,7 +560,7 @@ impl Analysis {
                 }
                 None
             }
-            Op::Eq => match (bf(self, 0), bf(self, 1)) {
+            Op::Eq if tm.sort(args[0]) == Sort::Bool => match (bf(self, 0), bf(self, 1)) {
                 (Some(a), Some(b)) => Some(a == b),
                 _ => None,
             },
@@ -901,6 +905,47 @@ impl Analysis {
                     }
                 }
             },
+            Op::Select => {
+                // The selected element is the default constant or one of the
+                // stored values: join their facts (must-bits intersect, the
+                // interval is the convex hull). Arg 0 is array-sorted and must
+                // not go through `vf`; the chain is walked via the manager,
+                // and every chain node is a descendant of arg 0, so the
+                // stored values are already memoized.
+                let join = |acc: Option<BvFact>, g: BvFact| {
+                    Some(match acc {
+                        None => g,
+                        Some(a) => BvFact {
+                            width: w,
+                            zeros: a.zeros & g.zeros,
+                            ones: a.ones & g.ones,
+                            lo: a.lo.min(g.lo),
+                            hi: a.hi.max(g.hi),
+                        },
+                    })
+                };
+                let mut arr = args[0];
+                let mut f: Option<BvFact> = None;
+                loop {
+                    match tm.op(arr) {
+                        Op::Store => {
+                            let sa = tm.args(arr);
+                            let gv = match self.memo[&sa[2]] {
+                                AbsVal::Bv(g) => g,
+                                _ => unreachable!("stored values are bitvectors"),
+                            };
+                            f = join(f, gv);
+                            arr = sa[0];
+                        }
+                        Op::ConstArray(d) => {
+                            f = join(f, BvFact::constant(d, w));
+                            break;
+                        }
+                        _ => unreachable!("array chains are rooted at a constant array"),
+                    }
+                }
+                f.unwrap_or_else(|| BvFact::top(w))
+            }
             // Sdiv/Srem (non-constant) and anything unhandled: width only.
             _ => BvFact::top(w),
         }
@@ -1100,6 +1145,31 @@ mod tests {
         let anything = tm.ule(x, y);
         let v = an.verdict(&tm, anything);
         assert!(v.is_none() || v == Some(true));
+    }
+
+    #[test]
+    fn select_fact_joins_stored_values() {
+        let mut tm = TermManager::new();
+        // table = [default 0; [1]=0x10, [2]=0x30]: the join keeps the
+        // interval hull [0, 0x30] and the zero-bits common to all three.
+        let mut arr = tm.array_const(0, 32, 8);
+        for (k, v) in [(1u64, 0x10u64), (2, 0x30)] {
+            let i = tm.bv_const(k, 32);
+            let v = tm.bv_const(v, 8);
+            arr = tm.store(arr, i, v);
+        }
+        let i = tm.var("i", 32);
+        let sel = tm.select(arr, i);
+        let mut an = Analysis::new();
+        let f = an.bv_fact(&tm, sel);
+        assert_eq!(f.lo, 0);
+        assert_eq!(f.hi, 0x30);
+        // Bits 0..3 and 6..7 are zero in 0, 0x10 and 0x30.
+        assert_eq!(f.zeros & 0xcf, 0xcf);
+        // A comparison downstream folds without a SAT call.
+        let c64 = tm.bv_const(0x40, 8);
+        let lt = tm.ult(sel, c64);
+        assert_eq!(an.verdict(&tm, lt), Some(true));
     }
 
     #[test]

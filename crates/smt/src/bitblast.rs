@@ -298,6 +298,9 @@ impl BitBlaster {
                     let width = match tm.var_sort(v) {
                         Sort::Bool => 1,
                         Sort::BitVec(w) => w,
+                        Sort::Array { .. } => {
+                            unreachable!("array-sorted variables are not supported")
+                        }
                     };
                     let off = self.bits.len() as u32;
                     for _ in 0..width {
@@ -311,6 +314,9 @@ impl BitBlaster {
                 match tm.var_sort(v) {
                     Sort::Bool => Blasted::Bool(self.bits[off as usize]),
                     Sort::BitVec(_) => Blasted::Bits { off, len },
+                    Sort::Array { .. } => {
+                        unreachable!("array-sorted variables are not supported")
+                    }
                 }
             }
             Op::Not => Blasted::Bool(!blit(self, 0)),
@@ -502,6 +508,54 @@ impl BitBlaster {
                 let s = *a.last().expect("nonempty");
                 a.extend(std::iter::repeat(s).take(add as usize));
                 self.intern_bits(&a)
+            }
+            // Array nodes carry no bits of their own: selects walk the
+            // ground chain directly, so the chain nodes blast to an empty
+            // window (they still need a cache entry for the post-order
+            // worklist to make progress past them).
+            Op::ConstArray(_) | Op::Store => self.intern_bits(&[]),
+            Op::Select => {
+                // Store-chain flattening + ite-ladder: start from the
+                // constant-array default and mux in each store innermost
+                // to outermost, so the outermost (latest) write wins:
+                //   select(store(A, i, v), j) = ite(j = i, v, select(A, j)).
+                let idx = bits(self, 1);
+                let w = tm.width(t);
+                let mut chain: Vec<(Term, Term)> = Vec::new();
+                let mut arr = args[0];
+                let default = loop {
+                    match tm.op(arr) {
+                        Op::Store => {
+                            let sa = tm.args(arr);
+                            chain.push((sa[1], sa[2]));
+                            arr = sa[0];
+                        }
+                        Op::ConstArray(d) => break d,
+                        _ => unreachable!("array chains are rooted at a constant array"),
+                    }
+                };
+                let mut acc: Vec<Lit> = (0..w)
+                    .map(|i| {
+                        if (default >> i) & 1 == 1 {
+                            self.tru(sat)
+                        } else {
+                            self.fls(sat)
+                        }
+                    })
+                    .collect();
+                for &(it, vt) in chain.iter().rev() {
+                    // Chain nodes are descendants of this select, so their
+                    // index/value operands are already blasted and cached.
+                    let ib = self.window(self.cache[&it]).to_vec();
+                    let vb = self.window(self.cache[&vt]).to_vec();
+                    let hit = self.eq_bits(sat, &idx, &ib);
+                    acc = acc
+                        .iter()
+                        .zip(&vb)
+                        .map(|(&old, &new)| self.mux_gate(sat, hit, new, old))
+                        .collect();
+                }
+                self.intern_bits(&acc)
             }
         }
     }
@@ -1057,6 +1111,53 @@ mod tests {
             other.rollback(&early),
             Err(RollbackError::ForeignCheckpoint)
         );
+    }
+
+    #[test]
+    fn select_circuit_inverts_table() {
+        // table = [0x10, 0x20, 0x30, 0x40] over a zero default; solving
+        // select(table, i) == 0x30 must produce i == 2, and asking for a
+        // value not in the table (with i bounded to it) must be unsat.
+        let mut tm = TermManager::new();
+        let mut arr = tm.array_const(0, 32, 8);
+        for (k, v) in [0x10u64, 0x20, 0x30, 0x40].into_iter().enumerate() {
+            let i = tm.bv_const(k as u64, 32);
+            let v = tm.bv_const(v, 8);
+            arr = tm.store(arr, i, v);
+        }
+        let i = tm.var("i", 32);
+        let four = tm.bv_const(4, 32);
+        let bound = tm.ult(i, four);
+        let sel = tm.select(arr, i);
+        let c30 = tm.bv_const(0x30, 8);
+        let hit = tm.eq(sel, c30);
+        let both = tm.and(bound, hit);
+        assert_eq!(solve_for(&mut tm, both, "i"), Some(2));
+        let c99 = tm.bv_const(0x99, 8);
+        let miss = tm.eq(sel, c99);
+        let bad = tm.and(bound, miss);
+        assert!(!is_sat(&mut tm, bad));
+    }
+
+    #[test]
+    fn select_circuit_latest_store_wins() {
+        let mut tm = TermManager::new();
+        let a0 = tm.array_const(0, 8, 8);
+        let j = tm.var("j", 8);
+        let k = tm.var("k", 8);
+        let v1 = tm.bv_const(1, 8);
+        let v2 = tm.bv_const(2, 8);
+        let a1 = tm.store(a0, j, v1);
+        let a2 = tm.store(a1, k, v2);
+        let sel = tm.select(a2, j);
+        // If j == k the outer store shadows the inner: sel must be 2.
+        let jk = tm.eq(j, k);
+        let one = tm.eq(sel, v1);
+        let bad = tm.and(jk, one);
+        assert!(!is_sat(&mut tm, bad), "outermost store must win");
+        let two = tm.eq(sel, v2);
+        let good = tm.and(jk, two);
+        assert!(is_sat(&mut tm, good));
     }
 
     #[test]

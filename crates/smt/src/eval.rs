@@ -16,6 +16,10 @@ pub enum Value {
     Bool(bool),
     /// Bitvector value (already masked to the term's width).
     BitVec(u64),
+    /// Array value, represented by its ground store-chain term (arrays
+    /// carry no free variables of their own — see [`crate::term::Sort::Array`] —
+    /// so the chain itself, read under the same assignment, is the value).
+    Array(Term),
 }
 
 impl Value {
@@ -26,7 +30,7 @@ impl Value {
     pub fn as_u64(self) -> u64 {
         match self {
             Value::BitVec(v) => v,
-            Value::Bool(_) => panic!("expected bitvector value"),
+            Value::Bool(_) | Value::Array(_) => panic!("expected bitvector value"),
         }
     }
 
@@ -37,7 +41,7 @@ impl Value {
     pub fn as_bool(self) -> bool {
         match self {
             Value::Bool(b) => b,
-            Value::BitVec(_) => panic!("expected boolean value"),
+            Value::BitVec(_) | Value::Array(_) => panic!("expected boolean value"),
         }
     }
 }
@@ -101,7 +105,7 @@ fn eval_node(
     let b = |i: usize| get(i).as_bool();
     let w = match tm.sort(t) {
         Sort::BitVec(w) => w,
-        Sort::Bool => 0,
+        Sort::Bool | Sort::Array { .. } => 0,
     };
     let aw = if args.is_empty() || !tm.sort(args[0]).is_bitvec() {
         0
@@ -121,6 +125,7 @@ fn eval_node(
             match tm.var_sort(v) {
                 Sort::Bool => Value::Bool(raw != 0),
                 Sort::BitVec(w) => Value::BitVec(raw & mask(w)),
+                Sort::Array { .. } => unreachable!("array-sorted variables are not supported"),
             }
         }
         Op::Not => Value::Bool(!b(0)),
@@ -193,6 +198,31 @@ fn eval_node(
         Op::Extract { hi, lo } => Value::BitVec((bv(0) >> lo) & mask(hi - lo + 1)),
         Op::ZeroExt { .. } => Value::BitVec(bv(0)),
         Op::SignExt { .. } => Value::BitVec(to_signed(bv(0), aw) as u64 & mask(w)),
+        // Arrays evaluate to their own ground chain; `Select` walks it
+        // under the cached concrete index values (every chain node is a
+        // descendant of the select, so post-order guarantees its index
+        // and value operands are already in the cache).
+        Op::ConstArray(_) | Op::Store => Value::Array(t),
+        Op::Select => {
+            let mut arr = match get(0) {
+                Value::Array(a) => a,
+                _ => unreachable!("select over a non-array value"),
+            };
+            let idx = bv(1);
+            loop {
+                match tm.op(arr) {
+                    Op::Store => {
+                        let sa = tm.args(arr);
+                        if cache[&sa[1]].as_u64() == idx {
+                            break cache[&sa[2]];
+                        }
+                        arr = sa[0];
+                    }
+                    Op::ConstArray(d) => break Value::BitVec(d & mask(w)),
+                    _ => unreachable!("array chains are rooted at a constant array"),
+                }
+            }
+        }
     };
     Ok(out)
 }
@@ -263,6 +293,26 @@ mod tests {
         let a = tm.var("a", 32);
         let err = eval(&tm, a, &HashMap::new()).unwrap_err();
         assert_eq!(err.name, "a");
+    }
+
+    #[test]
+    fn eval_select_walks_store_chain() {
+        let mut tm = TermManager::new();
+        let a0 = tm.array_const(0xee, 32, 8);
+        let i = tm.var("i", 32);
+        let c5 = tm.bv_const(5, 32);
+        let c9 = tm.bv_const(9, 32);
+        let v1 = tm.bv_const(0x11, 8);
+        let v2 = tm.var("v", 8);
+        let a1 = tm.store(a0, c5, v1);
+        let a2 = tm.store(a1, c9, v2);
+        let sel = tm.select(a2, i);
+        let m = assign(&mut tm, &[("i", 9, 32), ("v", 0x77, 8)]);
+        assert_eq!(eval(&tm, sel, &m).unwrap(), Value::BitVec(0x77));
+        let m2 = assign(&mut tm, &[("i", 5, 32), ("v", 0x77, 8)]);
+        assert_eq!(eval(&tm, sel, &m2).unwrap(), Value::BitVec(0x11));
+        let m3 = assign(&mut tm, &[("i", 1000, 32), ("v", 0x77, 8)]);
+        assert_eq!(eval(&tm, sel, &m3).unwrap(), Value::BitVec(0xee));
     }
 
     #[test]

@@ -118,6 +118,11 @@ fn rebuild(tm: &mut TermManager, t: Term, a: &[Term]) -> Term {
             let w = tm.width(t);
             tm.sext(a[0], w)
         }
+        // Re-issuing select/store through the constructors applies the
+        // select-of-store forwarding and store-of-store shadowing folds.
+        Op::ConstArray(_) => t,
+        Op::Store => tm.store(a[0], a[1], a[2]),
+        Op::Select => tm.select(a[0], a[1]),
     }
 }
 
@@ -179,6 +184,7 @@ fn fold_by_analysis(tm: &mut TermManager, an: &mut Analysis, t: Term) -> Term {
             Some(v) => tm.bv_const(v, w),
             None => t,
         },
+        Sort::Array { .. } => t,
     }
 }
 

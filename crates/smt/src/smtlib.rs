@@ -19,7 +19,12 @@ pub fn term_to_smtlib(tm: &TermManager, t: Term) -> String {
 /// the given boolean terms.
 pub fn query_to_smtlib(tm: &TermManager, assertions: &[Term]) -> String {
     let mut out = String::new();
-    out.push_str("(set-logic QF_BV)\n");
+    let logic = if assertions.iter().any(|&a| uses_arrays(tm, a)) {
+        "QF_ABV"
+    } else {
+        "QF_BV"
+    };
+    let _ = writeln!(out, "(set-logic {logic})");
     let mut vars: Vec<_> = Vec::new();
     for &a in assertions {
         for v in tm.vars_of(a) {
@@ -38,6 +43,7 @@ pub fn query_to_smtlib(tm: &TermManager, assertions: &[Term]) -> String {
             Sort::BitVec(w) => {
                 let _ = writeln!(out, "(declare-const {name} (_ BitVec {w}))");
             }
+            Sort::Array { .. } => unreachable!("array-sorted variables are not supported"),
         }
     }
     for &a in assertions {
@@ -45,6 +51,23 @@ pub fn query_to_smtlib(tm: &TermManager, assertions: &[Term]) -> String {
     }
     out.push_str("(check-sat)\n");
     out
+}
+
+/// True iff `t`'s DAG contains any array-sorted node — such assertions need
+/// the `QF_ABV` logic instead of `QF_BV`.
+fn uses_arrays(tm: &TermManager, t: Term) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    let mut stack = vec![t];
+    while let Some(cur) = stack.pop() {
+        if !seen.insert(cur) {
+            continue;
+        }
+        if tm.sort(cur).is_array() {
+            return true;
+        }
+        stack.extend(tm.args(cur));
+    }
+    false
 }
 
 struct SharedPrinter<'a> {
@@ -177,6 +200,24 @@ impl<'a> SharedPrinter<'a> {
             }
             Op::ZeroExt { add } => format!("((_ zero_extend {add}) {})", self.pp(args[0])),
             Op::SignExt { add } => format!("((_ sign_extend {add}) {})", self.pp(args[0])),
+            Op::ConstArray(v) => {
+                let Sort::Array { idx_w, elem_w } = tm.sort(t) else {
+                    unreachable!("ConstArray is array-sorted");
+                };
+                let c = if elem_w % 4 == 0 {
+                    format!("#x{:0>width$x}", v, width = (elem_w / 4) as usize)
+                } else {
+                    format!("#b{:0>width$b}", v, width = elem_w as usize)
+                };
+                format!("((as const (Array (_ BitVec {idx_w}) (_ BitVec {elem_w}))) {c})")
+            }
+            Op::Store => format!(
+                "(store {} {} {})",
+                self.pp(args[0]),
+                self.pp(args[1]),
+                self.pp(args[2])
+            ),
+            Op::Select => binary(self, "select"),
         }
     }
 }
@@ -271,6 +312,32 @@ mod tests {
             "{q}"
         );
         assert!(q.ends_with("(check-sat)\n"), "{q}");
+    }
+
+    #[test]
+    fn array_queries_use_qf_abv() {
+        let mut tm = TermManager::new();
+        let a0 = tm.array_const(0, 32, 8);
+        let i = tm.var("i", 32);
+        let v = tm.bv_const(0x5a, 8);
+        let a1 = tm.store(a0, i, v);
+        let j = tm.var("j", 32);
+        let sel = tm.select(a1, j);
+        let zero = tm.bv_const(0, 8);
+        let cond = tm.eq(sel, zero);
+        let q = query_to_smtlib(&tm, &[cond]);
+        assert!(q.starts_with("(set-logic QF_ABV)"), "{q}");
+        assert!(
+            q.contains(
+                "(select (store ((as const (Array (_ BitVec 32) (_ BitVec 8))) #x00) i #x5a) j)"
+            ),
+            "{q}"
+        );
+        assert!(q.ends_with("(check-sat)\n"), "{q}");
+        // A pure-bitvector query keeps QF_BV.
+        let k = tm.eq(i, j);
+        let q2 = query_to_smtlib(&tm, &[k]);
+        assert!(q2.starts_with("(set-logic QF_BV)"), "{q2}");
     }
 
     #[test]

@@ -24,23 +24,41 @@ pub enum Sort {
     Bool,
     /// A bitvector sort of the given width in bits (1..=64).
     BitVec(u32),
+    /// An SMT array from `idx_w`-bit indices to `elem_w`-bit elements.
+    ///
+    /// Array-sorted terms are always *ground chains*: a
+    /// [`TermManager::array_const`] leaf wrapped in zero or more
+    /// [`TermManager::store`]s. There are no array variables, so every
+    /// [`Op::Select`] can be lowered to a finite ite-ladder.
+    Array {
+        /// Index width in bits.
+        idx_w: u32,
+        /// Element width in bits.
+        elem_w: u32,
+    },
 }
 
 impl Sort {
     /// Width of a bitvector sort.
     ///
     /// # Panics
-    /// Panics if the sort is [`Sort::Bool`].
+    /// Panics if the sort is not a bitvector.
     pub fn width(self) -> u32 {
         match self {
             Sort::BitVec(w) => w,
             Sort::Bool => panic!("Sort::width called on Bool"),
+            Sort::Array { .. } => panic!("Sort::width called on Array"),
         }
     }
 
     /// Returns true for bitvector sorts.
     pub fn is_bitvec(self) -> bool {
         matches!(self, Sort::BitVec(_))
+    }
+
+    /// Returns true for array sorts.
+    pub fn is_array(self) -> bool {
+        matches!(self, Sort::Array { .. })
     }
 }
 
@@ -49,6 +67,9 @@ impl fmt::Display for Sort {
         match self {
             Sort::Bool => write!(f, "Bool"),
             Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+            Sort::Array { idx_w, elem_w } => {
+                write!(f, "(Array (_ BitVec {idx_w}) (_ BitVec {elem_w}))")
+            }
         }
     }
 }
@@ -161,6 +182,17 @@ pub enum Op {
         /// Number of sign bits prepended.
         add: u32,
     },
+
+    // Theory of arrays (ground chains only — see [`Sort::Array`]).
+    /// Constant array: every index maps to the payload value (masked to
+    /// the element width of the node's sort).
+    ConstArray(u64),
+    /// Array store: `args = [array, index, value]`; result sort is the
+    /// array sort.
+    Store,
+    /// Array read: `args = [array, index]`; result sort is the element
+    /// bitvector sort.
+    Select,
 }
 
 impl Op {
@@ -956,6 +988,102 @@ impl TermManager {
         self.ite(b, one, zero)
     }
 
+    // ------------------------------------------------------------------
+    // Theory of arrays
+    // ------------------------------------------------------------------
+
+    /// Constant array mapping every `idx_w`-bit index to `default`
+    /// (masked to `elem_w` bits) — the root of every ground store chain.
+    ///
+    /// # Panics
+    /// Panics if either width is 0 or greater than [`MAX_WIDTH`].
+    pub fn array_const(&mut self, default: u64, idx_w: u32, elem_w: u32) -> Term {
+        assert!(
+            (1..=MAX_WIDTH).contains(&idx_w) && (1..=MAX_WIDTH).contains(&elem_w),
+            "unsupported array widths ({idx_w}, {elem_w})"
+        );
+        self.mk(
+            Op::ConstArray(default & mask(elem_w)),
+            vec![],
+            Sort::Array { idx_w, elem_w },
+        )
+    }
+
+    /// Array store `a[i := v]`.
+    ///
+    /// Shadowing fold: a store at the same *constant* index as the
+    /// immediately enclosing store replaces it
+    /// (`store(store(A, c, _), c, v) → store(A, c, v)`).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) unless `a` is array-sorted with an index
+    /// width matching `i` and an element width matching `v`.
+    pub fn store(&mut self, a: Term, i: Term, v: Term) -> Term {
+        let sort = self.sort(a);
+        debug_assert!(
+            matches!(sort, Sort::Array { idx_w, elem_w }
+                if self.sort(i) == Sort::BitVec(idx_w) && self.sort(v) == Sort::BitVec(elem_w)),
+            "store sort mismatch"
+        );
+        let mut base = a;
+        // Shadowed writes at the same constant address fold away.
+        if let Some(ci) = self.as_const(i) {
+            while self.op(base) == Op::Store {
+                let inner_i = self.args(base)[1];
+                if self.as_const(inner_i) == Some(ci) {
+                    base = self.args(base)[0];
+                } else {
+                    break;
+                }
+            }
+            // Writing the default value onto the untouched constant array
+            // is a no-op.
+            if let Op::ConstArray(d) = self.op(base) {
+                if self.as_const(v) == Some(d) && base == a {
+                    return a;
+                }
+            }
+        }
+        self.mk(Op::Store, vec![base, i, v], sort)
+    }
+
+    /// Array read `a[i]`, element-sorted.
+    ///
+    /// Folds: `select(store(A, i, v), i) → v` (syntactically equal
+    /// indices); with a *constant* index, stores at definitely-different
+    /// constant indices are skipped, and a read that reaches the
+    /// [`TermManager::array_const`] root folds to its default value.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) unless `a` is array-sorted with an index
+    /// width matching `i`.
+    pub fn select(&mut self, a: Term, i: Term) -> Term {
+        let Sort::Array { idx_w, elem_w } = self.sort(a) else {
+            panic!("select on a non-array term");
+        };
+        debug_assert_eq!(self.sort(i), Sort::BitVec(idx_w), "select index width");
+        let ci = self.as_const(i);
+        let mut cur = a;
+        loop {
+            match self.op(cur) {
+                Op::Store => {
+                    let args = self.args(cur);
+                    let (inner, si, sv) = (args[0], args[1], args[2]);
+                    if si == i {
+                        return sv; // read-over-write at the same index
+                    }
+                    match (ci, self.as_const(si)) {
+                        (Some(x), Some(y)) if x != y => cur = inner, // definitely misses
+                        _ => break, // may or may not alias — keep the chain
+                    }
+                }
+                Op::ConstArray(d) => return self.bv_const(d, elem_w),
+                _ => break,
+            }
+        }
+        self.mk(Op::Select, vec![cur, i], Sort::BitVec(elem_w))
+    }
+
     /// Collects the set of variables occurring in `t` (post-order, deduped).
     pub fn vars_of(&self, t: Term) -> Vec<VarId> {
         let mut seen = vec![false; self.nodes.len()];
@@ -1111,6 +1239,56 @@ mod tests {
         assert_eq!(to_signed(0x7f, 8), 127);
         assert_eq!(to_signed(0x8000_0000, 32), i64::from(i32::MIN));
         assert_eq!(to_signed(u64::MAX, 64), -1);
+    }
+
+    #[test]
+    fn select_of_store_forwards() {
+        let mut tm = TermManager::new();
+        let a0 = tm.array_const(0, 32, 8);
+        let i = tm.var("i", 32);
+        let v = tm.var("v", 8);
+        let a1 = tm.store(a0, i, v);
+        // Same (symbolic) index: read-over-write forwards the value.
+        assert_eq!(tm.select(a1, i), v);
+        // Definitely-different constant indices skip the store.
+        let c1 = tm.bv_const(1, 32);
+        let c2 = tm.bv_const(2, 32);
+        let seven = tm.bv_const(7, 8);
+        let a2 = tm.store(a0, c1, seven);
+        let r = tm.select(a2, c2);
+        assert_eq!(tm.as_const(r), Some(0)); // falls through to the default
+        let r1 = tm.select(a2, c1);
+        assert_eq!(tm.as_const(r1), Some(7));
+    }
+
+    #[test]
+    fn store_shadows_equal_constant_index() {
+        let mut tm = TermManager::new();
+        let a0 = tm.array_const(0, 32, 8);
+        let c = tm.bv_const(4, 32);
+        let v1 = tm.bv_const(1, 8);
+        let v2 = tm.bv_const(2, 8);
+        let s1 = tm.store(a0, c, v1);
+        let s2 = tm.store(s1, c, v2);
+        // The shadowed write folds away: s2 = store(a0, c, v2).
+        assert_eq!(tm.op(s2), Op::Store);
+        assert_eq!(tm.args(s2)[0], a0);
+        let direct = tm.store(a0, c, v2);
+        assert_eq!(s2, direct);
+    }
+
+    #[test]
+    fn array_sort_display_and_predicates() {
+        let mut tm = TermManager::new();
+        let a = tm.array_const(0x2a, 32, 8);
+        let s = tm.sort(a);
+        assert!(s.is_array());
+        assert!(!s.is_bitvec());
+        assert_eq!(s.to_string(), "(Array (_ BitVec 32) (_ BitVec 8))");
+        // Selecting straight from the constant array folds.
+        let i = tm.bv_const(99, 32);
+        let r = tm.select(a, i);
+        assert_eq!(tm.as_const(r), Some(0x2a));
     }
 
     #[test]

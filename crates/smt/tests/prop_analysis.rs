@@ -106,7 +106,7 @@ fn assignment(tm: &TermManager, xv: u8, yv: u8) -> HashMap<VarId, u64> {
 fn eval_bv(tm: &TermManager, t: Term, sigma: &HashMap<VarId, u64>) -> u64 {
     match eval(tm, t, sigma).expect("assigned") {
         Value::BitVec(v) => v,
-        Value::Bool(_) => unreachable!("bv term"),
+        Value::Bool(_) | Value::Array(_) => unreachable!("bv term"),
     }
 }
 
@@ -252,6 +252,59 @@ fn facts_are_sound_without_assumptions() {
                 "value escapes the interval: {v:#x} vs {f:?}"
             );
         }
+    }
+}
+
+#[test]
+fn select_facts_and_simplify_match_memory_oracle() {
+    // Random store chains read back at random points: facts from the
+    // conservative select transfer must contain the concrete oracle value,
+    // and simplification of select/store terms must preserve evaluation.
+    let mut rng = Rng::new(0xb1a5_000a);
+    for _ in 0..64 {
+        let mut tm = TermManager::new();
+        let xv = rng.next_u8();
+        let yv = rng.next_u8();
+        let _ = random_bv(&mut tm, &mut rng, 0);
+        let sigma = assignment(&tm, xv, yv);
+        let default = rng.next_u8();
+        let mut mem = [default; 256];
+        let mut arr = tm.array_const(u64::from(default), 8, 8);
+        let stores = 1 + rng.below(4) as usize;
+        for _ in 0..stores {
+            let isteps = rng.below(3) as usize;
+            let it = random_bv(&mut tm, &mut rng, isteps);
+            let vsteps = rng.below(3) as usize;
+            let vt = random_bv(&mut tm, &mut rng, vsteps);
+            let ic = eval_bv(&tm, it, &sigma) as usize;
+            mem[ic] = eval_bv(&tm, vt, &sigma) as u8;
+            arr = tm.store(arr, it, vt);
+        }
+        let rsteps = rng.below(3) as usize;
+        let rt = random_bv(&mut tm, &mut rng, rsteps);
+        let sel = tm.select(arr, rt);
+        let expected = u64::from(mem[eval_bv(&tm, rt, &sigma) as usize]);
+        assert_eq!(
+            eval_bv(&tm, sel, &sigma),
+            expected,
+            "evaluator disagrees with memory oracle"
+        );
+
+        let mut an = Analysis::new();
+        let f = an.bv_fact(&tm, sel);
+        assert_eq!(expected & f.zeros, 0, "must-0 violated by oracle: {f:?}");
+        assert_eq!(expected & f.ones, f.ones, "must-1 violated by oracle");
+        assert!(
+            (f.lo..=f.hi).contains(&expected),
+            "interval excludes oracle value: {expected:#x} {f:?}"
+        );
+
+        let s = simplify(&mut tm, sel);
+        assert_eq!(
+            eval_bv(&tm, s, &sigma),
+            expected,
+            "rewrite changed the meaning of the select"
+        );
     }
 }
 

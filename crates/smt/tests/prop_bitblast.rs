@@ -96,7 +96,7 @@ fn check_point(recipe: &[u8], xv: u8, yv: u8) {
     assignment.insert(yid, u64::from(yv));
     let expected = match eval(&tm, t, &assignment).expect("assigned") {
         Value::BitVec(v) => v,
-        Value::Bool(_) => unreachable!("bv term"),
+        Value::Bool(_) | Value::Array(_) => unreachable!("bv term"),
     };
 
     let xc = tm.bv_const(u64::from(xv), 8);
@@ -190,6 +190,83 @@ fn extract_concat_extend_roundtrip() {
         solver.assert_term(&mut tm, px);
         let ne = tm.not(eq);
         assert_eq!(solver.check_sat(&mut tm, &[ne]), SatResult::Unsat);
+    }
+}
+
+#[test]
+fn select_store_matches_concrete_memory_oracle() {
+    // Random store chains over an 8-bit-indexed byte array, read back at a
+    // random (possibly symbolic) index: both the evaluator and the blasted
+    // circuit must agree with a concrete `[u8; 256]` oracle at the point.
+    let mut rng = Rng::new(0xb1a5_0009);
+    for _ in 0..32 {
+        let xv = rng.next_u8();
+        let yv = rng.next_u8();
+        let default = rng.next_u8();
+        let mut tm = TermManager::new();
+        let x = tm.var("x", 8);
+        let y = tm.var("y", 8);
+        let mut mem = [default; 256];
+        let mut arr = tm.array_const(u64::from(default), 8, 8);
+        // An index expression is either a constant, a variable, or var+k —
+        // returns the term and its concrete value at (xv, yv).
+        let operand = |tm: &mut TermManager, rng: &mut Rng| -> (Term, u8) {
+            match rng.next_u8() % 4 {
+                0 => {
+                    let c = rng.next_u8();
+                    (tm.bv_const(u64::from(c), 8), c)
+                }
+                1 => (x, xv),
+                2 => (y, yv),
+                _ => {
+                    let k = rng.next_u8();
+                    let kc = tm.bv_const(u64::from(k), 8);
+                    (tm.add(x, kc), xv.wrapping_add(k))
+                }
+            }
+        };
+        let stores = 1 + (rng.next_u64() as usize) % 4;
+        for _ in 0..stores {
+            let (it, ic) = operand(&mut tm, &mut rng);
+            let (vt, vc) = operand(&mut tm, &mut rng);
+            mem[usize::from(ic)] = vc;
+            arr = tm.store(arr, it, vt);
+        }
+        let (rt, rc) = operand(&mut tm, &mut rng);
+        let sel = tm.select(arr, rt);
+        let expected = mem[usize::from(rc)];
+
+        let xid = tm.find_var("x").unwrap();
+        let yid = tm.find_var("y").unwrap();
+        let mut assignment: HashMap<VarId, u64> = HashMap::new();
+        assignment.insert(xid, u64::from(xv));
+        assignment.insert(yid, u64::from(yv));
+        assert_eq!(
+            eval(&tm, sel, &assignment).expect("assigned"),
+            Value::BitVec(u64::from(expected)),
+            "evaluator disagrees with memory oracle at x={xv:#x} y={yv:#x}"
+        );
+
+        let xc = tm.bv_const(u64::from(xv), 8);
+        let yc = tm.bv_const(u64::from(yv), 8);
+        let ec = tm.bv_const(u64::from(expected), 8);
+        let px = tm.eq(x, xc);
+        let py = tm.eq(y, yc);
+        let pe = tm.eq(sel, ec);
+        let mut solver = Solver::new();
+        solver.assert_term(&mut tm, px);
+        solver.assert_term(&mut tm, py);
+        assert_eq!(
+            solver.check_sat(&mut tm, &[pe]),
+            SatResult::Sat,
+            "select circuit disagrees with memory oracle at x={xv:#x} y={yv:#x}"
+        );
+        let npe = tm.not(pe);
+        assert_eq!(
+            solver.check_sat(&mut tm, &[npe]),
+            SatResult::Unsat,
+            "select circuit underconstrained at x={xv:#x} y={yv:#x}"
+        );
     }
 }
 

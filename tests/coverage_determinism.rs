@@ -20,6 +20,11 @@
 //! coverage-guided run is pinned byte-identical — solver checks included —
 //! to the plain uninstrumented one.
 //!
+//! The address-concretization policies compose with all of it: a policy
+//! changes *which* paths exist (pinned per policy on `table-lookup`), the
+//! scheduler only their discovery order, so per-policy merged records are
+//! byte-identical across worker counts and shard policies too.
+//!
 //! The heavy programs run under `#[ignore]` so the debug-mode tier-1 suite
 //! stays fast; CI runs them in release with `--include-ignored`.
 
@@ -553,4 +558,71 @@ fn base64_encode_coverage_guided_is_deterministic() {
 #[ignore = "heavy: run in release (CI runs with --include-ignored)"]
 fn insertion_sort_coverage_guided_is_deterministic() {
     check_program(&programs::INSERTION_SORT);
+}
+
+#[test]
+fn table_lookup_coverage_guided_is_deterministic_under_every_policy() {
+    // Coverage-guided scheduling composed with an address-concretization
+    // policy: the policy decides which paths exist (pinned per policy),
+    // the scheduler only their discovery order, so the merged records must
+    // match the depth-first reference under the same policy byte-for-byte
+    // at every worker count — and the windowed model must actually reach
+    // full coverage through the coverage-guided frontier.
+    use binsym_repro::bench::{TABLE_LOOKUP, TABLE_LOOKUP_SYMBOLIC_PATHS};
+    use binsym_repro::binsym::AddressPolicyKind;
+
+    let elf = TABLE_LOOKUP.build();
+    for (policy, expected) in [
+        (AddressPolicyKind::ConcretizeEq, TABLE_LOOKUP.expected_paths),
+        (
+            AddressPolicyKind::ConcretizeMin,
+            TABLE_LOOKUP.expected_paths,
+        ),
+        (
+            AddressPolicyKind::Symbolic { window: 64 },
+            TABLE_LOOKUP_SYMBOLIC_PATHS,
+        ),
+    ] {
+        let mut dfs = Session::builder(Spec::rv32im())
+            .binary(&elf)
+            .workers(1)
+            .address_policy(policy)
+            .build_parallel()
+            .expect("builds");
+        let ref_summary = dfs.run_all().expect("explores");
+        assert_eq!(ref_summary.paths, expected, "{policy}: pinned count");
+        let ref_records = dfs.records().to_vec();
+
+        for workers in [1usize, 2, 4] {
+            let map = CoverageMap::shared_for(&elf);
+            let policy_map = Arc::clone(&map);
+            let observer_map = Arc::clone(&map);
+            let mut session = Session::builder(Spec::rv32im())
+                .binary(&elf)
+                .workers(workers)
+                .address_policy(policy)
+                .shard_strategy(move |_| {
+                    Box::new(CoverageGuided::<Prescription>::new(Arc::clone(&policy_map)))
+                })
+                .observer_factory(move |_| {
+                    Box::new(CoverageObserver::new(Arc::clone(&observer_map)))
+                })
+                .build_parallel()
+                .expect("builds");
+            let summary = session.run_all().expect("explores");
+            let what = format!("table-lookup ({policy}), {workers} workers");
+            assert_summaries_equal(&summary, &ref_summary, &what);
+            assert_eq!(
+                session.records(),
+                ref_records.as_slice(),
+                "{what}: merged records"
+            );
+            let full = map.covered_count() == map.tracked_slots();
+            assert_eq!(
+                full,
+                matches!(policy, AddressPolicyKind::Symbolic { .. }),
+                "{what}: only the windowed model reaches full coverage"
+            );
+        }
+    }
 }

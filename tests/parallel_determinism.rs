@@ -31,6 +31,16 @@
 //! records and summary — solver checks included — are pinned byte-identical
 //! to the uninstrumented run at every worker count.
 //!
+//! The address-concretization policies (`SessionBuilder::address_policy`)
+//! are a *model* knob — `min` and `symbolic:N` may legitimately change
+//! which paths exist — so each policy is pinned against its own 1-worker
+//! reference: merged records byte-identical across 1/2/4/8 workers × warm
+//! × gate, across repeated runs, and across a mid-run kill/resume, on the
+//! `table-lookup` benchmark where the policies actually diverge. On the
+//! Table I programs every address is concrete, so all policies must
+//! reproduce the *default* run byte-for-byte (policy inertness), and the
+//! default `eq` policy is contractually the pre-policy engine.
+//!
 //! The three big programs run under `#[ignore]` so the debug-mode tier-1
 //! suite stays fast; CI runs them in release with `--include-ignored`.
 
@@ -39,9 +49,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use binsym_repro::bench::programs::{self, Program};
+use binsym_repro::bench::{TABLE_LOOKUP, TABLE_LOOKUP_SYMBOLIC_PATHS};
 use binsym_repro::binsym::{
-    CheckpointEvent, ChromeTraceSink, CountingObserver, MetricsRegistry, Observer, PathRecord,
-    Prescription, RandomRestart, Session, Summary, TraceSink, TrailEntry,
+    AddressPolicyKind, CheckpointEvent, ChromeTraceSink, CountingObserver, MetricsRegistry,
+    Observer, PathRecord, Prescription, RandomRestart, Session, Summary, TraceSink, TrailEntry,
 };
 use binsym_repro::isa::Spec;
 
@@ -396,8 +407,16 @@ impl Observer for CopyOnWritten {
 /// gate on both sides — must produce merged records byte-identical to the
 /// uninterrupted reference at 1/2/4 workers.
 fn check_kill_resume(p: &Program, fire_at: u64) {
+    check_kill_resume_policy(p, fire_at, AddressPolicyKind::default());
+}
+
+/// [`check_kill_resume`] under an explicit address-concretization policy:
+/// the checkpoint round-trips the policy's trail (concretization entries
+/// included), so the resumed exploration must still be byte-identical to
+/// the uninterrupted run under the same policy.
+fn check_kill_resume_policy(p: &Program, fire_at: u64, policy: AddressPolicyKind) {
     let elf = p.build();
-    let (ref_summary, ref_records) = parallel_run(p, 1, None);
+    let (ref_summary, ref_records, _) = policy_run(p, 1, policy, false, true);
     for workers in [1usize, 2, 4] {
         let live = ck_path("kill-live");
         let copy = ck_path("kill-copy");
@@ -408,6 +427,7 @@ fn check_kill_resume(p: &Program, fire_at: u64) {
             .workers(workers)
             .warm_start(true)
             .static_analysis(true)
+            .address_policy(policy)
             .checkpoint(&live, 1)
             .observer_factory(move |_| {
                 Box::new(CopyOnWritten {
@@ -429,13 +449,14 @@ fn check_kill_resume(p: &Program, fire_at: u64) {
             .workers(workers)
             .warm_start(true)
             .static_analysis(true)
+            .address_policy(policy)
             .resume(&copy)
             .build_parallel()
             .expect("builds");
         let summary = resumed.run_all().expect("resumes");
         let _ = std::fs::remove_file(&live);
         let _ = std::fs::remove_file(&copy);
-        let what = format!("{} killed+resumed, {workers} workers", p.name);
+        let what = format!("{} ({policy}) killed+resumed, {workers} workers", p.name);
         assert_summaries_equal(&summary, &ref_summary, &what);
         assert_eq!(
             resumed.records(),
@@ -443,6 +464,80 @@ fn check_kill_resume(p: &Program, fire_at: u64) {
             "{what}: byte-identical to the uninterrupted run"
         );
     }
+}
+
+/// One parallel run under an explicit address-concretization policy, with
+/// the warm-start and static-gate knobs, plus the shared counting observer
+/// for check accounting.
+fn policy_run(
+    p: &Program,
+    workers: usize,
+    policy: AddressPolicyKind,
+    warm: bool,
+    analysis: bool,
+) -> (Summary, Vec<PathRecord>, CountingObserver) {
+    let elf = p.build();
+    let counters = Arc::new(Mutex::new(CountingObserver::new()));
+    let handle = Arc::clone(&counters);
+    let mut session = Session::builder(Spec::rv32im())
+        .binary(&elf)
+        .workers(workers)
+        .warm_start(warm)
+        .static_analysis(analysis)
+        .address_policy(policy)
+        .observer_factory(move |_| Box::new(Arc::clone(&handle)))
+        .build_parallel()
+        .expect("builds");
+    let summary = session.run_all().expect("explores");
+    let counts = *counters.lock().expect("counters");
+    (summary, session.records().to_vec(), counts)
+}
+
+/// The per-policy determinism contract on one program: against the
+/// policy's own gate-off 1-worker reference, every 1/2/4/8-worker × warm
+/// × gate combination must merge byte-identical records, with the gate's
+/// check savings accounted one-to-one, and a repeated run must reproduce
+/// the bytes. `expected_paths` pins the policy's path count.
+fn check_policy_matrix(p: &Program, policy: AddressPolicyKind, expected_paths: u64) {
+    let (off_summary, off_records, off_counts) = policy_run(p, 1, policy, false, false);
+    let what = format!("{} ({policy})", p.name);
+    assert_eq!(off_summary.paths, expected_paths, "{what}: pinned count");
+    assert_eq!(
+        off_counts.sa_queries_eliminated, 0,
+        "{what}: a disabled gate must not screen anything"
+    );
+    for workers in [1usize, 2, 4, 8] {
+        for warm in [false, true] {
+            for gate in [false, true] {
+                let (summary, records, counts) = policy_run(p, workers, policy, warm, gate);
+                let what = format!(
+                    "{} ({policy}), {workers} workers{}{}",
+                    p.name,
+                    if warm { " + warm" } else { "" },
+                    if gate { " + gate" } else { "" },
+                );
+                assert_eq!(records, off_records, "{what}: merged records");
+                assert_summaries_equal_modulo_checks(&summary, &off_summary, &what);
+                if gate {
+                    assert_eq!(
+                        summary.solver_checks + counts.sa_queries_eliminated,
+                        off_summary.solver_checks,
+                        "{what}: eliminated queries must explain the full check delta"
+                    );
+                } else {
+                    assert_eq!(
+                        summary.solver_checks, off_summary.solver_checks,
+                        "{what}: solver checks"
+                    );
+                }
+            }
+        }
+    }
+    // Repeated run: byte-identical.
+    let (summary, records, _) = policy_run(p, 2, policy, true, true);
+    let what = format!("{} ({policy}) repeated", p.name);
+    assert_summaries_equal_modulo_checks(&summary, &off_summary, &what);
+    assert_eq!(records, off_records, "{what}: merged records");
 }
 
 /// One parallel run with metrics and tracing fully on. Also sanity-checks
@@ -588,4 +683,71 @@ fn base64_encode_is_deterministic() {
 #[ignore = "heavy: run in release (CI runs with --include-ignored)"]
 fn insertion_sort_is_deterministic() {
     check_program(&programs::INSERTION_SORT);
+}
+
+#[test]
+fn table_lookup_is_deterministic_under_every_policy() {
+    // The one benchmark whose path set actually depends on the policy:
+    // the concretizing policies stop at the pinned 2 paths, the windowed
+    // array model enumerates all 6 — each byte-identically at every
+    // worker count × warm × gate combination.
+    check_policy_matrix(
+        &TABLE_LOOKUP,
+        AddressPolicyKind::ConcretizeEq,
+        TABLE_LOOKUP.expected_paths,
+    );
+    check_policy_matrix(
+        &TABLE_LOOKUP,
+        AddressPolicyKind::ConcretizeMin,
+        TABLE_LOOKUP.expected_paths,
+    );
+    check_policy_matrix(
+        &TABLE_LOOKUP,
+        AddressPolicyKind::Symbolic { window: 64 },
+        TABLE_LOOKUP_SYMBOLIC_PATHS,
+    );
+}
+
+#[test]
+fn table_lookup_kill_resume_is_byte_identical_under_every_policy() {
+    // The checkpoint wire format carries the concretization trail, so a
+    // mid-run kill must resume to identical bytes under every policy —
+    // including the symbolic window, whose trail entries are the new kind.
+    check_kill_resume_policy(&TABLE_LOOKUP, 1, AddressPolicyKind::ConcretizeEq);
+    check_kill_resume_policy(&TABLE_LOOKUP, 1, AddressPolicyKind::ConcretizeMin);
+    check_kill_resume_policy(&TABLE_LOOKUP, 2, AddressPolicyKind::Symbolic { window: 64 });
+}
+
+#[test]
+fn clif_parser_policies_are_inert_on_concrete_addresses() {
+    // Every clif-parser address is concrete, so all three policies must
+    // reproduce the default run byte-for-byte — `eq` because it *is* the
+    // default (the pre-policy engine's §III-B pin), the others because a
+    // policy that never fires must be invisible.
+    let (ref_summary, ref_records) = parallel_run(&programs::CLIF_PARSER, 1, None);
+    for policy in [
+        AddressPolicyKind::ConcretizeEq,
+        AddressPolicyKind::ConcretizeMin,
+        AddressPolicyKind::Symbolic { window: 64 },
+    ] {
+        let (summary, records, _) = policy_run(&programs::CLIF_PARSER, 2, policy, false, true);
+        let what = format!("clif-parser ({policy})");
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: byte-identical to default");
+    }
+}
+
+#[test]
+#[ignore = "heavy: run in release (CI runs with --include-ignored)"]
+fn uri_parser_policies_are_inert_on_concrete_addresses() {
+    let (ref_summary, ref_records) = parallel_run(&programs::URI_PARSER, 1, None);
+    for policy in [
+        AddressPolicyKind::ConcretizeMin,
+        AddressPolicyKind::Symbolic { window: 64 },
+    ] {
+        let (summary, records, _) = policy_run(&programs::URI_PARSER, 4, policy, true, true);
+        let what = format!("uri-parser ({policy})");
+        assert_summaries_equal(&summary, &ref_summary, &what);
+        assert_eq!(records, ref_records, "{what}: byte-identical to default");
+    }
 }
